@@ -1,0 +1,55 @@
+//! Experiment T4 — chase engine microbenchmarks: trigger search
+//! (homomorphism matching) and full chase runs on random workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::{garment_schema, join_on_supplier, random_instance};
+use td_core::chase::{ChaseBudget, ChaseEngine, ChasePolicy};
+use td_core::homomorphism::{match_all, Binding};
+
+fn bench_trigger_search(c: &mut Criterion) {
+    let td = join_on_supplier();
+    let schema = garment_schema();
+    let mut group = c.benchmark_group("chase/match_all");
+    for rows in [10usize, 30, 100] {
+        let inst = random_instance(&schema, rows, (rows as u32) / 3 + 2, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(match_all(
+                    td.antecedents(),
+                    black_box(inst),
+                    &Binding::new(td.arity()),
+                    usize::MAX,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_to_fixpoint(c: &mut Criterion) {
+    let tds = vec![join_on_supplier()];
+    let schema = garment_schema();
+    let mut group = c.benchmark_group("chase/fixpoint");
+    group.sample_size(10);
+    for rows in [5usize, 10, 20] {
+        let inst = random_instance(&schema, rows, 4, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &inst, |b, inst| {
+            b.iter(|| {
+                let mut engine = ChaseEngine::new(
+                    &tds,
+                    inst.clone(),
+                    ChasePolicy::Restricted,
+                    ChaseBudget { max_steps: 100_000, max_rows: 100_000, max_rounds: 1_000 },
+                )
+                .unwrap();
+                let outcome = engine.run(None);
+                black_box((outcome, engine.state().len()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trigger_search, bench_chase_to_fixpoint);
+criterion_main!(benches);

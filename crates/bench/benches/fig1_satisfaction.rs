@@ -1,0 +1,37 @@
+//! Experiment F1 — Fig. 1's dependency as a workload: satisfaction
+//! checking of the garment dependency against growing databases.
+//!
+//! Shape claim: homomorphism search for the 2-antecedent template is
+//! quadratic-ish in the row count (candidate pairs sharing a supplier),
+//! and the violation check stops at the first violation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::{fig1_td, garment_schema, random_instance};
+use td_core::satisfaction::{find_violation, satisfies};
+
+fn bench_satisfaction(c: &mut Criterion) {
+    let td = fig1_td();
+    let schema = garment_schema();
+    let mut group = c.benchmark_group("fig1/satisfies");
+    for rows in [10usize, 30, 100] {
+        // Dense value space: some violations exist with high probability.
+        let inst = random_instance(&schema, rows, (rows as u32) / 2 + 2, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &inst, |b, inst| {
+            b.iter(|| black_box(satisfies(black_box(inst), &td)));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig1/find_violation");
+    for rows in [10usize, 30, 100] {
+        let inst = random_instance(&schema, rows, (rows as u32) / 2 + 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &inst, |b, inst| {
+            b.iter(|| black_box(find_violation(black_box(inst), &td)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_satisfaction);
+criterion_main!(benches);

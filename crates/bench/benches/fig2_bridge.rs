@@ -1,0 +1,44 @@
+//! Experiment F2 — bridges (Fig. 2): building and validating the row
+//! structure representing a word, as the word grows.
+//!
+//! Shape claim: a bridge for a length-k word occupies 2k+1 rows and both
+//! construction and validation are linear in k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_core::eq_instance::EqInstance;
+use td_reduction::attrs::ReductionAttrs;
+use td_reduction::bridge::Bridge;
+use td_semigroup::alphabet::Alphabet;
+use td_semigroup::word::Word;
+
+fn bench_bridges(c: &mut Criterion) {
+    let alphabet = Alphabet::standard(2);
+    let attrs = ReductionAttrs::new(&alphabet).unwrap();
+
+    let mut group = c.benchmark_group("fig2/build");
+    for k in [4usize, 16, 64] {
+        let word = Word::from_raw((0..k).map(|i| (i % 2) as u16)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &word, |b, word| {
+            b.iter(|| {
+                let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+                black_box(Bridge::build(&mut eq, &attrs, word).unwrap())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig2/validate");
+    for k in [4usize, 16, 64] {
+        let word = Word::from_raw((0..k).map(|i| (i % 2) as u16)).unwrap();
+        let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+        let bridge = Bridge::build(&mut eq, &attrs, &word).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+            b.iter(|| black_box(bridge.validate(&eq, &attrs).is_ok()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bridges);
+criterion_main!(benches);

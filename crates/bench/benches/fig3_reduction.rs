@@ -1,0 +1,25 @@
+//! Experiment F3 — the Fig. 3 construction: building the dependency set
+//! `D ∪ {D₀}` as the alphabet (and with it the equation count) grows.
+//!
+//! Shape claim: |attributes| = 2n+2 and |D| = 4·|equations| — construction
+//! time is linear in `n · |equations|` with antecedent counts constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::refutable_with_symbols;
+use td_reduction::deps::build_system;
+
+fn bench_build_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/build_system");
+    for n_regular in [2usize, 8, 32] {
+        // Zero-saturated: 2(n+1)+... equations scale with n too.
+        let p = refutable_with_symbols(n_regular);
+        group.bench_with_input(BenchmarkId::from_parameter(n_regular), &p, |b, p| {
+            b.iter(|| black_box(build_system(black_box(p)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_system);
+criterion_main!(benches);

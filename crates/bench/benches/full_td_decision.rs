@@ -1,0 +1,47 @@
+//! Experiment T2 — the decidable fragment: `implies_full` (terminating
+//! chase decision for full TDs) versus the general semi-decision procedure.
+//!
+//! Shape claim: full-TD inference always terminates; its cost grows with
+//! the frozen tableau's active domain but stays total, while embedded
+//! inference needs budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::{fig1_td, full_td_family, join_on_supplier};
+use td_core::chase::ChaseBudget;
+use td_core::inference::{implies, implies_full};
+
+fn bench_full_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_td/implies_full");
+    for arity in [2usize, 3, 4] {
+        let (schema, family) = full_td_family(arity);
+        // Goal: the last family member (implied: it is in the set).
+        let goal = family.last().unwrap().clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(arity),
+            &(schema, family, goal),
+            |b, (_, family, goal)| {
+                b.iter(|| black_box(implies_full(family, goal).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_embedded_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_td/vs_embedded");
+    let join = vec![join_on_supplier()];
+    let fig1 = fig1_td();
+    group.bench_function("full_premises_decide_fig1", |b| {
+        b.iter(|| black_box(implies_full(&join, &fig1).unwrap()));
+    });
+    group.bench_function("general_procedure_same_query", |b| {
+        b.iter(|| {
+            black_box(implies(&join, &fig1, ChaseBudget::default()).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_decision, bench_embedded_vs_full);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment RA — part (A) of the Reduction Theorem: turning derivations
+//! into chase proofs, guided (linear replay) versus unguided (fair chase
+//! search).
+//!
+//! Shape claims: the guided chase is linear in the derivation length (one
+//! firing per relabeling step, four per expansion+contraction pair); the
+//! unguided fair chase pays an exploration overhead that grows much faster,
+//! which is why part (A) matters as a *constructive* argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::{product_chain, relabel_chain};
+use td_core::chase::ChaseBudget;
+use td_reduction::deps::build_system;
+use td_reduction::part_a::{prove_part_a, prove_unguided};
+use td_semigroup::derivation::{search_goal_derivation, SearchBudget};
+
+fn bench_guided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("part_a/guided/relabel_chain");
+    for k in [4usize, 16, 64] {
+        let p = relabel_chain(k);
+        let system = build_system(&p).unwrap();
+        let derivation = search_goal_derivation(&p, &SearchBudget::default())
+            .derivation()
+            .unwrap()
+            .clone();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+            b.iter(|| black_box(prove_part_a(&system, &p, &derivation).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("part_a/guided/product_chain");
+    for k in [2usize, 4, 8] {
+        let p = product_chain(k);
+        let system = build_system(&p).unwrap();
+        let derivation = search_goal_derivation(
+            &p,
+            &SearchBudget { max_word_len: k + 2, max_states: 1_000_000 },
+        )
+        .derivation()
+        .unwrap()
+        .clone();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+            b.iter(|| black_box(prove_part_a(&system, &p, &derivation).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unguided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("part_a/unguided/relabel_chain");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        let p = relabel_chain(k);
+        let system = build_system(&p).unwrap();
+        let budget = ChaseBudget { max_steps: 100_000, max_rows: 100_000, max_rounds: 1_000 };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+            b.iter(|| {
+                let (outcome, ..) = prove_unguided(&system, budget).unwrap();
+                black_box(outcome)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_guided, bench_unguided);
+criterion_main!(benches);

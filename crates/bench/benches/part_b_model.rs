@@ -1,0 +1,47 @@
+//! Experiment RB — part (B) of the Reduction Theorem: building the finite
+//! countermodel `P ∪ Q` from a cancellation semigroup, and independently
+//! verifying it (all of `D` hold, `D₀` fails, Facts 1–2).
+//!
+//! Shape claims: construction is near-linear in the model size (Θ(n) rows
+//! for the nilpotent workload); verification is polynomial — dominated by
+//! homomorphism search for the 5-antecedent dependencies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::nilpotent_countermodel_workload;
+use td_reduction::deps::build_system;
+use td_reduction::part_b::build_counter_model;
+use td_reduction::verify::verify_counter_model;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("part_b/build");
+    for n in [4usize, 8, 16] {
+        let (p, g, interp) = nilpotent_countermodel_workload(n);
+        let system = build_system(&p).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| black_box(build_counter_model(&system, &p, &g, &interp).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("part_b/verify");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let (p, g, interp) = nilpotent_countermodel_workload(n);
+        let system = build_system(&p).unwrap();
+        let model = build_counter_model(&system, &p, &g, &interp).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| {
+                let report = verify_counter_model(&system, &model);
+                assert!(report.ok());
+                black_box(report)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_verify);
+criterion_main!(benches);

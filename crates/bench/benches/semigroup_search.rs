@@ -1,0 +1,85 @@
+//! Experiment T5 — the word-problem substrate: BFS derivation search,
+//! bounded congruence closure, and the finite-model finder.
+//!
+//! Shape claims: BFS cost grows with the word-length window and equation
+//! count; the bounded quotient is geometric in its length bound; the model
+//! finder is exponential in the semigroup order (the reason analytic
+//! families matter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::{product_chain, refutable_with_symbols, relabel_chain};
+use td_semigroup::derivation::{search_goal_derivation, SearchBudget};
+use td_semigroup::model_search::{find_counter_model, ModelSearchOptions, ModelSearchResult};
+use td_semigroup::quotient::BoundedQuotient;
+
+fn bench_derivation_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semigroup/bfs/relabel_chain");
+    for k in [4usize, 16, 64] {
+        let p = relabel_chain(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
+            b.iter(|| {
+                let r = search_goal_derivation(p, &SearchBudget::default());
+                black_box(r.derivation().is_some())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("semigroup/bfs/product_chain");
+    group.sample_size(10);
+    for k in [2usize, 4, 6] {
+        let p = product_chain(k);
+        let budget = SearchBudget { max_word_len: k + 2, max_states: 1_000_000 };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
+            b.iter(|| {
+                let r = search_goal_derivation(p, &budget);
+                black_box(r.derivation().is_some())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semigroup/quotient");
+    let p = relabel_chain(3);
+    for len in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &p, |b, p| {
+            b.iter(|| {
+                let mut q = BoundedQuotient::build(p, len);
+                black_box(q.goal_identified(p))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semigroup/model_search");
+    group.sample_size(10);
+    for max_size in [2usize, 3, 4] {
+        let p = refutable_with_symbols(1);
+        let opts = ModelSearchOptions {
+            // Force the search to work through the whole size, skipping the
+            // analytic shortcut: demand a model of exactly this order.
+            min_size: max_size,
+            max_size,
+            max_nodes: 50_000_000,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_size),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let r = find_counter_model(&p, &opts).unwrap();
+                    black_box(matches!(r, ModelSearchResult::Found(..)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivation_search, bench_quotient, bench_model_search);
+criterion_main!(benches);

@@ -1,0 +1,282 @@
+//! Brute-force search for small finite countermodels.
+//!
+//! The paper's Main Theorem concerns *finite* implication too: `D₀` may fail
+//! in a finite database satisfying `D`. When the chase diverges, a bounded
+//! exhaustive search over small instances can still refute implication. The
+//! search enumerates instances in a canonical form (per column, values are
+//! numbered by first occurrence) to avoid re-visiting isomorphic copies, and
+//! returns the first instance that satisfies every member of `D` while
+//! violating `D₀`.
+//!
+//! This is exponential and only intended for small schemas and bounds; the
+//! reduction crate builds its (much larger) countermodels analytically
+//! instead, following the paper's part (B) construction.
+
+use crate::instance::Instance;
+use crate::satisfaction::{find_violation, satisfies_all};
+use crate::schema::Schema;
+use crate::td::Td;
+use crate::tuple::Tuple;
+
+/// Bounds for the exhaustive search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOptions {
+    /// Try instances with `1..=max_rows` rows.
+    pub max_rows: usize,
+    /// Allow at most this many distinct values per column.
+    pub max_values_per_column: usize,
+    /// Give up after examining this many candidate instances.
+    pub max_candidates: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self { max_rows: 4, max_values_per_column: 4, max_candidates: 2_000_000 }
+    }
+}
+
+/// Result of a countermodel search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A countermodel was found.
+    Found(Instance),
+    /// Every instance within the bounds satisfies `D₀` whenever it
+    /// satisfies `D` — implication *within the bounds* (not in general!).
+    ExhaustedBounds {
+        /// Number of candidate instances examined.
+        candidates: usize,
+    },
+    /// The candidate budget ran out before the bounds were exhausted.
+    ExhaustedBudget {
+        /// Number of candidate instances examined.
+        candidates: usize,
+    },
+}
+
+impl SearchOutcome {
+    /// The countermodel, if one was found.
+    pub fn model(&self) -> Option<&Instance> {
+        match self {
+            SearchOutcome::Found(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+struct Search<'a> {
+    schema: &'a Schema,
+    d: &'a [Td],
+    d0: &'a Td,
+    opts: &'a SearchOptions,
+    rows: Vec<Vec<u32>>,
+    candidates: usize,
+    result: Option<Instance>,
+    budget_hit: bool,
+}
+
+impl Search<'_> {
+    /// Fills row `row` from column `col` onward, then recurses to the next
+    /// row; at the leaf, tests the candidate instance.
+    fn fill(&mut self, row: usize, col: usize, max_used: &mut Vec<u32>) -> bool {
+        if self.result.is_some() || self.budget_hit {
+            return false;
+        }
+        let arity = self.schema.arity();
+        if col == arity {
+            // Prune duplicate rows: a candidate with duplicates is
+            // equivalent to a smaller one already examined.
+            let this = &self.rows[row];
+            if self.rows[..row].iter().any(|r| r == this) {
+                return true;
+            }
+            if row + 1 == self.rows.len() {
+                return self.test_candidate();
+            }
+            return self.fill(row + 1, 0, max_used);
+        }
+        // Canonical form: a value is either one already used in this column
+        // or the next unused one.
+        let limit = (max_used[col] + 1).min(self.opts.max_values_per_column as u32 - 1);
+        for v in 0..=limit {
+            self.rows[row][col] = v;
+            let saved = max_used[col];
+            if v > saved {
+                max_used[col] = v;
+            }
+            let keep_going = self.fill(row, col + 1, max_used);
+            max_used[col] = saved;
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn test_candidate(&mut self) -> bool {
+        self.candidates += 1;
+        if self.candidates > self.opts.max_candidates {
+            self.budget_hit = true;
+            return false;
+        }
+        let inst = Instance::from_tuples(
+            self.schema.clone(),
+            self.rows.iter().map(|r| Tuple::from_raw(r.iter().copied())),
+        )
+        .expect("arity correct by construction");
+        if find_violation(&inst, self.d0).is_some() && satisfies_all(&inst, self.d) {
+            self.result = Some(inst);
+            return false;
+        }
+        true
+    }
+}
+
+/// Searches for an instance with at most `opts.max_rows` rows that
+/// satisfies every member of `d` and violates `d0`.
+pub fn search_countermodel(d: &[Td], d0: &Td, opts: &SearchOptions) -> SearchOutcome {
+    let schema = d0.schema();
+    let mut total_candidates = 0usize;
+    for n_rows in 1..=opts.max_rows {
+        let mut search = Search {
+            schema,
+            d,
+            d0,
+            opts,
+            rows: vec![vec![0; schema.arity()]; n_rows],
+            candidates: 0,
+            result: None,
+            budget_hit: false,
+        };
+        let mut max_used = vec![0u32; schema.arity()];
+        // Row 0 in canonical form is all zeros except we still must explore
+        // (first occurrence numbering makes row 0 = (0,0,…,0) always).
+        search.fill(0, 0, &mut max_used);
+        total_candidates += search.candidates;
+        if let Some(m) = search.result {
+            return SearchOutcome::Found(m);
+        }
+        if search.budget_hit {
+            return SearchOutcome::ExhaustedBudget { candidates: total_candidates };
+        }
+    }
+    SearchOutcome::ExhaustedBounds { candidates: total_candidates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfaction::satisfies;
+    use crate::td::TdBuilder;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["A", "B"]).unwrap()
+    }
+
+    #[test]
+    fn finds_simple_countermodel() {
+        // d0: R(a,b) & R(a',b') => R(a,b') — the cross product closure.
+        // The empty premise set does not imply it; the 2-row instance
+        // {(0,0),(1,1)} is the minimal countermodel.
+        let d0 = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("d0")
+            .unwrap();
+        let outcome = search_countermodel(&[], &d0, &SearchOptions::default());
+        let model = outcome.model().expect("countermodel must exist");
+        assert_eq!(model.len(), 2);
+        assert!(!satisfies(model, &d0));
+    }
+
+    #[test]
+    fn respects_premises() {
+        let schema3 = Schema::new("R", ["A", "B", "C"]).unwrap();
+        // Premise: join on A (full TD).
+        let d = TdBuilder::new(schema3.clone())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["a", "b", "c'"])
+            .unwrap()
+            .build("join-a")
+            .unwrap();
+        // Goal: join on B — not implied.
+        let d0 = TdBuilder::new(schema3)
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a'", "b", "c'"])
+            .unwrap()
+            .conclusion(["a", "b", "c'"])
+            .unwrap()
+            .build("join-b")
+            .unwrap();
+        let outcome = search_countermodel(
+            std::slice::from_ref(&d),
+            &d0,
+            &SearchOptions::default(),
+        );
+        let model = outcome.model().expect("countermodel must exist");
+        assert!(satisfies(model, &d));
+        assert!(!satisfies(model, &d0));
+        // Minimal countermodel: two rows, same B, different A, different C.
+        assert_eq!(model.len(), 2);
+    }
+
+    #[test]
+    fn implied_dependency_has_no_countermodel_in_bounds() {
+        // d implies itself: no countermodel can exist at any size.
+        let d = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("d")
+            .unwrap();
+        let opts = SearchOptions { max_rows: 3, max_values_per_column: 3, ..Default::default() };
+        let outcome = search_countermodel(std::slice::from_ref(&d), &d, &opts);
+        assert!(matches!(outcome, SearchOutcome::ExhaustedBounds { .. }));
+    }
+
+    #[test]
+    fn trivial_goal_never_refuted() {
+        let d0 = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .conclusion(["a", "*"])
+            .unwrap()
+            .build("trivial")
+            .unwrap();
+        assert!(d0.is_trivial());
+        let outcome = search_countermodel(&[], &d0, &SearchOptions::default());
+        assert!(matches!(outcome, SearchOutcome::ExhaustedBounds { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let d0 = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("d0")
+            .unwrap();
+        // Premise set that the goal *is* implied by, with a candidate budget
+        // too small to finish the bounds.
+        let opts = SearchOptions {
+            max_rows: 4,
+            max_values_per_column: 4,
+            max_candidates: 3,
+        };
+        let outcome = search_countermodel(std::slice::from_ref(&d0), &d0, &opts);
+        assert!(matches!(outcome, SearchOutcome::ExhaustedBudget { .. }));
+    }
+}

@@ -1,0 +1,454 @@
+//! Embedded implicational dependencies (EIDs).
+//!
+//! "An EID resembles a template dependency, but the conclusion may be a
+//! conjunction of atomic formulas rather than a single atomic formula."
+//! Chandra, Lewis & Makowsky (1981) proved the inference problem for typed
+//! EIDs undecidable; the paper strengthens that result to the special case
+//! of template dependencies ("Since EIDs are more general than template
+//! dependencies, the results of this paper imply the undecidability results
+//! of Chandra et al., but not vice versa").
+//!
+//! This module provides the baseline class: satisfaction, the TD ↪ EID
+//! embedding, and a chase-based semi-decision procedure for EID implication,
+//! mirroring [`crate::inference`].
+
+use std::ops::ControlFlow;
+
+use crate::chase::ChaseBudget;
+use crate::error::{CoreError, Result};
+use crate::homomorphism::{for_each_match, match_first, Binding};
+use crate::ids::{AttrId, Value};
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::td::{Td, TdRow};
+use crate::tuple::Tuple;
+
+/// An embedded implicational dependency: antecedent rows and **one or more**
+/// conclusion rows, which may share existentially quantified variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eid {
+    schema: Schema,
+    name: String,
+    antecedents: Vec<TdRow>,
+    conclusions: Vec<TdRow>,
+}
+
+impl Eid {
+    /// Creates an EID, validating arities and non-emptiness.
+    pub fn new(
+        schema: Schema,
+        antecedents: Vec<TdRow>,
+        conclusions: Vec<TdRow>,
+        name: impl Into<String>,
+    ) -> Result<Self> {
+        if antecedents.is_empty() {
+            return Err(CoreError::EmptyAntecedents);
+        }
+        if conclusions.is_empty() {
+            return Err(CoreError::MissingConclusion);
+        }
+        for row in antecedents.iter().chain(conclusions.iter()) {
+            if row.arity() != schema.arity() {
+                return Err(CoreError::ArityMismatch {
+                    expected: schema.arity(),
+                    got: row.arity(),
+                });
+            }
+        }
+        Ok(Self { schema, name: name.into(), antecedents, conclusions })
+    }
+
+    /// Embeds a template dependency (an EID with a single conclusion atom).
+    pub fn from_td(td: &Td) -> Eid {
+        Eid {
+            schema: td.schema().clone(),
+            name: td.name().to_owned(),
+            antecedents: td.antecedents().to_vec(),
+            conclusions: vec![td.conclusion().clone()],
+        }
+    }
+
+    /// Converts back to a TD if there is exactly one conclusion atom.
+    pub fn to_td(&self) -> Option<Td> {
+        if self.conclusions.len() != 1 {
+            return None;
+        }
+        Td::new(
+            self.schema.clone(),
+            self.antecedents.clone(),
+            self.conclusions[0].clone(),
+            self.name.clone(),
+        )
+        .ok()
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The dependency's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The antecedent rows.
+    pub fn antecedents(&self) -> &[TdRow] {
+        &self.antecedents
+    }
+
+    /// The conclusion rows.
+    pub fn conclusions(&self) -> &[TdRow] {
+        &self.conclusions
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// `true` if a conclusion variable at `(row, col)` is universally
+    /// quantified (appears in some antecedent at that column).
+    fn is_universal(&self, row: usize, col: AttrId) -> bool {
+        let v = self.conclusions[row].get(col);
+        self.antecedents.iter().any(|r| r.get(col) == v)
+    }
+
+    /// `true` if every conclusion component is universally quantified.
+    pub fn is_full(&self) -> bool {
+        (0..self.conclusions.len())
+            .all(|r| self.schema.attr_ids().all(|c| self.is_universal(r, c)))
+    }
+}
+
+/// `true` if the conclusion conjunction is witnessed in `instance` under
+/// `binding`. Existential variables shared between conclusion atoms must be
+/// instantiated consistently — this is exactly a homomorphism search seeded
+/// with the antecedent binding.
+pub fn eid_conclusion_witnessed(
+    instance: &Instance,
+    eid: &Eid,
+    binding: &Binding,
+) -> bool {
+    match_first(eid.conclusions(), instance, binding).is_some()
+}
+
+/// Finds a violating antecedent match, or `None` if `instance ⊨ eid`.
+pub fn eid_find_violation(instance: &Instance, eid: &Eid) -> Option<Binding> {
+    let mut violation = None;
+    for_each_match(
+        eid.antecedents(),
+        instance,
+        &Binding::new(eid.arity()),
+        |b| {
+            if eid_conclusion_witnessed(instance, eid, b) {
+                ControlFlow::Continue(())
+            } else {
+                violation = Some(b.clone());
+                ControlFlow::Break(())
+            }
+        },
+    );
+    violation
+}
+
+/// `true` if `instance ⊨ eid`.
+pub fn eid_satisfies(instance: &Instance, eid: &Eid) -> bool {
+    eid_find_violation(instance, eid).is_none()
+}
+
+/// Verdict of [`implies_eid`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EidVerdict {
+    /// The implication holds (goal witnessed during the chase).
+    Implied,
+    /// The chase terminated without witnessing the goal; the terminal state
+    /// is a finite countermodel.
+    NotImplied(Instance),
+    /// Budget exhausted.
+    Unknown,
+}
+
+/// Semi-decides `d ⊨ d0` for EIDs by chasing `d0`'s frozen antecedent
+/// tableau. Firing an EID trigger adds **all** conclusion rows, with shared
+/// fresh nulls for shared existential variables.
+pub fn implies_eid(d: &[Eid], d0: &Eid, budget: ChaseBudget) -> Result<EidVerdict> {
+    for eid in d {
+        d0.schema().expect_same(eid.schema())?;
+    }
+    // Freeze d0's antecedents.
+    let mut state = Instance::new(d0.schema().clone());
+    let mut frozen = Binding::new(d0.arity());
+    for row in d0.antecedents() {
+        let mut vals = Vec::with_capacity(d0.arity());
+        for (c, v) in row.components() {
+            let val = match frozen.get(c, v) {
+                Some(val) => val,
+                None => {
+                    let val = Value::new(v.raw());
+                    frozen.bind(c, v, val);
+                    val
+                }
+            };
+            vals.push(val);
+        }
+        state.insert(Tuple::new(vals))?;
+    }
+
+    let goal_met = |state: &Instance| -> bool {
+        eid_conclusion_witnessed(state, d0, &frozen)
+    };
+
+    if goal_met(&state) {
+        return Ok(EidVerdict::Implied);
+    }
+
+    let mut steps = 0usize;
+    for _round in 0..budget.max_rounds {
+        // Snapshot active triggers.
+        let snapshot = state.clone();
+        let mut pending: Vec<(usize, Binding)> = Vec::new();
+        for (i, eid) in d.iter().enumerate() {
+            for_each_match(
+                eid.antecedents(),
+                &snapshot,
+                &Binding::new(eid.arity()),
+                |b| {
+                    if !eid_conclusion_witnessed(&snapshot, eid, b) {
+                        pending.push((i, b.clone()));
+                    }
+                    if steps + pending.len() >= budget.max_steps {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
+        }
+        if pending.is_empty() {
+            return Ok(EidVerdict::NotImplied(state));
+        }
+        let mut fired_any = false;
+        for (i, binding) in pending {
+            if steps >= budget.max_steps || state.len() >= budget.max_rows {
+                return Ok(EidVerdict::Unknown);
+            }
+            let eid = &d[i];
+            if eid_conclusion_witnessed(&state, eid, &binding) {
+                continue;
+            }
+            // Fire: add every conclusion row, sharing fresh nulls.
+            let mut full = binding.clone();
+            let mut added = false;
+            for row in eid.conclusions() {
+                let mut vals = Vec::with_capacity(eid.arity());
+                for (c, v) in row.components() {
+                    let val = match full.get(c, v) {
+                        Some(val) => val,
+                        None => {
+                            let fresh = state.fresh_value(c);
+                            full.bind(c, v, fresh);
+                            fresh
+                        }
+                    };
+                    vals.push(val);
+                }
+                let (_, new) = state.insert(Tuple::new(vals))?;
+                added |= new;
+            }
+            if added {
+                steps += 1;
+                fired_any = true;
+                if goal_met(&state) {
+                    return Ok(EidVerdict::Implied);
+                }
+            }
+        }
+        if !fired_any {
+            return Ok(EidVerdict::NotImplied(state));
+        }
+    }
+    Ok(EidVerdict::Unknown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::td::TdBuilder;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["A", "B", "C"]).unwrap()
+    }
+
+    /// The paper's EID example: R(a,b,c) & R(a,b',c') ⇒ R(a*,b,c) & R(a*,b,c')
+    /// — "if one supplier supplies a garment b in a size c and also supplies
+    /// some garment in size c', then there is a supplier of garment b in
+    /// both sizes c and c'."
+    fn paper_eid() -> Eid {
+        // Build via a helper TD to get consistent variable ids, then attach
+        // a second conclusion row sharing the existential supplier.
+        let base = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["astar", "b", "c"])
+            .unwrap()
+            .build("base")
+            .unwrap();
+        let astar = base.conclusion().get(AttrId::new(0));
+        let b = base.antecedents()[0].get(AttrId::new(1));
+        let c = base.antecedents()[0].get(AttrId::new(2));
+        let c2 = base.antecedents()[1].get(AttrId::new(2));
+        let second = TdRow::new([astar, b, c2]);
+        Eid::new(
+            schema(),
+            base.antecedents().to_vec(),
+            vec![TdRow::new([astar, b, c]), second],
+            "paper-eid",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            Eid::new(schema(), vec![], vec![TdRow::from_raw([0, 0, 0])], "x"),
+            Err(CoreError::EmptyAntecedents)
+        ));
+        assert!(matches!(
+            Eid::new(schema(), vec![TdRow::from_raw([0, 0, 0])], vec![], "x"),
+            Err(CoreError::MissingConclusion)
+        ));
+        assert!(matches!(
+            Eid::new(
+                schema(),
+                vec![TdRow::from_raw([0, 0])],
+                vec![TdRow::from_raw([0, 0, 0])],
+                "x"
+            ),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn paper_eid_satisfaction() {
+        let eid = paper_eid();
+        assert!(!eid.is_full());
+        let mut db = Instance::new(schema());
+        // Supplier 0 supplies (style 0, size 0) and (style 1, size 1).
+        db.insert_values([0, 0, 0]).unwrap();
+        db.insert_values([0, 1, 1]).unwrap();
+        // Need one supplier with (style 0, size 0) AND (style 0, size 1).
+        assert!(!eid_satisfies(&db, &eid));
+        // A supplier covering only one of the two sizes does not help.
+        db.insert_values([1, 0, 1]).unwrap();
+        assert!(!eid_satisfies(&db, &eid));
+        // Supplier 2 covers both sizes of style 0.
+        db.insert_values([2, 0, 0]).unwrap();
+        db.insert_values([2, 0, 1]).unwrap();
+        // Still violated: the swapped antecedent match (style 1, sizes 1
+        // and 0) needs its own witness.
+        assert!(!eid_satisfies(&db, &eid));
+        db.insert_values([3, 1, 1]).unwrap();
+        db.insert_values([3, 1, 0]).unwrap();
+        assert!(eid_satisfies(&db, &eid));
+    }
+
+    #[test]
+    fn shared_existentials_must_be_consistent() {
+        let eid = paper_eid();
+        let mut db = Instance::new(schema());
+        db.insert_values([0, 0, 0]).unwrap();
+        db.insert_values([0, 1, 1]).unwrap();
+        // Two different suppliers each covering one size: still violated,
+        // because a* is shared between the conclusion atoms.
+        db.insert_values([1, 0, 0]).unwrap();
+        db.insert_values([2, 0, 1]).unwrap();
+        assert!(!eid_satisfies(&db, &eid));
+    }
+
+    #[test]
+    fn td_embedding_roundtrip() {
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["*", "b", "c'"])
+            .unwrap()
+            .build("fig1")
+            .unwrap();
+        let eid = Eid::from_td(&td);
+        assert_eq!(eid.conclusions().len(), 1);
+        let back = eid.to_td().unwrap();
+        assert!(td.eq_up_to_renaming(&back));
+        // Satisfaction agrees on a sample instance.
+        let mut db = Instance::new(schema());
+        db.insert_values([0, 0, 0]).unwrap();
+        db.insert_values([0, 1, 1]).unwrap();
+        assert_eq!(
+            crate::satisfaction::satisfies(&db, &td),
+            eid_satisfies(&db, &eid)
+        );
+        // Multi-conclusion EIDs do not convert.
+        assert!(paper_eid().to_td().is_none());
+    }
+
+    #[test]
+    fn eid_self_implication() {
+        let eid = paper_eid();
+        let verdict =
+            implies_eid(std::slice::from_ref(&eid), &eid, ChaseBudget::default())
+                .unwrap();
+        assert_eq!(verdict, EidVerdict::Implied);
+    }
+
+    #[test]
+    fn eid_implies_weaker_td() {
+        // The paper EID implies the single-atom TD
+        // R(a,b,c) & R(a,b',c') => exists a*: R(a*, b, c').
+        let eid = paper_eid();
+        let weaker = Eid::from_td(
+            &TdBuilder::new(schema())
+                .antecedent(["a", "b", "c"])
+                .unwrap()
+                .antecedent(["a", "b'", "c'"])
+                .unwrap()
+                .conclusion(["*", "b", "c'"])
+                .unwrap()
+                .build("fig1")
+                .unwrap(),
+        );
+        let verdict =
+            implies_eid(std::slice::from_ref(&eid), &weaker, ChaseBudget::default())
+                .unwrap();
+        assert_eq!(verdict, EidVerdict::Implied);
+    }
+
+    #[test]
+    fn eid_non_implication_gives_countermodel() {
+        let eid = paper_eid();
+        // The reverse direction fails: fig1 does not imply the paper EID.
+        let fig1 = Eid::from_td(
+            &TdBuilder::new(schema())
+                .antecedent(["a", "b", "c"])
+                .unwrap()
+                .antecedent(["a", "b'", "c'"])
+                .unwrap()
+                .conclusion(["*", "b", "c'"])
+                .unwrap()
+                .build("fig1")
+                .unwrap(),
+        );
+        match implies_eid(std::slice::from_ref(&fig1), &eid, ChaseBudget::default())
+            .unwrap()
+        {
+            EidVerdict::NotImplied(model) => {
+                assert!(eid_satisfies(&model, &fig1));
+                assert!(!eid_satisfies(&model, &eid));
+            }
+            other => panic!("expected NotImplied, got {other:?}"),
+        }
+    }
+}

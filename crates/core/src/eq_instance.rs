@@ -1,0 +1,281 @@
+//! The equivalence-relation view of an instance.
+//!
+//! The paper never mentions attribute *values*: "No attribute values need be
+//! mentioned explicitly in these diagrams, since they are all quantified;
+//! only the pattern of equality among attribute values … \[is\] important."
+//! Its part (B) model construction likewise specifies a universe of rows and,
+//! for each attribute, an equivalence relation (`≈_{A′}`, `≈_{A″}`, `≈_E`,
+//! `≈_{E′}`) on rows.
+//!
+//! [`EqInstance`] implements that view directly: `n` rows and one
+//! [`UnionFind`] per attribute. Rows `r`, `s` *agree on attribute `A`*
+//! exactly when they are in the same `A`-class. Converting to an
+//! [`Instance`] labels each class with a fresh per-column value, which is a
+//! lossless change of representation.
+
+use crate::error::{CoreError, Result};
+use crate::ids::{AttrId, RowId};
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::union_find::UnionFind;
+
+/// Rows plus one equivalence relation per attribute.
+#[derive(Debug, Clone)]
+pub struct EqInstance {
+    schema: Schema,
+    n_rows: usize,
+    /// One union–find per column, each over `0..n_rows`.
+    parts: Vec<UnionFind>,
+}
+
+impl EqInstance {
+    /// Creates an instance with `n_rows` rows, all attributes initially
+    /// holding only trivially (every class a singleton).
+    pub fn new(schema: Schema, n_rows: usize) -> Self {
+        let arity = schema.arity();
+        Self {
+            schema,
+            n_rows,
+            parts: (0..arity).map(|_| UnionFind::new(n_rows)).collect(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Appends a fresh row (a singleton class in every attribute) and
+    /// returns its id.
+    pub fn add_row(&mut self) -> RowId {
+        for uf in &mut self.parts {
+            uf.push();
+        }
+        let id = RowId::from(self.n_rows);
+        self.n_rows += 1;
+        id
+    }
+
+    fn check_row(&self, r: RowId) -> Result<()> {
+        if r.index() < self.n_rows {
+            Ok(())
+        } else {
+            Err(CoreError::RowOutOfRange { row: r.index(), len: self.n_rows })
+        }
+    }
+
+    /// Declares that rows `a` and `b` agree on attribute `col` (merging
+    /// their classes). Returns `true` if the classes were distinct.
+    pub fn merge(&mut self, col: AttrId, a: RowId, b: RowId) -> Result<bool> {
+        self.check_row(a)?;
+        self.check_row(b)?;
+        Ok(self.parts[col.index()].union(a.index(), b.index()))
+    }
+
+    /// `true` if rows `a` and `b` agree on attribute `col`.
+    pub fn same(&self, col: AttrId, a: RowId, b: RowId) -> bool {
+        a.index() < self.n_rows
+            && b.index() < self.n_rows
+            && self.parts[col.index()].same_immutable(a.index(), b.index())
+    }
+
+    /// The classes of attribute `col`, each a sorted vector of row indices.
+    pub fn classes(&self, col: AttrId) -> Vec<Vec<usize>> {
+        self.parts[col.index()].classes()
+    }
+
+    /// Size of row `r`'s class under attribute `col`.
+    pub fn class_size(&self, col: AttrId, r: RowId) -> usize {
+        self.parts[col.index()].class_size(r.index())
+    }
+
+    /// Declares `col` *total*: all rows agree on it.
+    pub fn make_total(&mut self, col: AttrId) {
+        for i in 1..self.n_rows {
+            self.parts[col.index()].union(0, i);
+        }
+    }
+
+    /// Converts to the explicit-tuple view: each class of each attribute is
+    /// labelled with a dense per-column value.
+    pub fn to_instance(&self) -> Instance {
+        let mut inst = Instance::new(self.schema.clone());
+        let labels: Vec<Vec<u32>> =
+            self.parts.iter().map(|uf| uf.dense_labels()).collect();
+        for row in 0..self.n_rows {
+            let tuple =
+                Tuple::from_raw(labels.iter().map(|col_labels| col_labels[row]));
+            inst.insert(tuple).expect("arity is schema arity by construction");
+        }
+        inst
+    }
+
+    /// Builds the partition view from the explicit-tuple view: rows agree on
+    /// an attribute exactly when their values there coincide.
+    ///
+    /// Note: `Instance` deduplicates tuples, so `from_instance(to_instance)`
+    /// may have fewer rows than the original if two rows agreed everywhere.
+    pub fn from_instance(inst: &Instance) -> Self {
+        let mut eq = EqInstance::new(inst.schema().clone(), inst.len());
+        for col in inst.schema().attr_ids() {
+            let mut first_with: std::collections::HashMap<u32, usize> =
+                Default::default();
+            for (row, t) in inst.rows() {
+                let v = t.get(col).raw();
+                match first_with.entry(v) {
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        eq.parts[col.index()].union(*e.get(), row.index());
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(row.index());
+                    }
+                }
+            }
+        }
+        eq
+    }
+
+    /// All row ids.
+    pub fn row_ids(&self) -> impl Iterator<Item = RowId> {
+        (0..self.n_rows).map(RowId::from)
+    }
+}
+
+impl std::fmt::Display for EqInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} [{} rows, partition view]", self.schema.summary(), self.n_rows)?;
+        for (col, name) in self.schema.attrs() {
+            let cls = self.classes(col);
+            let nontrivial: Vec<&Vec<usize>> =
+                cls.iter().filter(|c| c.len() > 1).collect();
+            write!(f, "  {name}: ")?;
+            if nontrivial.is_empty() {
+                writeln!(f, "trivial")?;
+            } else {
+                for (i, c) in nontrivial.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(
+                        f,
+                        "{{{}}}",
+                        c.iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["A", "B"]).unwrap()
+    }
+
+    #[test]
+    fn merge_and_query() {
+        let mut eq = EqInstance::new(schema(), 3);
+        let (a, b) = (AttrId::new(0), AttrId::new(1));
+        let (r0, r1, r2) = (RowId::new(0), RowId::new(1), RowId::new(2));
+        assert!(!eq.same(a, r0, r1));
+        assert!(eq.merge(a, r0, r1).unwrap());
+        assert!(eq.same(a, r0, r1));
+        assert!(!eq.same(b, r0, r1), "columns are independent");
+        assert!(!eq.same(a, r1, r2));
+        assert_eq!(eq.class_size(a, r0), 2);
+    }
+
+    #[test]
+    fn row_bounds_checked() {
+        let mut eq = EqInstance::new(schema(), 1);
+        assert!(matches!(
+            eq.merge(AttrId::new(0), RowId::new(0), RowId::new(5)),
+            Err(CoreError::RowOutOfRange { .. })
+        ));
+        assert!(!eq.same(AttrId::new(0), RowId::new(0), RowId::new(5)));
+    }
+
+    #[test]
+    fn add_row_extends_all_columns() {
+        let mut eq = EqInstance::new(schema(), 1);
+        let r1 = eq.add_row();
+        assert_eq!(eq.len(), 2);
+        assert!(!eq.same(AttrId::new(0), RowId::new(0), r1));
+        eq.merge(AttrId::new(1), RowId::new(0), r1).unwrap();
+        assert!(eq.same(AttrId::new(1), RowId::new(0), r1));
+    }
+
+    #[test]
+    fn make_total() {
+        let mut eq = EqInstance::new(schema(), 4);
+        eq.make_total(AttrId::new(0));
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(eq.same(AttrId::new(0), RowId::new(i), RowId::new(j)));
+            }
+        }
+        assert!(!eq.same(AttrId::new(1), RowId::new(0), RowId::new(1)));
+    }
+
+    #[test]
+    fn to_instance_preserves_agreement_pattern() {
+        let mut eq = EqInstance::new(schema(), 3);
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(2)).unwrap();
+        eq.merge(AttrId::new(1), RowId::new(1), RowId::new(2)).unwrap();
+        let inst = eq.to_instance();
+        assert_eq!(inst.len(), 3);
+        let ts: Vec<&Tuple> = inst.tuples().collect();
+        assert!(ts[0].agrees_on(ts[2], AttrId::new(0)));
+        assert!(!ts[0].agrees_on(ts[1], AttrId::new(0)));
+        assert!(ts[1].agrees_on(ts[2], AttrId::new(1)));
+        assert!(!ts[0].agrees_on(ts[1], AttrId::new(1)));
+    }
+
+    #[test]
+    fn roundtrip_through_instance() {
+        let mut eq = EqInstance::new(schema(), 4);
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1)).unwrap();
+        eq.merge(AttrId::new(1), RowId::new(2), RowId::new(3)).unwrap();
+        let back = EqInstance::from_instance(&eq.to_instance());
+        assert_eq!(back.len(), 4);
+        for col in [AttrId::new(0), AttrId::new(1)] {
+            for i in 0..4u32 {
+                for j in 0..4u32 {
+                    assert_eq!(
+                        eq.same(col, RowId::new(i), RowId::new(j)),
+                        back.same(col, RowId::new(i), RowId::new(j)),
+                        "agreement must be preserved at col {col} rows {i},{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_mentions_nontrivial_classes() {
+        let mut eq = EqInstance::new(schema(), 3);
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1)).unwrap();
+        let s = eq.to_string();
+        assert!(s.contains("A: {0,1}"));
+        assert!(s.contains("B: trivial"));
+    }
+}

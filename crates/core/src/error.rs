@@ -1,0 +1,124 @@
+//! Error types for `td-core`.
+
+use std::fmt;
+
+/// Errors produced while building schemas, dependencies, instances, or while
+/// parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A tuple or row had the wrong number of components for its schema.
+    ArityMismatch {
+        /// Arity demanded by the schema.
+        expected: usize,
+        /// Arity actually supplied.
+        got: usize,
+    },
+    /// A schema was declared with no attributes.
+    EmptySchema,
+    /// Two attributes of one schema share a name.
+    DuplicateAttribute(String),
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// The paper's typing restriction was violated: one variable name was
+    /// used in two different columns (whose domains are disjoint).
+    TypingViolation {
+        /// The offending variable name.
+        name: String,
+        /// First column the name appeared in.
+        first_column: String,
+        /// Second, conflicting column.
+        second_column: String,
+    },
+    /// A template dependency was declared with no antecedent rows.
+    EmptyAntecedents,
+    /// A template dependency was declared without a conclusion row.
+    MissingConclusion,
+    /// Two instances or dependencies over different schemas were combined.
+    SchemaMismatch {
+        /// Schema expected by the operation.
+        expected: String,
+        /// Schema actually supplied.
+        got: String,
+    },
+    /// A diagram was structurally invalid (bad node id, conclusion out of
+    /// range, self-loop edge, …).
+    InvalidDiagram(String),
+    /// A row id was out of range for the instance it was used with.
+    RowOutOfRange {
+        /// The offending row index.
+        row: usize,
+        /// Number of rows in the instance.
+        len: usize,
+    },
+    /// An error found while replaying a chase proof.
+    ProofReplay(String),
+    /// A parse error in the text format, with 1-based line number.
+    Parse {
+        /// Line on which the error occurred (1-based).
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} components, got {got}")
+            }
+            CoreError::EmptySchema => write!(f, "schema must have at least one attribute"),
+            CoreError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+            CoreError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            CoreError::TypingViolation { name, first_column, second_column } => write!(
+                f,
+                "typing violation: variable `{name}` used in columns `{first_column}` and \
+                 `{second_column}` (attribute domains are disjoint)"
+            ),
+            CoreError::EmptyAntecedents => {
+                write!(f, "a template dependency needs at least one antecedent row")
+            }
+            CoreError::MissingConclusion => {
+                write!(f, "a template dependency needs a conclusion row")
+            }
+            CoreError::SchemaMismatch { expected, got } => {
+                write!(f, "schema mismatch: expected `{expected}`, got `{got}`")
+            }
+            CoreError::InvalidDiagram(msg) => write!(f, "invalid diagram: {msg}"),
+            CoreError::RowOutOfRange { row, len } => {
+                write!(f, "row {row} out of range (instance has {len} rows)")
+            }
+            CoreError::ProofReplay(msg) => write!(f, "chase proof replay failed: {msg}"),
+            CoreError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T, E = CoreError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = CoreError::TypingViolation {
+            name: "x".into(),
+            first_column: "A".into(),
+            second_column: "B".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('x') && s.contains('A') && s.contains('B'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::EmptySchema);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,480 @@
+//! Pattern matching: homomorphisms from variable rows into instances.
+//!
+//! Everything the paper does with templates — checking satisfaction,
+//! finding chase triggers, witnessing conclusions — reduces to one
+//! operation: *extend a partial variable binding so that every pattern row
+//! maps to some tuple of the instance*. This module implements that search
+//! (backtracking, deterministic order) once, and the rest of the crate reuses
+//! it.
+//!
+//! Distinct pattern rows may map to the **same** tuple (homomorphisms need
+//! not be injective); this matters — the paper's part (B) case analysis
+//! explicitly walks through the collapsed cases ("if t₁ = … = t₅, then ∗ can
+//! be chosen as the same element").
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+use crate::ids::{AttrId, Value, Var};
+use crate::instance::Instance;
+use crate::td::TdRow;
+
+/// A partial assignment of values to (column-scoped) variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Binding {
+    cols: Vec<HashMap<Var, Value>>,
+}
+
+impl Binding {
+    /// An empty binding for an `arity`-column schema.
+    pub fn new(arity: usize) -> Self {
+        Self { cols: vec![HashMap::new(); arity] }
+    }
+
+    /// The value bound to `var` in `col`, if any.
+    pub fn get(&self, col: AttrId, var: Var) -> Option<Value> {
+        self.cols[col.index()].get(&var).copied()
+    }
+
+    /// Binds `var` (in `col`) to `value`. Returns `false` on conflict with
+    /// an existing different binding; returns `true` (without change) if the
+    /// binding already agrees.
+    pub fn bind(&mut self, col: AttrId, var: Var, value: Value) -> bool {
+        match self.cols[col.index()].entry(var) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get() == value,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(value);
+                true
+            }
+        }
+    }
+
+    /// Removes the binding of `var` in `col`.
+    pub fn unbind(&mut self, col: AttrId, var: Var) {
+        self.cols[col.index()].remove(&var);
+    }
+
+    /// Number of bound variables over all columns.
+    pub fn len(&self) -> usize {
+        self.cols.iter().map(HashMap::len).sum()
+    }
+
+    /// `true` if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.cols.iter().all(HashMap::is_empty)
+    }
+
+    /// A deterministic, sorted dump of the binding (for proofs and display).
+    pub fn to_sorted_vec(&self) -> Vec<(AttrId, Var, Value)> {
+        let mut out = Vec::with_capacity(self.len());
+        for (c, m) in self.cols.iter().enumerate() {
+            for (&var, &val) in m {
+                out.push((AttrId::from(c), var, val));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Rebuilds a binding from a dump produced by [`Self::to_sorted_vec`].
+    pub fn from_entries(
+        arity: usize,
+        entries: impl IntoIterator<Item = (AttrId, Var, Value)>,
+    ) -> Option<Self> {
+        let mut b = Binding::new(arity);
+        for (c, var, val) in entries {
+            if c.index() >= arity || !b.bind(c, var, val) {
+                return None;
+            }
+        }
+        Some(b)
+    }
+}
+
+/// Applies `row` under `binding`; `None` for any unbound cell.
+pub fn apply_row(binding: &Binding, row: &TdRow) -> Vec<Option<Value>> {
+    row.components().map(|(c, v)| binding.get(c, v)).collect()
+}
+
+/// Tries to match `row` against `tuple`, extending `binding`. On success
+/// returns the list of newly bound `(col, var)` pairs (for rollback); on
+/// conflict rolls back and returns `None`.
+fn try_match_row(
+    binding: &mut Binding,
+    row: &TdRow,
+    tuple: &crate::tuple::Tuple,
+) -> Option<Vec<(AttrId, Var)>> {
+    let mut added = Vec::new();
+    for (col, var) in row.components() {
+        let val = tuple.get(col);
+        match binding.get(col, var) {
+            Some(existing) if existing == val => {}
+            Some(_) => {
+                for &(c, v) in &added {
+                    binding.unbind(c, v);
+                }
+                return None;
+            }
+            None => {
+                binding.bind(col, var, val);
+                added.push((col, var));
+            }
+        }
+    }
+    Some(added)
+}
+
+fn search<F>(
+    pattern: &[TdRow],
+    target: &Instance,
+    binding: &mut Binding,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    let Some((row, rest)) = pattern.split_first() else {
+        return visit(binding);
+    };
+    for tuple in target.tuples() {
+        if let Some(added) = try_match_row(binding, row, tuple) {
+            let flow = search(rest, target, binding, visit);
+            for (c, v) in added {
+                binding.unbind(c, v);
+            }
+            flow?;
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Visits every extension of `seed` that maps all of `pattern` into
+/// `target`. The visitor returns `ControlFlow::Break(())` to stop early.
+/// Returns `true` if the enumeration ran to completion.
+pub fn for_each_match<F>(
+    pattern: &[TdRow],
+    target: &Instance,
+    seed: &Binding,
+    mut visit: F,
+) -> bool
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    let mut binding = seed.clone();
+    search(pattern, target, &mut binding, &mut visit).is_continue()
+}
+
+/// The first matching extension of `seed`, if any.
+pub fn match_first(
+    pattern: &[TdRow],
+    target: &Instance,
+    seed: &Binding,
+) -> Option<Binding> {
+    let mut found = None;
+    for_each_match(pattern, target, seed, |b| {
+        found = Some(b.clone());
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Up to `limit` matching extensions of `seed` (deterministic order).
+pub fn match_all(
+    pattern: &[TdRow],
+    target: &Instance,
+    seed: &Binding,
+    limit: usize,
+) -> Vec<Binding> {
+    let mut out = Vec::new();
+    for_each_match(pattern, target, seed, |b| {
+        out.push(b.clone());
+        if out.len() >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    out
+}
+
+/// Finds a homomorphism from instance `a` into instance `b` that **fixes**
+/// every value of `fixed` pointwise: a per-column value mapping under which
+/// every row of `a` lands on a row of `b`, with the fixed values acting as
+/// constants. Returns the mapping as a [`Binding`] over `a`'s values read
+/// as variables.
+///
+/// Fixing matters: with no constants every instance collapses
+/// homomorphically onto any single row, so the unconstrained relation is
+/// trivial. The meaningful notion — behind *universal models* — fixes the
+/// frozen tableau: a terminated chase result maps homomorphically into
+/// every model of the dependencies containing the initial instance, by a
+/// hom that is the identity on the initial values. That is why
+/// [`crate::inference::InferenceVerdict::NotImplied`] is conclusive.
+pub fn instance_hom_fixing(
+    a: &Instance,
+    b: &Instance,
+    fixed: &Instance,
+) -> Option<Binding> {
+    if a.schema() != b.schema() || a.schema() != fixed.schema() {
+        return None;
+    }
+    let arity = a.schema().arity();
+    let mut seed = Binding::new(arity);
+    for col in a.schema().attr_ids() {
+        for v in fixed.active_domain(col) {
+            if !seed.bind(col, crate::ids::Var::new(v.raw()), v) {
+                return None;
+            }
+        }
+    }
+    // Read each row of `a` as a pattern row whose variables are the values.
+    let pattern: Vec<TdRow> = a
+        .tuples()
+        .map(|t| TdRow::new(t.values().iter().map(|v| crate::ids::Var::new(v.raw()))))
+        .collect();
+    match_first(&pattern, b, &seed)
+}
+
+/// [`instance_hom_fixing`] with nothing fixed. Note this is only nontrivial
+/// when `b` is empty and `a` is not — see the fixing variant's docs.
+pub fn instance_hom(a: &Instance, b: &Instance) -> Option<Binding> {
+    let empty = Instance::new(a.schema().clone());
+    instance_hom_fixing(a, b, &empty)
+}
+
+/// `true` if `a` maps into `b` by a homomorphism fixing `fixed` pointwise.
+pub fn hom_embeds_fixing(a: &Instance, b: &Instance, fixed: &Instance) -> bool {
+    instance_hom_fixing(a, b, fixed).is_some()
+}
+
+/// Counts matches, up to `limit`.
+pub fn count_matches(
+    pattern: &[TdRow],
+    target: &Instance,
+    seed: &Binding,
+    limit: usize,
+) -> usize {
+    let mut n = 0usize;
+    for_each_match(pattern, target, seed, |_| {
+        n += 1;
+        if n >= limit {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::td::TdBuilder;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["A", "B"]).unwrap()
+    }
+
+    /// Pattern rows of the garment-style dependency `R(a,b) & R(a,b')`.
+    fn pattern() -> Vec<TdRow> {
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a", "b'"])
+            .unwrap()
+            .conclusion(["a", "b"])
+            .unwrap()
+            .build("p")
+            .unwrap();
+        td.antecedents().to_vec()
+    }
+
+    #[test]
+    fn binding_bind_and_conflict() {
+        let mut b = Binding::new(2);
+        assert!(b.is_empty());
+        assert!(b.bind(AttrId::new(0), Var::new(0), Value::new(7)));
+        assert!(b.bind(AttrId::new(0), Var::new(0), Value::new(7)));
+        assert!(!b.bind(AttrId::new(0), Var::new(0), Value::new(8)));
+        // Same numeric var in another column is independent.
+        assert!(b.bind(AttrId::new(1), Var::new(0), Value::new(8)));
+        assert_eq!(b.len(), 2);
+        b.unbind(AttrId::new(0), Var::new(0));
+        assert_eq!(b.get(AttrId::new(0), Var::new(0)), None);
+    }
+
+    #[test]
+    fn binding_dump_roundtrip() {
+        let mut b = Binding::new(2);
+        b.bind(AttrId::new(1), Var::new(3), Value::new(9));
+        b.bind(AttrId::new(0), Var::new(1), Value::new(2));
+        let dump = b.to_sorted_vec();
+        assert_eq!(dump.len(), 2);
+        let b2 = Binding::from_entries(2, dump).unwrap();
+        assert_eq!(b, b2);
+        // Conflicting entries are rejected.
+        assert!(Binding::from_entries(
+            2,
+            [
+                (AttrId::new(0), Var::new(0), Value::new(1)),
+                (AttrId::new(0), Var::new(0), Value::new(2)),
+            ],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn matches_share_variables() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 10]).unwrap();
+        inst.insert_values([1, 11]).unwrap();
+        inst.insert_values([2, 20]).unwrap();
+        let p = pattern();
+        // Matches: both rows must share the A value.
+        // a=1: (r0,r0),(r0,r1),(r1,r0),(r1,r1) ; a=2: (r2,r2). Total 5.
+        let all = match_all(&p, &inst, &Binding::new(2), 100);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn non_injective_matches_allowed() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 10]).unwrap();
+        let p = pattern();
+        // Both pattern rows map to the single tuple.
+        let m = match_first(&p, &inst, &Binding::new(2)).unwrap();
+        assert_eq!(m.get(AttrId::new(0), Var::new(0)), Some(Value::new(1)));
+    }
+
+    #[test]
+    fn seeded_search_restricts() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 10]).unwrap();
+        inst.insert_values([2, 20]).unwrap();
+        let p = pattern();
+        let mut seed = Binding::new(2);
+        // Force a = 2.
+        let a_var = p[0].get(AttrId::new(0));
+        seed.bind(AttrId::new(0), a_var, Value::new(2));
+        let all = match_all(&p, &inst, &seed, 100);
+        assert_eq!(all.len(), 1);
+        assert_eq!(
+            all[0].get(AttrId::new(1), p[0].get(AttrId::new(1))),
+            Some(Value::new(20))
+        );
+    }
+
+    #[test]
+    fn no_match_when_seed_conflicts() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 10]).unwrap();
+        let p = pattern();
+        let mut seed = Binding::new(2);
+        seed.bind(AttrId::new(0), p[0].get(AttrId::new(0)), Value::new(99));
+        assert!(match_first(&p, &inst, &seed).is_none());
+    }
+
+    #[test]
+    fn empty_pattern_matches_once() {
+        let inst = Instance::new(schema());
+        assert_eq!(count_matches(&[], &inst, &Binding::new(2), 10), 1);
+    }
+
+    #[test]
+    fn empty_instance_matches_nothing() {
+        let inst = Instance::new(schema());
+        assert!(match_first(&pattern(), &inst, &Binding::new(2)).is_none());
+    }
+
+    #[test]
+    fn count_respects_limit() {
+        let mut inst = Instance::new(schema());
+        for i in 0..4 {
+            inst.insert_values([1, 10 + i]).unwrap();
+        }
+        // 16 (a shared) matches, limit at 7.
+        assert_eq!(count_matches(&pattern(), &inst, &Binding::new(2), 7), 7);
+    }
+
+    #[test]
+    fn instance_homomorphisms() {
+        let mut a = Instance::new(schema());
+        a.insert_values([0, 0]).unwrap();
+        a.insert_values([0, 1]).unwrap();
+        // Unconstrained homs are trivial: everything collapses onto any
+        // nonempty target.
+        let mut c = Instance::new(schema());
+        c.insert_values([0, 0]).unwrap();
+        c.insert_values([1, 1]).unwrap();
+        assert!(instance_hom(&a, &c).is_some());
+        assert!(instance_hom(&c, &a).is_some());
+        // Fixing a's values as constants changes the story: a -> c fixing a
+        // needs rows (0,0) and (0,1) in c verbatim — absent.
+        assert!(!hom_embeds_fixing(&a, &c, &a));
+        // But a -> b fixing a, where b extends a, is the identity.
+        let mut b = a.clone();
+        b.insert_values([9, 9]).unwrap();
+        let h = instance_hom_fixing(&a, &b, &a).unwrap();
+        assert_eq!(h.get(AttrId::new(0), Var::new(0)), Some(Value::new(0)));
+        assert_eq!(h.get(AttrId::new(1), Var::new(1)), Some(Value::new(1)));
+        // Empty source embeds anywhere; nonempty source cannot embed into
+        // an empty target.
+        let empty = Instance::new(schema());
+        assert!(instance_hom(&empty, &c).is_some());
+        assert!(instance_hom(&a, &empty).is_none());
+        // Schema mismatch short-circuits.
+        let other = Instance::new(Schema::new("S", ["X"]).unwrap());
+        assert!(instance_hom(&a, &other).is_none());
+    }
+
+    /// The universal-model property: chase a tableau to termination, then
+    /// map the result into any model extending the tableau, fixing the
+    /// tableau's values.
+    #[test]
+    fn chase_results_are_universal() {
+        use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy};
+        use crate::td::TdBuilder;
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("product")
+            .unwrap();
+        let tds = vec![td];
+        let mut initial = Instance::new(schema());
+        initial.insert_values([0, 0]).unwrap();
+        initial.insert_values([1, 1]).unwrap();
+        let mut engine = ChaseEngine::new(
+            &tds,
+            initial.clone(),
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        let universal = engine.state().clone();
+        // Any model of td extending `initial` receives the chase result.
+        let mut model = initial.clone();
+        for x in 0..3u32 {
+            for y in 0..3u32 {
+                model.insert_values([x, y]).unwrap();
+            }
+        }
+        assert!(crate::satisfaction::satisfies(&model, &tds[0]));
+        assert!(hom_embeds_fixing(&universal, &model, &initial));
+    }
+
+    #[test]
+    fn apply_row_maps_bound_cells() {
+        let p = pattern();
+        let mut b = Binding::new(2);
+        b.bind(AttrId::new(0), p[0].get(AttrId::new(0)), Value::new(5));
+        let vals = apply_row(&b, &p[0]);
+        assert_eq!(vals[0], Some(Value::new(5)));
+        assert_eq!(vals[1], None);
+    }
+}

@@ -1,0 +1,104 @@
+//! Small, copyable identifier types.
+//!
+//! All four identifiers are dense indices wrapped in newtypes so that the
+//! type system keeps rows, attributes, variables and values apart. `Var` and
+//! `Value` are *scoped per column*: the paper's typing restriction (attribute
+//! domains are pairwise disjoint) is enforced structurally — a `Var` or
+//! `Value` carries no column of its own and is only ever interpreted relative
+//! to the column it is stored in, so the same numeric id in two different
+//! columns denotes two unrelated objects.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $letter:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a dense index.
+            #[inline]
+            pub const fn new(ix: u32) -> Self {
+                Self(ix)
+            }
+
+            /// Returns the dense index as a `usize`, for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(ix: u32) -> Self {
+                Self(ix)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(ix: usize) -> Self {
+                Self(u32::try_from(ix).expect("id index exceeds u32::MAX"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Index of an attribute (column) within a [`Schema`](crate::schema::Schema).
+    AttrId, "col"
+}
+id_type! {
+    /// Index of a row within an [`Instance`](crate::instance::Instance) or
+    /// [`EqInstance`](crate::eq_instance::EqInstance).
+    RowId, "row"
+}
+id_type! {
+    /// A typed variable of a template dependency, scoped to one column.
+    Var, "v"
+}
+id_type! {
+    /// A typed database value (or labelled null), scoped to one column.
+    Value, "n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let a = AttrId::new(3);
+        assert_eq!(a.index(), 3);
+        assert_eq!(a.raw(), 3);
+        assert_eq!(AttrId::from(3usize), a);
+        assert!(AttrId::new(2) < a);
+    }
+
+    #[test]
+    fn displays_are_distinct() {
+        assert_eq!(AttrId::new(1).to_string(), "col1");
+        assert_eq!(RowId::new(1).to_string(), "row1");
+        assert_eq!(Var::new(1).to_string(), "v1");
+        assert_eq!(Value::new(1).to_string(), "n1");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Var::default().index(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Relational instances: the explicit set-of-tuples view of a database.
+//!
+//! "A database is for our purposes simply a relational structure … assumed to
+//! consist of a single relation R with a fixed number of columns." An
+//! [`Instance`] is a duplicate-free, insertion-ordered set of [`Tuple`]s over
+//! one [`Schema`]. It also hands out *fresh values* per column, which the
+//! chase uses as labelled nulls.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::{CoreError, Result};
+use crate::ids::{AttrId, RowId, Value};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A finite (or finitely-materialized) database instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    seen: HashMap<Tuple, RowId>,
+    /// Per-column counter: the smallest value id that is guaranteed unused.
+    next_value: Vec<u32>,
+}
+
+impl Instance {
+    /// Creates an empty instance over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        Self {
+            schema,
+            tuples: Vec::new(),
+            seen: HashMap::new(),
+            next_value: vec![0; arity],
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts `tuple`, deduplicating. Returns the row id and whether the
+    /// tuple was new.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<(RowId, bool)> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: tuple.arity(),
+            });
+        }
+        if let Some(&row) = self.seen.get(&tuple) {
+            return Ok((row, false));
+        }
+        let row = RowId::from(self.tuples.len());
+        for (col, v) in tuple.components() {
+            let next = &mut self.next_value[col.index()];
+            *next = (*next).max(v.raw().saturating_add(1));
+        }
+        self.seen.insert(tuple.clone(), row);
+        self.tuples.push(tuple);
+        Ok((row, true))
+    }
+
+    /// Convenience: inserts a tuple given raw `u32` value ids.
+    pub fn insert_values(
+        &mut self,
+        values: impl IntoIterator<Item = u32>,
+    ) -> Result<(RowId, bool)> {
+        self.insert(Tuple::from_raw(values))
+    }
+
+    /// `true` if `tuple` is present.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.seen.contains_key(tuple)
+    }
+
+    /// The row id of `tuple`, if present.
+    pub fn row_of(&self, tuple: &Tuple) -> Option<RowId> {
+        self.seen.get(tuple).copied()
+    }
+
+    /// The tuple at `row`.
+    pub fn get(&self, row: RowId) -> Result<&Tuple> {
+        self.tuples.get(row.index()).ok_or(CoreError::RowOutOfRange {
+            row: row.index(),
+            len: self.tuples.len(),
+        })
+    }
+
+    /// Iterates over rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (RowId::from(i), t))
+    }
+
+    /// Iterates over tuples in insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Draws a fresh value for column `col`: one that does not occur in the
+    /// instance and will not be handed out again. The chase uses these as
+    /// labelled nulls.
+    pub fn fresh_value(&mut self, col: AttrId) -> Value {
+        let next = &mut self.next_value[col.index()];
+        let v = Value::new(*next);
+        *next += 1;
+        v
+    }
+
+    /// The set of values occurring in column `col` (the column's active
+    /// domain).
+    pub fn active_domain(&self, col: AttrId) -> BTreeSet<Value> {
+        self.tuples.iter().map(|t| t.get(col)).collect()
+    }
+
+    /// Total number of distinct values over all columns (sum of per-column
+    /// active-domain sizes; columns have disjoint domains).
+    pub fn domain_size(&self) -> usize {
+        self.schema
+            .attr_ids()
+            .map(|c| self.active_domain(c).len())
+            .sum()
+    }
+
+    /// Builds an instance from an iterator of tuples.
+    pub fn from_tuples(
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self> {
+        let mut inst = Self::new(schema);
+        for t in tuples {
+            inst.insert(t)?;
+        }
+        Ok(inst)
+    }
+}
+
+impl PartialEq for Instance {
+    /// Set semantics: two instances are equal when they have the same schema
+    /// and the same set of tuples, regardless of insertion order.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.len() == other.len()
+            && self.tuples.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Instance {}
+
+impl std::fmt::Display for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} [{} rows]", self.schema.summary(), self.len())?;
+        for (_, t) in self.rows() {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["A", "B", "C"]).unwrap()
+    }
+
+    #[test]
+    fn insert_dedup_and_lookup() {
+        let mut inst = Instance::new(schema());
+        let (r0, fresh0) = inst.insert_values([1, 2, 3]).unwrap();
+        let (r1, fresh1) = inst.insert_values([1, 2, 3]).unwrap();
+        assert!(fresh0);
+        assert!(!fresh1);
+        assert_eq!(r0, r1);
+        assert_eq!(inst.len(), 1);
+        assert!(inst.contains(&Tuple::from_raw([1, 2, 3])));
+        assert!(!inst.contains(&Tuple::from_raw([3, 2, 1])));
+        assert_eq!(inst.row_of(&Tuple::from_raw([1, 2, 3])), Some(r0));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut inst = Instance::new(schema());
+        assert_eq!(
+            inst.insert_values([1, 2]).unwrap_err(),
+            CoreError::ArityMismatch { expected: 3, got: 2 }
+        );
+    }
+
+    #[test]
+    fn fresh_values_avoid_existing() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([5, 0, 0]).unwrap();
+        let v = inst.fresh_value(AttrId::new(0));
+        assert_eq!(v, Value::new(6));
+        let v2 = inst.fresh_value(AttrId::new(0));
+        assert_eq!(v2, Value::new(7));
+        // Column 1 is independent.
+        assert_eq!(inst.fresh_value(AttrId::new(1)), Value::new(1));
+    }
+
+    #[test]
+    fn fresh_value_then_insert_does_not_collide() {
+        let mut inst = Instance::new(schema());
+        let v = inst.fresh_value(AttrId::new(2));
+        assert_eq!(v, Value::new(0));
+        inst.insert_values([0, 0, v.raw()]).unwrap();
+        assert_eq!(inst.fresh_value(AttrId::new(2)), Value::new(1));
+    }
+
+    #[test]
+    fn active_domain_and_size() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 2, 3]).unwrap();
+        inst.insert_values([1, 5, 3]).unwrap();
+        let dom = inst.active_domain(AttrId::new(1));
+        assert_eq!(dom.len(), 2);
+        assert!(dom.contains(&Value::new(5)));
+        assert_eq!(inst.domain_size(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn get_out_of_range() {
+        let inst = Instance::new(schema());
+        assert!(matches!(
+            inst.get(RowId::new(0)),
+            Err(CoreError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn from_tuples_roundtrip() {
+        let ts = vec![Tuple::from_raw([0, 0, 0]), Tuple::from_raw([1, 1, 1])];
+        let inst = Instance::from_tuples(schema(), ts.clone()).unwrap();
+        assert_eq!(inst.len(), 2);
+        let collected: Vec<Tuple> = inst.tuples().cloned().collect();
+        assert_eq!(collected, ts);
+    }
+
+    #[test]
+    fn display_lists_rows() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 2, 3]).unwrap();
+        let s = inst.to_string();
+        assert!(s.contains("R(A, B, C)"));
+        assert!(s.contains("(1, 2, 3)"));
+    }
+}

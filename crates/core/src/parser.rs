@@ -1,0 +1,392 @@
+//! A small line-oriented text format for schemas, dependencies and
+//! instances.
+//!
+//! ```text
+//! # The garment database of the paper's introduction.
+//! schema R(SUPPLIER, STYLE, SIZE)
+//!
+//! td fig1: (a, b, c) (a, b2, c2) -> (*, b, c2)
+//! eid both-sizes: (a, b, c) (a, b2, c2) -> (x, b, c) (x, b, c2)
+//!
+//! row (stlaurent, dress, s10)
+//! row (bvd, brief, s36)
+//! ```
+//!
+//! * `schema` must appear before any `td`, `eid` or `row` line.
+//! * Variable tokens `*` and `_` are anonymous (fresh each occurrence);
+//!   in conclusions they denote existentially quantified components.
+//! * Variable scope is per dependency; the typing restriction (one name,
+//!   one column) is enforced.
+//! * `row` values are symbolic names, interned per column.
+
+use std::collections::HashMap;
+
+use crate::eid::Eid;
+use crate::error::{CoreError, Result};
+use crate::ids::Value;
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::td::{Td, TdBuilder, TdRow};
+use crate::tuple::Tuple;
+
+/// Everything a parsed file contains.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// The declared schema.
+    pub schema: Schema,
+    /// Template dependencies, in declaration order.
+    pub tds: Vec<Td>,
+    /// EIDs, in declaration order.
+    pub eids: Vec<Eid>,
+    /// The instance assembled from `row` lines.
+    pub instance: Instance,
+    /// Per-column interning table used for `row` values.
+    pub value_names: Vec<HashMap<String, Value>>,
+}
+
+fn err(line: usize, msg: impl Into<String>) -> CoreError {
+    CoreError::Parse { line, msg: msg.into() }
+}
+
+/// Splits `(a, b) (c, d)`-style text into tuples of tokens.
+fn parse_tuples(text: &str, line: usize) -> Result<Vec<Vec<String>>> {
+    let mut tuples = Vec::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('(') => {
+                chars.next();
+            }
+            Some(c) => {
+                return Err(err(line, format!("expected `(`, found `{c}`")));
+            }
+        }
+        let mut tuple = Vec::new();
+        let mut token = String::new();
+        let mut closed = false;
+        for c in chars.by_ref() {
+            match c {
+                ')' => {
+                    closed = true;
+                    break;
+                }
+                ',' => {
+                    let t = token.trim();
+                    if t.is_empty() {
+                        return Err(err(line, "empty component in tuple"));
+                    }
+                    tuple.push(t.to_owned());
+                    token.clear();
+                }
+                c => token.push(c),
+            }
+        }
+        if !closed {
+            return Err(err(line, "unterminated tuple: missing `)`"));
+        }
+        let t = token.trim();
+        if t.is_empty() {
+            return Err(err(line, "empty component in tuple"));
+        }
+        tuple.push(t.to_owned());
+        tuples.push(tuple);
+    }
+    Ok(tuples)
+}
+
+/// Parses a `schema R(A, B, C)` declaration body (after the keyword).
+fn parse_schema(body: &str, line: usize) -> Result<Schema> {
+    let open = body
+        .find('(')
+        .ok_or_else(|| err(line, "schema needs `Name(Attr, …)`"))?;
+    let close = body
+        .rfind(')')
+        .ok_or_else(|| err(line, "schema declaration missing `)`"))?;
+    if close < open {
+        return Err(err(line, "mismatched parentheses in schema"));
+    }
+    let relation = body[..open].trim();
+    if relation.is_empty() {
+        return Err(err(line, "schema needs a relation name"));
+    }
+    let attrs: Vec<&str> = body[open + 1..close]
+        .split(',')
+        .map(str::trim)
+        .collect();
+    if attrs.iter().any(|a| a.is_empty()) {
+        return Err(err(line, "empty attribute name in schema"));
+    }
+    Schema::new(relation, attrs).map_err(|e| err(line, e.to_string()))
+}
+
+/// Splits a dependency body `name: tuples -> tuples`.
+fn split_dependency(body: &str, line: usize) -> Result<(String, &str, &str)> {
+    let colon = body
+        .find(':')
+        .ok_or_else(|| err(line, "dependency needs `name: … -> …`"))?;
+    let name = body[..colon].trim();
+    if name.is_empty() {
+        return Err(err(line, "dependency needs a nonempty name"));
+    }
+    let rest = &body[colon + 1..];
+    let arrow = rest
+        .find("->")
+        .ok_or_else(|| err(line, "dependency needs `->`"))?;
+    Ok((name.to_owned(), &rest[..arrow], &rest[arrow + 2..]))
+}
+
+/// Parses an entire file.
+pub fn parse(text: &str) -> Result<ParsedFile> {
+    let mut schema: Option<Schema> = None;
+    let mut tds = Vec::new();
+    let mut eids = Vec::new();
+    let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
+
+    for (ix, raw_line) in text.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, body) = match line.split_once(char::is_whitespace) {
+            Some((k, b)) => (k, b.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "schema" => {
+                if schema.is_some() {
+                    return Err(err(line_no, "duplicate schema declaration"));
+                }
+                schema = Some(parse_schema(body, line_no)?);
+            }
+            "td" => {
+                let schema = schema
+                    .as_ref()
+                    .ok_or_else(|| err(line_no, "`td` before `schema`"))?;
+                let (name, ante, concl) = split_dependency(body, line_no)?;
+                let ante_tuples = parse_tuples(ante, line_no)?;
+                let concl_tuples = parse_tuples(concl, line_no)?;
+                if concl_tuples.len() != 1 {
+                    return Err(err(
+                        line_no,
+                        format!(
+                            "a td has exactly one conclusion tuple, found {} \
+                             (use `eid` for conjunctions)",
+                            concl_tuples.len()
+                        ),
+                    ));
+                }
+                let mut builder = TdBuilder::new(schema.clone());
+                for t in &ante_tuples {
+                    builder = builder
+                        .antecedent(t.iter().map(String::as_str))
+                        .map_err(|e| err(line_no, e.to_string()))?;
+                }
+                builder = builder
+                    .conclusion(concl_tuples[0].iter().map(String::as_str))
+                    .map_err(|e| err(line_no, e.to_string()))?;
+                tds.push(builder.build(name).map_err(|e| err(line_no, e.to_string()))?);
+            }
+            "eid" => {
+                let schema = schema
+                    .as_ref()
+                    .ok_or_else(|| err(line_no, "`eid` before `schema`"))?;
+                let (name, ante, concl) = split_dependency(body, line_no)?;
+                let ante_tuples = parse_tuples(ante, line_no)?;
+                let concl_tuples = parse_tuples(concl, line_no)?;
+                // Reuse TdBuilder's name resolution by building all rows as
+                // "antecedents" of a scratch builder, then splitting.
+                let mut builder = TdBuilder::new(schema.clone());
+                for t in ante_tuples.iter().chain(concl_tuples.iter()) {
+                    builder = builder
+                        .antecedent(t.iter().map(String::as_str))
+                        .map_err(|e| err(line_no, e.to_string()))?;
+                }
+                let scratch = builder
+                    .conclusion(vec!["_"; schema.arity()])
+                    .map_err(|e| err(line_no, e.to_string()))?
+                    .build(name.clone())
+                    .map_err(|e| err(line_no, e.to_string()))?;
+                let all: Vec<TdRow> = scratch.antecedents().to_vec();
+                let (ante_rows, concl_rows) = all.split_at(ante_tuples.len());
+                eids.push(
+                    Eid::new(
+                        schema.clone(),
+                        ante_rows.to_vec(),
+                        concl_rows.to_vec(),
+                        name,
+                    )
+                    .map_err(|e| err(line_no, e.to_string()))?,
+                );
+            }
+            "row" => {
+                if schema.is_none() {
+                    return Err(err(line_no, "`row` before `schema`"));
+                }
+                let tuples = parse_tuples(body, line_no)?;
+                if tuples.len() != 1 {
+                    return Err(err(line_no, "`row` takes exactly one tuple"));
+                }
+                rows.push((line_no, tuples.into_iter().next().unwrap()));
+            }
+            other => {
+                return Err(err(
+                    line_no,
+                    format!("unknown keyword `{other}` (expected schema/td/eid/row)"),
+                ));
+            }
+        }
+    }
+
+    let schema = schema.ok_or_else(|| err(1, "missing `schema` declaration"))?;
+    let mut instance = Instance::new(schema.clone());
+    let mut value_names: Vec<HashMap<String, Value>> =
+        vec![HashMap::new(); schema.arity()];
+    for (line_no, tokens) in rows {
+        if tokens.len() != schema.arity() {
+            return Err(err(
+                line_no,
+                format!(
+                    "row has {} components, schema has {}",
+                    tokens.len(),
+                    schema.arity()
+                ),
+            ));
+        }
+        let mut vals = Vec::with_capacity(tokens.len());
+        for (col, token) in tokens.into_iter().enumerate() {
+            let next_id = value_names[col].len() as u32;
+            let v = *value_names[col]
+                .entry(token)
+                .or_insert_with(|| Value::new(next_id));
+            vals.push(v);
+        }
+        instance
+            .insert(Tuple::new(vals))
+            .map_err(|e| err(line_no, e.to_string()))?;
+    }
+
+    Ok(ParsedFile { schema, tds, eids, instance, value_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfaction::satisfies;
+
+    const GARMENT: &str = "
+# The garment database of the paper's introduction.
+schema R(SUPPLIER, STYLE, SIZE)
+
+td fig1: (a, b, c) (a, b2, c2) -> (*, b, c2)
+eid both: (a, b, c) (a, b2, c2) -> (x, b, c) (x, b, c2)
+
+# One supplier, two garments: fig1 demands the mixed combinations too.
+row (stlaurent, dress, s10)
+row (stlaurent, brief, s36)
+";
+
+    #[test]
+    fn parses_garment_file() {
+        let f = parse(GARMENT).unwrap();
+        assert_eq!(f.schema.summary(), "R(SUPPLIER, STYLE, SIZE)");
+        assert_eq!(f.tds.len(), 1);
+        assert_eq!(f.eids.len(), 1);
+        assert_eq!(f.instance.len(), 2);
+        let td = &f.tds[0];
+        assert_eq!(td.name(), "fig1");
+        assert!(td.is_embedded());
+        assert_eq!(td.antecedent_count(), 2);
+        let eid = &f.eids[0];
+        assert_eq!(eid.conclusions().len(), 2);
+        // The instance does not satisfy fig1: St. Laurent supplies dresses
+        // and supplies size 36, but nobody supplies a dress in size 36.
+        assert!(!satisfies(&f.instance, td));
+    }
+
+    #[test]
+    fn value_interning_is_per_column() {
+        let f = parse(
+            "schema R(A, B)\nrow (x, x)\nrow (x, y)\n",
+        )
+        .unwrap();
+        assert_eq!(f.instance.len(), 2);
+        // `x` in column A and `x` in column B are distinct domains but both
+        // intern to id 0 within their column.
+        assert_eq!(f.value_names[0]["x"], Value::new(0));
+        assert_eq!(f.value_names[1]["x"], Value::new(0));
+        assert_eq!(f.value_names[1]["y"], Value::new(1));
+    }
+
+    #[test]
+    fn eid_shares_existentials_across_conclusions() {
+        let f = parse(GARMENT).unwrap();
+        let eid = &f.eids[0];
+        use crate::ids::AttrId;
+        // `x` (column SUPPLIER) is shared between the two conclusion rows.
+        assert_eq!(
+            eid.conclusions()[0].get(AttrId::new(0)),
+            eid.conclusions()[1].get(AttrId::new(0))
+        );
+        // And is existential: never appears in the antecedents.
+        assert!(!eid
+            .antecedents()
+            .iter()
+            .any(|r| r.get(AttrId::new(0)) == eid.conclusions()[0].get(AttrId::new(0))));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse("schema R(A)\ntd bad (a) -> (a)\n").unwrap_err();
+        assert!(matches!(e, CoreError::Parse { line: 2, .. }), "{e}");
+        let e = parse("td x: (a) -> (a)\n").unwrap_err();
+        assert!(matches!(e, CoreError::Parse { line: 1, .. }));
+        let e = parse("schema R(A)\nbogus keyword\n").unwrap_err();
+        assert!(matches!(e, CoreError::Parse { line: 2, .. }));
+        let e = parse("schema R(A)\nrow (x, y)\n").unwrap_err();
+        assert!(matches!(e, CoreError::Parse { line: 2, .. }));
+        let e = parse("schema R(A)\ntd t: (a) -> (a) (a)\n").unwrap_err();
+        assert!(matches!(e, CoreError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn typing_violation_reported_with_line() {
+        let e = parse("schema R(A, B)\ntd t: (v, v) -> (v, v)\n").unwrap_err();
+        match e {
+            CoreError::Parse { line, msg } => {
+                assert_eq!(line, 2);
+                assert!(msg.contains("typing violation"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let f = parse("# hi\n\nschema R(A) # trailing\n row (v) \n").unwrap();
+        assert_eq!(f.instance.len(), 1);
+    }
+
+    #[test]
+    fn tuple_splitter_edge_cases() {
+        assert!(parse_tuples("(a, b) (c, d)", 1).unwrap().len() == 2);
+        assert!(parse_tuples("", 1).unwrap().is_empty());
+        assert!(parse_tuples("(a,", 1).is_err());
+        assert!(parse_tuples("(a,,b)", 1).is_err());
+        assert!(parse_tuples("x(a)", 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_schema_rejected() {
+        let e = parse("schema R(A)\nschema R(B)\n").unwrap_err();
+        assert!(matches!(e, CoreError::Parse { line: 2, .. }));
+    }
+}

@@ -1,0 +1,174 @@
+//! Direct products of instances — and the preservation theorem for
+//! template dependencies.
+//!
+//! The direct product `M × N` has a row `(s, t)` for every `s ∈ M`,
+//! `t ∈ N`, agreeing on attribute `A` exactly when both components do.
+//! Template dependencies (like all Horn-style dependencies; cf. Fagin,
+//! *Horn clauses and database dependencies*, cited by the paper) are
+//! **preserved under direct products**: if `M ⊨ td` and `N ⊨ td` then
+//! `M × N ⊨ td`. This module implements the product and the proof's
+//! witness-pairing argument is exercised as a property test.
+//!
+//! Products matter for dependency theory because they generate new models
+//! from old ones — e.g. countermodels can be multiplied together to refute
+//! several candidate implications at once.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::ids::Value;
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// Per-column interning tables: component value pair → product value.
+pub type PairIntern = Vec<HashMap<(Value, Value), Value>>;
+
+/// The direct product `a × b`. Component value pairs are interned per
+/// column, so the result is an ordinary [`Instance`] over the same schema.
+/// Returns the product and the per-column interning tables (pair → value).
+pub fn direct_product(a: &Instance, b: &Instance) -> Result<(Instance, PairIntern)> {
+    a.schema().expect_same(b.schema())?;
+    let arity = a.schema().arity();
+    let mut intern: Vec<HashMap<(Value, Value), Value>> = vec![HashMap::new(); arity];
+    let mut out = Instance::new(a.schema().clone());
+    for (_, s) in a.rows() {
+        for (_, t) in b.rows() {
+            let mut vals = Vec::with_capacity(arity);
+            for (col, map) in intern.iter_mut().enumerate() {
+                let key = (s.values()[col], t.values()[col]);
+                let next = map.len() as u32;
+                let v = *map.entry(key).or_insert_with(|| Value::new(next));
+                vals.push(v);
+            }
+            out.insert(Tuple::new(vals))?;
+        }
+    }
+    Ok((out, intern))
+}
+
+/// The `k`-th direct power of `a` (`k ≥ 1`).
+pub fn direct_power(a: &Instance, k: usize) -> Result<Instance> {
+    assert!(k >= 1, "the zeroth power is the empty product, undefined here");
+    let mut acc = a.clone();
+    for _ in 1..k {
+        acc = direct_product(&acc, a)?.0;
+    }
+    Ok(acc)
+}
+
+/// A single-row instance over `schema` (the product's neutral-ish element:
+/// `one × a` is isomorphic to `a` whenever `one` has one row).
+pub fn singleton(schema: Schema) -> Instance {
+    let arity = schema.arity();
+    let mut inst = Instance::new(schema);
+    inst.insert(Tuple::from_raw(vec![0; arity]))
+        .expect("arity matches");
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfaction::satisfies;
+    use crate::td::TdBuilder;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["A", "B"]).unwrap()
+    }
+
+    fn fig1ish() -> crate::td::Td {
+        TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a", "b'"])
+            .unwrap()
+            .conclusion(["*", "b'"])
+            .unwrap()
+            .build("t")
+            .unwrap()
+    }
+
+    #[test]
+    fn product_size_and_agreement() {
+        let mut m = Instance::new(schema());
+        m.insert_values([0, 0]).unwrap();
+        m.insert_values([0, 1]).unwrap();
+        let mut n = Instance::new(schema());
+        n.insert_values([5, 5]).unwrap();
+        n.insert_values([6, 5]).unwrap();
+        let (p, _) = direct_product(&m, &n).unwrap();
+        assert_eq!(p.len(), 4);
+        // Rows (0,0)x(5,5) and (0,1)x(6,5): A components (0,5) vs (0,6)
+        // differ, so the product rows must disagree on A.
+        let ts: Vec<&Tuple> = p.tuples().collect();
+        // Row order: (m0,n0), (m0,n1), (m1,n0), (m1,n1).
+        assert!(ts[0].agrees_on(ts[1], crate::ids::AttrId::new(1)), "B: (0,5)=(0,5)");
+        assert!(!ts[0].agrees_on(ts[1], crate::ids::AttrId::new(0)), "A: (0,5)≠(0,6)");
+        assert!(ts[0].agrees_on(ts[2], crate::ids::AttrId::new(0)), "A: (0,5)=(0,5)");
+    }
+
+    #[test]
+    fn preservation_on_example() {
+        let td = fig1ish();
+        // Two models of td.
+        let mut m = Instance::new(schema());
+        m.insert_values([0, 0]).unwrap();
+        m.insert_values([1, 1]).unwrap();
+        assert!(satisfies(&m, &td));
+        let mut n = Instance::new(schema());
+        n.insert_values([0, 0]).unwrap();
+        n.insert_values([0, 1]).unwrap();
+        assert!(satisfies(&n, &td));
+        let (p, _) = direct_product(&m, &n).unwrap();
+        assert!(satisfies(&p, &td), "TDs are preserved under products");
+    }
+
+    #[test]
+    fn non_model_components_can_break_the_product() {
+        // Preservation needs BOTH components to be models: here n violates
+        // a *full* dependency and the product does too.
+        let full = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("product-td")
+            .unwrap();
+        let m = singleton(schema()); // trivially a model
+        let mut n = Instance::new(schema());
+        n.insert_values([0, 0]).unwrap();
+        n.insert_values([1, 1]).unwrap();
+        assert!(!satisfies(&n, &full));
+        let (p, _) = direct_product(&m, &n).unwrap();
+        assert!(!satisfies(&p, &full));
+    }
+
+    #[test]
+    fn power_sizes() {
+        let mut m = Instance::new(schema());
+        m.insert_values([0, 0]).unwrap();
+        m.insert_values([1, 1]).unwrap();
+        assert_eq!(direct_power(&m, 1).unwrap().len(), 2);
+        assert_eq!(direct_power(&m, 2).unwrap().len(), 4);
+        assert_eq!(direct_power(&m, 3).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let m = singleton(schema());
+        let n = singleton(Schema::new("S", ["X"]).unwrap());
+        assert!(direct_product(&m, &n).is_err());
+    }
+
+    #[test]
+    fn singleton_is_a_model_of_everything_satisfiable() {
+        // One row satisfies every TD (the conclusion can be witnessed by
+        // the row itself whenever the antecedents match at all — all
+        // variables collapse onto the single row's values).
+        let one = singleton(schema());
+        assert!(satisfies(&one, &fig1ish()));
+    }
+}

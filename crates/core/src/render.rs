@@ -1,0 +1,270 @@
+//! Human-readable and Graphviz renderings of dependencies and diagrams.
+//!
+//! * [`td_to_string`] / `impl Display for Td` — the schematic notation of
+//!   the paper: `R(a, b, c) & R(a, b', c') => R(a*, b, c')`.
+//! * [`diagram_to_dot`] — Graphviz source for a [`Diagram`] (Fig. 1 style).
+//! * [`diagram_to_ascii`] — a terminal-friendly adjacency listing.
+
+use std::fmt::Write as _;
+
+use crate::diagram::Diagram;
+use crate::ids::{AttrId, Var};
+use crate::td::{Td, TdRow};
+
+/// A short lowercase stem for an attribute name, used to render variables:
+/// `SUPPLIER` → `supplier`, `A0'` → `a0p` (primes become `p`).
+fn attr_stem(name: &str) -> String {
+    let mut s = String::with_capacity(name.len());
+    for ch in name.chars() {
+        match ch {
+            '\'' => s.push('p'),
+            c if c.is_alphanumeric() => s.push(c.to_ascii_lowercase()),
+            _ => {}
+        }
+    }
+    if s.is_empty() {
+        s.push('x');
+    }
+    s
+}
+
+/// Renders one variable: stem of its column plus the variable index, with a
+/// `*` suffix when `existential`.
+fn var_name(td: &Td, col: AttrId, var: Var, existential: bool) -> String {
+    let stem = attr_stem(td.schema().attr_name(col));
+    if existential {
+        format!("{stem}{}*", var.raw())
+    } else {
+        format!("{stem}{}", var.raw())
+    }
+}
+
+fn render_row(td: &Td, row: &TdRow, is_conclusion: bool, out: &mut String) {
+    out.push_str(td.schema().relation());
+    out.push('(');
+    for (i, (col, var)) in row.components().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let existential = is_conclusion && td.is_existential_at(col);
+        out.push_str(&var_name(td, col, var, existential));
+    }
+    out.push(')');
+}
+
+/// The paper's schematic notation for a dependency.
+pub fn td_to_string(td: &Td) -> String {
+    let mut out = String::new();
+    for (i, row) in td.antecedents().iter().enumerate() {
+        if i > 0 {
+            out.push_str(" & ");
+        }
+        render_row(td, row, false, &mut out);
+    }
+    out.push_str(" => ");
+    render_row(td, td.conclusion(), true, &mut out);
+    out
+}
+
+impl std::fmt::Display for Td {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.name(), td_to_string(self))
+    }
+}
+
+/// Graphviz (`dot`) source for a diagram. Antecedent nodes are numbered
+/// from 1 as in the paper; the conclusion is `*`. Parallel edges carry the
+/// attribute name as label.
+pub fn diagram_to_dot(d: &Diagram, graph_name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{graph_name}\" {{");
+    let _ = writeln!(out, "  layout=neato;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=11];");
+    let mut antecedent_no = 0usize;
+    for n in 0..d.node_count() {
+        if n == d.conclusion_node() {
+            let _ = writeln!(out, "  n{n} [label=\"*\", shape=doublecircle];");
+        } else {
+            antecedent_no += 1;
+            let _ = writeln!(out, "  n{n} [label=\"{antecedent_no}\"];");
+        }
+    }
+    for (a, b, attr) in d.edges() {
+        let label = d.schema().attr_name(attr);
+        let _ = writeln!(out, "  n{a} -- n{b} [label=\"{label}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a violation of `td` (an antecedent binding with no conclusion
+/// witness, as produced by
+/// [`find_violation`](crate::satisfaction::find_violation)) as a
+/// human-readable report: the matched tuples and the missing one.
+pub fn render_violation(
+    td: &Td,
+    binding: &crate::homomorphism::Binding,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "violation of {}:", td.name());
+    for (i, row) in td.antecedents().iter().enumerate() {
+        let vals: Vec<String> = row
+            .components()
+            .map(|(c, v)| match binding.get(c, v) {
+                Some(val) => val.raw().to_string(),
+                None => "?".to_owned(),
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  matched antecedent {}: {}({})",
+            i + 1,
+            td.schema().relation(),
+            vals.join(", ")
+        );
+    }
+    let vals: Vec<String> = td
+        .conclusion()
+        .components()
+        .map(|(c, v)| match binding.get(c, v) {
+            Some(val) => val.raw().to_string(),
+            None => "*".to_owned(),
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "  missing conclusion:   {}({})   (* = any value)",
+        td.schema().relation(),
+        vals.join(", ")
+    );
+    out
+}
+
+/// A terminal-friendly rendering of a diagram: one line per edge, grouped
+/// by attribute.
+pub fn diagram_to_ascii(d: &Diagram) -> String {
+    let mut out = String::new();
+    let name_of = |n: usize| {
+        if n == d.conclusion_node() {
+            "*".to_owned()
+        } else {
+            // Antecedents are numbered from 1 in the paper's figures.
+            let no = if n < d.conclusion_node() { n + 1 } else { n };
+            no.to_string()
+        }
+    };
+    let _ = writeln!(
+        out,
+        "diagram over {} ({} nodes, conclusion *)",
+        d.schema().summary(),
+        d.node_count()
+    );
+    for (attr, attr_name) in d.schema().attrs() {
+        let edges: Vec<(usize, usize)> = d
+            .edges()
+            .filter(|&(_, _, a)| a == attr)
+            .map(|(x, y, _)| (x, y))
+            .collect();
+        if edges.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "  {attr_name}: ");
+        for (i, (x, y)) in edges.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(out, "{}–{}", name_of(*x), name_of(*y));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::td::TdBuilder;
+
+    fn fig1() -> Td {
+        let schema = Schema::new("R", ["A", "B", "C"]).unwrap();
+        TdBuilder::new(schema)
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["*", "b", "c'"])
+            .unwrap()
+            .build("fig1")
+            .unwrap()
+    }
+
+    #[test]
+    fn attr_stems() {
+        assert_eq!(attr_stem("SUPPLIER"), "supplier");
+        assert_eq!(attr_stem("A0'"), "a0p");
+        assert_eq!(attr_stem("E'"), "ep");
+        assert_eq!(attr_stem("''"), "pp");
+        assert_eq!(attr_stem("--"), "x");
+    }
+
+    #[test]
+    fn td_rendering_matches_paper_style() {
+        let s = td_to_string(&fig1());
+        assert_eq!(s, "R(a0, b0, c0) & R(a0, b1, c1) => R(a1*, b0, c1)");
+        let display = fig1().to_string();
+        assert!(display.starts_with("fig1: "));
+    }
+
+    #[test]
+    fn full_td_has_no_star() {
+        let schema = Schema::new("R", ["A", "B"]).unwrap();
+        let td = TdBuilder::new(schema)
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b"])
+            .unwrap()
+            .conclusion(["a'", "b"])
+            .unwrap()
+            .build("full")
+            .unwrap();
+        assert!(!td_to_string(&td).contains('*'));
+    }
+
+    #[test]
+    fn violation_reports_are_readable() {
+        use crate::instance::Instance;
+        use crate::satisfaction::find_violation;
+        let td = fig1();
+        let mut db = Instance::new(td.schema().clone());
+        db.insert_values([0, 0, 0]).unwrap();
+        db.insert_values([0, 1, 1]).unwrap();
+        let v = find_violation(&db, &td).unwrap();
+        let report = render_violation(&td, &v);
+        assert!(report.contains("violation of fig1"));
+        assert!(report.contains("matched antecedent 1"));
+        assert!(report.contains("matched antecedent 2"));
+        // The missing conclusion has a wildcard in the existential column.
+        assert!(report.contains("missing conclusion:   R(*,"));
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_labels() {
+        let d = Diagram::from_td(&fig1());
+        let dot = diagram_to_dot(&d, "fig1");
+        assert!(dot.contains("graph \"fig1\""));
+        assert!(dot.contains("label=\"*\""));
+        assert!(dot.contains("label=\"A\""));
+        assert!(dot.contains("n0 -- n1"));
+        assert_eq!(dot.matches(" -- ").count(), 3);
+    }
+
+    #[test]
+    fn ascii_output_groups_by_attribute() {
+        let d = Diagram::from_td(&fig1());
+        let s = diagram_to_ascii(&d);
+        assert!(s.contains("A: 1–2"));
+        assert!(s.contains("B: 1–*"));
+        assert!(s.contains("C: 2–*"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Deciding whether a database satisfies a template dependency.
+//!
+//! `M ⊨ td` iff every homomorphism of `td`'s antecedent rows into `M`
+//! extends to a homomorphism that also places the conclusion row in `M`
+//! (existential components may take any value). This is decidable for any
+//! finite `M` — the undecidability the paper proves concerns *implication
+//! between dependencies*, not model checking.
+
+use std::ops::ControlFlow;
+
+use crate::eq_instance::EqInstance;
+use crate::homomorphism::{for_each_match, match_first, Binding};
+use crate::instance::Instance;
+use crate::td::Td;
+
+/// `true` if the conclusion of `td` is witnessed in `instance` under
+/// `binding` (which must bind at least the universally quantified conclusion
+/// variables).
+pub fn conclusion_witnessed(instance: &Instance, td: &Td, binding: &Binding) -> bool {
+    match_first(std::slice::from_ref(td.conclusion()), instance, binding).is_some()
+}
+
+/// Finds a violating homomorphism: an antecedent match with no conclusion
+/// witness. Returns `None` if `instance ⊨ td`.
+pub fn find_violation(instance: &Instance, td: &Td) -> Option<Binding> {
+    let mut violation = None;
+    for_each_match(
+        td.antecedents(),
+        instance,
+        &Binding::new(td.arity()),
+        |b| {
+            if conclusion_witnessed(instance, td, b) {
+                ControlFlow::Continue(())
+            } else {
+                violation = Some(b.clone());
+                ControlFlow::Break(())
+            }
+        },
+    );
+    violation
+}
+
+/// Collects up to `limit` violating antecedent matches.
+pub fn violations(instance: &Instance, td: &Td, limit: usize) -> Vec<Binding> {
+    let mut out = Vec::new();
+    if limit == 0 {
+        return out;
+    }
+    for_each_match(
+        td.antecedents(),
+        instance,
+        &Binding::new(td.arity()),
+        |b| {
+            if !conclusion_witnessed(instance, td, b) {
+                out.push(b.clone());
+                if out.len() >= limit {
+                    return ControlFlow::Break(());
+                }
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    out
+}
+
+/// `true` if `instance ⊨ td`.
+pub fn satisfies(instance: &Instance, td: &Td) -> bool {
+    find_violation(instance, td).is_none()
+}
+
+/// `true` if `instance` satisfies every dependency in `tds`.
+pub fn satisfies_all<'a>(
+    instance: &Instance,
+    tds: impl IntoIterator<Item = &'a Td>,
+) -> bool {
+    tds.into_iter().all(|td| satisfies(instance, td))
+}
+
+/// Convenience: satisfaction on the partition view (converts and checks).
+pub fn eq_satisfies(eq: &EqInstance, td: &Td) -> bool {
+    satisfies(&eq.to_instance(), td)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::td::TdBuilder;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["SUPPLIER", "STYLE", "SIZE"]).unwrap()
+    }
+
+    /// Fig. 1 of the paper: R(a,b,c) & R(a,b',c') ⇒ ∃a* R(a*,b,c').
+    fn fig1() -> Td {
+        TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["*", "b", "c'"])
+            .unwrap()
+            .build("fig1")
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_instance_satisfies_everything() {
+        let inst = Instance::new(schema());
+        assert!(satisfies(&inst, &fig1()));
+    }
+
+    #[test]
+    fn garment_example_positive_and_negative() {
+        let td = fig1();
+        let mut db = Instance::new(schema());
+        // (St.Laurent, Dress, 10) and (St.Laurent, Brief, 36).
+        db.insert_values([0, 0, 0]).unwrap();
+        db.insert_values([0, 1, 1]).unwrap();
+        // fig1 demands some supplier of (Dress, 36): missing.
+        assert!(!satisfies(&db, &td));
+        let v = find_violation(&db, &td).unwrap();
+        assert!(!v.is_empty());
+        // Add it (a different supplier is fine — a* is existential)…
+        db.insert_values([5, 0, 1]).unwrap();
+        // …but the *swapped* antecedent match also demands (Brief, 10):
+        assert!(!satisfies(&db, &td));
+        db.insert_values([6, 1, 0]).unwrap();
+        assert!(satisfies(&db, &td));
+        assert!(find_violation(&db, &td).is_none());
+    }
+
+    #[test]
+    fn trivial_td_always_satisfied() {
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .conclusion(["a", "b", "c"])
+            .unwrap()
+            .build("id")
+            .unwrap();
+        assert!(td.is_trivial());
+        let mut db = Instance::new(schema());
+        for i in 0..5 {
+            db.insert_values([i, 2 * i, 3 * i]).unwrap();
+        }
+        assert!(satisfies(&db, &td));
+    }
+
+    #[test]
+    fn full_td_violation() {
+        // R(a,b,c) & R(a',b,c') => R(a,b,c') — a full TD.
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a'", "b", "c'"])
+            .unwrap()
+            .conclusion(["a", "b", "c'"])
+            .unwrap()
+            .build("full")
+            .unwrap();
+        assert!(td.is_full());
+        let mut db = Instance::new(schema());
+        db.insert_values([1, 7, 1]).unwrap();
+        db.insert_values([2, 7, 2]).unwrap();
+        // Needs (1,7,2) and (2,7,1).
+        assert!(!satisfies(&db, &td));
+        db.insert_values([1, 7, 2]).unwrap();
+        db.insert_values([2, 7, 1]).unwrap();
+        assert!(satisfies(&db, &td));
+    }
+
+    #[test]
+    fn violations_enumeration_and_limit() {
+        let td = fig1();
+        let mut db = Instance::new(schema());
+        db.insert_values([0, 0, 0]).unwrap();
+        db.insert_values([0, 1, 1]).unwrap();
+        db.insert_values([0, 2, 2]).unwrap();
+        // Violating (b, c') combinations: all pairs (style, size) not
+        // covered by an existing tuple. 9 antecedent matches, 3 witnessed
+        // (the diagonal), 6 violations.
+        let vs = violations(&db, &td, 100);
+        assert_eq!(vs.len(), 6);
+        assert_eq!(violations(&db, &td, 2).len(), 2);
+        assert!(violations(&db, &td, 0).is_empty());
+    }
+
+    #[test]
+    fn satisfies_all_short_circuits_correctly() {
+        let td = fig1();
+        let trivial = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .conclusion(["a", "b", "c"])
+            .unwrap()
+            .build("id")
+            .unwrap();
+        let mut db = Instance::new(schema());
+        db.insert_values([0, 0, 0]).unwrap();
+        db.insert_values([0, 1, 1]).unwrap();
+        let set = vec![trivial, td];
+        assert!(!satisfies_all(&db, &set));
+        assert!(satisfies_all(&db, &set[..1]));
+    }
+
+    #[test]
+    fn eq_view_satisfaction() {
+        use crate::ids::{AttrId, RowId};
+        let td = fig1();
+        let mut eq = EqInstance::new(schema(), 2);
+        // Two rows sharing a supplier.
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1)).unwrap();
+        assert!(!eq_satisfies(&eq, &td));
+    }
+}

@@ -1,0 +1,564 @@
+//! Template dependencies.
+//!
+//! A *template dependency* (Sadri & Ullman 1980) is a statement
+//!
+//! ```text
+//! R(a, b, …, c) & R(a′, b′, …, c′) & … & R(a″, b″, …, c″)   (the antecedents)
+//!     ⇒ R(a*, b*, …, c*)                                      (the conclusion)
+//! ```
+//!
+//! meaning that whenever tuples matching the antecedent pattern are in the
+//! database, a tuple matching the conclusion pattern is too. Symbols in the
+//! antecedents are universally quantified; conclusion symbols that do not
+//! appear in the antecedents are existentially quantified. If every
+//! conclusion symbol appears among the antecedents the dependency is *full*,
+//! otherwise *embedded*.
+//!
+//! The paper's **typing restriction** — "since variables in different columns
+//! must range over different sets of individuals, no variable can appear in
+//! two different columns" — is enforced structurally: a [`Var`] is scoped to
+//! the column it sits in, and the name-based [`TdBuilder`] rejects any
+//! attempt to reuse one name across columns.
+
+use std::collections::HashMap;
+
+use crate::error::{CoreError, Result};
+use crate::ids::{AttrId, Var};
+use crate::schema::Schema;
+
+/// One row of a template: a variable per column.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TdRow {
+    cells: Vec<Var>,
+}
+
+impl TdRow {
+    /// Creates a row from per-column variables.
+    pub fn new(cells: impl IntoIterator<Item = Var>) -> Self {
+        Self { cells: cells.into_iter().collect() }
+    }
+
+    /// Creates a row from raw `u32` variable ids.
+    pub fn from_raw(cells: impl IntoIterator<Item = u32>) -> Self {
+        Self::new(cells.into_iter().map(Var::new))
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The variable in column `col`.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range.
+    pub fn get(&self, col: AttrId) -> Var {
+        self.cells[col.index()]
+    }
+
+    /// Iterates over `(AttrId, Var)` pairs in column order.
+    pub fn components(&self) -> impl Iterator<Item = (AttrId, Var)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (AttrId::from(i), v))
+    }
+
+    /// The underlying variable slice.
+    pub fn cells(&self) -> &[Var] {
+        &self.cells
+    }
+}
+
+/// A typed template dependency over a single relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Td {
+    schema: Schema,
+    name: String,
+    antecedents: Vec<TdRow>,
+    conclusion: TdRow,
+}
+
+impl Td {
+    /// Creates a dependency from raw rows, validating arities and
+    /// non-emptiness. Typing cannot be violated at this level because
+    /// variables are column-scoped.
+    pub fn new(
+        schema: Schema,
+        antecedents: Vec<TdRow>,
+        conclusion: TdRow,
+        name: impl Into<String>,
+    ) -> Result<Self> {
+        if antecedents.is_empty() {
+            return Err(CoreError::EmptyAntecedents);
+        }
+        for row in antecedents.iter().chain(std::iter::once(&conclusion)) {
+            if row.arity() != schema.arity() {
+                return Err(CoreError::ArityMismatch {
+                    expected: schema.arity(),
+                    got: row.arity(),
+                });
+            }
+        }
+        Ok(Self { schema, name: name.into(), antecedents, conclusion })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The dependency's name (for display and proofs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The antecedent rows.
+    pub fn antecedents(&self) -> &[TdRow] {
+        &self.antecedents
+    }
+
+    /// The conclusion row.
+    pub fn conclusion(&self) -> &TdRow {
+        &self.conclusion
+    }
+
+    /// Number of antecedent rows. The paper's reduction produces
+    /// dependencies with at most **five** antecedents.
+    pub fn antecedent_count(&self) -> usize {
+        self.antecedents.len()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// `true` if the conclusion variable in `col` also occurs in some
+    /// antecedent (i.e. is universally quantified).
+    pub fn is_universal_at(&self, col: AttrId) -> bool {
+        let v = self.conclusion.get(col);
+        self.antecedents.iter().any(|r| r.get(col) == v)
+    }
+
+    /// `true` if the conclusion variable in `col` is existentially
+    /// quantified (occurs in no antecedent).
+    pub fn is_existential_at(&self, col: AttrId) -> bool {
+        !self.is_universal_at(col)
+    }
+
+    /// Columns in which the conclusion is existentially quantified.
+    pub fn existential_columns(&self) -> Vec<AttrId> {
+        self.schema
+            .attr_ids()
+            .filter(|&c| self.is_existential_at(c))
+            .collect()
+    }
+
+    /// `true` if every conclusion component appears among the antecedents
+    /// ("if a*, b*, …, c* all appear among the antecedents, then the
+    /// dependency is said to be full").
+    pub fn is_full(&self) -> bool {
+        self.schema.attr_ids().all(|c| self.is_universal_at(c))
+    }
+
+    /// `true` if the dependency is embedded (not full).
+    pub fn is_embedded(&self) -> bool {
+        !self.is_full()
+    }
+
+    /// `true` if the dependency holds in *every* database: some antecedent
+    /// row already witnesses the conclusion (it agrees with the conclusion
+    /// on every universally quantified column).
+    pub fn is_trivial(&self) -> bool {
+        self.antecedents.iter().any(|row| {
+            self.schema.attr_ids().all(|c| {
+                self.is_existential_at(c) || row.get(c) == self.conclusion.get(c)
+            })
+        })
+    }
+
+    /// Renames variables to a canonical form: per column, variables are
+    /// renumbered densely in order of first occurrence (antecedent rows
+    /// first, then the conclusion). Two dependencies with identical row
+    /// structure compare equal after normalization.
+    pub fn normalized(&self) -> Td {
+        let arity = self.arity();
+        let mut rename: Vec<HashMap<Var, Var>> = vec![HashMap::new(); arity];
+        let mut next: Vec<u32> = vec![0; arity];
+        let map_row = |row: &TdRow,
+                           rename: &mut Vec<HashMap<Var, Var>>,
+                           next: &mut Vec<u32>| {
+            TdRow::new(row.components().map(|(c, v)| {
+                *rename[c.index()].entry(v).or_insert_with(|| {
+                    let nv = Var::new(next[c.index()]);
+                    next[c.index()] += 1;
+                    nv
+                })
+            }))
+        };
+        let antecedents: Vec<TdRow> = self
+            .antecedents
+            .iter()
+            .map(|r| map_row(r, &mut rename, &mut next))
+            .collect();
+        let conclusion = map_row(&self.conclusion, &mut rename, &mut next);
+        Td {
+            schema: self.schema.clone(),
+            name: self.name.clone(),
+            antecedents,
+            conclusion,
+        }
+    }
+
+    /// `true` if `self` and `other` are identical up to a per-column
+    /// renaming of variables (with rows in the same order).
+    pub fn eq_up_to_renaming(&self, other: &Td) -> bool {
+        if self.schema != other.schema {
+            return false;
+        }
+        let a = self.normalized();
+        let b = other.normalized();
+        a.antecedents == b.antecedents && a.conclusion == b.conclusion
+    }
+
+    /// Returns a copy with a different name.
+    pub fn renamed(&self, name: impl Into<String>) -> Td {
+        let mut td = self.clone();
+        td.name = name.into();
+        td
+    }
+
+    /// Largest variable id used per column, if any. Useful when generating
+    /// fresh variables for transformations.
+    pub fn max_var_per_column(&self) -> Vec<Option<Var>> {
+        let mut out: Vec<Option<Var>> = vec![None; self.arity()];
+        for row in self.antecedents.iter().chain(std::iter::once(&self.conclusion)) {
+            for (c, v) in row.components() {
+                let slot = &mut out[c.index()];
+                *slot = Some(match *slot {
+                    Some(m) if m >= v => m,
+                    _ => v,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Builds a [`Td`] from **named** variables, enforcing the paper's typing
+/// restriction by name.
+///
+/// The names `"*"` and `"_"` are anonymous: each occurrence denotes a fresh
+/// variable (in the conclusion this yields an existentially quantified
+/// component).
+///
+/// ```
+/// use td_core::prelude::*;
+/// let schema = Schema::new("R", ["A", "B", "C"]).unwrap();
+/// let td = TdBuilder::new(schema)
+///     .antecedent(["a", "b", "c"]).unwrap()
+///     .antecedent(["a", "b'", "c'"]).unwrap()
+///     .conclusion(["*", "b", "c'"]).unwrap()
+///     .build("fig1").unwrap();
+/// assert_eq!(td.antecedent_count(), 2);
+/// assert!(td.is_embedded());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TdBuilder {
+    schema: Schema,
+    /// name -> (column, var); typing restriction bans cross-column reuse.
+    names: HashMap<String, (AttrId, Var)>,
+    next_var: Vec<u32>,
+    antecedents: Vec<TdRow>,
+    conclusion: Option<TdRow>,
+}
+
+impl TdBuilder {
+    /// Starts building a dependency over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        Self {
+            schema,
+            names: HashMap::new(),
+            next_var: vec![0; arity],
+            antecedents: Vec::new(),
+            conclusion: None,
+        }
+    }
+
+    fn fresh_var(&mut self, col: AttrId) -> Var {
+        let v = Var::new(self.next_var[col.index()]);
+        self.next_var[col.index()] += 1;
+        v
+    }
+
+    fn resolve(&mut self, col: AttrId, name: &str) -> Result<Var> {
+        if name == "*" || name == "_" {
+            return Ok(self.fresh_var(col));
+        }
+        if let Some(&(owner, var)) = self.names.get(name) {
+            if owner != col {
+                return Err(CoreError::TypingViolation {
+                    name: name.to_owned(),
+                    first_column: self.schema.attr_name(owner).to_owned(),
+                    second_column: self.schema.attr_name(col).to_owned(),
+                });
+            }
+            return Ok(var);
+        }
+        let var = self.fresh_var(col);
+        self.names.insert(name.to_owned(), (col, var));
+        Ok(var)
+    }
+
+    fn resolve_row<I, S>(&mut self, cells: I) -> Result<TdRow>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut vars = Vec::with_capacity(self.schema.arity());
+        for (i, cell) in cells.into_iter().enumerate() {
+            if i >= self.schema.arity() {
+                return Err(CoreError::ArityMismatch {
+                    expected: self.schema.arity(),
+                    got: i + 1,
+                });
+            }
+            vars.push(self.resolve(AttrId::from(i), cell.as_ref())?);
+        }
+        if vars.len() != self.schema.arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: vars.len(),
+            });
+        }
+        Ok(TdRow::new(vars))
+    }
+
+    /// Adds an antecedent row of named variables.
+    pub fn antecedent<I, S>(mut self, cells: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let row = self.resolve_row(cells)?;
+        self.antecedents.push(row);
+        Ok(self)
+    }
+
+    /// Sets the conclusion row of named variables. Names not used in any
+    /// antecedent become existentially quantified.
+    pub fn conclusion<I, S>(mut self, cells: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let row = self.resolve_row(cells)?;
+        self.conclusion = Some(row);
+        Ok(self)
+    }
+
+    /// Finishes, validating the dependency.
+    pub fn build(self, name: impl Into<String>) -> Result<Td> {
+        let conclusion = self.conclusion.ok_or(CoreError::MissingConclusion)?;
+        Td::new(self.schema, self.antecedents, conclusion, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new("R", ["A", "B", "C"]).unwrap()
+    }
+
+    fn fig1() -> Td {
+        TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["*", "b", "c'"])
+            .unwrap()
+            .build("fig1")
+            .unwrap()
+    }
+
+    #[test]
+    fn fig1_shape() {
+        let td = fig1();
+        assert_eq!(td.antecedent_count(), 2);
+        assert_eq!(td.arity(), 3);
+        assert!(td.is_embedded());
+        assert!(!td.is_full());
+        assert_eq!(td.existential_columns(), vec![AttrId::new(0)]);
+        assert!(td.is_universal_at(AttrId::new(1)));
+        assert!(td.is_universal_at(AttrId::new(2)));
+        assert!(!td.is_trivial());
+    }
+
+    #[test]
+    fn shared_vars_are_shared() {
+        let td = fig1();
+        // Both antecedents share the A-variable.
+        let a0 = td.antecedents()[0].get(AttrId::new(0));
+        let a1 = td.antecedents()[1].get(AttrId::new(0));
+        assert_eq!(a0, a1);
+        // Conclusion's B-variable equals row 0's.
+        assert_eq!(
+            td.conclusion().get(AttrId::new(1)),
+            td.antecedents()[0].get(AttrId::new(1))
+        );
+        // Conclusion's C-variable equals row 1's.
+        assert_eq!(
+            td.conclusion().get(AttrId::new(2)),
+            td.antecedents()[1].get(AttrId::new(2))
+        );
+    }
+
+    #[test]
+    fn typing_violation_detected() {
+        let err = TdBuilder::new(schema())
+            .antecedent(["x", "x", "c"]) // `x` reused across columns A and B
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::TypingViolation {
+                name: "x".into(),
+                first_column: "A".into(),
+                second_column: "B".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn full_dependency() {
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a'", "b", "c'"])
+            .unwrap()
+            .conclusion(["a", "b", "c'"])
+            .unwrap()
+            .build("full")
+            .unwrap();
+        assert!(td.is_full());
+        assert!(td.existential_columns().is_empty());
+        assert!(!td.is_trivial());
+    }
+
+    #[test]
+    fn trivial_dependency_detected() {
+        // Conclusion repeats the first antecedent exactly.
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["a", "b", "c"])
+            .unwrap()
+            .build("triv")
+            .unwrap();
+        assert!(td.is_trivial());
+
+        // Conclusion agrees with antecedent 0 on universals, existential in A.
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .conclusion(["*", "b", "c"])
+            .unwrap()
+            .build("triv2")
+            .unwrap();
+        assert!(td.is_trivial());
+
+        assert!(!fig1().is_trivial());
+    }
+
+    #[test]
+    fn anonymous_vars_are_fresh_each_time() {
+        let td = TdBuilder::new(schema())
+            .antecedent(["_", "b", "_"])
+            .unwrap()
+            .conclusion(["_", "b", "_"])
+            .unwrap()
+            .build("anon")
+            .unwrap();
+        // Anonymous antecedent cells are distinct from anonymous conclusion
+        // cells, so A and C are existential in the conclusion.
+        assert_eq!(
+            td.existential_columns(),
+            vec![AttrId::new(0), AttrId::new(2)]
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = TdBuilder::new(schema()).antecedent(["a", "b"]).unwrap_err();
+        assert_eq!(err, CoreError::ArityMismatch { expected: 3, got: 2 });
+        let err = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c", "d"])
+            .unwrap_err();
+        assert_eq!(err, CoreError::ArityMismatch { expected: 3, got: 4 });
+    }
+
+    #[test]
+    fn missing_pieces_rejected() {
+        let err = TdBuilder::new(schema()).build("x").unwrap_err();
+        assert_eq!(err, CoreError::MissingConclusion);
+        let err = TdBuilder::new(schema())
+            .conclusion(["a", "b", "c"])
+            .unwrap()
+            .build("x")
+            .unwrap_err();
+        assert_eq!(err, CoreError::EmptyAntecedents);
+    }
+
+    #[test]
+    fn normalization_and_renaming_equality() {
+        let td1 = fig1();
+        // Same dependency, different variable names.
+        let td2 = TdBuilder::new(schema())
+            .antecedent(["s", "t", "u"])
+            .unwrap()
+            .antecedent(["s", "t2", "u2"])
+            .unwrap()
+            .conclusion(["*", "t", "u2"])
+            .unwrap()
+            .build("fig1-renamed")
+            .unwrap();
+        assert!(td1.eq_up_to_renaming(&td2));
+
+        // A genuinely different dependency.
+        let td3 = TdBuilder::new(schema())
+            .antecedent(["s", "t", "u"])
+            .unwrap()
+            .antecedent(["s2", "t2", "u2"]) // A no longer shared
+            .unwrap()
+            .conclusion(["*", "t", "u2"])
+            .unwrap()
+            .build("other")
+            .unwrap();
+        assert!(!td1.eq_up_to_renaming(&td3));
+    }
+
+    #[test]
+    fn max_var_per_column() {
+        let td = fig1();
+        let maxes = td.max_var_per_column();
+        assert_eq!(maxes.len(), 3);
+        // Column A: vars a and * (2 vars -> max id 1).
+        assert_eq!(maxes[0], Some(Var::new(1)));
+        // Columns B, C: two named vars each.
+        assert_eq!(maxes[1], Some(Var::new(1)));
+        assert_eq!(maxes[2], Some(Var::new(1)));
+    }
+
+    #[test]
+    fn renamed_keeps_structure() {
+        let td = fig1().renamed("copy");
+        assert_eq!(td.name(), "copy");
+        assert!(td.eq_up_to_renaming(&fig1()));
+    }
+}

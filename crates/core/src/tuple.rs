@@ -1,0 +1,122 @@
+//! Tuples of typed values.
+
+use crate::ids::{AttrId, Value};
+
+/// One row of the relation: a vector of [`Value`]s, one per column.
+///
+/// Values are typed per column (the paper's typing restriction): the `Value`
+/// in column 0 and the `Value` in column 1 live in disjoint domains even when
+/// their numeric ids coincide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Self { values: values.into_iter().collect() }
+    }
+
+    /// Creates a tuple from raw `u32` value ids.
+    pub fn from_raw(values: impl IntoIterator<Item = u32>) -> Self {
+        Self::new(values.into_iter().map(Value::new))
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value in column `col`.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range.
+    pub fn get(&self, col: AttrId) -> Value {
+        self.values[col.index()]
+    }
+
+    /// Replaces the value in column `col`, returning the old value.
+    pub fn set(&mut self, col: AttrId, v: Value) -> Value {
+        std::mem::replace(&mut self.values[col.index()], v)
+    }
+
+    /// Iterates over `(AttrId, Value)` pairs in column order.
+    pub fn components(&self) -> impl Iterator<Item = (AttrId, Value)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (AttrId::from(i), v))
+    }
+
+    /// The underlying value slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// `true` if this tuple agrees with `other` on column `col`.
+    pub fn agrees_on(&self, other: &Tuple, col: AttrId) -> bool {
+        self.get(col) == other.get(col)
+    }
+}
+
+impl std::fmt::Display for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", v.raw())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from_raw([5, 7, 9]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(AttrId::new(1)), Value::new(7));
+        assert_eq!(t.values().len(), 3);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut t = Tuple::from_raw([1, 2]);
+        let old = t.set(AttrId::new(0), Value::new(9));
+        assert_eq!(old, Value::new(1));
+        assert_eq!(t.get(AttrId::new(0)), Value::new(9));
+    }
+
+    #[test]
+    fn agreement() {
+        let a = Tuple::from_raw([1, 2, 3]);
+        let b = Tuple::from_raw([1, 9, 3]);
+        assert!(a.agrees_on(&b, AttrId::new(0)));
+        assert!(!a.agrees_on(&b, AttrId::new(1)));
+        assert!(a.agrees_on(&b, AttrId::new(2)));
+    }
+
+    #[test]
+    fn display_and_collect() {
+        let t: Tuple = [Value::new(1), Value::new(2)].into_iter().collect();
+        assert_eq!(t.to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Tuple::from_raw([1, 2]) < Tuple::from_raw([1, 3]));
+        assert!(Tuple::from_raw([0, 9]) < Tuple::from_raw([1, 0]));
+    }
+}

@@ -1,0 +1,203 @@
+//! A classic disjoint-set (union–find) structure with path compression and
+//! union by rank.
+//!
+//! The paper's model constructions manipulate one equivalence relation per
+//! attribute ("each type of edge label represents an equivalence relation");
+//! [`UnionFind`] is the workhorse behind
+//! [`EqInstance`](crate::eq_instance::EqInstance) and the diagram-to-TD
+//! conversion.
+
+/// Disjoint-set forest over the integers `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton classes.
+    pub fn new(len: usize) -> Self {
+        Self {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+        }
+    }
+
+    /// Number of elements (not classes).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Appends a fresh singleton element and returns its index.
+    pub fn push(&mut self) -> usize {
+        let ix = self.parent.len();
+        self.parent.push(ix as u32);
+        self.rank.push(0);
+        ix
+    }
+
+    /// Finds the representative of `x`'s class (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Compress the path.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Finds the representative without mutating (no path compression).
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        root
+    }
+
+    /// Merges the classes of `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// `true` if `a` and `b` are in the same class.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Immutable variant of [`Self::same`].
+    pub fn same_immutable(&self, a: usize, b: usize) -> bool {
+        self.find_immutable(a) == self.find_immutable(b)
+    }
+
+    /// Number of distinct classes.
+    pub fn class_count(&self) -> usize {
+        (0..self.len())
+            .filter(|&i| self.find_immutable(i) == i)
+            .count()
+    }
+
+    /// Assigns each element a dense class label in `0..class_count()`, in
+    /// order of first appearance. Useful for canonical forms.
+    pub fn dense_labels(&self) -> Vec<u32> {
+        let mut label_of_root = vec![u32::MAX; self.len()];
+        let mut labels = Vec::with_capacity(self.len());
+        let mut next = 0u32;
+        for i in 0..self.len() {
+            let r = self.find_immutable(i);
+            if label_of_root[r] == u32::MAX {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            labels.push(label_of_root[r]);
+        }
+        labels
+    }
+
+    /// Enumerates the classes as sorted vectors of member indices, ordered by
+    /// smallest member.
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for i in 0..self.len() {
+            by_root.entry(self.find_immutable(i)).or_default().push(i);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+
+    /// Size of the class containing `x`.
+    pub fn class_size(&self, x: usize) -> usize {
+        let r = self.find_immutable(x);
+        (0..self.len())
+            .filter(|&i| self.find_immutable(i) == r)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.class_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(1, 2));
+        assert_eq!(uf.class_count(), 3);
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.class_count(), 2);
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut uf = UnionFind::new(1);
+        let a = uf.push();
+        assert_eq!(a, 1);
+        assert_eq!(uf.len(), 2);
+        assert!(!uf.same(0, 1));
+        uf.union(0, 1);
+        assert!(uf.same(0, 1));
+    }
+
+    #[test]
+    fn dense_labels_are_first_appearance_ordered() {
+        let mut uf = UnionFind::new(6);
+        uf.union(1, 4);
+        uf.union(2, 5);
+        let labels = uf.dense_labels();
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[3], 3);
+        assert_eq!(labels[4], 1);
+        assert_eq!(labels[5], 2);
+    }
+
+    #[test]
+    fn classes_enumeration() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 3);
+        let cls = uf.classes();
+        assert_eq!(cls, vec![vec![0, 3], vec![1], vec![2]]);
+        assert_eq!(uf.class_size(0), 2);
+        assert_eq!(uf.class_size(1), 1);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.class_count(), 0);
+        assert!(uf.classes().is_empty());
+    }
+}

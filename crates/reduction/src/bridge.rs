@@ -1,0 +1,211 @@
+//! Bridges: the row structures representing words (Fig. 2).
+//!
+//! "The basic idea is to represent a word A₁A₂…A_k over S by the structure
+//! of Fig. 2. … All the elements across the bottom of a bridge are
+//! E-equivalent, all those across the top of a bridge are E′-equivalent,
+//! and each symbol Aᵢ of the word is represented by a triangle with the
+//! apex having relations Aᵢ′ and Aᵢ″ to the two points on the base."
+//!
+//! A bridge for a word of length `k` has `k+1` base points `c₀…c_k` and `k`
+//! apexes `d₁…d_k`; apex `dᵢ₊₁` is `Aᵢ′`-related to `cᵢ` and `Aᵢ″`-related
+//! to `cᵢ₊₁`.
+
+use td_core::eq_instance::EqInstance;
+use td_core::ids::RowId;
+use td_semigroup::word::Word;
+
+use crate::attrs::ReductionAttrs;
+use crate::error::{RedError, Result};
+
+/// A bridge embedded in an [`EqInstance`]: row ids of its base points and
+/// apexes, plus the word it represents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bridge {
+    word: Word,
+    base: Vec<RowId>,
+    apexes: Vec<RowId>,
+}
+
+impl Bridge {
+    /// Builds a fresh bridge for `word` inside `eq` (adding `k+1 + k` rows)
+    /// and returns it.
+    pub fn build(eq: &mut EqInstance, attrs: &ReductionAttrs, word: &Word) -> Result<Bridge> {
+        let k = word.len();
+        let base: Vec<RowId> = (0..=k).map(|_| eq.add_row()).collect();
+        let apexes: Vec<RowId> = (0..k).map(|_| eq.add_row()).collect();
+        // Bottom row E-equivalent.
+        for w in base.windows(2) {
+            eq.merge(attrs.e(), w[0], w[1])?;
+        }
+        // Top row E'-equivalent.
+        for w in apexes.windows(2) {
+            eq.merge(attrs.e_prime(), w[0], w[1])?;
+        }
+        // Triangles.
+        for (i, &sym) in word.syms().iter().enumerate() {
+            eq.merge(attrs.prime(sym), apexes[i], base[i])?;
+            eq.merge(attrs.dprime(sym), apexes[i], base[i + 1])?;
+        }
+        Ok(Bridge { word: word.clone(), base, apexes })
+    }
+
+    /// The represented word.
+    pub fn word(&self) -> &Word {
+        &self.word
+    }
+
+    /// Base points `c₀…c_k`.
+    pub fn base(&self) -> &[RowId] {
+        &self.base
+    }
+
+    /// Apexes `d₁…d_k`.
+    pub fn apexes(&self) -> &[RowId] {
+        &self.apexes
+    }
+
+    /// Number of rows the bridge occupies.
+    pub fn row_count(&self) -> usize {
+        self.base.len() + self.apexes.len()
+    }
+
+    /// Checks every bridge invariant against `eq`:
+    /// base pairwise `E`-equivalent, apexes pairwise `E′`-equivalent, and
+    /// each triangle's `Aᵢ′` / `Aᵢ″` relations in place.
+    pub fn validate(&self, eq: &EqInstance, attrs: &ReductionAttrs) -> Result<()> {
+        let k = self.word.len();
+        if self.base.len() != k + 1 || self.apexes.len() != k {
+            return Err(RedError::BridgeInvariant(format!(
+                "row counts: base {} (want {}), apexes {} (want {})",
+                self.base.len(),
+                k + 1,
+                self.apexes.len(),
+                k
+            )));
+        }
+        for (i, w) in self.base.windows(2).enumerate() {
+            if !eq.same(attrs.e(), w[0], w[1]) {
+                return Err(RedError::BridgeInvariant(format!(
+                    "base points {i} and {} not E-equivalent",
+                    i + 1
+                )));
+            }
+        }
+        for (i, w) in self.apexes.windows(2).enumerate() {
+            if !eq.same(attrs.e_prime(), w[0], w[1]) {
+                return Err(RedError::BridgeInvariant(format!(
+                    "apexes {i} and {} not E'-equivalent",
+                    i + 1
+                )));
+            }
+        }
+        for (i, &sym) in self.word.syms().iter().enumerate() {
+            if !eq.same(attrs.prime(sym), self.apexes[i], self.base[i]) {
+                return Err(RedError::BridgeInvariant(format!(
+                    "apex {i} lacks the {}' relation to its left base point",
+                    attrs.alphabet().name(sym)
+                )));
+            }
+            if !eq.same(attrs.dprime(sym), self.apexes[i], self.base[i + 1]) {
+                return Err(RedError::BridgeInvariant(format!(
+                    "apex {i} lacks the {}'' relation to its right base point",
+                    attrs.alphabet().name(sym)
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_semigroup::alphabet::Alphabet;
+
+    fn setup() -> (ReductionAttrs, Alphabet) {
+        let alphabet = Alphabet::standard(2);
+        (ReductionAttrs::new(&alphabet).unwrap(), alphabet)
+    }
+
+    #[test]
+    fn single_symbol_bridge() {
+        let (attrs, alphabet) = setup();
+        let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+        let w = Word::single(alphabet.a0());
+        let b = Bridge::build(&mut eq, &attrs, &w).unwrap();
+        assert_eq!(b.row_count(), 3);
+        assert_eq!(eq.len(), 3);
+        b.validate(&eq, &attrs).unwrap();
+        // The apex is A0'-related to c0 and A0''-related to c1.
+        assert!(eq.same(attrs.prime(alphabet.a0()), b.apexes()[0], b.base()[0]));
+        assert!(eq.same(attrs.dprime(alphabet.a0()), b.apexes()[0], b.base()[1]));
+        // Distinct relations stay trivial.
+        assert!(!eq.same(attrs.prime(alphabet.zero()), b.apexes()[0], b.base()[0]));
+    }
+
+    #[test]
+    fn longer_bridges_validate() {
+        let (attrs, alphabet) = setup();
+        for text in ["A0 A1", "A0 A1 0", "A1 A1 A1 A1"] {
+            let w = Word::parse(text, &alphabet).unwrap();
+            let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+            let b = Bridge::build(&mut eq, &attrs, &w).unwrap();
+            assert_eq!(b.base().len(), w.len() + 1);
+            assert_eq!(b.apexes().len(), w.len());
+            b.validate(&eq, &attrs).unwrap();
+        }
+    }
+
+    #[test]
+    fn base_is_fully_e_equivalent() {
+        let (attrs, alphabet) = setup();
+        let w = Word::parse("A0 A1 0", &alphabet).unwrap();
+        let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+        let b = Bridge::build(&mut eq, &attrs, &w).unwrap();
+        for &x in b.base() {
+            for &y in b.base() {
+                assert!(eq.same(attrs.e(), x, y));
+            }
+            for &a in b.apexes() {
+                assert!(!eq.same(attrs.e(), x, a), "apexes are not in the base row");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_bridge_detected() {
+        let (attrs, alphabet) = setup();
+        let w = Word::parse("A0 A1", &alphabet).unwrap();
+        let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+        let b = Bridge::build(&mut eq, &attrs, &w).unwrap();
+        // Claim the bridge represents a different word: triangle check fails.
+        let lying = Bridge {
+            word: Word::parse("A1 A1", &alphabet).unwrap(),
+            base: b.base().to_vec(),
+            apexes: b.apexes().to_vec(),
+        };
+        assert!(matches!(
+            lying.validate(&eq, &attrs),
+            Err(RedError::BridgeInvariant(_))
+        ));
+        // Wrong arity of parts.
+        let truncated = Bridge {
+            word: b.word().clone(),
+            base: b.base()[..1].to_vec(),
+            apexes: b.apexes().to_vec(),
+        };
+        assert!(truncated.validate(&eq, &attrs).is_err());
+    }
+
+    #[test]
+    fn two_bridges_are_disjoint() {
+        let (attrs, alphabet) = setup();
+        let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+        let b1 = Bridge::build(&mut eq, &attrs, &Word::single(alphabet.a0())).unwrap();
+        let b2 = Bridge::build(&mut eq, &attrs, &Word::single(alphabet.a0())).unwrap();
+        b1.validate(&eq, &attrs).unwrap();
+        b2.validate(&eq, &attrs).unwrap();
+        assert!(!eq.same(attrs.e(), b1.base()[0], b2.base()[0]));
+        assert!(!eq.same(attrs.e_prime(), b1.apexes()[0], b2.apexes()[0]));
+    }
+}

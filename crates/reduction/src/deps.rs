@@ -1,0 +1,491 @@
+//! The dependencies of Figure 3: `D1(r)…D4(r)` per equation `r: AB = C`,
+//! and the goal dependency `D₀`.
+//!
+//! The figure itself is only referenced in the text we work from; the
+//! precise shapes below are reconstructed from the proof's case analysis
+//! (which names the matched tuples explicitly) and from what part (A)'s
+//! induction needs. Anchors, quoting the proof of (B):
+//!
+//! * **D1**: "Then necessarily t₄ = ⟨t₁,A,t₂⟩, t₅ = ⟨t₂,B,t₃⟩, so that
+//!   t₁A = t₂ and t₁AB = t₃. Then t₁C = t₃ and ∗ may be chosen as
+//!   ⟨t₁,C,t₃⟩." — five antecedents: three E-linked base points and the two
+//!   triangles for `A` and `B`; conclusion: the `C`-triangle's apex.
+//! * **D2**: "So t₃ = ⟨t₁,C,t₂⟩; and there is some t such that t₁Ct = A₀.
+//!   Hence t₁A ∈ P. Then let ∗ be ⟨t₁,A,t₁A⟩." — expansion, left apex with
+//!   a dangling (existential) `A″` foot.
+//! * **D3**: "Completely analogous to (D2)." — right apex, dangling `B′`.
+//! * **D4**: "t₃ = ⟨t₁,C,t₂⟩, t₄ = ⟨t₁,A,b₁⟩ …, t₅ = ⟨b₂,B,t₂⟩ … Then
+//!   b₁B = t₁AB = t₁C = t₂ = b₂B and b₁ = b₂ by cancellation. Choose ∗ to
+//!   be this element." — merges the dangling feet into one new base point.
+//! * **D₀**: from the statement of part (A): given `a ≈_E b`,
+//!   `a ≈_{A₀′} d₀`, `b ≈_{A₀″} d₀`, "there is a d₁ such that d₀ ≈_{E′} d₁,
+//!   a ≈_{0′} d₁, and d₁ ≈_{0″} b".
+//!
+//! All dependencies are built as [`Diagram`]s (the notation the paper
+//! itself uses) and converted to [`Td`]s; node numbering inside each
+//! diagram follows the paper's `t₁ … t₅, ∗`.
+
+use td_core::diagram::Diagram;
+use td_core::td::Td;
+use td_semigroup::presentation::Presentation;
+use td_semigroup::symbol::Sym;
+
+use crate::attrs::ReductionAttrs;
+use crate::error::{RedError, Result};
+
+/// A normalized equation `a·b = c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule2 {
+    /// Left symbol of the product.
+    pub a: Sym,
+    /// Right symbol of the product.
+    pub b: Sym,
+    /// The single-symbol right-hand side.
+    pub c: Sym,
+}
+
+impl Rule2 {
+    /// Renders like `A B = C` using the alphabet names.
+    pub fn render(&self, attrs: &ReductionAttrs) -> String {
+        let al = attrs.alphabet();
+        format!(
+            "{} {} = {}",
+            al.name(self.a),
+            al.name(self.b),
+            al.name(self.c)
+        )
+    }
+}
+
+/// A rule of the reduction: either a product equation `a·b = c` (the
+/// paper's normalized shape, yielding `D1…D4`) or a single-symbol equation
+/// `a = b` (our conservative extension, yielding the relabeling pair
+/// `D5`/`D6`; see [`build_d_identify`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `a·b = c`.
+    Product(Rule2),
+    /// `a = b` between single symbols.
+    Identify {
+        /// Left-hand symbol.
+        a: Sym,
+        /// Right-hand symbol.
+        b: Sym,
+    },
+}
+
+impl Rule {
+    /// Renders the rule with alphabet names.
+    pub fn render(&self, attrs: &ReductionAttrs) -> String {
+        match *self {
+            Rule::Product(r) => r.render(attrs),
+            Rule::Identify { a, b } => {
+                let al = attrs.alphabet();
+                format!("{} = {}", al.name(a), al.name(b))
+            }
+        }
+    }
+
+    /// Number of dependencies this rule contributes (4 or 2).
+    pub fn dep_count(&self) -> usize {
+        match self {
+            Rule::Product(_) => 4,
+            Rule::Identify { .. } => 2,
+        }
+    }
+}
+
+/// Builds `D1(r)`: contract an `A`,`B` triangle pair into a `C` triangle.
+///
+/// Nodes: 0,1,2 = base points t₁,t₂,t₃ (all `E`-equivalent); 3 = t₄ the
+/// `A`-apex over (t₁,t₂); 4 = t₅ the `B`-apex over (t₂,t₃); 5 = ∗ the new
+/// `C`-apex over (t₁,t₃), `E′`-linked to the existing apexes.
+pub fn build_d1(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
+    let mut d = Diagram::new(attrs.schema().clone(), 6, 5)?;
+    d.add_edge(0, 1, attrs.e())?;
+    d.add_edge(1, 2, attrs.e())?;
+    d.add_edge(3, 0, attrs.prime(r.a))?;
+    d.add_edge(3, 1, attrs.dprime(r.a))?;
+    d.add_edge(4, 1, attrs.prime(r.b))?;
+    d.add_edge(4, 2, attrs.dprime(r.b))?;
+    d.add_edge(3, 4, attrs.e_prime())?;
+    // Conclusion.
+    d.add_edge(5, 0, attrs.prime(r.c))?;
+    d.add_edge(5, 2, attrs.dprime(r.c))?;
+    d.add_edge(5, 3, attrs.e_prime())?;
+    Ok(d.to_td(format!("D1({})", r.render(attrs)))?)
+}
+
+/// Builds `D2(r)`: expansion, left half — from a `C` triangle over (t₁,t₂),
+/// produce the `A`-apex ⟨t₁,A,t₁A⟩ whose `A″` foot is existential.
+///
+/// Nodes: 0,1 = t₁,t₂ (`E`-equivalent); 2 = t₃ the `C`-apex; 3 = ∗.
+pub fn build_d2(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
+    let mut d = Diagram::new(attrs.schema().clone(), 4, 3)?;
+    d.add_edge(0, 1, attrs.e())?;
+    d.add_edge(2, 0, attrs.prime(r.c))?;
+    d.add_edge(2, 1, attrs.dprime(r.c))?;
+    // Conclusion: A'-linked to t1, apex row.
+    d.add_edge(3, 0, attrs.prime(r.a))?;
+    d.add_edge(3, 2, attrs.e_prime())?;
+    Ok(d.to_td(format!("D2({})", r.render(attrs)))?)
+}
+
+/// Builds `D3(r)`: expansion, right half — the `B`-apex ⟨b₂,B,t₂⟩ whose
+/// `B′` foot is existential. "Completely analogous to (D2)."
+pub fn build_d3(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
+    let mut d = Diagram::new(attrs.schema().clone(), 4, 3)?;
+    d.add_edge(0, 1, attrs.e())?;
+    d.add_edge(2, 0, attrs.prime(r.c))?;
+    d.add_edge(2, 1, attrs.dprime(r.c))?;
+    // Conclusion: B''-linked to t2, apex row.
+    d.add_edge(3, 1, attrs.dprime(r.b))?;
+    d.add_edge(3, 2, attrs.e_prime())?;
+    Ok(d.to_td(format!("D3({})", r.render(attrs)))?)
+}
+
+/// Builds `D4(r)`: expansion, merge — given the `C` triangle and both
+/// dangling apexes, cancellation (`b₁ = b₂`) yields the shared middle base
+/// point: `E`-equivalent to the base row, `A″`-linked to the `A`-apex and
+/// `B′`-linked to the `B`-apex.
+///
+/// Nodes: 0,1 = t₁,t₂; 2 = t₃ (`C`-apex); 3 = t₄ (`A`-apex); 4 = t₅
+/// (`B`-apex); 5 = ∗ the merged foot.
+pub fn build_d4(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
+    let mut d = Diagram::new(attrs.schema().clone(), 6, 5)?;
+    d.add_edge(0, 1, attrs.e())?;
+    d.add_edge(2, 0, attrs.prime(r.c))?;
+    d.add_edge(2, 1, attrs.dprime(r.c))?;
+    d.add_edge(3, 0, attrs.prime(r.a))?;
+    d.add_edge(4, 1, attrs.dprime(r.b))?;
+    d.add_edge(2, 3, attrs.e_prime())?;
+    d.add_edge(3, 4, attrs.e_prime())?;
+    // Conclusion: the merged middle base point.
+    d.add_edge(5, 3, attrs.dprime(r.a))?;
+    d.add_edge(5, 4, attrs.prime(r.b))?;
+    d.add_edge(5, 0, attrs.e())?;
+    Ok(d.to_td(format!("D4({})", r.render(attrs)))?)
+}
+
+/// Builds the relabeling dependency for a single-symbol equation `a = b`:
+/// an `a`-triangle over a base pair implies a `b`-triangle over the same
+/// base, `E′`-linked to the existing apex. (Not part of Fig. 3 — the
+/// paper's normalized φ has no `(1,1)` equations — but the construction
+/// extends conservatively: in the part (B) model, a matched `a`-triangle
+/// means `t₁·ā = t₂`, and `ā = b̄` in `G` gives `⟨t₁,b,t₂⟩ ∈ Q`; the
+/// degenerate collapsed cases pick ∗ as the matched point itself, exactly
+/// as in the paper's (D1)/(D2) case analysis.)
+///
+/// Nodes: 0,1 = base pair (`E`); 2 = the `a`-apex; 3 = ∗ the `b`-apex.
+pub fn build_d_identify(
+    attrs: &ReductionAttrs,
+    a: Sym,
+    b: Sym,
+    name: impl Into<String>,
+) -> Result<Td> {
+    let mut d = Diagram::new(attrs.schema().clone(), 4, 3)?;
+    d.add_edge(0, 1, attrs.e())?;
+    d.add_edge(2, 0, attrs.prime(a))?;
+    d.add_edge(2, 1, attrs.dprime(a))?;
+    // Conclusion.
+    d.add_edge(3, 0, attrs.prime(b))?;
+    d.add_edge(3, 1, attrs.dprime(b))?;
+    d.add_edge(3, 2, attrs.e_prime())?;
+    Ok(d.to_td(name)?)
+}
+
+/// Builds `D₀`: an `A₀`-triangle over a base pair implies a `0`-triangle
+/// over the same base, `E′`-linked to the `A₀`-apex.
+pub fn build_d0(attrs: &ReductionAttrs) -> Result<Td> {
+    let a0 = attrs.alphabet().a0();
+    let zero = attrs.alphabet().zero();
+    let mut d = Diagram::new(attrs.schema().clone(), 4, 3)?;
+    d.add_edge(0, 1, attrs.e())?;
+    d.add_edge(2, 0, attrs.prime(a0))?;
+    d.add_edge(2, 1, attrs.dprime(a0))?;
+    // Conclusion d₁.
+    d.add_edge(3, 0, attrs.prime(zero))?;
+    d.add_edge(3, 1, attrs.dprime(zero))?;
+    d.add_edge(3, 2, attrs.e_prime())?;
+    Ok(d.to_td("D0")?)
+}
+
+/// The full reduction output for one word-problem instance.
+#[derive(Debug, Clone)]
+pub struct ReductionSystem {
+    /// The attribute scheme (2n+2 attributes).
+    pub attrs: ReductionAttrs,
+    /// The rules, in presentation-equation order.
+    pub rules: Vec<Rule>,
+    /// For each presentation equation index, the corresponding rule index.
+    pub eq_to_rule: Vec<usize>,
+    /// All dependencies, grouped per rule (see [`Self::dep_index`]).
+    pub deps: Vec<Td>,
+    /// Start offset of each rule's dependency group within `deps`.
+    pub dep_start: Vec<usize>,
+    /// The goal dependency `D₀`.
+    pub d0: Td,
+}
+
+impl ReductionSystem {
+    /// Dependency index of `Dk(rule)` within [`Self::deps`]. For product
+    /// rules `k ∈ 1..=4` selects `D1…D4`; for identify rules `k ∈ 1..=2`
+    /// selects the forward (`a→b`) and backward (`b→a`) relabelings.
+    pub fn dep_index(&self, rule: usize, k: usize) -> usize {
+        debug_assert!(k >= 1 && k <= self.rules[rule].dep_count());
+        self.dep_start[rule] + (k - 1)
+    }
+
+    /// The dependency `Dk(rule)`.
+    pub fn dep(&self, rule: usize, k: usize) -> &Td {
+        &self.deps[self.dep_index(rule, k)]
+    }
+
+    /// Maximum antecedent count over all dependencies (the paper: ≤ 5).
+    pub fn max_antecedents(&self) -> usize {
+        self.deps
+            .iter()
+            .chain(std::iter::once(&self.d0))
+            .map(Td::antecedent_count)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Builds the reduction for a **reduction-ready, zero-saturated**
+/// presentation: every equation `(2,1)` (yielding `D1…D4`) or a
+/// non-reflexive `(1,1)` (yielding the `D5`/`D6` relabeling pair).
+pub fn build_system(p: &Presentation) -> Result<ReductionSystem> {
+    let attrs = ReductionAttrs::new(p.alphabet())?;
+    let mut rules = Vec::with_capacity(p.equations().len());
+    let mut eq_to_rule = Vec::with_capacity(p.equations().len());
+    let mut deps = Vec::with_capacity(4 * p.equations().len());
+    let mut dep_start = Vec::with_capacity(p.equations().len());
+    for (i, eq) in p.equations().iter().enumerate() {
+        eq_to_rule.push(rules.len());
+        dep_start.push(deps.len());
+        if eq.is_two_one() {
+            let r = Rule2 { a: eq.lhs.get(0), b: eq.lhs.get(1), c: eq.rhs.get(0) };
+            rules.push(Rule::Product(r));
+            deps.push(build_d1(&attrs, r)?);
+            deps.push(build_d2(&attrs, r)?);
+            deps.push(build_d3(&attrs, r)?);
+            deps.push(build_d4(&attrs, r)?);
+        } else if eq.is_one_one() && !eq.is_reflexive() {
+            let (a, b) = (eq.lhs.get(0), eq.rhs.get(0));
+            let rule = Rule::Identify { a, b };
+            let base = rule.render(&attrs);
+            rules.push(rule);
+            deps.push(build_d_identify(&attrs, a, b, format!("D5({base})"))?);
+            deps.push(build_d_identify(&attrs, b, a, format!("D6({base})"))?);
+        } else {
+            return Err(RedError::NotNormalized { eq_index: i });
+        }
+    }
+    let d0 = build_d0(&attrs)?;
+    Ok(ReductionSystem { attrs, rules, eq_to_rule, deps, dep_start, d0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::ids::AttrId;
+    use td_semigroup::alphabet::Alphabet;
+    use td_semigroup::equation::Equation;
+
+    fn example_system() -> ReductionSystem {
+        let alphabet = Alphabet::standard(2);
+        let e1 = Equation::parse("A1 A1 = A0", &alphabet).unwrap();
+        let e2 = Equation::parse("A1 A1 = 0", &alphabet).unwrap();
+        let mut p = Presentation::new(alphabet, vec![e1, e2]).unwrap();
+        p.saturate_with_zero_equations();
+        build_system(&p).unwrap()
+    }
+
+    #[test]
+    fn antecedent_bound_is_five() {
+        let sys = example_system();
+        assert_eq!(sys.max_antecedents(), 5);
+        for (i, _) in sys.rules.iter().enumerate() {
+            assert_eq!(sys.dep(i, 1).antecedent_count(), 5);
+            assert_eq!(sys.dep(i, 2).antecedent_count(), 3);
+            assert_eq!(sys.dep(i, 3).antecedent_count(), 3);
+            assert_eq!(sys.dep(i, 4).antecedent_count(), 5);
+        }
+        assert_eq!(sys.d0.antecedent_count(), 3);
+    }
+
+    #[test]
+    fn attribute_count_is_2n_plus_2() {
+        let sys = example_system();
+        // |S| = 3 (A0, A1, 0).
+        assert_eq!(sys.attrs.arity(), 8);
+        for td in sys.deps.iter().chain(std::iter::once(&sys.d0)) {
+            assert_eq!(td.arity(), 8);
+        }
+    }
+
+    #[test]
+    fn four_dependencies_per_equation() {
+        let sys = example_system();
+        // 2 declared + 5 zero equations = 7 rules; 28 dependencies.
+        assert_eq!(sys.rules.len(), 7);
+        assert_eq!(sys.deps.len(), 28);
+        assert_eq!(sys.eq_to_rule.len(), 7);
+    }
+
+    #[test]
+    fn d1_shape_matches_reconstruction() {
+        let sys = example_system();
+        let Rule::Product(r) = sys.rules[0] else { panic!("product rule") }; // A1 A1 = A0
+        let d1 = sys.dep(0, 1);
+        assert!(d1.is_embedded());
+        // Existential columns: everything except E' (conclusion shares the
+        // apex row) and C'/C'' (the new triangle's feet): the conclusion has
+        // edges in C', C'', E' only — so universal there, existential
+        // elsewhere.
+        let universal: Vec<AttrId> = sys
+            .attrs
+            .schema()
+            .attr_ids()
+            .filter(|&c| d1.is_universal_at(c))
+            .collect();
+        let expected = vec![
+            sys.attrs.e_prime(),
+            sys.attrs.prime(r.c),
+            sys.attrs.dprime(r.c),
+        ];
+        for c in &expected {
+            assert!(universal.contains(c), "expected universal {c}");
+        }
+        assert_eq!(universal.len(), 3);
+        assert!(!d1.is_trivial());
+    }
+
+    #[test]
+    fn d2_d3_shapes() {
+        let sys = example_system();
+        let Rule::Product(r) = sys.rules[0] else { panic!("product rule") };
+        let d2 = sys.dep(0, 2);
+        let d3 = sys.dep(0, 3);
+        // D2 conclusion universal exactly at A' and E'.
+        let u2: Vec<AttrId> = sys
+            .attrs
+            .schema()
+            .attr_ids()
+            .filter(|&c| d2.is_universal_at(c))
+            .collect();
+        assert!(u2.contains(&sys.attrs.e_prime()));
+        assert!(u2.contains(&sys.attrs.prime(r.a)));
+        assert_eq!(u2.len(), 2);
+        // D3 conclusion universal exactly at B'' and E'.
+        let u3: Vec<AttrId> = sys
+            .attrs
+            .schema()
+            .attr_ids()
+            .filter(|&c| d3.is_universal_at(c))
+            .collect();
+        assert!(u3.contains(&sys.attrs.e_prime()));
+        assert!(u3.contains(&sys.attrs.dprime(r.b)));
+        assert_eq!(u3.len(), 2);
+    }
+
+    #[test]
+    fn d4_conclusion_is_a_base_point() {
+        let sys = example_system();
+        let Rule::Product(r) = sys.rules[0] else { panic!("product rule") };
+        let d4 = sys.dep(0, 4);
+        // Conclusion universal at E (base row), A'' (foot of A-apex), B'
+        // (foot of B-apex).
+        assert!(d4.is_universal_at(sys.attrs.e()));
+        assert!(d4.is_universal_at(sys.attrs.dprime(r.a)));
+        assert!(d4.is_universal_at(sys.attrs.prime(r.b)));
+        assert!(d4.is_existential_at(sys.attrs.e_prime()));
+    }
+
+    #[test]
+    fn d0_shape() {
+        let sys = example_system();
+        let d0 = &sys.d0;
+        let al = sys.attrs.alphabet().clone();
+        assert_eq!(d0.antecedent_count(), 3);
+        assert!(d0.is_universal_at(sys.attrs.prime(al.zero())));
+        assert!(d0.is_universal_at(sys.attrs.dprime(al.zero())));
+        assert!(d0.is_universal_at(sys.attrs.e_prime()));
+        assert!(d0.is_existential_at(sys.attrs.e()));
+        assert!(d0.is_existential_at(sys.attrs.prime(al.a0())));
+        assert!(!d0.is_trivial());
+    }
+
+    #[test]
+    fn all_deps_well_typed_and_triviality_is_characterized() {
+        // D1, D4 and D0 are never trivial. D2(r) is trivial exactly when
+        // r.a == r.c and D3(r) exactly when r.b == r.c — which happens
+        // precisely for the zero-absorption rules (0·A = 0 and A·0 = 0),
+        // where the conclusion apex is already matched by the antecedent
+        // apex. Trivial dependencies are sound and never fire in the
+        // restricted chase.
+        let sys = example_system();
+        assert!(!sys.d0.is_trivial());
+        for (i, rule) in sys.rules.iter().enumerate() {
+            let Rule::Product(r) = *rule else { panic!("example is all products") };
+            assert!(!sys.dep(i, 1).is_trivial(), "{}", sys.dep(i, 1).name());
+            assert!(!sys.dep(i, 4).is_trivial(), "{}", sys.dep(i, 4).name());
+            assert_eq!(
+                sys.dep(i, 2).is_trivial(),
+                r.a == r.c,
+                "{}",
+                sys.dep(i, 2).name()
+            );
+            assert_eq!(
+                sys.dep(i, 3).is_trivial(),
+                r.b == r.c,
+                "{}",
+                sys.dep(i, 3).name()
+            );
+        }
+        for td in sys.deps.iter().chain(std::iter::once(&sys.d0)) {
+            assert!(td.is_embedded(), "{} is embedded", td.name());
+        }
+    }
+
+    #[test]
+    fn identify_rules_get_a_dependency_pair() {
+        let alphabet = Alphabet::standard(2);
+        let one_one = Equation::parse("A0 = A1", &alphabet).unwrap();
+        let mut p = Presentation::new(alphabet, vec![one_one]).unwrap();
+        p.saturate_with_zero_equations();
+        let sys = build_system(&p).unwrap();
+        assert!(matches!(sys.rules[0], Rule::Identify { .. }));
+        assert_eq!(sys.rules[0].dep_count(), 2);
+        let d5 = sys.dep(0, 1);
+        let d6 = sys.dep(0, 2);
+        assert_eq!(d5.name(), "D5(A0 = A1)");
+        assert_eq!(d6.name(), "D6(A0 = A1)");
+        assert_eq!(d5.antecedent_count(), 3);
+        assert!(!d5.is_trivial());
+        assert!(!d6.is_trivial());
+        // Dep groups stay aligned after a 2-dep rule.
+        assert!(matches!(sys.rules[1], Rule::Product(_)));
+        assert_eq!(sys.dep_start[1], 2);
+        assert_eq!(sys.dep(1, 1).antecedent_count(), 5);
+    }
+
+    #[test]
+    fn unnormalized_input_rejected() {
+        let alphabet = Alphabet::standard(1);
+        let long = Equation::parse("A0 A0 A0 = A0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![long]).unwrap();
+        assert!(matches!(
+            build_system(&p),
+            Err(RedError::NotNormalized { eq_index: 0 })
+        ));
+    }
+
+    #[test]
+    fn names_mention_rules() {
+        let sys = example_system();
+        assert_eq!(sys.dep(0, 1).name(), "D1(A1 A1 = A0)");
+        assert_eq!(sys.d0.name(), "D0");
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the reduction crate.
+
+use std::fmt;
+
+use td_core::error::CoreError;
+use td_semigroup::error::SgError;
+
+/// Errors from building or exercising the reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedError {
+    /// An error bubbled up from the database layer.
+    Core(CoreError),
+    /// An error bubbled up from the semigroup layer.
+    Sg(SgError),
+    /// The presentation handed to the reduction was not normalized to
+    /// `(2,1)` equations (run `td_semigroup::normalize` first).
+    NotNormalized {
+        /// Index of the offending equation.
+        eq_index: usize,
+    },
+    /// A precondition of the paper's construction was violated (e.g. part
+    /// (B) requires a cancellation semigroup without identity).
+    Precondition(String),
+    /// A bridge invariant failed.
+    BridgeInvariant(String),
+    /// The guided part (A) chase did not reach the goal (indicates a bug or
+    /// a corrupt derivation).
+    GuidedChaseFailed(String),
+}
+
+impl fmt::Display for RedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RedError::Core(e) => write!(f, "database layer: {e}"),
+            RedError::Sg(e) => write!(f, "semigroup layer: {e}"),
+            RedError::NotNormalized { eq_index } => write!(
+                f,
+                "equation #{eq_index} is not in (2,1) shape; normalize the presentation first"
+            ),
+            RedError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
+            RedError::BridgeInvariant(msg) => write!(f, "bridge invariant violated: {msg}"),
+            RedError::GuidedChaseFailed(msg) => write!(f, "guided chase failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RedError::Core(e) => Some(e),
+            RedError::Sg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RedError {
+    fn from(e: CoreError) -> Self {
+        RedError::Core(e)
+    }
+}
+
+impl From<SgError> for RedError {
+    fn from(e: SgError) -> Self {
+        RedError::Sg(e)
+    }
+}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T, E = RedError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: RedError = CoreError::EmptySchema.into();
+        assert!(e.to_string().contains("database layer"));
+        let e: RedError = SgError::EmptyWord.into();
+        assert!(e.to_string().contains("semigroup layer"));
+        let e = RedError::NotNormalized { eq_index: 3 };
+        assert!(e.to_string().contains("#3"));
+        use std::error::Error;
+        let e: RedError = CoreError::EmptySchema.into();
+        assert!(e.source().is_some());
+        assert!(RedError::Precondition("x".into()).source().is_none());
+    }
+}

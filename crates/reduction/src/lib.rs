@@ -1,0 +1,54 @@
+//! # td-reduction — the Gurevich–Lewis reduction
+//!
+//! This crate turns the paper's Reduction Theorem into executable objects.
+//! Given a word-problem instance φ (a zero-saturated presentation with
+//! normalized `(2,1)` equations over an alphabet `S ∋ {A₀, 0}`), it builds:
+//!
+//! * a typed relational **schema with `2n+2` attributes** — for each symbol
+//!   `A ∈ S` the equivalence relations `A′` and `A″`, plus `E` (base row)
+//!   and `E′` (apex row) — see [`attrs`];
+//! * the dependency set **D**: four template dependencies `D1(r)…D4(r)` per
+//!   equation `r: AB = C` (Fig. 3), each with at most **five antecedents**,
+//!   plus the goal dependency **D₀** ("an A₀-triangle implies a 0-triangle
+//!   over the same base") — see [`deps`];
+//! * **bridges** (Fig. 2): the row structures representing words, with
+//!   invariant checking — see [`bridge`];
+//! * **part (A)**: a replacement derivation `A₀ ⇒* 0` compiled into a
+//!   guided chase producing a verified [`td_core::chase::ChaseProof`] that
+//!   `D ⊨ D₀` — see [`part_a`];
+//! * **part (B)**: from a finite cancellation semigroup without identity
+//!   refuting `A₀ = 0`, the finite database `P ∪ Q` with relations (1)–(4)
+//!   that satisfies all of `D` but violates `D₀` — see [`part_b`];
+//! * an end-to-end [`pipeline`] and independent [`verify`] checkers
+//!   (including the proof's Facts 1 and 2).
+//!
+//! The two halves are the *content* of the undecidability theorem: any
+//! decision procedure for TD inference would decide the (undecidable,
+//! indeed effectively inseparable) word problem of the Main Lemma.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attrs;
+pub mod bridge;
+pub mod deps;
+pub mod error;
+pub mod part_a;
+pub mod part_b;
+pub mod pipeline;
+pub mod verify;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::attrs::ReductionAttrs;
+    pub use crate::bridge::Bridge;
+    pub use crate::deps::{build_system, ReductionSystem, Rule, Rule2};
+    pub use crate::error::RedError;
+    pub use crate::part_a::{prove_part_a, prove_unguided};
+    pub use crate::part_b::{build_counter_model, CounterModel, RowLabel};
+    pub use crate::pipeline::{solve, Budgets, PipelineOutcome};
+    pub use crate::verify::{verify_counter_model, PartBReport};
+}
+
+pub use prelude::*;

@@ -1,0 +1,310 @@
+//! Part (A) of the Reduction Theorem, executably.
+//!
+//! The paper's proof of (A) is an induction: given the replacement sequence
+//! `u₀ = A₀, u₁, …, u_m = 0`, the chase maintains a *bridge* for each `u_j`
+//! whose base endpoints are the frozen `a` and `b` of `D₀`'s antecedents
+//! and whose apexes are all `E′`-linked to the original apex `d₀`. Each
+//! replacement step is simulated by firing reduction dependencies:
+//!
+//! * contraction (`AB → C` at position `i`): fire `D1(r)` on base points
+//!   `cᵢ, cᵢ₊₁, cᵢ₊₂` and apexes `dᵢ₊₁, dᵢ₊₂` — the new row is the
+//!   `C`-apex over `(cᵢ, cᵢ₊₂)`;
+//! * expansion (`C → AB` at position `i`): fire `D2(r)` (new `A`-apex with
+//!   dangling foot), `D3(r)` (new `B`-apex with dangling foot), then
+//!   `D4(r)` (the merged middle base point) — rebuilding the two triangles.
+//!
+//! When `u_m = 0` is reached, the bridge is a `0`-triangle over `(a, b)`
+//! with apex `E′`-linked to `d₀` — exactly `D₀`'s conclusion, so the goal
+//! pattern is present and the engine's [`ChaseProof`] certifies `D ⊨ D₀`.
+//!
+//! [`prove_part_a`] runs that *guided* chase (linear in the derivation
+//! length); [`prove_unguided`] lets the fair chase engine find the proof by
+//! itself, for cross-validation and benchmarks.
+
+use td_core::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal};
+use td_core::homomorphism::Binding;
+use td_core::inference::freeze;
+use td_core::instance::Instance;
+use td_core::td::Td;
+use td_core::tuple::Tuple;
+use td_semigroup::derivation::Derivation;
+use td_semigroup::presentation::Presentation;
+
+use crate::deps::ReductionSystem;
+use crate::error::{RedError, Result};
+
+/// The output of a successful part (A) run.
+#[derive(Debug, Clone)]
+pub struct PartAProof {
+    /// The frozen tableau of `D₀`'s antecedents (chase start state).
+    pub frozen: Instance,
+    /// The goal pattern (frozen conclusion of `D₀`).
+    pub goal: Goal,
+    /// The replayable chase proof (fired triggers + goal row).
+    pub proof: ChaseProof,
+}
+
+impl PartAProof {
+    /// Independently re-verifies the proof against the dependency set.
+    pub fn verify(&self, system: &ReductionSystem) -> Result<()> {
+        self.proof
+            .verify(&self.frozen, &system.deps, Some(&self.goal))?;
+        Ok(())
+    }
+}
+
+/// Builds the binding that maps each antecedent row of `td` (in row order)
+/// onto the corresponding tuple.
+fn binding_for(td: &Td, tuples: &[&Tuple]) -> Result<Binding> {
+    debug_assert_eq!(td.antecedent_count(), tuples.len());
+    let mut b = Binding::new(td.arity());
+    for (row, tuple) in td.antecedents().iter().zip(tuples) {
+        for (c, v) in row.components() {
+            if !b.bind(c, v, tuple.get(c)) {
+                return Err(RedError::GuidedChaseFailed(format!(
+                    "bridge invariant broken: conflicting binding for `{}` \
+                     in column {c}",
+                    td.name()
+                )));
+            }
+        }
+    }
+    Ok(b)
+}
+
+/// Runs the guided chase for a derivation `A₀ ⇒* 0` over the (normalized,
+/// zero-saturated) presentation `p` that `system` was built from. Returns a
+/// verified chase proof that `D ⊨ D₀`.
+pub fn prove_part_a(
+    system: &ReductionSystem,
+    p: &Presentation,
+    derivation: &Derivation,
+) -> Result<PartAProof> {
+    // Validate the derivation endpoints.
+    let goal_eq = p.goal();
+    derivation
+        .verify(p, &goal_eq.lhs, &goal_eq.rhs)
+        .map_err(RedError::Sg)?;
+    let words = derivation.replay(p).map_err(RedError::Sg)?;
+
+    // Freeze D0's antecedents: rows t1 (a), t2 (b), t3 (d0), in that order.
+    let (frozen, _, goal) = freeze(&system.d0)?;
+    let t1 = frozen.get(td_core::ids::RowId::new(0))?.clone();
+    let t2 = frozen.get(td_core::ids::RowId::new(1))?.clone();
+    let d0 = frozen.get(td_core::ids::RowId::new(2))?.clone();
+
+    let mut engine = ChaseEngine::new(
+        &system.deps,
+        frozen.clone(),
+        ChasePolicy::Restricted,
+        ChaseBudget::unlimited(),
+    )?;
+
+    // The live bridge: tuples of base points and apexes.
+    let mut bases: Vec<Tuple> = vec![t1, t2];
+    let mut apexes: Vec<Tuple> = vec![d0];
+
+    for (step_ix, step) in derivation.steps.iter().enumerate() {
+        let rule_ix = *system.eq_to_rule.get(step.eq_index).ok_or_else(|| {
+            RedError::GuidedChaseFailed(format!(
+                "step {step_ix}: equation index {} has no rule",
+                step.eq_index
+            ))
+        })?;
+        let i = step.pos;
+        let word_before = &words[step_ix];
+        // (1,1) relabeling rules swap one triangle's symbol in place.
+        if let crate::deps::Rule::Identify { .. } = system.rules[rule_ix] {
+            if i >= word_before.len() {
+                return Err(RedError::GuidedChaseFailed(format!(
+                    "step {step_ix}: relabeling at {i} exceeds word length"
+                )));
+            }
+            // Forward uses D5 (a -> b), backward D6 (b -> a).
+            let k = if step.forward { 1 } else { 2 };
+            let dk = system.dep(rule_ix, k);
+            let binding =
+                binding_for(dk, &[&bases[i], &bases[i + 1], &apexes[i]])?;
+            let (new_apex, _) = engine.fire(system.dep_index(rule_ix, k), &binding)?;
+            apexes[i] = new_apex;
+            continue;
+        }
+        if step.forward {
+            // Contraction AB -> C at position i: bases i, i+1, i+2 and
+            // apexes i, i+1 exist because |word_before| >= i+2.
+            if i + 2 > word_before.len() {
+                return Err(RedError::GuidedChaseFailed(format!(
+                    "step {step_ix}: contraction at {i} exceeds word length"
+                )));
+            }
+            let d1 = system.dep(rule_ix, 1);
+            let binding = binding_for(
+                d1,
+                &[&bases[i], &bases[i + 1], &bases[i + 2], &apexes[i], &apexes[i + 1]],
+            )?;
+            let (new_apex, _) = engine.fire(system.dep_index(rule_ix, 1), &binding)?;
+            bases.remove(i + 1);
+            apexes.splice(i..=i + 1, [new_apex]);
+        } else {
+            // Expansion C -> AB at position i.
+            if i >= word_before.len() {
+                return Err(RedError::GuidedChaseFailed(format!(
+                    "step {step_ix}: expansion at {i} exceeds word length"
+                )));
+            }
+            let base_l = bases[i].clone();
+            let base_r = bases[i + 1].clone();
+            let apex_c = apexes[i].clone();
+            let d2 = system.dep(rule_ix, 2);
+            let binding = binding_for(d2, &[&base_l, &base_r, &apex_c])?;
+            let (t4, _) = engine.fire(system.dep_index(rule_ix, 2), &binding)?;
+            let d3 = system.dep(rule_ix, 3);
+            let binding = binding_for(d3, &[&base_l, &base_r, &apex_c])?;
+            let (t5, _) = engine.fire(system.dep_index(rule_ix, 3), &binding)?;
+            let d4 = system.dep(rule_ix, 4);
+            let binding = binding_for(d4, &[&base_l, &base_r, &apex_c, &t4, &t5])?;
+            let (new_base, _) = engine.fire(system.dep_index(rule_ix, 4), &binding)?;
+            bases.insert(i + 1, new_base);
+            apexes.splice(i..=i, [t4, t5]);
+        }
+    }
+
+    // The final bridge must be the 0-triangle over (a, b): goal present.
+    if goal.find_in(engine.state()).is_none() {
+        return Err(RedError::GuidedChaseFailed(
+            "derivation replayed but the goal pattern is absent".into(),
+        ));
+    }
+    let (state, mut proof) = engine.into_parts();
+    let goal_row = goal
+        .find_in(&state)
+        .expect("checked above");
+    proof.goal_row = Some(state.get(goal_row)?.clone());
+
+    let out = PartAProof { frozen, goal, proof };
+    out.verify(system)?;
+    Ok(out)
+}
+
+/// Lets the fair chase engine search for the `D ⊨ D₀` proof without
+/// guidance. Returns the outcome plus the engine's statistics.
+pub fn prove_unguided(
+    system: &ReductionSystem,
+    budget: ChaseBudget,
+) -> Result<(ChaseOutcome, usize, usize, Option<PartAProof>)> {
+    let (frozen, _, goal) = freeze(&system.d0)?;
+    let mut engine = ChaseEngine::new(
+        &system.deps,
+        frozen.clone(),
+        ChasePolicy::Restricted,
+        budget,
+    )?;
+    let outcome = engine.run(Some(&goal));
+    let steps = engine.steps_fired();
+    let rounds = engine.rounds_run();
+    let proof = if outcome == ChaseOutcome::GoalReached {
+        let (_, proof) = engine.into_parts();
+        let out = PartAProof { frozen, goal, proof };
+        out.verify(system)?;
+        Some(out)
+    } else {
+        None
+    };
+    Ok((outcome, steps, rounds, proof))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::build_system;
+    use td_semigroup::alphabet::Alphabet;
+    use td_semigroup::derivation::{search_goal_derivation, SearchBudget};
+    use td_semigroup::equation::Equation;
+
+    /// The running derivable example: A0 => A1 A1 => 0.
+    fn derivable() -> Presentation {
+        let alphabet = Alphabet::standard(2);
+        let e1 = Equation::parse("A1 A1 = A0", &alphabet).unwrap();
+        let e2 = Equation::parse("A1 A1 = 0", &alphabet).unwrap();
+        let mut p = Presentation::new(alphabet, vec![e1, e2]).unwrap();
+        p.saturate_with_zero_equations();
+        p
+    }
+
+    #[test]
+    fn guided_chase_proves_d0() {
+        let p = derivable();
+        let system = build_system(&p).unwrap();
+        let derivation = search_goal_derivation(&p, &SearchBudget::default())
+            .derivation()
+            .unwrap()
+            .clone();
+        let proof = prove_part_a(&system, &p, &derivation).unwrap();
+        // One expansion (3 firings) + one contraction (1 firing).
+        assert_eq!(proof.proof.len(), 4);
+        assert!(proof.proof.goal_row.is_some());
+        // Re-verify independently (verify() ran inside prove_part_a too).
+        proof.verify(&system).unwrap();
+    }
+
+    #[test]
+    fn unguided_chase_agrees() {
+        let p = derivable();
+        let system = build_system(&p).unwrap();
+        let budget = ChaseBudget { max_steps: 5_000, max_rows: 5_000, max_rounds: 50 };
+        let (outcome, steps, _rounds, proof) = prove_unguided(&system, budget).unwrap();
+        assert_eq!(outcome, ChaseOutcome::GoalReached);
+        assert!(steps > 0);
+        proof.unwrap().verify(&system).unwrap();
+    }
+
+    #[test]
+    fn longer_derivations_replay() {
+        // A0 -> A1 A1 -> A0 A1 A1? No: use expansions/contractions chain:
+        // A0 => A1 A1 => (expand A1? no rule) … build a presentation with a
+        // 2-level tower: A1 A1 = A0, A2 A2 = A1, A2 A2 = … and a route
+        // A0 => A1 A1 => (A2 A2) A1 => … too long to force 0; instead give
+        // A1 a direct zero: A1 0? Already have zero eqs: A1 0 = 0. Route:
+        // A0 => A1 A1 => A1·(A2 A2)… no contraction to 0. Simplest longer
+        // route: A1 A1 = A0, A1 A2 = A1 (peels A2), A2 A2 = 0:
+        // A0 => A1 A1 => (A1 A2) A1 => … hmm; rely on BFS to find whatever
+        // shortest route exists and replay it.
+        let alphabet = Alphabet::standard(3);
+        let eqs = vec![
+            Equation::parse("A1 A1 = A0", &alphabet).unwrap(),
+            Equation::parse("A2 A2 = A1", &alphabet).unwrap(),
+            Equation::parse("A2 A1 = 0", &alphabet).unwrap(),
+        ];
+        let mut p = Presentation::new(alphabet, eqs).unwrap();
+        p.saturate_with_zero_equations();
+        let r = search_goal_derivation(
+            &p,
+            &SearchBudget { max_word_len: 8, max_states: 500_000 },
+        );
+        let derivation = r.derivation().expect(
+            "A0 => A1 A1 => (A2 A2) A1 => A2 (A2 A1) => A2 0 => 0",
+        );
+        assert!(derivation.len() >= 4);
+        let system = build_system(&p).unwrap();
+        let proof = prove_part_a(&system, &p, derivation).unwrap();
+        proof.verify(&system).unwrap();
+        // Guided proof length: expansions cost 3 firings, contractions 1.
+        assert!(proof.proof.len() >= derivation.len());
+    }
+
+    #[test]
+    fn corrupt_derivation_rejected() {
+        let p = derivable();
+        let system = build_system(&p).unwrap();
+        let mut derivation = search_goal_derivation(&p, &SearchBudget::default())
+            .derivation()
+            .unwrap()
+            .clone();
+        derivation.steps.pop();
+        // No longer ends at 0.
+        assert!(matches!(
+            prove_part_a(&system, &p, &derivation),
+            Err(RedError::Sg(_))
+        ));
+    }
+}

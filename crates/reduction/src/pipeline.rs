@@ -1,0 +1,229 @@
+//! The end-to-end pipeline: word problem → reduction → verdict.
+//!
+//! [`solve`] ties everything together:
+//!
+//! 1. zero-saturate and [`td_semigroup::normalize::normalize`] the input
+//!    presentation;
+//! 2. [`build_system`] — the dependencies `D` and goal `D₀`;
+//! 3. try the **derivable** side: search for a derivation `A₀ ⇒* 0`; on
+//!    success, compile it into a guided chase proof (part (A)) —
+//!    `D ⊨ D₀`, certified;
+//! 4. try the **refutable** side: look for a finite cancellation
+//!    countermodel (analytic families first, then backtracking search); on
+//!    success, build the part (B) database — `D ⊭ D₀` (finitely),
+//!    certified;
+//! 5. otherwise report `Unknown` with the spent budgets — the honest third
+//!    verdict mandated by undecidability.
+
+use td_core::chase::ChaseBudget;
+use td_semigroup::derivation::{search_goal_derivation, Derivation, SearchBudget, SearchResult};
+use td_semigroup::model_search::{find_counter_model, ModelSearchOptions, ModelSearchResult};
+use td_semigroup::normalize::{normalize, Normalized};
+use td_semigroup::presentation::Presentation;
+
+use crate::deps::{build_system, ReductionSystem};
+use crate::error::Result;
+use crate::part_a::{prove_part_a, PartAProof};
+use crate::part_b::{build_counter_model, CounterModel};
+use crate::verify::{verify_counter_model, PartBReport};
+
+/// Budgets for the three searches involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct Budgets {
+    /// Derivation search budget.
+    pub derivation: SearchBudget,
+    /// Finite-model search options.
+    pub model: ModelSearchOptions,
+    /// Chase budget (used only by unguided cross-checks; part (A) itself is
+    /// guided and needs no budget).
+    pub chase: ChaseBudget,
+}
+
+
+/// The pipeline's verdict.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // Implied carries the full certificates by design
+pub enum PipelineOutcome {
+    /// `A₀ = 0` is derivable, hence `D ⊨ D₀` — with both certificates.
+    Implied {
+        /// The word-problem derivation found.
+        derivation: Derivation,
+        /// The part (A) chase proof compiled from it.
+        proof: PartAProof,
+    },
+    /// A finite cancellation countermodel exists, hence `D ⊭ D₀` over
+    /// finite databases — with the certificate database and its report.
+    Refuted {
+        /// The part (B) countermodel.
+        model: Box<CounterModel>,
+        /// The independent verification report (always `ok()`).
+        report: PartBReport,
+    },
+    /// Neither side succeeded within the budgets.
+    Unknown {
+        /// Words visited by the derivation search.
+        derivation_states: usize,
+        /// Nodes visited by the model search.
+        model_nodes: u64,
+    },
+}
+
+impl PipelineOutcome {
+    /// `true` for [`PipelineOutcome::Implied`].
+    pub fn is_implied(&self) -> bool {
+        matches!(self, PipelineOutcome::Implied { .. })
+    }
+
+    /// `true` for [`PipelineOutcome::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, PipelineOutcome::Refuted { .. })
+    }
+}
+
+/// Everything the pipeline produced: the normalization, the reduction
+/// system, and the verdict.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// The normalized presentation and its bookkeeping.
+    pub normalized: Normalized,
+    /// The reduction system built from it.
+    pub system: ReductionSystem,
+    /// The verdict.
+    pub outcome: PipelineOutcome,
+}
+
+/// Runs the full pipeline on a raw presentation.
+pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
+    let saturated = p.zero_saturated();
+    let normalized = normalize(&saturated)?;
+    let np = &normalized.presentation;
+    let system = build_system(np)?;
+
+    // Side 1: derivability.
+    let derivation_states = match search_goal_derivation(np, &budgets.derivation) {
+        SearchResult::Found(derivation) => {
+            let proof = prove_part_a(&system, np, &derivation)?;
+            return Ok(PipelineRun {
+                normalized,
+                system,
+                outcome: PipelineOutcome::Implied { derivation, proof },
+            });
+        }
+        SearchResult::ExhaustedWithinBound { states }
+        | SearchResult::BudgetExhausted { states } => states,
+    };
+
+    // Side 2: finite countermodel. Try the analytic null-semigroup shortcut
+    // first, then the backtracking search.
+    let model_nodes;
+    let found = match td_semigroup::families::null_counter_model(np) {
+        Some((g, interp)) => {
+            model_nodes = 0;
+            Some((g, interp))
+        }
+        None => match find_counter_model(np, &budgets.model)? {
+            ModelSearchResult::Found(g, interp) => {
+                model_nodes = 0;
+                Some((g, interp))
+            }
+            ModelSearchResult::ExhaustedSizes { nodes }
+            | ModelSearchResult::BudgetExhausted { nodes } => {
+                model_nodes = nodes;
+                None
+            }
+        },
+    };
+    if let Some((g, interp)) = found {
+        let model = build_counter_model(&system, np, &g, &interp)?;
+        let report = verify_counter_model(&system, &model);
+        debug_assert!(report.ok(), "{report:?}");
+        return Ok(PipelineRun {
+            normalized,
+            system,
+            outcome: PipelineOutcome::Refuted { model: Box::new(model), report },
+        });
+    }
+
+    Ok(PipelineRun {
+        normalized,
+        system,
+        outcome: PipelineOutcome::Unknown { derivation_states, model_nodes },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_semigroup::alphabet::Alphabet;
+    use td_semigroup::equation::Equation;
+
+    fn derivable() -> Presentation {
+        let alphabet = Alphabet::standard(2);
+        let eqs = vec![
+            Equation::parse("A1 A1 = A0", &alphabet).unwrap(),
+            Equation::parse("A1 A1 = 0", &alphabet).unwrap(),
+        ];
+        Presentation::new(alphabet, eqs).unwrap()
+    }
+
+    fn refutable() -> Presentation {
+        Presentation::new(Alphabet::standard(1), vec![]).unwrap()
+    }
+
+    #[test]
+    fn derivable_instances_come_out_implied() {
+        let run = solve(&derivable(), &Budgets::default()).unwrap();
+        match &run.outcome {
+            PipelineOutcome::Implied { derivation, proof } => {
+                assert!(!derivation.is_empty());
+                proof.verify(&run.system).unwrap();
+            }
+            other => panic!("expected Implied, got {other:?}"),
+        }
+        assert!(run.outcome.is_implied());
+    }
+
+    #[test]
+    fn refutable_instances_come_out_refuted() {
+        let run = solve(&refutable(), &Budgets::default()).unwrap();
+        match &run.outcome {
+            PipelineOutcome::Refuted { model, report } => {
+                assert!(report.ok());
+                assert!(model.len() >= 3);
+            }
+            other => panic!("expected Refuted, got {other:?}"),
+        }
+        assert!(run.outcome.is_refuted());
+    }
+
+    #[test]
+    fn unnormalized_input_is_normalized_in_pipeline() {
+        // A long equation: the pipeline normalizes before reducing.
+        let alphabet = Alphabet::new(["A0", "B", "C", "0"], "A0", "0").unwrap();
+        let eq = Equation::parse("B C B = A0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![eq]).unwrap();
+        let run = solve(&p, &Budgets::default()).unwrap();
+        // Fresh symbols mean more attributes: n grows beyond 4.
+        assert!(run.system.attrs.alphabet().len() > 4);
+        assert!(run.system.attrs.arity() == 2 * run.system.attrs.alphabet().len() + 2);
+        // This instance is refutable (nothing forces A0 = 0: interpret all
+        // long products as 0 but A0 nonzero? B C B = A0 forces A0 to be a
+        // product — in a null semigroup that is 0, so the null shortcut
+        // fails; the model search may or may not find a model. Accept any
+        // verdict except Implied.
+        assert!(!run.outcome.is_implied());
+    }
+
+    #[test]
+    fn goal_already_zero_is_implied_trivially() {
+        // Presentation containing A0 = 0 directly: aliasing makes the goal
+        // hold with a zero-step derivation... after aliasing A0 *is* 0, so
+        // the goal derivation is trivial.
+        let alphabet = Alphabet::standard(1);
+        let eq = Equation::parse("A0 = 0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![eq]).unwrap();
+        let run = solve(&p, &Budgets::default()).unwrap();
+        assert!(run.outcome.is_implied(), "{:?}", run.outcome);
+    }
+}

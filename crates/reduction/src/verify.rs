@@ -1,0 +1,206 @@
+//! Independent verification of the reduction's claims.
+//!
+//! These checkers use only the database layer's satisfaction machinery —
+//! none of the construction code — so they serve as genuine cross-checks:
+//!
+//! * [`verify_counter_model`] — part (B): every member of `D` holds, `D₀`
+//!   fails, and the proof's **Fact 1** and **Fact 2** hold ("Each ≈_{A′}
+//!   equivalence class has cardinality 1 or 2. In particular, the only
+//!   equivalence classes contained entirely within P or entirely within Q
+//!   are trivial." — and the same for ≈_{A″});
+//! * [`structural_report`] — the headline structural claims: at most five
+//!   antecedents per dependency and exactly `2n+2` attributes.
+
+use td_core::satisfaction::{find_violation, satisfies};
+
+use crate::deps::ReductionSystem;
+use crate::part_b::{CounterModel, RowLabel};
+
+/// Outcome of verifying a part (B) countermodel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartBReport {
+    /// Names of dependencies in `D` that *failed* (must be empty).
+    pub violated_deps: Vec<String>,
+    /// `true` if `D₀` fails in the model (it must).
+    pub d0_fails: bool,
+    /// Fact 1 holds: every `≈_{A′}` class has size ≤ 2 and nontrivial
+    /// classes mix `P` and `Q`.
+    pub fact1: bool,
+    /// Fact 2 holds: the same for `≈_{A″}`.
+    pub fact2: bool,
+}
+
+impl PartBReport {
+    /// `true` when the countermodel certifies part (B).
+    pub fn ok(&self) -> bool {
+        self.violated_deps.is_empty() && self.d0_fails && self.fact1 && self.fact2
+    }
+}
+
+fn classes_ok(
+    model: &CounterModel,
+    attr: td_core::ids::AttrId,
+) -> bool {
+    let classes = model.eq_instance.classes(attr);
+    classes.iter().all(|class| {
+        match class.len() {
+            1 => true,
+            2 => {
+                let p0 = matches!(model.labels[class[0]], RowLabel::P(_));
+                let p1 = matches!(model.labels[class[1]], RowLabel::P(_));
+                p0 != p1 // one P row, one Q row
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Verifies a part (B) countermodel against its reduction system.
+pub fn verify_counter_model(system: &ReductionSystem, model: &CounterModel) -> PartBReport {
+    let violated_deps = system
+        .deps
+        .iter()
+        .filter(|td| find_violation(&model.instance, td).is_some())
+        .map(|td| td.name().to_owned())
+        .collect();
+    let d0_fails = !satisfies(&model.instance, &system.d0);
+    let alphabet = system.attrs.alphabet().clone();
+    let fact1 = alphabet
+        .syms()
+        .all(|s| classes_ok(model, system.attrs.prime(s)));
+    let fact2 = alphabet
+        .syms()
+        .all(|s| classes_ok(model, system.attrs.dprime(s)));
+    PartBReport { violated_deps, d0_fails, fact1, fact2 }
+}
+
+/// The headline structural facts of the construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructuralReport {
+    /// Number of alphabet symbols `n`.
+    pub n_symbols: usize,
+    /// Number of attributes (must be `2n+2`).
+    pub n_attributes: usize,
+    /// Number of equations (rules).
+    pub n_rules: usize,
+    /// Number of dependencies in `D` (4 per product rule, 2 per identify
+    /// rule).
+    pub n_deps: usize,
+    /// What `n_deps` must equal given the rule kinds.
+    pub expected_deps: usize,
+    /// Maximum antecedent count over `D ∪ {D₀}` (must be ≤ 5).
+    pub max_antecedents: usize,
+}
+
+impl StructuralReport {
+    /// `true` when the paper's structural claims hold.
+    pub fn ok(&self) -> bool {
+        self.n_attributes == 2 * self.n_symbols + 2
+            && self.n_deps == self.expected_deps
+            && self.max_antecedents <= 5
+    }
+}
+
+/// Computes the structural report of a reduction system.
+pub fn structural_report(system: &ReductionSystem) -> StructuralReport {
+    StructuralReport {
+        n_symbols: system.attrs.alphabet().len(),
+        n_attributes: system.attrs.arity(),
+        n_rules: system.rules.len(),
+        n_deps: system.deps.len(),
+        expected_deps: system.rules.iter().map(|r| r.dep_count()).sum(),
+        max_antecedents: system.max_antecedents(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::build_system;
+    use crate::part_b::build_counter_model;
+    use td_semigroup::alphabet::Alphabet;
+    use td_semigroup::cayley::Interpretation;
+    use td_semigroup::families::{cyclic_nilpotent, null_semigroup};
+    use td_semigroup::presentation::Presentation;
+
+    fn refutable() -> Presentation {
+        let alphabet = Alphabet::standard(1);
+        let mut p = Presentation::new(alphabet, vec![]).unwrap();
+        p.saturate_with_zero_equations();
+        p
+    }
+
+    #[test]
+    fn minimal_model_report_is_clean() {
+        let p = refutable();
+        let system = build_system(&p).unwrap();
+        let g = null_semigroup(2);
+        let interp = Interpretation::from_raw([1, 0]);
+        let model = build_counter_model(&system, &p, &g, &interp).unwrap();
+        let report = verify_counter_model(&system, &model);
+        assert!(report.ok(), "{report:?}");
+        assert!(report.violated_deps.is_empty());
+        assert!(report.d0_fails);
+        assert!(report.fact1 && report.fact2);
+    }
+
+    #[test]
+    fn nilpotent_model_reports_are_clean() {
+        let p = refutable();
+        let system = build_system(&p).unwrap();
+        for n in [3usize, 4, 6] {
+            let g = cyclic_nilpotent(n);
+            let interp = Interpretation::from_raw([1, 0]);
+            let model = build_counter_model(&system, &p, &g, &interp).unwrap();
+            let report = verify_counter_model(&system, &model);
+            assert!(report.ok(), "n={n}: {report:?}");
+        }
+    }
+
+    /// Negative testing: corrupting the countermodel must be caught.
+    #[test]
+    fn corrupted_models_are_rejected() {
+        use td_core::ids::RowId;
+        let p = refutable();
+        let system = build_system(&p).unwrap();
+        let g = null_semigroup(2);
+        let interp = Interpretation::from_raw([1, 0]);
+
+        // Corruption 1: link a P row and a Q row under E (breaks the
+        // "E trivial on Q" shape → D0's antecedent may suddenly fire, or a
+        // dependency breaks; either way the report must flag something).
+        let mut model = build_counter_model(&system, &p, &g, &interp).unwrap();
+        let p_row = model.p_rows().next().unwrap();
+        let q_row = model.q_rows().next().unwrap();
+        model.eq_instance.merge(system.attrs.e(), p_row, q_row).unwrap();
+        model.instance = model.eq_instance.to_instance();
+        let report = verify_counter_model(&system, &model);
+        assert!(!report.ok(), "corruption must be detected: {report:?}");
+
+        // Corruption 2: oversize an A'-class (violates Fact 1).
+        let mut model = build_counter_model(&system, &p, &g, &interp).unwrap();
+        let a0 = system.attrs.alphabet().a0();
+        let rows: Vec<RowId> = model.p_rows().collect();
+        model
+            .eq_instance
+            .merge(system.attrs.prime(a0), rows[0], rows[1])
+            .unwrap();
+        model.instance = model.eq_instance.to_instance();
+        let report = verify_counter_model(&system, &model);
+        assert!(!report.fact1 || !report.ok(), "Fact 1 violation: {report:?}");
+    }
+
+    #[test]
+    fn structural_claims() {
+        for n_regular in 1..=4 {
+            let alphabet = Alphabet::standard(n_regular);
+            let mut p = Presentation::new(alphabet, vec![]).unwrap();
+            p.saturate_with_zero_equations();
+            let system = build_system(&p).unwrap();
+            let report = structural_report(&system);
+            assert!(report.ok(), "{report:?}");
+            assert_eq!(report.n_attributes, 2 * (n_regular + 1) + 2);
+            assert_eq!(report.max_antecedents, 5);
+        }
+    }
+}

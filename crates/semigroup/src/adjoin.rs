@@ -1,0 +1,103 @@
+//! Adjoining an identity element: `G → G′`.
+//!
+//! Part (B) of the Reduction Theorem begins: "Adjoin to G an identity
+//! element I and call the resulting semigroup G′. We claim that G′ also has
+//! the cancellation property." The claim's proof is the case analysis on
+//! `xy = xy′ ≠ 0`; condition (ii) on `G` is exactly what rules out the
+//! remaining case (`xy = x ≠ 0` in `G` would make `y` behave as an
+//! identity).
+
+use crate::cayley::{Elem, FiniteSemigroup};
+use crate::error::Result;
+
+/// Adjoins a fresh identity element to `g`. The new element has the largest
+/// index; the embedding of `g` is the identity on indices. Returns the
+/// extended semigroup and the identity element.
+pub fn adjoin_identity(g: &FiniteSemigroup) -> Result<(FiniteSemigroup, Elem)> {
+    let n = g.len();
+    let mut table = vec![vec![0usize; n + 1]; n + 1];
+    for (a, row) in table.iter_mut().enumerate().take(n) {
+        for (b, cell) in row.iter_mut().enumerate().take(n) {
+            *cell = g.mul(Elem::from(a), Elem::from(b)).index();
+        }
+    }
+    for (x, row) in table.iter_mut().enumerate() {
+        row[n] = x; // x·I = x
+    }
+    for (x, cell) in table[n].iter_mut().enumerate() {
+        *cell = x; // I·x = x
+    }
+    let g2 = FiniteSemigroup::new(table)?;
+    Ok((g2, Elem::from(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::{cyclic_nilpotent, null_semigroup};
+    use crate::properties::has_cancellation_property;
+
+    #[test]
+    fn identity_works() {
+        let g = null_semigroup(2);
+        let (g2, i) = adjoin_identity(&g).unwrap();
+        assert_eq!(g2.len(), 3);
+        assert_eq!(g2.identity(), Some(i));
+        // The old zero is still the zero.
+        assert_eq!(g2.zero(), g.zero().map(|z| Elem::from(z.index())));
+        // Old products are preserved.
+        for a in g.elements() {
+            for b in g.elements() {
+                assert_eq!(
+                    g2.mul(Elem::from(a.index()), Elem::from(b.index())).index(),
+                    g.mul(a, b).index()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjoining_preserves_associativity() {
+        for g in [null_semigroup(3), cyclic_nilpotent(4)] {
+            let (g2, _) = adjoin_identity(&g).unwrap();
+            assert!(g2.check_associative().is_ok());
+        }
+    }
+
+    /// The paper's claim in part (B): if `G` has the cancellation property
+    /// (including condition (ii)) and no identity, then `G′` has it too.
+    #[test]
+    fn cancellation_preserved_exactly_as_claimed() {
+        for g in [null_semigroup(2), null_semigroup(4), cyclic_nilpotent(3), cyclic_nilpotent(5)]
+        {
+            assert!(g.identity().is_none(), "families have no identity");
+            assert!(has_cancellation_property(&g));
+            let (g2, _) = adjoin_identity(&g).unwrap();
+            assert!(
+                has_cancellation_property(&g2),
+                "G' must keep the cancellation property"
+            );
+        }
+    }
+
+    /// Without condition (ii) the claim genuinely fails — the reason the
+    /// paper includes (ii) in the definition. Witness: a semigroup where
+    /// some `x·y = x ≠ 0`; in `G′`, `x·y = x·I ≠ 0` with `y ≠ I` breaks (i).
+    #[test]
+    fn condition_ii_is_necessary() {
+        // {0, a, e}: a·e = a, e·e = e, rest 0 (associative; see
+        // properties.rs tests). Has zero, no identity, violates (ii).
+        let g = FiniteSemigroup::new(vec![
+            vec![0, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 0, 2],
+        ])
+        .unwrap();
+        assert!(!has_cancellation_property(&g), "violates (ii)");
+        let (g2, _) = adjoin_identity(&g).unwrap();
+        assert!(
+            !has_cancellation_property(&g2),
+            "a·e = a = a·I ≠ 0 violates (i) in G'"
+        );
+    }
+}

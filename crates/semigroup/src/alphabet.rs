@@ -1,0 +1,199 @@
+//! Generating alphabets `S = {A₀, A₁, …, A_p}` where one symbol is the
+//! zero `0` and one is the distinguished `A₀` of the goal equation `A₀ = 0`.
+
+use crate::error::{Result, SgError};
+use crate::symbol::Sym;
+
+/// An alphabet with two distinguished symbols: the zero and `A₀`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    zero: Sym,
+    a0: Sym,
+}
+
+impl Alphabet {
+    /// Creates an alphabet from names. `zero_name` and `a0_name` must occur
+    /// among `names` and be distinct.
+    pub fn new<I, S>(names: I, a0_name: &str, zero_name: &str) -> Result<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        for (i, n) in names.iter().enumerate() {
+            if names[..i].contains(n) {
+                return Err(SgError::DuplicateSymbol(n.clone()));
+            }
+        }
+        let find = |name: &str| -> Result<Sym> {
+            names
+                .iter()
+                .position(|n| n == name)
+                .map(Sym::from)
+                .ok_or_else(|| SgError::MissingDistinguished(name.to_owned()))
+        };
+        let zero = find(zero_name)?;
+        let a0 = find(a0_name)?;
+        if zero == a0 {
+            return Err(SgError::DuplicateSymbol(format!(
+                "`{zero_name}` cannot serve as both zero and A0"
+            )));
+        }
+        Ok(Self { names, zero, a0 })
+    }
+
+    /// The paper's standard alphabet: symbols `A0, …, A{n_regular-1}` plus
+    /// the zero symbol `0` ("S = {A0, A1, …, Ap}, where Ap is the symbol 0").
+    ///
+    /// # Panics
+    /// Panics if `n_regular == 0` (there must be at least `A0`).
+    pub fn standard(n_regular: usize) -> Self {
+        assert!(n_regular >= 1, "need at least the symbol A0");
+        let mut names: Vec<String> = (0..n_regular).map(|i| format!("A{i}")).collect();
+        names.push("0".to_owned());
+        Alphabet::new(names, "A0", "0").expect("construction is well-formed")
+    }
+
+    /// Number of symbols (including the zero symbol).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `false`: alphabets always contain at least zero and `A₀`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The zero symbol.
+    pub fn zero(&self) -> Sym {
+        self.zero
+    }
+
+    /// The distinguished symbol `A₀`.
+    pub fn a0(&self) -> Sym {
+        self.a0
+    }
+
+    /// All symbols, in index order.
+    pub fn syms(&self) -> impl Iterator<Item = Sym> {
+        (0..self.len()).map(Sym::from)
+    }
+
+    /// The name of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` is out of range.
+    pub fn name(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Looks a symbol up by name.
+    pub fn sym(&self, name: &str) -> Option<Sym> {
+        self.names.iter().position(|n| n == name).map(Sym::from)
+    }
+
+    /// Looks a symbol up by name, as a `Result`.
+    pub fn require(&self, name: &str) -> Result<Sym> {
+        self.sym(name)
+            .ok_or_else(|| SgError::UnknownSymbol(name.to_owned()))
+    }
+
+    /// Appends a fresh symbol with the given name.
+    pub fn add_symbol(&mut self, name: impl Into<String>) -> Result<Sym> {
+        let name = name.into();
+        if self.names.contains(&name) {
+            return Err(SgError::DuplicateSymbol(name));
+        }
+        let sym = Sym::from(self.names.len());
+        self.names.push(name);
+        Ok(sym)
+    }
+
+    /// A name of the form `base`, `base_1`, `base_2`, … not yet present.
+    pub fn fresh_name(&self, base: &str) -> String {
+        if !self.names.iter().any(|n| n == base) {
+            return base.to_owned();
+        }
+        for i in 1.. {
+            let candidate = format!("{base}_{i}");
+            if !self.names.contains(&candidate) {
+                return candidate;
+            }
+        }
+        unreachable!()
+    }
+
+    /// Validates that a symbol belongs to this alphabet.
+    pub fn check(&self, sym: Sym) -> Result<()> {
+        if sym.index() < self.len() {
+            Ok(())
+        } else {
+            Err(SgError::SymbolOutOfRange { sym: sym.index(), len: self.len() })
+        }
+    }
+}
+
+impl std::fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S = {{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_shape() {
+        let a = Alphabet::standard(3);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.name(a.a0()), "A0");
+        assert_eq!(a.name(a.zero()), "0");
+        assert_eq!(a.sym("A2"), Some(Sym::new(2)));
+        assert_eq!(a.sym("A3"), None);
+        assert_eq!(a.to_string(), "S = {A0, A1, A2, 0}");
+    }
+
+    #[test]
+    fn custom_alphabet() {
+        let a = Alphabet::new(["x", "y", "z"], "x", "z").unwrap();
+        assert_eq!(a.a0(), Sym::new(0));
+        assert_eq!(a.zero(), Sym::new(2));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            Alphabet::new(["a", "a", "0"], "a", "0"),
+            Err(SgError::DuplicateSymbol(_))
+        ));
+        assert!(matches!(
+            Alphabet::new(["a", "b"], "a", "0"),
+            Err(SgError::MissingDistinguished(_))
+        ));
+        assert!(matches!(
+            Alphabet::new(["a"], "a", "a"),
+            Err(SgError::DuplicateSymbol(_))
+        ));
+    }
+
+    #[test]
+    fn add_and_fresh_symbols() {
+        let mut a = Alphabet::standard(1);
+        let s = a.add_symbol("B").unwrap();
+        assert_eq!(a.name(s), "B");
+        assert!(a.add_symbol("B").is_err());
+        assert_eq!(a.fresh_name("B"), "B_1");
+        assert_eq!(a.fresh_name("C"), "C");
+        assert!(a.check(s).is_ok());
+        assert!(a.check(Sym::new(99)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the symbol A0")]
+    fn standard_requires_a0() {
+        let _ = Alphabet::standard(0);
+    }
+}

@@ -1,0 +1,428 @@
+//! Finite semigroups as Cayley (multiplication) tables, and interpretations
+//! of alphabets into them.
+
+use crate::alphabet::Alphabet;
+use crate::error::{Result, SgError};
+use crate::symbol::Sym;
+use crate::word::Word;
+
+/// An element of a finite semigroup, as a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Elem(u16);
+
+impl Elem {
+    /// Wraps a dense index.
+    #[inline]
+    pub const fn new(ix: u16) -> Self {
+        Self(ix)
+    }
+
+    /// The dense index as `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Elem {
+    fn from(ix: usize) -> Self {
+        Self(u16::try_from(ix).expect("element index exceeds u16::MAX"))
+    }
+}
+
+impl std::fmt::Display for Elem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A finite magma given by its multiplication table; [`FiniteSemigroup::new`]
+/// additionally verifies associativity, making it a semigroup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiniteSemigroup {
+    n: usize,
+    /// Row-major: `table[a*n + b] = a·b`.
+    table: Vec<u16>,
+}
+
+impl FiniteSemigroup {
+    /// Builds a semigroup from a square table, verifying entry ranges and
+    /// associativity.
+    pub fn new(table: Vec<Vec<usize>>) -> Result<Self> {
+        let g = Self::new_unchecked_associativity(table)?;
+        g.check_associative()?;
+        Ok(g)
+    }
+
+    /// Builds from a square table, verifying entry ranges only. Used by the
+    /// model searcher, which checks associativity incrementally.
+    pub fn new_unchecked_associativity(table: Vec<Vec<usize>>) -> Result<Self> {
+        let n = table.len();
+        if n == 0 {
+            return Err(SgError::BadTable("empty table".into()));
+        }
+        let mut flat = Vec::with_capacity(n * n);
+        for row in &table {
+            if row.len() != n {
+                return Err(SgError::BadTable(format!(
+                    "row has {} entries, expected {n}",
+                    row.len()
+                )));
+            }
+            for &v in row {
+                if v >= n {
+                    return Err(SgError::BadTable(format!(
+                        "entry {v} out of range 0..{n}"
+                    )));
+                }
+                flat.push(v as u16);
+            }
+        }
+        Ok(Self { n, table: flat })
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Finite semigroups here are always nonempty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The product `a·b`.
+    #[inline]
+    pub fn mul(&self, a: Elem, b: Elem) -> Elem {
+        Elem(self.table[a.index() * self.n + b.index()])
+    }
+
+    /// All elements in index order.
+    pub fn elements(&self) -> impl Iterator<Item = Elem> {
+        (0..self.n).map(Elem::from)
+    }
+
+    /// Verifies `(ab)c = a(bc)` for all triples.
+    pub fn check_associative(&self) -> Result<()> {
+        for a in self.elements() {
+            for b in self.elements() {
+                let ab = self.mul(a, b);
+                for c in self.elements() {
+                    if self.mul(ab, c) != self.mul(a, self.mul(b, c)) {
+                        return Err(SgError::NotAssociative {
+                            witness: (a.index(), b.index(), c.index()),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The zero element (`x0 = 0x = 0` for all `x`), if present. At most one
+    /// can exist.
+    pub fn zero(&self) -> Option<Elem> {
+        self.elements().find(|&z| {
+            self.elements()
+                .all(|x| self.mul(x, z) == z && self.mul(z, x) == z)
+        })
+    }
+
+    /// The identity element (`xI = Ix = x` for all `x`), if present.
+    pub fn identity(&self) -> Option<Elem> {
+        self.elements().find(|&i| {
+            self.elements()
+                .all(|x| self.mul(x, i) == x && self.mul(i, x) == x)
+        })
+    }
+
+    /// Evaluates a word under an interpretation of the alphabet.
+    pub fn eval(&self, interp: &Interpretation, word: &Word) -> Result<Elem> {
+        let mut acc: Option<Elem> = None;
+        for &s in word.syms() {
+            let e = interp.try_of(s)?;
+            if e.index() >= self.n {
+                return Err(SgError::ElementOutOfRange { elem: e.index(), len: self.n });
+            }
+            acc = Some(match acc {
+                None => e,
+                Some(a) => self.mul(a, e),
+            });
+        }
+        Ok(acc.expect("words are nonempty"))
+    }
+
+    /// `a` raised to the `k`-th power (`k ≥ 1`).
+    pub fn pow(&self, a: Elem, k: usize) -> Elem {
+        assert!(k >= 1, "semigroups have no zeroth power");
+        let mut acc = a;
+        for _ in 1..k {
+            acc = self.mul(acc, a);
+        }
+        acc
+    }
+
+    /// The direct product `g × h`: element `(a, b)` is encoded as
+    /// `a·|h| + b`; multiplication is componentwise. Equations are
+    /// preserved under componentwise interpretations, zeros multiply to the
+    /// product zero — but the **cancellation property is not closed under
+    /// products** (see tests), one reason the Main Lemma's countermodels
+    /// need care.
+    pub fn direct_product(&self, other: &FiniteSemigroup) -> FiniteSemigroup {
+        let (n, m) = (self.n, other.n);
+        let mut table = vec![vec![0usize; n * m]; n * m];
+        for a1 in 0..n {
+            for b1 in 0..m {
+                for a2 in 0..n {
+                    for b2 in 0..m {
+                        let left = a1 * m + b1;
+                        let right = a2 * m + b2;
+                        let pa = self.mul(Elem::from(a1), Elem::from(a2)).index();
+                        let pb = other.mul(Elem::from(b1), Elem::from(b2)).index();
+                        table[left][right] = pa * m + pb;
+                    }
+                }
+            }
+        }
+        FiniteSemigroup::new(table).expect("componentwise products are associative")
+    }
+
+    /// Encodes a component pair into the direct product's element index.
+    pub fn pair_elem(&self, other: &FiniteSemigroup, a: Elem, b: Elem) -> Elem {
+        Elem::from(a.index() * other.n + b.index())
+    }
+
+    /// Renders the multiplication table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("    ");
+        for b in 0..self.n {
+            out.push_str(&format!("{b:>3}"));
+        }
+        out.push('\n');
+        for a in 0..self.n {
+            out.push_str(&format!("{a:>3}:"));
+            for b in 0..self.n {
+                out.push_str(&format!(
+                    "{:>3}",
+                    self.mul(Elem::from(a), Elem::from(b)).index()
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A map from alphabet symbols to semigroup elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interpretation {
+    map: Vec<Elem>,
+}
+
+impl Interpretation {
+    /// Wraps an element list indexed by symbol.
+    pub fn new(map: Vec<Elem>) -> Self {
+        Self { map }
+    }
+
+    /// Builds from raw indices.
+    pub fn from_raw(map: impl IntoIterator<Item = usize>) -> Self {
+        Self::new(map.into_iter().map(Elem::from).collect())
+    }
+
+    /// Number of interpreted symbols.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no symbols are interpreted.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The element interpreting `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` is out of range.
+    pub fn of(&self, sym: Sym) -> Elem {
+        self.map[sym.index()]
+    }
+
+    /// The element interpreting `sym`, as a `Result`.
+    pub fn try_of(&self, sym: Sym) -> Result<Elem> {
+        self.map.get(sym.index()).copied().ok_or(SgError::SymbolOutOfRange {
+            sym: sym.index(),
+            len: self.map.len(),
+        })
+    }
+
+    /// The underlying element list.
+    pub fn elems(&self) -> &[Elem] {
+        &self.map
+    }
+
+    /// Checks the interpretation covers exactly the alphabet.
+    pub fn check_arity(&self, alphabet: &Alphabet) -> Result<()> {
+        if self.map.len() == alphabet.len() {
+            Ok(())
+        } else {
+            Err(SgError::InterpretationArity {
+                expected: alphabet.len(),
+                got: self.map.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The two-element null semigroup: {0, a}, all products 0.
+    fn null2() -> FiniteSemigroup {
+        FiniteSemigroup::new(vec![vec![0, 0], vec![0, 0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            FiniteSemigroup::new(vec![]),
+            Err(SgError::BadTable(_))
+        ));
+        assert!(matches!(
+            FiniteSemigroup::new(vec![vec![0, 0]]),
+            Err(SgError::BadTable(_))
+        ));
+        assert!(matches!(
+            FiniteSemigroup::new(vec![vec![5]]),
+            Err(SgError::BadTable(_))
+        ));
+        // Non-associative: left-zero on one entry breaks.
+        let bad = FiniteSemigroup::new(vec![vec![1, 0], vec![0, 0]]);
+        assert!(matches!(bad, Err(SgError::NotAssociative { .. })));
+    }
+
+    #[test]
+    fn zero_and_identity_detection() {
+        let g = null2();
+        assert_eq!(g.zero(), Some(Elem::new(0)));
+        assert_eq!(g.identity(), None);
+        // Z2 under multiplication mod 2: {0,1}, 1 is identity, 0 is zero.
+        let z2 = FiniteSemigroup::new(vec![vec![0, 0], vec![0, 1]]).unwrap();
+        assert_eq!(z2.zero(), Some(Elem::new(0)));
+        assert_eq!(z2.identity(), Some(Elem::new(1)));
+    }
+
+    #[test]
+    fn eval_words() {
+        let g = null2();
+        let alphabet = Alphabet::standard(1); // A0, 0
+        let interp = Interpretation::from_raw([1, 0]); // A0 -> a, 0 -> 0
+        interp.check_arity(&alphabet).unwrap();
+        let a0 = Word::single(alphabet.a0());
+        assert_eq!(g.eval(&interp, &a0).unwrap(), Elem::new(1));
+        let w = Word::parse("A0 A0", &alphabet).unwrap();
+        assert_eq!(g.eval(&interp, &w).unwrap(), Elem::new(0));
+    }
+
+    #[test]
+    fn eval_rejects_bad_interp() {
+        let g = null2();
+        let alphabet = Alphabet::standard(1);
+        let short = Interpretation::from_raw([1]);
+        let w = Word::parse("A0 0", &alphabet).unwrap();
+        assert!(g.eval(&short, &w).is_err());
+        assert!(short.check_arity(&alphabet).is_err());
+        assert!(!short.is_empty());
+    }
+
+    #[test]
+    fn powers() {
+        // Cyclic nilpotent of order 3: z, a, a² with a³ = z.
+        let g = FiniteSemigroup::new(vec![
+            vec![0, 0, 0],
+            vec![0, 2, 0],
+            vec![0, 0, 0],
+        ])
+        .unwrap();
+        let a = Elem::new(1);
+        assert_eq!(g.pow(a, 1), a);
+        assert_eq!(g.pow(a, 2), Elem::new(2));
+        assert_eq!(g.pow(a, 3), Elem::new(0));
+        assert_eq!(g.pow(a, 9), Elem::new(0));
+    }
+
+    #[test]
+    fn render_table_is_square() {
+        let s = null2().render_table();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("0:"));
+    }
+
+    #[test]
+    fn direct_product_structure() {
+        let g = null2();
+        let nil3 = FiniteSemigroup::new(vec![
+            vec![0, 0, 0],
+            vec![0, 2, 0],
+            vec![0, 0, 0],
+        ])
+        .unwrap();
+        let p = g.direct_product(&nil3);
+        assert_eq!(p.len(), 6);
+        assert!(p.check_associative().is_ok());
+        // Zero of the product is the pair of zeros.
+        let zp = p.zero().unwrap();
+        assert_eq!(zp, g.pair_elem(&nil3, Elem::new(0), Elem::new(0)));
+        // Componentwise multiplication.
+        let ab = p.mul(
+            g.pair_elem(&nil3, Elem::new(1), Elem::new(1)),
+            g.pair_elem(&nil3, Elem::new(1), Elem::new(1)),
+        );
+        assert_eq!(ab, g.pair_elem(&nil3, Elem::new(0), Elem::new(2)));
+        // No identity (neither factor has one).
+        assert_eq!(p.identity(), None);
+    }
+
+    #[test]
+    fn product_preserves_equations_componentwise() {
+        use crate::alphabet::Alphabet;
+        use crate::equation::Equation;
+        use crate::properties::satisfies_equation;
+        let g = null2();
+        let h = null2();
+        let p = g.direct_product(&h);
+        let alphabet = Alphabet::standard(1);
+        let eq = Equation::parse("A0 A0 = 0", &alphabet).unwrap();
+        let ig = Interpretation::from_raw([1, 0]);
+        let ih = Interpretation::from_raw([1, 0]);
+        assert!(satisfies_equation(&g, &ig, &eq));
+        assert!(satisfies_equation(&h, &ih, &eq));
+        // Pair the interpretations.
+        let ip = Interpretation::new(
+            ig.elems()
+                .iter()
+                .zip(ih.elems())
+                .map(|(&a, &b)| g.pair_elem(&h, a, b))
+                .collect(),
+        );
+        assert!(satisfies_equation(&p, &ip, &eq));
+    }
+
+    /// Cancellation is NOT closed under direct products: in
+    /// `null(2) × nilpotent(3)`, `(a,x)·(v,y)` ignores `v` entirely in the
+    /// first component, so distinct right factors give equal nonzero
+    /// products.
+    #[test]
+    fn cancellation_not_closed_under_products() {
+        use crate::families::{cyclic_nilpotent, null_semigroup};
+        use crate::properties::has_cancellation_property;
+        let g = null_semigroup(2);
+        let h = cyclic_nilpotent(3);
+        assert!(has_cancellation_property(&g));
+        assert!(has_cancellation_property(&h));
+        let p = g.direct_product(&h);
+        assert!(!has_cancellation_property(&p));
+    }
+}

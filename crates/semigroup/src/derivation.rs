@@ -1,0 +1,348 @@
+//! Replacement derivations and their search.
+//!
+//! The proof of part (A) rests on: "there is a sequence of m+1 ≥ 1 strings
+//! u₀, u₁, …, u_m, where u₀ is A₀, u_m is 0, and for i = 0, …, m−1, u_{i+1}
+//! results from u_i by replacement of a single occurrence of some xᵢ by yᵢ
+//! or vice versa." A [`Derivation`] is exactly such a sequence, stored as
+//! replayable steps; [`search_derivation`] finds one by breadth-first search
+//! over the word graph (bounded by word length and state count, since the
+//! problem is undecidable).
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::error::{Result, SgError};
+use crate::presentation::Presentation;
+use crate::word::Word;
+
+/// One replacement step: at `pos`, replace an occurrence of one side of
+/// equation `eq_index` by the other side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivStep {
+    /// Index into the presentation's equation list.
+    pub eq_index: usize,
+    /// Position of the replaced occurrence.
+    pub pos: usize,
+    /// `true`: replace `lhs` by `rhs`; `false`: replace `rhs` by `lhs`.
+    pub forward: bool,
+}
+
+/// A replayable derivation `start ⇒ … ⇒ end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Derivation {
+    /// The initial word `u₀`.
+    pub start: Word,
+    /// The replacement steps.
+    pub steps: Vec<DerivStep>,
+}
+
+impl Derivation {
+    /// The trivial derivation (zero steps).
+    pub fn trivial(start: Word) -> Self {
+        Self { start, steps: Vec::new() }
+    }
+
+    /// Number of steps (`m`).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if the derivation has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replays the derivation against `p`, returning the full word sequence
+    /// `u₀, …, u_m`. Fails if any step does not apply.
+    pub fn replay(&self, p: &Presentation) -> Result<Vec<Word>> {
+        let mut words = Vec::with_capacity(self.steps.len() + 1);
+        words.push(self.start.clone());
+        for (i, step) in self.steps.iter().enumerate() {
+            let eq = p.equations().get(step.eq_index).ok_or_else(|| {
+                SgError::DerivationReplay(format!(
+                    "step {i}: equation index {} out of range",
+                    step.eq_index
+                ))
+            })?;
+            let (from, to) = if step.forward {
+                (&eq.lhs, &eq.rhs)
+            } else {
+                (&eq.rhs, &eq.lhs)
+            };
+            let cur = words.last().expect("nonempty");
+            if !cur.occurs_at(from, step.pos) {
+                return Err(SgError::DerivationReplay(format!(
+                    "step {i}: `{from}` does not occur at position {} of `{cur}`",
+                    step.pos
+                )));
+            }
+            words.push(cur.replace_range(step.pos, from.len(), to)?);
+        }
+        Ok(words)
+    }
+
+    /// The final word `u_m`.
+    pub fn end(&self, p: &Presentation) -> Result<Word> {
+        Ok(self.replay(p)?.pop().expect("replay returns at least start"))
+    }
+
+    /// Checks that the derivation goes from `start` to `target` under `p`.
+    pub fn verify(&self, p: &Presentation, start: &Word, target: &Word) -> Result<()> {
+        if &self.start != start {
+            return Err(SgError::DerivationReplay(format!(
+                "derivation starts at `{}`, expected `{start}`",
+                self.start
+            )));
+        }
+        let end = self.end(p)?;
+        if &end != target {
+            return Err(SgError::DerivationReplay(format!(
+                "derivation ends at `{end}`, expected `{target}`"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Bounds for the breadth-first derivation search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Discard words longer than this (expansions can grow words without
+    /// bound; some derivations genuinely need longer intermediate words, so
+    /// exhausting this bound does **not** refute derivability).
+    pub max_word_len: usize,
+    /// Maximum number of distinct words to visit.
+    pub max_states: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self { max_word_len: 12, max_states: 200_000 }
+    }
+}
+
+/// Outcome of [`search_derivation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult {
+    /// A derivation was found (shortest in number of steps).
+    Found(Derivation),
+    /// The reachable set within `max_word_len` was exhausted: `target` is
+    /// unreachable *using intermediate words within the length bound*.
+    ExhaustedWithinBound {
+        /// Number of distinct words visited.
+        states: usize,
+    },
+    /// `max_states` was hit first; nothing can be concluded.
+    BudgetExhausted {
+        /// Number of distinct words visited.
+        states: usize,
+    },
+}
+
+impl SearchResult {
+    /// The derivation, if found.
+    pub fn derivation(&self) -> Option<&Derivation> {
+        match self {
+            SearchResult::Found(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Breadth-first search for a derivation `start ⇒* target` under the
+/// equations of `p` (used in both directions). Deterministic: equations are
+/// tried in order, positions left to right.
+pub fn search_derivation(
+    p: &Presentation,
+    start: &Word,
+    target: &Word,
+    budget: &SearchBudget,
+) -> SearchResult {
+    if start == target {
+        return SearchResult::Found(Derivation::trivial(start.clone()));
+    }
+    // parent[word] = (previous word, step taken).
+    let mut parent: HashMap<Word, (Word, DerivStep)> = HashMap::new();
+    let mut queue: VecDeque<Word> = VecDeque::new();
+    let mut visited: usize = 1;
+    queue.push_back(start.clone());
+    parent.insert(start.clone(), (start.clone(), DerivStep { eq_index: 0, pos: 0, forward: true }));
+
+    let mut budget_hit = false;
+    'bfs: while let Some(word) = queue.pop_front() {
+        for (eq_index, eq) in p.equations().iter().enumerate() {
+            for (from, to, forward) in
+                [(&eq.lhs, &eq.rhs, true), (&eq.rhs, &eq.lhs, false)]
+            {
+                if from == to {
+                    continue;
+                }
+                for pos in word.occurrences(from) {
+                    let next = word
+                        .replace_range(pos, from.len(), to)
+                        .expect("occurrence positions are in range");
+                    if next.len() > budget.max_word_len {
+                        continue;
+                    }
+                    if parent.contains_key(&next) {
+                        continue;
+                    }
+                    let step = DerivStep { eq_index, pos, forward };
+                    parent.insert(next.clone(), (word.clone(), step));
+                    visited += 1;
+                    if &next == target {
+                        break 'bfs;
+                    }
+                    if visited >= budget.max_states {
+                        budget_hit = true;
+                        break 'bfs;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+
+    if !parent.contains_key(target) {
+        return if budget_hit {
+            SearchResult::BudgetExhausted { states: visited }
+        } else {
+            SearchResult::ExhaustedWithinBound { states: visited }
+        };
+    }
+
+    // Reconstruct the step sequence backwards from target.
+    let mut steps_rev = Vec::new();
+    let mut cur = target.clone();
+    while cur != *start {
+        let (prev, step) = parent
+            .get(&cur)
+            .expect("every reached word has a parent")
+            .clone();
+        steps_rev.push(step);
+        cur = prev;
+    }
+    steps_rev.reverse();
+    SearchResult::Found(Derivation { start: start.clone(), steps: steps_rev })
+}
+
+/// Convenience: search for the paper's goal derivation `A₀ ⇒* 0`.
+pub fn search_goal_derivation(p: &Presentation, budget: &SearchBudget) -> SearchResult {
+    let goal = p.goal();
+    search_derivation(p, &goal.lhs, &goal.rhs, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presentation::{example_derivable, example_refutable};
+
+    #[test]
+    fn derivable_goal_found_and_verified() {
+        let p = example_derivable();
+        let result = search_goal_derivation(&p, &SearchBudget::default());
+        let d = result.derivation().expect("A0 => A1 A1 => 0");
+        assert_eq!(d.len(), 2);
+        let goal = p.goal();
+        d.verify(&p, &goal.lhs, &goal.rhs).unwrap();
+        let words = d.replay(&p).unwrap();
+        assert_eq!(words.len(), 3);
+        assert_eq!(words[0].render(p.alphabet()), "A0");
+        assert_eq!(words[1].render(p.alphabet()), "A1 A1");
+        assert_eq!(words[2].render(p.alphabet()), "0");
+    }
+
+    #[test]
+    fn refutable_goal_not_reachable() {
+        let p = example_refutable();
+        let result = search_goal_derivation(
+            &p,
+            &SearchBudget { max_word_len: 8, max_states: 100_000 },
+        );
+        // Only zero equations: from the single word "A0" the only moves
+        // produce words containing 0, which collapse back to 0-words; "A0"
+        // alone can never reach "0".
+        assert!(
+            matches!(result, SearchResult::ExhaustedWithinBound { .. }),
+            "{result:?}"
+        );
+    }
+
+    #[test]
+    fn trivial_derivation() {
+        let p = example_refutable();
+        let w = Word::single(p.alphabet().a0());
+        let r = search_derivation(&p, &w, &w, &SearchBudget::default());
+        let d = r.derivation().unwrap();
+        assert!(d.is_empty());
+        d.verify(&p, &w, &w).unwrap();
+    }
+
+    #[test]
+    fn bfs_finds_shortest() {
+        // Two routes to 0: direct (1 step) and via A1 A1 (2+ steps).
+        let alphabet = crate::alphabet::Alphabet::standard(2);
+        let direct = crate::equation::Equation::parse("A0 A0 = 0", &alphabet).unwrap();
+        let via = crate::equation::Equation::parse("A0 A0 = A1", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![direct, via]).unwrap();
+        let start = Word::parse("A0 A0", p.alphabet()).unwrap();
+        let target = Word::single(p.alphabet().zero());
+        let r = search_derivation(&p, &start, &target, &SearchBudget::default());
+        assert_eq!(r.derivation().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_steps() {
+        let p = example_derivable();
+        let goal = p.goal();
+        let mut d = search_goal_derivation(&p, &SearchBudget::default())
+            .derivation()
+            .unwrap()
+            .clone();
+        // Corrupt the position of the second step.
+        d.steps[1].pos = 7;
+        assert!(matches!(
+            d.replay(&p),
+            Err(SgError::DerivationReplay(_))
+        ));
+        // Corrupt the equation index.
+        let mut d2 = search_goal_derivation(&p, &SearchBudget::default())
+            .derivation()
+            .unwrap()
+            .clone();
+        d2.steps[0].eq_index = 99;
+        assert!(d2.replay(&p).is_err());
+        // Wrong endpoints.
+        let d3 = Derivation::trivial(goal.lhs.clone());
+        assert!(d3.verify(&p, &goal.lhs, &goal.rhs).is_err());
+        assert!(d3.verify(&p, &goal.rhs, &goal.rhs).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // A presentation with growth: A0 = A0 A0 lets words blow up; a tiny
+        // state budget must be reported as exhausted.
+        let alphabet = crate::alphabet::Alphabet::standard(1);
+        let grow = crate::equation::Equation::parse("A0 A0 = A0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![grow]).unwrap();
+        let start = Word::single(p.alphabet().a0());
+        let target = Word::single(p.alphabet().zero());
+        let r = search_derivation(
+            &p,
+            &start,
+            &target,
+            &SearchBudget { max_word_len: 30, max_states: 5 },
+        );
+        assert!(matches!(r, SearchResult::BudgetExhausted { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn word_length_bound_respected() {
+        // Derivation requires passing through length 2, but bound is 1.
+        let p = example_derivable();
+        let r = search_goal_derivation(
+            &p,
+            &SearchBudget { max_word_len: 1, max_states: 1000 },
+        );
+        assert!(matches!(r, SearchResult::ExhaustedWithinBound { .. }));
+    }
+}

@@ -1,0 +1,91 @@
+//! Equations between words.
+
+use crate::alphabet::Alphabet;
+use crate::error::Result;
+use crate::word::Word;
+
+/// An equation `lhs = rhs` between nonempty words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Equation {
+    /// Left-hand side.
+    pub lhs: Word,
+    /// Right-hand side.
+    pub rhs: Word,
+}
+
+impl Equation {
+    /// Creates an equation.
+    pub fn new(lhs: Word, rhs: Word) -> Self {
+        Self { lhs, rhs }
+    }
+
+    /// Parses `"A0 A1 = 0"`.
+    pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
+        let (l, r) = text.split_once('=').ok_or_else(|| {
+            crate::error::SgError::Parse {
+                line: 0,
+                msg: format!("equation `{text}` is missing `=`"),
+            }
+        })?;
+        Ok(Self::new(Word::parse(l, alphabet)?, Word::parse(r, alphabet)?))
+    }
+
+    /// `true` if `|lhs| = 2` and `|rhs| = 1` — the normalized shape the
+    /// Main Lemma is applied with ("We restrict the strings xᵢ and yᵢ … to
+    /// be of length 2 and 1, respectively").
+    pub fn is_two_one(&self) -> bool {
+        self.lhs.len() == 2 && self.rhs.len() == 1
+    }
+
+    /// `true` if both sides are single symbols.
+    pub fn is_one_one(&self) -> bool {
+        self.lhs.len() == 1 && self.rhs.len() == 1
+    }
+
+    /// `true` if the equation is of the form `w = w`.
+    pub fn is_reflexive(&self) -> bool {
+        self.lhs == self.rhs
+    }
+
+    /// The equation with sides swapped.
+    pub fn flipped(&self) -> Equation {
+        Equation::new(self.rhs.clone(), self.lhs.clone())
+    }
+
+    /// Renders with symbol names.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        format!("{} = {}", self.lhs.render(alphabet), self.rhs.render(alphabet))
+    }
+}
+
+impl std::fmt::Display for Equation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} = {}", self.lhs, self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_shape() {
+        let a = Alphabet::standard(2);
+        let eq = Equation::parse("A0 A1 = 0", &a).unwrap();
+        assert!(eq.is_two_one());
+        assert!(!eq.is_one_one());
+        assert!(!eq.is_reflexive());
+        assert_eq!(eq.render(&a), "A0 A1 = 0");
+        assert_eq!(eq.flipped().render(&a), "0 = A0 A1");
+        assert!(Equation::parse("A0 A1", &a).is_err());
+        assert!(Equation::parse("A0 = BOGUS", &a).is_err());
+    }
+
+    #[test]
+    fn reflexive_and_one_one() {
+        let a = Alphabet::standard(1);
+        let eq = Equation::parse("A0 = A0", &a).unwrap();
+        assert!(eq.is_reflexive());
+        assert!(eq.is_one_one());
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for `td-semigroup`.
+
+use std::fmt;
+
+/// Errors from building alphabets, words, presentations, Cayley tables, or
+/// parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgError {
+    /// An alphabet was declared with a duplicate symbol name.
+    DuplicateSymbol(String),
+    /// A symbol name was not found in the alphabet.
+    UnknownSymbol(String),
+    /// The alphabet is missing its zero symbol or the distinguished `A₀`.
+    MissingDistinguished(String),
+    /// Semigroup words must be nonempty (there is no empty product).
+    EmptyWord,
+    /// A symbol id was out of range for the alphabet it was used with.
+    SymbolOutOfRange {
+        /// The offending symbol index.
+        sym: usize,
+        /// Alphabet size.
+        len: usize,
+    },
+    /// A Cayley table was not square, or an entry was out of range.
+    BadTable(String),
+    /// The operation table is not associative at the given triple.
+    NotAssociative {
+        /// Witness triple `(a, b, c)` with `(ab)c ≠ a(bc)`.
+        witness: (usize, usize, usize),
+    },
+    /// The semigroup lacks a required zero element.
+    NoZero,
+    /// An interpretation had the wrong number of symbols.
+    InterpretationArity {
+        /// Expected number of symbols (alphabet size).
+        expected: usize,
+        /// Actual length of the map.
+        got: usize,
+    },
+    /// An element id was out of range for the semigroup.
+    ElementOutOfRange {
+        /// The offending element index.
+        elem: usize,
+        /// Semigroup order.
+        len: usize,
+    },
+    /// A derivation failed to replay (bad step index, position, or mismatch).
+    DerivationReplay(String),
+    /// A parse error in the text format, with 1-based line number.
+    Parse {
+        /// Line on which the error occurred (1-based).
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+            SgError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            SgError::MissingDistinguished(s) => {
+                write!(f, "alphabet is missing distinguished symbol `{s}`")
+            }
+            SgError::EmptyWord => write!(f, "semigroup words must be nonempty"),
+            SgError::SymbolOutOfRange { sym, len } => {
+                write!(f, "symbol {sym} out of range (alphabet has {len} symbols)")
+            }
+            SgError::BadTable(msg) => write!(f, "bad Cayley table: {msg}"),
+            SgError::NotAssociative { witness: (a, b, c) } => {
+                write!(f, "not associative: (e{a}·e{b})·e{c} ≠ e{a}·(e{b}·e{c})")
+            }
+            SgError::NoZero => write!(f, "semigroup has no zero element"),
+            SgError::InterpretationArity { expected, got } => write!(
+                f,
+                "interpretation maps {got} symbols, alphabet has {expected}"
+            ),
+            SgError::ElementOutOfRange { elem, len } => {
+                write!(f, "element {elem} out of range (semigroup has {len} elements)")
+            }
+            SgError::DerivationReplay(msg) => {
+                write!(f, "derivation replay failed: {msg}")
+            }
+            SgError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SgError {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T, E = SgError> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(SgError::EmptyWord.to_string().contains("nonempty"));
+        assert!(SgError::NotAssociative { witness: (1, 2, 3) }
+            .to_string()
+            .contains("e1"));
+        let boxed: Box<dyn std::error::Error> = Box::new(SgError::NoZero);
+        assert!(!boxed.to_string().is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Closed-form families of finite cancellation semigroups with zero.
+//!
+//! The Main Lemma's "refutable" side needs finite S-generated cancellation
+//! semigroups without identity in which `A₀ ≠ 0`. These families provide
+//! them analytically (no search):
+//!
+//! * [`null_semigroup`]`(n)` — `n` elements, every product is `0`;
+//! * [`cyclic_nilpotent`]`(n)` — `{0, a, a², …, a^{n-1}}` with `aⁿ = 0`.
+//!
+//! Both have a zero, no identity (for `n ≥ 2`), and satisfy the paper's
+//! cancellation conditions (i) and (ii) — verified in tests, not assumed.
+
+use crate::alphabet::Alphabet;
+use crate::cayley::{FiniteSemigroup, Interpretation};
+use crate::presentation::Presentation;
+
+/// The `n`-element null semigroup: element `0` is the zero and `x·y = 0`
+/// for all `x, y`.
+///
+/// Cancellation holds vacuously for (i) (no nonzero products) and for (ii)
+/// (`x·y = 0 = x` forces `x = 0`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn null_semigroup(n: usize) -> FiniteSemigroup {
+    assert!(n >= 1, "need at least the zero element");
+    FiniteSemigroup::new(vec![vec![0; n]; n]).expect("constant tables are associative")
+}
+
+/// The cyclic nilpotent semigroup of order `n`: elements `0, a, a², …,
+/// a^{n-1}` (element `i` is `aⁱ`, element `0` is the zero), with
+/// `aⁱ·aʲ = a^{i+j}` when `i + j < n` and `0` otherwise.
+///
+/// # Panics
+/// Panics if `n < 2` (one element would make the zero an identity).
+pub fn cyclic_nilpotent(n: usize) -> FiniteSemigroup {
+    assert!(n >= 2, "need the zero plus at least a");
+    let mut table = vec![vec![0usize; n]; n];
+    for (i, row) in table.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            if i >= 1 && j >= 1 && i + j < n {
+                *cell = i + j;
+            }
+        }
+    }
+    FiniteSemigroup::new(table).expect("truncated addition is associative")
+}
+
+/// The smallest countermodel package of the running example: the alphabet
+/// `S = {A0, 0}`, the 2-element null semigroup, and the interpretation
+/// `A0 ↦ a`, `0 ↦ 0`. For the zero-saturated presentation with **no other
+/// equations**, this is a finite S-generated cancellation semigroup without
+/// identity in which `A₀ = 0` fails — the Main Lemma's second set.
+pub fn min_counterexample() -> (Alphabet, FiniteSemigroup, Interpretation) {
+    let alphabet = Alphabet::standard(1);
+    let g = null_semigroup(2);
+    let interp = Interpretation::from_raw([1, 0]); // A0 -> a, 0 -> 0
+    (alphabet, g, interp)
+}
+
+/// Picks an interpretation of `p`'s alphabet into the null semigroup of
+/// order 2 (`A₀ ↦ a`, everything else `↦ 0`) and returns it if it is a
+/// genuine countermodel for `p` (it is, whenever every non-zero equation of
+/// `p` evaluates to `0 = 0` under this map — e.g. when every right-hand
+/// side avoids `A₀` and every left-hand side has length ≥ 2).
+pub fn null_counter_model(p: &Presentation) -> Option<(FiniteSemigroup, Interpretation)> {
+    let g = null_semigroup(2);
+    let map: Vec<usize> = p
+        .alphabet()
+        .syms()
+        .map(|s| usize::from(s == p.alphabet().a0()))
+        .collect();
+    let interp = Interpretation::from_raw(map);
+    crate::properties::is_countermodel(&g, &interp, p).then_some((g, interp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presentation::example_refutable;
+    use crate::properties::{
+        has_cancellation_property, is_countermodel, is_generated_by,
+    };
+
+    #[test]
+    fn null_semigroup_properties() {
+        for n in 2..=6 {
+            let g = null_semigroup(n);
+            assert_eq!(g.len(), n);
+            assert!(g.check_associative().is_ok());
+            assert_eq!(g.zero().map(|z| z.index()), Some(0));
+            assert!(g.identity().is_none());
+            assert!(has_cancellation_property(&g), "null({n})");
+        }
+    }
+
+    #[test]
+    fn cyclic_nilpotent_properties() {
+        for n in 2..=7 {
+            let g = cyclic_nilpotent(n);
+            assert_eq!(g.len(), n);
+            assert!(g.check_associative().is_ok());
+            assert_eq!(g.zero().map(|z| z.index()), Some(0));
+            assert!(g.identity().is_none());
+            assert!(has_cancellation_property(&g), "nilpotent({n})");
+        }
+    }
+
+    #[test]
+    fn cyclic_nilpotent_is_generated_by_a() {
+        // a generates everything: a, a², …, and aⁿ = 0.
+        let g = cyclic_nilpotent(5);
+        let interp = Interpretation::from_raw([1, 0]);
+        assert!(is_generated_by(&g, &interp));
+    }
+
+    #[test]
+    fn min_counterexample_is_a_countermodel() {
+        let (_alphabet, g, interp) = min_counterexample();
+        let p = example_refutable();
+        assert!(is_countermodel(&g, &interp, &p));
+    }
+
+    #[test]
+    fn null_counter_model_on_refutable_presentation() {
+        let p = example_refutable();
+        let (g, interp) = null_counter_model(&p).expect("zero eqs only: refutable");
+        assert!(is_countermodel(&g, &interp, &p));
+    }
+
+    #[test]
+    fn null_counter_model_rejects_derivable_presentation() {
+        let p = crate::presentation::example_derivable();
+        // A1 A1 = A0 forces interp(A0) = 0 in a null semigroup; the fixed
+        // interpretation maps A0 to a ≠ 0, so the equation fails and no
+        // countermodel is produced.
+        assert!(null_counter_model(&p).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero plus at least a")]
+    fn cyclic_needs_two_elements() {
+        let _ = cyclic_nilpotent(1);
+    }
+}

@@ -1,0 +1,84 @@
+//! # td-semigroup — finitely presented semigroups with zero
+//!
+//! The substrate of Gurevich & Lewis's undecidability proof. Their Main
+//! Lemma (proved in the companion paper *The word problem for cancellation
+//! semigroups with zero*) concerns formulas
+//!
+//! ```text
+//! φ ≡ x₁ = y₁ & … & xₙ = yₙ  ⇒  A₀ = 0
+//! ```
+//!
+//! over an alphabet `S ∋ {A₀, 0}` whose antecedents contain all
+//! zero-absorption equations (`A·0 = 0`, `0·A = 0`), and states that
+//!
+//! * `{φ : φ holds in every S-generated semigroup}` and
+//! * `{φ : φ fails in some finite S-generated cancellation semigroup
+//!   without identity}`
+//!
+//! are effectively inseparable. This crate implements both *witness sides*
+//! of that dichotomy, plus everything needed to feed the reduction:
+//!
+//! * [`word::Word`]s, [`equation::Equation`]s and zero-saturated
+//!   [`presentation::Presentation`]s;
+//! * [`normalize`](mod@normalize) — the paper's presentation transformation to equations
+//!   with `|xᵢ| = 2`, `|yᵢ| = 1` ("if φ contains a conjunct ABC = DA … we
+//!   introduce new symbols E and F…");
+//! * [`derivation`] — breadth-first search for replacement derivations
+//!   `A₀ ⇒ … ⇒ 0`, with replayable [`derivation::Derivation`] certificates;
+//! * [`rewrite`] — a rule-oriented reducer for normalized presentations;
+//! * [`quotient`] — bounded congruence closure over the word universe (the
+//!   quotient `S*/≈` of the paper's part (A), truncated to a finite window);
+//! * [`cayley`] — finite semigroups as Cayley tables, with
+//!   [`properties`] checkers for associativity, zero, identity, the
+//!   cancellation conditions (i)/(ii), and S-generation;
+//! * [`adjoin`] — adjoining an identity (`G → G′`), preserving cancellation
+//!   exactly as in the paper's part (B);
+//! * [`model_search`] — a backtracking finite-model finder for cancellation
+//!   countermodels;
+//! * [`families`] — closed-form semigroup families (null semigroups, cyclic
+//!   nilpotent semigroups) used as analytic countermodels;
+//! * [`parser`] — a small text format for presentations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adjoin;
+pub mod alphabet;
+pub mod cayley;
+pub mod derivation;
+pub mod equation;
+pub mod error;
+pub mod families;
+pub mod model_search;
+pub mod normalize;
+pub mod parser;
+pub mod presentation;
+pub mod properties;
+pub mod quotient;
+pub mod rewrite;
+pub mod symbol;
+pub(crate) mod union_find;
+pub mod word;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::adjoin::adjoin_identity;
+    pub use crate::alphabet::Alphabet;
+    pub use crate::cayley::{Elem, FiniteSemigroup, Interpretation};
+    pub use crate::derivation::{search_derivation, Derivation, SearchBudget, SearchResult};
+    pub use crate::equation::Equation;
+    pub use crate::error::SgError;
+    pub use crate::families::{cyclic_nilpotent, null_semigroup};
+    pub use crate::model_search::{find_counter_model, ModelSearchOptions};
+    pub use crate::normalize::{normalize, Normalized};
+    pub use crate::presentation::Presentation;
+    pub use crate::properties::{
+        cancellation_violation, has_cancellation_property, is_generated_by,
+        satisfies_presentation,
+    };
+    pub use crate::symbol::Sym;
+    pub use crate::word::Word;
+}
+
+pub use prelude::*;

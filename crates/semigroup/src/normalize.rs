@@ -1,0 +1,336 @@
+//! Normalizing presentations to short equations.
+//!
+//! The paper: "We restrict the strings xᵢ and yᵢ appearing in the
+//! antecedents of φ to be of length 2 and 1, respectively. Imposing this
+//! restriction is a simple matter; if φ contains a conjunct ABC = DA, for
+//! example, we introduce new symbols E and F into S, add the equations
+//! AB = E and DA = F, and replace the equation ABC = DA by EC = F. Any
+//! semigroup satisfying the original formula φ will satisfy the new formula,
+//! with appropriate interpretations for the new symbols, and vice versa; and
+//! the cancellation property is not affected, because only the presentation
+//! of the semigroup is changed, not the semigroup itself."
+//!
+//! Our normalizer handles the general case:
+//!
+//! * sides longer than 2 are folded left-to-right through fresh *product
+//!   symbols* (each with a defining `(2,1)` equation), with sharing — the
+//!   same pair never defines two symbols;
+//! * `(1,2)` equations are flipped; `(2,2)` equations are split through a
+//!   fresh symbol;
+//! * `(1,1)` equations (`A = B` between single symbols) are **kept as-is**
+//!   (reflexive ones are dropped). They cannot be conservatively encoded as
+//!   `(2,1)` equations over a semigroup with zero — any encoding through
+//!   products would force factorizations that need not exist in the finite
+//!   countermodels — so the reduction crate handles them with a dedicated
+//!   dependency pair instead. (The paper's φ format never contains them:
+//!   its antecedents are the zero-absorption equations plus genuinely
+//!   product-shaped ones.)
+//! * the result is zero-saturated over the extended alphabet.
+//!
+//! [`Normalized`] records the fresh-symbol definitions so that
+//! interpretations transfer ([`Normalized::extend_interpretation`]) — the
+//! paper's "with appropriate interpretations for the new symbols".
+
+use std::collections::HashMap;
+
+use crate::alphabet::Alphabet;
+use crate::cayley::{FiniteSemigroup, Interpretation};
+use crate::equation::Equation;
+use crate::error::Result;
+use crate::presentation::Presentation;
+use crate::symbol::Sym;
+use crate::word::Word;
+
+/// A normalized presentation plus the bookkeeping to transfer
+/// interpretations from the original.
+#[derive(Debug, Clone)]
+pub struct Normalized {
+    /// The normalized, zero-saturated presentation: every equation either
+    /// `(2,1)` or a non-reflexive `(1,1)`.
+    pub presentation: Presentation,
+    /// Definitions of fresh symbols: `sym = a · b` in application order
+    /// (later definitions may reference earlier fresh symbols).
+    pub definitions: Vec<(Sym, Sym, Sym)>,
+    /// Size of the original alphabet (fresh symbols have indices `>=` this).
+    pub base_len: usize,
+}
+
+impl Normalized {
+    /// Extends an interpretation of the *original* alphabet into `g` to the
+    /// normalized alphabet: fresh symbols are interpreted as the products
+    /// that define them.
+    pub fn extend_interpretation(
+        &self,
+        g: &FiniteSemigroup,
+        base: &Interpretation,
+    ) -> Result<Interpretation> {
+        if base.len() != self.base_len {
+            return Err(crate::error::SgError::InterpretationArity {
+                expected: self.base_len,
+                got: base.len(),
+            });
+        }
+        let mut map = base.elems().to_vec();
+        for &(sym, a, b) in &self.definitions {
+            debug_assert_eq!(sym.index(), map.len());
+            let prod = g.mul(map[a.index()], map[b.index()]);
+            map.push(prod);
+        }
+        Ok(Interpretation::new(map))
+    }
+}
+
+/// Folds `word` down to a single symbol, creating fresh product symbols as
+/// needed. Returns the representing symbol.
+fn fold_to_symbol(
+    word: &Word,
+    alphabet: &mut Alphabet,
+    cache: &mut HashMap<(Sym, Sym), Sym>,
+    definitions: &mut Vec<(Sym, Sym, Sym)>,
+    out_equations: &mut Vec<Equation>,
+) -> Sym {
+    let mut acc = word.get(0);
+    for i in 1..word.len() {
+        let b = word.get(i);
+        acc = *cache.entry((acc, b)).or_insert_with(|| {
+            let name = alphabet.fresh_name(&format!(
+                "[{}{}]",
+                alphabet.name(acc),
+                alphabet.name(b)
+            ));
+            let sym = alphabet.add_symbol(name).expect("fresh name is unused");
+            definitions.push((sym, acc, b));
+            out_equations.push(Equation::new(
+                Word::new([acc, b]).expect("two symbols"),
+                Word::single(sym),
+            ));
+            sym
+        });
+    }
+    acc
+}
+
+/// Folds `word` down to **two** symbols (or one, if it has length 1).
+fn fold_to_pair(
+    word: &Word,
+    alphabet: &mut Alphabet,
+    cache: &mut HashMap<(Sym, Sym), Sym>,
+    definitions: &mut Vec<(Sym, Sym, Sym)>,
+    out_equations: &mut Vec<Equation>,
+) -> Word {
+    if word.len() <= 2 {
+        return word.clone();
+    }
+    // Fold the prefix of length len-1 to one symbol, keep the last.
+    let prefix = Word::new(word.syms()[..word.len() - 1].iter().copied())
+        .expect("nonempty prefix");
+    let head = fold_to_symbol(&prefix, alphabet, cache, definitions, out_equations);
+    Word::new([head, word.get(word.len() - 1)]).expect("two symbols")
+}
+
+/// Normalizes `p` to `(2,1)` (plus kept `(1,1)`) equations over a possibly
+/// extended alphabet.
+pub fn normalize(p: &Presentation) -> Result<Normalized> {
+    let base_len = p.alphabet().len();
+    let mut alphabet = p.alphabet().clone();
+    let mut cache: HashMap<(Sym, Sym), Sym> = HashMap::new();
+    let mut definitions = Vec::new();
+    let mut out_equations: Vec<Equation> = Vec::new();
+
+    let push = |out: &mut Vec<Equation>, e: Equation| {
+        if !out.contains(&e) {
+            out.push(e);
+        }
+    };
+
+    for eq in p.equations() {
+        if eq.is_reflexive() {
+            continue;
+        }
+        if eq.is_one_one() {
+            push(&mut out_equations, eq.clone());
+            continue;
+        }
+        let l2 = fold_to_pair(&eq.lhs, &mut alphabet, &mut cache, &mut definitions, &mut out_equations);
+        let r2 = fold_to_pair(&eq.rhs, &mut alphabet, &mut cache, &mut definitions, &mut out_equations);
+        match (l2.len(), r2.len()) {
+            (2, 1) => push(&mut out_equations, Equation::new(l2, r2)),
+            (1, 2) => push(&mut out_equations, Equation::new(r2, l2)),
+            (2, 2) => {
+                // Split through a fresh symbol representing the rhs pair.
+                let mid = fold_to_symbol(
+                    &r2,
+                    &mut alphabet,
+                    &mut cache,
+                    &mut definitions,
+                    &mut out_equations,
+                );
+                push(&mut out_equations, Equation::new(l2, Word::single(mid)));
+            }
+            (1, 1) => unreachable!("(1,1) equations are diverted before folding"),
+            _ => unreachable!("fold_to_pair returns words of length 1 or 2"),
+        }
+    }
+
+    let mut presentation = Presentation::new(alphabet, out_equations)?;
+    presentation.saturate_with_zero_equations();
+    debug_assert!(presentation.is_reduction_ready());
+    Ok(Normalized { presentation, definitions, base_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::null_semigroup;
+
+    #[test]
+    fn paper_example_abc_eq_da() {
+        // "if φ contains a conjunct ABC = DA … we introduce new symbols E
+        // and F into S, add the equations AB = E and DA = F, and replace
+        // ABC = DA by EC = F."
+        let alphabet =
+            Alphabet::new(["A0", "A", "B", "C", "D", "0"], "A0", "0").unwrap();
+        let eq = Equation::parse("A B C = D A", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![eq]).unwrap();
+        let n = normalize(&p).unwrap();
+        assert!(n.presentation.is_normalized());
+        // Two fresh symbols: [AB] and [DA].
+        assert_eq!(n.definitions.len(), 2);
+        assert_eq!(n.presentation.alphabet().len(), 6 + 2);
+        let names: Vec<&str> = n
+            .presentation
+            .symbols_from(n.base_len)
+            .iter()
+            .map(|&s| n.presentation.alphabet().name(s))
+            .collect();
+        assert_eq!(names, vec!["[AB]", "[DA]"]);
+        // The replaced equation [AB] C = [DA] is present.
+        let ab = n.presentation.alphabet().sym("[AB]").unwrap();
+        let da = n.presentation.alphabet().sym("[DA]").unwrap();
+        let c = n.presentation.alphabet().sym("C").unwrap();
+        let replaced = Equation::new(
+            Word::new([ab, c]).unwrap(),
+            Word::single(da),
+        );
+        assert!(n.presentation.equations().contains(&replaced));
+        assert!(n.presentation.is_zero_saturated());
+    }
+
+    #[test]
+    fn shared_pairs_are_folded_once() {
+        let alphabet = Alphabet::new(["A0", "A", "B", "0"], "A0", "0").unwrap();
+        let e1 = Equation::parse("A B A B = A", &alphabet).unwrap();
+        let e2 = Equation::parse("A B A = B", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![e1, e2]).unwrap();
+        let n = normalize(&p).unwrap();
+        // [AB] defined once and reused.
+        let ab_count = n
+            .definitions
+            .iter()
+            .filter(|&&(_, a, b)| {
+                n.presentation.alphabet().name(a) == "A"
+                    && n.presentation.alphabet().name(b) == "B"
+            })
+            .count();
+        assert_eq!(ab_count, 1);
+        assert!(n.presentation.is_normalized());
+    }
+
+    #[test]
+    fn one_one_equations_kept() {
+        let alphabet = Alphabet::standard(3); // A0 A1 A2 0
+        let e = Equation::parse("A1 = A2", &alphabet).unwrap();
+        let e2 = Equation::parse("A1 A1 = A2", &alphabet).unwrap();
+        let reflexive = Equation::parse("A1 = A1", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![e.clone(), e2, reflexive]).unwrap();
+        let n = normalize(&p).unwrap();
+        assert!(n.presentation.equations().contains(&e));
+        assert!(!n.presentation.is_normalized(), "a (1,1) equation remains");
+        assert!(n.presentation.is_reduction_ready());
+        // The reflexive equation was dropped.
+        assert!(!n
+            .presentation
+            .equations()
+            .iter()
+            .any(Equation::is_reflexive));
+    }
+
+    #[test]
+    fn a0_equals_zero_is_kept_not_lost() {
+        // The degenerate instance A0 = 0 must stay visible to the reduction
+        // (see the pipeline: it makes the goal derivable in one step).
+        let alphabet = Alphabet::standard(1);
+        let e = Equation::parse("A0 = 0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![e.clone()]).unwrap();
+        let n = normalize(&p).unwrap();
+        assert!(n.presentation.equations().contains(&e));
+    }
+
+    #[test]
+    fn already_normalized_is_untouched_modulo_zero_eqs() {
+        let p = crate::presentation::example_derivable();
+        let n = normalize(&p).unwrap();
+        assert!(n.definitions.is_empty());
+        assert_eq!(
+            n.presentation.equations().len(),
+            p.equations().len(),
+            "zero equations were already present"
+        );
+    }
+
+    #[test]
+    fn interpretation_extension_respects_definitions() {
+        // In the null semigroup every product is 0, so every fresh symbol
+        // must be interpreted as 0.
+        let alphabet = Alphabet::new(["A0", "A", "B", "C", "D", "0"], "A0", "0").unwrap();
+        let eq = Equation::parse("A B C = D A", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![eq]).unwrap();
+        let n = normalize(&p).unwrap();
+        let g = null_semigroup(3); // elements {0, 1, 2}, all products 0
+        let base = Interpretation::from_raw([1, 2, 1, 2, 1, 0]);
+        let ext = n.extend_interpretation(&g, &base).unwrap();
+        assert_eq!(ext.len(), 8);
+        for &(sym, _, _) in &n.definitions {
+            assert_eq!(ext.of(sym).index(), 0, "products are 0 in a null semigroup");
+        }
+        // Wrong arity rejected.
+        assert!(n
+            .extend_interpretation(&g, &Interpretation::from_raw([0, 1]))
+            .is_err());
+    }
+
+    #[test]
+    fn extension_preserves_equation_satisfaction() {
+        // If (g, base) satisfies the original equations, (g, ext) satisfies
+        // the normalized ones.
+        use crate::properties::satisfies_presentation;
+        let alphabet = Alphabet::new(["A0", "A", "0"], "A0", "0").unwrap();
+        // A A A = 0 holds in cyclic_nilpotent(3) with A -> a (a^3 = 0).
+        let eq = Equation::parse("A A A = 0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![eq]).unwrap().zero_saturated();
+        let n = normalize(&p).unwrap();
+        let g = crate::families::cyclic_nilpotent(3);
+        let base = Interpretation::from_raw([1, 1, 0]); // A0 -> a, A -> a, 0 -> 0
+        assert!(satisfies_presentation(&g, &base, &p));
+        let ext = n.extend_interpretation(&g, &base).unwrap();
+        assert!(satisfies_presentation(&g, &ext, &n.presentation));
+    }
+
+    #[test]
+    fn two_two_equations_split() {
+        let alphabet = Alphabet::new(["A0", "A", "B", "C", "D", "0"], "A0", "0").unwrap();
+        let eq = Equation::parse("A B = C D", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![eq]).unwrap();
+        let n = normalize(&p).unwrap();
+        assert!(n.presentation.is_normalized());
+        // One fresh symbol [CD]; equations: C D = [CD] and A B = [CD].
+        assert_eq!(n.definitions.len(), 1);
+        let cd = n.presentation.alphabet().sym("[CD]").unwrap();
+        let a = n.presentation.alphabet().sym("A").unwrap();
+        let b = n.presentation.alphabet().sym("B").unwrap();
+        assert!(n.presentation.equations().contains(&Equation::new(
+            Word::new([a, b]).unwrap(),
+            Word::single(cd)
+        )));
+    }
+}

@@ -1,0 +1,170 @@
+//! A small line-oriented text format for presentations.
+//!
+//! ```text
+//! # A word-problem instance φ.
+//! alphabet A0 A1 0        # symbol names; `0` is the zero by default
+//! a0 A0                   # optional: designate A₀ (default: literal "A0")
+//! zero 0                  # optional: designate the zero (default: "0")
+//! eq A1 A1 = A0
+//! eq A1 A1 = 0
+//! zerosat                 # optional: add all zero-absorption equations
+//! ```
+
+use crate::alphabet::Alphabet;
+use crate::equation::Equation;
+use crate::error::{Result, SgError};
+use crate::presentation::Presentation;
+
+fn err(line: usize, msg: impl Into<String>) -> SgError {
+    SgError::Parse { line, msg: msg.into() }
+}
+
+/// Parses a presentation file.
+pub fn parse(text: &str) -> Result<Presentation> {
+    let mut names: Option<Vec<String>> = None;
+    let mut a0_name = "A0".to_owned();
+    let mut zero_name = "0".to_owned();
+    let mut raw_eqs: Vec<(usize, String)> = Vec::new();
+    let mut zerosat = false;
+
+    for (ix, raw_line) in text.lines().enumerate() {
+        let line_no = ix + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, body) = match line.split_once(char::is_whitespace) {
+            Some((k, b)) => (k, b.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "alphabet" => {
+                if names.is_some() {
+                    return Err(err(line_no, "duplicate alphabet declaration"));
+                }
+                let toks: Vec<String> =
+                    body.split_whitespace().map(str::to_owned).collect();
+                if toks.is_empty() {
+                    return Err(err(line_no, "alphabet needs at least one symbol"));
+                }
+                names = Some(toks);
+            }
+            "a0" => {
+                if body.is_empty() {
+                    return Err(err(line_no, "`a0` needs a symbol name"));
+                }
+                a0_name = body.to_owned();
+            }
+            "zero" => {
+                if body.is_empty() {
+                    return Err(err(line_no, "`zero` needs a symbol name"));
+                }
+                zero_name = body.to_owned();
+            }
+            "eq" => {
+                if names.is_none() {
+                    return Err(err(line_no, "`eq` before `alphabet`"));
+                }
+                raw_eqs.push((line_no, body.to_owned()));
+            }
+            "zerosat" => zerosat = true,
+            other => {
+                return Err(err(
+                    line_no,
+                    format!(
+                        "unknown keyword `{other}` (expected alphabet/a0/zero/eq/zerosat)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    let names = names.ok_or_else(|| err(1, "missing `alphabet` declaration"))?;
+    let alphabet = Alphabet::new(names, &a0_name, &zero_name)
+        .map_err(|e| err(1, e.to_string()))?;
+    let mut equations = Vec::with_capacity(raw_eqs.len());
+    for (line_no, body) in raw_eqs {
+        equations
+            .push(Equation::parse(&body, &alphabet).map_err(|e| err(line_no, e.to_string()))?);
+    }
+    let mut p = Presentation::new(alphabet, equations)
+        .map_err(|e| err(1, e.to_string()))?;
+    if zerosat {
+        p.saturate_with_zero_equations();
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "
+# running example
+alphabet A0 A1 0
+eq A1 A1 = A0
+eq A1 A1 = 0
+zerosat
+";
+
+    #[test]
+    fn parses_example() {
+        let p = parse(EXAMPLE).unwrap();
+        assert_eq!(p.alphabet().len(), 3);
+        assert!(p.is_zero_saturated());
+        assert!(p.is_normalized());
+        assert_eq!(p.alphabet().name(p.alphabet().a0()), "A0");
+        assert_eq!(p.alphabet().name(p.alphabet().zero()), "0");
+        // 2 declared + 5 zero equations.
+        assert_eq!(p.equations().len(), 7);
+    }
+
+    #[test]
+    fn custom_distinguished_symbols() {
+        let p = parse("alphabet x y z\na0 x\nzero z\neq x y = z\n").unwrap();
+        assert_eq!(p.alphabet().name(p.alphabet().a0()), "x");
+        assert_eq!(p.alphabet().name(p.alphabet().zero()), "z");
+        assert!(!p.is_zero_saturated());
+    }
+
+    #[test]
+    fn errors_located() {
+        assert!(matches!(
+            parse("eq A0 = 0\n"),
+            Err(SgError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("alphabet A0 0\nbogus\n"),
+            Err(SgError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse("alphabet A0 0\neq A0 = BOGUS\n"),
+            Err(SgError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse("alphabet A0 0\nalphabet A0 0\n"),
+            Err(SgError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(parse(""), Err(SgError::Parse { line: 1, .. })));
+        // Missing designated symbols.
+        assert!(parse("alphabet x y\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_spacing() {
+        let p = parse("  alphabet A0 0   # inline\n\n# full line\n eq A0 A0 = 0 \n").unwrap();
+        assert_eq!(p.equations().len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_with_derivation_search() {
+        use crate::derivation::{search_goal_derivation, SearchBudget};
+        let p = parse(EXAMPLE).unwrap();
+        let r = search_goal_derivation(&p, &SearchBudget::default());
+        assert!(r.derivation().is_some());
+    }
+}

@@ -1,0 +1,236 @@
+//! Finitely presented semigroups with zero: the word-problem instances φ.
+//!
+//! A [`Presentation`] is an alphabet plus equations; the implicit *goal* is
+//! always the paper's `A₀ = 0`. The Main Lemma requires "the equations
+//! A·0 = 0 and 0·A = 0 for all A ∈ S … among the antecedents";
+//! [`Presentation::zero_saturated`] adds them.
+
+use crate::alphabet::Alphabet;
+use crate::equation::Equation;
+use crate::error::Result;
+use crate::symbol::Sym;
+use crate::word::Word;
+
+/// An alphabet plus a finite list of equations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Presentation {
+    alphabet: Alphabet,
+    equations: Vec<Equation>,
+}
+
+impl Presentation {
+    /// Creates a presentation, validating that every symbol used in the
+    /// equations belongs to the alphabet.
+    pub fn new(alphabet: Alphabet, equations: Vec<Equation>) -> Result<Self> {
+        for eq in &equations {
+            for &s in eq.lhs.syms().iter().chain(eq.rhs.syms()) {
+                alphabet.check(s)?;
+            }
+        }
+        Ok(Self { alphabet, equations })
+    }
+
+    /// The alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The equations.
+    pub fn equations(&self) -> &[Equation] {
+        &self.equations
+    }
+
+    /// Appends an equation (symbols must be in range).
+    pub fn push_equation(&mut self, eq: Equation) -> Result<()> {
+        for &s in eq.lhs.syms().iter().chain(eq.rhs.syms()) {
+            self.alphabet.check(s)?;
+        }
+        self.equations.push(eq);
+        Ok(())
+    }
+
+    /// The zero-absorption equations `A·0 = 0` and `0·A = 0` for every
+    /// `A ∈ S` (including `0·0 = 0`, listed once).
+    pub fn zero_equations(alphabet: &Alphabet) -> Vec<Equation> {
+        let zero = alphabet.zero();
+        let zero_w = Word::single(zero);
+        let mut eqs = Vec::with_capacity(2 * alphabet.len());
+        for a in alphabet.syms() {
+            let right = Word::new([a, zero]).expect("two symbols");
+            eqs.push(Equation::new(right, zero_w.clone()));
+            if a != zero {
+                let left = Word::new([zero, a]).expect("two symbols");
+                eqs.push(Equation::new(left, zero_w.clone()));
+            }
+        }
+        eqs
+    }
+
+    /// Adds any missing zero-absorption equations, returning how many were
+    /// added.
+    pub fn saturate_with_zero_equations(&mut self) -> usize {
+        let mut added = 0;
+        for eq in Self::zero_equations(&self.alphabet) {
+            if !self.equations.contains(&eq) {
+                self.equations.push(eq);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// `true` if every zero-absorption equation is present.
+    pub fn is_zero_saturated(&self) -> bool {
+        Self::zero_equations(&self.alphabet)
+            .iter()
+            .all(|eq| self.equations.contains(eq))
+    }
+
+    /// A copy with all zero-absorption equations present.
+    pub fn zero_saturated(&self) -> Presentation {
+        let mut p = self.clone();
+        p.saturate_with_zero_equations();
+        p
+    }
+
+    /// The goal equation `A₀ = 0`.
+    pub fn goal(&self) -> Equation {
+        Equation::new(
+            Word::single(self.alphabet.a0()),
+            Word::single(self.alphabet.zero()),
+        )
+    }
+
+    /// `true` if every equation is in the paper's normalized `(2,1)` shape.
+    pub fn is_normalized(&self) -> bool {
+        self.equations.iter().all(Equation::is_two_one)
+    }
+
+    /// `true` if every equation is `(2,1)` or a non-reflexive `(1,1)` — the
+    /// shapes the reduction crate accepts (it handles `A = B` equations
+    /// with a dedicated dependency pair).
+    pub fn is_reduction_ready(&self) -> bool {
+        self.equations
+            .iter()
+            .all(|eq| eq.is_two_one() || (eq.is_one_one() && !eq.is_reflexive()))
+    }
+
+    /// Fresh symbols introduced after the first `base_len` symbols (helper
+    /// for displaying normalization output).
+    pub fn symbols_from(&self, base_len: usize) -> Vec<Sym> {
+        (base_len..self.alphabet.len()).map(Sym::from).collect()
+    }
+
+    /// Renders all equations, one per line.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}\n", self.alphabet);
+        for eq in &self.equations {
+            out.push_str("  ");
+            out.push_str(&eq.render(&self.alphabet));
+            out.push('\n');
+        }
+        out.push_str(&format!("  goal: {}\n", self.goal().render(&self.alphabet)));
+        out
+    }
+}
+
+impl std::fmt::Display for Presentation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Builds the running example used throughout this crate's tests and the
+/// reduction crate: `S = {A0, A1, 0}` with the single defining equation
+/// `A0 A0 = A1` plus optionally `A0 A0 = 0` (making `A0 = 0` *derivable*
+/// when combined with `A0 A0 = A1` and `A1 = …`; see the derivation tests).
+#[cfg(test)]
+pub(crate) fn example_derivable() -> Presentation {
+    // Equations: A0 A0 = A1, A0 A0 = 0 … wait — with both, A1 = 0 is
+    // derivable but A0 = 0 still needs a route from the single symbol A0.
+    // Use: A1 A1 = A0 (so A0 expands), A1 A1 = 0 (so the same factor
+    // contracts to 0): A0 -> A1 A1 -> 0.
+    let alphabet = Alphabet::standard(2);
+    let e1 = Equation::parse("A1 A1 = A0", &alphabet).unwrap();
+    let e2 = Equation::parse("A1 A1 = 0", &alphabet).unwrap();
+    let mut p = Presentation::new(alphabet, vec![e1, e2]).unwrap();
+    p.saturate_with_zero_equations();
+    p
+}
+
+/// A presentation whose goal is *not* derivable and which has a finite
+/// cancellation countermodel (only the zero equations).
+#[cfg(test)]
+pub(crate) fn example_refutable() -> Presentation {
+    let alphabet = Alphabet::standard(1);
+    let mut p = Presentation::new(alphabet, vec![]).unwrap();
+    p.saturate_with_zero_equations();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_saturation() {
+        let alphabet = Alphabet::standard(2); // A0 A1 0
+        let mut p = Presentation::new(alphabet, vec![]).unwrap();
+        assert!(!p.is_zero_saturated());
+        let added = p.saturate_with_zero_equations();
+        // For |S| = 3: A·0 for 3 symbols, 0·A for the 2 non-zero = 5.
+        assert_eq!(added, 5);
+        assert!(p.is_zero_saturated());
+        // Idempotent.
+        assert_eq!(p.saturate_with_zero_equations(), 0);
+    }
+
+    #[test]
+    fn goal_is_a0_equals_zero() {
+        let p = example_refutable();
+        let g = p.goal();
+        assert!(g.lhs.is_symbol(p.alphabet().a0()));
+        assert!(g.rhs.is_symbol(p.alphabet().zero()));
+        assert!(g.is_one_one());
+    }
+
+    #[test]
+    fn validates_symbols() {
+        let alphabet = Alphabet::standard(1);
+        let foreign = Equation::new(
+            Word::from_raw([7, 8]).unwrap(),
+            Word::from_raw([0]).unwrap(),
+        );
+        assert!(Presentation::new(alphabet.clone(), vec![foreign.clone()]).is_err());
+        let mut p = Presentation::new(alphabet, vec![]).unwrap();
+        assert!(p.push_equation(foreign).is_err());
+    }
+
+    #[test]
+    fn normalization_shape_check() {
+        let p = example_derivable();
+        assert!(p.is_normalized(), "example uses only (2,1) equations");
+        let alphabet = Alphabet::standard(1);
+        let long = Equation::parse("A0 A0 A0 = A0", &alphabet).unwrap();
+        let p2 = Presentation::new(alphabet, vec![long]).unwrap();
+        assert!(!p2.is_normalized());
+    }
+
+    #[test]
+    fn render_mentions_everything() {
+        let p = example_derivable();
+        let s = p.render();
+        assert!(s.contains("A1 A1 = A0"));
+        assert!(s.contains("goal: A0 = 0"));
+        assert!(s.contains("S = {A0, A1, 0}"));
+    }
+
+    #[test]
+    fn zero_equations_count() {
+        let alphabet = Alphabet::standard(3); // 4 symbols
+        let eqs = Presentation::zero_equations(&alphabet);
+        // A·0 for each of 4 symbols + 0·A for the 3 non-zero.
+        assert_eq!(eqs.len(), 7);
+        assert!(eqs.iter().all(|e| e.is_two_one()));
+    }
+}

@@ -1,0 +1,208 @@
+//! Bounded congruence closure over the word universe.
+//!
+//! Part (A) of the Reduction Theorem argues by contradiction through the
+//! quotient semigroup `S*/≈`, where `≈` is "the equivalence relation on
+//! strings induced by such replacements". The full quotient is infinite;
+//! [`BoundedQuotient`] materializes its restriction to words of length
+//! `≤ max_len`: enumerate that universe, union words related by a single
+//! replacement **whose result stays inside the universe**, and read off
+//! equivalences.
+//!
+//! Two words in the same class are certainly `≈`-equivalent; distinct
+//! classes are inconclusive (a longer detour might merge them), which the
+//! API surfaces as `Some(true)` / `Some(false) = not merged within bound` /
+//! `None = out of universe`.
+
+use std::collections::HashMap;
+
+use crate::presentation::Presentation;
+use crate::symbol::Sym;
+use crate::union_find::UnionFind;
+use crate::word::Word;
+
+/// The congruence closure restricted to words of bounded length.
+#[derive(Debug, Clone)]
+pub struct BoundedQuotient {
+    max_len: usize,
+    words: Vec<Word>,
+    index: HashMap<Word, usize>,
+    uf: UnionFind,
+}
+
+impl BoundedQuotient {
+    /// Enumerates all words of length `1..=max_len` over the alphabet of
+    /// `p` and merges single-replacement neighbours. The universe has
+    /// `|S| + |S|² + … + |S|^max_len` words — keep `max_len` small.
+    pub fn build(p: &Presentation, max_len: usize) -> Self {
+        let n_syms = p.alphabet().len();
+        let mut words: Vec<Word> = Vec::new();
+        let mut index: HashMap<Word, usize> = HashMap::new();
+        // Enumerate by length, lexicographically.
+        let mut current: Vec<Word> =
+            p.alphabet().syms().map(Word::single).collect();
+        for len in 1..=max_len {
+            for w in &current {
+                index.insert(w.clone(), words.len());
+                words.push(w.clone());
+            }
+            if len < max_len {
+                let mut next = Vec::with_capacity(current.len() * n_syms);
+                for w in &current {
+                    for s in p.alphabet().syms() {
+                        next.push(w.concat(&Word::single(s)));
+                    }
+                }
+                current = next;
+            }
+        }
+        let mut uf = UnionFind::new(words.len());
+        for (i, w) in words.iter().enumerate() {
+            let w = w.clone();
+            for eq in p.equations() {
+                for (from, to) in [(&eq.lhs, &eq.rhs), (&eq.rhs, &eq.lhs)] {
+                    for pos in w.occurrences(from) {
+                        let next = w
+                            .replace_range(pos, from.len(), to)
+                            .expect("occurrence in range");
+                        if let Some(&j) = index.get(&next) {
+                            uf.union(i, j);
+                        }
+                    }
+                }
+            }
+        }
+        Self { max_len, words, index, uf }
+    }
+
+    /// The length bound.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Size of the word universe.
+    pub fn universe_size(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of equivalence classes within the bound.
+    pub fn class_count(&mut self) -> usize {
+        self.uf.class_count()
+    }
+
+    /// `Some(true)` if `a` and `b` were merged, `Some(false)` if both are in
+    /// the universe but not merged (inconclusive for the full quotient),
+    /// `None` if either is outside the universe.
+    pub fn equal(&mut self, a: &Word, b: &Word) -> Option<bool> {
+        let &i = self.index.get(a)?;
+        let &j = self.index.get(b)?;
+        Some(self.uf.same(i, j))
+    }
+
+    /// `Some(true)` if the goal `A₀ = 0` is identified within the bound.
+    pub fn goal_identified(&mut self, p: &Presentation) -> Option<bool> {
+        let g = p.goal();
+        self.equal(&g.lhs, &g.rhs)
+    }
+
+    /// All words merged with `w` inside the universe.
+    pub fn class_of(&mut self, w: &Word) -> Option<Vec<Word>> {
+        let &i = self.index.get(w)?;
+        let root = self.uf.find(i);
+        let mut out = Vec::new();
+        for j in 0..self.words.len() {
+            if self.uf.find(j) == root {
+                out.push(self.words[j].clone());
+            }
+        }
+        Some(out)
+    }
+
+    /// `true` if the class containing the zero symbol absorbs `sym` on both
+    /// sides within the bound — a sanity check of zero saturation.
+    pub fn zero_absorbs(&mut self, p: &Presentation, sym: Sym) -> bool {
+        let zero = Word::single(p.alphabet().zero());
+        let s = Word::single(sym);
+        let left = s.concat(&zero);
+        let right = zero.concat(&s);
+        matches!(self.equal(&left, &zero), Some(true))
+            && matches!(self.equal(&right, &zero), Some(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presentation::{example_derivable, example_refutable};
+
+    #[test]
+    fn universe_size_is_geometric() {
+        let p = example_refutable(); // |S| = 2
+        let q = BoundedQuotient::build(&p, 3);
+        assert_eq!(q.universe_size(), 2 + 4 + 8);
+        assert_eq!(q.max_len(), 3);
+    }
+
+    #[test]
+    fn derivable_goal_identified() {
+        let p = example_derivable();
+        let mut q = BoundedQuotient::build(&p, 3);
+        assert_eq!(q.goal_identified(&p), Some(true));
+        // The class of A0 contains A1 A1 and 0.
+        let goal = p.goal();
+        let class = q.class_of(&goal.lhs).unwrap();
+        assert!(class.contains(&Word::parse("A1 A1", p.alphabet()).unwrap()));
+        assert!(class.contains(&goal.rhs));
+    }
+
+    #[test]
+    fn refutable_goal_not_identified() {
+        let p = example_refutable();
+        let mut q = BoundedQuotient::build(&p, 4);
+        assert_eq!(q.goal_identified(&p), Some(false));
+    }
+
+    #[test]
+    fn agreement_with_bfs_search() {
+        // The bounded quotient and the BFS must agree on the goal for both
+        // running examples (with compatible bounds).
+        use crate::derivation::{search_goal_derivation, SearchBudget, SearchResult};
+        for (p, expected) in [(example_derivable(), true), (example_refutable(), false)] {
+            let mut q = BoundedQuotient::build(&p, 4);
+            let bfs = search_goal_derivation(
+                &p,
+                &SearchBudget { max_word_len: 4, max_states: 1_000_000 },
+            );
+            let bfs_found = matches!(bfs, SearchResult::Found(_));
+            assert_eq!(q.goal_identified(&p), Some(expected));
+            assert_eq!(bfs_found, expected);
+        }
+    }
+
+    #[test]
+    fn zero_absorption_within_bound() {
+        let p = example_derivable();
+        let mut q = BoundedQuotient::build(&p, 3);
+        for s in p.alphabet().syms() {
+            assert!(q.zero_absorbs(&p, s), "zero must absorb {s}");
+        }
+    }
+
+    #[test]
+    fn out_of_universe_is_none() {
+        let p = example_refutable();
+        let mut q = BoundedQuotient::build(&p, 2);
+        let long = Word::parse("A0 A0 A0", p.alphabet()).unwrap();
+        assert_eq!(q.equal(&long, &long), None);
+        assert!(q.class_of(&long).is_none());
+    }
+
+    #[test]
+    fn class_count_shrinks_with_equations() {
+        let refutable = example_refutable(); // zero eqs only
+        let mut q1 = BoundedQuotient::build(&refutable, 3);
+        // More equations (derivable example has 2 extra) merge more classes
+        // over a *larger* alphabet, so compare within one presentation:
+        // classes < universe because zero equations merge a lot.
+        assert!(q1.class_count() < q1.universe_size());
+    }
+}

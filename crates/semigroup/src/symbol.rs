@@ -1,0 +1,59 @@
+//! Alphabet symbols.
+
+use std::fmt;
+
+/// A symbol of the generating alphabet `S`, as a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Sym(u16);
+
+impl Sym {
+    /// Wraps a dense index.
+    #[inline]
+    pub const fn new(ix: u16) -> Self {
+        Self(ix)
+    }
+
+    /// The dense index as `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u16` index.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for Sym {
+    fn from(ix: u16) -> Self {
+        Self(ix)
+    }
+}
+
+impl From<usize> for Sym {
+    fn from(ix: usize) -> Self {
+        Self(u16::try_from(ix).expect("symbol index exceeds u16::MAX"))
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = Sym::new(7);
+        assert_eq!(s.index(), 7);
+        assert_eq!(Sym::from(7usize), s);
+        assert_eq!(s.to_string(), "s7");
+        assert!(Sym::new(2) < Sym::new(3));
+    }
+}

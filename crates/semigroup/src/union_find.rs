@@ -1,0 +1,86 @@
+//! A minimal disjoint-set forest, crate-internal.
+//!
+//! (Deliberately duplicated from `td-core` rather than importing it: the
+//! semigroup substrate stands alone, with no dependency on the database
+//! layer.)
+
+#[derive(Debug, Clone)]
+pub(crate) struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(len: usize) -> Self {
+        Self { parent: (0..len as u32).collect(), rank: vec![0; len] }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn push(&mut self) -> usize {
+        let ix = self.parent.len();
+        self.parent.push(ix as u32);
+        self.rank.push(0);
+        ix
+    }
+
+    pub(crate) fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    pub(crate) fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    pub(crate) fn class_count(&mut self) -> usize {
+        let len = self.len();
+        (0..len).filter(|&i| self.find(i) == i).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic() {
+        let mut uf = UnionFind::new(3);
+        assert!(uf.union(0, 1));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert_eq!(uf.class_count(), 2);
+        let ix = uf.push();
+        assert_eq!(ix, 3);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.class_count(), 3);
+    }
+}

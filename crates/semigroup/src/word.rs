@@ -1,0 +1,205 @@
+//! Words over the alphabet: elements of the free semigroup `S⁺`.
+
+use crate::alphabet::Alphabet;
+use crate::error::{Result, SgError};
+use crate::symbol::Sym;
+
+/// A nonempty string of symbols (semigroups have no empty product).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Word {
+    syms: Vec<Sym>,
+}
+
+impl Word {
+    /// Creates a word; fails on the empty string.
+    pub fn new(syms: impl IntoIterator<Item = Sym>) -> Result<Self> {
+        let syms: Vec<Sym> = syms.into_iter().collect();
+        if syms.is_empty() {
+            return Err(SgError::EmptyWord);
+        }
+        Ok(Self { syms })
+    }
+
+    /// The one-symbol word.
+    pub fn single(sym: Sym) -> Self {
+        Self { syms: vec![sym] }
+    }
+
+    /// A word from raw `u16` indices.
+    pub fn from_raw(syms: impl IntoIterator<Item = u16>) -> Result<Self> {
+        Self::new(syms.into_iter().map(Sym::new))
+    }
+
+    /// Parses a whitespace-separated word like `"A0 A1 0"`.
+    pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
+        let syms = text
+            .split_whitespace()
+            .map(|tok| alphabet.require(tok))
+            .collect::<Result<Vec<_>>>()?;
+        Word::new(syms)
+    }
+
+    /// Length (number of symbols).
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Words are never empty; this always returns `false`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The symbols.
+    pub fn syms(&self) -> &[Sym] {
+        &self.syms
+    }
+
+    /// The symbol at `ix`.
+    ///
+    /// # Panics
+    /// Panics if `ix` is out of range.
+    pub fn get(&self, ix: usize) -> Sym {
+        self.syms[ix]
+    }
+
+    /// `true` if this is a single-symbol word equal to `sym`.
+    pub fn is_symbol(&self, sym: Sym) -> bool {
+        self.syms.len() == 1 && self.syms[0] == sym
+    }
+
+    /// Concatenation.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut syms = Vec::with_capacity(self.len() + other.len());
+        syms.extend_from_slice(&self.syms);
+        syms.extend_from_slice(&other.syms);
+        Word { syms }
+    }
+
+    /// `true` if `sub` occurs at position `pos`.
+    pub fn occurs_at(&self, sub: &Word, pos: usize) -> bool {
+        pos + sub.len() <= self.len() && self.syms[pos..pos + sub.len()] == sub.syms
+    }
+
+    /// All positions at which `sub` occurs (possibly overlapping).
+    pub fn occurrences(&self, sub: &Word) -> Vec<usize> {
+        if sub.len() > self.len() {
+            return Vec::new();
+        }
+        (0..=self.len() - sub.len())
+            .filter(|&p| self.occurs_at(sub, p))
+            .collect()
+    }
+
+    /// Replaces the length-`len` factor at `pos` by `replacement`. Fails if
+    /// the range is out of bounds (the result is always nonempty because
+    /// `replacement` is a `Word`).
+    pub fn replace_range(&self, pos: usize, len: usize, replacement: &Word) -> Result<Word> {
+        if pos + len > self.len() {
+            return Err(SgError::DerivationReplay(format!(
+                "replacement range {pos}..{} exceeds word length {}",
+                pos + len,
+                self.len()
+            )));
+        }
+        let mut syms = Vec::with_capacity(self.len() - len + replacement.len());
+        syms.extend_from_slice(&self.syms[..pos]);
+        syms.extend_from_slice(&replacement.syms);
+        syms.extend_from_slice(&self.syms[pos + len..]);
+        Ok(Word { syms })
+    }
+
+    /// `true` if the word mentions `sym`.
+    pub fn contains(&self, sym: Sym) -> bool {
+        self.syms.contains(&sym)
+    }
+
+    /// Renders with symbol names, space-separated.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        self.syms
+            .iter()
+            .map(|&s| alphabet.name(s))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl std::fmt::Display for Word {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, s) in self.syms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alpha() -> Alphabet {
+        Alphabet::standard(2) // A0 A1 0
+    }
+
+    #[test]
+    fn construction_and_parse() {
+        let a = alpha();
+        let w = Word::parse("A0 A1 A0", &a).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.get(1), Sym::new(1));
+        assert_eq!(w.render(&a), "A0 A1 A0");
+        assert!(Word::new([]).is_err());
+        assert!(Word::parse("A0 BOGUS", &a).is_err());
+        assert!(Word::parse("", &a).is_err());
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn single_and_is_symbol() {
+        let a = alpha();
+        let w = Word::single(a.zero());
+        assert!(w.is_symbol(a.zero()));
+        assert!(!w.is_symbol(a.a0()));
+        assert!(w.contains(a.zero()));
+    }
+
+    #[test]
+    fn concat_and_occurrences() {
+        let a = alpha();
+        let ab = Word::parse("A0 A1", &a).unwrap();
+        let abab = ab.concat(&ab);
+        assert_eq!(abab.len(), 4);
+        assert_eq!(abab.occurrences(&ab), vec![0, 2]);
+        // Overlapping occurrences are found.
+        let aa = Word::parse("A0 A0", &a).unwrap();
+        let aaa = Word::parse("A0 A0 A0", &a).unwrap();
+        assert_eq!(aaa.occurrences(&aa), vec![0, 1]);
+        // Longer sub than word: none.
+        assert!(ab.occurrences(&abab).is_empty());
+    }
+
+    #[test]
+    fn replace_range() {
+        let a = alpha();
+        let w = Word::parse("A0 A1 A0", &a).unwrap();
+        let zero = Word::single(a.zero());
+        let w2 = w.replace_range(1, 1, &zero).unwrap();
+        assert_eq!(w2.render(&a), "A0 0 A0");
+        let w3 = w.replace_range(0, 2, &zero).unwrap();
+        assert_eq!(w3.render(&a), "0 A0");
+        assert!(w.replace_range(2, 2, &zero).is_err());
+        // Replacement can grow the word.
+        let grown = w.replace_range(2, 1, &Word::parse("A1 A1", &a).unwrap()).unwrap();
+        assert_eq!(grown.render(&a), "A0 A1 A1 A1");
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let w1 = Word::from_raw([0, 1]).unwrap();
+        let w2 = Word::from_raw([0, 2]).unwrap();
+        assert!(w1 < w2);
+        assert_eq!(w1.to_string(), "s0 s1");
+    }
+}

@@ -1,0 +1,134 @@
+//! Chase explorer: parse a dependency file (the td-core text format) and
+//! interactively inspect inference between its dependencies.
+//!
+//! ```text
+//! cargo run --example chase_explorer                # built-in demo file
+//! cargo run --example chase_explorer -- FILE        # your own file
+//! ```
+//!
+//! The file format (see `td_core::parser`):
+//!
+//! ```text
+//! schema R(A, B, C)
+//! td join-a: (a, b, c) (a, b2, c2) -> (a, b, c2)
+//! td fig1:   (a, b, c) (a, b2, c2) -> (*, b, c2)
+//! row (x, y, z)
+//! ```
+
+use template_deps::prelude::*;
+
+const DEMO: &str = "
+# Garment warehouse constraints.
+schema R(SUPPLIER, STYLE, SIZE)
+
+# Every supplier carries the full cross product of its styles and sizes.
+td join-supplier: (a, b, c) (a, b2, c2) -> (a, b, c2)
+
+# Weaker: someone carries each (style, size) combination a supplier spans.
+td fig1: (a, b, c) (a, b2, c2) -> (*, b, c2)
+
+# Each style is carried in each size somewhere (global cross product).
+td global-cross: (a, b, c) (a2, b2, c2) -> (*, b, c2)
+
+row (stlaurent, dress, s10)
+row (stlaurent, brief, s36)
+row (bvd, brief, s36)
+";
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEMO.to_owned(),
+    };
+    let file = td_core::parser::parse(&text).unwrap_or_else(|e| panic!("{e}"));
+    println!("schema: {}", file.schema);
+    println!("{} dependencies, {} rows\n", file.tds.len(), file.instance.len());
+
+    // Per-dependency report.
+    for td in &file.tds {
+        println!("{td}");
+        println!(
+            "  {} | {} antecedents | existential columns: {:?}",
+            if td.is_full() { "full" } else { "embedded" },
+            td.antecedent_count(),
+            td.existential_columns()
+                .iter()
+                .map(|&c| file.schema.attr_name(c))
+                .collect::<Vec<_>>(),
+        );
+        if !file.instance.is_empty() {
+            println!("  holds in the instance: {}", satisfies(&file.instance, td));
+        }
+    }
+
+    // Termination guarantee for the whole set.
+    println!(
+        "\nweakly acyclic (chase guaranteed to terminate): {}",
+        td_core::chase::weakly_acyclic(&file.tds)
+    );
+
+    // Pairwise implication matrix.
+    println!("\nimplication matrix (row set ⊨ column dependency):");
+    print!("{:>16}", "");
+    for td in &file.tds {
+        print!("{:>16}", td.name());
+    }
+    println!();
+    let budget = ChaseBudget::default();
+    for premise in &file.tds {
+        print!("{:>16}", premise.name());
+        for goal in &file.tds {
+            let verdict =
+                implies(std::slice::from_ref(premise), goal, budget).unwrap();
+            let mark = match verdict {
+                InferenceVerdict::Implied(_) => "yes",
+                InferenceVerdict::NotImplied(_) => "no",
+                InferenceVerdict::Unknown(_) => "?",
+            };
+            print!("{mark:>16}");
+        }
+        println!();
+    }
+
+    // Redundancy analysis of the whole set.
+    println!("\nredundancy within the set:");
+    for i in 0..file.tds.len() {
+        let verdict =
+            td_core::inference::redundant(&file.tds, i, budget).unwrap();
+        println!(
+            "  {}: {}",
+            file.tds[i].name(),
+            match verdict {
+                InferenceVerdict::Implied(p) =>
+                    format!("redundant (implied by the rest, {} chase steps)", p.len()),
+                InferenceVerdict::NotImplied(m) =>
+                    format!("essential (countermodel with {} rows)", m.len()),
+                InferenceVerdict::Unknown(_) => "unknown (budget exhausted)".into(),
+            }
+        );
+    }
+
+    // Chase the instance to a universal model under all dependencies.
+    if !file.instance.is_empty() {
+        println!("\nchasing the instance with all dependencies…");
+        let mut engine = ChaseEngine::new(
+            &file.tds,
+            file.instance.clone(),
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        let outcome = engine.run(None);
+        println!(
+            "  outcome: {outcome:?} after {} steps, {} rounds; {} rows",
+            engine.steps_fired(),
+            engine.rounds_run(),
+            engine.state().len()
+        );
+        if outcome == ChaseOutcome::Terminated {
+            println!("  the result is a universal model:");
+            println!("{}", engine.state());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A realistic constraint-management scenario on a wider schema.
+//!
+//! A warehouse tracks (SUPPLIER, REGION, STYLE, SIZE). The integrity team
+//! maintains template dependencies and needs the paper's motivating
+//! operations: checking data, minimizing the constraint set (redundancy),
+//! comparing constraint sets for equivalence, and understanding which
+//! fragments are decidable.
+//!
+//! ```text
+//! cargo run --example garment_warehouse
+//! ```
+
+use template_deps::prelude::*;
+use template_deps::td_core::eid::{eid_satisfies, implies_eid, Eid, EidVerdict};
+
+fn schema() -> Schema {
+    Schema::new("R", ["SUPPLIER", "REGION", "STYLE", "SIZE"]).unwrap()
+}
+
+fn main() {
+    let schema = schema();
+    println!("schema: {schema}\n");
+
+    // Constraint 1 (full): within one supplier and region, styles and
+    // sizes are freely combinable.
+    let cross_in_region = TdBuilder::new(schema.clone())
+        .antecedent(["s", "r", "st", "sz"])
+        .unwrap()
+        .antecedent(["s", "r", "st'", "sz'"])
+        .unwrap()
+        .conclusion(["s", "r", "st", "sz'"])
+        .unwrap()
+        .build("cross-in-region")
+        .unwrap();
+
+    // Constraint 2 (embedded): a style a supplier sells anywhere is sold in
+    // *some* region in every size the supplier carries.
+    let style_travels = TdBuilder::new(schema.clone())
+        .antecedent(["s", "r", "st", "sz"])
+        .unwrap()
+        .antecedent(["s", "r'", "st'", "sz'"])
+        .unwrap()
+        .conclusion(["s", "*", "st", "sz'"])
+        .unwrap()
+        .build("style-travels")
+        .unwrap();
+
+    // Constraint 3 (embedded, weaker): someone supplies each combination.
+    let someone_supplies = TdBuilder::new(schema.clone())
+        .antecedent(["s", "r", "st", "sz"])
+        .unwrap()
+        .antecedent(["s", "r'", "st'", "sz'"])
+        .unwrap()
+        .conclusion(["*", "*", "st", "sz'"])
+        .unwrap()
+        .build("someone-supplies")
+        .unwrap();
+
+    let constraints = vec![cross_in_region, style_travels, someone_supplies];
+    for td in &constraints {
+        println!("{td}");
+    }
+
+    // ------------------------------------------------------------
+    // Minimize the constraint set.
+    // ------------------------------------------------------------
+    println!("\nminimization:");
+    let budget = ChaseBudget::default();
+    let mut essential = Vec::new();
+    for (i, td) in constraints.iter().enumerate() {
+        match td_core::inference::redundant(&constraints, i, budget).unwrap() {
+            InferenceVerdict::Implied(_) => {
+                println!("  drop {:20} (implied by the others)", td.name());
+            }
+            InferenceVerdict::NotImplied(m) => {
+                println!(
+                    "  keep {:20} (countermodel with {} rows shows independence)",
+                    td.name(),
+                    m.len()
+                );
+                essential.push(td.clone());
+            }
+            InferenceVerdict::Unknown(_) => {
+                println!("  keep {:20} (undetermined within budget)", td.name());
+                essential.push(td.clone());
+            }
+        }
+    }
+
+    // The minimized set is equivalent to the original.
+    let (fwd, bwd) = td_core::inference::equivalent(&essential, &constraints, budget).unwrap();
+    println!(
+        "  minimized set equivalent to original: {}",
+        fwd.iter().all(InferenceVerdict::is_implied)
+            && bwd.iter().all(InferenceVerdict::is_implied)
+    );
+
+    // ------------------------------------------------------------
+    // Data checking.
+    // ------------------------------------------------------------
+    println!("\ndata check:");
+    let mut db = Instance::new(schema.clone());
+    // Supplier 0 in region 0: style 0 in sizes 0 and 1; style 1 in size 0.
+    db.insert_values([0, 0, 0, 0]).unwrap();
+    db.insert_values([0, 0, 0, 1]).unwrap();
+    db.insert_values([0, 0, 1, 0]).unwrap();
+    for td in &constraints {
+        let ok = satisfies(&db, td);
+        println!("  {:20} {}", td.name(), if ok { "holds" } else { "VIOLATED" });
+        if let Some(v) = td_core::satisfaction::find_violation(&db, td) {
+            for line in td_core::render::render_violation(td, &v).lines().skip(1) {
+                println!("  {line}");
+            }
+        }
+    }
+    // Chase-repair the database to a universal model.
+    let mut engine = ChaseEngine::new(
+        &constraints,
+        db,
+        ChasePolicy::Restricted,
+        ChaseBudget::default(),
+    )
+    .unwrap();
+    let outcome = engine.run(None);
+    println!(
+        "  chase repair: {outcome:?}, {} rows after {} steps",
+        engine.state().len(),
+        engine.steps_fired()
+    );
+    for td in &constraints {
+        assert!(satisfies(engine.state(), td));
+    }
+    println!("  repaired instance satisfies every constraint ✓");
+
+    // ------------------------------------------------------------
+    // EIDs: a conjunctive-conclusion constraint (the baseline class the
+    // paper strengthens). One supplier must cover a style in both sizes.
+    // ------------------------------------------------------------
+    println!("\nEID comparison (Chandra–Lewis–Makowsky class):");
+    let scratch = TdBuilder::new(schema.clone())
+        .antecedent(["s", "r", "st", "sz"])
+        .unwrap()
+        .antecedent(["s", "r'", "st'", "sz'"])
+        .unwrap()
+        .conclusion(["s", "q", "st", "sz"])
+        .unwrap()
+        .build("scratch")
+        .unwrap();
+    // Conclusions: (s, q, st, sz) and (s, q, st, sz') — the *same* supplier
+    // s, in one shared (existential) region q.
+    use template_deps::td_core::ids::AttrId;
+    use template_deps::td_core::td::TdRow;
+    let s = scratch.conclusion().get(AttrId::new(0));
+    let q = scratch.conclusion().get(AttrId::new(1));
+    let st = scratch.antecedents()[0].get(AttrId::new(2));
+    let sz = scratch.antecedents()[0].get(AttrId::new(3));
+    let sz2 = scratch.antecedents()[1].get(AttrId::new(3));
+    let eid = Eid::new(
+        schema,
+        scratch.antecedents().to_vec(),
+        vec![TdRow::new([s, q, st, sz]), TdRow::new([s, q, st, sz2])],
+        "same-supplier-one-region-both-sizes",
+    )
+    .unwrap();
+    println!("  eid holds in repaired db: {}", eid_satisfies(engine.state(), &eid));
+    // The EID implies its single-atom weakenings (TDs), not conversely.
+    let weaker = Eid::from_td(&constraints[1]);
+    match implies_eid(std::slice::from_ref(&eid), &weaker, ChaseBudget::default()).unwrap() {
+        EidVerdict::Implied => println!("  eid ⊨ style-travels ✓"),
+        other => println!("  unexpected: {other:?}"),
+    }
+    match implies_eid(std::slice::from_ref(&weaker), &eid, ChaseBudget::default()).unwrap() {
+        EidVerdict::NotImplied(m) => println!(
+            "  style-travels ⊭ eid (countermodel with {} rows) ✓",
+            m.len()
+        ),
+        other => println!("  unexpected: {other:?}"),
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: the paper's running garment example.
+//!
+//! Builds the Fig. 1 dependency, renders its diagram, checks satisfaction
+//! against a small database, and runs the chase-based inference API.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use template_deps::prelude::*;
+
+fn main() {
+    // "Suppose the relation R represents the availability of garments of
+    // various styles and sizes from various suppliers."
+    let schema = Schema::new("R", ["SUPPLIER", "STYLE", "SIZE"]).unwrap();
+    println!("schema: {schema}\n");
+
+    // Fig. 1: R(a,b,c) & R(a,b',c') => (for some a*) R(a*,b,c').
+    let fig1 = TdBuilder::new(schema.clone())
+        .antecedent(["a", "b", "c"])
+        .unwrap()
+        .antecedent(["a", "b'", "c'"])
+        .unwrap()
+        .conclusion(["*", "b", "c'"])
+        .unwrap()
+        .build("fig1")
+        .unwrap();
+    println!("dependency     : {fig1}");
+    println!(
+        "classification : {} ({} antecedents)",
+        if fig1.is_full() { "full" } else { "embedded" },
+        fig1.antecedent_count()
+    );
+
+    // The paper draws this as a 3-node diagram (Figure 1).
+    let diagram = Diagram::from_td(&fig1);
+    println!("\n{}", td_core::render::diagram_to_ascii(&diagram));
+    println!("Graphviz:\n{}", td_core::render::diagram_to_dot(&diagram, "fig1"));
+
+    // A database: one supplier with a dress in 10 and a brief in 36.
+    let mut db = Instance::new(schema.clone());
+    let (sl, dress, brief, s10, s36) = (0, 0, 1, 0, 1);
+    db.insert_values([sl, dress, s10]).unwrap();
+    db.insert_values([sl, brief, s36]).unwrap();
+    println!("{db}");
+    println!("db ⊨ fig1? {}", satisfies(&db, &fig1));
+
+    // Repair it: fig1 (quantified over *both* orders of the match) demands
+    // a dress in 36 and a brief in 10, from any suppliers.
+    db.insert_values([7, dress, s36]).unwrap();
+    db.insert_values([8, brief, s10]).unwrap();
+    println!("after repairs: db ⊨ fig1? {}\n", satisfies(&db, &fig1));
+
+    // Inference: the *full* join dependency implies fig1, not conversely.
+    let join = TdBuilder::new(schema)
+        .antecedent(["a", "b", "c"])
+        .unwrap()
+        .antecedent(["a", "b'", "c'"])
+        .unwrap()
+        .conclusion(["a", "b", "c'"])
+        .unwrap()
+        .build("join-supplier")
+        .unwrap();
+    println!("stronger dependency: {join}");
+
+    match implies(std::slice::from_ref(&join), &fig1, ChaseBudget::default()).unwrap() {
+        InferenceVerdict::Implied(proof) => {
+            println!("join-supplier ⊨ fig1 — chase proof with {} step(s)", proof.len());
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+    match implies(std::slice::from_ref(&fig1), &join, ChaseBudget::default()).unwrap() {
+        InferenceVerdict::NotImplied(model) => {
+            println!(
+                "fig1 ⊭ join-supplier — finite countermodel with {} rows:",
+                model.len()
+            );
+            println!("{model}");
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+
+    // Full dependencies enjoy a *decision* procedure (terminating chase).
+    let decided = implies_full(std::slice::from_ref(&join), &fig1).unwrap();
+    println!("implies_full(join-supplier ⊨ fig1) = {decided}");
+}

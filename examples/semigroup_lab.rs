@@ -1,0 +1,158 @@
+//! Semigroup laboratory: the word-problem substrate on its own.
+//!
+//! Demonstrates derivation search, normalization, bounded congruence
+//! closure, rewriting, the cancellation property checkers, identity
+//! adjunction, and the finite-model finder.
+//!
+//! ```text
+//! cargo run --example semigroup_lab
+//! ```
+
+use template_deps::prelude::*;
+use template_deps::td_semigroup::derivation::search_goal_derivation;
+use template_deps::td_semigroup::model_search::ModelSearchResult;
+use template_deps::td_semigroup::quotient::BoundedQuotient;
+use template_deps::td_semigroup::rewrite::RewriteSystem;
+
+fn main() {
+    // ----------------------------------------------------------------
+    // A presentation with long equations, normalized per the paper.
+    // ----------------------------------------------------------------
+    println!("=== normalization (the paper's ABC = DA example) ===");
+    let alphabet = Alphabet::new(["A0", "A", "B", "C", "D", "0"], "A0", "0").unwrap();
+    let eq = Equation::parse("A B C = D A", &alphabet).unwrap();
+    let p = Presentation::new(alphabet, vec![eq]).unwrap().zero_saturated();
+    let n = normalize(&p).unwrap();
+    println!("original:\n{p}");
+    println!("normalized:\n{}", n.presentation);
+    println!("fresh symbol definitions:");
+    for &(sym, a, b) in &n.definitions {
+        let al = n.presentation.alphabet();
+        println!("  {} := {} · {}", al.name(sym), al.name(a), al.name(b));
+    }
+
+    // ----------------------------------------------------------------
+    // Derivation search on the running derivable example.
+    // ----------------------------------------------------------------
+    println!("\n=== derivation search: A1 A1 = A0, A1 A1 = 0 ===");
+    let derivable = td_semigroup::parser::parse(
+        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
+    )
+    .unwrap();
+    match search_goal_derivation(&derivable, &SearchBudget::default()) {
+        SearchResult::Found(d) => {
+            let words = d.replay(&derivable).unwrap();
+            let route: Vec<String> = words
+                .iter()
+                .map(|w| w.render(derivable.alphabet()))
+                .collect();
+            println!("A0 = 0 derivable in {} steps: {}", d.len(), route.join(" => "));
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // The bounded quotient agrees.
+    let mut q = BoundedQuotient::build(&derivable, 4);
+    println!(
+        "bounded quotient (len ≤ 4): universe {} words, {} classes, goal identified: {:?}",
+        q.universe_size(),
+        q.class_count(),
+        q.goal_identified(&derivable)
+    );
+
+    // Rewriting to normal form.
+    let rs = RewriteSystem::from_presentation(&derivable);
+    let w = Word::parse("A1 A1 A1 A1", derivable.alphabet()).unwrap();
+    let (nf, steps) = rs.normal_form(&w);
+    println!(
+        "rewriting {} => {} in {} steps",
+        w.render(derivable.alphabet()),
+        nf.render(derivable.alphabet()),
+        steps.len()
+    );
+
+    // ----------------------------------------------------------------
+    // The cancellation property (conditions (i) and (ii)).
+    // ----------------------------------------------------------------
+    println!("\n=== cancellation semigroups with zero ===");
+    for (name, g) in [
+        ("null(2)", null_semigroup(2)),
+        ("null(4)", null_semigroup(4)),
+        ("cyclic nilpotent(4)", cyclic_nilpotent(4)),
+    ] {
+        println!(
+            "{name}: zero at {:?}, identity {:?}, cancellation: {}",
+            g.zero().map(|z| z.index()),
+            g.identity().map(|i| i.index()),
+            has_cancellation_property(&g)
+        );
+    }
+    // A violator of condition (ii): a·e = a with a ≠ 0.
+    let violator = FiniteSemigroup::new(vec![
+        vec![0, 0, 0],
+        vec![0, 0, 1],
+        vec![0, 0, 2],
+    ])
+    .unwrap();
+    println!(
+        "violator (a·e = a): cancellation: {} — witness: {:?}",
+        has_cancellation_property(&violator),
+        cancellation_violation(&violator)
+    );
+
+    // Adjoining an identity preserves cancellation iff (ii) held.
+    let (g2, id) = adjoin_identity(&cyclic_nilpotent(3)).unwrap();
+    println!(
+        "cyclic_nilpotent(3) + identity: order {}, identity {}, cancellation preserved: {}",
+        g2.len(),
+        id,
+        has_cancellation_property(&g2)
+    );
+    let (v2, _) = adjoin_identity(&violator).unwrap();
+    println!(
+        "violator + identity: cancellation preserved: {} (condition (ii) was necessary)",
+        has_cancellation_property(&v2)
+    );
+
+    // ----------------------------------------------------------------
+    // Finite-model search for a countermodel.
+    // ----------------------------------------------------------------
+    println!("\n=== finite countermodel search ===");
+    let sq = td_semigroup::parser::parse(
+        "alphabet A0 A1 0\neq A0 A0 = A1\nzerosat\n",
+    )
+    .unwrap();
+    println!("instance: A0 A0 = A1 (zero-saturated)");
+    match find_counter_model(&sq, &ModelSearchOptions::default()).unwrap() {
+        ModelSearchResult::Found(g, interp) => {
+            println!(
+                "found order-{} cancellation semigroup without identity, A0 ↦ e{}, A1 ↦ e{}:",
+                g.len(),
+                interp.of(sq.alphabet().a0()).index(),
+                interp.of(sq.alphabet().sym("A1").unwrap()).index()
+            );
+            print!("{}", g.render_table());
+            println!(
+                "checks: S-generated {}, satisfies equations {}, cancellation {}",
+                is_generated_by(&g, &interp),
+                satisfies_presentation(&g, &interp, &sq),
+                has_cancellation_property(&g)
+            );
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+
+    // And the derivable instance has no countermodel at small orders.
+    match find_counter_model(
+        &derivable,
+        &ModelSearchOptions { min_size: 2, max_size: 3, max_nodes: 5_000_000 },
+    )
+    .unwrap()
+    {
+        ModelSearchResult::ExhaustedSizes { nodes } => println!(
+            "derivable instance: no countermodel of order ≤ 3 ({nodes} nodes searched) — \
+             as the Main Lemma demands"
+        ),
+        other => println!("unexpected: {other:?}"),
+    }
+}

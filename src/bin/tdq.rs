@@ -1,0 +1,208 @@
+//! `tdq` — template-dependency query tool.
+//!
+//! ```text
+//! tdq deps FILE         analyse a dependency file (td-core text format)
+//! tdq wp FILE           solve a word-problem instance (td-semigroup format)
+//! tdq normalize FILE    normalize a presentation to (2,1)/(1,1) equations
+//! tdq reduce FILE       print the Gurevich–Lewis reduction of an instance
+//! tdq help              this text
+//! ```
+
+use std::process::ExitCode;
+
+use template_deps::prelude::*;
+use template_deps::td_core::inference;
+use template_deps::td_core::render::{diagram_to_ascii, diagram_to_dot};
+use template_deps::td_reduction::part_b::RowLabel;
+use template_deps::td_reduction::verify::structural_report;
+
+const USAGE: &str = "\
+tdq — template-dependency query tool
+
+USAGE:
+    tdq deps FILE         analyse a dependency file (schema/td/eid/row lines)
+    tdq wp FILE           solve a word-problem instance (alphabet/eq lines)
+    tdq normalize FILE    normalize a presentation to (2,1)/(1,1) equations
+    tdq reduce FILE       print the reduction (attributes, D, D0) of an instance
+    tdq help              print this text
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match args.as_slice() {
+        [cmd, path] => (cmd.as_str(), path.as_str()),
+        [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tdq: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "deps" => cmd_deps(&text),
+        "wp" => cmd_wp(&text),
+        "normalize" => cmd_normalize(&text),
+        "reduce" => cmd_reduce(&text),
+        other => {
+            eprintln!("tdq: unknown command `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tdq: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_deps(text: &str) -> Result<(), String> {
+    let file = td_core::parser::parse(text).map_err(|e| e.to_string())?;
+    println!("schema: {}", file.schema);
+    for td in &file.tds {
+        println!("\n{td}");
+        println!(
+            "  {} | {} antecedents | trivial: {} | weakly-acyclic alone: {}",
+            if td.is_full() { "full" } else { "embedded" },
+            td.antecedent_count(),
+            td.is_trivial(),
+            td_core::chase::weakly_acyclic(std::slice::from_ref(td)),
+        );
+        println!("{}", diagram_to_ascii(&Diagram::from_td(td)));
+        if !file.instance.is_empty() {
+            println!("  holds in instance: {}", satisfies(&file.instance, td));
+        }
+    }
+    if file.tds.len() > 1 {
+        println!("redundancy:");
+        for i in 0..file.tds.len() {
+            let v = inference::redundant(&file.tds, i, ChaseBudget::default())
+                .map_err(|e| e.to_string())?;
+            println!(
+                "  {}: {}",
+                file.tds[i].name(),
+                match v {
+                    InferenceVerdict::Implied(_) => "redundant",
+                    InferenceVerdict::NotImplied(_) => "essential",
+                    InferenceVerdict::Unknown(_) => "unknown",
+                }
+            );
+        }
+    }
+    for eid in &file.eids {
+        println!(
+            "\neid {}: {} antecedents, {} conclusion atoms{}",
+            eid.name(),
+            eid.antecedents().len(),
+            eid.conclusions().len(),
+            if file.instance.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", holds in instance: {}",
+                    td_core::eid::eid_satisfies(&file.instance, eid)
+                )
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_wp(text: &str) -> Result<(), String> {
+    let p = td_semigroup::parser::parse(text).map_err(|e| e.to_string())?;
+    print!("{p}");
+    let run = solve(&p, &Budgets::default()).map_err(|e| e.to_string())?;
+    let report = structural_report(&run.system);
+    println!(
+        "reduction: {} attributes, {} dependencies (max {} antecedents)",
+        report.n_attributes, report.n_deps, report.max_antecedents
+    );
+    match &run.outcome {
+        PipelineOutcome::Implied { derivation, proof } => {
+            println!("verdict: IMPLIED — A0 = 0 is derivable, hence D ⊨ D0");
+            let words = derivation
+                .replay(&run.normalized.presentation)
+                .map_err(|e| e.to_string())?;
+            let alphabet = run.normalized.presentation.alphabet();
+            println!(
+                "derivation ({} steps): {}",
+                derivation.len(),
+                words
+                    .iter()
+                    .map(|w| w.render(alphabet))
+                    .collect::<Vec<_>>()
+                    .join(" => ")
+            );
+            println!("chase proof: {} firings (verified)", proof.proof.len());
+        }
+        PipelineOutcome::Refuted { model, report } => {
+            println!(
+                "verdict: REFUTED — finite countermodel with {} rows (finite D ⊭ D0)",
+                model.len()
+            );
+            let alphabet = run.system.attrs.alphabet();
+            for (i, l) in model.labels.iter().enumerate() {
+                match l {
+                    RowLabel::P(e) => println!("  row {i}: P {e}"),
+                    RowLabel::Q(a, s, b) => {
+                        println!("  row {i}: Q <{a},{},{b}>", alphabet.name(*s))
+                    }
+                }
+            }
+            println!(
+                "checks: D holds {}, D0 fails {}, Facts 1/2: {}/{}",
+                report.violated_deps.is_empty(),
+                report.d0_fails,
+                report.fact1,
+                report.fact2
+            );
+        }
+        PipelineOutcome::Unknown { derivation_states, model_nodes } => {
+            println!(
+                "verdict: UNKNOWN (searched {derivation_states} words, {model_nodes} model nodes) \
+                 — enlarge the budgets; undecidability guarantees this case cannot be eliminated"
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_normalize(text: &str) -> Result<(), String> {
+    let p = td_semigroup::parser::parse(text).map_err(|e| e.to_string())?;
+    let n = normalize(&p.zero_saturated()).map_err(|e| e.to_string())?;
+    print!("{}", n.presentation);
+    if !n.definitions.is_empty() {
+        println!("fresh symbols:");
+        let alphabet = n.presentation.alphabet();
+        for &(s, a, b) in &n.definitions {
+            println!("  {} := {} · {}", alphabet.name(s), alphabet.name(a), alphabet.name(b));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_reduce(text: &str) -> Result<(), String> {
+    let p = td_semigroup::parser::parse(text).map_err(|e| e.to_string())?;
+    let n = normalize(&p.zero_saturated()).map_err(|e| e.to_string())?;
+    let system = build_system(&n.presentation).map_err(|e| e.to_string())?;
+    println!("schema: {}", system.attrs.schema());
+    for td in &system.deps {
+        println!("{td}");
+    }
+    println!("{}", system.d0);
+    println!(
+        "\n# DOT for D0 (pipe into `dot -Tsvg`):\n{}",
+        diagram_to_dot(&Diagram::from_td(&system.d0), "D0")
+    );
+    Ok(())
+}

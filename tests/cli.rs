@@ -1,0 +1,115 @@
+//! Integration tests for the `tdq` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn tdq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tdq"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("tdq-test-{name}-{}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn help_and_usage() {
+    let out = tdq().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+
+    let out = tdq().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    let out = tdq().args(["bogus", "x"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn wp_implied() {
+    let path = write_temp(
+        "wp-implied",
+        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
+    );
+    let out = tdq().arg("wp").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("IMPLIED"), "{stdout}");
+    assert!(stdout.contains("chase proof"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn wp_refuted() {
+    let path = write_temp("wp-refuted", "alphabet A0 0\nzerosat\n");
+    let out = tdq().arg("wp").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("REFUTED"), "{stdout}");
+    assert!(stdout.contains("Facts 1/2: true/true"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn deps_analysis() {
+    let path = write_temp(
+        "deps",
+        "schema R(A, B, C)\n\
+         td join: (a, b, c) (a, b2, c2) -> (a, b, c2)\n\
+         td weak: (a, b, c) (a, b2, c2) -> (*, b, c2)\n\
+         row (x, y, z)\n",
+    );
+    let out = tdq().arg("deps").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("redundancy:"), "{stdout}");
+    assert!(stdout.contains("weak: redundant"), "{stdout}");
+    assert!(stdout.contains("join: essential"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn normalize_prints_fresh_symbols() {
+    let path = write_temp(
+        "norm",
+        "alphabet A0 B C D 0\neq B C D = A0\n",
+    );
+    let out = tdq().arg("normalize").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("[BC]"), "{stdout}");
+    assert!(stdout.contains("fresh symbols:"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn reduce_prints_dependencies_and_dot() {
+    let path = write_temp("reduce", "alphabet A0 0\nzerosat\n");
+    let out = tdq().arg("reduce").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("D1("), "{stdout}");
+    assert!(stdout.contains("D0:"), "{stdout}");
+    assert!(stdout.contains("graph \"D0\""), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = tdq().args(["wp", "/nonexistent/really-not-here.txt"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn parse_errors_are_reported() {
+    let path = write_temp("bad", "alphabet A0 0\neq A0 = NOPE\n");
+    let out = tdq().arg("wp").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the reduction: structural invariants of the
+//! generated dependencies, bridge algebra, and certified pipeline verdicts
+//! on randomized instances.
+
+use proptest::prelude::*;
+use template_deps::prelude::*;
+use template_deps::td_core::eq_instance::EqInstance;
+use template_deps::td_core::satisfaction;
+use template_deps::td_reduction::deps::{
+    build_d0, build_d1, build_d2, build_d3, build_d4, build_d_identify,
+};
+use template_deps::td_reduction::verify::structural_report;
+use template_deps::td_semigroup::symbol::Sym;
+
+/// Strategy: an alphabet with `2..=4` regular symbols plus the zero.
+fn arb_alphabet() -> impl Strategy<Value = Alphabet> {
+    (2..=4usize).prop_map(Alphabet::standard)
+}
+
+/// Strategy: `(alphabet, rule)` with random symbols.
+fn arb_rule() -> impl Strategy<Value = (Alphabet, Rule2)> {
+    arb_alphabet().prop_flat_map(|alphabet| {
+        let n = alphabet.len() as u16;
+        (Just(alphabet), 0..n, 0..n, 0..n).prop_map(|(alphabet, a, b, c)| {
+            (
+                alphabet,
+                Rule2 { a: Sym::new(a), b: Sym::new(b), c: Sym::new(c) },
+            )
+        })
+    })
+}
+
+/// Strategy: a refutable presentation — random equations of the shape
+/// `x y = 0` (always satisfied by null semigroups with `A0 ↦ a`).
+fn arb_refutable() -> impl Strategy<Value = Presentation> {
+    arb_alphabet().prop_flat_map(|alphabet| {
+        let n = alphabet.len() as u16;
+        let zero = alphabet.zero();
+        proptest::collection::vec((0..n, 0..n), 0..4).prop_map(move |pairs| {
+            let eqs = pairs
+                .into_iter()
+                .map(|(a, b)| {
+                    Equation::new(
+                        Word::new([Sym::new(a), Sym::new(b)]).unwrap(),
+                        Word::single(zero),
+                    )
+                })
+                .collect();
+            let mut p = Presentation::new(alphabet.clone(), eqs).unwrap();
+            p.saturate_with_zero_equations();
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every generated dependency family has the paper's shape, for every
+    /// rule over every alphabet.
+    #[test]
+    fn dependency_shapes((alphabet, r) in arb_rule()) {
+        let attrs = ReductionAttrs::new(&alphabet).unwrap();
+        let d1 = build_d1(&attrs, r).unwrap();
+        let d2 = build_d2(&attrs, r).unwrap();
+        let d3 = build_d3(&attrs, r).unwrap();
+        let d4 = build_d4(&attrs, r).unwrap();
+        let d0 = build_d0(&attrs).unwrap();
+        prop_assert_eq!(d1.antecedent_count(), 5);
+        prop_assert_eq!(d2.antecedent_count(), 3);
+        prop_assert_eq!(d3.antecedent_count(), 3);
+        prop_assert_eq!(d4.antecedent_count(), 5);
+        prop_assert_eq!(d0.antecedent_count(), 3);
+        for td in [&d1, &d2, &d3, &d4, &d0] {
+            prop_assert_eq!(td.arity(), 2 * alphabet.len() + 2);
+            prop_assert!(td.is_embedded());
+            // Diagram round-trip stability.
+            let back = Diagram::from_td(td).to_td("back").unwrap();
+            prop_assert!(td.eq_up_to_renaming(&back));
+        }
+        // D1 and D4 are never trivial regardless of symbol coincidences.
+        prop_assert!(!d1.is_trivial());
+        prop_assert!(!d4.is_trivial());
+        // D2/D3 triviality is exactly characterized.
+        prop_assert_eq!(d2.is_trivial(), r.a == r.c);
+        prop_assert_eq!(d3.is_trivial(), r.b == r.c);
+    }
+
+    /// Identify dependencies relabel triangles; trivial iff `a == b`.
+    #[test]
+    fn identify_shapes(alphabet in arb_alphabet(), a in 0..3u16, b in 0..3u16) {
+        let attrs = ReductionAttrs::new(&alphabet).unwrap();
+        let (a, b) = (Sym::new(a), Sym::new(b));
+        let d = build_d_identify(&attrs, a, b, "D5").unwrap();
+        prop_assert_eq!(d.antecedent_count(), 3);
+        prop_assert_eq!(d.is_trivial(), a == b);
+    }
+
+    /// Bridges validate for arbitrary words and are robust to neighbours.
+    #[test]
+    fn bridges_validate(alphabet in arb_alphabet(), raw in proptest::collection::vec(0..3u16, 1..7)) {
+        let attrs = ReductionAttrs::new(&alphabet).unwrap();
+        let word = Word::from_raw(raw).unwrap();
+        let mut eq = EqInstance::new(attrs.schema().clone(), 0);
+        let b1 = Bridge::build(&mut eq, &attrs, &word).unwrap();
+        let b2 = Bridge::build(&mut eq, &attrs, &word).unwrap();
+        b1.validate(&eq, &attrs).unwrap();
+        b2.validate(&eq, &attrs).unwrap();
+        prop_assert_eq!(eq.len(), 2 * (2 * word.len() + 1));
+        // The two bridges do not interfere.
+        prop_assert!(!eq.same(attrs.e(), b1.base()[0], b2.base()[0]));
+    }
+
+    /// Pipeline verdicts on randomized refutable instances are certified:
+    /// the countermodel satisfies all of D, violates D0, and passes the
+    /// Facts.
+    #[test]
+    fn refutable_instances_certified(p in arb_refutable()) {
+        let run = solve(&p, &Budgets::default()).unwrap();
+        match &run.outcome {
+            PipelineOutcome::Refuted { model, report } => {
+                prop_assert!(report.ok(), "{:?}", report);
+                prop_assert!(satisfaction::satisfies_all(&model.instance, &run.system.deps));
+                prop_assert!(!satisfaction::satisfies(&model.instance, &run.system.d0));
+            }
+            PipelineOutcome::Implied { .. } => {
+                // Possible: e.g. the random equation `A0 X = 0` combined
+                // with others could make the goal derivable? x·y = 0 alone
+                // never rewrites the single-letter word A0, so Implied
+                // would indicate a bug.
+                prop_assert!(false, "x·y = 0 equations cannot derive A0 = 0");
+            }
+            PipelineOutcome::Unknown { .. } => {
+                // Tolerated (budget), though it should not happen for the
+                // null-model family.
+                prop_assert!(false, "the null counter-model should always apply");
+            }
+        }
+    }
+
+    /// Part (A) proofs scale exactly with the derivation on the relabel
+    /// chain, and every certificate verifies.
+    #[test]
+    fn relabel_chain_certified(k in 1..6usize) {
+        let p = td_bench::relabel_chain(k);
+        let run = solve(&p, &Budgets::default()).unwrap();
+        let PipelineOutcome::Implied { derivation, proof } = &run.outcome else {
+            return Err(TestCaseError::fail("must be implied"));
+        };
+        prop_assert_eq!(derivation.len(), k + 1);
+        prop_assert_eq!(proof.proof.len(), k + 1);
+        proof.verify(&run.system).unwrap();
+        prop_assert!(structural_report(&run.system).ok());
+    }
+
+    /// Same for the product chain (expansions cost 3 firings each).
+    #[test]
+    fn product_chain_certified(k in 1..5usize) {
+        let p = td_bench::product_chain(k);
+        let mut budgets = Budgets::default();
+        budgets.derivation.max_word_len = k + 2;
+        let run = solve(&p, &budgets).unwrap();
+        let PipelineOutcome::Implied { derivation, proof } = &run.outcome else {
+            return Err(TestCaseError::fail("must be implied"));
+        };
+        prop_assert_eq!(derivation.len(), 2 * k);
+        prop_assert_eq!(proof.proof.len(), 4 * k);
+        proof.verify(&run.system).unwrap();
+    }
+
+    /// Derivability is monotone in the equation set: adding arbitrary extra
+    /// `(2,1)` equations to a derivable instance keeps it derivable, and
+    /// the pipeline still produces verified certificates.
+    #[test]
+    fn derivable_plus_junk_stays_certified(
+        k in 1..4usize,
+        junk in proptest::collection::vec((0..4u16, 0..4u16, 0..4u16), 0..3),
+    ) {
+        let mut p = td_bench::product_chain(k);
+        // Alphabet: A0, X, Y1..Yk, 0 — junk equations over its symbols.
+        let n = p.alphabet().len() as u16;
+        for (a, b, c) in junk {
+            let eq = Equation::new(
+                Word::new([Sym::new(a % n), Sym::new(b % n)]).unwrap(),
+                Word::single(Sym::new(c % n)),
+            );
+            p.push_equation(eq).unwrap();
+        }
+        let mut budgets = Budgets::default();
+        budgets.derivation.max_word_len = k + 2;
+        let run = solve(&p, &budgets).unwrap();
+        let PipelineOutcome::Implied { derivation, proof } = &run.outcome else {
+            return Err(TestCaseError::fail("monotonicity: must stay implied"));
+        };
+        // The found derivation may differ from the canonical one (junk can
+        // create shortcuts) but must replay, and the proof must verify.
+        let g = run.normalized.presentation.goal();
+        derivation.verify(&run.normalized.presentation, &g.lhs, &g.rhs).unwrap();
+        proof.verify(&run.system).unwrap();
+    }
+
+    /// Part (B) countermodels built from nilpotent semigroups of any order
+    /// verify, and their P/Q split matches the labels.
+    #[test]
+    fn nilpotent_counter_models_certified(n in 2..7usize, n_regular in 1..3usize) {
+        let p = td_bench::refutable_with_symbols(n_regular);
+        let system = build_system(&p).unwrap();
+        let g = cyclic_nilpotent(n);
+        // A0 -> a, all other regular symbols -> a as well, 0 -> 0.
+        let interp = Interpretation::from_raw(
+            (0..p.alphabet().len()).map(|i| {
+                if Sym::from(i) == p.alphabet().zero() { 0 } else { 1 }
+            }),
+        );
+        let model = build_counter_model(&system, &p, &g, &interp).unwrap();
+        let report = verify_counter_model(&system, &model);
+        prop_assert!(report.ok(), "n={n}: {:?}", report);
+        // |Q| rows each belong to exactly one nontrivial A'-class.
+        prop_assert!(model.p_rows().count() >= 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests for the semigroup layer: word algebra, derivation
+//! certificates, quotient/BFS agreement, families, adjunction, evaluation.
+
+use proptest::prelude::*;
+use template_deps::prelude::*;
+use template_deps::td_semigroup::derivation::search_goal_derivation;
+use template_deps::td_semigroup::model_search::ModelSearchResult;
+use template_deps::td_semigroup::properties;
+use template_deps::td_semigroup::quotient::BoundedQuotient;
+use template_deps::td_semigroup::rewrite::RewriteSystem;
+use template_deps::td_semigroup::symbol::Sym;
+
+/// Strategy: a word over `n_syms` symbols, length `1..=max_len`.
+fn arb_word(n_syms: u16, max_len: usize) -> impl Strategy<Value = Word> {
+    proptest::collection::vec(0..n_syms, 1..=max_len)
+        .prop_map(|syms| Word::from_raw(syms).unwrap())
+}
+
+/// Strategy: a presentation over `A0, A1, 0` with random short equations,
+/// zero-saturated. (3 symbols keep the bounded universes small.)
+fn arb_presentation() -> impl Strategy<Value = Presentation> {
+    let eq = (arb_word(3, 2), arb_word(3, 2))
+        .prop_map(|(l, r)| Equation::new(l, r));
+    proptest::collection::vec(eq, 0..4).prop_map(|eqs| {
+        let alphabet = Alphabet::standard(2); // A0 A1 0
+        let mut p = Presentation::new(alphabet, eqs).unwrap();
+        p.saturate_with_zero_equations();
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `occurrences` and `replace_range` agree.
+    #[test]
+    fn occurrences_replace_consistent(w in arb_word(3, 8), sub in arb_word(3, 3)) {
+        for pos in w.occurrences(&sub) {
+            prop_assert!(w.occurs_at(&sub, pos));
+            let replaced = w.replace_range(pos, sub.len(), &sub).unwrap();
+            prop_assert_eq!(&replaced, &w, "replacing a factor by itself is identity");
+        }
+        // Positions not reported are not occurrences.
+        let hits = w.occurrences(&sub);
+        for pos in 0..w.len() {
+            prop_assert_eq!(hits.contains(&pos), w.occurs_at(&sub, pos));
+        }
+    }
+
+    /// Concatenation length and content.
+    #[test]
+    fn concat_laws(a in arb_word(3, 5), b in arb_word(3, 5)) {
+        let ab = a.concat(&b);
+        prop_assert_eq!(ab.len(), a.len() + b.len());
+        prop_assert!(ab.occurs_at(&a, 0));
+        prop_assert!(ab.occurs_at(&b, a.len()));
+    }
+
+    /// Found derivations always replay and connect the goal's endpoints.
+    #[test]
+    fn derivations_replay(p in arb_presentation()) {
+        let budget = SearchBudget { max_word_len: 5, max_states: 30_000 };
+        if let SearchResult::Found(d) = search_goal_derivation(&p, &budget) {
+            let g = p.goal();
+            d.verify(&p, &g.lhs, &g.rhs).unwrap();
+            // Each replayed word respects the length bound except possibly
+            // the endpoints (which are length 1 anyway).
+            for w in d.replay(&p).unwrap() {
+                prop_assert!(w.len() <= budget.max_word_len);
+            }
+        }
+    }
+
+    /// The bounded congruence closure and the BFS agree on goal
+    /// reachability when given the same word-length window (they explore
+    /// the same graph).
+    #[test]
+    fn quotient_and_bfs_agree(p in arb_presentation()) {
+        let len_bound = 3;
+        let mut q = BoundedQuotient::build(&p, len_bound);
+        let bfs = search_goal_derivation(
+            &p,
+            &SearchBudget { max_word_len: len_bound, max_states: 1_000_000 },
+        );
+        let bfs_found = matches!(bfs, SearchResult::Found(_));
+        prop_assert_eq!(q.goal_identified(&p), Some(bfs_found));
+    }
+
+    /// Rewriting produces genuine derivations and never grows words.
+    #[test]
+    fn rewriting_certificates(p in arb_presentation(), w in arb_word(3, 6)) {
+        let rs = RewriteSystem::from_presentation(&p);
+        let (nf, d) = rs.normal_form(&w);
+        prop_assert!(nf.len() <= w.len());
+        let words = d.replay(&p).unwrap();
+        prop_assert_eq!(words.first().unwrap(), &w);
+        prop_assert_eq!(words.last().unwrap(), &nf);
+        // Lengths decrease strictly along the reduction.
+        for pair in words.windows(2) {
+            prop_assert!(pair[1].len() < pair[0].len());
+        }
+    }
+
+    /// Evaluation is a homomorphism: `eval(uv) = eval(u) · eval(v)`.
+    #[test]
+    fn eval_is_homomorphism(
+        u in arb_word(2, 5),
+        v in arb_word(2, 5),
+        n in 2..7usize,
+    ) {
+        let g = cyclic_nilpotent(n);
+        let interp = Interpretation::from_raw([1, 0]); // A0 -> a, 0 -> zero
+        let eu = g.eval(&interp, &u).unwrap();
+        let ev = g.eval(&interp, &v).unwrap();
+        let euv = g.eval(&interp, &u.concat(&v)).unwrap();
+        prop_assert_eq!(euv, g.mul(eu, ev));
+    }
+
+    /// Families satisfy the Main Lemma's side conditions at every order.
+    #[test]
+    fn families_are_cancellation_semigroups(n in 2..9usize) {
+        for g in [null_semigroup(n), cyclic_nilpotent(n)] {
+            prop_assert!(g.check_associative().is_ok());
+            prop_assert_eq!(g.zero().map(|z| z.index()), Some(0));
+            prop_assert!(g.identity().is_none());
+            prop_assert!(has_cancellation_property(&g));
+        }
+    }
+
+    /// Adjoining an identity: associativity, identity, zero, and — for the
+    /// cancellation families — the paper's preservation claim.
+    #[test]
+    fn adjoin_identity_properties(n in 2..7usize) {
+        for g in [null_semigroup(n), cyclic_nilpotent(n)] {
+            let (g2, id) = adjoin_identity(&g).unwrap();
+            prop_assert!(g2.check_associative().is_ok());
+            prop_assert_eq!(g2.identity(), Some(id));
+            prop_assert_eq!(
+                g2.zero().map(|z| z.index()),
+                g.zero().map(|z| z.index())
+            );
+            prop_assert!(has_cancellation_property(&g2));
+        }
+    }
+
+    /// Direct products: componentwise structure, zero pairing, and
+    /// equation preservation under paired interpretations.
+    #[test]
+    fn direct_products_behave(n in 2..5usize, m in 2..5usize) {
+        let g = null_semigroup(n);
+        let h = cyclic_nilpotent(m);
+        let p = g.direct_product(&h);
+        prop_assert_eq!(p.len(), n * m);
+        prop_assert!(p.check_associative().is_ok());
+        let zg = g.zero().unwrap();
+        let zh = h.zero().unwrap();
+        prop_assert_eq!(p.zero(), Some(g.pair_elem(&h, zg, zh)));
+        prop_assert!(p.identity().is_none());
+        // Componentwise multiplication at a sample of points.
+        for a in g.elements() {
+            for b in h.elements() {
+                let x = g.pair_elem(&h, a, b);
+                let xx = p.mul(x, x);
+                prop_assert_eq!(
+                    xx,
+                    g.pair_elem(&h, g.mul(a, a), h.mul(b, b))
+                );
+            }
+        }
+        // Equation preservation under the paired interpretation.
+        let pres = {
+            let alphabet = Alphabet::standard(1);
+            let mut pr = Presentation::new(alphabet, vec![]).unwrap();
+            pr.saturate_with_zero_equations();
+            pr
+        };
+        let ig = Interpretation::from_raw([1, 0]);
+        let ih = Interpretation::from_raw([1, 0]);
+        let ip = Interpretation::new(
+            ig.elems()
+                .iter()
+                .zip(ih.elems())
+                .map(|(&a, &b)| g.pair_elem(&h, a, b))
+                .collect(),
+        );
+        prop_assert!(properties::satisfies_presentation(&g, &ig, &pres));
+        prop_assert!(properties::satisfies_presentation(&h, &ih, &pres));
+        prop_assert!(properties::satisfies_presentation(&p, &ip, &pres));
+    }
+
+    /// Normalization is stable: a second pass adds nothing.
+    #[test]
+    fn normalize_stable(p in arb_presentation()) {
+        let n1 = normalize(&p).unwrap();
+        let n2 = normalize(&n1.presentation).unwrap();
+        prop_assert!(n2.definitions.is_empty());
+        prop_assert_eq!(
+            n1.presentation.equations().len(),
+            n2.presentation.equations().len()
+        );
+        prop_assert!(n1.presentation.is_reduction_ready());
+    }
+
+    /// The model searcher only returns certified countermodels, and on
+    /// derivable instances it returns nothing (soundness of both sides).
+    #[test]
+    fn model_search_certified(p in arb_presentation()) {
+        let opts = ModelSearchOptions { min_size: 2, max_size: 3, max_nodes: 500_000 };
+        let found = find_counter_model(&p, &opts).unwrap();
+        if let ModelSearchResult::Found(g, interp) = &found {
+            prop_assert!(properties::is_countermodel(g, interp, &p));
+            // A countermodel and a derivation cannot coexist.
+            let bfs = search_goal_derivation(
+                &p,
+                &SearchBudget { max_word_len: 6, max_states: 50_000 },
+            );
+            prop_assert!(
+                bfs.derivation().is_none(),
+                "derivable instance cannot have a countermodel"
+            );
+        }
+    }
+
+    /// Zero saturation is idempotent and the zero equations all hold in the
+    /// families under any interpretation sending the zero symbol to zero.
+    #[test]
+    fn zero_saturation_semantics(n in 2..6usize, a0_to in 1..4usize) {
+        let g = null_semigroup(n.max(a0_to + 1));
+        let p = {
+            let alphabet = Alphabet::standard(1);
+            let mut p = Presentation::new(alphabet, vec![]).unwrap();
+            p.saturate_with_zero_equations();
+            p
+        };
+        let interp = Interpretation::from_raw([a0_to, 0]);
+        for eq in p.equations() {
+            prop_assert!(properties::satisfies_equation(&g, &interp, eq));
+        }
+    }
+}
+
+/// Deterministic spot-check that `Sym` indices round-trip through the
+/// quotient's class listing (regression guard for dense-label bookkeeping).
+#[test]
+fn quotient_classes_contain_their_queries() {
+    let p = {
+        let alphabet = Alphabet::standard(2);
+        let e = Equation::parse("A1 A1 = A0", &alphabet).unwrap();
+        let mut p = Presentation::new(alphabet, vec![e]).unwrap();
+        p.saturate_with_zero_equations();
+        p
+    };
+    let mut q = BoundedQuotient::build(&p, 3);
+    let a0 = Word::single(Sym::new(0));
+    let class = q.class_of(&a0).unwrap();
+    assert!(class.contains(&a0));
+    for w in &class {
+        assert_eq!(q.equal(&a0, w), Some(true));
+    }
+}

@@ -40,7 +40,11 @@ fn bench_chase_to_fixpoint(c: &mut Criterion) {
                     &tds,
                     inst.clone(),
                     ChasePolicy::Restricted,
-                    ChaseBudget { max_steps: 100_000, max_rows: 100_000, max_rounds: 1_000 },
+                    ChaseBudget {
+                        max_steps: 100_000,
+                        max_rows: 100_000,
+                        max_rounds: 1_000,
+                    },
                 )
                 .unwrap();
                 let outcome = engine.run(None);

@@ -36,9 +36,7 @@ fn bench_embedded_vs_full(c: &mut Criterion) {
         b.iter(|| black_box(implies_full(&join, &fig1).unwrap()));
     });
     group.bench_function("general_procedure_same_query", |b| {
-        b.iter(|| {
-            black_box(implies(&join, &fig1, ChaseBudget::default()).unwrap())
-        });
+        b.iter(|| black_box(implies(&join, &fig1, ChaseBudget::default()).unwrap()));
     });
     group.finish();
 }

@@ -36,7 +36,10 @@ fn bench_guided(c: &mut Criterion) {
         let system = build_system(&p).unwrap();
         let derivation = search_goal_derivation(
             &p,
-            &SearchBudget { max_word_len: k + 2, max_states: 1_000_000 },
+            &SearchBudget {
+                max_word_len: k + 2,
+                max_states: 1_000_000,
+            },
         )
         .derivation()
         .unwrap()
@@ -54,7 +57,11 @@ fn bench_unguided(c: &mut Criterion) {
     for k in [2usize, 4, 8] {
         let p = relabel_chain(k);
         let system = build_system(&p).unwrap();
-        let budget = ChaseBudget { max_steps: 100_000, max_rows: 100_000, max_rounds: 1_000 };
+        let budget = ChaseBudget {
+            max_steps: 100_000,
+            max_rows: 100_000,
+            max_rounds: 1_000,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
             b.iter(|| {
                 let (outcome, ..) = prove_unguided(&system, budget).unwrap();

@@ -30,7 +30,10 @@ fn bench_derivation_search(c: &mut Criterion) {
     group.sample_size(10);
     for k in [2usize, 4, 6] {
         let p = product_chain(k);
-        let budget = SearchBudget { max_word_len: k + 2, max_states: 1_000_000 };
+        let budget = SearchBudget {
+            max_word_len: k + 2,
+            max_states: 1_000_000,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(k), &p, |b, p| {
             b.iter(|| {
                 let r = search_goal_derivation(p, &budget);
@@ -67,19 +70,20 @@ fn bench_model_search(c: &mut Criterion) {
             max_size,
             max_nodes: 50_000_000,
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(max_size),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let r = find_counter_model(&p, &opts).unwrap();
-                    black_box(matches!(r, ModelSearchResult::Found(..)))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(max_size), &(), |b, _| {
+            b.iter(|| {
+                let r = find_counter_model(&p, &opts).unwrap();
+                black_box(matches!(r, ModelSearchResult::Found(..)))
+            });
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_derivation_search, bench_quotient, bench_model_search);
+criterion_group!(
+    benches,
+    bench_derivation_search,
+    bench_quotient,
+    bench_model_search
+);
 criterion_main!(benches);

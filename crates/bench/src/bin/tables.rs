@@ -22,7 +22,10 @@ use td_semigroup::normalize::normalize;
 use td_semigroup::prelude::*;
 
 fn wants(filters: &[String], id: &str) -> bool {
-    filters.is_empty() || filters.iter().any(|f| id.contains(f.trim_start_matches("--")))
+    filters.is_empty()
+        || filters
+            .iter()
+            .any(|f| id.contains(f.trim_start_matches("--")))
 }
 
 fn header(id: &str, title: &str) {
@@ -78,9 +81,12 @@ fn t4_chase_policies() {
         // chase finite; the oblivious chase keeps inventing suppliers.
         let tds = vec![fig1_td()];
         for policy in [ChasePolicy::Restricted, ChasePolicy::Oblivious] {
-            let budget = ChaseBudget { max_steps: 2_000, max_rows: 2_000, max_rounds: 25 };
-            let mut engine =
-                ChaseEngine::new(&tds, inst.clone(), policy, budget).unwrap();
+            let budget = ChaseBudget {
+                max_steps: 2_000,
+                max_rows: 2_000,
+                max_rounds: 25,
+            };
+            let mut engine = ChaseEngine::new(&tds, inst.clone(), policy, budget).unwrap();
             let outcome = engine.run(None);
             println!(
                 "| {rows} | {policy:?} | {outcome:?} | {} | {} |",
@@ -104,7 +110,10 @@ fn fig1() {
     db.insert_values([0, 1, 1]).unwrap();
     println!("| database | ⊨ fig1? |");
     println!("|---|---|");
-    println!("| {{(SL,dress,10), (SL,brief,36)}} | {} |", satisfies(&db, &td));
+    println!(
+        "| {{(SL,dress,10), (SL,brief,36)}} | {} |",
+        satisfies(&db, &td)
+    );
     db.insert_values([1, 0, 1]).unwrap();
     db.insert_values([2, 1, 0]).unwrap();
     println!("| + (x,dress,36), (y,brief,10) | {} |", satisfies(&db, &td));
@@ -136,10 +145,8 @@ fn fig2() {
 /// F3 — Fig. 3: the dependencies of the running example.
 fn fig3() {
     header("F3", "Fig. 3: D1…D4 per equation, and D0");
-    let p = td_semigroup::parser::parse(
-        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
-    )
-    .unwrap();
+    let p = td_semigroup::parser::parse("alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n")
+        .unwrap();
     let system = build_system(&p).unwrap();
     let rule = system.rules[0];
     println!(
@@ -154,7 +161,12 @@ fn fig3() {
     println!("  {}", system.d0);
     println!("\n| dependency | antecedents | existential columns |");
     println!("|---|---|---|");
-    for td in system.deps.iter().take(4).chain(std::iter::once(&system.d0)) {
+    for td in system
+        .deps
+        .iter()
+        .take(4)
+        .chain(std::iter::once(&system.d0))
+    {
         println!(
             "| {} | {} | {} |",
             td.name(),
@@ -166,7 +178,10 @@ fn fig3() {
 
 /// RA — part (A): derivations into chase proofs, guided vs unguided.
 fn part_a() {
-    header("RA", "Reduction Theorem (A): derivation ⇒ chase proof of D ⊨ D0");
+    header(
+        "RA",
+        "Reduction Theorem (A): derivation ⇒ chase proof of D ⊨ D0",
+    );
     println!("| family | k | derivation steps | guided firings | guided time | unguided outcome | unguided firings |");
     println!("|---|---|---|---|---|---|---|");
     for k in [1usize, 2, 4, 8, 16] {
@@ -179,7 +194,11 @@ fn part_a() {
         let t0 = Instant::now();
         let proof = prove_part_a(&system, &p, &d).unwrap();
         let guided_time = t0.elapsed();
-        let budget = ChaseBudget { max_steps: 200_000, max_rows: 200_000, max_rounds: 2_000 };
+        let budget = ChaseBudget {
+            max_steps: 200_000,
+            max_rows: 200_000,
+            max_rounds: 2_000,
+        };
         let (outcome, steps, _, _) = prove_unguided(&system, budget).unwrap();
         println!(
             "| relabel | {k} | {} | {} | {:?} | {:?} | {} |",
@@ -195,7 +214,10 @@ fn part_a() {
         let system = build_system(&p).unwrap();
         let d = search_goal_derivation(
             &p,
-            &SearchBudget { max_word_len: k + 2, max_states: 1_000_000 },
+            &SearchBudget {
+                max_word_len: k + 2,
+                max_states: 1_000_000,
+            },
         )
         .derivation()
         .unwrap()
@@ -203,7 +225,11 @@ fn part_a() {
         let t0 = Instant::now();
         let proof = prove_part_a(&system, &p, &d).unwrap();
         let guided_time = t0.elapsed();
-        let budget = ChaseBudget { max_steps: 200_000, max_rows: 200_000, max_rounds: 2_000 };
+        let budget = ChaseBudget {
+            max_steps: 200_000,
+            max_rows: 200_000,
+            max_rounds: 2_000,
+        };
         let (outcome, steps, _, _) = prove_unguided(&system, budget).unwrap();
         println!(
             "| product | {k} | {} | {} | {:?} | {:?} | {} |",
@@ -291,7 +317,10 @@ fn t2_full_vs_embedded() {
     let fig1 = fig1_td();
     let t0 = Instant::now();
     let full = inference::implies_full(&join, &fig1).unwrap();
-    println!("| join-supplier (full) | fig1 | implies_full (decision) | {full} | {:?} |", t0.elapsed());
+    println!(
+        "| join-supplier (full) | fig1 | implies_full (decision) | {full} | {:?} |",
+        t0.elapsed()
+    );
     let t0 = Instant::now();
     let v = inference::implies(&join, &fig1, ChaseBudget::default()).unwrap();
     println!(
@@ -329,17 +358,30 @@ fn t3_normalization() {
     println!("| instance | symbols before | symbols after | equations before | after | derivable before=after |");
     println!("|---|---|---|---|---|---|");
     let cases: Vec<(&str, &str)> = vec![
-        ("paper ABC=DA", "alphabet A0 A B C D 0\neq A B C = D A\nzerosat\n"),
-        ("long tower", "alphabet A0 B 0\neq B B B B = A0\neq B B = 0\nzerosat\n"),
-        ("mixed", "alphabet A0 B C 0\neq B C B = A0\neq C C = B\neq B C = 0\nzerosat\n"),
+        (
+            "paper ABC=DA",
+            "alphabet A0 A B C D 0\neq A B C = D A\nzerosat\n",
+        ),
+        (
+            "long tower",
+            "alphabet A0 B 0\neq B B B B = A0\neq B B = 0\nzerosat\n",
+        ),
+        (
+            "mixed",
+            "alphabet A0 B C 0\neq B C B = A0\neq C C = B\neq B C = 0\nzerosat\n",
+        ),
     ];
     for (name, text) in cases {
         let p = td_semigroup::parser::parse(text).unwrap();
         let n = normalize(&p).unwrap();
-        let budget = SearchBudget { max_word_len: 8, max_states: 400_000 };
+        let budget = SearchBudget {
+            max_word_len: 8,
+            max_states: 400_000,
+        };
         let before = search_goal_derivation(&p, &budget).derivation().is_some();
-        let after =
-            search_goal_derivation(&n.presentation, &budget).derivation().is_some();
+        let after = search_goal_derivation(&n.presentation, &budget)
+            .derivation()
+            .is_some();
         println!(
             "| {name} | {} | {} | {} | {} | {} |",
             p.alphabet().len(),
@@ -358,17 +400,18 @@ fn t5_word_problem() {
     println!("|---|---|---|---|---|");
     let cases: Vec<(&str, Presentation)> = vec![
         ("derivable 2-step", {
-            td_semigroup::parser::parse(
-                "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
-            )
-            .unwrap()
+            td_semigroup::parser::parse("alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n")
+                .unwrap()
         }),
         ("refutable zero-only", refutable_with_symbols(1)),
         ("relabel_chain(6)", relabel_chain(6)),
         ("product_chain(3)", product_chain(3)),
     ];
     for (name, p) in cases {
-        let budget = SearchBudget { max_word_len: 6, max_states: 500_000 };
+        let budget = SearchBudget {
+            max_word_len: 6,
+            max_states: 500_000,
+        };
         let r = search_goal_derivation(&p, &budget);
         let (verdict, states) = match &r {
             td_semigroup::derivation::SearchResult::Found(d) => {

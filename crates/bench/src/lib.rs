@@ -111,7 +111,10 @@ pub fn product_chain(k: usize) -> Presentation {
     // X Y1 = A0; X Y_{i+1} = Y_i; X Y_k = 0.
     eqs.push(Equation::new(w("X Y1"), w("A0")));
     for i in 1..k {
-        eqs.push(Equation::new(w(&format!("X Y{}", i + 1)), w(&format!("Y{i}"))));
+        eqs.push(Equation::new(
+            w(&format!("X Y{}", i + 1)),
+            w(&format!("Y{i}")),
+        ));
     }
     eqs.push(Equation::new(w(&format!("X Y{k}")), w("0")));
     let mut p = Presentation::new(alphabet, eqs).expect("symbols in range");
@@ -176,9 +179,15 @@ pub fn full_td_family(arity: usize) -> (Schema, Vec<Td>) {
                 }
             })
             .collect();
-        b = b.antecedent(row1.iter().map(String::as_str)).expect("arity");
-        b = b.antecedent(row2.iter().map(String::as_str)).expect("arity");
-        b = b.conclusion(concl.iter().map(String::as_str)).expect("arity");
+        b = b
+            .antecedent(row1.iter().map(String::as_str))
+            .expect("arity");
+        b = b
+            .antecedent(row2.iter().map(String::as_str))
+            .expect("arity");
+        b = b
+            .conclusion(concl.iter().map(String::as_str))
+            .expect("arity");
         tds.push(b.build(format!("join-{join_col}")).expect("well-formed"));
     }
     (schema, tds)
@@ -196,17 +205,15 @@ pub fn random_td(
     seed: u64,
     name: &str,
 ) -> Td {
-    use td_core::td::TdRow;
     use td_core::ids::Var;
+    use td_core::td::TdRow;
     let mut rng = StdRng::seed_from_u64(seed);
     let arity = schema.arity();
     let antecedents: Vec<TdRow> = (0..n_antecedents)
-        .map(|_| {
-            TdRow::new((0..arity).map(|_| Var::new(rng.gen_range(0..vars_per_column))))
-        })
+        .map(|_| TdRow::new((0..arity).map(|_| Var::new(rng.gen_range(0..vars_per_column)))))
         .collect();
     let conclusion = TdRow::new((0..arity).map(|c| {
-        if rng.gen_range(0..100) < existential_pct {
+        if rng.gen_range(0..100u32) < existential_pct {
             Var::new(vars_per_column + 1) // fresh: never used in antecedents
         } else {
             // Reuse a variable seen in this column.
@@ -238,7 +245,10 @@ mod tests {
             let p = product_chain(k);
             let r = search_goal_derivation(
                 &p,
-                &SearchBudget { max_word_len: k + 2, max_states: 500_000 },
+                &SearchBudget {
+                    max_word_len: k + 2,
+                    max_states: 500_000,
+                },
             );
             let d = r.derivation().expect("derivable by construction");
             assert_eq!(d.len(), 2 * k, "k={k}");

@@ -25,8 +25,8 @@ use std::collections::HashMap;
 use crate::error::{CoreError, Result};
 use crate::homomorphism::{match_first, Binding};
 use crate::ids::{AttrId, Var};
-use crate::instance::Instance;
 use crate::inference::freeze;
+use crate::instance::Instance;
 use crate::td::{Td, TdRow};
 
 /// A weakening transformation: applied to `td`, yields a dependency that
@@ -75,9 +75,7 @@ pub fn apply(td: &Td, w: &Weakening) -> Result<Td> {
                 return Err(CoreError::UnknownAttribute(format!("{col}")));
             }
             let maxes = td.max_var_per_column();
-            let fresh = Var::new(
-                maxes[col.index()].map(|v| v.raw() + 1).unwrap_or(0),
-            );
+            let fresh = Var::new(maxes[col.index()].map(|v| v.raw() + 1).unwrap_or(0));
             let mut conclusion = td.conclusion().clone();
             let cells: Vec<Var> = conclusion
                 .components()
@@ -95,15 +93,16 @@ pub fn apply(td: &Td, w: &Weakening) -> Result<Td> {
             if column.index() >= td.arity() {
                 return Err(CoreError::UnknownAttribute(format!("{column}")));
             }
-            let map_row = |row: &TdRow| {
-                TdRow::new(row.components().map(|(c, v)| {
-                    if c == *column && v == *from {
-                        *into
-                    } else {
-                        v
-                    }
-                }))
-            };
+            let map_row =
+                |row: &TdRow| {
+                    TdRow::new(row.components().map(|(c, v)| {
+                        if c == *column && v == *from {
+                            *into
+                        } else {
+                            v
+                        }
+                    }))
+                };
             let antecedents = td.antecedents().iter().map(map_row).collect();
             let conclusion = map_row(td.conclusion());
             Td::new(
@@ -146,13 +145,15 @@ pub fn subsumes(general: &Td, specific: &Td) -> Result<bool> {
             // Build the conclusion under this trigger; unbound (existential)
             // columns match any goal constraint only if the goal is a
             // wildcard there.
-            let ok = general.conclusion().components().zip(goal.pattern()).all(
-                |((c, v), want)| match (binding.get(c, v), want) {
+            let ok = general
+                .conclusion()
+                .components()
+                .zip(goal.pattern())
+                .all(|((c, v), want)| match (binding.get(c, v), want) {
                     (_, None) => true,
                     (Some(val), Some(w)) => val == *w,
                     (None, Some(_)) => false,
-                },
-            );
+                });
             if ok {
                 found = true;
                 std::ops::ControlFlow::Break(())
@@ -201,11 +202,7 @@ pub fn canonical_weakenings(td: &Td) -> Vec<Weakening> {
 
 /// Checks `instance ⊨ general ⇒ instance ⊨ specific` *on this instance* —
 /// a cheap falsification helper used when hunting for unsound rules.
-pub fn implication_holds_on(
-    instance: &Instance,
-    general: &Td,
-    specific: &Td,
-) -> bool {
+pub fn implication_holds_on(instance: &Instance, general: &Td, specific: &Td) -> bool {
     !crate::satisfaction::satisfies(instance, general)
         || crate::satisfaction::satisfies(instance, specific)
 }
@@ -228,8 +225,7 @@ pub fn rename_vars(td: &Td, offset: u32) -> Td {
         .map(|r| map_row(r, &mut maps))
         .collect();
     let conclusion = map_row(td.conclusion(), &mut maps);
-    Td::new(td.schema().clone(), antecedents, conclusion, td.name())
-        .expect("arities unchanged")
+    Td::new(td.schema().clone(), antecedents, conclusion, td.name()).expect("arities unchanged")
 }
 
 /// `true` if `specific` is syntactically reachable from `general` by the
@@ -292,12 +288,8 @@ mod tests {
         let td = base();
         for w in canonical_weakenings(&td) {
             let weaker = apply(&td, &w).unwrap();
-            let verdict = implies(
-                std::slice::from_ref(&td),
-                &weaker,
-                ChaseBudget::default(),
-            )
-            .unwrap();
+            let verdict =
+                implies(std::slice::from_ref(&td), &weaker, ChaseBudget::default()).unwrap();
             assert!(
                 verdict.is_implied(),
                 "weakening {w:?} produced a non-implied {weaker}"
@@ -312,12 +304,7 @@ mod tests {
         let td = base();
         let weaker = apply(&td, &Weakening::ExistentializeColumn(AttrId::new(0))).unwrap();
         assert!(weaker.is_embedded());
-        let verdict = implies(
-            std::slice::from_ref(&weaker),
-            &td,
-            ChaseBudget::default(),
-        )
-        .unwrap();
+        let verdict = implies(std::slice::from_ref(&weaker), &td, ChaseBudget::default()).unwrap();
         assert!(matches!(verdict, InferenceVerdict::NotImplied(_)));
     }
 
@@ -329,32 +316,38 @@ mod tests {
         let b2 = td.antecedents()[1].get(AttrId::new(1));
         let merged = apply(
             &td,
-            &Weakening::MergeAntecedentVars { column: AttrId::new(1), from: b2, into: b },
+            &Weakening::MergeAntecedentVars {
+                column: AttrId::new(1),
+                from: b2,
+                into: b,
+            },
         )
         .unwrap();
         // Merged: R(a,b,c) & R(a,b,c') => R(a,b,c') — trivial, actually.
         assert!(merged.is_trivial());
-        assert!(implies(std::slice::from_ref(&td), &merged, ChaseBudget::default())
-            .unwrap()
-            .is_implied());
+        assert!(
+            implies(std::slice::from_ref(&td), &merged, ChaseBudget::default())
+                .unwrap()
+                .is_implied()
+        );
     }
 
     #[test]
     fn add_antecedent_duplicates_are_equivalent() {
         let td = base();
-        let dup = apply(
-            &td,
-            &Weakening::AddAntecedent(td.antecedents()[0].clone()),
-        )
-        .unwrap();
+        let dup = apply(&td, &Weakening::AddAntecedent(td.antecedents()[0].clone())).unwrap();
         assert_eq!(dup.antecedent_count(), 3);
         // Both directions hold: duplicating a row changes nothing.
-        assert!(implies(std::slice::from_ref(&td), &dup, ChaseBudget::default())
-            .unwrap()
-            .is_implied());
-        assert!(implies(std::slice::from_ref(&dup), &td, ChaseBudget::default())
-            .unwrap()
-            .is_implied());
+        assert!(
+            implies(std::slice::from_ref(&td), &dup, ChaseBudget::default())
+                .unwrap()
+                .is_implied()
+        );
+        assert!(
+            implies(std::slice::from_ref(&dup), &td, ChaseBudget::default())
+                .unwrap()
+                .is_implied()
+        );
     }
 
     #[test]
@@ -390,13 +383,11 @@ mod tests {
         for w in canonical_weakenings(&td) {
             let weaker = apply(&td, &w).unwrap();
             if subsumes(&td, &weaker).unwrap() {
-                assert!(implies(
-                    std::slice::from_ref(&td),
-                    &weaker,
-                    ChaseBudget::default()
-                )
-                .unwrap()
-                .is_implied());
+                assert!(
+                    implies(std::slice::from_ref(&td), &weaker, ChaseBudget::default())
+                        .unwrap()
+                        .is_implied()
+                );
             }
         }
     }

@@ -40,14 +40,22 @@ pub struct ChaseBudget {
 
 impl Default for ChaseBudget {
     fn default() -> Self {
-        Self { max_steps: 10_000, max_rows: 10_000, max_rounds: 1_000 }
+        Self {
+            max_steps: 10_000,
+            max_rows: 10_000,
+            max_rounds: 1_000,
+        }
     }
 }
 
 impl ChaseBudget {
     /// A tiny budget, handy in tests.
     pub fn small() -> Self {
-        Self { max_steps: 100, max_rows: 200, max_rounds: 50 }
+        Self {
+            max_steps: 100,
+            max_rows: 200,
+            max_rounds: 50,
+        }
     }
 
     /// An effectively unlimited budget (use only when termination is
@@ -143,11 +151,7 @@ impl<'a> ChaseEngine<'a> {
     ///
     /// This is the manual interface used by guided chases (e.g. the
     /// reduction's part (A) replay); [`ChaseEngine::run`] uses it too.
-    pub fn fire(
-        &mut self,
-        td_index: usize,
-        binding: &Binding,
-    ) -> Result<(Tuple, bool)> {
+    pub fn fire(&mut self, td_index: usize, binding: &Binding) -> Result<(Tuple, bool)> {
         let td = self.tds.get(td_index).ok_or_else(|| {
             CoreError::ProofReplay(format!("dependency index {td_index} out of range"))
         })?;
@@ -224,15 +228,12 @@ impl<'a> ChaseEngine<'a> {
             // Snapshot the active triggers against the current state.
             let mut pending: Vec<(usize, Binding)> = Vec::new();
             let snapshot = self.state.clone();
-            let remaining_steps =
-                self.budget.max_steps.saturating_sub(self.steps_fired);
+            let remaining_steps = self.budget.max_steps.saturating_sub(self.steps_fired);
             for (i, td) in self.tds.iter().enumerate() {
                 let seed = Binding::new(td.arity());
                 for_each_match(td.antecedents(), &snapshot, &seed, |b| {
                     let active = match self.policy {
-                        ChasePolicy::Restricted => {
-                            !conclusion_witnessed(&snapshot, td, b)
-                        }
+                        ChasePolicy::Restricted => !conclusion_witnessed(&snapshot, td, b),
                         ChasePolicy::Oblivious => true,
                     };
                     if active {
@@ -259,11 +260,7 @@ impl<'a> ChaseEngine<'a> {
                 }
                 // Re-check activeness against the *current* state.
                 if self.policy == ChasePolicy::Restricted
-                    && conclusion_witnessed(
-                        &self.state,
-                        &self.tds[td_index],
-                        &binding,
-                    )
+                    && conclusion_witnessed(&self.state, &self.tds[td_index], &binding)
                 {
                     continue;
                 }
@@ -379,13 +376,8 @@ mod tests {
         let tds = vec![td];
         let mut initial = Instance::new(schema2());
         initial.insert_values([0, 0]).unwrap();
-        let mut engine = ChaseEngine::new(
-            &tds,
-            initial,
-            ChasePolicy::Oblivious,
-            ChaseBudget::small(),
-        )
-        .unwrap();
+        let mut engine =
+            ChaseEngine::new(&tds, initial, ChasePolicy::Oblivious, ChaseBudget::small()).unwrap();
         assert_eq!(engine.run(None), ChaseOutcome::BudgetExhausted);
         assert!(engine.steps_fired() > 0);
     }
@@ -438,8 +430,16 @@ mod tests {
         // Bound but absent tuple.
         let mut b = Binding::new(2);
         use crate::ids::{AttrId, Var};
-        b.bind(AttrId::new(0), td.antecedents()[0].get(AttrId::new(0)), Value::new(3));
-        b.bind(AttrId::new(1), td.antecedents()[0].get(AttrId::new(1)), Value::new(3));
+        b.bind(
+            AttrId::new(0),
+            td.antecedents()[0].get(AttrId::new(0)),
+            Value::new(3),
+        );
+        b.bind(
+            AttrId::new(1),
+            td.antecedents()[0].get(AttrId::new(1)),
+            Value::new(3),
+        );
         let err = engine.fire(0, &b).unwrap_err();
         assert!(matches!(err, CoreError::ProofReplay(_)));
         let _ = Var::new(0); // silence unused import in cfg(test)
@@ -458,7 +458,12 @@ mod tests {
         let tds = vec![td];
         let initial = Instance::new(other);
         assert!(matches!(
-            ChaseEngine::new(&tds, initial, ChasePolicy::Restricted, ChaseBudget::default()),
+            ChaseEngine::new(
+                &tds,
+                initial,
+                ChasePolicy::Restricted,
+                ChaseBudget::default()
+            ),
             Err(CoreError::SchemaMismatch { .. })
         ));
     }

@@ -79,7 +79,9 @@ impl Goal {
 /// Full TDs produce no special edges at all, which is the structural reason
 /// the full-TD inference problem is decidable ([`crate::inference::implies_full`]).
 pub fn weakly_acyclic(tds: &[Td]) -> bool {
-    let Some(first) = tds.first() else { return true };
+    let Some(first) = tds.first() else {
+        return true;
+    };
     let n = first.arity();
     // adj[c] = columns c' with a special edge c -> c'.
     let mut adj = vec![vec![false; n]; n];

@@ -55,12 +55,7 @@ impl ChaseProof {
     /// antecedents into the current state, (b) the recorded row is exactly
     /// the conclusion under that binding, and (c) if a goal is recorded, the
     /// final state contains it. Returns the final state.
-    pub fn verify(
-        &self,
-        initial: &Instance,
-        tds: &[Td],
-        goal: Option<&Goal>,
-    ) -> Result<Instance> {
+    pub fn verify(&self, initial: &Instance, tds: &[Td], goal: Option<&Goal>) -> Result<Instance> {
         let mut state = initial.clone();
         for (i, step) in self.steps.iter().enumerate() {
             let td = tds.get(step.td_index).ok_or_else(|| {
@@ -69,13 +64,8 @@ impl ChaseProof {
                     step.td_index
                 ))
             })?;
-            let binding =
-                Binding::from_entries(td.arity(), step.binding.iter().copied())
-                    .ok_or_else(|| {
-                        CoreError::ProofReplay(format!(
-                            "step {i}: inconsistent binding"
-                        ))
-                    })?;
+            let binding = Binding::from_entries(td.arity(), step.binding.iter().copied())
+                .ok_or_else(|| CoreError::ProofReplay(format!("step {i}: inconsistent binding")))?;
             // (a) every antecedent row must be present under the binding.
             for (r, row) in td.antecedents().iter().enumerate() {
                 let mut vals = Vec::with_capacity(td.arity());

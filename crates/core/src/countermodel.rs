@@ -31,7 +31,11 @@ pub struct SearchOptions {
 
 impl Default for SearchOptions {
     fn default() -> Self {
-        Self { max_rows: 4, max_values_per_column: 4, max_candidates: 2_000_000 }
+        Self {
+            max_rows: 4,
+            max_values_per_column: 4,
+            max_candidates: 2_000_000,
+        }
     }
 }
 
@@ -156,10 +160,14 @@ pub fn search_countermodel(d: &[Td], d0: &Td, opts: &SearchOptions) -> SearchOut
             return SearchOutcome::Found(m);
         }
         if search.budget_hit {
-            return SearchOutcome::ExhaustedBudget { candidates: total_candidates };
+            return SearchOutcome::ExhaustedBudget {
+                candidates: total_candidates,
+            };
         }
     }
-    SearchOutcome::ExhaustedBounds { candidates: total_candidates }
+    SearchOutcome::ExhaustedBounds {
+        candidates: total_candidates,
+    }
 }
 
 #[cfg(test)]
@@ -215,11 +223,7 @@ mod tests {
             .unwrap()
             .build("join-b")
             .unwrap();
-        let outcome = search_countermodel(
-            std::slice::from_ref(&d),
-            &d0,
-            &SearchOptions::default(),
-        );
+        let outcome = search_countermodel(std::slice::from_ref(&d), &d0, &SearchOptions::default());
         let model = outcome.model().expect("countermodel must exist");
         assert!(satisfies(model, &d));
         assert!(!satisfies(model, &d0));
@@ -239,7 +243,11 @@ mod tests {
             .unwrap()
             .build("d")
             .unwrap();
-        let opts = SearchOptions { max_rows: 3, max_values_per_column: 3, ..Default::default() };
+        let opts = SearchOptions {
+            max_rows: 3,
+            max_values_per_column: 3,
+            ..Default::default()
+        };
         let outcome = search_countermodel(std::slice::from_ref(&d), &d, &opts);
         assert!(matches!(outcome, SearchOutcome::ExhaustedBounds { .. }));
     }

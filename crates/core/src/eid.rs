@@ -55,7 +55,12 @@ impl Eid {
                 });
             }
         }
-        Ok(Self { schema, name: name.into(), antecedents, conclusions })
+        Ok(Self {
+            schema,
+            name: name.into(),
+            antecedents,
+            conclusions,
+        })
     }
 
     /// Embeds a template dependency (an EID with a single conclusion atom).
@@ -116,8 +121,7 @@ impl Eid {
 
     /// `true` if every conclusion component is universally quantified.
     pub fn is_full(&self) -> bool {
-        (0..self.conclusions.len())
-            .all(|r| self.schema.attr_ids().all(|c| self.is_universal(r, c)))
+        (0..self.conclusions.len()).all(|r| self.schema.attr_ids().all(|c| self.is_universal(r, c)))
     }
 }
 
@@ -125,11 +129,7 @@ impl Eid {
 /// `binding`. Existential variables shared between conclusion atoms must be
 /// instantiated consistently — this is exactly a homomorphism search seeded
 /// with the antecedent binding.
-pub fn eid_conclusion_witnessed(
-    instance: &Instance,
-    eid: &Eid,
-    binding: &Binding,
-) -> bool {
+pub fn eid_conclusion_witnessed(instance: &Instance, eid: &Eid, binding: &Binding) -> bool {
     match_first(eid.conclusions(), instance, binding).is_some()
 }
 
@@ -195,9 +195,7 @@ pub fn implies_eid(d: &[Eid], d0: &Eid, budget: ChaseBudget) -> Result<EidVerdic
         state.insert(Tuple::new(vals))?;
     }
 
-    let goal_met = |state: &Instance| -> bool {
-        eid_conclusion_witnessed(state, d0, &frozen)
-    };
+    let goal_met = |state: &Instance| -> bool { eid_conclusion_witnessed(state, d0, &frozen) };
 
     if goal_met(&state) {
         return Ok(EidVerdict::Implied);
@@ -399,8 +397,7 @@ mod tests {
     fn eid_self_implication() {
         let eid = paper_eid();
         let verdict =
-            implies_eid(std::slice::from_ref(&eid), &eid, ChaseBudget::default())
-                .unwrap();
+            implies_eid(std::slice::from_ref(&eid), &eid, ChaseBudget::default()).unwrap();
         assert_eq!(verdict, EidVerdict::Implied);
     }
 
@@ -421,8 +418,7 @@ mod tests {
                 .unwrap(),
         );
         let verdict =
-            implies_eid(std::slice::from_ref(&eid), &weaker, ChaseBudget::default())
-                .unwrap();
+            implies_eid(std::slice::from_ref(&eid), &weaker, ChaseBudget::default()).unwrap();
         assert_eq!(verdict, EidVerdict::Implied);
     }
 
@@ -441,9 +437,7 @@ mod tests {
                 .build("fig1")
                 .unwrap(),
         );
-        match implies_eid(std::slice::from_ref(&fig1), &eid, ChaseBudget::default())
-            .unwrap()
-        {
+        match implies_eid(std::slice::from_ref(&fig1), &eid, ChaseBudget::default()).unwrap() {
             EidVerdict::NotImplied(model) => {
                 assert!(eid_satisfies(&model, &fig1));
                 assert!(!eid_satisfies(&model, &eid));

@@ -71,7 +71,10 @@ impl EqInstance {
         if r.index() < self.n_rows {
             Ok(())
         } else {
-            Err(CoreError::RowOutOfRange { row: r.index(), len: self.n_rows })
+            Err(CoreError::RowOutOfRange {
+                row: r.index(),
+                len: self.n_rows,
+            })
         }
     }
 
@@ -111,12 +114,11 @@ impl EqInstance {
     /// labelled with a dense per-column value.
     pub fn to_instance(&self) -> Instance {
         let mut inst = Instance::new(self.schema.clone());
-        let labels: Vec<Vec<u32>> =
-            self.parts.iter().map(|uf| uf.dense_labels()).collect();
+        let labels: Vec<Vec<u32>> = self.parts.iter().map(|uf| uf.dense_labels()).collect();
         for row in 0..self.n_rows {
-            let tuple =
-                Tuple::from_raw(labels.iter().map(|col_labels| col_labels[row]));
-            inst.insert(tuple).expect("arity is schema arity by construction");
+            let tuple = Tuple::from_raw(labels.iter().map(|col_labels| col_labels[row]));
+            inst.insert(tuple)
+                .expect("arity is schema arity by construction");
         }
         inst
     }
@@ -129,8 +131,7 @@ impl EqInstance {
     pub fn from_instance(inst: &Instance) -> Self {
         let mut eq = EqInstance::new(inst.schema().clone(), inst.len());
         for col in inst.schema().attr_ids() {
-            let mut first_with: std::collections::HashMap<u32, usize> =
-                Default::default();
+            let mut first_with: std::collections::HashMap<u32, usize> = Default::default();
             for (row, t) in inst.rows() {
                 let v = t.get(col).raw();
                 match first_with.entry(v) {
@@ -154,11 +155,15 @@ impl EqInstance {
 
 impl std::fmt::Display for EqInstance {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{} [{} rows, partition view]", self.schema.summary(), self.n_rows)?;
+        writeln!(
+            f,
+            "{} [{} rows, partition view]",
+            self.schema.summary(),
+            self.n_rows
+        )?;
         for (col, name) in self.schema.attrs() {
             let cls = self.classes(col);
-            let nontrivial: Vec<&Vec<usize>> =
-                cls.iter().filter(|c| c.len() > 1).collect();
+            let nontrivial: Vec<&Vec<usize>> = cls.iter().filter(|c| c.len() > 1).collect();
             write!(f, "  {name}: ")?;
             if nontrivial.is_empty() {
                 writeln!(f, "trivial")?;
@@ -239,8 +244,10 @@ mod tests {
     #[test]
     fn to_instance_preserves_agreement_pattern() {
         let mut eq = EqInstance::new(schema(), 3);
-        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(2)).unwrap();
-        eq.merge(AttrId::new(1), RowId::new(1), RowId::new(2)).unwrap();
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(2))
+            .unwrap();
+        eq.merge(AttrId::new(1), RowId::new(1), RowId::new(2))
+            .unwrap();
         let inst = eq.to_instance();
         assert_eq!(inst.len(), 3);
         let ts: Vec<&Tuple> = inst.tuples().collect();
@@ -253,8 +260,10 @@ mod tests {
     #[test]
     fn roundtrip_through_instance() {
         let mut eq = EqInstance::new(schema(), 4);
-        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1)).unwrap();
-        eq.merge(AttrId::new(1), RowId::new(2), RowId::new(3)).unwrap();
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1))
+            .unwrap();
+        eq.merge(AttrId::new(1), RowId::new(2), RowId::new(3))
+            .unwrap();
         let back = EqInstance::from_instance(&eq.to_instance());
         assert_eq!(back.len(), 4);
         for col in [AttrId::new(0), AttrId::new(1)] {
@@ -273,7 +282,8 @@ mod tests {
     #[test]
     fn display_mentions_nontrivial_classes() {
         let mut eq = EqInstance::new(schema(), 3);
-        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1)).unwrap();
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1))
+            .unwrap();
         let s = eq.to_string();
         assert!(s.contains("A: {0,1}"));
         assert!(s.contains("B: trivial"));

@@ -65,12 +65,19 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: expected {expected} components, got {got}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} components, got {got}"
+                )
             }
             CoreError::EmptySchema => write!(f, "schema must have at least one attribute"),
             CoreError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
             CoreError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
-            CoreError::TypingViolation { name, first_column, second_column } => write!(
+            CoreError::TypingViolation {
+                name,
+                first_column,
+                second_column,
+            } => write!(
                 f,
                 "typing violation: variable `{name}` used in columns `{first_column}` and \
                  `{second_column}` (attribute domains are disjoint)"
@@ -105,7 +112,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::ArityMismatch { expected: 3, got: 2 };
+        let e = CoreError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         let e = CoreError::TypingViolation {
             name: "x".into(),

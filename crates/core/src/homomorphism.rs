@@ -28,7 +28,9 @@ pub struct Binding {
 impl Binding {
     /// An empty binding for an `arity`-column schema.
     pub fn new(arity: usize) -> Self {
-        Self { cols: vec![HashMap::new(); arity] }
+        Self {
+            cols: vec![HashMap::new(); arity],
+        }
     }
 
     /// The value bound to `var` in `col`, if any.
@@ -151,12 +153,7 @@ where
 /// Visits every extension of `seed` that maps all of `pattern` into
 /// `target`. The visitor returns `ControlFlow::Break(())` to stop early.
 /// Returns `true` if the enumeration ran to completion.
-pub fn for_each_match<F>(
-    pattern: &[TdRow],
-    target: &Instance,
-    seed: &Binding,
-    mut visit: F,
-) -> bool
+pub fn for_each_match<F>(pattern: &[TdRow], target: &Instance, seed: &Binding, mut visit: F) -> bool
 where
     F: FnMut(&Binding) -> ControlFlow<()>,
 {
@@ -165,11 +162,7 @@ where
 }
 
 /// The first matching extension of `seed`, if any.
-pub fn match_first(
-    pattern: &[TdRow],
-    target: &Instance,
-    seed: &Binding,
-) -> Option<Binding> {
+pub fn match_first(pattern: &[TdRow], target: &Instance, seed: &Binding) -> Option<Binding> {
     let mut found = None;
     for_each_match(pattern, target, seed, |b| {
         found = Some(b.clone());
@@ -210,11 +203,7 @@ pub fn match_all(
 /// every model of the dependencies containing the initial instance, by a
 /// hom that is the identity on the initial values. That is why
 /// [`crate::inference::InferenceVerdict::NotImplied`] is conclusive.
-pub fn instance_hom_fixing(
-    a: &Instance,
-    b: &Instance,
-    fixed: &Instance,
-) -> Option<Binding> {
+pub fn instance_hom_fixing(a: &Instance, b: &Instance, fixed: &Instance) -> Option<Binding> {
     if a.schema() != b.schema() || a.schema() != fixed.schema() {
         return None;
     }
@@ -248,12 +237,7 @@ pub fn hom_embeds_fixing(a: &Instance, b: &Instance, fixed: &Instance) -> bool {
 }
 
 /// Counts matches, up to `limit`.
-pub fn count_matches(
-    pattern: &[TdRow],
-    target: &Instance,
-    seed: &Binding,
-    limit: usize,
-) -> usize {
+pub fn count_matches(pattern: &[TdRow], target: &Instance, seed: &Binding, limit: usize) -> usize {
     let mut n = 0usize;
     for_each_match(pattern, target, seed, |_| {
         n += 1;

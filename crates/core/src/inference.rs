@@ -21,8 +21,7 @@
 //! fragment the paper contrasts against).
 
 use crate::chase::{
-    weakly_acyclic, ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof,
-    Goal,
+    weakly_acyclic, ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal,
 };
 use crate::error::{CoreError, Result};
 use crate::homomorphism::Binding;
@@ -111,8 +110,7 @@ pub fn implies(d: &[Td], d0: &Td, budget: ChaseBudget) -> Result<InferenceVerdic
         d0.schema().expect_same(td.schema())?;
     }
     let (frozen, _, goal) = freeze(d0)?;
-    let mut engine =
-        ChaseEngine::new(d, frozen, ChasePolicy::Restricted, budget)?;
+    let mut engine = ChaseEngine::new(d, frozen, ChasePolicy::Restricted, budget)?;
     match engine.run(Some(&goal)) {
         ChaseOutcome::GoalReached => {
             let (_, proof) = engine.into_parts();
@@ -305,12 +303,10 @@ mod tests {
             .build("d1")
             .unwrap();
         // d0: the weaker fig1 (existential supplier). d1 ⊨ d0.
-        let verdict =
-            implies(std::slice::from_ref(&d1), &fig1(), ChaseBudget::default()).unwrap();
+        let verdict = implies(std::slice::from_ref(&d1), &fig1(), ChaseBudget::default()).unwrap();
         assert!(verdict.is_implied(), "{verdict:?}");
         // And not conversely: fig1 ⊭ d1.
-        let verdict =
-            implies(std::slice::from_ref(&fig1()), &d1, ChaseBudget::default()).unwrap();
+        let verdict = implies(std::slice::from_ref(&fig1()), &d1, ChaseBudget::default()).unwrap();
         match verdict {
             InferenceVerdict::NotImplied(model) => {
                 assert!(satisfies(&model, &fig1()));
@@ -391,7 +387,11 @@ mod tests {
             .unwrap()
             .build("d0")
             .unwrap();
-        let budget = ChaseBudget { max_steps: 50, max_rows: 100, max_rounds: 5 };
+        let budget = ChaseBudget {
+            max_steps: 50,
+            max_rows: 100,
+            max_rounds: 5,
+        };
         let verdict = implies(&[t1, t2], &d0, budget).unwrap();
         match verdict {
             InferenceVerdict::Unknown(report) => {
@@ -432,9 +432,15 @@ mod tests {
             .unwrap()
             .build("d0")
             .unwrap();
-        let budget = ChaseBudget { max_steps: 50, max_rows: 100, max_rounds: 5 };
+        let budget = ChaseBudget {
+            max_steps: 50,
+            max_rows: 100,
+            max_rounds: 5,
+        };
         // Plain chase: unknown.
-        assert!(implies(&[t1.clone(), t2.clone()], &d0, budget).unwrap().is_unknown());
+        assert!(implies(&[t1.clone(), t2.clone()], &d0, budget)
+            .unwrap()
+            .is_unknown());
         // Dovetailed: refuted by a small finite model.
         let search = crate::countermodel::SearchOptions {
             max_rows: 3,

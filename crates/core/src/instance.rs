@@ -92,10 +92,12 @@ impl Instance {
 
     /// The tuple at `row`.
     pub fn get(&self, row: RowId) -> Result<&Tuple> {
-        self.tuples.get(row.index()).ok_or(CoreError::RowOutOfRange {
-            row: row.index(),
-            len: self.tuples.len(),
-        })
+        self.tuples
+            .get(row.index())
+            .ok_or(CoreError::RowOutOfRange {
+                row: row.index(),
+                len: self.tuples.len(),
+            })
     }
 
     /// Iterates over rows in insertion order.
@@ -137,10 +139,7 @@ impl Instance {
     }
 
     /// Builds an instance from an iterator of tuples.
-    pub fn from_tuples(
-        schema: Schema,
-        tuples: impl IntoIterator<Item = Tuple>,
-    ) -> Result<Self> {
+    pub fn from_tuples(schema: Schema, tuples: impl IntoIterator<Item = Tuple>) -> Result<Self> {
         let mut inst = Self::new(schema);
         for t in tuples {
             inst.insert(t)?;
@@ -198,7 +197,10 @@ mod tests {
         let mut inst = Instance::new(schema());
         assert_eq!(
             inst.insert_values([1, 2]).unwrap_err(),
-            CoreError::ArityMismatch { expected: 3, got: 2 }
+            CoreError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
         );
     }
 

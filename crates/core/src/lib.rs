@@ -63,7 +63,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod axioms;
@@ -88,9 +88,7 @@ pub mod union_find;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::chase::{
-        ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal,
-    };
+    pub use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal};
     pub use crate::diagram::Diagram;
     pub use crate::eid::Eid;
     pub use crate::eq_instance::EqInstance;

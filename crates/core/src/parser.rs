@@ -45,7 +45,10 @@ pub struct ParsedFile {
 }
 
 fn err(line: usize, msg: impl Into<String>) -> CoreError {
-    CoreError::Parse { line, msg: msg.into() }
+    CoreError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Splits `(a, b) (c, d)`-style text into tuples of tokens.
@@ -113,10 +116,7 @@ fn parse_schema(body: &str, line: usize) -> Result<Schema> {
     if relation.is_empty() {
         return Err(err(line, "schema needs a relation name"));
     }
-    let attrs: Vec<&str> = body[open + 1..close]
-        .split(',')
-        .map(str::trim)
-        .collect();
+    let attrs: Vec<&str> = body[open + 1..close].split(',').map(str::trim).collect();
     if attrs.iter().any(|a| a.is_empty()) {
         return Err(err(line, "empty attribute name in schema"));
     }
@@ -193,7 +193,11 @@ pub fn parse(text: &str) -> Result<ParsedFile> {
                 builder = builder
                     .conclusion(concl_tuples[0].iter().map(String::as_str))
                     .map_err(|e| err(line_no, e.to_string()))?;
-                tds.push(builder.build(name).map_err(|e| err(line_no, e.to_string()))?);
+                tds.push(
+                    builder
+                        .build(name)
+                        .map_err(|e| err(line_no, e.to_string()))?,
+                );
             }
             "eid" => {
                 let schema = schema
@@ -248,8 +252,7 @@ pub fn parse(text: &str) -> Result<ParsedFile> {
 
     let schema = schema.ok_or_else(|| err(1, "missing `schema` declaration"))?;
     let mut instance = Instance::new(schema.clone());
-    let mut value_names: Vec<HashMap<String, Value>> =
-        vec![HashMap::new(); schema.arity()];
+    let mut value_names: Vec<HashMap<String, Value>> = vec![HashMap::new(); schema.arity()];
     for (line_no, tokens) in rows {
         if tokens.len() != schema.arity() {
             return Err(err(
@@ -274,7 +277,13 @@ pub fn parse(text: &str) -> Result<ParsedFile> {
             .map_err(|e| err(line_no, e.to_string()))?;
     }
 
-    Ok(ParsedFile { schema, tds, eids, instance, value_names })
+    Ok(ParsedFile {
+        schema,
+        tds,
+        eids,
+        instance,
+        value_names,
+    })
 }
 
 #[cfg(test)]
@@ -314,10 +323,7 @@ row (stlaurent, brief, s36)
 
     #[test]
     fn value_interning_is_per_column() {
-        let f = parse(
-            "schema R(A, B)\nrow (x, x)\nrow (x, y)\n",
-        )
-        .unwrap();
+        let f = parse("schema R(A, B)\nrow (x, x)\nrow (x, y)\n").unwrap();
         assert_eq!(f.instance.len(), 2);
         // `x` in column A and `x` in column B are distinct domains but both
         // intern to id 0 within their column.

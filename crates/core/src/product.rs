@@ -49,7 +49,10 @@ pub fn direct_product(a: &Instance, b: &Instance) -> Result<(Instance, PairInter
 
 /// The `k`-th direct power of `a` (`k ≥ 1`).
 pub fn direct_power(a: &Instance, k: usize) -> Result<Instance> {
-    assert!(k >= 1, "the zeroth power is the empty product, undefined here");
+    assert!(
+        k >= 1,
+        "the zeroth power is the empty product, undefined here"
+    );
     let mut acc = a.clone();
     for _ in 1..k {
         acc = direct_product(&acc, a)?.0;
@@ -103,9 +106,18 @@ mod tests {
         // differ, so the product rows must disagree on A.
         let ts: Vec<&Tuple> = p.tuples().collect();
         // Row order: (m0,n0), (m0,n1), (m1,n0), (m1,n1).
-        assert!(ts[0].agrees_on(ts[1], crate::ids::AttrId::new(1)), "B: (0,5)=(0,5)");
-        assert!(!ts[0].agrees_on(ts[1], crate::ids::AttrId::new(0)), "A: (0,5)≠(0,6)");
-        assert!(ts[0].agrees_on(ts[2], crate::ids::AttrId::new(0)), "A: (0,5)=(0,5)");
+        assert!(
+            ts[0].agrees_on(ts[1], crate::ids::AttrId::new(1)),
+            "B: (0,5)=(0,5)"
+        );
+        assert!(
+            !ts[0].agrees_on(ts[1], crate::ids::AttrId::new(0)),
+            "A: (0,5)≠(0,6)"
+        );
+        assert!(
+            ts[0].agrees_on(ts[2], crate::ids::AttrId::new(0)),
+            "A: (0,5)=(0,5)"
+        );
     }
 
     #[test]

@@ -101,10 +101,7 @@ pub fn diagram_to_dot(d: &Diagram, graph_name: &str) -> String {
 /// witness, as produced by
 /// [`find_violation`](crate::satisfaction::find_violation)) as a
 /// human-readable report: the matched tuples and the missing one.
-pub fn render_violation(
-    td: &Td,
-    binding: &crate::homomorphism::Binding,
-) -> String {
+pub fn render_violation(td: &Td, binding: &crate::homomorphism::Binding) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "violation of {}:", td.name());
     for (i, row) in td.antecedents().iter().enumerate() {

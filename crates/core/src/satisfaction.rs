@@ -24,19 +24,14 @@ pub fn conclusion_witnessed(instance: &Instance, td: &Td, binding: &Binding) -> 
 /// witness. Returns `None` if `instance ⊨ td`.
 pub fn find_violation(instance: &Instance, td: &Td) -> Option<Binding> {
     let mut violation = None;
-    for_each_match(
-        td.antecedents(),
-        instance,
-        &Binding::new(td.arity()),
-        |b| {
-            if conclusion_witnessed(instance, td, b) {
-                ControlFlow::Continue(())
-            } else {
-                violation = Some(b.clone());
-                ControlFlow::Break(())
-            }
-        },
-    );
+    for_each_match(td.antecedents(), instance, &Binding::new(td.arity()), |b| {
+        if conclusion_witnessed(instance, td, b) {
+            ControlFlow::Continue(())
+        } else {
+            violation = Some(b.clone());
+            ControlFlow::Break(())
+        }
+    });
     violation
 }
 
@@ -46,20 +41,15 @@ pub fn violations(instance: &Instance, td: &Td, limit: usize) -> Vec<Binding> {
     if limit == 0 {
         return out;
     }
-    for_each_match(
-        td.antecedents(),
-        instance,
-        &Binding::new(td.arity()),
-        |b| {
-            if !conclusion_witnessed(instance, td, b) {
-                out.push(b.clone());
-                if out.len() >= limit {
-                    return ControlFlow::Break(());
-                }
+    for_each_match(td.antecedents(), instance, &Binding::new(td.arity()), |b| {
+        if !conclusion_witnessed(instance, td, b) {
+            out.push(b.clone());
+            if out.len() >= limit {
+                return ControlFlow::Break(());
             }
-            ControlFlow::Continue(())
-        },
-    );
+        }
+        ControlFlow::Continue(())
+    });
     out
 }
 
@@ -69,10 +59,7 @@ pub fn satisfies(instance: &Instance, td: &Td) -> bool {
 }
 
 /// `true` if `instance` satisfies every dependency in `tds`.
-pub fn satisfies_all<'a>(
-    instance: &Instance,
-    tds: impl IntoIterator<Item = &'a Td>,
-) -> bool {
+pub fn satisfies_all<'a>(instance: &Instance, tds: impl IntoIterator<Item = &'a Td>) -> bool {
     tds.into_iter().all(|td| satisfies(instance, td))
 }
 
@@ -210,7 +197,8 @@ mod tests {
         let td = fig1();
         let mut eq = EqInstance::new(schema(), 2);
         // Two rows sharing a supplier.
-        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1)).unwrap();
+        eq.merge(AttrId::new(0), RowId::new(0), RowId::new(1))
+            .unwrap();
         assert!(!eq_satisfies(&eq, &td));
     }
 }

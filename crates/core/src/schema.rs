@@ -36,7 +36,10 @@ impl Schema {
                 return Err(CoreError::DuplicateAttribute(a.clone()));
             }
         }
-        Ok(Self { relation: relation.into(), attrs })
+        Ok(Self {
+            relation: relation.into(),
+            attrs,
+        })
     }
 
     /// The relation name.

@@ -35,7 +35,9 @@ pub struct TdRow {
 impl TdRow {
     /// Creates a row from per-column variables.
     pub fn new(cells: impl IntoIterator<Item = Var>) -> Self {
-        Self { cells: cells.into_iter().collect() }
+        Self {
+            cells: cells.into_iter().collect(),
+        }
     }
 
     /// Creates a row from raw `u32` variable ids.
@@ -100,7 +102,12 @@ impl Td {
                 });
             }
         }
-        Ok(Self { schema, name: name.into(), antecedents, conclusion })
+        Ok(Self {
+            schema,
+            name: name.into(),
+            antecedents,
+            conclusion,
+        })
     }
 
     /// The schema.
@@ -172,9 +179,9 @@ impl Td {
     /// on every universally quantified column).
     pub fn is_trivial(&self) -> bool {
         self.antecedents.iter().any(|row| {
-            self.schema.attr_ids().all(|c| {
-                self.is_existential_at(c) || row.get(c) == self.conclusion.get(c)
-            })
+            self.schema
+                .attr_ids()
+                .all(|c| self.is_existential_at(c) || row.get(c) == self.conclusion.get(c))
         })
     }
 
@@ -186,9 +193,7 @@ impl Td {
         let arity = self.arity();
         let mut rename: Vec<HashMap<Var, Var>> = vec![HashMap::new(); arity];
         let mut next: Vec<u32> = vec![0; arity];
-        let map_row = |row: &TdRow,
-                           rename: &mut Vec<HashMap<Var, Var>>,
-                           next: &mut Vec<u32>| {
+        let map_row = |row: &TdRow, rename: &mut Vec<HashMap<Var, Var>>, next: &mut Vec<u32>| {
             TdRow::new(row.components().map(|(c, v)| {
                 *rename[c.index()].entry(v).or_insert_with(|| {
                     let nv = Var::new(next[c.index()]);
@@ -233,7 +238,11 @@ impl Td {
     /// fresh variables for transformations.
     pub fn max_var_per_column(&self) -> Vec<Option<Var>> {
         let mut out: Vec<Option<Var>> = vec![None; self.arity()];
-        for row in self.antecedents.iter().chain(std::iter::once(&self.conclusion)) {
+        for row in self
+            .antecedents
+            .iter()
+            .chain(std::iter::once(&self.conclusion))
+        {
             for (c, v) in row.components() {
                 let slot = &mut out[c.index()];
                 *slot = Some(match *slot {
@@ -496,11 +505,23 @@ mod tests {
     #[test]
     fn arity_mismatch_rejected() {
         let err = TdBuilder::new(schema()).antecedent(["a", "b"]).unwrap_err();
-        assert_eq!(err, CoreError::ArityMismatch { expected: 3, got: 2 });
+        assert_eq!(
+            err,
+            CoreError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
         let err = TdBuilder::new(schema())
             .antecedent(["a", "b", "c", "d"])
             .unwrap_err();
-        assert_eq!(err, CoreError::ArityMismatch { expected: 3, got: 4 });
+        assert_eq!(
+            err,
+            CoreError::ArityMismatch {
+                expected: 3,
+                got: 4
+            }
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub struct Tuple {
 impl Tuple {
     /// Creates a tuple from values.
     pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
-        Self { values: values.into_iter().collect() }
+        Self {
+            values: values.into_iter().collect(),
+        }
     }
 
     /// Creates a tuple from raw `u32` value ids.

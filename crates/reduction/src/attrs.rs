@@ -37,9 +37,7 @@ impl ReductionAttrs {
             .collect();
         // Pick a base name for E that cannot collide with any primed name.
         let mut base = "E".to_owned();
-        while symbol_attr_names.contains(&format!("{base}'"))
-            || symbol_attr_names.contains(&base)
-        {
+        while symbol_attr_names.contains(&format!("{base}'")) || symbol_attr_names.contains(&base) {
             base.insert(0, '_');
         }
         let e_name = base.clone();

@@ -46,7 +46,11 @@ impl Bridge {
             eq.merge(attrs.prime(sym), apexes[i], base[i])?;
             eq.merge(attrs.dprime(sym), apexes[i], base[i + 1])?;
         }
-        Ok(Bridge { word: word.clone(), base, apexes })
+        Ok(Bridge {
+            word: word.clone(),
+            base,
+            apexes,
+        })
     }
 
     /// The represented word.

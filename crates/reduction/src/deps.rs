@@ -265,7 +265,11 @@ pub fn build_system(p: &Presentation) -> Result<ReductionSystem> {
         eq_to_rule.push(rules.len());
         dep_start.push(deps.len());
         if eq.is_two_one() {
-            let r = Rule2 { a: eq.lhs.get(0), b: eq.lhs.get(1), c: eq.rhs.get(0) };
+            let r = Rule2 {
+                a: eq.lhs.get(0),
+                b: eq.lhs.get(1),
+                c: eq.rhs.get(0),
+            };
             rules.push(Rule::Product(r));
             deps.push(build_d1(&attrs, r)?);
             deps.push(build_d2(&attrs, r)?);
@@ -283,7 +287,14 @@ pub fn build_system(p: &Presentation) -> Result<ReductionSystem> {
         }
     }
     let d0 = build_d0(&attrs)?;
-    Ok(ReductionSystem { attrs, rules, eq_to_rule, deps, dep_start, d0 })
+    Ok(ReductionSystem {
+        attrs,
+        rules,
+        eq_to_rule,
+        deps,
+        dep_start,
+        d0,
+    })
 }
 
 #[cfg(test)]
@@ -337,7 +348,9 @@ mod tests {
     #[test]
     fn d1_shape_matches_reconstruction() {
         let sys = example_system();
-        let Rule::Product(r) = sys.rules[0] else { panic!("product rule") }; // A1 A1 = A0
+        let Rule::Product(r) = sys.rules[0] else {
+            panic!("product rule")
+        }; // A1 A1 = A0
         let d1 = sys.dep(0, 1);
         assert!(d1.is_embedded());
         // Existential columns: everything except E' (conclusion shares the
@@ -365,7 +378,9 @@ mod tests {
     #[test]
     fn d2_d3_shapes() {
         let sys = example_system();
-        let Rule::Product(r) = sys.rules[0] else { panic!("product rule") };
+        let Rule::Product(r) = sys.rules[0] else {
+            panic!("product rule")
+        };
         let d2 = sys.dep(0, 2);
         let d3 = sys.dep(0, 3);
         // D2 conclusion universal exactly at A' and E'.
@@ -393,7 +408,9 @@ mod tests {
     #[test]
     fn d4_conclusion_is_a_base_point() {
         let sys = example_system();
-        let Rule::Product(r) = sys.rules[0] else { panic!("product rule") };
+        let Rule::Product(r) = sys.rules[0] else {
+            panic!("product rule")
+        };
         let d4 = sys.dep(0, 4);
         // Conclusion universal at E (base row), A'' (foot of A-apex), B'
         // (foot of B-apex).
@@ -428,7 +445,9 @@ mod tests {
         let sys = example_system();
         assert!(!sys.d0.is_trivial());
         for (i, rule) in sys.rules.iter().enumerate() {
-            let Rule::Product(r) = *rule else { panic!("example is all products") };
+            let Rule::Product(r) = *rule else {
+                panic!("example is all products")
+            };
             assert!(!sys.dep(i, 1).is_trivial(), "{}", sys.dep(i, 1).name());
             assert!(!sys.dep(i, 4).is_trivial(), "{}", sys.dep(i, 4).name());
             assert_eq!(

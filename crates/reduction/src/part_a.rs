@@ -123,8 +123,7 @@ pub fn prove_part_a(
             // Forward uses D5 (a -> b), backward D6 (b -> a).
             let k = if step.forward { 1 } else { 2 };
             let dk = system.dep(rule_ix, k);
-            let binding =
-                binding_for(dk, &[&bases[i], &bases[i + 1], &apexes[i]])?;
+            let binding = binding_for(dk, &[&bases[i], &bases[i + 1], &apexes[i]])?;
             let (new_apex, _) = engine.fire(system.dep_index(rule_ix, k), &binding)?;
             apexes[i] = new_apex;
             continue;
@@ -140,7 +139,13 @@ pub fn prove_part_a(
             let d1 = system.dep(rule_ix, 1);
             let binding = binding_for(
                 d1,
-                &[&bases[i], &bases[i + 1], &bases[i + 2], &apexes[i], &apexes[i + 1]],
+                &[
+                    &bases[i],
+                    &bases[i + 1],
+                    &bases[i + 2],
+                    &apexes[i],
+                    &apexes[i + 1],
+                ],
             )?;
             let (new_apex, _) = engine.fire(system.dep_index(rule_ix, 1), &binding)?;
             bases.remove(i + 1);
@@ -176,12 +181,14 @@ pub fn prove_part_a(
         ));
     }
     let (state, mut proof) = engine.into_parts();
-    let goal_row = goal
-        .find_in(&state)
-        .expect("checked above");
+    let goal_row = goal.find_in(&state).expect("checked above");
     proof.goal_row = Some(state.get(goal_row)?.clone());
 
-    let out = PartAProof { frozen, goal, proof };
+    let out = PartAProof {
+        frozen,
+        goal,
+        proof,
+    };
     out.verify(system)?;
     Ok(out)
 }
@@ -204,7 +211,11 @@ pub fn prove_unguided(
     let rounds = engine.rounds_run();
     let proof = if outcome == ChaseOutcome::GoalReached {
         let (_, proof) = engine.into_parts();
-        let out = PartAProof { frozen, goal, proof };
+        let out = PartAProof {
+            frozen,
+            goal,
+            proof,
+        };
         out.verify(system)?;
         Some(out)
     } else {
@@ -251,7 +262,11 @@ mod tests {
     fn unguided_chase_agrees() {
         let p = derivable();
         let system = build_system(&p).unwrap();
-        let budget = ChaseBudget { max_steps: 5_000, max_rows: 5_000, max_rounds: 50 };
+        let budget = ChaseBudget {
+            max_steps: 5_000,
+            max_rows: 5_000,
+            max_rounds: 50,
+        };
         let (outcome, steps, _rounds, proof) = prove_unguided(&system, budget).unwrap();
         assert_eq!(outcome, ChaseOutcome::GoalReached);
         assert!(steps > 0);
@@ -279,11 +294,14 @@ mod tests {
         p.saturate_with_zero_equations();
         let r = search_goal_derivation(
             &p,
-            &SearchBudget { max_word_len: 8, max_states: 500_000 },
+            &SearchBudget {
+                max_word_len: 8,
+                max_states: 500_000,
+            },
         );
-        let derivation = r.derivation().expect(
-            "A0 => A1 A1 => (A2 A2) A1 => A2 (A2 A1) => A2 0 => 0",
-        );
+        let derivation = r
+            .derivation()
+            .expect("A0 => A1 A1 => (A2 A2) A1 => A2 (A2 A1) => A2 0 => 0");
         assert!(derivation.len() >= 4);
         let system = build_system(&p).unwrap();
         let proof = prove_part_a(&system, &p, derivation).unwrap();

@@ -97,9 +97,9 @@ pub fn build_counter_model(
     // Precondition checks — the paper's hypotheses, not assumptions.
     let alphabet = system.attrs.alphabet();
     interp.check_arity(alphabet)?;
-    let zero = g.zero().ok_or_else(|| {
-        RedError::Precondition("G must have a zero element".into())
-    })?;
+    let zero = g
+        .zero()
+        .ok_or_else(|| RedError::Precondition("G must have a zero element".into()))?;
     if g.identity().is_some() {
         return Err(RedError::Precondition("G must not have an identity".into()));
     }
@@ -158,9 +158,8 @@ pub fn build_counter_model(
     let n_rows = p_elems.len() + q_triples.len();
     let mut eq = EqInstance::new(system.attrs.schema().clone(), n_rows);
     let mut labels = Vec::with_capacity(n_rows);
-    let row_of_p = |e: Elem| -> RowId {
-        RowId::from(p_elems.iter().position(|&x| x == e).expect("e in P"))
-    };
+    let row_of_p =
+        |e: Elem| -> RowId { RowId::from(p_elems.iter().position(|&x| x == e).expect("e in P")) };
     for &e in &p_elems {
         labels.push(RowLabel::P(e));
     }
@@ -185,7 +184,13 @@ pub fn build_counter_model(
     }
 
     let instance = eq.to_instance();
-    Ok(CounterModel { eq_instance: eq, instance, labels, g_prime, identity })
+    Ok(CounterModel {
+        eq_instance: eq,
+        instance,
+        labels,
+        g_prime,
+        identity,
+    })
 }
 
 #[cfg(test)]
@@ -220,7 +225,10 @@ mod tests {
         assert_eq!(model.q_rows().count(), 1);
         assert!(!model.is_empty());
         // The paper's (NOT D0) witness: t1 = I, t2 = A0, t3 = <I, A0, A0>.
-        assert!(model.labels.iter().any(|l| matches!(l, RowLabel::P(e) if *e == model.identity)));
+        assert!(model
+            .labels
+            .iter()
+            .any(|l| matches!(l, RowLabel::P(e) if *e == model.identity)));
     }
 
     #[test]
@@ -234,10 +242,7 @@ mod tests {
             satisfies_all(&model.instance, &system.deps),
             "every member of D must hold"
         );
-        assert!(
-            !satisfies(&model.instance, &system.d0),
-            "D0 must fail"
-        );
+        assert!(!satisfies(&model.instance, &system.d0), "D0 must fail");
     }
 
     #[test]
@@ -296,12 +301,8 @@ mod tests {
             Err(RedError::Precondition(_))
         ));
         // Cancellation violator: rejected.
-        let bad_g = FiniteSemigroup::new(vec![
-            vec![0, 0, 0],
-            vec![0, 2, 2],
-            vec![0, 2, 2],
-        ])
-        .unwrap();
+        let bad_g =
+            FiniteSemigroup::new(vec![vec![0, 0, 0], vec![0, 2, 2], vec![0, 2, 2]]).unwrap();
         let interp3 = Interpretation::from_raw([1, 0]);
         assert!(matches!(
             build_counter_model(&system, &p, &bad_g, &interp3),

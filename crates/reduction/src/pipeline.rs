@@ -28,8 +28,7 @@ use crate::part_b::{build_counter_model, CounterModel};
 use crate::verify::{verify_counter_model, PartBReport};
 
 /// Budgets for the three searches involved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Budgets {
     /// Derivation search budget.
     pub derivation: SearchBudget,
@@ -39,7 +38,6 @@ pub struct Budgets {
     /// guided and needs no budget).
     pub chase: ChaseBudget,
 }
-
 
 /// The pipeline's verdict.
 #[derive(Debug, Clone)]
@@ -141,14 +139,20 @@ pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
         return Ok(PipelineRun {
             normalized,
             system,
-            outcome: PipelineOutcome::Refuted { model: Box::new(model), report },
+            outcome: PipelineOutcome::Refuted {
+                model: Box::new(model),
+                report,
+            },
         });
     }
 
     Ok(PipelineRun {
         normalized,
         system,
-        outcome: PipelineOutcome::Unknown { derivation_states, model_nodes },
+        outcome: PipelineOutcome::Unknown {
+            derivation_states,
+            model_nodes,
+        },
     })
 }
 

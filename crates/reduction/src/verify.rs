@@ -37,10 +37,7 @@ impl PartBReport {
     }
 }
 
-fn classes_ok(
-    model: &CounterModel,
-    attr: td_core::ids::AttrId,
-) -> bool {
+fn classes_ok(model: &CounterModel, attr: td_core::ids::AttrId) -> bool {
     let classes = model.eq_instance.classes(attr);
     classes.iter().all(|class| {
         match class.len() {
@@ -71,7 +68,12 @@ pub fn verify_counter_model(system: &ReductionSystem, model: &CounterModel) -> P
     let fact2 = alphabet
         .syms()
         .all(|s| classes_ok(model, system.attrs.dprime(s)));
-    PartBReport { violated_deps, d0_fails, fact1, fact2 }
+    PartBReport {
+        violated_deps,
+        d0_fails,
+        fact1,
+        fact2,
+    }
 }
 
 /// The headline structural facts of the construction.
@@ -172,7 +174,10 @@ mod tests {
         let mut model = build_counter_model(&system, &p, &g, &interp).unwrap();
         let p_row = model.p_rows().next().unwrap();
         let q_row = model.q_rows().next().unwrap();
-        model.eq_instance.merge(system.attrs.e(), p_row, q_row).unwrap();
+        model
+            .eq_instance
+            .merge(system.attrs.e(), p_row, q_row)
+            .unwrap();
         model.instance = model.eq_instance.to_instance();
         let report = verify_counter_model(&system, &model);
         assert!(!report.ok(), "corruption must be detected: {report:?}");
@@ -187,7 +192,10 @@ mod tests {
             .unwrap();
         model.instance = model.eq_instance.to_instance();
         let report = verify_counter_model(&system, &model);
-        assert!(!report.fact1 || !report.ok(), "Fact 1 violation: {report:?}");
+        assert!(
+            !report.fact1 || !report.ok(),
+            "Fact 1 violation: {report:?}"
+        );
     }
 
     #[test]

@@ -68,8 +68,12 @@ mod tests {
     /// (including condition (ii)) and no identity, then `G′` has it too.
     #[test]
     fn cancellation_preserved_exactly_as_claimed() {
-        for g in [null_semigroup(2), null_semigroup(4), cyclic_nilpotent(3), cyclic_nilpotent(5)]
-        {
+        for g in [
+            null_semigroup(2),
+            null_semigroup(4),
+            cyclic_nilpotent(3),
+            cyclic_nilpotent(5),
+        ] {
             assert!(g.identity().is_none(), "families have no identity");
             assert!(has_cancellation_property(&g));
             let (g2, _) = adjoin_identity(&g).unwrap();
@@ -87,12 +91,7 @@ mod tests {
     fn condition_ii_is_necessary() {
         // {0, a, e}: a·e = a, e·e = e, rest 0 (associative; see
         // properties.rs tests). Has zero, no identity, violates (ii).
-        let g = FiniteSemigroup::new(vec![
-            vec![0, 0, 0],
-            vec![0, 0, 1],
-            vec![0, 0, 2],
-        ])
-        .unwrap();
+        let g = FiniteSemigroup::new(vec![vec![0, 0, 0], vec![0, 0, 1], vec![0, 0, 2]]).unwrap();
         assert!(!has_cancellation_property(&g), "violates (ii)");
         let (g2, _) = adjoin_identity(&g).unwrap();
         assert!(

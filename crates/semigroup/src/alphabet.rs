@@ -129,7 +129,10 @@ impl Alphabet {
         if sym.index() < self.len() {
             Ok(())
         } else {
-            Err(SgError::SymbolOutOfRange { sym: sym.index(), len: self.len() })
+            Err(SgError::SymbolOutOfRange {
+                sym: sym.index(),
+                len: self.len(),
+            })
         }
     }
 }

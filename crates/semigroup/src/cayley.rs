@@ -71,9 +71,7 @@ impl FiniteSemigroup {
             }
             for &v in row {
                 if v >= n {
-                    return Err(SgError::BadTable(format!(
-                        "entry {v} out of range 0..{n}"
-                    )));
+                    return Err(SgError::BadTable(format!("entry {v} out of range 0..{n}")));
                 }
                 flat.push(v as u16);
             }
@@ -142,7 +140,10 @@ impl FiniteSemigroup {
         for &s in word.syms() {
             let e = interp.try_of(s)?;
             if e.index() >= self.n {
-                return Err(SgError::ElementOutOfRange { elem: e.index(), len: self.n });
+                return Err(SgError::ElementOutOfRange {
+                    elem: e.index(),
+                    len: self.n,
+                });
             }
             acc = Some(match acc {
                 None => e,
@@ -251,10 +252,13 @@ impl Interpretation {
 
     /// The element interpreting `sym`, as a `Result`.
     pub fn try_of(&self, sym: Sym) -> Result<Elem> {
-        self.map.get(sym.index()).copied().ok_or(SgError::SymbolOutOfRange {
-            sym: sym.index(),
-            len: self.map.len(),
-        })
+        self.map
+            .get(sym.index())
+            .copied()
+            .ok_or(SgError::SymbolOutOfRange {
+                sym: sym.index(),
+                len: self.map.len(),
+            })
     }
 
     /// The underlying element list.
@@ -340,12 +344,7 @@ mod tests {
     #[test]
     fn powers() {
         // Cyclic nilpotent of order 3: z, a, a² with a³ = z.
-        let g = FiniteSemigroup::new(vec![
-            vec![0, 0, 0],
-            vec![0, 2, 0],
-            vec![0, 0, 0],
-        ])
-        .unwrap();
+        let g = FiniteSemigroup::new(vec![vec![0, 0, 0], vec![0, 2, 0], vec![0, 0, 0]]).unwrap();
         let a = Elem::new(1);
         assert_eq!(g.pow(a, 1), a);
         assert_eq!(g.pow(a, 2), Elem::new(2));
@@ -363,12 +362,7 @@ mod tests {
     #[test]
     fn direct_product_structure() {
         let g = null2();
-        let nil3 = FiniteSemigroup::new(vec![
-            vec![0, 0, 0],
-            vec![0, 2, 0],
-            vec![0, 0, 0],
-        ])
-        .unwrap();
+        let nil3 = FiniteSemigroup::new(vec![vec![0, 0, 0], vec![0, 2, 0], vec![0, 0, 0]]).unwrap();
         let p = g.direct_product(&nil3);
         assert_eq!(p.len(), 6);
         assert!(p.check_associative().is_ok());

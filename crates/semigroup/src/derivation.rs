@@ -38,7 +38,10 @@ pub struct Derivation {
 impl Derivation {
     /// The trivial derivation (zero steps).
     pub fn trivial(start: Word) -> Self {
-        Self { start, steps: Vec::new() }
+        Self {
+            start,
+            steps: Vec::new(),
+        }
     }
 
     /// Number of steps (`m`).
@@ -82,7 +85,10 @@ impl Derivation {
 
     /// The final word `u_m`.
     pub fn end(&self, p: &Presentation) -> Result<Word> {
-        Ok(self.replay(p)?.pop().expect("replay returns at least start"))
+        Ok(self
+            .replay(p)?
+            .pop()
+            .expect("replay returns at least start"))
     }
 
     /// Checks that the derivation goes from `start` to `target` under `p`.
@@ -116,7 +122,10 @@ pub struct SearchBudget {
 
 impl Default for SearchBudget {
     fn default() -> Self {
-        Self { max_word_len: 12, max_states: 200_000 }
+        Self {
+            max_word_len: 12,
+            max_states: 200_000,
+        }
     }
 }
 
@@ -165,14 +174,22 @@ pub fn search_derivation(
     let mut queue: VecDeque<Word> = VecDeque::new();
     let mut visited: usize = 1;
     queue.push_back(start.clone());
-    parent.insert(start.clone(), (start.clone(), DerivStep { eq_index: 0, pos: 0, forward: true }));
+    parent.insert(
+        start.clone(),
+        (
+            start.clone(),
+            DerivStep {
+                eq_index: 0,
+                pos: 0,
+                forward: true,
+            },
+        ),
+    );
 
     let mut budget_hit = false;
     'bfs: while let Some(word) = queue.pop_front() {
         for (eq_index, eq) in p.equations().iter().enumerate() {
-            for (from, to, forward) in
-                [(&eq.lhs, &eq.rhs, true), (&eq.rhs, &eq.lhs, false)]
-            {
+            for (from, to, forward) in [(&eq.lhs, &eq.rhs, true), (&eq.rhs, &eq.lhs, false)] {
                 if from == to {
                     continue;
                 }
@@ -186,7 +203,11 @@ pub fn search_derivation(
                     if parent.contains_key(&next) {
                         continue;
                     }
-                    let step = DerivStep { eq_index, pos, forward };
+                    let step = DerivStep {
+                        eq_index,
+                        pos,
+                        forward,
+                    };
                     parent.insert(next.clone(), (word.clone(), step));
                     visited += 1;
                     if &next == target {
@@ -222,7 +243,10 @@ pub fn search_derivation(
         cur = prev;
     }
     steps_rev.reverse();
-    SearchResult::Found(Derivation { start: start.clone(), steps: steps_rev })
+    SearchResult::Found(Derivation {
+        start: start.clone(),
+        steps: steps_rev,
+    })
 }
 
 /// Convenience: search for the paper's goal derivation `A₀ ⇒* 0`.
@@ -256,7 +280,10 @@ mod tests {
         let p = example_refutable();
         let result = search_goal_derivation(
             &p,
-            &SearchBudget { max_word_len: 8, max_states: 100_000 },
+            &SearchBudget {
+                max_word_len: 8,
+                max_states: 100_000,
+            },
         );
         // Only zero equations: from the single word "A0" the only moves
         // produce words containing 0, which collapse back to 0-words; "A0"
@@ -300,10 +327,7 @@ mod tests {
             .clone();
         // Corrupt the position of the second step.
         d.steps[1].pos = 7;
-        assert!(matches!(
-            d.replay(&p),
-            Err(SgError::DerivationReplay(_))
-        ));
+        assert!(matches!(d.replay(&p), Err(SgError::DerivationReplay(_))));
         // Corrupt the equation index.
         let mut d2 = search_goal_derivation(&p, &SearchBudget::default())
             .derivation()
@@ -330,7 +354,10 @@ mod tests {
             &p,
             &start,
             &target,
-            &SearchBudget { max_word_len: 30, max_states: 5 },
+            &SearchBudget {
+                max_word_len: 30,
+                max_states: 5,
+            },
         );
         assert!(matches!(r, SearchResult::BudgetExhausted { .. }), "{r:?}");
     }
@@ -341,7 +368,10 @@ mod tests {
         let p = example_derivable();
         let r = search_goal_derivation(
             &p,
-            &SearchBudget { max_word_len: 1, max_states: 1000 },
+            &SearchBudget {
+                max_word_len: 1,
+                max_states: 1000,
+            },
         );
         assert!(matches!(r, SearchResult::ExhaustedWithinBound { .. }));
     }

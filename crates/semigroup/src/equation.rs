@@ -21,13 +21,16 @@ impl Equation {
 
     /// Parses `"A0 A1 = 0"`.
     pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
-        let (l, r) = text.split_once('=').ok_or_else(|| {
-            crate::error::SgError::Parse {
+        let (l, r) = text
+            .split_once('=')
+            .ok_or_else(|| crate::error::SgError::Parse {
                 line: 0,
                 msg: format!("equation `{text}` is missing `=`"),
-            }
-        })?;
-        Ok(Self::new(Word::parse(l, alphabet)?, Word::parse(r, alphabet)?))
+            })?;
+        Ok(Self::new(
+            Word::parse(l, alphabet)?,
+            Word::parse(r, alphabet)?,
+        ))
     }
 
     /// `true` if `|lhs| = 2` and `|rhs| = 1` — the normalized shape the
@@ -54,7 +57,11 @@ impl Equation {
 
     /// Renders with symbol names.
     pub fn render(&self, alphabet: &Alphabet) -> String {
-        format!("{} = {}", self.lhs.render(alphabet), self.rhs.render(alphabet))
+        format!(
+            "{} = {}",
+            self.lhs.render(alphabet),
+            self.rhs.render(alphabet)
+        )
     }
 }
 

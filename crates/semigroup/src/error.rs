@@ -77,7 +77,10 @@ impl fmt::Display for SgError {
                 "interpretation maps {got} symbols, alphabet has {expected}"
             ),
             SgError::ElementOutOfRange { elem, len } => {
-                write!(f, "element {elem} out of range (semigroup has {len} elements)")
+                write!(
+                    f,
+                    "element {elem} out of range (semigroup has {len} elements)"
+                )
             }
             SgError::DerivationReplay(msg) => {
                 write!(f, "derivation replay failed: {msg}")

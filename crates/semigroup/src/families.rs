@@ -78,9 +78,7 @@ pub fn null_counter_model(p: &Presentation) -> Option<(FiniteSemigroup, Interpre
 mod tests {
     use super::*;
     use crate::presentation::example_refutable;
-    use crate::properties::{
-        has_cancellation_property, is_countermodel, is_generated_by,
-    };
+    use crate::properties::{has_cancellation_property, is_countermodel, is_generated_by};
 
     #[test]
     fn null_semigroup_properties() {

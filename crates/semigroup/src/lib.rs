@@ -40,7 +40,7 @@
 //! * [`parser`] — a small text format for presentations.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod adjoin;
@@ -74,8 +74,7 @@ pub mod prelude {
     pub use crate::normalize::{normalize, Normalized};
     pub use crate::presentation::Presentation;
     pub use crate::properties::{
-        cancellation_violation, has_cancellation_property, is_generated_by,
-        satisfies_presentation,
+        cancellation_violation, has_cancellation_property, is_generated_by, satisfies_presentation,
     };
     pub use crate::symbol::Sym;
     pub use crate::word::Word;

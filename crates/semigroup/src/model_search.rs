@@ -43,7 +43,11 @@ pub struct ModelSearchOptions {
 
 impl Default for ModelSearchOptions {
     fn default() -> Self {
-        Self { min_size: 2, max_size: 4, max_nodes: 50_000_000 }
+        Self {
+            min_size: 2,
+            max_size: 4,
+            max_nodes: 50_000_000,
+        }
     }
 }
 
@@ -397,10 +401,17 @@ mod tests {
         let p = example_derivable();
         let r = find_counter_model(
             &p,
-            &ModelSearchOptions { min_size: 2, max_size: 3, max_nodes: 10_000_000 },
+            &ModelSearchOptions {
+                min_size: 2,
+                max_size: 3,
+                max_nodes: 10_000_000,
+            },
         )
         .unwrap();
-        assert!(matches!(r, ModelSearchResult::ExhaustedSizes { .. }), "{r:?}");
+        assert!(
+            matches!(r, ModelSearchResult::ExhaustedSizes { .. }),
+            "{r:?}"
+        );
     }
 
     #[test]
@@ -428,10 +439,17 @@ mod tests {
         let p = example_refutable();
         let r = find_counter_model(
             &p,
-            &ModelSearchOptions { min_size: 3, max_size: 4, max_nodes: 1 },
+            &ModelSearchOptions {
+                min_size: 3,
+                max_size: 4,
+                max_nodes: 1,
+            },
         )
         .unwrap();
-        assert!(matches!(r, ModelSearchResult::BudgetExhausted { .. }), "{r:?}");
+        assert!(
+            matches!(r, ModelSearchResult::BudgetExhausted { .. }),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -93,11 +93,8 @@ fn fold_to_symbol(
     for i in 1..word.len() {
         let b = word.get(i);
         acc = *cache.entry((acc, b)).or_insert_with(|| {
-            let name = alphabet.fresh_name(&format!(
-                "[{}{}]",
-                alphabet.name(acc),
-                alphabet.name(b)
-            ));
+            let name =
+                alphabet.fresh_name(&format!("[{}{}]", alphabet.name(acc), alphabet.name(b)));
             let sym = alphabet.add_symbol(name).expect("fresh name is unused");
             definitions.push((sym, acc, b));
             out_equations.push(Equation::new(
@@ -122,8 +119,7 @@ fn fold_to_pair(
         return word.clone();
     }
     // Fold the prefix of length len-1 to one symbol, keep the last.
-    let prefix = Word::new(word.syms()[..word.len() - 1].iter().copied())
-        .expect("nonempty prefix");
+    let prefix = Word::new(word.syms()[..word.len() - 1].iter().copied()).expect("nonempty prefix");
     let head = fold_to_symbol(&prefix, alphabet, cache, definitions, out_equations);
     Word::new([head, word.get(word.len() - 1)]).expect("two symbols")
 }
@@ -151,8 +147,20 @@ pub fn normalize(p: &Presentation) -> Result<Normalized> {
             push(&mut out_equations, eq.clone());
             continue;
         }
-        let l2 = fold_to_pair(&eq.lhs, &mut alphabet, &mut cache, &mut definitions, &mut out_equations);
-        let r2 = fold_to_pair(&eq.rhs, &mut alphabet, &mut cache, &mut definitions, &mut out_equations);
+        let l2 = fold_to_pair(
+            &eq.lhs,
+            &mut alphabet,
+            &mut cache,
+            &mut definitions,
+            &mut out_equations,
+        );
+        let r2 = fold_to_pair(
+            &eq.rhs,
+            &mut alphabet,
+            &mut cache,
+            &mut definitions,
+            &mut out_equations,
+        );
         match (l2.len(), r2.len()) {
             (2, 1) => push(&mut out_equations, Equation::new(l2, r2)),
             (1, 2) => push(&mut out_equations, Equation::new(r2, l2)),
@@ -175,7 +183,11 @@ pub fn normalize(p: &Presentation) -> Result<Normalized> {
     let mut presentation = Presentation::new(alphabet, out_equations)?;
     presentation.saturate_with_zero_equations();
     debug_assert!(presentation.is_reduction_ready());
-    Ok(Normalized { presentation, definitions, base_len })
+    Ok(Normalized {
+        presentation,
+        definitions,
+        base_len,
+    })
 }
 
 #[cfg(test)]
@@ -188,8 +200,7 @@ mod tests {
         // "if φ contains a conjunct ABC = DA … we introduce new symbols E
         // and F into S, add the equations AB = E and DA = F, and replace
         // ABC = DA by EC = F."
-        let alphabet =
-            Alphabet::new(["A0", "A", "B", "C", "D", "0"], "A0", "0").unwrap();
+        let alphabet = Alphabet::new(["A0", "A", "B", "C", "D", "0"], "A0", "0").unwrap();
         let eq = Equation::parse("A B C = D A", &alphabet).unwrap();
         let p = Presentation::new(alphabet, vec![eq]).unwrap();
         let n = normalize(&p).unwrap();
@@ -208,10 +219,7 @@ mod tests {
         let ab = n.presentation.alphabet().sym("[AB]").unwrap();
         let da = n.presentation.alphabet().sym("[DA]").unwrap();
         let c = n.presentation.alphabet().sym("C").unwrap();
-        let replaced = Equation::new(
-            Word::new([ab, c]).unwrap(),
-            Word::single(da),
-        );
+        let replaced = Equation::new(Word::new([ab, c]).unwrap(), Word::single(da));
         assert!(n.presentation.equations().contains(&replaced));
         assert!(n.presentation.is_zero_saturated());
     }
@@ -228,8 +236,7 @@ mod tests {
             .definitions
             .iter()
             .filter(|&&(_, a, b)| {
-                n.presentation.alphabet().name(a) == "A"
-                    && n.presentation.alphabet().name(b) == "B"
+                n.presentation.alphabet().name(a) == "A" && n.presentation.alphabet().name(b) == "B"
             })
             .count();
         assert_eq!(ab_count, 1);
@@ -307,7 +314,9 @@ mod tests {
         let alphabet = Alphabet::new(["A0", "A", "0"], "A0", "0").unwrap();
         // A A A = 0 holds in cyclic_nilpotent(3) with A -> a (a^3 = 0).
         let eq = Equation::parse("A A A = 0", &alphabet).unwrap();
-        let p = Presentation::new(alphabet, vec![eq]).unwrap().zero_saturated();
+        let p = Presentation::new(alphabet, vec![eq])
+            .unwrap()
+            .zero_saturated();
         let n = normalize(&p).unwrap();
         let g = crate::families::cyclic_nilpotent(3);
         let base = Interpretation::from_raw([1, 1, 0]); // A0 -> a, A -> a, 0 -> 0
@@ -328,9 +337,9 @@ mod tests {
         let cd = n.presentation.alphabet().sym("[CD]").unwrap();
         let a = n.presentation.alphabet().sym("A").unwrap();
         let b = n.presentation.alphabet().sym("B").unwrap();
-        assert!(n.presentation.equations().contains(&Equation::new(
-            Word::new([a, b]).unwrap(),
-            Word::single(cd)
-        )));
+        assert!(n
+            .presentation
+            .equations()
+            .contains(&Equation::new(Word::new([a, b]).unwrap(), Word::single(cd))));
     }
 }

@@ -16,7 +16,10 @@ use crate::error::{Result, SgError};
 use crate::presentation::Presentation;
 
 fn err(line: usize, msg: impl Into<String>) -> SgError {
-    SgError::Parse { line, msg: msg.into() }
+    SgError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Parses a presentation file.
@@ -46,8 +49,7 @@ pub fn parse(text: &str) -> Result<Presentation> {
                 if names.is_some() {
                     return Err(err(line_no, "duplicate alphabet declaration"));
                 }
-                let toks: Vec<String> =
-                    body.split_whitespace().map(str::to_owned).collect();
+                let toks: Vec<String> = body.split_whitespace().map(str::to_owned).collect();
                 if toks.is_empty() {
                     return Err(err(line_no, "alphabet needs at least one symbol"));
                 }
@@ -75,24 +77,19 @@ pub fn parse(text: &str) -> Result<Presentation> {
             other => {
                 return Err(err(
                     line_no,
-                    format!(
-                        "unknown keyword `{other}` (expected alphabet/a0/zero/eq/zerosat)"
-                    ),
+                    format!("unknown keyword `{other}` (expected alphabet/a0/zero/eq/zerosat)"),
                 ));
             }
         }
     }
 
     let names = names.ok_or_else(|| err(1, "missing `alphabet` declaration"))?;
-    let alphabet = Alphabet::new(names, &a0_name, &zero_name)
-        .map_err(|e| err(1, e.to_string()))?;
+    let alphabet = Alphabet::new(names, &a0_name, &zero_name).map_err(|e| err(1, e.to_string()))?;
     let mut equations = Vec::with_capacity(raw_eqs.len());
     for (line_no, body) in raw_eqs {
-        equations
-            .push(Equation::parse(&body, &alphabet).map_err(|e| err(line_no, e.to_string()))?);
+        equations.push(Equation::parse(&body, &alphabet).map_err(|e| err(line_no, e.to_string()))?);
     }
-    let mut p = Presentation::new(alphabet, equations)
-        .map_err(|e| err(1, e.to_string()))?;
+    let mut p = Presentation::new(alphabet, equations).map_err(|e| err(1, e.to_string()))?;
     if zerosat {
         p.saturate_with_zero_equations();
     }

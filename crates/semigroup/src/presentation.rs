@@ -27,7 +27,10 @@ impl Presentation {
                 alphabet.check(s)?;
             }
         }
-        Ok(Self { alphabet, equations })
+        Ok(Self {
+            alphabet,
+            equations,
+        })
     }
 
     /// The alphabet.

@@ -38,8 +38,7 @@ impl BoundedQuotient {
         let mut words: Vec<Word> = Vec::new();
         let mut index: HashMap<Word, usize> = HashMap::new();
         // Enumerate by length, lexicographically.
-        let mut current: Vec<Word> =
-            p.alphabet().syms().map(Word::single).collect();
+        let mut current: Vec<Word> = p.alphabet().syms().map(Word::single).collect();
         for len in 1..=max_len {
             for w in &current {
                 index.insert(w.clone(), words.len());
@@ -71,7 +70,12 @@ impl BoundedQuotient {
                 }
             }
         }
-        Self { max_len, words, index, uf }
+        Self {
+            max_len,
+            words,
+            index,
+            uf,
+        }
     }
 
     /// The length bound.
@@ -170,7 +174,10 @@ mod tests {
             let mut q = BoundedQuotient::build(&p, 4);
             let bfs = search_goal_derivation(
                 &p,
-                &SearchBudget { max_word_len: 4, max_states: 1_000_000 },
+                &SearchBudget {
+                    max_word_len: 4,
+                    max_states: 1_000_000,
+                },
             );
             let bfs_found = matches!(bfs, SearchResult::Found(_));
             assert_eq!(q.goal_identified(&p), Some(expected));

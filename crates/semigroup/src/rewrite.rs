@@ -57,7 +57,14 @@ impl RewriteSystem {
                     let next = word
                         .replace_range(pos, 2, &Word::single(c))
                         .expect("position in range");
-                    return Some((next, DerivStep { eq_index, pos, forward: true }));
+                    return Some((
+                        next,
+                        DerivStep {
+                            eq_index,
+                            pos,
+                            forward: true,
+                        },
+                    ));
                 }
             }
         }
@@ -74,7 +81,13 @@ impl RewriteSystem {
             steps.push(step);
             cur = next;
         }
-        (cur, Derivation { start: word.clone(), steps })
+        (
+            cur,
+            Derivation {
+                start: word.clone(),
+                steps,
+            },
+        )
     }
 
     /// `true` if `word` rewrites to the single symbol `target`. When it
@@ -122,7 +135,12 @@ impl RewriteSystem {
                     let left = Word::new([c1, b2]).expect("two symbols");
                     let right = Word::new([a1, c2]).expect("two symbols");
                     if left != right {
-                        out.push(CriticalPair { peak, left, right, rules: (i1, i2) });
+                        out.push(CriticalPair {
+                            peak,
+                            left,
+                            right,
+                            rules: (i1, i2),
+                        });
                     }
                 }
             }
@@ -209,7 +227,8 @@ mod tests {
         // route, a claimed reduction must replay.
         let w = Word::parse("A1 A1 0", p.alphabet()).unwrap();
         let d = rs.reduces_to(&w, p.alphabet().zero()).expect("collapses");
-        d.verify(&p, &w, &Word::single(p.alphabet().zero())).unwrap();
+        d.verify(&p, &w, &Word::single(p.alphabet().zero()))
+            .unwrap();
         // A single A0 does not rewrite at all (rules need length 2).
         let a0 = Word::single(p.alphabet().a0());
         assert!(rs.reduces_to(&a0, p.alphabet().zero()).is_none());
@@ -221,9 +240,9 @@ mod tests {
         let rs = RewriteSystem::from_presentation(&p);
         let pairs = rs.critical_pairs();
         // The same-redex pair (A1 A1 -> A0 vs -> 0) must be found.
-        assert!(pairs.iter().any(|cp| {
-            cp.peak.len() == 2 && cp.left.len() == 1 && cp.right.len() == 1
-        }));
+        assert!(pairs
+            .iter()
+            .any(|cp| { cp.peak.len() == 2 && cp.left.len() == 1 && cp.right.len() == 1 }));
         // A0 vs 0 do not rewrite further and differ: NOT locally confluent —
         // correct, since the relation here is derivability (symmetric), not
         // a canonical rewriting system.

@@ -12,7 +12,10 @@ pub(crate) struct UnionFind {
 
 impl UnionFind {
     pub(crate) fn new(len: usize) -> Self {
-        Self { parent: (0..len as u32).collect(), rank: vec![0; len] }
+        Self {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+        }
     }
 
     pub(crate) fn len(&self) -> usize {

@@ -191,7 +191,9 @@ mod tests {
         assert_eq!(w3.render(&a), "0 A0");
         assert!(w.replace_range(2, 2, &zero).is_err());
         // Replacement can grow the word.
-        let grown = w.replace_range(2, 1, &Word::parse("A1 A1", &a).unwrap()).unwrap();
+        let grown = w
+            .replace_range(2, 1, &Word::parse("A1 A1", &a).unwrap())
+            .unwrap();
         assert_eq!(grown.render(&a), "A0 A1 A1 A1");
     }
 

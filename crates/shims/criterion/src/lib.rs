@@ -1,0 +1,227 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate implements the subset of the criterion 0.5 API used by the benches
+//! under `crates/bench/benches/`: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`]
+//! / [`BenchmarkGroup::sample_size`], [`Bencher::iter`],
+//! [`BenchmarkId::from_parameter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it runs a short warm-up plus
+//! a fixed number of timed samples and prints the median per-iteration time.
+//! The sample count can be tuned with the `TD_BENCH_SAMPLES` environment
+//! variable (default 10); `cargo bench -- FILTER` substring-filters
+//! benchmark ids like the real harness does.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter, `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value (the common case in a group,
+    /// where the group name already identifies the function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, first warming up, then taking `samples` timed runs.
+    /// The routine's return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run (also faults in lazy state).
+        black_box(routine());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks, printed under a common prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark (criterion's
+    /// `sample_size`). Values below 2 are clamped to 2.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{id}", self.name);
+        if !self.criterion.matches(&full) {
+            return;
+        }
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b);
+        match b.last {
+            Some(t) => println!("{full:<48} {t:>12.2?}/iter ({} samples)", b.samples),
+            None => println!("{full:<48} (no measurement)"),
+        }
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        self.run_one(&id.text, f);
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run_one(&id.text, |b| f(b, input));
+    }
+
+    /// End the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: filter handling plus group construction.
+#[derive(Debug)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    /// Build a manager from the command line, skipping the flags cargo's
+    /// bench runner passes (`--bench`, `--profile-time <n>`, …) and keeping
+    /// positional arguments as substring filters.
+    fn default() -> Self {
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                "--profile-time" | "--sample-size" | "--warm-up-time" | "--measurement-time"
+                | "--save-baseline" | "--baseline" | "--load-baseline" | "--output-format"
+                | "--color" => {
+                    // Value-taking flags: consume the value so it is not
+                    // mistaken for a positional filter.
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {
+                    eprintln!(
+                        "warning: ignoring unsupported flag `{s}` (offline criterion stand-in); \
+                         if it takes a value, that value becomes a benchmark filter"
+                    );
+                }
+                s => filters.push(s.to_owned()),
+            }
+        }
+        Criterion { filters }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn samples() -> usize {
+        std::env::var("TD_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10)
+            .max(2)
+    }
+
+    /// Open a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = Self::samples();
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running each [`criterion_group!`], mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate implements the subset of the proptest 1.x API the workspace's
+//! property tests use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`prop_flat_map`](strategy::Strategy::prop_flat_map);
+//! * strategies for half-open and inclusive integer ranges, tuples of
+//!   strategies (arity 2–6), [`Just`](strategy::Just), and
+//!   [`collection::vec`];
+//! * [`ProptestConfig`](test_runner::Config) (`with_cases` only),
+//!   [`TestCaseError`](test_runner::TestCaseError);
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * values are generated from a deterministic RNG seeded per test name, so
+//!   runs are reproducible without a persistence file;
+//! * there is **no shrinking** — a failing case reports its case number and
+//!   message only;
+//! * strategies are sampled by direct recursive generation (no value trees).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The permitted sizes of a generated collection
+    /// (`proptest::collection::SizeRange`).
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        /// Minimum length, inclusive.
+        pub min: usize,
+        /// Maximum length, inclusive.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose lengths lie in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Create a strategy generating vectors of values of `element`, with
+    /// lengths drawn from `size` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.min, self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-importable API surface (`proptest::prelude`).
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert a condition inside a [`proptest!`] body, failing the current case
+/// (rather than panicking directly) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // The stringified condition is a format *argument*, never the format
+        // string itself: source text may contain literal braces.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body, failing the current case
+/// with a rendering of both sides when they differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    l,
+                    r,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Define property tests: each function runs its body against `cases`
+/// freshly generated inputs (mirrors proptest's macro of the same name).
+///
+/// In real code each function carries `#[test]` (forwarded to the generated
+/// item, as in the real proptest); this example omits it so the doctest can
+/// invoke the function directly.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     fn addition_commutes(a in 0..1000u32, b in 0..1000u32) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,104 @@
+//! Test configuration, case errors, and the deterministic test RNG.
+
+use std::fmt;
+
+/// Per-test configuration (`proptest::test_runner::Config`, re-exported from
+/// the prelude as `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases each property runs against.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Why a single generated case failed
+/// (`proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold; the payload is the assertion message.
+    Fail(String),
+    /// The inputs were rejected as invalid rather than wrong (unused by this
+    /// workspace, kept for API fidelity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (filtered-out) case with the given message.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic RNG driving value generation, backed by the in-tree
+/// `rand` shim's generator (one PRNG implementation for both shims, as the
+/// real proptest defers to the real rand).
+///
+/// Each test case gets a seed derived from the test's module path, its name,
+/// and the case index, so failures reproduce across runs without proptest's
+/// failure-persistence files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// The RNG for case number `case` of the test identified by `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        use rand::SeedableRng;
+        // FNV-1a over the identifying string, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5DEE_CE66)),
+        }
+    }
+
+    /// A uniform draw from the inclusive range `[min, max]`.
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        let Some(width) = (max - min).checked_add(1) else {
+            // Full-width range: every raw output is a valid draw.
+            return self.inner.next_u64() as usize;
+        };
+        let width = width as u64;
+        // Rejection sampling from the top keeps the draw unbiased.
+        let zone = u64::MAX - (u64::MAX % width);
+        loop {
+            let v = self.inner.next_u64();
+            if v < zone {
+                return min + (v % width) as usize;
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no registry access, so this
+//! crate implements exactly the subset of the `rand 0.8` API the workspace
+//! uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over half-open integer ranges.
+//!
+//! The generator is a SplitMix64 — deterministic in its seed, statistically
+//! solid for workload generation, and *not* cryptographically secure (which
+//! the real `StdRng` is; none of our call sites care). Range sampling uses
+//! rejection from the high bits, so draws are unbiased.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// A seedable random number generator (here: SplitMix64).
+///
+/// The real `rand` backs `StdRng` with ChaCha12; this stand-in only promises
+/// determinism in the seed, which is all the workspace's workload generators
+/// rely on.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// The next raw 64-bit output of the generator.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seeding support, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+/// A type from which [`Rng::gen_range`] can sample values of type `T`,
+/// mirroring `rand::distributions::uniform::SampleRange<T>`. Keeping the
+/// output as a trait *parameter* (not an associated type) lets inference
+/// flow backward from the use site, exactly as in the real crate.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+/// Draw a `u64` below `bound` without modulo bias (rejection sampling).
+fn below(rng: &mut SplitMix64, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Zone is the largest multiple of `bound` that fits in u64.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let width = (self.end as u64) - (self.start as u64);
+                self.start + below(rng, width) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u16, u32, u64, usize);
+
+/// Sampling methods, mirroring the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// Sample a value uniformly from `range` (half-open integer ranges).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for SplitMix64 {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Concrete generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace-standard RNG (SplitMix64 in this stand-in).
+    pub type StdRng = super::SplitMix64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+        }
+        // All residues of a small range are hit.
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4u16) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -37,13 +37,18 @@ row (bvd, brief, s36)
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_owned(),
     };
     let file = td_core::parser::parse(&text).unwrap_or_else(|e| panic!("{e}"));
     println!("schema: {}", file.schema);
-    println!("{} dependencies, {} rows\n", file.tds.len(), file.instance.len());
+    println!(
+        "{} dependencies, {} rows\n",
+        file.tds.len(),
+        file.instance.len()
+    );
 
     // Per-dependency report.
     for td in &file.tds {
@@ -79,8 +84,7 @@ fn main() {
     for premise in &file.tds {
         print!("{:>16}", premise.name());
         for goal in &file.tds {
-            let verdict =
-                implies(std::slice::from_ref(premise), goal, budget).unwrap();
+            let verdict = implies(std::slice::from_ref(premise), goal, budget).unwrap();
             let mark = match verdict {
                 InferenceVerdict::Implied(_) => "yes",
                 InferenceVerdict::NotImplied(_) => "no",
@@ -94,8 +98,7 @@ fn main() {
     // Redundancy analysis of the whole set.
     println!("\nredundancy within the set:");
     for i in 0..file.tds.len() {
-        let verdict =
-            td_core::inference::redundant(&file.tds, i, budget).unwrap();
+        let verdict = td_core::inference::redundant(&file.tds, i, budget).unwrap();
         println!(
             "  {}: {}",
             file.tds[i].name(),

@@ -106,7 +106,11 @@ fn main() {
     db.insert_values([0, 0, 1, 0]).unwrap();
     for td in &constraints {
         let ok = satisfies(&db, td);
-        println!("  {:20} {}", td.name(), if ok { "holds" } else { "VIOLATED" });
+        println!(
+            "  {:20} {}",
+            td.name(),
+            if ok { "holds" } else { "VIOLATED" }
+        );
         if let Some(v) = td_core::satisfaction::find_violation(&db, td) {
             for line in td_core::render::render_violation(td, &v).lines().skip(1) {
                 println!("  {line}");
@@ -162,7 +166,10 @@ fn main() {
         "same-supplier-one-region-both-sizes",
     )
     .unwrap();
-    println!("  eid holds in repaired db: {}", eid_satisfies(engine.state(), &eid));
+    println!(
+        "  eid holds in repaired db: {}",
+        eid_satisfies(engine.state(), &eid)
+    );
     // The EID implies its single-atom weakenings (TDs), not conversely.
     let weaker = Eid::from_td(&constraints[1]);
     match implies_eid(std::slice::from_ref(&eid), &weaker, ChaseBudget::default()).unwrap() {

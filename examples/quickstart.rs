@@ -35,7 +35,10 @@ fn main() {
     // The paper draws this as a 3-node diagram (Figure 1).
     let diagram = Diagram::from_td(&fig1);
     println!("\n{}", td_core::render::diagram_to_ascii(&diagram));
-    println!("Graphviz:\n{}", td_core::render::diagram_to_dot(&diagram, "fig1"));
+    println!(
+        "Graphviz:\n{}",
+        td_core::render::diagram_to_dot(&diagram, "fig1")
+    );
 
     // A database: one supplier with a dress in 10 and a brief in 36.
     let mut db = Instance::new(schema.clone());
@@ -65,7 +68,10 @@ fn main() {
 
     match implies(std::slice::from_ref(&join), &fig1, ChaseBudget::default()).unwrap() {
         InferenceVerdict::Implied(proof) => {
-            println!("join-supplier ⊨ fig1 — chase proof with {} step(s)", proof.len());
+            println!(
+                "join-supplier ⊨ fig1 — chase proof with {} step(s)",
+                proof.len()
+            );
         }
         other => println!("unexpected verdict: {other:?}"),
     }

@@ -21,7 +21,9 @@ fn main() {
     println!("=== normalization (the paper's ABC = DA example) ===");
     let alphabet = Alphabet::new(["A0", "A", "B", "C", "D", "0"], "A0", "0").unwrap();
     let eq = Equation::parse("A B C = D A", &alphabet).unwrap();
-    let p = Presentation::new(alphabet, vec![eq]).unwrap().zero_saturated();
+    let p = Presentation::new(alphabet, vec![eq])
+        .unwrap()
+        .zero_saturated();
     let n = normalize(&p).unwrap();
     println!("original:\n{p}");
     println!("normalized:\n{}", n.presentation);
@@ -35,10 +37,9 @@ fn main() {
     // Derivation search on the running derivable example.
     // ----------------------------------------------------------------
     println!("\n=== derivation search: A1 A1 = A0, A1 A1 = 0 ===");
-    let derivable = td_semigroup::parser::parse(
-        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
-    )
-    .unwrap();
+    let derivable =
+        td_semigroup::parser::parse("alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n")
+            .unwrap();
     match search_goal_derivation(&derivable, &SearchBudget::default()) {
         SearchResult::Found(d) => {
             let words = d.replay(&derivable).unwrap();
@@ -46,7 +47,11 @@ fn main() {
                 .iter()
                 .map(|w| w.render(derivable.alphabet()))
                 .collect();
-            println!("A0 = 0 derivable in {} steps: {}", d.len(), route.join(" => "));
+            println!(
+                "A0 = 0 derivable in {} steps: {}",
+                d.len(),
+                route.join(" => ")
+            );
         }
         other => println!("unexpected: {other:?}"),
     }
@@ -88,12 +93,7 @@ fn main() {
         );
     }
     // A violator of condition (ii): a·e = a with a ≠ 0.
-    let violator = FiniteSemigroup::new(vec![
-        vec![0, 0, 0],
-        vec![0, 0, 1],
-        vec![0, 0, 2],
-    ])
-    .unwrap();
+    let violator = FiniteSemigroup::new(vec![vec![0, 0, 0], vec![0, 0, 1], vec![0, 0, 2]]).unwrap();
     println!(
         "violator (a·e = a): cancellation: {} — witness: {:?}",
         has_cancellation_property(&violator),
@@ -118,10 +118,7 @@ fn main() {
     // Finite-model search for a countermodel.
     // ----------------------------------------------------------------
     println!("\n=== finite countermodel search ===");
-    let sq = td_semigroup::parser::parse(
-        "alphabet A0 A1 0\neq A0 A0 = A1\nzerosat\n",
-    )
-    .unwrap();
+    let sq = td_semigroup::parser::parse("alphabet A0 A1 0\neq A0 A0 = A1\nzerosat\n").unwrap();
     println!("instance: A0 A0 = A1 (zero-saturated)");
     match find_counter_model(&sq, &ModelSearchOptions::default()).unwrap() {
         ModelSearchResult::Found(g, interp) => {
@@ -145,7 +142,11 @@ fn main() {
     // And the derivable instance has no countermodel at small orders.
     match find_counter_model(
         &derivable,
-        &ModelSearchOptions { min_size: 2, max_size: 3, max_nodes: 5_000_000 },
+        &ModelSearchOptions {
+            min_size: 2,
+            max_size: 3,
+            max_nodes: 5_000_000,
+        },
     )
     .unwrap()
     {

@@ -20,10 +20,9 @@ fn main() {
     //         chase proof that D ⊨ D0.
     // ---------------------------------------------------------------
     banner("derivable instance: A1 A1 = A0, A1 A1 = 0");
-    let derivable = td_semigroup::parser::parse(
-        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
-    )
-    .unwrap();
+    let derivable =
+        td_semigroup::parser::parse("alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n")
+            .unwrap();
     print!("{derivable}");
 
     let run = solve(&derivable, &Budgets::default()).unwrap();
@@ -46,8 +45,7 @@ fn main() {
             );
             let words = derivation.replay(&run.normalized.presentation).unwrap();
             let alphabet = run.normalized.presentation.alphabet();
-            let route: Vec<String> =
-                words.iter().map(|w| w.render(alphabet)).collect();
+            let route: Vec<String> = words.iter().map(|w| w.render(alphabet)).collect();
             println!("word route: {}", route.join("  =>  "));
             println!("{}", proof.proof);
             proof.verify(&run.system).unwrap();
@@ -64,8 +62,7 @@ fn main() {
     //         hold but D0 fails.
     // ---------------------------------------------------------------
     banner("refutable instance: zero equations only over {A0, 0}");
-    let refutable =
-        td_semigroup::parser::parse("alphabet A0 0\nzerosat\n").unwrap();
+    let refutable = td_semigroup::parser::parse("alphabet A0 0\nzerosat\n").unwrap();
     print!("{refutable}");
 
     let run = solve(&refutable, &Budgets::default()).unwrap();
@@ -82,10 +79,9 @@ fn main() {
             for (i, label) in model.labels.iter().enumerate() {
                 match label {
                     RowLabel::P(e) => println!("  row {i}: P element {e}"),
-                    RowLabel::Q(a, s, b) => println!(
-                        "  row {i}: Q triple <{a}, {}, {b}>",
-                        alphabet.name(*s)
-                    ),
+                    RowLabel::Q(a, s, b) => {
+                        println!("  row {i}: Q triple <{a}, {}, {b}>", alphabet.name(*s))
+                    }
                 }
             }
             println!("{}", model.eq_instance);
@@ -115,7 +111,10 @@ fn main() {
     // Scaling: the construction is uniform in the instance.
     // ---------------------------------------------------------------
     banner("structural scaling (Table T1)");
-    println!("{:>4} {:>8} {:>8} {:>8} {:>16}", "n", "eqs", "deps", "attrs", "max antecedents");
+    println!(
+        "{:>4} {:>8} {:>8} {:>8} {:>16}",
+        "n", "eqs", "deps", "attrs", "max antecedents"
+    );
     for n_regular in 1..=5 {
         let p = {
             let alphabet = Alphabet::standard(n_regular);
@@ -130,7 +129,9 @@ fn main() {
             r.n_symbols, r.n_rules, r.n_deps, r.n_attributes, r.max_antecedents
         );
     }
-    println!("\n(antecedents stay ≤ 5 while attributes grow as 2n+2 — the paper's\n\
+    println!(
+        "\n(antecedents stay ≤ 5 while attributes grow as 2n+2 — the paper's\n\
               complementarity with Vardi's reduction, which bounds attributes\n\
-              and lets antecedents grow.)");
+              and lets antecedents grow.)"
+    );
 }

@@ -167,7 +167,10 @@ fn cmd_wp(text: &str) -> Result<(), String> {
                 report.fact2
             );
         }
-        PipelineOutcome::Unknown { derivation_states, model_nodes } => {
+        PipelineOutcome::Unknown {
+            derivation_states,
+            model_nodes,
+        } => {
             println!(
                 "verdict: UNKNOWN (searched {derivation_states} words, {model_nodes} model nodes) \
                  — enlarge the budgets; undecidability guarantees this case cannot be eliminated"
@@ -185,7 +188,12 @@ fn cmd_normalize(text: &str) -> Result<(), String> {
         println!("fresh symbols:");
         let alphabet = n.presentation.alphabet();
         for &(s, a, b) in &n.definitions {
-            println!("  {} := {} · {}", alphabet.name(s), alphabet.name(a), alphabet.name(b));
+            println!(
+                "  {} := {} · {}",
+                alphabet.name(s),
+                alphabet.name(a),
+                alphabet.name(b)
+            );
         }
     }
     Ok(())

@@ -74,10 +74,7 @@ fn deps_analysis() {
 
 #[test]
 fn normalize_prints_fresh_symbols() {
-    let path = write_temp(
-        "norm",
-        "alphabet A0 B C D 0\neq B C D = A0\n",
-    );
+    let path = write_temp("norm", "alphabet A0 B C D 0\neq B C D = A0\n");
     let out = tdq().arg("normalize").arg(&path).output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success());
@@ -100,7 +97,10 @@ fn reduce_prints_dependencies_and_dot() {
 
 #[test]
 fn missing_file_fails_cleanly() {
-    let out = tdq().args(["wp", "/nonexistent/really-not-here.txt"]).output().unwrap();
+    let out = tdq()
+        .args(["wp", "/nonexistent/really-not-here.txt"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }

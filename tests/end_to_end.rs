@@ -14,10 +14,7 @@ fn derivable_instances() -> Vec<(&'static str, &'static str)> {
             "two-step",
             "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
         ),
-        (
-            "direct-identify",
-            "alphabet A0 0\neq A0 = 0\nzerosat\n",
-        ),
+        ("direct-identify", "alphabet A0 0\neq A0 = 0\nzerosat\n"),
         (
             "relabel-then-product",
             "alphabet A0 B 0\neq A0 = B\neq B B = B\neq B B = 0\nzerosat\n",
@@ -35,7 +32,10 @@ fn refutable_instances() -> Vec<(&'static str, &'static str)> {
     vec![
         ("zero-only-1", "alphabet A0 0\nzerosat\n"),
         ("zero-only-2", "alphabet A0 A1 0\nzerosat\n"),
-        ("square-to-other", "alphabet A0 A1 0\neq A0 A0 = A1\nzerosat\n"),
+        (
+            "square-to-other",
+            "alphabet A0 A1 0\neq A0 A0 = A1\nzerosat\n",
+        ),
         ("nilpotent-ish", "alphabet A0 A1 0\neq A1 A1 = 0\nzerosat\n"),
     ]
 }
@@ -92,12 +92,18 @@ fn unguided_inference_agrees_on_derivable_instances() {
     for (name, text) in derivable_instances() {
         let p = parse_presentation(text).unwrap();
         let run = solve(&p, &Budgets::default()).unwrap();
-        let budget = ChaseBudget { max_steps: 20_000, max_rows: 20_000, max_rounds: 200 };
+        let budget = ChaseBudget {
+            max_steps: 20_000,
+            max_rows: 20_000,
+            max_rounds: 200,
+        };
         let verdict = inference::implies(&run.system.deps, &run.system.d0, budget).unwrap();
         match verdict {
             InferenceVerdict::Implied(proof) => {
                 let (frozen, _, goal) = inference::freeze(&run.system.d0).unwrap();
-                proof.verify(&frozen, &run.system.deps, Some(&goal)).unwrap();
+                proof
+                    .verify(&frozen, &run.system.deps, Some(&goal))
+                    .unwrap();
             }
             other => panic!("{name}: unguided chase should prove D0, got {other:?}"),
         }
@@ -112,11 +118,18 @@ fn unguided_inference_sound_on_refutable_instances() {
     for (name, text) in refutable_instances() {
         let p = parse_presentation(text).unwrap();
         let run = solve(&p, &Budgets::default()).unwrap();
-        let budget = ChaseBudget { max_steps: 2_000, max_rows: 2_000, max_rounds: 50 };
+        let budget = ChaseBudget {
+            max_steps: 2_000,
+            max_rows: 2_000,
+            max_rounds: 50,
+        };
         let verdict = inference::implies(&run.system.deps, &run.system.d0, budget).unwrap();
         assert!(!verdict.is_implied(), "{name}: soundness violated");
         if let InferenceVerdict::NotImplied(model) = verdict {
-            assert!(td_core::satisfaction::satisfies_all(&model, &run.system.deps));
+            assert!(td_core::satisfaction::satisfies_all(
+                &model,
+                &run.system.deps
+            ));
             assert!(!td_core::satisfaction::satisfies(&model, &run.system.d0));
         }
     }
@@ -127,10 +140,7 @@ fn unguided_inference_sound_on_refutable_instances() {
 /// implies — but the full set is needed for the guided proof to replay.
 #[test]
 fn proofs_fail_against_wrong_dependency_sets() {
-    let p = parse_presentation(
-        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
-    )
-    .unwrap();
+    let p = parse_presentation("alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n").unwrap();
     let run = solve(&p, &Budgets::default()).unwrap();
     let PipelineOutcome::Implied { proof, .. } = &run.outcome else {
         panic!("derivable");
@@ -139,7 +149,10 @@ fn proofs_fail_against_wrong_dependency_sets() {
     // dependency indices out of range: the verifier must reject rather than
     // misattribute steps.
     let truncated = &run.system.deps[..1];
-    assert!(proof.proof.verify(&proof.frozen, truncated, Some(&proof.goal)).is_err());
+    assert!(proof
+        .proof
+        .verify(&proof.frozen, truncated, Some(&proof.goal))
+        .is_err());
     // Replaying against a *different* reduction system (same indices,
     // different dependencies) must also be rejected.
     let other = solve(
@@ -157,7 +170,10 @@ fn proofs_fail_against_wrong_dependency_sets() {
 /// implied and refuted. (Consistency of the harness itself.)
 #[test]
 fn verdicts_are_exclusive() {
-    for (_, text) in derivable_instances().into_iter().chain(refutable_instances()) {
+    for (_, text) in derivable_instances()
+        .into_iter()
+        .chain(refutable_instances())
+    {
         let p = parse_presentation(text).unwrap();
         let run = solve(&p, &Budgets::default()).unwrap();
         let implied = run.outcome.is_implied();
@@ -200,10 +216,7 @@ fn scaling_families_resolve() {
 /// existing one in its antecedents.
 #[test]
 fn reduction_is_tight_without_the_contraction_rule() {
-    let p = parse_presentation(
-        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
-    )
-    .unwrap();
+    let p = parse_presentation("alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n").unwrap();
     let run = solve(&p, &Budgets::default()).unwrap();
     assert!(run.outcome.is_implied(), "sanity: the full set implies D0");
     // Remove D1(A1 A1 = 0) — rule index 1, dependency k=1.
@@ -216,7 +229,11 @@ fn reduction_is_tight_without_the_contraction_rule() {
         .filter(|&(i, _)| i != cut)
         .map(|(_, t)| t.clone())
         .collect();
-    let budget = ChaseBudget { max_steps: 5_000, max_rows: 5_000, max_rounds: 60 };
+    let budget = ChaseBudget {
+        max_steps: 5_000,
+        max_rows: 5_000,
+        max_rounds: 60,
+    };
     let verdict = inference::implies(&weakened, &run.system.d0, budget).unwrap();
     assert!(
         !verdict.is_implied(),
@@ -235,13 +252,20 @@ fn unguided_proofs_minimize_toward_guided() {
         let system = build_system(&p).unwrap();
         let derivation = search_goal_derivation(
             &p,
-            &SearchBudget { max_word_len: k + 2, max_states: 500_000 },
+            &SearchBudget {
+                max_word_len: k + 2,
+                max_states: 500_000,
+            },
         )
         .derivation()
         .unwrap()
         .clone();
         let guided = prove_part_a(&system, &p, &derivation).unwrap();
-        let budget = ChaseBudget { max_steps: 100_000, max_rows: 100_000, max_rounds: 1_000 };
+        let budget = ChaseBudget {
+            max_steps: 100_000,
+            max_rows: 100_000,
+            max_rounds: 1_000,
+        };
         let (_, _, _, unguided) = prove_unguided(&system, budget).unwrap();
         let unguided = unguided.expect("derivable instance");
         let minimized = unguided

@@ -19,16 +19,16 @@ fn schema(arity: usize) -> Schema {
 fn arb_td(arity: usize) -> impl Strategy<Value = Td> {
     let rows = 1..=3usize;
     let vars = 1..=3u32;
-    (rows, vars, proptest::collection::vec(0..100u32, arity * 4 + arity))
+    (
+        rows,
+        vars,
+        proptest::collection::vec(0..100u32, arity * 4 + arity),
+    )
         .prop_map(move |(n_rows, n_vars, picks)| {
             let schema = schema(arity);
             let mut it = picks.into_iter();
             let antecedents: Vec<TdRow> = (0..n_rows)
-                .map(|_| {
-                    TdRow::new(
-                        (0..arity).map(|_| Var::new(it.next().unwrap() % n_vars)),
-                    )
-                })
+                .map(|_| TdRow::new((0..arity).map(|_| Var::new(it.next().unwrap() % n_vars))))
                 .collect();
             // Conclusion: per column, either an antecedent's var or fresh.
             let conclusion = TdRow::new((0..arity).map(|c| {
@@ -45,17 +45,15 @@ fn arb_td(arity: usize) -> impl Strategy<Value = Td> {
 
 /// Strategy: a random instance over `arity` columns.
 fn arb_instance(arity: usize) -> impl Strategy<Value = Instance> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..4u32, arity),
-        0..=8,
+    proptest::collection::vec(proptest::collection::vec(0..4u32, arity), 0..=8).prop_map(
+        move |rows| {
+            let mut inst = Instance::new(schema(arity));
+            for row in rows {
+                inst.insert_values(row).unwrap();
+            }
+            inst
+        },
     )
-    .prop_map(move |rows| {
-        let mut inst = Instance::new(schema(arity));
-        for row in rows {
-            inst.insert_values(row).unwrap();
-        }
-        inst
-    })
 }
 
 proptest! {

@@ -24,7 +24,11 @@ fn arb_rule() -> impl Strategy<Value = (Alphabet, Rule2)> {
         (Just(alphabet), 0..n, 0..n, 0..n).prop_map(|(alphabet, a, b, c)| {
             (
                 alphabet,
-                Rule2 { a: Sym::new(a), b: Sym::new(b), c: Sym::new(c) },
+                Rule2 {
+                    a: Sym::new(a),
+                    b: Sym::new(b),
+                    c: Sym::new(c),
+                },
             )
         })
     })

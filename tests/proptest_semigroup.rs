@@ -12,15 +12,13 @@ use template_deps::td_semigroup::symbol::Sym;
 
 /// Strategy: a word over `n_syms` symbols, length `1..=max_len`.
 fn arb_word(n_syms: u16, max_len: usize) -> impl Strategy<Value = Word> {
-    proptest::collection::vec(0..n_syms, 1..=max_len)
-        .prop_map(|syms| Word::from_raw(syms).unwrap())
+    proptest::collection::vec(0..n_syms, 1..=max_len).prop_map(|syms| Word::from_raw(syms).unwrap())
 }
 
 /// Strategy: a presentation over `A0, A1, 0` with random short equations,
 /// zero-saturated. (3 symbols keep the bounded universes small.)
 fn arb_presentation() -> impl Strategy<Value = Presentation> {
-    let eq = (arb_word(3, 2), arb_word(3, 2))
-        .prop_map(|(l, r)| Equation::new(l, r));
+    let eq = (arb_word(3, 2), arb_word(3, 2)).prop_map(|(l, r)| Equation::new(l, r));
     proptest::collection::vec(eq, 0..4).prop_map(|eqs| {
         let alphabet = Alphabet::standard(2); // A0 A1 0
         let mut p = Presentation::new(alphabet, eqs).unwrap();

@@ -1,0 +1,77 @@
+//! Experiment T5 — the indexed homomorphism planner against the naive
+//! nested-scan oracle, on the chase's two hot paths: raw trigger
+//! enumeration (`match_all`) and restricted-chase fixpoints.
+//!
+//! Shape claims: trigger enumeration over an `N`-row instance is
+//! `O(N^rows)` for the naive matcher but near-output-linear for the
+//! indexed planner on connected patterns; the chase fixpoint compounds the
+//! gap because every round re-enters the matcher. The recorded numbers
+//! live in `BENCH_chase.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_bench::{garment_schema, join_on_supplier, random_instance};
+use td_core::chase::{ChaseBudget, ChaseEngine, ChasePolicy};
+use td_core::homomorphism::{match_all_with, Binding, MatchStrategy};
+
+const STRATEGIES: [(&str, MatchStrategy); 2] = [
+    ("naive", MatchStrategy::Naive),
+    ("indexed", MatchStrategy::Indexed),
+];
+
+fn bench_match_all(c: &mut Criterion) {
+    let td = join_on_supplier();
+    let schema = garment_schema();
+    for (name, strategy) in STRATEGIES {
+        let mut group = c.benchmark_group(format!("indexed_vs_naive/match_all/{name}"));
+        for rows in [100usize, 300, 1000] {
+            let inst = random_instance(&schema, rows, (rows as u32) / 3 + 2, 11);
+            group.bench_with_input(BenchmarkId::from_parameter(rows), &inst, |b, inst| {
+                b.iter(|| {
+                    black_box(match_all_with(
+                        strategy,
+                        td.antecedents(),
+                        black_box(inst),
+                        &Binding::new(td.arity()),
+                        usize::MAX,
+                    ))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_chase_fixpoint(c: &mut Criterion) {
+    let tds = vec![join_on_supplier()];
+    let schema = garment_schema();
+    for (name, strategy) in STRATEGIES {
+        let mut group = c.benchmark_group(format!("indexed_vs_naive/chase_fixpoint/{name}"));
+        group.sample_size(10);
+        for rows in [10usize, 20, 40] {
+            let inst = random_instance(&schema, rows, 4, 3);
+            group.bench_with_input(BenchmarkId::from_parameter(rows), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut engine = ChaseEngine::new(
+                        &tds,
+                        inst.clone(),
+                        ChasePolicy::Restricted,
+                        ChaseBudget {
+                            max_steps: 1_000_000,
+                            max_rows: 1_000_000,
+                            max_rounds: 10_000,
+                        },
+                    )
+                    .unwrap()
+                    .with_strategy(strategy);
+                    let outcome = engine.run(None);
+                    black_box((outcome, engine.state().len()))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_match_all, bench_chase_fixpoint);
+criterion_main!(benches);

@@ -11,8 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use td_bench::{product_chain, relabel_chain};
 use td_core::chase::ChaseBudget;
+use td_core::homomorphism::MatchStrategy;
 use td_reduction::deps::build_system;
-use td_reduction::part_a::{prove_part_a, prove_unguided};
+use td_reduction::part_a::{prove_part_a, prove_unguided_with};
 use td_semigroup::derivation::{search_goal_derivation, SearchBudget};
 
 fn bench_guided(c: &mut Criterion) {
@@ -51,25 +52,33 @@ fn bench_guided(c: &mut Criterion) {
     group.finish();
 }
 
+/// The unguided fair chase, naive versus indexed matching. The `k = 16`
+/// relabel chain is the "large fixture" whose recorded speedup lives in
+/// `BENCH_chase.json`.
 fn bench_unguided(c: &mut Criterion) {
-    let mut group = c.benchmark_group("part_a/unguided/relabel_chain");
-    group.sample_size(10);
-    for k in [2usize, 4, 8] {
-        let p = relabel_chain(k);
-        let system = build_system(&p).unwrap();
-        let budget = ChaseBudget {
-            max_steps: 100_000,
-            max_rows: 100_000,
-            max_rounds: 1_000,
-        };
-        group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
-            b.iter(|| {
-                let (outcome, ..) = prove_unguided(&system, budget).unwrap();
-                black_box(outcome)
+    for (name, strategy) in [
+        ("naive", MatchStrategy::Naive),
+        ("indexed", MatchStrategy::Indexed),
+    ] {
+        let mut group = c.benchmark_group(format!("part_a/unguided/relabel_chain/{name}"));
+        group.sample_size(10);
+        for k in [4usize, 8, 16] {
+            let p = relabel_chain(k);
+            let system = build_system(&p).unwrap();
+            let budget = ChaseBudget {
+                max_steps: 100_000,
+                max_rows: 100_000,
+                max_rounds: 1_000,
+            };
+            group.bench_with_input(BenchmarkId::from_parameter(k), &(), |b, _| {
+                b.iter(|| {
+                    let (outcome, ..) = prove_unguided_with(&system, budget, strategy).unwrap();
+                    black_box(outcome)
+                });
             });
-        });
+        }
+        group.finish();
     }
-    group.finish();
 }
 
 criterion_group!(benches, bench_guided, bench_unguided);

@@ -193,6 +193,51 @@ pub fn full_td_family(arity: usize) -> (Schema, Vec<Td>) {
     (schema, tds)
 }
 
+/// A full-TD decision workload whose chase must materialize two complete
+/// products before concluding: `d0` has two groups of `k` antecedent rows,
+/// each group sharing its column-0 "hub" variable, and a conclusion that
+/// mixes group 0's hub with group 1's attributes. Chasing the frozen
+/// tableau with [`full_td_family`]'s join dependencies closes each group
+/// into its `k^(arity-1)`-row product, the groups never interact, and the
+/// mixed conclusion is never produced — so deciding the (negative)
+/// implication costs the full closure. This is the `full_td_decision`
+/// bench's large fixture.
+pub fn two_star_tableau_goal(schema: &Schema, k: usize) -> Td {
+    let arity = schema.arity();
+    let mut b = TdBuilder::new(schema.clone());
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for g in 0..2usize {
+        for r in 0..k {
+            let row: Vec<String> = (0..arity)
+                .map(|c| {
+                    if c == 0 {
+                        format!("a{g}")
+                    } else {
+                        format!("v{g}_{r}_{c}")
+                    }
+                })
+                .collect();
+            rows.push(row);
+        }
+    }
+    for r in &rows {
+        b = b.antecedent(r.iter().map(String::as_str)).expect("arity");
+    }
+    let concl: Vec<String> = (0..arity)
+        .map(|c| {
+            if c == 0 {
+                "a0".to_string()
+            } else {
+                rows[k][c].clone()
+            }
+        })
+        .collect();
+    b.conclusion(concl.iter().map(String::as_str))
+        .expect("arity")
+        .build("two-star")
+        .expect("well-formed")
+}
+
 /// Random embedded TDs over `schema`: `n_antecedents` rows with variables
 /// drawn from a small pool per column, plus a conclusion mixing antecedent
 /// variables (per column, probability `existential_pct`% of being

@@ -1,12 +1,25 @@
 //! The chase engine.
+//!
+//! Trigger discovery is **semi-naive**: the first round matches every
+//! dependency against the whole initial tableau, and each later round only
+//! looks for triggers that use at least one row derived since the previous
+//! discovery pass (the *delta*). This is sound for the restricted chase
+//! because both firing and witnessing are monotone — a trigger whose rows
+//! all predate the delta was already discovered, and if it was inactive
+//! (conclusion witnessed) then it stays inactive forever, since rows are
+//! never removed. Matching itself goes through the
+//! [`MatchStrategy`](crate::homomorphism::MatchStrategy) planner, indexed
+//! by default.
 
+use std::collections::HashSet;
 use std::ops::ControlFlow;
 
 use crate::error::{CoreError, Result};
-use crate::homomorphism::{for_each_match, Binding};
+use crate::homomorphism::{for_each_match_capped, for_each_match_with, Binding, MatchStrategy};
+use crate::ids::RowId;
 use crate::instance::Instance;
-use crate::satisfaction::conclusion_witnessed;
-use crate::td::Td;
+use crate::satisfaction::conclusion_witnessed_with;
+use crate::td::{Td, TdRow};
 use crate::tuple::Tuple;
 
 use super::proof::{ChaseProof, ChaseStep};
@@ -96,13 +109,18 @@ pub struct ChaseEngine<'a> {
     state: Instance,
     policy: ChasePolicy,
     budget: ChaseBudget,
+    strategy: MatchStrategy,
     steps_fired: usize,
     rounds_run: usize,
+    /// Semi-naive frontier: rows below this index have already been through
+    /// trigger discovery; rows at or above it form the next round's delta.
+    frontier: usize,
     proof: ChaseProof,
 }
 
 impl<'a> ChaseEngine<'a> {
-    /// Creates an engine over `tds` starting from `initial`.
+    /// Creates an engine over `tds` starting from `initial`, matching with
+    /// the default [`MatchStrategy::Indexed`].
     pub fn new(
         tds: &'a [Td],
         initial: Instance,
@@ -117,10 +135,25 @@ impl<'a> ChaseEngine<'a> {
             state: initial,
             policy,
             budget,
+            strategy: MatchStrategy::default(),
             steps_fired: 0,
             rounds_run: 0,
+            frontier: 0,
             proof: ChaseProof::default(),
         })
+    }
+
+    /// Selects the homomorphism-matching strategy (builder style). The
+    /// naive strategy is the differential-testing oracle; verdicts must not
+    /// depend on this choice.
+    pub fn with_strategy(mut self, strategy: MatchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The matching strategy in use.
+    pub fn strategy(&self) -> MatchStrategy {
+        self.strategy
     }
 
     /// The current chase state.
@@ -211,7 +244,104 @@ impl<'a> ChaseEngine<'a> {
         }
     }
 
+    /// Whether a discovered trigger should fire under the engine's policy:
+    /// restricted triggers are active only while their conclusion is not
+    /// yet witnessed in the current state; oblivious triggers always are.
+    fn is_active(&self, td: &Td, binding: &Binding) -> bool {
+        match self.policy {
+            ChasePolicy::Restricted => {
+                !conclusion_witnessed_with(self.strategy, &self.state, td, binding)
+            }
+            ChasePolicy::Oblivious => true,
+        }
+    }
+
+    /// Collects the active triggers whose antecedents all lie in the current
+    /// state (full pass — used for the first discovery round). Returns
+    /// `true` if collection was cut short by the step budget.
+    fn discover_full(&self, cap: usize, pending: &mut Vec<(usize, Binding)>) -> bool {
+        let mut truncated = false;
+        for (i, td) in self.tds.iter().enumerate() {
+            let seed = Binding::new(td.arity());
+            for_each_match_with(self.strategy, td.antecedents(), &self.state, &seed, |b| {
+                if self.is_active(td, b) {
+                    pending.push((i, b.clone()));
+                }
+                if pending.len() >= cap {
+                    truncated = true;
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+            if truncated {
+                break;
+            }
+        }
+        truncated
+    }
+
+    /// Semi-naive discovery: collects the active triggers that use at least
+    /// one row of the delta `delta_start..delta_end`. The decomposition is
+    /// the standard duplicate-free one — for pivot position `j`, row `j`
+    /// maps to a delta tuple, rows before `j` are capped to the pre-delta
+    /// prefix, and rows after `j` are unrestricted — so every qualifying
+    /// row assignment is enumerated exactly once. (Distinct assignments can
+    /// still collapse to the same *binding*; those are deduplicated.)
+    /// Returns `true` if collection was cut short by the step budget.
+    fn discover_delta(
+        &self,
+        delta_start: usize,
+        delta_end: usize,
+        cap: usize,
+        pending: &mut Vec<(usize, Binding)>,
+    ) -> bool {
+        let mut truncated = false;
+        let mut seen: HashSet<(usize, Vec<_>)> = HashSet::new();
+        'tds: for (i, td) in self.tds.iter().enumerate() {
+            for j in 0..td.antecedent_count() {
+                let pivot = &td.antecedents()[j];
+                let rest: Vec<(&TdRow, usize)> = td
+                    .antecedents()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != j)
+                    .map(|(k, r)| (r, if k < j { delta_start } else { usize::MAX }))
+                    .collect();
+                for rid in delta_start..delta_end {
+                    let tuple = self
+                        .state
+                        .get(RowId::from(rid))
+                        .expect("delta row ids are in range");
+                    let mut seed = Binding::new(td.arity());
+                    if !seed.bind_row(pivot, tuple) {
+                        continue; // pivot row self-conflicts on this tuple
+                    }
+                    for_each_match_capped(self.strategy, &rest, &self.state, &seed, |b| {
+                        if self.is_active(td, b) && seen.insert((i, b.to_sorted_vec())) {
+                            pending.push((i, b.clone()));
+                        }
+                        if pending.len() >= cap {
+                            truncated = true;
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    });
+                    if truncated {
+                        break 'tds;
+                    }
+                }
+            }
+        }
+        truncated
+    }
+
     /// Runs the chase to completion, goal, or budget exhaustion.
+    ///
+    /// Discovery is semi-naive (see the module docs): round 1 matches
+    /// against the whole state, later rounds only against triggers touching
+    /// the rows derived since the previous discovery pass.
     pub fn run(&mut self, goal: Option<&Goal>) -> ChaseOutcome {
         if let Some(g) = goal {
             if g.find_in(&self.state).is_some() {
@@ -225,26 +355,28 @@ impl<'a> ChaseEngine<'a> {
             }
             self.rounds_run += 1;
 
-            // Snapshot the active triggers against the current state.
+            let round_start = self.state.len();
+            let delta_start = self.frontier;
+            // Collect at most one trigger beyond the step budget so an
+            // exhausted budget is still noticed by the firing loop below.
+            let cap = self
+                .budget
+                .max_steps
+                .saturating_sub(self.steps_fired)
+                .max(1);
+
             let mut pending: Vec<(usize, Binding)> = Vec::new();
-            let snapshot = self.state.clone();
-            let remaining_steps = self.budget.max_steps.saturating_sub(self.steps_fired);
-            for (i, td) in self.tds.iter().enumerate() {
-                let seed = Binding::new(td.arity());
-                for_each_match(td.antecedents(), &snapshot, &seed, |b| {
-                    let active = match self.policy {
-                        ChasePolicy::Restricted => !conclusion_witnessed(&snapshot, td, b),
-                        ChasePolicy::Oblivious => true,
-                    };
-                    if active {
-                        pending.push((i, b.clone()));
-                    }
-                    if pending.len() >= remaining_steps.max(1) {
-                        ControlFlow::Break(())
-                    } else {
-                        ControlFlow::Continue(())
-                    }
-                });
+            let truncated = if delta_start == 0 {
+                self.discover_full(cap, &mut pending)
+            } else {
+                // delta_start == round_start means no new rows since the
+                // last pass: nothing to discover, pending stays empty.
+                self.discover_delta(delta_start, round_start, cap, &mut pending)
+            };
+            if !truncated {
+                // A truncated pass may have skipped triggers in rows below
+                // `round_start`; keep the frontier so they are rediscovered.
+                self.frontier = round_start;
             }
 
             if pending.is_empty() {
@@ -258,15 +390,16 @@ impl<'a> ChaseEngine<'a> {
                 {
                     return ChaseOutcome::BudgetExhausted;
                 }
-                // Re-check activeness against the *current* state.
+                // Re-check activeness against the *current* state: an
+                // earlier firing in this round may have witnessed it.
                 if self.policy == ChasePolicy::Restricted
-                    && conclusion_witnessed(&self.state, &self.tds[td_index], &binding)
+                    && !self.is_active(&self.tds[td_index], &binding)
                 {
                     continue;
                 }
                 let (_, added) = self
                     .fire(td_index, &binding)
-                    .expect("snapshot triggers remain valid: the chase only adds rows");
+                    .expect("discovered triggers remain valid: the chase only adds rows");
                 if added {
                     fired_this_round = true;
                     if let Some(g) = goal {
@@ -279,6 +412,14 @@ impl<'a> ChaseEngine<'a> {
             }
 
             if !fired_this_round {
+                if truncated {
+                    // The discovery pass was cut short by the step budget,
+                    // so active triggers may remain undiscovered: claiming
+                    // a fixpoint would be unsound. Retry from the kept
+                    // frontier; the round cap bounds this loop, so a stuck
+                    // run ends in BudgetExhausted, never a false Terminated.
+                    continue;
+                }
                 return ChaseOutcome::Terminated;
             }
         }
@@ -404,6 +545,39 @@ mod tests {
         assert_eq!(engine.run(None), ChaseOutcome::Terminated);
         assert_eq!(engine.steps_fired(), 0);
         assert_eq!(engine.state().len(), 1);
+    }
+
+    /// Regression: a discovery pass truncated by the step budget must not
+    /// let the round conclude `Terminated`. With `max_steps = 1` the pass
+    /// collects only the first trigger — here one whose conclusion is
+    /// already present, so nothing fires — while triggers that would add
+    /// rows remain undiscovered. The honest outcome is budget exhaustion.
+    #[test]
+    fn truncated_oblivious_round_is_not_a_fixpoint() {
+        let td = TdBuilder::new(schema2())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("prod")
+            .unwrap();
+        let tds = vec![td];
+        let mut initial = Instance::new(schema2());
+        initial.insert_values([0, 0]).unwrap();
+        initial.insert_values([1, 1]).unwrap();
+        let budget = ChaseBudget {
+            max_steps: 1,
+            max_rows: 100,
+            max_rounds: 5,
+        };
+        let mut engine = ChaseEngine::new(&tds, initial, ChasePolicy::Oblivious, budget).unwrap();
+        // The first enumerated trigger maps both antecedents onto row 0 and
+        // concludes (0,0), which is already present; the product rows (0,1)
+        // and (1,0) are still missing, so this is NOT a fixpoint.
+        assert_eq!(engine.run(None), ChaseOutcome::BudgetExhausted);
+        assert_eq!(engine.state().len(), 2, "nothing may fire under cap 1");
     }
 
     #[test]

@@ -11,6 +11,28 @@
 //! not be injective); this matters — the paper's part (B) case analysis
 //! explicitly walks through the collapsed cases ("if t₁ = … = t₅, then ∗ can
 //! be chosen as the same element").
+//!
+//! # Matching strategies
+//!
+//! Two interchangeable implementations of the search live here, selected by
+//! [`MatchStrategy`]:
+//!
+//! * [`MatchStrategy::Naive`] — the textbook nested-loop backtracking
+//!   search: each pattern row is tried against every tuple of the target.
+//!   `O(|target|^rows)` in the worst case. Kept as the **differential-testing
+//!   oracle**: it is small enough to audit by eye, and the property tests
+//!   assert the indexed planner enumerates exactly the same match set.
+//! * [`MatchStrategy::Indexed`] (the default) — a join-order planner over
+//!   the per-column value indexes of [`Instance`]: pattern rows are greedily
+//!   reordered so each row shares variables with the rows already matched,
+//!   and at each depth the candidate tuples are read from the most selective
+//!   index entry ([`Instance::rows_with`]) instead of scanning the whole
+//!   relation. Rows with no bound column fall back to a scan, so the
+//!   strategy is never worse than a constant factor off the naive search
+//!   and is asymptotically faster whenever the pattern is connected.
+//!
+//! Both strategies are deterministic; they may enumerate matches in
+//! different orders but always produce the same *set* of bindings.
 
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -18,6 +40,17 @@ use std::ops::ControlFlow;
 use crate::ids::{AttrId, Value, Var};
 use crate::instance::Instance;
 use crate::td::TdRow;
+
+/// How [`for_each_match`] searches for homomorphisms. See the module docs
+/// for the trade-off; the default is [`MatchStrategy::Indexed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchStrategy {
+    /// Nested full scans (the differential-testing oracle).
+    Naive,
+    /// Index-lookup planning over [`Instance::rows_with`].
+    #[default]
+    Indexed,
+}
 
 /// A partial assignment of values to (column-scoped) variables.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -91,6 +124,15 @@ impl Binding {
         }
         Some(b)
     }
+
+    /// Binds every cell of `row` to the corresponding component of `tuple`.
+    /// Returns `false` (leaving the binding in a partially-extended state)
+    /// if some cell conflicts with an existing binding — callers that need
+    /// rollback should clone first. Used to seed delta-driven trigger
+    /// discovery in the semi-naive chase.
+    pub fn bind_row(&mut self, row: &TdRow, tuple: &crate::tuple::Tuple) -> bool {
+        row.components().all(|(c, v)| self.bind(c, v, tuple.get(c)))
+    }
 }
 
 /// Applies `row` under `binding`; `None` for any unbound cell.
@@ -126,8 +168,15 @@ fn try_match_row(
     Some(added)
 }
 
-fn search<F>(
-    pattern: &[TdRow],
+/// A pattern row paired with an exclusive row-id cap: the row may only
+/// match tuples whose `RowId` index is below the cap (`usize::MAX` means
+/// unrestricted). The semi-naive chase uses caps to constrain rows to the
+/// pre-delta prefix of the state, which makes its pivot decomposition
+/// duplicate-free.
+type CappedRow<'p> = (&'p TdRow, usize);
+
+fn search_naive<F>(
+    pattern: &[CappedRow<'_>],
     target: &Instance,
     binding: &mut Binding,
     visit: &mut F,
@@ -135,12 +184,12 @@ fn search<F>(
 where
     F: FnMut(&Binding) -> ControlFlow<()>,
 {
-    let Some((row, rest)) = pattern.split_first() else {
+    let Some((&(row, cap), rest)) = pattern.split_first() else {
         return visit(binding);
     };
-    for tuple in target.tuples() {
+    for tuple in target.tuples().take(cap) {
         if let Some(added) = try_match_row(binding, row, tuple) {
-            let flow = search(rest, target, binding, visit);
+            let flow = search_naive(rest, target, binding, visit);
             for (c, v) in added {
                 binding.unbind(c, v);
             }
@@ -150,15 +199,218 @@ where
     ControlFlow::Continue(())
 }
 
-/// Visits every extension of `seed` that maps all of `pattern` into
-/// `target`. The visitor returns `ControlFlow::Break(())` to stop early.
-/// Returns `true` if the enumeration ran to completion.
-pub fn for_each_match<F>(pattern: &[TdRow], target: &Instance, seed: &Binding, mut visit: F) -> bool
+/// Restricts an index bucket (ascending row ids) to ids below `cap`.
+fn capped_prefix(rows: &[crate::ids::RowId], cap: usize) -> &[crate::ids::RowId] {
+    if cap == usize::MAX {
+        rows
+    } else {
+        &rows[..rows.partition_point(|r| r.index() < cap)]
+    }
+}
+
+/// The most selective candidate list for `row` under `binding`: the
+/// shortest index bucket over the row's bound columns, capped to row ids
+/// below `cap`. `Err(())` means some bound column has no candidates (the
+/// row cannot match at all); `Ok(None)` means no column is bound (callers
+/// fall back to a scan).
+#[allow(clippy::result_unit_err)]
+fn best_bucket<'t>(
+    row: &TdRow,
+    target: &'t Instance,
+    binding: &Binding,
+    cap: usize,
+) -> Result<Option<&'t [crate::ids::RowId]>, ()> {
+    let mut candidates: Option<&[crate::ids::RowId]> = None;
+    for (col, var) in row.components() {
+        if let Some(val) = binding.get(col, var) {
+            let rows = capped_prefix(target.rows_with(col, val), cap);
+            if rows.is_empty() {
+                return Err(());
+            }
+            if candidates.is_none_or(|best| rows.len() < best.len()) {
+                candidates = Some(rows);
+                // A singleton bucket cannot be beaten; stop scanning
+                // columns for a more selective one.
+                if rows.len() == 1 {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(candidates)
+}
+
+/// One step of the indexed search: pick the most selective candidate list
+/// for `row` under the current binding — the shortest index entry over its
+/// bound columns — and fall back to a full scan when nothing is bound.
+fn search_indexed<F>(
+    pattern: &[CappedRow<'_>],
+    target: &Instance,
+    binding: &mut Binding,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    let Some((&(row, cap), rest)) = pattern.split_first() else {
+        return visit(binding);
+    };
+    let Ok(candidates) = best_bucket(row, target, binding, cap) else {
+        return ControlFlow::Continue(());
+    };
+    match candidates {
+        Some(rows) => {
+            for &rid in rows {
+                let tuple = target.get(rid).expect("index row ids are in range");
+                if let Some(added) = try_match_row(binding, row, tuple) {
+                    let flow = search_indexed(rest, target, binding, visit);
+                    for (c, v) in added {
+                        binding.unbind(c, v);
+                    }
+                    flow?;
+                }
+            }
+        }
+        None => {
+            // No column of this row is bound yet: scan, exactly like the
+            // naive search (the planner's row order makes this rare).
+            for tuple in target.tuples().take(cap) {
+                if let Some(added) = try_match_row(binding, row, tuple) {
+                    let flow = search_indexed(rest, target, binding, visit);
+                    for (c, v) in added {
+                        binding.unbind(c, v);
+                    }
+                    flow?;
+                }
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// Greedy join-order plan: rows are emitted so that each (after the first)
+/// shares as many variables as possible with the rows already planned,
+/// which maximizes how often [`search_indexed`] can use an index lookup.
+/// Deterministic: ties break towards the earliest pattern row. Rows whose
+/// variables are bound by the seed count as shared too.
+///
+/// Pattern widths are tiny (the paper's reduction caps antecedents at
+/// five), so connectivity is computed by direct row-to-row comparison —
+/// `O(m² · arity)` with no allocation beyond the output — rather than
+/// through per-column variable sets; this keeps the planner off the hot
+/// path for the single-row patterns of conclusion-witness checks.
+fn plan_row_order<'p>(pattern: &[CappedRow<'p>], seed: &Binding) -> Vec<CappedRow<'p>> {
+    let mut plan: Vec<CappedRow<'p>> = Vec::with_capacity(pattern.len());
+    if pattern.len() <= 1 {
+        plan.extend(pattern.iter());
+        return plan;
+    }
+    let mut chosen = vec![false; pattern.len()];
+    for _ in 0..pattern.len() {
+        let mut best = usize::MAX;
+        let mut best_shared = 0usize;
+        for (i, &(row, _)) in pattern.iter().enumerate() {
+            if chosen[i] {
+                continue;
+            }
+            let shared = row
+                .components()
+                .filter(|&(c, v)| {
+                    seed.get(c, v).is_some() || plan.iter().any(|&(r, _)| r.get(c) == v)
+                })
+                .count();
+            if best == usize::MAX || shared > best_shared {
+                best = i;
+                best_shared = shared;
+            }
+        }
+        chosen[best] = true;
+        plan.push(pattern[best]);
+    }
+    plan
+}
+
+/// [`for_each_match_with`] over rows carrying explicit row-id caps (the
+/// semi-naive chase's delta decomposition). Crate-internal: the public
+/// entry points pass `usize::MAX` caps.
+pub(crate) fn for_each_match_capped<F>(
+    strategy: MatchStrategy,
+    pattern: &[CappedRow<'_>],
+    target: &Instance,
+    seed: &Binding,
+    mut visit: F,
+) -> bool
 where
     F: FnMut(&Binding) -> ControlFlow<()>,
 {
     let mut binding = seed.clone();
-    search(pattern, target, &mut binding, &mut visit).is_continue()
+    match strategy {
+        MatchStrategy::Naive => {
+            search_naive(pattern, target, &mut binding, &mut visit).is_continue()
+        }
+        MatchStrategy::Indexed => {
+            let plan = plan_row_order(pattern, seed);
+            search_indexed(&plan, target, &mut binding, &mut visit).is_continue()
+        }
+    }
+}
+
+/// Visits every extension of `seed` that maps all of `pattern` into
+/// `target`, searching with `strategy`. The visitor returns
+/// `ControlFlow::Break(())` to stop early. Returns `true` if the
+/// enumeration ran to completion.
+pub fn for_each_match_with<F>(
+    strategy: MatchStrategy,
+    pattern: &[TdRow],
+    target: &Instance,
+    seed: &Binding,
+    visit: F,
+) -> bool
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    let rows: Vec<CappedRow<'_>> = pattern.iter().map(|r| (r, usize::MAX)).collect();
+    for_each_match_capped(strategy, &rows, target, seed, visit)
+}
+
+/// Visits every extension of `seed` that maps all of `pattern` into
+/// `target` using the default [`MatchStrategy::Indexed`] planner. The
+/// visitor returns `ControlFlow::Break(())` to stop early. Returns `true`
+/// if the enumeration ran to completion.
+pub fn for_each_match<F>(pattern: &[TdRow], target: &Instance, seed: &Binding, visit: F) -> bool
+where
+    F: FnMut(&Binding) -> ControlFlow<()>,
+{
+    for_each_match_with(MatchStrategy::default(), pattern, target, seed, visit)
+}
+
+/// `true` if some tuple of `target` matches the single pattern `row` under
+/// `binding` — without extending the binding. Because variables are
+/// column-scoped, the cells of one row are pairwise distinct variables, so
+/// a read-only consistency check per tuple is equivalent to a full
+/// single-row match; this is the allocation-free fast path behind
+/// conclusion-witness checks, the hottest operation of the restricted
+/// chase.
+pub fn row_match_exists(
+    strategy: MatchStrategy,
+    row: &TdRow,
+    target: &Instance,
+    binding: &Binding,
+) -> bool {
+    let matches_tuple = |tuple: &crate::tuple::Tuple| {
+        row.components()
+            .all(|(c, v)| binding.get(c, v).is_none_or(|val| val == tuple.get(c)))
+    };
+    match strategy {
+        MatchStrategy::Naive => target.tuples().any(matches_tuple),
+        MatchStrategy::Indexed => match best_bucket(row, target, binding, usize::MAX) {
+            Err(()) => false,
+            Ok(Some(rows)) => rows
+                .iter()
+                .any(|&rid| matches_tuple(target.get(rid).expect("index row ids are in range"))),
+            Ok(None) => target.tuples().any(matches_tuple),
+        },
+    }
 }
 
 /// The first matching extension of `seed`, if any.
@@ -178,8 +430,20 @@ pub fn match_all(
     seed: &Binding,
     limit: usize,
 ) -> Vec<Binding> {
+    match_all_with(MatchStrategy::default(), pattern, target, seed, limit)
+}
+
+/// [`match_all`] under an explicit [`MatchStrategy`]. The two strategies
+/// enumerate the same set of bindings, possibly in different orders.
+pub fn match_all_with(
+    strategy: MatchStrategy,
+    pattern: &[TdRow],
+    target: &Instance,
+    seed: &Binding,
+    limit: usize,
+) -> Vec<Binding> {
     let mut out = Vec::new();
-    for_each_match(pattern, target, seed, |b| {
+    for_each_match_with(strategy, pattern, target, seed, |b| {
         out.push(b.clone());
         if out.len() >= limit {
             ControlFlow::Break(())
@@ -450,6 +714,83 @@ mod tests {
         }
         assert!(crate::satisfaction::satisfies(&model, &tds[0]));
         assert!(hom_embeds_fixing(&universal, &model, &initial));
+    }
+
+    /// Compares the two strategies' match sets on one (pattern, instance).
+    fn assert_strategies_agree(pattern: &[TdRow], inst: &Instance, seed: &Binding) {
+        let dump = |ms: &[Binding]| {
+            let mut v: Vec<_> = ms.iter().map(Binding::to_sorted_vec).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let naive = match_all_with(MatchStrategy::Naive, pattern, inst, seed, usize::MAX);
+        let indexed = match_all_with(MatchStrategy::Indexed, pattern, inst, seed, usize::MAX);
+        assert_eq!(naive.len(), indexed.len(), "match multiplicity differs");
+        assert_eq!(dump(&naive), dump(&indexed), "match sets differ");
+    }
+
+    #[test]
+    fn strategies_enumerate_identical_match_sets() {
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 10]).unwrap();
+        inst.insert_values([1, 11]).unwrap();
+        inst.insert_values([2, 20]).unwrap();
+        inst.insert_values([2, 10]).unwrap();
+        assert_strategies_agree(&pattern(), &inst, &Binding::new(2));
+        // Seeded: force a = 2.
+        let p = pattern();
+        let mut seed = Binding::new(2);
+        seed.bind(AttrId::new(0), p[0].get(AttrId::new(0)), Value::new(2));
+        assert_strategies_agree(&p, &inst, &seed);
+        // Empty pattern and empty instance corner cases.
+        assert_strategies_agree(&[], &inst, &Binding::new(2));
+        assert_strategies_agree(&pattern(), &Instance::new(schema()), &Binding::new(2));
+    }
+
+    #[test]
+    fn disconnected_pattern_rows_still_match_under_index_planner() {
+        // Two rows sharing no variables: the planner's fallback scan path.
+        let td = TdBuilder::new(schema())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("cross")
+            .unwrap();
+        let mut inst = Instance::new(schema());
+        inst.insert_values([1, 10]).unwrap();
+        inst.insert_values([2, 20]).unwrap();
+        let all = match_all_with(
+            MatchStrategy::Indexed,
+            td.antecedents(),
+            &inst,
+            &Binding::new(2),
+            usize::MAX,
+        );
+        assert_eq!(all.len(), 4); // 2 x 2 independent choices
+        assert_strategies_agree(td.antecedents(), &inst, &Binding::new(2));
+    }
+
+    #[test]
+    fn binding_bind_row() {
+        let p = pattern();
+        let mut b = Binding::new(2);
+        let t = crate::tuple::Tuple::from_raw([3, 7]);
+        assert!(b.bind_row(&p[0], &t));
+        assert_eq!(
+            b.get(AttrId::new(0), p[0].get(AttrId::new(0))),
+            Some(Value::new(3))
+        );
+        // Second row shares the A variable: binding to a conflicting tuple fails.
+        let t2 = crate::tuple::Tuple::from_raw([4, 8]);
+        assert!(!b.bind_row(&p[1], &t2));
+        // A tuple agreeing on A succeeds.
+        let mut b2 = Binding::new(2);
+        assert!(b2.bind_row(&p[0], &t));
+        assert!(b2.bind_row(&p[1], &crate::tuple::Tuple::from_raw([3, 9])));
     }
 
     #[test]

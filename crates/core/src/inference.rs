@@ -24,7 +24,7 @@ use crate::chase::{
     weakly_acyclic, ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal,
 };
 use crate::error::{CoreError, Result};
-use crate::homomorphism::Binding;
+use crate::homomorphism::{Binding, MatchStrategy};
 use crate::ids::Value;
 use crate::instance::Instance;
 use crate::td::Td;
@@ -104,13 +104,27 @@ pub fn freeze(d0: &Td) -> Result<(Instance, Binding, Goal)> {
     Ok((instance, binding, goal))
 }
 
-/// Semi-decides `d ⊨ d0` by chasing `d0`'s frozen tableau with `d`.
+/// Semi-decides `d ⊨ d0` by chasing `d0`'s frozen tableau with `d`, using
+/// the default [`MatchStrategy::Indexed`] matcher.
 pub fn implies(d: &[Td], d0: &Td, budget: ChaseBudget) -> Result<InferenceVerdict> {
+    implies_with_strategy(d, d0, budget, MatchStrategy::default())
+}
+
+/// [`implies`] under an explicit homomorphism [`MatchStrategy`]. The
+/// verdict must not depend on the strategy (the differential property
+/// tests enforce this); the naive strategy exists as the audit oracle.
+pub fn implies_with_strategy(
+    d: &[Td],
+    d0: &Td,
+    budget: ChaseBudget,
+    strategy: MatchStrategy,
+) -> Result<InferenceVerdict> {
     for td in d {
         d0.schema().expect_same(td.schema())?;
     }
     let (frozen, _, goal) = freeze(d0)?;
-    let mut engine = ChaseEngine::new(d, frozen, ChasePolicy::Restricted, budget)?;
+    let mut engine =
+        ChaseEngine::new(d, frozen, ChasePolicy::Restricted, budget)?.with_strategy(strategy);
     match engine.run(Some(&goal)) {
         ChaseOutcome::GoalReached => {
             let (_, proof) = engine.into_parts();

@@ -5,6 +5,13 @@
 //! [`Instance`] is a duplicate-free, insertion-ordered set of [`Tuple`]s over
 //! one [`Schema`]. It also hands out *fresh values* per column, which the
 //! chase uses as labelled nulls.
+//!
+//! Every instance additionally maintains **per-column value indexes**: for
+//! each column, a map from each value to the (insertion-ordered) list of rows
+//! holding that value in that column. The indexes are updated incrementally
+//! on [`Instance::insert`] and drive the planner of
+//! [`crate::homomorphism::MatchStrategy::Indexed`], which replaces the
+//! nested full scans of trigger discovery with index lookups.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -21,6 +28,9 @@ pub struct Instance {
     seen: HashMap<Tuple, RowId>,
     /// Per-column counter: the smallest value id that is guaranteed unused.
     next_value: Vec<u32>,
+    /// Per-column index: value -> rows carrying that value in the column,
+    /// in insertion order. Maintained incrementally by [`Instance::insert`].
+    index: Vec<HashMap<Value, Vec<RowId>>>,
 }
 
 impl Instance {
@@ -32,6 +42,7 @@ impl Instance {
             tuples: Vec::new(),
             seen: HashMap::new(),
             next_value: vec![0; arity],
+            index: vec![HashMap::new(); arity],
         }
     }
 
@@ -66,6 +77,7 @@ impl Instance {
         for (col, v) in tuple.components() {
             let next = &mut self.next_value[col.index()];
             *next = (*next).max(v.raw().saturating_add(1));
+            self.index[col.index()].entry(v).or_default().push(row);
         }
         self.seen.insert(tuple.clone(), row);
         self.tuples.push(tuple);
@@ -123,10 +135,26 @@ impl Instance {
         v
     }
 
+    /// The rows whose `col` component equals `value`, in insertion order
+    /// (the per-column index behind
+    /// [`crate::homomorphism::MatchStrategy::Indexed`]). Returns the empty
+    /// slice when the value does not occur in the column.
+    pub fn rows_with(&self, col: AttrId, value: Value) -> &[RowId] {
+        self.index[col.index()]
+            .get(&value)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct values occurring in column `col` (the size of the
+    /// column's active domain), straight from the index.
+    pub fn distinct_values(&self, col: AttrId) -> usize {
+        self.index[col.index()].len()
+    }
+
     /// The set of values occurring in column `col` (the column's active
     /// domain).
     pub fn active_domain(&self, col: AttrId) -> BTreeSet<Value> {
-        self.tuples.iter().map(|t| t.get(col)).collect()
+        self.index[col.index()].keys().copied().collect()
     }
 
     /// Total number of distinct values over all columns (sum of per-column
@@ -134,7 +162,7 @@ impl Instance {
     pub fn domain_size(&self) -> usize {
         self.schema
             .attr_ids()
-            .map(|c| self.active_domain(c).len())
+            .map(|c| self.distinct_values(c))
             .sum()
     }
 
@@ -234,6 +262,24 @@ mod tests {
         assert_eq!(dom.len(), 2);
         assert!(dom.contains(&Value::new(5)));
         assert_eq!(inst.domain_size(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn column_index_tracks_inserts() {
+        let mut inst = Instance::new(schema());
+        assert!(inst.rows_with(AttrId::new(0), Value::new(1)).is_empty());
+        let (r0, _) = inst.insert_values([1, 2, 3]).unwrap();
+        let (r1, _) = inst.insert_values([1, 5, 3]).unwrap();
+        let (r2, _) = inst.insert_values([2, 5, 3]).unwrap();
+        // Duplicate insert must not duplicate index entries.
+        inst.insert_values([1, 2, 3]).unwrap();
+        assert_eq!(inst.rows_with(AttrId::new(0), Value::new(1)), &[r0, r1]);
+        assert_eq!(inst.rows_with(AttrId::new(0), Value::new(2)), &[r2]);
+        assert_eq!(inst.rows_with(AttrId::new(1), Value::new(5)), &[r1, r2]);
+        assert_eq!(inst.rows_with(AttrId::new(2), Value::new(3)), &[r0, r1, r2]);
+        assert!(inst.rows_with(AttrId::new(2), Value::new(9)).is_empty());
+        assert_eq!(inst.distinct_values(AttrId::new(0)), 2);
+        assert_eq!(inst.distinct_values(AttrId::new(2)), 1);
     }
 
     #[test]

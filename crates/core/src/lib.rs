@@ -93,9 +93,9 @@ pub mod prelude {
     pub use crate::eid::Eid;
     pub use crate::eq_instance::EqInstance;
     pub use crate::error::CoreError;
-    pub use crate::homomorphism::{match_all, match_first, Binding};
+    pub use crate::homomorphism::{match_all, match_first, Binding, MatchStrategy};
     pub use crate::ids::{AttrId, RowId, Value, Var};
-    pub use crate::inference::{implies, implies_full, InferenceVerdict};
+    pub use crate::inference::{implies, implies_full, implies_with_strategy, InferenceVerdict};
     pub use crate::instance::Instance;
     pub use crate::satisfaction::{find_violation, satisfies};
     pub use crate::schema::Schema;

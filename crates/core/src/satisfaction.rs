@@ -9,7 +9,7 @@
 use std::ops::ControlFlow;
 
 use crate::eq_instance::EqInstance;
-use crate::homomorphism::{for_each_match, match_first, Binding};
+use crate::homomorphism::{for_each_match, Binding, MatchStrategy};
 use crate::instance::Instance;
 use crate::td::Td;
 
@@ -17,7 +17,19 @@ use crate::td::Td;
 /// `binding` (which must bind at least the universally quantified conclusion
 /// variables).
 pub fn conclusion_witnessed(instance: &Instance, td: &Td, binding: &Binding) -> bool {
-    match_first(std::slice::from_ref(td.conclusion()), instance, binding).is_some()
+    conclusion_witnessed_with(MatchStrategy::default(), instance, td, binding)
+}
+
+/// [`conclusion_witnessed`] under an explicit [`MatchStrategy`] — the chase
+/// engine threads its strategy through so the naive oracle stays naive end
+/// to end (witness checks included).
+pub fn conclusion_witnessed_with(
+    strategy: MatchStrategy,
+    instance: &Instance,
+    td: &Td,
+    binding: &Binding,
+) -> bool {
+    crate::homomorphism::row_match_exists(strategy, td.conclusion(), instance, binding)
 }
 
 /// Finds a violating homomorphism: an antecedent match with no conclusion

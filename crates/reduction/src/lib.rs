@@ -47,7 +47,9 @@ pub mod prelude {
     pub use crate::error::RedError;
     pub use crate::part_a::{prove_part_a, prove_unguided};
     pub use crate::part_b::{build_counter_model, CounterModel, RowLabel};
-    pub use crate::pipeline::{solve, Budgets, PipelineOutcome};
+    pub use crate::pipeline::{
+        solve, solve_with, Budgets, PhaseTimings, PipelineOutcome, SolveMode,
+    };
     pub use crate::verify::{verify_counter_model, PartBReport};
 }
 

@@ -22,7 +22,7 @@
 //! itself, for cross-validation and benchmarks.
 
 use td_core::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal};
-use td_core::homomorphism::Binding;
+use td_core::homomorphism::{Binding, MatchStrategy};
 use td_core::inference::freeze;
 use td_core::instance::Instance;
 use td_core::td::Td;
@@ -199,13 +199,25 @@ pub fn prove_unguided(
     system: &ReductionSystem,
     budget: ChaseBudget,
 ) -> Result<(ChaseOutcome, usize, usize, Option<PartAProof>)> {
+    prove_unguided_with(system, budget, MatchStrategy::default())
+}
+
+/// [`prove_unguided`] under an explicit homomorphism [`MatchStrategy`] —
+/// the benchmark harness uses this to pit the indexed planner against the
+/// naive oracle on identical workloads.
+pub fn prove_unguided_with(
+    system: &ReductionSystem,
+    budget: ChaseBudget,
+    strategy: MatchStrategy,
+) -> Result<(ChaseOutcome, usize, usize, Option<PartAProof>)> {
     let (frozen, _, goal) = freeze(&system.d0)?;
     let mut engine = ChaseEngine::new(
         &system.deps,
         frozen.clone(),
         ChasePolicy::Restricted,
         budget,
-    )?;
+    )?
+    .with_strategy(strategy);
     let outcome = engine.run(Some(&goal));
     let steps = engine.steps_fired();
     let rounds = engine.rounds_run();

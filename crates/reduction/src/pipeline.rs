@@ -5,19 +5,46 @@
 //! 1. zero-saturate and [`td_semigroup::normalize::normalize`] the input
 //!    presentation;
 //! 2. [`build_system`] — the dependencies `D` and goal `D₀`;
-//! 3. try the **derivable** side: search for a derivation `A₀ ⇒* 0`; on
-//!    success, compile it into a guided chase proof (part (A)) —
-//!    `D ⊨ D₀`, certified;
-//! 4. try the **refutable** side: look for a finite cancellation
-//!    countermodel (analytic families first, then backtracking search); on
-//!    success, build the part (B) database — `D ⊭ D₀` (finitely),
-//!    certified;
-//! 5. otherwise report `Unknown` with the spent budgets — the honest third
+//! 3. run the two certificate searches:
+//!    * the **derivable** side — search for a derivation `A₀ ⇒* 0`; on
+//!      success, compile it into a guided chase proof (part (A)) —
+//!      `D ⊨ D₀`, certified;
+//!    * the **refutable** side — look for a finite cancellation
+//!      countermodel (analytic families first, then backtracking search);
+//!      on success, build the part (B) database — `D ⊭ D₀` (finitely),
+//!      certified;
+//! 4. otherwise report `Unknown` with the spent budgets — the honest third
 //!    verdict mandated by undecidability.
+//!
+//! # Racing the two sides
+//!
+//! The two searches certify mutually exclusive answers (a derivation makes
+//! `A₀ = 0` hold in *every* model, so no countermodel can exist), so
+//! nothing is learned by running the loser to completion. Under
+//! [`SolveMode::Racing`] — the default for [`solve`] — the two sides run
+//! on scoped threads sharing an early-exit flag: whichever finds its
+//! certificate first flips the flag and the other side backs out at its
+//! next poll ([`td_semigroup::derivation::search_derivation_cancellable`],
+//! [`td_semigroup::model_search::find_counter_model_cancellable`]).
+//! [`SolveMode::Sequential`] preserves the historical
+//! derivation-then-model order on the calling thread; the differential
+//! property tests assert both modes return the same verdict.
+//!
+//! Every run also records wall-clock [`PhaseTimings`], which the `tdq`
+//! binary surfaces under `--timings`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use td_core::chase::ChaseBudget;
-use td_semigroup::derivation::{search_goal_derivation, Derivation, SearchBudget, SearchResult};
-use td_semigroup::model_search::{find_counter_model, ModelSearchOptions, ModelSearchResult};
+use td_semigroup::cayley::{FiniteSemigroup, Interpretation};
+use td_semigroup::derivation::{
+    search_goal_derivation, search_goal_derivation_cancellable, Derivation, SearchBudget,
+    SearchResult,
+};
+use td_semigroup::model_search::{
+    find_counter_model_cancellable, ModelSearchOptions, ModelSearchResult,
+};
 use td_semigroup::normalize::{normalize, Normalized};
 use td_semigroup::presentation::Presentation;
 
@@ -37,6 +64,39 @@ pub struct Budgets {
     /// Chase budget (used only by unguided cross-checks; part (A) itself is
     /// guided and needs no budget).
     pub chase: ChaseBudget,
+}
+
+/// How [`solve_with`] schedules the two certificate searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// Derivation search first, model search only if it fails — on the
+    /// calling thread. Kept as the deterministic oracle for the
+    /// differential tests.
+    Sequential,
+    /// Both searches on scoped threads with a shared early-exit flag:
+    /// whichever certificate is found first wins and cancels the loser.
+    #[default]
+    Racing,
+}
+
+/// Wall-clock durations of the pipeline phases, for `tdq --timings` and
+/// performance triage. Under [`SolveMode::Racing`] the derivation and
+/// model times overlap, so they can sum to more than `total`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Zero-saturation plus normalization to `(2,1)`/`(1,1)` equations.
+    pub normalize: Duration,
+    /// Building the reduction system (attributes, `D`, `D₀`).
+    pub reduce: Duration,
+    /// Derivation search (side 1), including any cancelled prefix.
+    pub derivation: Duration,
+    /// Finite-model search (side 2), including any cancelled prefix.
+    pub model: Duration,
+    /// Compiling and verifying the winning certificate (part (A) proof or
+    /// part (B) countermodel); zero for `Unknown`.
+    pub certificate: Duration,
+    /// End-to-end wall-clock time of [`solve_with`].
+    pub total: Duration,
 }
 
 /// The pipeline's verdict.
@@ -80,7 +140,7 @@ impl PipelineOutcome {
 }
 
 /// Everything the pipeline produced: the normalization, the reduction
-/// system, and the verdict.
+/// system, the verdict, and the per-phase timings.
 #[derive(Debug, Clone)]
 pub struct PipelineRun {
     /// The normalized presentation and its bookkeeping.
@@ -89,70 +149,185 @@ pub struct PipelineRun {
     pub system: ReductionSystem,
     /// The verdict.
     pub outcome: PipelineOutcome,
+    /// Wall-clock phase timings of this run.
+    pub timings: PhaseTimings,
 }
 
-/// Runs the full pipeline on a raw presentation.
-pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
-    let saturated = p.zero_saturated();
-    let normalized = normalize(&saturated)?;
-    let np = &normalized.presentation;
-    let system = build_system(np)?;
+/// What one side of the race produced, before certificate compilation.
+enum SideResult {
+    Derivation(Derivation),
+    Model(FiniteSemigroup, Interpretation),
+    Neither {
+        derivation_states: usize,
+        model_nodes: u64,
+    },
+}
 
-    // Side 1: derivability.
+/// Runs the model side: analytic null-semigroup shortcut first, then the
+/// cancellable backtracking search. Returns the model (if any) and the
+/// nodes visited.
+fn model_side(
+    np: &Presentation,
+    opts: &ModelSearchOptions,
+    cancel: &AtomicBool,
+) -> Result<(Option<(FiniteSemigroup, Interpretation)>, u64)> {
+    if let Some((g, interp)) = td_semigroup::families::null_counter_model(np) {
+        return Ok((Some((g, interp)), 0));
+    }
+    Ok(match find_counter_model_cancellable(np, opts, cancel)? {
+        ModelSearchResult::Found(g, interp) => (Some((g, interp)), 0),
+        ModelSearchResult::ExhaustedSizes { nodes }
+        | ModelSearchResult::BudgetExhausted { nodes } => (None, nodes),
+    })
+}
+
+/// Runs the two certificate searches sequentially (derivation first).
+fn search_sequential(
+    np: &Presentation,
+    budgets: &Budgets,
+    timings: &mut PhaseTimings,
+) -> Result<SideResult> {
+    let t = Instant::now();
     let derivation_states = match search_goal_derivation(np, &budgets.derivation) {
         SearchResult::Found(derivation) => {
-            let proof = prove_part_a(&system, np, &derivation)?;
-            return Ok(PipelineRun {
-                normalized,
-                system,
-                outcome: PipelineOutcome::Implied { derivation, proof },
-            });
+            timings.derivation = t.elapsed();
+            return Ok(SideResult::Derivation(derivation));
         }
         SearchResult::ExhaustedWithinBound { states }
         | SearchResult::BudgetExhausted { states } => states,
     };
+    timings.derivation = t.elapsed();
 
-    // Side 2: finite countermodel. Try the analytic null-semigroup shortcut
-    // first, then the backtracking search.
-    let model_nodes;
-    let found = match td_semigroup::families::null_counter_model(np) {
-        Some((g, interp)) => {
-            model_nodes = 0;
-            Some((g, interp))
-        }
-        None => match find_counter_model(np, &budgets.model)? {
-            ModelSearchResult::Found(g, interp) => {
-                model_nodes = 0;
-                Some((g, interp))
-            }
-            ModelSearchResult::ExhaustedSizes { nodes }
-            | ModelSearchResult::BudgetExhausted { nodes } => {
-                model_nodes = nodes;
-                None
-            }
+    let t = Instant::now();
+    let never = AtomicBool::new(false);
+    let (found, model_nodes) = model_side(np, &budgets.model, &never)?;
+    timings.model = t.elapsed();
+    Ok(match found {
+        Some((g, interp)) => SideResult::Model(g, interp),
+        None => SideResult::Neither {
+            derivation_states,
+            model_nodes,
         },
+    })
+}
+
+/// Races the two certificate searches on scoped threads. The first side to
+/// find its certificate flips the shared flag; the other side backs out at
+/// its next cancellation poll. The two certificates are mutually exclusive
+/// (a derivation rules out every countermodel), so the winner is
+/// well-defined; if both sides exhaust, the spent budgets are exactly the
+/// sequential ones.
+fn search_racing(
+    np: &Presentation,
+    budgets: &Budgets,
+    timings: &mut PhaseTimings,
+) -> Result<SideResult> {
+    let cancel = AtomicBool::new(false);
+    let (deriv, model) = std::thread::scope(|s| {
+        let deriv_handle = s.spawn(|| {
+            let t = Instant::now();
+            let r = search_goal_derivation_cancellable(np, &budgets.derivation, &cancel);
+            if matches!(r, SearchResult::Found(_)) {
+                cancel.store(true, Ordering::Relaxed);
+            }
+            (r, t.elapsed())
+        });
+        let model_handle = s.spawn(|| {
+            let t = Instant::now();
+            let r = model_side(np, &budgets.model, &cancel);
+            if matches!(r, Ok((Some(_), _))) {
+                cancel.store(true, Ordering::Relaxed);
+            }
+            (r, t.elapsed())
+        });
+        (
+            deriv_handle.join().expect("derivation side panicked"),
+            model_handle.join().expect("model side panicked"),
+        )
+    });
+    let (deriv_result, deriv_time) = deriv;
+    let (model_result, model_time) = model;
+    timings.derivation = deriv_time;
+    timings.model = model_time;
+    let (model_found, model_nodes) = model_result?;
+    // Prefer the derivation side on the (mathematically impossible) double
+    // win, matching the sequential order.
+    Ok(match (deriv_result, model_found) {
+        (SearchResult::Found(derivation), _) => SideResult::Derivation(derivation),
+        (_, Some((g, interp))) => SideResult::Model(g, interp),
+        (
+            SearchResult::ExhaustedWithinBound { states }
+            | SearchResult::BudgetExhausted { states },
+            None,
+        ) => SideResult::Neither {
+            derivation_states: states,
+            model_nodes,
+        },
+    })
+}
+
+/// Runs the full pipeline on a raw presentation, racing the two sides
+/// ([`SolveMode::Racing`]).
+pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
+    solve_with(p, budgets, SolveMode::default())
+}
+
+/// Runs the full pipeline on a raw presentation under an explicit
+/// [`SolveMode`]. Both modes return the same verdict (enforced by the
+/// differential property tests); racing wins wall-clock time whenever the
+/// refutable side settles first.
+pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Result<PipelineRun> {
+    let t_total = Instant::now();
+    let mut timings = PhaseTimings::default();
+
+    let t = Instant::now();
+    let saturated = p.zero_saturated();
+    let normalized = normalize(&saturated)?;
+    timings.normalize = t.elapsed();
+    let np = &normalized.presentation;
+
+    let t = Instant::now();
+    let system = build_system(np)?;
+    timings.reduce = t.elapsed();
+
+    let side = match mode {
+        SolveMode::Sequential => search_sequential(np, budgets, &mut timings)?,
+        SolveMode::Racing => search_racing(np, budgets, &mut timings)?,
     };
-    if let Some((g, interp)) = found {
-        let model = build_counter_model(&system, np, &g, &interp)?;
-        let report = verify_counter_model(&system, &model);
-        debug_assert!(report.ok(), "{report:?}");
-        return Ok(PipelineRun {
-            normalized,
-            system,
-            outcome: PipelineOutcome::Refuted {
+
+    let t = Instant::now();
+    let outcome = match side {
+        SideResult::Derivation(derivation) => {
+            let proof = prove_part_a(&system, np, &derivation)?;
+            PipelineOutcome::Implied { derivation, proof }
+        }
+        SideResult::Model(g, interp) => {
+            let model = build_counter_model(&system, np, &g, &interp)?;
+            let report = verify_counter_model(&system, &model);
+            debug_assert!(report.ok(), "{report:?}");
+            PipelineOutcome::Refuted {
                 model: Box::new(model),
                 report,
-            },
-        });
+            }
+        }
+        SideResult::Neither {
+            derivation_states,
+            model_nodes,
+        } => PipelineOutcome::Unknown {
+            derivation_states,
+            model_nodes,
+        },
+    };
+    if !matches!(outcome, PipelineOutcome::Unknown { .. }) {
+        timings.certificate = t.elapsed();
     }
+    timings.total = t_total.elapsed();
 
     Ok(PipelineRun {
         normalized,
         system,
-        outcome: PipelineOutcome::Unknown {
-            derivation_states,
-            model_nodes,
-        },
+        outcome,
+        timings,
     })
 }
 

@@ -9,6 +9,7 @@
 //! problem is undecidable).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crate::error::{Result, SgError};
 use crate::presentation::Presentation;
@@ -166,6 +167,22 @@ pub fn search_derivation(
     target: &Word,
     budget: &SearchBudget,
 ) -> SearchResult {
+    let never = AtomicBool::new(false);
+    search_derivation_cancellable(p, start, target, budget, &never)
+}
+
+/// [`search_derivation`] with a cooperative cancellation flag, for racing
+/// against the finite-model search: the flag is polled once per dequeued
+/// word, and a cancelled run reports [`SearchResult::BudgetExhausted`] with
+/// the states visited so far (the caller that set the flag has its own
+/// certificate and discards this side's result).
+pub fn search_derivation_cancellable(
+    p: &Presentation,
+    start: &Word,
+    target: &Word,
+    budget: &SearchBudget,
+    cancel: &AtomicBool,
+) -> SearchResult {
     if start == target {
         return SearchResult::Found(Derivation::trivial(start.clone()));
     }
@@ -188,6 +205,10 @@ pub fn search_derivation(
 
     let mut budget_hit = false;
     'bfs: while let Some(word) = queue.pop_front() {
+        if cancel.load(Ordering::Relaxed) {
+            budget_hit = true;
+            break 'bfs;
+        }
         for (eq_index, eq) in p.equations().iter().enumerate() {
             for (from, to, forward) in [(&eq.lhs, &eq.rhs, true), (&eq.rhs, &eq.lhs, false)] {
                 if from == to {
@@ -253,6 +274,17 @@ pub fn search_derivation(
 pub fn search_goal_derivation(p: &Presentation, budget: &SearchBudget) -> SearchResult {
     let goal = p.goal();
     search_derivation(p, &goal.lhs, &goal.rhs, budget)
+}
+
+/// [`search_goal_derivation`] with a cooperative cancellation flag (see
+/// [`search_derivation_cancellable`]).
+pub fn search_goal_derivation_cancellable(
+    p: &Presentation,
+    budget: &SearchBudget,
+    cancel: &AtomicBool,
+) -> SearchResult {
+    let goal = p.goal();
+    search_derivation_cancellable(p, &goal.lhs, &goal.rhs, budget, cancel)
 }
 
 #[cfg(test)]

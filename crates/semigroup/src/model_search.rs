@@ -25,6 +25,8 @@
 //! `max_size` proves nothing (Gurevich 1966 — the finite-semigroup word
 //! problem is itself undecidable), so the result type is three-valued.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use crate::cayley::{FiniteSemigroup, Interpretation};
 use crate::error::Result;
 use crate::presentation::Presentation;
@@ -81,6 +83,10 @@ impl ModelSearchResult {
 
 const UNSET: u16 = u16::MAX;
 
+/// The cancellation flag is polled every `CANCEL_POLL_MASK + 1` search
+/// nodes — rarely enough that the atomic load stays off the hot path.
+const CANCEL_POLL_MASK: u64 = 0x3FF;
+
 struct Search<'a> {
     n: usize,
     p: &'a Presentation,
@@ -89,6 +95,9 @@ struct Search<'a> {
     nodes: u64,
     max_nodes: u64,
     budget_hit: bool,
+    /// Cooperative cancellation flag, polled every [`CANCEL_POLL_MASK`]+1
+    /// nodes; cancellation is reported as a budget hit.
+    cancel: &'a AtomicBool,
 }
 
 impl Search<'_> {
@@ -213,7 +222,9 @@ impl Search<'_> {
         };
         for v in 0..self.n as u16 {
             self.nodes += 1;
-            if self.nodes > self.max_nodes {
+            if self.nodes > self.max_nodes
+                || (self.nodes & CANCEL_POLL_MASK == 0 && self.cancel.load(Ordering::Relaxed))
+            {
                 self.budget_hit = true;
                 return None;
             }
@@ -295,11 +306,33 @@ pub fn find_counter_model(
     p: &Presentation,
     opts: &ModelSearchOptions,
 ) -> Result<ModelSearchResult> {
+    let never = AtomicBool::new(false);
+    find_counter_model_cancellable(p, opts, &never)
+}
+
+/// [`find_counter_model`] with a cooperative cancellation flag, for racing
+/// against the derivation search: the flag is polled every few hundred
+/// search nodes, and a cancelled run reports
+/// [`ModelSearchResult::BudgetExhausted`] with the nodes visited so far
+/// (the caller that set the flag has its own certificate and discards this
+/// side's result).
+pub fn find_counter_model_cancellable(
+    p: &Presentation,
+    opts: &ModelSearchOptions,
+    cancel: &AtomicBool,
+) -> Result<ModelSearchResult> {
     let mut total_nodes: u64 = 0;
     for n in opts.min_size.max(2)..=opts.max_size {
         let mut found: Option<(FiniteSemigroup, Interpretation)> = None;
         let mut budget_hit = false;
         for_each_interpretation(p, n, &mut |interp| {
+            // A cancelled run stops before the next interpretation, too:
+            // the in-search poll only fires every few hundred nodes, and
+            // small tables burn most of their time across interpretations.
+            if cancel.load(Ordering::Relaxed) {
+                budget_hit = true;
+                return true;
+            }
             // Fresh table per interpretation: zero row and column pinned.
             let mut search = Search {
                 n,
@@ -308,6 +341,7 @@ pub fn find_counter_model(
                 nodes: 0,
                 max_nodes: opts.max_nodes.saturating_sub(total_nodes),
                 budget_hit: false,
+                cancel,
             };
             for x in 0..n {
                 search.set(0, x, 0);

@@ -96,7 +96,9 @@ impl BenchmarkGroup<'_> {
     /// Set the number of timed samples per benchmark (criterion's
     /// `sample_size`). Values below 2 are clamped to 2.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.max(2);
+        if !self.criterion.test_mode {
+            self.samples = n.max(2);
+        }
         self
     }
 
@@ -140,6 +142,11 @@ impl BenchmarkGroup<'_> {
 #[derive(Debug)]
 pub struct Criterion {
     filters: Vec<String>,
+    /// Smoke mode (`cargo bench -- --test-mode`): run every benchmark a
+    /// minimal number of times so CI can exercise the bench targets
+    /// without paying for real measurements (the shim's analogue of
+    /// criterion's `--test`).
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -148,9 +155,11 @@ impl Default for Criterion {
     /// positional arguments as substring filters.
     fn default() -> Self {
         let mut filters = Vec::new();
+        let mut test_mode = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
+                "--test-mode" => test_mode = true,
                 "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
                 "--profile-time" | "--sample-size" | "--warm-up-time" | "--measurement-time"
                 | "--save-baseline" | "--baseline" | "--load-baseline" | "--output-format"
@@ -168,7 +177,7 @@ impl Default for Criterion {
                 s => filters.push(s.to_owned()),
             }
         }
-        Criterion { filters }
+        Criterion { filters, test_mode }
     }
 }
 
@@ -185,9 +194,11 @@ impl Criterion {
             .max(2)
     }
 
-    /// Open a named [`BenchmarkGroup`].
+    /// Open a named [`BenchmarkGroup`]. In `--test-mode` the sample count
+    /// is pinned to the minimum regardless of `TD_BENCH_SAMPLES` or
+    /// [`BenchmarkGroup::sample_size`].
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let samples = Self::samples();
+        let samples = if self.test_mode { 2 } else { Self::samples() };
         BenchmarkGroup {
             criterion: self,
             name: name.into(),

@@ -20,15 +20,25 @@ const USAGE: &str = "\
 tdq — template-dependency query tool
 
 USAGE:
-    tdq deps FILE         analyse a dependency file (schema/td/eid/row lines)
-    tdq wp FILE           solve a word-problem instance (alphabet/eq lines)
-    tdq normalize FILE    normalize a presentation to (2,1)/(1,1) equations
-    tdq reduce FILE       print the reduction (attributes, D, D0) of an instance
-    tdq help              print this text
+    tdq deps [--timings] FILE       analyse a dependency file (schema/td/eid/row lines)
+    tdq wp [--timings] FILE         solve a word-problem instance (alphabet/eq lines)
+    tdq normalize FILE              normalize a presentation to (2,1)/(1,1) equations
+    tdq reduce FILE                 print the reduction (attributes, D, D0) of an instance
+    tdq help                        print this text
+
+OPTIONS:
+    --timings    print per-phase wall-clock timings after the result
+                 (parse/analysis for `deps`; normalize/reduce/derivation/
+                 model/certificate for `wp`)
 ";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let timings = {
+        let before = args.len();
+        args.retain(|a| a != "--timings");
+        args.len() != before
+    };
     let (cmd, path) = match args.as_slice() {
         [cmd, path] => (cmd.as_str(), path.as_str()),
         [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => {
@@ -40,6 +50,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if timings && !matches!(cmd, "deps" | "wp") {
+        eprintln!("tdq: --timings is not supported for `{cmd}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -48,8 +62,8 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd {
-        "deps" => cmd_deps(&text),
-        "wp" => cmd_wp(&text),
+        "deps" => cmd_deps(&text, timings),
+        "wp" => cmd_wp(&text, timings),
         "normalize" => cmd_normalize(&text),
         "reduce" => cmd_reduce(&text),
         other => {
@@ -66,8 +80,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_deps(text: &str) -> Result<(), String> {
+fn cmd_deps(text: &str, timings: bool) -> Result<(), String> {
+    let t_parse = std::time::Instant::now();
     let file = td_core::parser::parse(text).map_err(|e| e.to_string())?;
+    let t_parse = t_parse.elapsed();
+    let t_analysis = std::time::Instant::now();
     println!("schema: {}", file.schema);
     for td in &file.tds {
         println!("\n{td}");
@@ -115,10 +132,16 @@ fn cmd_deps(text: &str) -> Result<(), String> {
             }
         );
     }
+    if timings {
+        println!(
+            "\ntimings: parse {t_parse:.2?}, analysis {:.2?}",
+            t_analysis.elapsed()
+        );
+    }
     Ok(())
 }
 
-fn cmd_wp(text: &str) -> Result<(), String> {
+fn cmd_wp(text: &str, timings: bool) -> Result<(), String> {
     let p = td_semigroup::parser::parse(text).map_err(|e| e.to_string())?;
     print!("{p}");
     let run = solve(&p, &Budgets::default()).map_err(|e| e.to_string())?;
@@ -176,6 +199,14 @@ fn cmd_wp(text: &str) -> Result<(), String> {
                  — enlarge the budgets; undecidability guarantees this case cannot be eliminated"
             );
         }
+    }
+    if timings {
+        let t = &run.timings;
+        println!(
+            "timings: normalize {:.2?}, reduce {:.2?}, derivation {:.2?}, model {:.2?}, \
+             certificate {:.2?}, total {:.2?} (derivation and model race on threads)",
+            t.normalize, t.reduce, t.derivation, t.model, t.certificate, t.total
+        );
     }
     Ok(())
 }

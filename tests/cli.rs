@@ -96,6 +96,42 @@ fn reduce_prints_dependencies_and_dot() {
 }
 
 #[test]
+fn timings_flag_prints_phase_breakdown() {
+    let path = write_temp("wp-timings", "alphabet A0 0\nzerosat\n");
+    let out = tdq().args(["wp", "--timings"]).arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("timings: normalize "), "{stdout}");
+    assert!(stdout.contains("derivation "), "{stdout}");
+    assert!(stdout.contains("model "), "{stdout}");
+    // Without the flag, no timings line (golden files depend on this).
+    let out = tdq().arg("wp").arg(&path).output().unwrap();
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("timings:"));
+
+    let deps = write_temp("deps-timings", "schema R(A, B)\ntd t: (a, b) -> (a, b)\n");
+    let out = tdq()
+        .args(["deps", "--timings"])
+        .arg(&deps)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("timings: parse "), "{stdout}");
+
+    // Commands without a timings phase reject the flag instead of
+    // silently ignoring it.
+    let out = tdq()
+        .args(["normalize", "--timings"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--timings is not supported"));
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(deps).ok();
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = tdq()
         .args(["wp", "/nonexistent/really-not-here.txt"])

@@ -1,0 +1,90 @@
+//! Golden-file tests for the `tdq` command-line tool.
+//!
+//! Each fixture under `tests/golden/` is run through a `tdq` subcommand and
+//! the full stdout is compared byte-for-byte against the checked-in
+//! `.golden` file, so any output drift shows up as a reviewable diff.
+//!
+//! To refresh the expectations after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test cli_golden
+//! ```
+//!
+//! then commit the regenerated `.golden` files. Timings are deliberately
+//! excluded from golden runs (`--timings` is off), keeping the output
+//! deterministic.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Runs `tdq <cmd> <fixture>` and compares stdout against `<name>.golden`.
+fn check_golden(cmd: &str, fixture: &str) {
+    let dir = golden_dir();
+    let input = dir.join(fixture);
+    let name = fixture.strip_suffix(".txt").unwrap_or(fixture);
+    let golden = dir.join(format!("{name}.golden"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_tdq"))
+        .arg(cmd)
+        .arg(&input)
+        .output()
+        .expect("tdq runs");
+    let stdout = String::from_utf8(out.stdout).expect("tdq output is UTF-8");
+    assert!(
+        out.status.success(),
+        "tdq {cmd} {fixture} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &stdout).expect("write golden file");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n(run `UPDATE_GOLDEN=1 cargo test --test cli_golden` \
+             to record it)",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        stdout,
+        expected,
+        "tdq {cmd} {fixture} drifted from {}\n\
+         (if the change is intentional, refresh with \
+         `UPDATE_GOLDEN=1 cargo test --test cli_golden` and review the diff)",
+        golden.display()
+    );
+}
+
+#[test]
+fn deps_garment_golden() {
+    check_golden("deps", "deps_garment.txt");
+}
+
+#[test]
+fn wp_implied_golden() {
+    check_golden("wp", "wp_implied.txt");
+}
+
+#[test]
+fn wp_refuted_golden() {
+    check_golden("wp", "wp_refuted.txt");
+}
+
+#[test]
+fn normalize_long_golden() {
+    check_golden("normalize", "normalize_long.txt");
+}
+
+#[test]
+fn reduce_tiny_golden() {
+    check_golden("reduce", "reduce_tiny.txt");
+}

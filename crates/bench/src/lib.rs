@@ -149,6 +149,59 @@ pub fn nilpotent_countermodel_workload(
     (p, g, interp)
 }
 
+/// A duplicate-heavy batch corpus: `copies` disguised copies of each of
+/// four base word-problem instances (two derivable instances whose BFS
+/// derivation searches do real work, a refutable zero-only instance, and
+/// the running two-generator example). Copy `j` of an instance rotates
+/// its equation list by `j` and renames every symbol — changes that leave
+/// the reduced dependency system isomorphic, so canonical-key
+/// deduplication must collapse the corpus back to the four originals.
+/// This is the `batch_throughput` bench workload.
+pub fn duplicate_heavy_corpus(copies: usize) -> Vec<Presentation> {
+    let bases: Vec<Presentation> = vec![
+        product_chain(6),
+        product_chain(5),
+        refutable_with_symbols(2),
+        {
+            let alphabet = Alphabet::standard(2);
+            let eqs = vec![
+                Equation::parse("A1 A1 = A0", &alphabet).expect("well-formed"),
+                Equation::parse("A1 A1 = 0", &alphabet).expect("well-formed"),
+            ];
+            let mut p = Presentation::new(alphabet, eqs).expect("symbols in range");
+            p.saturate_with_zero_equations();
+            p
+        },
+    ];
+    let mut corpus = Vec::with_capacity(bases.len() * copies);
+    for (b, base) in bases.iter().enumerate() {
+        for j in 0..copies {
+            // Renamed symbols (order preserved — the reduction keys on
+            // structure, not names) and rotated equations.
+            let alphabet = base.alphabet();
+            let names: Vec<String> = (0..alphabet.len())
+                .map(|s| format!("S{b}_{j}_{s}"))
+                .collect();
+            let a0 = names[alphabet.a0().index()].clone();
+            let zero = names[alphabet.zero().index()].clone();
+            let renamed = Alphabet::new(names, &a0, &zero).expect("distinct names");
+            let mut eqs: Vec<Equation> = base
+                .equations()
+                .iter()
+                .map(|eq| {
+                    let side =
+                        |w: &Word| Word::new(w.syms().iter().copied()).expect("same symbol ids");
+                    Equation::new(side(&eq.lhs), side(&eq.rhs))
+                })
+                .collect();
+            let rot = j % eqs.len().max(1);
+            eqs.rotate_left(rot);
+            corpus.push(Presentation::new(renamed, eqs).expect("same symbol ids"));
+        }
+    }
+    corpus
+}
+
 /// A family of full TDs over an `arity`-column schema: for each adjacent
 /// column pair `(i, i+1)`, the "join" dependency that shares column `i`
 /// between two rows and re-combines them. All are full, so

@@ -12,6 +12,24 @@
 //! on [`Instance::insert`] and drive the planner of
 //! [`crate::homomorphism::MatchStrategy::Indexed`], which replaces the
 //! nested full scans of trigger discovery with index lookups.
+//!
+//! # Index freshness is an invariant by construction
+//!
+//! The index can only go stale if a stored tuple changes without going
+//! through [`Instance::insert`] — and no such path exists: the tuple store
+//! is private, every accessor returns shared references, and rows are never
+//! removed or edited in place. The workspace's "mutation-heavy" operations
+//! all rebuild instances row by row through `insert` rather than mutating
+//! one: [`crate::eq_instance::EqInstance`] merges and its union–find
+//! collapses happen in the partition view and only materialize via
+//! [`crate::eq_instance::EqInstance::to_instance`] (a fresh instance);
+//! [`crate::product::direct_product`] interns pair values into a fresh
+//! instance; the chase (`crate::chase`) extends its state exclusively by
+//! inserting conclusion rows with freshly drawn nulls — template
+//! dependencies have no equality conclusions, so chasing never unifies two
+//! existing values in place. [`Instance::index_is_consistent`] re-derives
+//! the index from the tuple store so differential tests can audit the
+//! invariant end to end.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -166,6 +184,32 @@ impl Instance {
             .sum()
     }
 
+    /// Audits the per-column index invariant against the tuple store: every
+    /// bucket must list exactly the rows carrying its value, in ascending
+    /// insertion order (the order [`crate::homomorphism`]'s row-id caps rely
+    /// on), the dedup map must mirror the store, and the fresh-value
+    /// counters must clear every stored value. There is no mutation path
+    /// that can break this (see the module docs) — the method exists so
+    /// differential tests can *prove* that claim on unification-heavy
+    /// workloads instead of trusting it.
+    pub fn index_is_consistent(&self) -> bool {
+        let mut expected: Vec<HashMap<Value, Vec<RowId>>> =
+            vec![HashMap::new(); self.schema.arity()];
+        for (row, tuple) in self.rows() {
+            for (col, v) in tuple.components() {
+                expected[col.index()].entry(v).or_default().push(row);
+            }
+        }
+        expected == self.index
+            && self.seen.len() == self.tuples.len()
+            && self.rows().all(|(row, t)| self.seen.get(t) == Some(&row))
+            && self.schema.attr_ids().all(|col| {
+                self.index[col.index()]
+                    .keys()
+                    .all(|v| v.raw() < self.next_value[col.index()])
+            })
+    }
+
     /// Builds an instance from an iterator of tuples.
     pub fn from_tuples(schema: Schema, tuples: impl IntoIterator<Item = Tuple>) -> Result<Self> {
         let mut inst = Self::new(schema);
@@ -280,6 +324,24 @@ mod tests {
         assert!(inst.rows_with(AttrId::new(2), Value::new(9)).is_empty());
         assert_eq!(inst.distinct_values(AttrId::new(0)), 2);
         assert_eq!(inst.distinct_values(AttrId::new(2)), 1);
+    }
+
+    #[test]
+    fn index_consistency_audit() {
+        let mut inst = Instance::new(schema());
+        assert!(inst.index_is_consistent(), "empty instance");
+        for i in 0..10u32 {
+            inst.insert_values([i % 3, i % 2, i]).unwrap();
+            inst.insert_values([i % 3, i % 2, i]).unwrap(); // duplicate
+            assert!(inst.index_is_consistent(), "after insert {i}");
+        }
+        // Fresh values bump the counters but leave the index untouched.
+        inst.fresh_value(AttrId::new(1));
+        assert!(inst.index_is_consistent());
+        assert!(
+            inst.clone().index_is_consistent(),
+            "clones share the invariant"
+        );
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //! * **EIDs** ([`eid`]): embedded implicational dependencies (Chandra, Lewis
 //!   & Makowsky), the more general class the paper strengthens; TDs embed
 //!   into EIDs.
+//! * **Canonical forms** ([`canon`]): isomorphism-invariant 128-bit keys
+//!   for TDs (equal iff the dependencies coincide up to variable renaming
+//!   and row permutation), via color refinement with smallest-orbit
+//!   individualization — the foundation of the batch decision cache.
 //! * A small **text format** ([`parser`]) and **renderers** ([`render`]) for
 //!   dependencies, diagrams and instances.
 //!
@@ -67,6 +71,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod axioms;
+pub mod canon;
 pub mod chase;
 pub mod countermodel;
 pub mod diagram;
@@ -88,6 +93,7 @@ pub mod union_find;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::canon::{canon_key, system_key, CanonKey};
     pub use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal};
     pub use crate::diagram::Diagram;
     pub use crate::eid::Eid;

@@ -13,11 +13,14 @@
 //! ```
 //!
 //! * `schema` must appear before any `td`, `eid` or `row` line.
+//! * Dependency names are unique across `td` and `eid` lines; duplicates
+//!   are rejected with a positioned error.
 //! * Variable tokens `*` and `_` are anonymous (fresh each occurrence);
 //!   in conclusions they denote existentially quantified components.
 //! * Variable scope is per dependency; the typing restriction (one name,
 //!   one column) is enforced.
-//! * `row` values are symbolic names, interned per column.
+//! * `row` values are symbolic names, interned per column; duplicate rows
+//!   are deduplicated (instances have set semantics).
 
 use std::collections::HashMap;
 
@@ -140,11 +143,33 @@ fn split_dependency(body: &str, line: usize) -> Result<(String, &str, &str)> {
 }
 
 /// Parses an entire file.
+///
+/// Dependency names (`td` and `eid` alike — they share a namespace) must
+/// be unique: lookups by name would otherwise resolve to an arbitrary
+/// entry, so a duplicate is rejected with a positioned error naming the
+/// first declaration. Duplicate `row` tuples are deduplicated (instances
+/// have set semantics; [`Instance::insert`] drops repeats), so the parsed
+/// instance's length counts distinct rows only.
 pub fn parse(text: &str) -> Result<ParsedFile> {
     let mut schema: Option<Schema> = None;
     let mut tds = Vec::new();
     let mut eids = Vec::new();
     let mut rows: Vec<(usize, Vec<String>)> = Vec::new();
+    // Dependency name -> line of first declaration, for duplicate errors.
+    let mut dep_names: HashMap<String, usize> = HashMap::new();
+    let mut check_dep_name = |name: &str, line_no: usize| match dep_names.entry(name.to_owned()) {
+        std::collections::hash_map::Entry::Occupied(first) => Err(err(
+            line_no,
+            format!(
+                "duplicate dependency name `{name}` (first declared on line {})",
+                first.get()
+            ),
+        )),
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            slot.insert(line_no);
+            Ok(())
+        }
+    };
 
     for (ix, raw_line) in text.lines().enumerate() {
         let line_no = ix + 1;
@@ -172,6 +197,7 @@ pub fn parse(text: &str) -> Result<ParsedFile> {
                     .as_ref()
                     .ok_or_else(|| err(line_no, "`td` before `schema`"))?;
                 let (name, ante, concl) = split_dependency(body, line_no)?;
+                check_dep_name(&name, line_no)?;
                 let ante_tuples = parse_tuples(ante, line_no)?;
                 let concl_tuples = parse_tuples(concl, line_no)?;
                 if concl_tuples.len() != 1 {
@@ -204,6 +230,7 @@ pub fn parse(text: &str) -> Result<ParsedFile> {
                     .as_ref()
                     .ok_or_else(|| err(line_no, "`eid` before `schema`"))?;
                 let (name, ante, concl) = split_dependency(body, line_no)?;
+                check_dep_name(&name, line_no)?;
                 let ante_tuples = parse_tuples(ante, line_no)?;
                 let concl_tuples = parse_tuples(concl, line_no)?;
                 // Reuse TdBuilder's name resolution by building all rows as
@@ -394,5 +421,47 @@ row (stlaurent, brief, s36)
     fn duplicate_schema_rejected() {
         let e = parse("schema R(A)\nschema R(B)\n").unwrap_err();
         assert!(matches!(e, CoreError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn duplicate_td_name_rejected_with_position() {
+        let e = parse("schema R(A)\ntd t: (a) -> (a)\ntd t: (b) -> (*)\n").unwrap_err();
+        match e {
+            CoreError::Parse { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("duplicate dependency name `t`"), "{msg}");
+                assert!(msg.contains("line 2"), "{msg}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_eid_name_rejected() {
+        let e = parse("schema R(A)\neid e: (a) -> (a)\neid e: (a) -> (x)\n").unwrap_err();
+        assert!(matches!(e, CoreError::Parse { line: 3, .. }), "{e}");
+    }
+
+    #[test]
+    fn td_and_eid_share_a_namespace() {
+        let e = parse("schema R(A)\ntd d: (a) -> (a)\neid d: (a) -> (x)\n").unwrap_err();
+        match e {
+            CoreError::Parse { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("duplicate dependency name `d`"), "{msg}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Distinct names across kinds stay fine.
+        let f = parse("schema R(A)\ntd d: (a) -> (a)\neid e: (a) -> (x)\n").unwrap();
+        assert_eq!(f.tds.len(), 1);
+        assert_eq!(f.eids.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rows_are_deduplicated() {
+        let f = parse("schema R(A, B)\nrow (x, y)\nrow (x, y)\nrow (x, z)\n").unwrap();
+        assert_eq!(f.instance.len(), 2, "set semantics: repeats dropped");
+        assert!(f.instance.index_is_consistent());
     }
 }

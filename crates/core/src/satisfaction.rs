@@ -9,7 +9,7 @@
 use std::ops::ControlFlow;
 
 use crate::eq_instance::EqInstance;
-use crate::homomorphism::{for_each_match, Binding, MatchStrategy};
+use crate::homomorphism::{for_each_match, for_each_match_with, Binding, MatchStrategy};
 use crate::instance::Instance;
 use crate::td::Td;
 
@@ -63,6 +63,29 @@ pub fn violations(instance: &Instance, td: &Td, limit: usize) -> Vec<Binding> {
         ControlFlow::Continue(())
     });
     out
+}
+
+/// [`satisfies`] under an explicit [`MatchStrategy`], end to end (both the
+/// antecedent search and the witness checks) — the differential tests
+/// compare the naive full-scan oracle against the indexed planner through
+/// this entry point.
+pub fn satisfies_with(strategy: MatchStrategy, instance: &Instance, td: &Td) -> bool {
+    let mut ok = true;
+    for_each_match_with(
+        strategy,
+        td.antecedents(),
+        instance,
+        &Binding::new(td.arity()),
+        |b| {
+            if conclusion_witnessed_with(strategy, instance, td, b) {
+                ControlFlow::Continue(())
+            } else {
+                ok = false;
+                ControlFlow::Break(())
+            }
+        },
+    );
+    ok
 }
 
 /// `true` if `instance ⊨ td`.

@@ -1,0 +1,389 @@
+//! Batch decision pipeline: many implication questions, each answered once
+//! per isomorphism class.
+//!
+//! Corpora of word-problem instances are full of isomorphic repeats —
+//! machine-generated queries differ by symbol names, equation order, or
+//! variable names while asking the same question. [`solve_batch`] exploits
+//! this in three layers:
+//!
+//! 1. **Canonicalization** — every instance is reduced to its dependency
+//!    system `(D, D₀)` and keyed by [`td_core::canon::system_key`], which
+//!    is invariant under exactly the changes that cannot affect the
+//!    verdict (per-column variable renaming, row permutation, premise
+//!    reordering).
+//! 2. **Deduplication + caching** — only the first instance of each key is
+//!    solved; settled verdicts are also recorded in a shared
+//!    [`DecisionCache`], so a pre-warmed cache skips even the first copy.
+//!    `Unknown` verdicts are shared *within* the batch call (budgets are
+//!    fixed for the call) but never written to the cross-call cache.
+//! 3. **A fixed worker pool** — the distinct instances are solved on
+//!    `jobs` scoped threads, each running the racing solver
+//!    ([`crate::pipeline::solve_with`] under [`SolveMode::Racing`]);
+//!    results are fanned back out to the input order.
+//!
+//! The outcome of a batch is deterministic: which instances get solved,
+//! every verdict, and the [`BatchStats`] are independent of thread
+//! scheduling (only wall-clock time varies).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use td_core::canon::{system_key, CanonKey};
+use td_semigroup::normalize::normalize;
+use td_semigroup::presentation::Presentation;
+
+use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
+use crate::deps::build_system;
+use crate::error::Result;
+use crate::pipeline::{solve_with, Budgets, PipelineOutcome, PipelineRun, SolveMode};
+
+/// One instance's verdict, compressed to the numbers a batch report needs.
+/// Full certificates are only materialized by the run that solved the
+/// instance; isomorphic repeats share the verdict without replaying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchVerdict {
+    /// `D ⊨ D₀` — derivable, with proof sizes.
+    Implied {
+        /// Steps of the word-problem derivation.
+        derivation_steps: usize,
+        /// Firings of the compiled part (A) chase proof.
+        proof_firings: usize,
+    },
+    /// `D ⊭ D₀` over finite databases — a countermodel exists.
+    Refuted {
+        /// Rows of the part (B) countermodel.
+        model_rows: usize,
+    },
+    /// Neither side settled within this batch's budgets.
+    Unknown {
+        /// Words visited by the derivation search.
+        derivation_states: usize,
+        /// Nodes visited by the model search.
+        model_nodes: u64,
+    },
+}
+
+/// Work accounting for one [`solve_batch`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Instances in the batch.
+    pub total: usize,
+    /// Distinct canonical keys among them.
+    pub unique: usize,
+    /// Instances answered without running the solver — isomorphic repeats
+    /// within the batch plus pre-warmed cache entries. Always
+    /// `total - solved`.
+    pub cache_hits: usize,
+    /// Racing-solver runs actually executed.
+    pub solved: usize,
+}
+
+/// Everything a batch call returns: per-instance verdicts and keys in
+/// input order, plus the work accounting.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// One verdict per input instance, in input order.
+    pub verdicts: Vec<BatchVerdict>,
+    /// The canonical key of each input instance, in input order (equal
+    /// keys mark the isomorphic repeats that were deduplicated).
+    pub keys: Vec<CanonKey>,
+    /// Work accounting.
+    pub stats: BatchStats,
+}
+
+/// Compresses a full pipeline run to its [`BatchVerdict`].
+fn compress(run: &PipelineRun) -> BatchVerdict {
+    match &run.outcome {
+        PipelineOutcome::Implied { derivation, proof } => BatchVerdict::Implied {
+            derivation_steps: derivation.len(),
+            proof_firings: proof.proof.len(),
+        },
+        PipelineOutcome::Refuted { model, .. } => BatchVerdict::Refuted {
+            model_rows: model.len(),
+        },
+        PipelineOutcome::Unknown {
+            derivation_states,
+            model_nodes,
+        } => BatchVerdict::Unknown {
+            derivation_states: *derivation_states,
+            model_nodes: *model_nodes,
+        },
+    }
+}
+
+fn from_cached(outcome: &CachedOutcome) -> BatchVerdict {
+    match outcome.verdict {
+        CachedVerdict::Implied {
+            derivation_steps,
+            proof_firings,
+        } => BatchVerdict::Implied {
+            derivation_steps,
+            proof_firings,
+        },
+        CachedVerdict::Refuted { model_rows } => BatchVerdict::Refuted { model_rows },
+    }
+}
+
+/// Decides a batch of word-problem instances, deduplicating by canonical
+/// key, consulting and feeding `cache`, and solving the distinct remainder
+/// on a pool of `jobs` scoped worker threads (clamped to at least one;
+/// each worker runs the racing solver). Verdicts come back in input order.
+///
+/// Deduplication is sound because the canonical key quotients by exactly
+/// the transformations that cannot change a verdict — see
+/// [`td_core::canon`].
+pub fn solve_batch(
+    items: &[Presentation],
+    budgets: &Budgets,
+    jobs: usize,
+    cache: &DecisionCache,
+) -> Result<BatchRun> {
+    // Phase 1: reduce every instance and compute its canonical key —
+    // pure, per-item work, spread over the same number of workers as the
+    // solving phase (contiguous chunks, so the result order is the input
+    // order with no locking).
+    let workers = jobs.clamp(1, items.len().max(1));
+    let key_of = |p: &Presentation| -> Result<CanonKey> {
+        let normalized = normalize(&p.zero_saturated())?;
+        let system = build_system(&normalized.presentation)?;
+        Ok(system_key(&system.deps, &system.d0))
+    };
+    let chunk_len = items.len().div_ceil(workers).max(1);
+    let keys: Vec<CanonKey> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(move || chunk.iter().map(key_of).collect::<Result<Vec<_>>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("canonicalization worker panicked"))
+            .collect::<Result<Vec<Vec<_>>>>()
+    })?
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Phase 2: dedup to first occurrences whose key is not already cached.
+    let mut distinct: HashSet<CanonKey> = HashSet::new();
+    let mut to_solve: Vec<(CanonKey, usize)> = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        if distinct.insert(key) && cache.get(key).is_none() {
+            to_solve.push((key, i));
+        }
+    }
+
+    // Phase 3: the worker pool. Workers pull distinct instances from a
+    // shared cursor; every verdict lands in the per-call map (and settled
+    // ones additionally in the cross-call cache).
+    let solved_now: Mutex<HashMap<CanonKey, BatchVerdict>> = Mutex::new(HashMap::new());
+    let first_error: Mutex<Option<crate::error::RedError>> = Mutex::new(None);
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let cursor = AtomicUsize::new(0);
+    let solve_workers = jobs.clamp(1, to_solve.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..solve_workers {
+            s.spawn(|| loop {
+                // The whole call fails on the first solver error, so once
+                // one is recorded the remaining workers stop pulling work
+                // instead of solving instances whose results would be
+                // discarded.
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(key, item)) = to_solve.get(slot) else {
+                    return;
+                };
+                match solve_with(&items[item], budgets, SolveMode::Racing) {
+                    Ok(run) => {
+                        let verdict = compress(&run);
+                        let cached = match verdict {
+                            BatchVerdict::Implied {
+                                derivation_steps,
+                                proof_firings,
+                            } => Some(CachedVerdict::Implied {
+                                derivation_steps,
+                                proof_firings,
+                            }),
+                            BatchVerdict::Refuted { model_rows } => {
+                                Some(CachedVerdict::Refuted { model_rows })
+                            }
+                            // Unknown depends on this call's budgets; it is
+                            // shared within the batch but never cached.
+                            BatchVerdict::Unknown { .. } => None,
+                        };
+                        if let Some(v) = cached {
+                            cache.insert(
+                                key,
+                                CachedOutcome {
+                                    verdict: v,
+                                    spend: run.spend,
+                                },
+                            );
+                        }
+                        solved_now
+                            .lock()
+                            .expect("batch result lock poisoned")
+                            .insert(key, verdict);
+                    }
+                    Err(e) => {
+                        first_error
+                            .lock()
+                            .expect("batch error lock poisoned")
+                            .get_or_insert(e);
+                        failed.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_error.into_inner().expect("batch error lock poisoned") {
+        return Err(e);
+    }
+
+    // Phase 4: fan results back out to input order.
+    let solved_now = solved_now.into_inner().expect("batch result lock poisoned");
+    let mut verdicts = Vec::with_capacity(items.len());
+    for &key in &keys {
+        let verdict = solved_now
+            .get(&key)
+            .copied()
+            .or_else(|| cache.get(key).as_ref().map(from_cached))
+            .expect("every key was either solved this call or found cached");
+        verdicts.push(verdict);
+    }
+
+    let solved = solved_now.len();
+    let stats = BatchStats {
+        total: items.len(),
+        unique: distinct.len(),
+        cache_hits: items.len() - solved,
+        solved,
+    };
+    Ok(BatchRun {
+        verdicts,
+        keys,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_semigroup::alphabet::Alphabet;
+    use td_semigroup::equation::Equation;
+
+    fn derivable() -> Presentation {
+        let alphabet = Alphabet::standard(2);
+        let eqs = vec![
+            Equation::parse("A1 A1 = A0", &alphabet).unwrap(),
+            Equation::parse("A1 A1 = 0", &alphabet).unwrap(),
+        ];
+        Presentation::new(alphabet, eqs).unwrap()
+    }
+
+    /// The same instance under renamed symbols and reordered equations:
+    /// isomorphic after reduction, so it must share the canonical key.
+    fn derivable_renamed() -> Presentation {
+        let alphabet = Alphabet::new(["start", "gen", "zip"], "start", "zip").unwrap();
+        let eqs = vec![
+            Equation::parse("gen gen = zip", &alphabet).unwrap(),
+            Equation::parse("gen gen = start", &alphabet).unwrap(),
+        ];
+        Presentation::new(alphabet, eqs).unwrap()
+    }
+
+    fn refutable() -> Presentation {
+        Presentation::new(Alphabet::standard(1), vec![]).unwrap()
+    }
+
+    #[test]
+    fn batch_dedups_and_matches_single_solves() {
+        let items = vec![
+            derivable(),
+            refutable(),
+            derivable_renamed(),
+            derivable(),
+            refutable(),
+        ];
+        let cache = DecisionCache::default();
+        let run = solve_batch(&items, &Budgets::default(), 2, &cache).unwrap();
+        assert_eq!(run.verdicts.len(), 5);
+        assert_eq!(run.keys[0], run.keys[2], "renamed copy shares the key");
+        assert_eq!(run.keys[0], run.keys[3]);
+        assert_eq!(run.keys[1], run.keys[4]);
+        assert_ne!(run.keys[0], run.keys[1]);
+        assert_eq!(run.stats.total, 5);
+        assert_eq!(run.stats.unique, 2);
+        assert_eq!(run.stats.solved, 2);
+        assert_eq!(run.stats.cache_hits, 3);
+        assert_eq!(cache.len(), 2, "both settled verdicts were cached");
+
+        // The fanned-out verdicts agree with one-at-a-time solving.
+        for (item, verdict) in items.iter().zip(&run.verdicts) {
+            let single = crate::pipeline::solve(item, &Budgets::default()).unwrap();
+            assert_eq!(*verdict, compress(&single));
+        }
+        assert!(matches!(run.verdicts[0], BatchVerdict::Implied { .. }));
+        assert!(matches!(run.verdicts[1], BatchVerdict::Refuted { .. }));
+        assert_eq!(run.verdicts[0], run.verdicts[2]);
+    }
+
+    #[test]
+    fn prewarmed_cache_skips_all_solving() {
+        let items = vec![derivable(), derivable_renamed()];
+        let cache = DecisionCache::default();
+        let first = solve_batch(&items, &Budgets::default(), 1, &cache).unwrap();
+        assert_eq!(first.stats.solved, 1);
+        let second = solve_batch(&items, &Budgets::default(), 1, &cache).unwrap();
+        assert_eq!(second.stats.solved, 0);
+        assert_eq!(second.stats.cache_hits, 2);
+        assert_eq!(first.verdicts, second.verdicts);
+    }
+
+    #[test]
+    fn unknown_is_shared_in_batch_but_not_cached() {
+        // The spend-report fixture: defeats the null shortcut, derivation
+        // cannot reach `0`, tiny budgets exhaust both sides.
+        let alphabet = Alphabet::standard(2);
+        let grow = Equation::parse("A0 A1 = A0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![grow]).unwrap();
+        let tight = Budgets {
+            derivation: td_semigroup::derivation::SearchBudget {
+                max_word_len: 6,
+                max_states: 50,
+            },
+            model: td_semigroup::model_search::ModelSearchOptions {
+                min_size: 3,
+                max_size: 3,
+                max_nodes: 5,
+            },
+            chase: td_core::chase::ChaseBudget::default(),
+        };
+        let items = vec![p.clone(), p];
+        let cache = DecisionCache::default();
+        let run = solve_batch(&items, &tight, 2, &cache).unwrap();
+        assert!(matches!(run.verdicts[0], BatchVerdict::Unknown { .. }));
+        assert_eq!(run.verdicts[0], run.verdicts[1], "shared within the call");
+        assert_eq!(run.stats.solved, 1, "deduplicated within the call");
+        assert!(cache.is_empty(), "Unknown must not be cached across calls");
+    }
+
+    #[test]
+    fn empty_batch() {
+        let cache = DecisionCache::default();
+        let run = solve_batch(&[], &Budgets::default(), 4, &cache).unwrap();
+        assert!(run.verdicts.is_empty());
+        assert_eq!(run.stats, BatchStats::default());
+    }
+
+    #[test]
+    fn many_jobs_few_items() {
+        let items = vec![derivable(), refutable()];
+        let cache = DecisionCache::default();
+        let run = solve_batch(&items, &Budgets::default(), 64, &cache).unwrap();
+        assert_eq!(run.stats.solved, 2);
+    }
+}

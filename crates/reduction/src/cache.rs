@@ -1,0 +1,204 @@
+//! A sharded, concurrent decision cache keyed by canonical forms.
+//!
+//! The batch pipeline ([`crate::batch::solve_batch`]) answers corpora of
+//! implication questions in which many instances are isomorphic copies of
+//! each other. Once one copy is decided, every other copy has — provably —
+//! the same verdict: implication is invariant under per-column variable
+//! renaming and row permutation of the dependencies, which is exactly the
+//! equivalence [`td_core::canon::CanonKey`] quotients by. The cache stores
+//! one [`CachedOutcome`] per key, so a verdict is computed once per
+//! isomorphism class per process.
+//!
+//! Only **settled** verdicts (`Implied` / `Refuted`) are cached. `Unknown`
+//! is a statement about the *budgets* of one particular call, not about the
+//! instance — a later call with larger budgets might settle it — so caching
+//! it would wrongly freeze a transient answer. (Within a single batch call,
+//! where budgets are fixed, [`crate::batch::solve_batch`] still dedups
+//! `Unknown` work through its own per-call bookkeeping.)
+//!
+//! The map is sharded `N` ways, each shard an independent
+//! `RwLock<HashMap>`: readers of different keys proceed in parallel and
+//! writers only contend within one shard. Plain standard-library locks — no
+//! external dependencies.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+use td_core::canon::CanonKey;
+
+use crate::pipeline::SpendReport;
+
+/// A settled verdict, compressed to the numbers a batch report needs (the
+/// full certificates stay with the [`crate::pipeline::PipelineRun`] that
+/// produced them; replaying a cached hit does not rebuild them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachedVerdict {
+    /// `D ⊨ D₀`: a derivation of the given length was found and compiled
+    /// into a chase proof with the given number of firings.
+    Implied {
+        /// Steps of the word-problem derivation.
+        derivation_steps: usize,
+        /// Firings of the compiled part (A) chase proof.
+        proof_firings: usize,
+    },
+    /// `D ⊭ D₀` over finite databases: a countermodel with the given
+    /// number of rows exists.
+    Refuted {
+        /// Rows of the part (B) countermodel.
+        model_rows: usize,
+    },
+}
+
+/// What the cache remembers per canonical key: the settled verdict plus
+/// the spent-budget provenance of the run that settled it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedOutcome {
+    /// The settled verdict.
+    pub verdict: CachedVerdict,
+    /// Spend accounting of the solving run (winner exact, loser labelled
+    /// truncated — see [`SpendReport`]).
+    pub spend: SpendReport,
+}
+
+/// A sharded `CanonKey → CachedOutcome` map, safe to share across the
+/// batch worker threads by reference.
+#[derive(Debug)]
+pub struct DecisionCache {
+    shards: Vec<RwLock<HashMap<CanonKey, CachedOutcome>>>,
+}
+
+impl Default for DecisionCache {
+    /// 16 shards: comfortably more than the worker counts the batch
+    /// pipeline uses, so writer contention stays negligible.
+    fn default() -> Self {
+        Self::new(16)
+    }
+}
+
+impl DecisionCache {
+    /// Creates a cache with `shards` independent lock domains (clamped to
+    /// at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+        }
+    }
+
+    fn shard(&self, key: CanonKey) -> &RwLock<HashMap<CanonKey, CachedOutcome>> {
+        let ix = (key.fold64() % self.shards.len() as u64) as usize;
+        &self.shards[ix]
+    }
+
+    /// Looks up a settled verdict.
+    pub fn get(&self, key: CanonKey) -> Option<CachedOutcome> {
+        self.shard(key)
+            .read()
+            .expect("cache shard lock poisoned")
+            .get(&key)
+            .copied()
+    }
+
+    /// Records a settled verdict. A later insert for the same key
+    /// overwrites the earlier one; both describe the same isomorphism
+    /// class, so the verdicts agree and only the provenance can differ.
+    pub fn insert(&self, key: CanonKey, outcome: CachedOutcome) {
+        self.shard(key)
+            .write()
+            .expect("cache shard lock poisoned")
+            .insert(key, outcome);
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache shard lock poisoned").len())
+            .sum()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards (lock domains).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_core::prelude::*;
+
+    fn key(n: u32) -> CanonKey {
+        // Distinct keys from distinct real TDs: a chain sharing column-0
+        // variables across `n` rows.
+        let schema = Schema::new("R", ["A", "B"]).unwrap();
+        let rows: Vec<td_core::td::TdRow> = (0..=n)
+            .map(|i| td_core::td::TdRow::from_raw([0, i]))
+            .collect();
+        let td = td_core::td::Td::new(
+            schema,
+            rows,
+            td_core::td::TdRow::from_raw([1, 0]),
+            format!("k{n}"),
+        )
+        .unwrap();
+        canon_key(&td)
+    }
+
+    fn outcome(rows: usize) -> CachedOutcome {
+        CachedOutcome {
+            verdict: CachedVerdict::Refuted { model_rows: rows },
+            spend: crate::pipeline::SpendReport::default(),
+        }
+    }
+
+    #[test]
+    fn insert_get_roundtrip_across_shards() {
+        let cache = DecisionCache::new(4);
+        assert!(cache.is_empty());
+        for n in 0..32 {
+            cache.insert(key(n), outcome(n as usize));
+        }
+        assert_eq!(cache.len(), 32);
+        for n in 0..32 {
+            assert_eq!(cache.get(key(n)), Some(outcome(n as usize)));
+        }
+        assert_eq!(cache.get(key(99)), None);
+    }
+
+    #[test]
+    fn overwrite_same_key() {
+        let cache = DecisionCache::default();
+        cache.insert(key(1), outcome(3));
+        cache.insert(key(1), outcome(5));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(key(1)), Some(outcome(5)));
+    }
+
+    #[test]
+    fn shard_count_clamped() {
+        assert_eq!(DecisionCache::new(0).shard_count(), 1);
+        assert_eq!(DecisionCache::default().shard_count(), 16);
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes() {
+        let cache = DecisionCache::new(8);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for n in 0..16 {
+                        cache.insert(key(t * 16 + n), outcome(n as usize));
+                        assert!(cache.get(key(t * 16 + n)).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64);
+    }
+}

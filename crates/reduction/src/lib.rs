@@ -20,7 +20,12 @@
 //!   refuting `A₀ = 0`, the finite database `P ∪ Q` with relations (1)–(4)
 //!   that satisfies all of `D` but violates `D₀` — see [`part_b`];
 //! * an end-to-end [`pipeline`] and independent [`verify`] checkers
-//!   (including the proof's Facts 1 and 2).
+//!   (including the proof's Facts 1 and 2);
+//! * a **batch layer** for corpora of instances: [`batch::solve_batch`]
+//!   dedups isomorphic questions by canonical key
+//!   ([`td_core::canon`]), answers the distinct remainder on a worker
+//!   pool, and records settled verdicts in a sharded concurrent
+//!   [`cache::DecisionCache`].
 //!
 //! The two halves are the *content* of the undecidability theorem: any
 //! decision procedure for TD inference would decide the (undecidable,
@@ -31,7 +36,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod attrs;
+pub mod batch;
 pub mod bridge;
+pub mod cache;
 pub mod deps;
 pub mod error;
 pub mod part_a;
@@ -42,13 +49,15 @@ pub mod verify;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::attrs::ReductionAttrs;
+    pub use crate::batch::{solve_batch, BatchRun, BatchStats, BatchVerdict};
     pub use crate::bridge::Bridge;
+    pub use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
     pub use crate::deps::{build_system, ReductionSystem, Rule, Rule2};
     pub use crate::error::RedError;
     pub use crate::part_a::{prove_part_a, prove_unguided};
     pub use crate::part_b::{build_counter_model, CounterModel, RowLabel};
     pub use crate::pipeline::{
-        solve, solve_with, Budgets, PhaseTimings, PipelineOutcome, SolveMode,
+        solve, solve_with, Budgets, PhaseTimings, PipelineOutcome, SolveMode, SpendReport,
     };
     pub use crate::verify::{verify_counter_model, PartBReport};
 }

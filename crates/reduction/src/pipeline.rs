@@ -39,15 +39,15 @@ use std::time::{Duration, Instant};
 use td_core::chase::ChaseBudget;
 use td_semigroup::cayley::{FiniteSemigroup, Interpretation};
 use td_semigroup::derivation::{
-    search_goal_derivation, search_goal_derivation_cancellable, Derivation, SearchBudget,
-    SearchResult,
+    search_goal_derivation_tracked, Derivation, SearchBudget, SearchResult,
 };
 use td_semigroup::model_search::{
-    find_counter_model_cancellable, ModelSearchOptions, ModelSearchResult,
+    find_counter_model_tracked, ModelSearchOptions, ModelSearchResult,
 };
 use td_semigroup::normalize::{normalize, Normalized};
 use td_semigroup::presentation::Presentation;
 
+pub use crate::batch::{solve_batch, BatchRun, BatchStats, BatchVerdict};
 use crate::deps::{build_system, ReductionSystem};
 use crate::error::Result;
 use crate::part_a::{prove_part_a, PartAProof};
@@ -97,6 +97,41 @@ pub struct PhaseTimings {
     pub certificate: Duration,
     /// End-to-end wall-clock time of [`solve_with`].
     pub total: Duration,
+}
+
+/// How much of each search budget a [`solve_with`] call actually spent —
+/// the deterministic companion to [`PhaseTimings`].
+///
+/// The two sides certify mutually exclusive answers, so exactly one of
+/// them can win; its spend is **exact** (identical under
+/// [`SolveMode::Sequential`] and [`SolveMode::Racing`], since the winning
+/// side is never cancelled). The losing side's spend depends on *when* the
+/// race was decided — under racing it stops at its next cancellation poll
+/// (per BFS pop for the derivation search, per interpretation and per 1024
+/// DFS nodes for the model search) — so it is always labelled
+/// `truncated`: a lower bound, not a reproducible count. The label is
+/// deliberately *not* derived from the tracked searches' `cancelled`
+/// flags: whether the loser happened to finish naturally before observing
+/// the flag is a scheduling accident, and keying the label on it would
+/// make the report nondeterministic — the exact defect this type exists
+/// to fix. On an `Unknown`
+/// outcome neither side was cancelled, both spends are exact, and the
+/// report coincides across solve modes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpendReport {
+    /// Distinct words the derivation search visited.
+    pub derivation_states: usize,
+    /// `true` when the derivation search did not run to its own natural
+    /// end (it lost the race and was cancelled, or — sequentially — never
+    /// needed to run past a win): `derivation_states` is then only a lower
+    /// bound.
+    pub derivation_truncated: bool,
+    /// Nodes the finite-model search visited.
+    pub model_nodes: u64,
+    /// `true` when the model search did not run to its own natural end
+    /// (lost the race, or was skipped after a sequential win):
+    /// `model_nodes` is then only a lower bound.
+    pub model_truncated: bool,
 }
 
 /// The pipeline's verdict.
@@ -151,6 +186,8 @@ pub struct PipelineRun {
     pub outcome: PipelineOutcome,
     /// Wall-clock phase timings of this run.
     pub timings: PhaseTimings,
+    /// Deterministic spent-budget accounting for the two searches.
+    pub spend: SpendReport,
 }
 
 /// What one side of the race produced, before certificate compilation.
@@ -163,21 +200,37 @@ enum SideResult {
     },
 }
 
+/// What the model side produced: the model (if any) and the nodes visited
+/// (exact when the side ran to its natural end, a lower bound when it was
+/// cancelled mid-search).
+struct ModelSide {
+    found: Option<(FiniteSemigroup, Interpretation)>,
+    nodes: u64,
+}
+
 /// Runs the model side: analytic null-semigroup shortcut first, then the
-/// cancellable backtracking search. Returns the model (if any) and the
-/// nodes visited.
+/// cancellable backtracking search.
 fn model_side(
     np: &Presentation,
     opts: &ModelSearchOptions,
     cancel: &AtomicBool,
-) -> Result<(Option<(FiniteSemigroup, Interpretation)>, u64)> {
+) -> Result<ModelSide> {
     if let Some((g, interp)) = td_semigroup::families::null_counter_model(np) {
-        return Ok((Some((g, interp)), 0));
+        return Ok(ModelSide {
+            found: Some((g, interp)),
+            nodes: 0,
+        });
     }
-    Ok(match find_counter_model_cancellable(np, opts, cancel)? {
-        ModelSearchResult::Found(g, interp) => (Some((g, interp)), 0),
-        ModelSearchResult::ExhaustedSizes { nodes }
-        | ModelSearchResult::BudgetExhausted { nodes } => (None, nodes),
+    let tracked = find_counter_model_tracked(np, opts, cancel)?;
+    let found = match tracked.result {
+        ModelSearchResult::Found(g, interp) => Some((g, interp)),
+        ModelSearchResult::ExhaustedSizes { .. } | ModelSearchResult::BudgetExhausted { .. } => {
+            None
+        }
+    };
+    Ok(ModelSide {
+        found,
+        nodes: tracked.nodes,
     })
 }
 
@@ -186,27 +239,29 @@ fn search_sequential(
     np: &Presentation,
     budgets: &Budgets,
     timings: &mut PhaseTimings,
+    spend: &mut SpendReport,
 ) -> Result<SideResult> {
+    let never = AtomicBool::new(false);
     let t = Instant::now();
-    let derivation_states = match search_goal_derivation(np, &budgets.derivation) {
-        SearchResult::Found(derivation) => {
-            timings.derivation = t.elapsed();
-            return Ok(SideResult::Derivation(derivation));
-        }
-        SearchResult::ExhaustedWithinBound { states }
-        | SearchResult::BudgetExhausted { states } => states,
-    };
+    let deriv = search_goal_derivation_tracked(np, &budgets.derivation, &never);
     timings.derivation = t.elapsed();
+    spend.derivation_states = deriv.states;
+    if let SearchResult::Found(derivation) = deriv.result {
+        // The model search never ran: its zero spend is a trivial
+        // truncation, mirroring the racing report's labelling.
+        spend.model_truncated = true;
+        return Ok(SideResult::Derivation(derivation));
+    }
 
     let t = Instant::now();
-    let never = AtomicBool::new(false);
-    let (found, model_nodes) = model_side(np, &budgets.model, &never)?;
+    let side = model_side(np, &budgets.model, &never)?;
     timings.model = t.elapsed();
-    Ok(match found {
+    spend.model_nodes = side.nodes;
+    Ok(match side.found {
         Some((g, interp)) => SideResult::Model(g, interp),
         None => SideResult::Neither {
-            derivation_states,
-            model_nodes,
+            derivation_states: deriv.states,
+            model_nodes: side.nodes,
         },
     })
 }
@@ -215,19 +270,23 @@ fn search_sequential(
 /// find its certificate flips the shared flag; the other side backs out at
 /// its next cancellation poll. The two certificates are mutually exclusive
 /// (a derivation rules out every countermodel), so the winner is
-/// well-defined; if both sides exhaust, the spent budgets are exactly the
-/// sequential ones.
+/// well-defined; if both sides exhaust, neither is cancelled and the spent
+/// budgets are exactly the sequential ones. The winner's spend is exact;
+/// the loser's is labelled truncated in the [`SpendReport`] — its precise
+/// value depends on when the cancellation poll fired and must be read as a
+/// lower bound.
 fn search_racing(
     np: &Presentation,
     budgets: &Budgets,
     timings: &mut PhaseTimings,
+    spend: &mut SpendReport,
 ) -> Result<SideResult> {
     let cancel = AtomicBool::new(false);
     let (deriv, model) = std::thread::scope(|s| {
         let deriv_handle = s.spawn(|| {
             let t = Instant::now();
-            let r = search_goal_derivation_cancellable(np, &budgets.derivation, &cancel);
-            if matches!(r, SearchResult::Found(_)) {
+            let r = search_goal_derivation_tracked(np, &budgets.derivation, &cancel);
+            if matches!(r.result, SearchResult::Found(_)) {
                 cancel.store(true, Ordering::Relaxed);
             }
             (r, t.elapsed())
@@ -235,7 +294,7 @@ fn search_racing(
         let model_handle = s.spawn(|| {
             let t = Instant::now();
             let r = model_side(np, &budgets.model, &cancel);
-            if matches!(r, Ok((Some(_), _))) {
+            if matches!(r, Ok(ModelSide { found: Some(_), .. })) {
                 cancel.store(true, Ordering::Relaxed);
             }
             (r, t.elapsed())
@@ -249,19 +308,27 @@ fn search_racing(
     let (model_result, model_time) = model;
     timings.derivation = deriv_time;
     timings.model = model_time;
-    let (model_found, model_nodes) = model_result?;
+    let side = model_result?;
+    spend.derivation_states = deriv_result.states;
+    spend.model_nodes = side.nodes;
     // Prefer the derivation side on the (mathematically impossible) double
     // win, matching the sequential order.
-    Ok(match (deriv_result, model_found) {
-        (SearchResult::Found(derivation), _) => SideResult::Derivation(derivation),
-        (_, Some((g, interp))) => SideResult::Model(g, interp),
+    Ok(match (deriv_result.result, side.found) {
+        (SearchResult::Found(derivation), _) => {
+            spend.model_truncated = true;
+            SideResult::Derivation(derivation)
+        }
+        (_, Some((g, interp))) => {
+            spend.derivation_truncated = true;
+            SideResult::Model(g, interp)
+        }
         (
             SearchResult::ExhaustedWithinBound { states }
             | SearchResult::BudgetExhausted { states },
             None,
         ) => SideResult::Neither {
             derivation_states: states,
-            model_nodes,
+            model_nodes: side.nodes,
         },
     })
 }
@@ -290,9 +357,10 @@ pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Resul
     let system = build_system(np)?;
     timings.reduce = t.elapsed();
 
+    let mut spend = SpendReport::default();
     let side = match mode {
-        SolveMode::Sequential => search_sequential(np, budgets, &mut timings)?,
-        SolveMode::Racing => search_racing(np, budgets, &mut timings)?,
+        SolveMode::Sequential => search_sequential(np, budgets, &mut timings, &mut spend)?,
+        SolveMode::Racing => search_racing(np, budgets, &mut timings, &mut spend)?,
     };
 
     let t = Instant::now();
@@ -328,6 +396,7 @@ pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Resul
         system,
         outcome,
         timings,
+        spend,
     })
 }
 
@@ -392,6 +461,82 @@ mod tests {
         // fails; the model search may or may not find a model. Accept any
         // verdict except Implied.
         assert!(!run.outcome.is_implied());
+    }
+
+    /// Regression for the spent-budget reports: the winner's spend must be
+    /// exact (identical across solve modes), the loser's labelled
+    /// truncated, and `Unknown` reports must coincide across modes.
+    #[test]
+    fn spend_reports_are_deterministic_across_modes() {
+        // Won race, derivation side: winner's states exact in both modes.
+        let p = derivable();
+        let seq = solve_with(&p, &Budgets::default(), SolveMode::Sequential).unwrap();
+        let raced = solve_with(&p, &Budgets::default(), SolveMode::Racing).unwrap();
+        assert!(seq.outcome.is_implied() && raced.outcome.is_implied());
+        assert!(!seq.spend.derivation_truncated);
+        assert!(!raced.spend.derivation_truncated);
+        assert_eq!(
+            seq.spend.derivation_states, raced.spend.derivation_states,
+            "the winning side is never cancelled, so its spend is exact"
+        );
+        assert!(seq.spend.model_truncated, "sequential loser never ran");
+        assert_eq!(seq.spend.model_nodes, 0);
+        assert!(
+            raced.spend.model_truncated,
+            "the racing loser's spend is only a lower bound"
+        );
+
+        // Won race, model side (analytic shortcut: 0 nodes, exact).
+        let p = refutable();
+        let seq = solve_with(&p, &Budgets::default(), SolveMode::Sequential).unwrap();
+        let raced = solve_with(&p, &Budgets::default(), SolveMode::Racing).unwrap();
+        assert!(seq.outcome.is_refuted() && raced.outcome.is_refuted());
+        assert!(!seq.spend.model_truncated);
+        assert!(!raced.spend.model_truncated);
+        assert_eq!(seq.spend.model_nodes, raced.spend.model_nodes);
+        assert!(raced.spend.derivation_truncated);
+        assert!(
+            !seq.spend.derivation_truncated,
+            "sequentially the derivation side ran to exhaustion first"
+        );
+
+        // Unknown: no side is cancelled, both spends exact and identical
+        // across modes.
+        // `A0 A1 = A0` defeats the null-semigroup shortcut (a product
+        // equals a nonzero symbol), words can only grow (never reaching
+        // `0`), and the tiny node budget stops the model search mid-table.
+        let alphabet = Alphabet::standard(2);
+        let grow = Equation::parse("A0 A1 = A0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![grow]).unwrap();
+        let tight = Budgets {
+            derivation: td_semigroup::derivation::SearchBudget {
+                max_word_len: 6,
+                max_states: 50,
+            },
+            model: ModelSearchOptions {
+                min_size: 3,
+                max_size: 3,
+                max_nodes: 5,
+            },
+            chase: ChaseBudget::default(),
+        };
+        let seq = solve_with(&p, &tight, SolveMode::Sequential).unwrap();
+        let raced = solve_with(&p, &tight, SolveMode::Racing).unwrap();
+        let unknown = |run: &PipelineRun| match run.outcome {
+            PipelineOutcome::Unknown {
+                derivation_states,
+                model_nodes,
+            } => (derivation_states, model_nodes),
+            ref other => panic!("expected Unknown, got {other:?}"),
+        };
+        let (ds, mn) = unknown(&seq);
+        assert_eq!(unknown(&raced), (ds, mn));
+        for run in [&seq, &raced] {
+            assert_eq!(run.spend.derivation_states, ds);
+            assert_eq!(run.spend.model_nodes, mn);
+            assert!(!run.spend.derivation_truncated);
+            assert!(!run.spend.model_truncated);
+        }
     }
 
     #[test]

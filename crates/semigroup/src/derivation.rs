@@ -171,11 +171,29 @@ pub fn search_derivation(
     search_derivation_cancellable(p, start, target, budget, &never)
 }
 
+/// A search outcome together with exact spend accounting, for the racing
+/// pipeline's deterministic budget reports ([`search_derivation_tracked`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackedSearch {
+    /// The classical three-valued result.
+    pub result: SearchResult,
+    /// Distinct words visited — exact even for [`SearchResult::Found`],
+    /// which does not carry a count of its own.
+    pub states: usize,
+    /// `true` when the run stopped because the cancellation flag was
+    /// observed at a BFS-pop poll point — as opposed to finding the target
+    /// or exhausting its own budget. A cancelled run's `states` is a lower
+    /// bound of what the same search would visit uncancelled.
+    pub cancelled: bool,
+}
+
 /// [`search_derivation`] with a cooperative cancellation flag, for racing
 /// against the finite-model search: the flag is polled once per dequeued
 /// word, and a cancelled run reports [`SearchResult::BudgetExhausted`] with
 /// the states visited so far (the caller that set the flag has its own
-/// certificate and discards this side's result).
+/// certificate and discards this side's result). Use
+/// [`search_derivation_tracked`] when the caller must distinguish
+/// cancellation from genuine budget exhaustion.
 pub fn search_derivation_cancellable(
     p: &Presentation,
     start: &Word,
@@ -183,8 +201,26 @@ pub fn search_derivation_cancellable(
     budget: &SearchBudget,
     cancel: &AtomicBool,
 ) -> SearchResult {
+    search_derivation_tracked(p, start, target, budget, cancel).result
+}
+
+/// [`search_derivation_cancellable`] with exact spend accounting: the
+/// returned [`TrackedSearch`] carries the states visited (even on success)
+/// and whether the run was cut short by the cancellation flag rather than
+/// by its own budget.
+pub fn search_derivation_tracked(
+    p: &Presentation,
+    start: &Word,
+    target: &Word,
+    budget: &SearchBudget,
+    cancel: &AtomicBool,
+) -> TrackedSearch {
     if start == target {
-        return SearchResult::Found(Derivation::trivial(start.clone()));
+        return TrackedSearch {
+            result: SearchResult::Found(Derivation::trivial(start.clone())),
+            states: 1,
+            cancelled: false,
+        };
     }
     // parent[word] = (previous word, step taken).
     let mut parent: HashMap<Word, (Word, DerivStep)> = HashMap::new();
@@ -204,9 +240,11 @@ pub fn search_derivation_cancellable(
     );
 
     let mut budget_hit = false;
+    let mut cancelled = false;
     'bfs: while let Some(word) = queue.pop_front() {
         if cancel.load(Ordering::Relaxed) {
             budget_hit = true;
+            cancelled = true;
             break 'bfs;
         }
         for (eq_index, eq) in p.equations().iter().enumerate() {
@@ -245,10 +283,15 @@ pub fn search_derivation_cancellable(
     }
 
     if !parent.contains_key(target) {
-        return if budget_hit {
+        let result = if budget_hit {
             SearchResult::BudgetExhausted { states: visited }
         } else {
             SearchResult::ExhaustedWithinBound { states: visited }
+        };
+        return TrackedSearch {
+            result,
+            states: visited,
+            cancelled,
         };
     }
 
@@ -264,10 +307,14 @@ pub fn search_derivation_cancellable(
         cur = prev;
     }
     steps_rev.reverse();
-    SearchResult::Found(Derivation {
-        start: start.clone(),
-        steps: steps_rev,
-    })
+    TrackedSearch {
+        result: SearchResult::Found(Derivation {
+            start: start.clone(),
+            steps: steps_rev,
+        }),
+        states: visited,
+        cancelled: false,
+    }
 }
 
 /// Convenience: search for the paper's goal derivation `A₀ ⇒* 0`.
@@ -285,6 +332,17 @@ pub fn search_goal_derivation_cancellable(
 ) -> SearchResult {
     let goal = p.goal();
     search_derivation_cancellable(p, &goal.lhs, &goal.rhs, budget, cancel)
+}
+
+/// [`search_goal_derivation_cancellable`] with exact spend accounting (see
+/// [`search_derivation_tracked`]).
+pub fn search_goal_derivation_tracked(
+    p: &Presentation,
+    budget: &SearchBudget,
+    cancel: &AtomicBool,
+) -> TrackedSearch {
+    let goal = p.goal();
+    search_derivation_tracked(p, &goal.lhs, &goal.rhs, budget, cancel)
 }
 
 #[cfg(test)]
@@ -392,6 +450,33 @@ mod tests {
             },
         );
         assert!(matches!(r, SearchResult::BudgetExhausted { .. }), "{r:?}");
+    }
+
+    #[test]
+    fn tracked_search_reports_exact_states_and_cancellation() {
+        let p = example_derivable();
+        let never = AtomicBool::new(false);
+        let t = search_goal_derivation_tracked(&p, &SearchBudget::default(), &never);
+        assert!(matches!(t.result, SearchResult::Found(_)));
+        assert!(t.states >= 3, "start, A1 A1, 0 all visited: {}", t.states);
+        assert!(!t.cancelled);
+
+        // A pre-set cancellation flag stops at the first poll and is
+        // reported as cancelled — distinct from genuine budget exhaustion.
+        let always = AtomicBool::new(true);
+        let t = search_goal_derivation_tracked(&p, &SearchBudget::default(), &always);
+        assert!(matches!(t.result, SearchResult::BudgetExhausted { .. }));
+        assert!(t.cancelled);
+        assert_eq!(t.states, 1, "only the start word was registered");
+
+        // Genuine exhaustion is not cancellation.
+        let p = example_refutable();
+        let t = search_goal_derivation_tracked(&p, &SearchBudget::default(), &never);
+        assert!(matches!(
+            t.result,
+            SearchResult::ExhaustedWithinBound { states } if states == t.states
+        ));
+        assert!(!t.cancelled);
     }
 
     #[test]

@@ -95,6 +95,10 @@ struct Search<'a> {
     nodes: u64,
     max_nodes: u64,
     budget_hit: bool,
+    /// Set alongside `budget_hit` when the stop was caused by the
+    /// cancellation flag rather than `max_nodes` — the racing pipeline
+    /// reports the two differently.
+    cancelled: bool,
     /// Cooperative cancellation flag, polled every [`CANCEL_POLL_MASK`]+1
     /// nodes; cancellation is reported as a budget hit.
     cancel: &'a AtomicBool,
@@ -222,10 +226,13 @@ impl Search<'_> {
         };
         for v in 0..self.n as u16 {
             self.nodes += 1;
-            if self.nodes > self.max_nodes
-                || (self.nodes & CANCEL_POLL_MASK == 0 && self.cancel.load(Ordering::Relaxed))
-            {
+            if self.nodes > self.max_nodes {
                 self.budget_hit = true;
+                return None;
+            }
+            if self.nodes & CANCEL_POLL_MASK == 0 && self.cancel.load(Ordering::Relaxed) {
+                self.budget_hit = true;
+                self.cancelled = true;
                 return None;
             }
             if !self.cancellation_ok(a, b, v) {
@@ -310,27 +317,61 @@ pub fn find_counter_model(
     find_counter_model_cancellable(p, opts, &never)
 }
 
+/// A model-search outcome together with exact spend accounting, for the
+/// racing pipeline's deterministic budget reports
+/// ([`find_counter_model_tracked`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackedModelSearch {
+    /// The classical three-valued result.
+    pub result: ModelSearchResult,
+    /// Search nodes visited — exact even for
+    /// [`ModelSearchResult::Found`], which does not carry a count of its
+    /// own.
+    pub nodes: u64,
+    /// `true` when the run stopped because the cancellation flag was
+    /// observed (at a per-interpretation check or a per-1024-DFS-nodes
+    /// poll point) rather than by finding a model or exhausting its own
+    /// size/node budgets. A cancelled run's `nodes` is a lower bound of
+    /// what the same search would visit uncancelled.
+    pub cancelled: bool,
+}
+
 /// [`find_counter_model`] with a cooperative cancellation flag, for racing
 /// against the derivation search: the flag is polled every few hundred
 /// search nodes, and a cancelled run reports
 /// [`ModelSearchResult::BudgetExhausted`] with the nodes visited so far
 /// (the caller that set the flag has its own certificate and discards this
-/// side's result).
+/// side's result). Use [`find_counter_model_tracked`] when the caller must
+/// distinguish cancellation from genuine budget exhaustion.
 pub fn find_counter_model_cancellable(
     p: &Presentation,
     opts: &ModelSearchOptions,
     cancel: &AtomicBool,
 ) -> Result<ModelSearchResult> {
+    Ok(find_counter_model_tracked(p, opts, cancel)?.result)
+}
+
+/// [`find_counter_model_cancellable`] with exact spend accounting: the
+/// returned [`TrackedModelSearch`] carries the nodes visited (even on
+/// success) and whether the run was cut short by the cancellation flag
+/// rather than by its own budgets.
+pub fn find_counter_model_tracked(
+    p: &Presentation,
+    opts: &ModelSearchOptions,
+    cancel: &AtomicBool,
+) -> Result<TrackedModelSearch> {
     let mut total_nodes: u64 = 0;
     for n in opts.min_size.max(2)..=opts.max_size {
         let mut found: Option<(FiniteSemigroup, Interpretation)> = None;
         let mut budget_hit = false;
+        let mut cancelled = false;
         for_each_interpretation(p, n, &mut |interp| {
             // A cancelled run stops before the next interpretation, too:
             // the in-search poll only fires every few hundred nodes, and
             // small tables burn most of their time across interpretations.
             if cancel.load(Ordering::Relaxed) {
                 budget_hit = true;
+                cancelled = true;
                 return true;
             }
             // Fresh table per interpretation: zero row and column pinned.
@@ -341,6 +382,7 @@ pub fn find_counter_model_cancellable(
                 nodes: 0,
                 max_nodes: opts.max_nodes.saturating_sub(total_nodes),
                 budget_hit: false,
+                cancelled: false,
                 cancel,
             };
             for x in 0..n {
@@ -396,19 +438,32 @@ pub fn find_counter_model_cancellable(
             total_nodes += search.nodes;
             if search.budget_hit {
                 budget_hit = true;
+                cancelled |= search.cancelled;
                 return true;
             }
             false
         });
         if let Some((g, interp)) = found {
             debug_assert!(properties::is_countermodel(&g, &interp, p));
-            return Ok(ModelSearchResult::Found(g, interp));
+            return Ok(TrackedModelSearch {
+                result: ModelSearchResult::Found(g, interp),
+                nodes: total_nodes,
+                cancelled: false,
+            });
         }
         if budget_hit {
-            return Ok(ModelSearchResult::BudgetExhausted { nodes: total_nodes });
+            return Ok(TrackedModelSearch {
+                result: ModelSearchResult::BudgetExhausted { nodes: total_nodes },
+                nodes: total_nodes,
+                cancelled,
+            });
         }
     }
-    Ok(ModelSearchResult::ExhaustedSizes { nodes: total_nodes })
+    Ok(TrackedModelSearch {
+        result: ModelSearchResult::ExhaustedSizes { nodes: total_nodes },
+        nodes: total_nodes,
+        cancelled: false,
+    })
 }
 
 #[cfg(test)]
@@ -484,6 +539,41 @@ mod tests {
             matches!(r, ModelSearchResult::BudgetExhausted { .. }),
             "{r:?}"
         );
+    }
+
+    #[test]
+    fn tracked_search_distinguishes_cancellation_from_exhaustion() {
+        let p = example_refutable();
+        let never = AtomicBool::new(false);
+        let t = find_counter_model_tracked(&p, &ModelSearchOptions::default(), &never).unwrap();
+        assert!(matches!(t.result, ModelSearchResult::Found(..)));
+        assert!(!t.cancelled);
+
+        // Pre-set flag: stops at the first per-interpretation check.
+        let always = AtomicBool::new(true);
+        let t = find_counter_model_tracked(&p, &ModelSearchOptions::default(), &always).unwrap();
+        assert!(matches!(
+            t.result,
+            ModelSearchResult::BudgetExhausted { .. }
+        ));
+        assert!(t.cancelled);
+
+        // Genuine node exhaustion is not cancellation.
+        let t = find_counter_model_tracked(
+            &p,
+            &ModelSearchOptions {
+                min_size: 3,
+                max_size: 4,
+                max_nodes: 1,
+            },
+            &never,
+        )
+        .unwrap();
+        assert!(matches!(
+            t.result,
+            ModelSearchResult::BudgetExhausted { nodes } if nodes == t.nodes
+        ));
+        assert!(!t.cancelled);
     }
 
     #[test]

@@ -22,18 +22,40 @@ tdq — template-dependency query tool
 USAGE:
     tdq deps [--timings] FILE       analyse a dependency file (schema/td/eid/row lines)
     tdq wp [--timings] FILE         solve a word-problem instance (alphabet/eq lines)
+    tdq batch [--jobs N] [--cache-stats] FILE
+                                    decide a JSONL corpus of word-problem instances,
+                                    deduplicated by canonical key (one JSON line out
+                                    per line in, input order preserved)
     tdq normalize FILE              normalize a presentation to (2,1)/(1,1) equations
     tdq reduce FILE                 print the reduction (attributes, D, D0) of an instance
     tdq help                        print this text
 
 OPTIONS:
-    --timings    print per-phase wall-clock timings after the result
-                 (parse/analysis for `deps`; normalize/reduce/derivation/
-                 model/certificate for `wp`)
+    --timings       print per-phase wall-clock timings after the result
+                    (parse/analysis for `deps`; normalize/reduce/derivation/
+                    model/certificate plus spent-budget accounting for `wp`)
+    --jobs N        batch worker threads (default: available parallelism)
+    --cache-stats   append a JSON stats line ({\"total\",\"unique\",\"cache_hits\",
+                    \"solved\"}) after the batch verdicts
+
+BATCH INPUT (one JSON object per line):
+    {\"id\": \"q1\", \"alphabet\": [\"A0\", \"A1\", \"0\"],
+     \"eqs\": [\"A1 A1 = A0\", \"A1 A1 = 0\"]}
+    Optional keys: \"a0\" and \"zero\" designate the distinguished symbols
+    (defaults \"A0\" and \"0\"); \"id\" defaults to the line number.
 ";
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("batch") {
+        return match cmd_batch(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("tdq: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let timings = {
         let before = args.len();
         args.retain(|a| a != "--timings");
@@ -206,6 +228,134 @@ fn cmd_wp(text: &str, timings: bool) -> Result<(), String> {
             "timings: normalize {:.2?}, reduce {:.2?}, derivation {:.2?}, model {:.2?}, \
              certificate {:.2?}, total {:.2?} (derivation and model race on threads)",
             t.normalize, t.reduce, t.derivation, t.model, t.certificate, t.total
+        );
+        let s = &run.spend;
+        let label = |truncated: bool| if truncated { "truncated" } else { "exact" };
+        println!(
+            "spend: derivation {} words ({}), model {} nodes ({})",
+            s.derivation_states,
+            label(s.derivation_truncated),
+            s.model_nodes,
+            label(s.model_truncated)
+        );
+    }
+    Ok(())
+}
+
+/// Parses one JSONL corpus line into an id and a presentation.
+fn parse_batch_line(line: &str, line_no: usize) -> Result<(String, Presentation), String> {
+    use template_deps::jsonl::Json;
+    let j = Json::parse(line)?;
+    let id = j
+        .get("id")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("line{line_no}"));
+    let names: Vec<String> = j
+        .get("alphabet")
+        .and_then(Json::as_array)
+        .ok_or("missing \"alphabet\" array")?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "alphabet entries must be strings".to_owned())
+        })
+        .collect::<Result<_, _>>()?;
+    let a0 = j.get("a0").and_then(Json::as_str).unwrap_or("A0");
+    let zero = j.get("zero").and_then(Json::as_str).unwrap_or("0");
+    let alphabet = Alphabet::new(names, a0, zero).map_err(|e| e.to_string())?;
+    let mut eqs = Vec::new();
+    for e in j
+        .get("eqs")
+        .and_then(Json::as_array)
+        .ok_or("missing \"eqs\" array")?
+    {
+        let text = e.as_str().ok_or("eqs entries must be strings")?;
+        eqs.push(Equation::parse(text, &alphabet).map_err(|e| e.to_string())?);
+    }
+    let p = Presentation::new(alphabet, eqs).map_err(|e| e.to_string())?;
+    Ok((id, p))
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    use template_deps::jsonl::escape;
+    let mut jobs: Option<usize> = None;
+    let mut cache_stats = false;
+    let mut path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                jobs = Some(
+                    v.parse()
+                        .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?,
+                );
+            }
+            "--cache-stats" => cache_stats = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown batch option `{other}`\n{USAGE}"));
+            }
+            other => {
+                if path.is_some() {
+                    return Err(format!("batch takes exactly one input file\n{USAGE}"));
+                }
+                path = Some(other);
+            }
+        }
+    }
+    let path = path.ok_or_else(|| format!("batch needs an input file\n{USAGE}"))?;
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut ids = Vec::new();
+    let mut items = Vec::new();
+    for (ix, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let line_no = ix + 1;
+        let (id, p) =
+            parse_batch_line(line, line_no).map_err(|e| format!("line {line_no}: {e}"))?;
+        ids.push(id);
+        items.push(p);
+    }
+
+    let cache = DecisionCache::default();
+    let run = solve_batch(&items, &Budgets::default(), jobs, &cache).map_err(|e| e.to_string())?;
+    for (id, verdict) in ids.iter().zip(&run.verdicts) {
+        let id = escape(id);
+        match verdict {
+            BatchVerdict::Implied {
+                derivation_steps,
+                proof_firings,
+            } => println!(
+                "{{\"id\":\"{id}\",\"verdict\":\"implied\",\"derivation_steps\":{derivation_steps},\
+                 \"proof_firings\":{proof_firings}}}"
+            ),
+            BatchVerdict::Refuted { model_rows } => println!(
+                "{{\"id\":\"{id}\",\"verdict\":\"refuted\",\"model_rows\":{model_rows}}}"
+            ),
+            BatchVerdict::Unknown {
+                derivation_states,
+                model_nodes,
+            } => println!(
+                "{{\"id\":\"{id}\",\"verdict\":\"unknown\",\"derivation_states\":{derivation_states},\
+                 \"model_nodes\":{model_nodes}}}"
+            ),
+        }
+    }
+    if cache_stats {
+        let s = run.stats;
+        println!(
+            "{{\"total\":{},\"unique\":{},\"cache_hits\":{},\"solved\":{}}}",
+            s.total, s.unique, s.cache_hits, s.solved
         );
     }
     Ok(())

@@ -1,0 +1,355 @@
+//! A minimal, dependency-free JSON reader/writer for the `tdq batch`
+//! JSONL interface.
+//!
+//! The build environment has no registry access (no `serde`), and the
+//! batch corpus format only needs objects, arrays, strings, numbers,
+//! booleans and `null` — so this module implements exactly RFC 8259's
+//! value grammar with a recursive-descent parser and a string escaper, and
+//! nothing more. Numbers are carried as `f64` (every count the batch
+//! interface emits fits losslessly).
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in declaration order (duplicate keys keep the first
+    /// occurrence on lookup).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON value; trailing non-whitespace is an
+    /// error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first occurrence); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element slice, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` as the *contents* of a JSON string literal (no surrounding
+/// quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(bytes.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", char::from(b), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    // RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — f64::parse alone is laxer (it accepts `.5`, `1.`, `+1`), so the
+    // shape is checked first.
+    let bad = || format!("invalid number `{text}` at byte {start}");
+    let mut rest = text.strip_prefix('-').unwrap_or(text).as_bytes();
+    match rest {
+        [b'0', tail @ ..] => rest = tail,
+        [b'1'..=b'9', ..] => {
+            while let [b'0'..=b'9', tail @ ..] = rest {
+                rest = tail;
+            }
+        }
+        _ => return Err(bad()),
+    }
+    if let [b'.', tail @ ..] = rest {
+        rest = tail;
+        if !matches!(rest, [b'0'..=b'9', ..]) {
+            return Err(bad());
+        }
+        while let [b'0'..=b'9', tail @ ..] = rest {
+            rest = tail;
+        }
+    }
+    if let [b'e' | b'E', tail @ ..] = rest {
+        rest = tail;
+        if let [b'+' | b'-', tail @ ..] = rest {
+            rest = tail;
+        }
+        if !matches!(rest, [b'0'..=b'9', ..]) {
+            return Err(bad());
+        }
+        while let [b'0'..=b'9', tail @ ..] = rest {
+            rest = tail;
+        }
+    }
+    if !rest.is_empty() {
+        return Err(bad());
+    }
+    text.parse::<f64>().map(Json::Num).map_err(|_| bad())
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err("bad \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs are not needed by the batch
+                        // format; map lone surrogates to the replacement
+                        // character rather than erroring.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_batch_shaped_line() {
+        let j = Json::parse(
+            r#"{"id": "q1", "alphabet": ["A0", "A1", "0"], "eqs": ["A1 A1 = A0"], "n": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(j.get("id").and_then(Json::as_str), Some("q1"));
+        let alphabet = j.get("alphabet").and_then(Json::as_array).unwrap();
+        assert_eq!(alphabet.len(), 3);
+        assert_eq!(alphabet[2].as_str(), Some("0"));
+        assert_eq!(j.get("n").and_then(Json::as_u64), Some(3));
+        assert!(j.get("missing").is_none());
+    }
+
+    #[test]
+    fn scalars_and_nesting() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(
+            Json::parse("[[],{}]").unwrap(),
+            Json::Arr(vec![Json::Arr(vec![]), Json::Obj(vec![])])
+        );
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let j = Json::parse(r#""a\"b\\c\ndA""#).unwrap();
+        assert_eq!(j.as_str(), Some("a\"b\\c\nd\u{41}"));
+        let s = "quote\" back\\ nl\n tab\t ctrl\u{1}";
+        let reparsed = Json::parse(&format!("\"{}\"", escape(s))).unwrap();
+        assert_eq!(reparsed.as_str(), Some(s));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,").is_err());
+        assert!(Json::parse(r#"{"a" 1}"#).is_err());
+        assert!(Json::parse("tru").is_err());
+        assert!(Json::parse("1 2").is_err(), "trailing tokens rejected");
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn non_integral_numbers_are_not_u64() {
+        assert_eq!(Json::parse("2.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn rfc_number_grammar_enforced() {
+        // Valid per RFC 8259.
+        for ok in ["0", "-0", "10", "0.5", "-2.25", "1e3", "1E+3", "2.5e-1"] {
+            assert!(Json::parse(ok).is_ok(), "{ok} must parse");
+        }
+        // f64::parse would accept these, but JSON must not.
+        for bad in [".5", "1.", "01", "+1", "1e", "1e+", "-", "0x1", "1.e3"] {
+            assert!(Json::parse(bad).is_err(), "{bad} must be rejected");
+        }
+        // \u escapes require exactly four hex digits (no sign tolerance).
+        assert!(Json::parse(r#""\u+12f""#).is_err());
+        assert!(Json::parse(r#""\u012""#).is_err());
+        assert_eq!(Json::parse(r#""\u0041""#).unwrap().as_str(), Some("A"));
+    }
+}

@@ -57,6 +57,8 @@ pub use td_core;
 pub use td_reduction;
 pub use td_semigroup;
 
+pub mod jsonl;
+
 /// One-stop re-exports spanning all three crates.
 pub mod prelude {
     pub use td_core::prelude::*;

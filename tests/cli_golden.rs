@@ -25,16 +25,26 @@ fn golden_dir() -> PathBuf {
 
 /// Runs `tdq <cmd> <fixture>` and compares stdout against `<name>.golden`.
 fn check_golden(cmd: &str, fixture: &str) {
+    check_golden_args(&[cmd], fixture);
+}
+
+/// Runs `tdq <args…> <fixture>` (for subcommands that take flags, like
+/// `batch --cache-stats`) and compares stdout against `<name>.golden`.
+fn check_golden_args(args: &[&str], fixture: &str) {
     let dir = golden_dir();
     let input = dir.join(fixture);
-    let name = fixture.strip_suffix(".txt").unwrap_or(fixture);
+    let name = fixture
+        .strip_suffix(".txt")
+        .or_else(|| fixture.strip_suffix(".jsonl"))
+        .unwrap_or(fixture);
     let golden = dir.join(format!("{name}.golden"));
 
     let out = Command::new(env!("CARGO_BIN_EXE_tdq"))
-        .arg(cmd)
+        .args(args)
         .arg(&input)
         .output()
         .expect("tdq runs");
+    let cmd = args.join(" ");
     let stdout = String::from_utf8(out.stdout).expect("tdq output is UTF-8");
     assert!(
         out.status.success(),
@@ -87,4 +97,16 @@ fn normalize_long_golden() {
 #[test]
 fn reduce_tiny_golden() {
     check_golden("reduce", "reduce_tiny.txt");
+}
+
+/// The batch pipeline end to end: JSONL verdicts in input order plus the
+/// dedup stats line. `--jobs 2` exercises the worker pool; the output is
+/// deterministic regardless (verdicts and stats do not depend on
+/// scheduling — only wall-clock does).
+#[test]
+fn batch_small_golden() {
+    check_golden_args(
+        &["batch", "--jobs", "2", "--cache-stats"],
+        "batch_small.jsonl",
+    );
 }

@@ -1,0 +1,168 @@
+//! Differential audit of the per-column index invariant under
+//! "unification-heavy" workloads.
+//!
+//! `MatchStrategy::Indexed` trusts `Instance`'s per-column indexes, which
+//! are maintained on insert only. The index can therefore only go stale if
+//! some mutation path edits rows without inserting — the candidate paths
+//! being `EqInstance` merges (union–find collapses), `direct_product`, and
+//! chase firings with fresh nulls. This suite drives all of them and
+//! checks, at every stage, that (a) `Instance::index_is_consistent`
+//! re-derives the exact same index from the tuple store, and (b) the naive
+//! full-scan oracle and the indexed planner agree on every verdict — the
+//! observable symptom a stale index would produce.
+
+use proptest::prelude::*;
+use template_deps::prelude::*;
+use template_deps::td_core::eq_instance::EqInstance;
+use template_deps::td_core::ids::{AttrId, RowId};
+use template_deps::td_core::product::{direct_power, direct_product};
+use template_deps::td_core::satisfaction::satisfies_with;
+
+fn schema3() -> Schema {
+    Schema::new("R", ["A", "B", "C"]).unwrap()
+}
+
+/// The unification-heavy fixture: start from a spread-out instance, then
+/// collapse value classes aggressively through the partition view (the
+/// per-attribute union–finds), and re-materialize.
+fn collapsed_instance(n_rows: usize, merges: &[(usize, usize, usize)]) -> Instance {
+    let mut eq = EqInstance::new(schema3(), n_rows);
+    for &(col, a, b) in merges {
+        eq.merge(
+            AttrId::new((col % 3) as u32),
+            RowId::new((a % n_rows) as u32),
+            RowId::new((b % n_rows) as u32),
+        )
+        .unwrap();
+    }
+    eq.to_instance()
+}
+
+/// Embedded dependencies that chase the fixture hard: one invents
+/// C-values for joined (A,B) pairs, one closes B across shared A.
+fn chase_tds() -> Vec<Td> {
+    let t1 = TdBuilder::new(schema3())
+        .antecedent(["a", "b", "c"])
+        .unwrap()
+        .antecedent(["a", "b2", "c2"])
+        .unwrap()
+        .conclusion(["a", "b", "*"])
+        .unwrap()
+        .build("invent-c")
+        .unwrap();
+    let t2 = TdBuilder::new(schema3())
+        .antecedent(["a", "b", "c"])
+        .unwrap()
+        .antecedent(["a2", "b", "c2"])
+        .unwrap()
+        .conclusion(["a", "b", "c2"])
+        .unwrap()
+        .build("join-b")
+        .unwrap();
+    vec![t1, t2]
+}
+
+/// Runs the chase under one strategy, asserting index integrity on the
+/// final state; returns the outcome and the state.
+fn chase_with(tds: &[Td], initial: &Instance, strategy: MatchStrategy) -> (ChaseOutcome, Instance) {
+    let mut engine = ChaseEngine::new(
+        tds,
+        initial.clone(),
+        ChasePolicy::Restricted,
+        ChaseBudget::small(),
+    )
+    .unwrap()
+    .with_strategy(strategy);
+    let outcome = engine.run(None);
+    let (state, _) = engine.into_parts();
+    assert!(
+        state.index_is_consistent(),
+        "stale index after {strategy:?} chase"
+    );
+    (outcome, state)
+}
+
+#[test]
+fn union_find_collapse_then_chase_differential() {
+    // A dense merge script: every attribute ends up with few classes.
+    let merges: Vec<(usize, usize, usize)> =
+        (0..40).map(|i| (i % 3, i % 7, (i * 5 + 2) % 7)).collect();
+    let initial = collapsed_instance(7, &merges);
+    assert!(
+        initial.index_is_consistent(),
+        "post-collapse materialization"
+    );
+
+    let tds = chase_tds();
+    let (naive_out, naive_state) = chase_with(&tds, &initial, MatchStrategy::Naive);
+    let (indexed_out, indexed_state) = chase_with(&tds, &initial, MatchStrategy::Indexed);
+    assert_eq!(
+        naive_out, indexed_out,
+        "verdicts must not depend on strategy"
+    );
+    assert_eq!(
+        naive_state.len(),
+        indexed_state.len(),
+        "states must coincide as sets"
+    );
+    assert_eq!(naive_state, indexed_state);
+
+    // Satisfaction checks agree on both states under both strategies.
+    for td in &tds {
+        for state in [&naive_state, &indexed_state] {
+            assert_eq!(
+                satisfies_with(MatchStrategy::Naive, state, td),
+                satisfies_with(MatchStrategy::Indexed, state, td),
+            );
+        }
+    }
+}
+
+#[test]
+fn products_of_collapsed_instances_keep_index_integrity() {
+    let a = collapsed_instance(5, &[(0, 0, 1), (0, 1, 2), (1, 3, 4), (2, 0, 4)]);
+    let b = collapsed_instance(4, &[(1, 0, 1), (1, 1, 2), (2, 2, 3)]);
+    let (p, _) = direct_product(&a, &b).unwrap();
+    assert!(p.index_is_consistent(), "product interning");
+    let cube = direct_power(&a, 3).unwrap();
+    assert!(cube.index_is_consistent(), "iterated product");
+
+    // Differential check straight through the product.
+    for td in chase_tds() {
+        assert_eq!(
+            satisfies_with(MatchStrategy::Naive, &p, &td),
+            satisfies_with(MatchStrategy::Indexed, &p, &td),
+        );
+    }
+}
+
+#[test]
+fn roundtrip_through_partition_view_is_consistent() {
+    let inst = collapsed_instance(6, &[(0, 0, 5), (1, 1, 4), (2, 2, 3), (0, 1, 2)]);
+    let eq = EqInstance::from_instance(&inst);
+    let back = eq.to_instance();
+    assert!(back.index_is_consistent());
+    assert_eq!(back.len(), inst.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random merge scripts: materialization, products and both chase
+    /// strategies preserve index integrity and verdict agreement.
+    #[test]
+    fn random_collapse_differential(
+        n_rows in 2..7usize,
+        merges in proptest::collection::vec((0..3usize, 0..8usize, 0..8usize), 0..24),
+    ) {
+        let initial = collapsed_instance(n_rows, &merges);
+        prop_assert!(initial.index_is_consistent());
+        let tds = chase_tds();
+        let (naive_out, naive_state) = chase_with(&tds, &initial, MatchStrategy::Naive);
+        let (indexed_out, indexed_state) = chase_with(&tds, &initial, MatchStrategy::Indexed);
+        prop_assert_eq!(naive_out, indexed_out);
+        prop_assert_eq!(&naive_state, &indexed_state);
+        let (p, _) = direct_product(&initial, &initial).unwrap();
+        prop_assert!(p.index_is_consistent());
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the canonicalization layer (`td_core::canon`): the
+//! key must be a complete isomorphism invariant — equal for every renamed
+//! and row-permuted copy of a TD, and (checked against the brute-force
+//! permutation oracle) equal *only* for isomorphic pairs.
+
+use proptest::prelude::*;
+use template_deps::prelude::*;
+use template_deps::td_core::canon::{canon_form, isomorphic};
+use template_deps::td_core::ids::{AttrId, Var};
+use template_deps::td_core::td::TdRow;
+
+fn schema(arity: usize) -> Schema {
+    Schema::new("R", (0..arity).map(|i| format!("C{i}"))).unwrap()
+}
+
+/// Strategy: a random typed TD over `arity` columns with up to 4 rows
+/// (small enough for the factorial oracle).
+fn arb_td(arity: usize) -> impl Strategy<Value = Td> {
+    let rows = 1..=4usize;
+    let vars = 1..=3u32;
+    (
+        rows,
+        vars,
+        proptest::collection::vec(0..100u32, arity * 5 + arity),
+    )
+        .prop_map(move |(n_rows, n_vars, picks)| {
+            let mut it = picks.into_iter();
+            let antecedents: Vec<TdRow> = (0..n_rows)
+                .map(|_| TdRow::new((0..arity).map(|_| Var::new(it.next().unwrap() % n_vars))))
+                .collect();
+            let conclusion = TdRow::new((0..arity).map(|c| {
+                let pick = it.next().unwrap();
+                if pick % 4 == 0 {
+                    Var::new(n_vars + 7) // fresh => existential
+                } else {
+                    antecedents[(pick as usize) % n_rows].get(AttrId::from(c))
+                }
+            }));
+            Td::new(schema(arity), antecedents, conclusion, "random").unwrap()
+        })
+}
+
+/// Applies a deterministic "random-looking" per-column variable renaming
+/// (an injective map derived from `salt`) and a row rotation+swap derived
+/// from `perm_seed` — a nontrivial isomorphism of `td`.
+fn scramble(td: &Td, salt: u32, perm_seed: usize) -> Td {
+    // Injective per-column renaming: v ↦ (a*v + b) with odd multiplier a
+    // (invertible mod 2^32), different per column.
+    let rename = |col: usize, v: Var| -> Var {
+        let a = 2 * ((salt as u64 + col as u64 * 7) % 1000) + 1;
+        let b = (salt as u64 * 31 + col as u64 * 13) % 10_000;
+        Var::new(((v.raw() as u64 * a + b) % u32::MAX as u64) as u32)
+    };
+    let map_row = |row: &TdRow| TdRow::new(row.components().map(|(c, v)| rename(c.index(), v)));
+    let mut antecedents: Vec<TdRow> = td.antecedents().iter().map(map_row).collect();
+    let n = antecedents.len();
+    antecedents.rotate_left(perm_seed % n.max(1));
+    if n >= 2 {
+        antecedents.swap(perm_seed % n, (perm_seed / 3) % n);
+    }
+    Td::new(
+        td.schema().clone(),
+        antecedents,
+        map_row(td.conclusion()),
+        "scrambled",
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Renaming + row permutation never changes the key; the brute-force
+    /// oracle confirms the copies are isomorphic.
+    #[test]
+    fn key_invariant_under_isomorphism(
+        td in arb_td(3),
+        salt in 1..5000u32,
+        perm in 0..24usize,
+    ) {
+        let copy = scramble(&td, salt, perm);
+        prop_assert!(isomorphic(&td, &copy));
+        prop_assert_eq!(canon_key(&td), canon_key(&copy));
+    }
+
+    /// On arbitrary pairs, key equality coincides exactly with the
+    /// brute-force isomorphism oracle (no false merges, no false splits).
+    #[test]
+    fn key_equality_matches_oracle(a in arb_td(2), b in arb_td(2)) {
+        prop_assert_eq!(canon_key(&a) == canon_key(&b), isomorphic(&a, &b));
+    }
+
+    /// The canonical form is a genuine normal form: isomorphic to its
+    /// input, a fixpoint of canonicalization, and literally identical
+    /// across isomorphic copies.
+    #[test]
+    fn canon_form_is_a_normal_form(td in arb_td(3), salt in 1..5000u32, perm in 0..24usize) {
+        let cf = canon_form(&td);
+        prop_assert!(isomorphic(&td, &cf));
+        let cf2 = canon_form(&cf);
+        prop_assert_eq!(cf.antecedents(), cf2.antecedents());
+        prop_assert_eq!(cf.conclusion(), cf2.conclusion());
+        let cf_copy = canon_form(&scramble(&td, salt, perm));
+        prop_assert_eq!(cf.antecedents(), cf_copy.antecedents());
+        prop_assert_eq!(cf.conclusion(), cf_copy.conclusion());
+    }
+
+    /// The system key dedups whole implication instances: invariant under
+    /// premise reordering and member-wise scrambling, sensitive to the
+    /// goal.
+    #[test]
+    fn system_key_invariance(
+        d1 in arb_td(3),
+        d2 in arb_td(3),
+        goal in arb_td(3),
+        salt in 1..5000u32,
+    ) {
+        let k = system_key(&[d1.clone(), d2.clone()], &goal);
+        let scrambled = vec![scramble(&d2, salt, 1), scramble(&d1, salt + 1, 2)];
+        prop_assert_eq!(system_key(&scrambled, &scramble(&goal, salt + 2, 0)), k);
+    }
+}
+
+/// Deterministic adversarial pairs: same color-refinement signature,
+/// different structure — only the individualization branching can split
+/// them (mirrors the unit tests in `td_core::canon`, here through the
+/// public facade and with a third shape).
+#[test]
+fn adversarial_cycle_families() {
+    let schema2 = schema(2);
+    // Bipartite cycles over rows-as-edges: `halves` lists the number of
+    // variable pairs per cycle component.
+    let cycles = |halves: &[u32], name: &str| {
+        let mut rows = Vec::new();
+        let (mut a_base, mut b_base) = (0u32, 0u32);
+        for &half in halves {
+            for i in 0..half {
+                rows.push(TdRow::from_raw([a_base + i, b_base + i]));
+                rows.push(TdRow::from_raw([a_base + (i + 1) % half, b_base + i]));
+            }
+            a_base += half;
+            b_base += half;
+        }
+        let concl = TdRow::from_raw([a_base + 50, b_base + 50]);
+        Td::new(schema2.clone(), rows, concl, name).unwrap()
+    };
+    let twelve = cycles(&[6], "one-12-cycle");
+    let six_six = cycles(&[3, 3], "two-6-cycles");
+    let four_eight = cycles(&[2, 4], "4+8-cycles");
+    // All three have 12 rows, 6+6 degree-2 variables, and a uniform
+    // refinement signature.
+    for td in [&twelve, &six_six, &four_eight] {
+        assert_eq!(td.antecedent_count(), 12);
+    }
+    assert_ne!(canon_key(&twelve), canon_key(&six_six));
+    assert_ne!(canon_key(&twelve), canon_key(&four_eight));
+    assert_ne!(canon_key(&six_six), canon_key(&four_eight));
+    // Scrambled copies still collide with their own family only.
+    let mut rows = six_six.antecedents().to_vec();
+    rows.rotate_left(5);
+    rows.swap(1, 9);
+    let shuffled = Td::new(schema2, rows, six_six.conclusion().clone(), "shuffled").unwrap();
+    assert_eq!(canon_key(&six_six), canon_key(&shuffled));
+}

@@ -315,20 +315,30 @@ impl<'a> Refiner<'a> {
 
     /// Encodes the TD with its antecedent rows in `order`, renaming
     /// variables per column in first-occurrence order. A complete invariant
-    /// of the isomorphism class once `order` is canonical.
+    /// of the isomorphism class once `order` is canonical. The rename
+    /// tables are dense direct-index vectors (variable ids are dense per
+    /// column, same as the interner in [`Refiner::new`]) — this runs once
+    /// per leaf of the branching search, so it stays hash-free like the
+    /// refinement loop.
     fn encode(&self, order: &[usize]) -> Vec<u32> {
-        let mut rename: Vec<HashMap<Var, u32>> = vec![HashMap::new(); self.arity];
+        const UNNAMED: u32 = u32::MAX;
+        let mut rename: Vec<Vec<u32>> = self
+            .td
+            .max_var_per_column()
+            .iter()
+            .map(|m| vec![UNNAMED; m.map_or(0, |v| v.index() + 1)])
+            .collect();
         let mut next: Vec<u32> = vec![0; self.arity];
         let mut out: Vec<u32> = Vec::with_capacity(2 + (self.n_rows + 1) * self.arity);
         out.push(self.arity as u32);
         out.push(self.n_rows as u32);
         let mut push_row = |row: &TdRow, out: &mut Vec<u32>| {
             for (col, v) in row.components() {
-                let slot = rename[col.index()].entry(v).or_insert_with(|| {
-                    let nv = next[col.index()];
+                let slot = &mut rename[col.index()][v.index()];
+                if *slot == UNNAMED {
+                    *slot = next[col.index()];
                     next[col.index()] += 1;
-                    nv
-                });
+                }
                 out.push(*slot);
             }
         };

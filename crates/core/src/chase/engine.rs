@@ -14,6 +14,7 @@
 use std::collections::HashSet;
 use std::ops::ControlFlow;
 
+use crate::budget::Cancellation;
 use crate::error::{CoreError, Result};
 use crate::homomorphism::{for_each_match_capped, for_each_match_with, Binding, MatchStrategy};
 use crate::ids::RowId;
@@ -116,6 +117,13 @@ pub struct ChaseEngine<'a> {
     /// trigger discovery; rows at or above it form the next round's delta.
     frontier: usize,
     proof: ChaseProof,
+    /// Optional cooperative-cancellation token (the shared
+    /// [`crate::budget`] substrate), polled between rounds and before each
+    /// firing. Cancellation surfaces as [`ChaseOutcome::BudgetExhausted`]
+    /// with [`ChaseEngine::was_cancelled`] set — the same
+    /// cancelled-vs-exhausted split the tracked searches report.
+    cancel: Option<&'a Cancellation>,
+    cancelled: bool,
 }
 
 impl<'a> ChaseEngine<'a> {
@@ -140,6 +148,8 @@ impl<'a> ChaseEngine<'a> {
             rounds_run: 0,
             frontier: 0,
             proof: ChaseProof::default(),
+            cancel: None,
+            cancelled: false,
         })
     }
 
@@ -154,6 +164,30 @@ impl<'a> ChaseEngine<'a> {
     /// The matching strategy in use.
     pub fn strategy(&self) -> MatchStrategy {
         self.strategy
+    }
+
+    /// Attaches a cooperative-cancellation token (builder style). The
+    /// engine polls it at every round boundary and before every firing; a
+    /// cancelled run stops with [`ChaseOutcome::BudgetExhausted`] and
+    /// reports the distinction through [`ChaseEngine::was_cancelled`].
+    pub fn with_cancellation(mut self, cancel: &'a Cancellation) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// `true` when the last [`ChaseEngine::run`] stopped because the
+    /// attached [`Cancellation`] token fired (as opposed to exhausting its
+    /// own [`ChaseBudget`]). The spent counters are then lower bounds.
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// Polls the attached cancellation token, recording an observation.
+    fn poll_cancelled(&mut self) -> bool {
+        if self.cancel.is_some_and(Cancellation::is_cancelled) {
+            self.cancelled = true;
+        }
+        self.cancelled
     }
 
     /// The current chase state.
@@ -200,11 +234,11 @@ impl<'a> ChaseEngine<'a> {
                 })?;
                 vals.push(val);
             }
-            let t = Tuple::new(vals);
-            if !self.state.contains(&t) {
+            if !self.state.contains_slice(&vals) {
                 return Err(CoreError::ProofReplay(format!(
-                    "antecedent {r} of `{}` not matched: {t} absent",
-                    td.name()
+                    "antecedent {r} of `{}` not matched: {} absent",
+                    td.name(),
+                    Tuple::new(vals)
                 )));
             }
         }
@@ -222,8 +256,8 @@ impl<'a> ChaseEngine<'a> {
             };
             vals.push(val);
         }
+        let (_, added) = self.state.insert_slice(&vals)?;
         let tuple = Tuple::new(vals);
-        let (_, added) = self.state.insert(tuple.clone())?;
         if !added {
             return Ok((tuple, false));
         }
@@ -240,7 +274,7 @@ impl<'a> ChaseEngine<'a> {
     /// Records the goal row in the proof (used after a goal check succeeds).
     fn record_goal(&mut self, goal: &Goal) {
         if let Some(row) = goal.find_in(&self.state) {
-            self.proof.goal_row = self.state.get(row).ok().cloned();
+            self.proof.goal_row = self.state.get(row).ok().map(Tuple::from_slice);
         }
     }
 
@@ -309,10 +343,7 @@ impl<'a> ChaseEngine<'a> {
                     .map(|(k, r)| (r, if k < j { delta_start } else { usize::MAX }))
                     .collect();
                 for rid in delta_start..delta_end {
-                    let tuple = self
-                        .state
-                        .get(RowId::from(rid))
-                        .expect("delta row ids are in range");
+                    let tuple = self.state.row(RowId::from(rid));
                     let mut seed = Binding::new(td.arity());
                     if !seed.bind_row(pivot, tuple) {
                         continue; // pivot row self-conflicts on this tuple
@@ -350,7 +381,7 @@ impl<'a> ChaseEngine<'a> {
             }
         }
         loop {
-            if self.rounds_run >= self.budget.max_rounds {
+            if self.poll_cancelled() || self.rounds_run >= self.budget.max_rounds {
                 return ChaseOutcome::BudgetExhausted;
             }
             self.rounds_run += 1;
@@ -385,7 +416,8 @@ impl<'a> ChaseEngine<'a> {
 
             let mut fired_this_round = false;
             for (td_index, binding) in pending {
-                if self.steps_fired >= self.budget.max_steps
+                if self.poll_cancelled()
+                    || self.steps_fired >= self.budget.max_steps
                     || self.state.len() >= self.budget.max_rows
                 {
                     return ChaseOutcome::BudgetExhausted;
@@ -617,6 +649,47 @@ mod tests {
         let err = engine.fire(0, &b).unwrap_err();
         assert!(matches!(err, CoreError::ProofReplay(_)));
         let _ = Var::new(0); // silence unused import in cfg(test)
+    }
+
+    #[test]
+    fn cancellation_token_stops_the_run_and_is_distinguished() {
+        // The divergent oblivious fixture from `divergent_chase_hits_budget`.
+        let td = TdBuilder::new(schema2())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .conclusion(["a", "*"])
+            .unwrap()
+            .build("grow")
+            .unwrap();
+        let tds = vec![td];
+        let mut initial = Instance::new(schema2());
+        initial.insert_values([0, 0]).unwrap();
+
+        // A pre-cancelled token stops the run before anything fires.
+        let cancel = Cancellation::new();
+        cancel.cancel();
+        let mut engine = ChaseEngine::new(
+            &tds,
+            initial.clone(),
+            ChasePolicy::Oblivious,
+            ChaseBudget::small(),
+        )
+        .unwrap()
+        .with_cancellation(&cancel);
+        assert_eq!(engine.run(None), ChaseOutcome::BudgetExhausted);
+        assert!(engine.was_cancelled());
+        assert_eq!(engine.steps_fired(), 0);
+
+        // The same run with an idle token exhausts its own budget instead,
+        // and the engine reports the difference.
+        let idle = Cancellation::new();
+        let mut engine =
+            ChaseEngine::new(&tds, initial, ChasePolicy::Oblivious, ChaseBudget::small())
+                .unwrap()
+                .with_cancellation(&idle);
+        assert_eq!(engine.run(None), ChaseOutcome::BudgetExhausted);
+        assert!(!engine.was_cancelled());
+        assert!(engine.steps_fired() > 0);
     }
 
     #[test]

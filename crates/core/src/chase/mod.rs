@@ -47,21 +47,27 @@ impl Goal {
         &self.pattern
     }
 
-    /// `true` if `tuple` matches the goal.
-    pub fn met_by(&self, tuple: &Tuple) -> bool {
-        tuple.arity() == self.pattern.len()
+    /// `true` if the row slice matches the goal.
+    pub fn met_by_slice(&self, values: &[Value]) -> bool {
+        values.len() == self.pattern.len()
             && self
                 .pattern
                 .iter()
-                .zip(tuple.values())
+                .zip(values)
                 .all(|(want, &got)| want.is_none_or(|w| w == got))
     }
 
-    /// The first row of `instance` matching the goal, if any.
+    /// `true` if `tuple` matches the goal.
+    pub fn met_by(&self, tuple: &Tuple) -> bool {
+        self.met_by_slice(tuple.values())
+    }
+
+    /// The first row of `instance` matching the goal, if any — a linear
+    /// scan over the arena.
     pub fn find_in(&self, instance: &Instance) -> Option<RowId> {
         instance
             .rows()
-            .find(|(_, t)| self.met_by(t))
+            .find(|(_, t)| self.met_by_slice(t))
             .map(|(r, _)| r)
     }
 }

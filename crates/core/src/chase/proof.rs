@@ -217,8 +217,8 @@ mod tests {
         assert!(!proof.is_empty(), "the product TD must fire");
         let replayed = proof.verify(&initial, &tds, None).unwrap();
         assert_eq!(replayed.len(), final_state.len());
-        for t in final_state.tuples() {
-            assert!(replayed.contains(t));
+        for t in final_state.row_slices() {
+            assert!(replayed.contains_slice(t));
         }
     }
 
@@ -285,7 +285,7 @@ mod tests {
         assert_eq!(engine.run(None), ChaseOutcome::Terminated);
         let (state, mut proof) = engine.into_parts();
         let row = goal.find_in(&state).expect("product contains (0,1)");
-        proof.goal_row = Some(state.get(row).unwrap().clone());
+        proof.goal_row = Some(Tuple::from_slice(state.get(row).unwrap()));
         assert_eq!(proof.len(), 2, "both cross tuples were added");
         let min = proof.minimized(&initial, &tds, Some(&goal)).unwrap();
         assert_eq!(min.len(), 1, "only the (0,1) step is needed");

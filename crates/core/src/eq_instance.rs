@@ -133,7 +133,7 @@ impl EqInstance {
         for col in inst.schema().attr_ids() {
             let mut first_with: std::collections::HashMap<u32, usize> = Default::default();
             for (row, t) in inst.rows() {
-                let v = t.get(col).raw();
+                let v = t[col.index()].raw();
                 match first_with.entry(v) {
                     std::collections::hash_map::Entry::Occupied(e) => {
                         eq.parts[col.index()].union(*e.get(), row.index());
@@ -250,11 +250,11 @@ mod tests {
             .unwrap();
         let inst = eq.to_instance();
         assert_eq!(inst.len(), 3);
-        let ts: Vec<&Tuple> = inst.tuples().collect();
-        assert!(ts[0].agrees_on(ts[2], AttrId::new(0)));
-        assert!(!ts[0].agrees_on(ts[1], AttrId::new(0)));
-        assert!(ts[1].agrees_on(ts[2], AttrId::new(1)));
-        assert!(!ts[0].agrees_on(ts[1], AttrId::new(1)));
+        let ts: Vec<Tuple> = inst.row_slices().map(Tuple::from_slice).collect();
+        assert!(ts[0].agrees_on(&ts[2], AttrId::new(0)));
+        assert!(!ts[0].agrees_on(&ts[1], AttrId::new(0)));
+        assert!(ts[1].agrees_on(&ts[2], AttrId::new(1)));
+        assert!(!ts[0].agrees_on(&ts[1], AttrId::new(1)));
     }
 
     #[test]

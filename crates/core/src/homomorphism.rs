@@ -34,7 +34,6 @@
 //! Both strategies are deterministic; they may enumerate matches in
 //! different orders but always produce the same *set* of bindings.
 
-use std::collections::HashMap;
 use std::ops::ControlFlow;
 
 use crate::ids::{AttrId, Value, Var};
@@ -53,61 +52,119 @@ pub enum MatchStrategy {
 }
 
 /// A partial assignment of values to (column-scoped) variables.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Stored **densely**: one `Vec<u32>` per column, indexed directly by
+/// variable id, with `u32::MAX` marking unbound slots. Variable ids are
+/// small and dense in every caller (dependency builders number them in
+/// first-occurrence order; [`instance_hom_fixing`] reads dense value ids
+/// as variables), so direct indexing replaces the per-column `HashMap`s
+/// that used to dominate the chase's trigger-discovery profile — `get` is
+/// two array indexes, `clone` is a handful of `memcpy`s, and
+/// [`Binding::to_sorted_vec`] is a linear sweep that needs no sort.
+#[derive(Debug, Clone, Default)]
 pub struct Binding {
-    cols: Vec<HashMap<Var, Value>>,
+    /// `cols[c][v]` is the bound value's raw id, or [`Binding::UNBOUND`].
+    /// Column vectors grow on demand, so fresh bindings allocate nothing.
+    cols: Vec<Vec<u32>>,
+    /// Number of bound variables over all columns.
+    bound: usize,
 }
 
+impl PartialEq for Binding {
+    /// Logical equality: two bindings are equal when they bind the same
+    /// variables to the same values — trailing unbound slots left behind
+    /// by backtracking are representationally irrelevant.
+    fn eq(&self, other: &Self) -> bool {
+        let slot = |col: &Vec<u32>, i: usize| col.get(i).copied().unwrap_or(Self::UNBOUND);
+        self.bound == other.bound
+            && self.cols.len() == other.cols.len()
+            && self
+                .cols
+                .iter()
+                .zip(&other.cols)
+                .all(|(a, b)| (0..a.len().max(b.len())).all(|i| slot(a, i) == slot(b, i)))
+    }
+}
+
+impl Eq for Binding {}
+
 impl Binding {
+    /// Sentinel marking an unbound dense slot.
+    const UNBOUND: u32 = u32::MAX;
+
     /// An empty binding for an `arity`-column schema.
     pub fn new(arity: usize) -> Self {
         Self {
-            cols: vec![HashMap::new(); arity],
+            cols: vec![Vec::new(); arity],
+            bound: 0,
         }
     }
 
     /// The value bound to `var` in `col`, if any.
+    #[inline]
     pub fn get(&self, col: AttrId, var: Var) -> Option<Value> {
-        self.cols[col.index()].get(&var).copied()
+        match self.cols[col.index()].get(var.index()) {
+            Some(&raw) if raw != Self::UNBOUND => Some(Value::new(raw)),
+            _ => None,
+        }
     }
 
     /// Binds `var` (in `col`) to `value`. Returns `false` on conflict with
     /// an existing different binding; returns `true` (without change) if the
     /// binding already agrees.
+    #[inline]
     pub fn bind(&mut self, col: AttrId, var: Var, value: Value) -> bool {
-        match self.cols[col.index()].entry(var) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get() == value,
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(value);
-                true
-            }
+        debug_assert!(
+            value.raw() != Self::UNBOUND,
+            "value id u32::MAX collides with the dense-slot sentinel"
+        );
+        let slots = &mut self.cols[col.index()];
+        if slots.len() <= var.index() {
+            slots.resize(var.index() + 1, Self::UNBOUND);
+        }
+        let slot = &mut slots[var.index()];
+        if *slot == Self::UNBOUND {
+            *slot = value.raw();
+            self.bound += 1;
+            true
+        } else {
+            *slot == value.raw()
         }
     }
 
     /// Removes the binding of `var` in `col`.
+    #[inline]
     pub fn unbind(&mut self, col: AttrId, var: Var) {
-        self.cols[col.index()].remove(&var);
+        if let Some(slot) = self.cols[col.index()].get_mut(var.index()) {
+            if *slot != Self::UNBOUND {
+                *slot = Self::UNBOUND;
+                self.bound -= 1;
+            }
+        }
     }
 
     /// Number of bound variables over all columns.
     pub fn len(&self) -> usize {
-        self.cols.iter().map(HashMap::len).sum()
+        self.bound
     }
 
     /// `true` if nothing is bound.
     pub fn is_empty(&self) -> bool {
-        self.cols.iter().all(HashMap::is_empty)
+        self.bound == 0
     }
 
-    /// A deterministic, sorted dump of the binding (for proofs and display).
+    /// A deterministic, sorted dump of the binding (for proofs and
+    /// display). The dense layout already stores each column in variable
+    /// order, so this is a single allocation-then-sweep.
     pub fn to_sorted_vec(&self) -> Vec<(AttrId, Var, Value)> {
-        let mut out = Vec::with_capacity(self.len());
-        for (c, m) in self.cols.iter().enumerate() {
-            for (&var, &val) in m {
-                out.push((AttrId::from(c), var, val));
+        let mut out = Vec::with_capacity(self.bound);
+        for (c, slots) in self.cols.iter().enumerate() {
+            for (v, &raw) in slots.iter().enumerate() {
+                if raw != Self::UNBOUND {
+                    out.push((AttrId::from(c), Var::from(v), Value::new(raw)));
+                }
             }
         }
-        out.sort();
         out
     }
 
@@ -125,13 +182,15 @@ impl Binding {
         Some(b)
     }
 
-    /// Binds every cell of `row` to the corresponding component of `tuple`.
-    /// Returns `false` (leaving the binding in a partially-extended state)
-    /// if some cell conflicts with an existing binding — callers that need
-    /// rollback should clone first. Used to seed delta-driven trigger
-    /// discovery in the semi-naive chase.
-    pub fn bind_row(&mut self, row: &TdRow, tuple: &crate::tuple::Tuple) -> bool {
-        row.components().all(|(c, v)| self.bind(c, v, tuple.get(c)))
+    /// Binds every cell of `row` to the corresponding component of the
+    /// `tuple` slice (a borrowed arena row). Returns `false` (leaving the
+    /// binding in a partially-extended state) if some cell conflicts with
+    /// an existing binding — callers that need rollback should clone
+    /// first. Used to seed delta-driven trigger discovery in the
+    /// semi-naive chase.
+    pub fn bind_row(&mut self, row: &TdRow, tuple: &[Value]) -> bool {
+        row.components()
+            .all(|(c, v)| self.bind(c, v, tuple[c.index()]))
     }
 }
 
@@ -140,32 +199,43 @@ pub fn apply_row(binding: &Binding, row: &TdRow) -> Vec<Option<Value>> {
     row.components().map(|(c, v)| binding.get(c, v)).collect()
 }
 
-/// Tries to match `row` against `tuple`, extending `binding`. On success
-/// returns the list of newly bound `(col, var)` pairs (for rollback); on
-/// conflict rolls back and returns `None`.
+/// Tries to match `row` against the `tuple` slice (a borrowed arena row),
+/// extending `binding`. Newly bound `(col, var)` pairs are pushed onto the
+/// shared `trail` (a rollback stack reused across the whole search, so
+/// matching allocates nothing in steady state). On success returns `true`
+/// with the additions on the trail above the caller's mark; on conflict
+/// rolls back to the mark and returns `false`.
 fn try_match_row(
     binding: &mut Binding,
     row: &TdRow,
-    tuple: &crate::tuple::Tuple,
-) -> Option<Vec<(AttrId, Var)>> {
-    let mut added = Vec::new();
+    tuple: &[Value],
+    trail: &mut Vec<(AttrId, Var)>,
+) -> bool {
+    let mark = trail.len();
     for (col, var) in row.components() {
-        let val = tuple.get(col);
+        let val = tuple[col.index()];
         match binding.get(col, var) {
             Some(existing) if existing == val => {}
             Some(_) => {
-                for &(c, v) in &added {
-                    binding.unbind(c, v);
-                }
-                return None;
+                unwind(binding, trail, mark);
+                return false;
             }
             None => {
                 binding.bind(col, var, val);
-                added.push((col, var));
+                trail.push((col, var));
             }
         }
     }
-    Some(added)
+    true
+}
+
+/// Rolls the binding back to a trail mark.
+#[inline]
+fn unwind(binding: &mut Binding, trail: &mut Vec<(AttrId, Var)>, mark: usize) {
+    for &(c, v) in &trail[mark..] {
+        binding.unbind(c, v);
+    }
+    trail.truncate(mark);
 }
 
 /// A pattern row paired with an exclusive row-id cap: the row may only
@@ -179,6 +249,7 @@ fn search_naive<F>(
     pattern: &[CappedRow<'_>],
     target: &Instance,
     binding: &mut Binding,
+    trail: &mut Vec<(AttrId, Var)>,
     visit: &mut F,
 ) -> ControlFlow<()>
 where
@@ -187,12 +258,11 @@ where
     let Some((&(row, cap), rest)) = pattern.split_first() else {
         return visit(binding);
     };
-    for tuple in target.tuples().take(cap) {
-        if let Some(added) = try_match_row(binding, row, tuple) {
-            let flow = search_naive(rest, target, binding, visit);
-            for (c, v) in added {
-                binding.unbind(c, v);
-            }
+    for tuple in target.row_slices().take(cap) {
+        let mark = trail.len();
+        if try_match_row(binding, row, tuple, trail) {
+            let flow = search_naive(rest, target, binding, trail, visit);
+            unwind(binding, trail, mark);
             flow?;
         }
     }
@@ -247,6 +317,7 @@ fn search_indexed<F>(
     pattern: &[CappedRow<'_>],
     target: &Instance,
     binding: &mut Binding,
+    trail: &mut Vec<(AttrId, Var)>,
     visit: &mut F,
 ) -> ControlFlow<()>
 where
@@ -261,12 +332,11 @@ where
     match candidates {
         Some(rows) => {
             for &rid in rows {
-                let tuple = target.get(rid).expect("index row ids are in range");
-                if let Some(added) = try_match_row(binding, row, tuple) {
-                    let flow = search_indexed(rest, target, binding, visit);
-                    for (c, v) in added {
-                        binding.unbind(c, v);
-                    }
+                let tuple = target.row(rid);
+                let mark = trail.len();
+                if try_match_row(binding, row, tuple, trail) {
+                    let flow = search_indexed(rest, target, binding, trail, visit);
+                    unwind(binding, trail, mark);
                     flow?;
                 }
             }
@@ -274,12 +344,11 @@ where
         None => {
             // No column of this row is bound yet: scan, exactly like the
             // naive search (the planner's row order makes this rare).
-            for tuple in target.tuples().take(cap) {
-                if let Some(added) = try_match_row(binding, row, tuple) {
-                    let flow = search_indexed(rest, target, binding, visit);
-                    for (c, v) in added {
-                        binding.unbind(c, v);
-                    }
+            for tuple in target.row_slices().take(cap) {
+                let mark = trail.len();
+                if try_match_row(binding, row, tuple, trail) {
+                    let flow = search_indexed(rest, target, binding, trail, visit);
+                    unwind(binding, trail, mark);
                     flow?;
                 }
             }
@@ -344,13 +413,14 @@ where
     F: FnMut(&Binding) -> ControlFlow<()>,
 {
     let mut binding = seed.clone();
+    let mut trail: Vec<(AttrId, Var)> = Vec::new();
     match strategy {
         MatchStrategy::Naive => {
-            search_naive(pattern, target, &mut binding, &mut visit).is_continue()
+            search_naive(pattern, target, &mut binding, &mut trail, &mut visit).is_continue()
         }
         MatchStrategy::Indexed => {
             let plan = plan_row_order(pattern, seed);
-            search_indexed(&plan, target, &mut binding, &mut visit).is_continue()
+            search_indexed(&plan, target, &mut binding, &mut trail, &mut visit).is_continue()
         }
     }
 }
@@ -397,18 +467,16 @@ pub fn row_match_exists(
     target: &Instance,
     binding: &Binding,
 ) -> bool {
-    let matches_tuple = |tuple: &crate::tuple::Tuple| {
+    let matches_tuple = |tuple: &[Value]| {
         row.components()
-            .all(|(c, v)| binding.get(c, v).is_none_or(|val| val == tuple.get(c)))
+            .all(|(c, v)| binding.get(c, v).is_none_or(|val| val == tuple[c.index()]))
     };
     match strategy {
-        MatchStrategy::Naive => target.tuples().any(matches_tuple),
+        MatchStrategy::Naive => target.row_slices().any(matches_tuple),
         MatchStrategy::Indexed => match best_bucket(row, target, binding, usize::MAX) {
             Err(()) => false,
-            Ok(Some(rows)) => rows
-                .iter()
-                .any(|&rid| matches_tuple(target.get(rid).expect("index row ids are in range"))),
-            Ok(None) => target.tuples().any(matches_tuple),
+            Ok(Some(rows)) => rows.iter().any(|&rid| matches_tuple(target.row(rid))),
+            Ok(None) => target.row_slices().any(matches_tuple),
         },
     }
 }
@@ -482,8 +550,8 @@ pub fn instance_hom_fixing(a: &Instance, b: &Instance, fixed: &Instance) -> Opti
     }
     // Read each row of `a` as a pattern row whose variables are the values.
     let pattern: Vec<TdRow> = a
-        .tuples()
-        .map(|t| TdRow::new(t.values().iter().map(|v| crate::ids::Var::new(v.raw()))))
+        .row_slices()
+        .map(|t| TdRow::new(t.iter().map(|v| crate::ids::Var::new(v.raw()))))
         .collect();
     match_first(&pattern, b, &seed)
 }
@@ -779,18 +847,18 @@ mod tests {
         let p = pattern();
         let mut b = Binding::new(2);
         let t = crate::tuple::Tuple::from_raw([3, 7]);
-        assert!(b.bind_row(&p[0], &t));
+        assert!(b.bind_row(&p[0], t.values()));
         assert_eq!(
             b.get(AttrId::new(0), p[0].get(AttrId::new(0))),
             Some(Value::new(3))
         );
         // Second row shares the A variable: binding to a conflicting tuple fails.
         let t2 = crate::tuple::Tuple::from_raw([4, 8]);
-        assert!(!b.bind_row(&p[1], &t2));
+        assert!(!b.bind_row(&p[1], t2.values()));
         // A tuple agreeing on A succeeds.
         let mut b2 = Binding::new(2);
-        assert!(b2.bind_row(&p[0], &t));
-        assert!(b2.bind_row(&p[1], &crate::tuple::Tuple::from_raw([3, 9])));
+        assert!(b2.bind_row(&p[0], t.values()));
+        assert!(b2.bind_row(&p[1], crate::tuple::Tuple::from_raw([3, 9]).values()));
     }
 
     #[test]

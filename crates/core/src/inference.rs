@@ -190,13 +190,24 @@ pub fn equivalent(
 /// applications the paper lists: "the ability to determine … whether a set
 /// of dependencies is redundant".)
 pub fn redundant(d: &[Td], index: usize, budget: ChaseBudget) -> Result<InferenceVerdict> {
+    redundant_with(d, index, budget, MatchStrategy::default())
+}
+
+/// [`redundant`] under an explicit homomorphism [`MatchStrategy`] (the
+/// CLI's `tdq deps --strategy` differential path).
+pub fn redundant_with(
+    d: &[Td],
+    index: usize,
+    budget: ChaseBudget,
+    strategy: MatchStrategy,
+) -> Result<InferenceVerdict> {
     let rest: Vec<Td> = d
         .iter()
         .enumerate()
         .filter(|&(i, _)| i != index)
         .map(|(_, t)| t.clone())
         .collect();
-    implies(&rest, &d[index], budget)
+    implies_with_strategy(&rest, &d[index], budget, strategy)
 }
 
 /// **Finite implication**, dovetailed: runs the chase (a proof of

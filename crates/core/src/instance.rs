@@ -1,23 +1,54 @@
-//! Relational instances: the explicit set-of-tuples view of a database.
+//! Relational instances: the explicit set-of-tuples view of a database,
+//! stored as a flat, arena-backed struct-of-arrays.
 //!
 //! "A database is for our purposes simply a relational structure … assumed to
 //! consist of a single relation R with a fixed number of columns." An
-//! [`Instance`] is a duplicate-free, insertion-ordered set of [`Tuple`]s over
-//! one [`Schema`]. It also hands out *fresh values* per column, which the
-//! chase uses as labelled nulls.
+//! [`Instance`] is a duplicate-free, insertion-ordered set of rows over one
+//! [`Schema`]. It also hands out *fresh values* per column, which the chase
+//! uses as labelled nulls.
 //!
-//! Every instance additionally maintains **per-column value indexes**: for
-//! each column, a map from each value to the (insertion-ordered) list of rows
-//! holding that value in that column. The indexes are updated incrementally
-//! on [`Instance::insert`] and drive the planner of
-//! [`crate::homomorphism::MatchStrategy::Indexed`], which replaces the
-//! nested full scans of trigger discovery with index lookups.
+//! # Arena layout
+//!
+//! All rows live in **one contiguous `Vec<Value>`**, strided by the schema
+//! arity: row `r` occupies `store[r·arity .. (r+1)·arity]` and is handed out
+//! as a borrowed `&[Value]` slice ([`Instance::row`]) — no per-row heap
+//! allocation, no pointer chasing, and row iteration is a linear scan of one
+//! allocation:
+//!
+//! ```text
+//! store:  | r0c0 r0c1 r0c2 | r1c0 r1c1 r1c2 | r2c0 r2c1 r2c2 | …
+//!           └── row 0 ────┘  └── row 1 ────┘  └── row 2 ────┘
+//! ```
+//!
+//! Deduplication is **slice-keyed**: an open-addressing table maps the hash
+//! of a row's value slice to its [`RowId`], comparing candidate slices
+//! directly against the arena — probing never clones a row, so the hot
+//! duplicate-insert path of the chase does no allocation at all.
+//!
+//! # Dense per-column value indexes
+//!
+//! Every instance maintains, per column, a bucket vector indexed *directly
+//! by value id*: `index[col][v]` is the insertion-ordered list of rows whose
+//! `col` component is value `v` ([`Instance::rows_with`]). Addressing by
+//! value id (rather than hashing the value) is sound because value ids are
+//! **dense per column** in every workload of this workspace: the
+//! `next_value` counter tracks the smallest unused id, fresh nulls are drawn
+//! from it, and the parser, `EqInstance` materialization and product
+//! interning all allocate ids `0, 1, 2, …` per column. Out-of-range lookups
+//! simply return the empty slice. The flip side of dense addressing is
+//! that a sparse insert costs **O(max value id) memory in that column**
+//! (one empty bucket per skipped id): callers minting their own raw ids
+//! must keep them dense per column — inserting id `4_000_000_000` into a
+//! fresh column allocates four billion empty buckets, where the old
+//! hash-map index would have allocated one entry. The indexes drive the
+//! planner of [`crate::homomorphism::MatchStrategy::Indexed`] and are
+//! updated incrementally on [`Instance::insert`].
 //!
 //! # Index freshness is an invariant by construction
 //!
-//! The index can only go stale if a stored tuple changes without going
-//! through [`Instance::insert`] — and no such path exists: the tuple store
-//! is private, every accessor returns shared references, and rows are never
+//! The index can only go stale if a stored row changes without going
+//! through [`Instance::insert`] — and no such path exists: the arena is
+//! private, every accessor returns shared slices, and rows are never
 //! removed or edited in place. The workspace's "mutation-heavy" operations
 //! all rebuild instances row by row through `insert` rather than mutating
 //! one: [`crate::eq_instance::EqInstance`] merges and its union–find
@@ -28,27 +59,125 @@
 //! inserting conclusion rows with freshly drawn nulls — template
 //! dependencies have no equality conclusions, so chasing never unifies two
 //! existing values in place. [`Instance::index_is_consistent`] re-derives
-//! the index from the tuple store so differential tests can audit the
-//! invariant end to end.
+//! the index from the arena so differential tests can audit the invariant
+//! end to end.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use crate::error::{CoreError, Result};
 use crate::ids::{AttrId, RowId, Value};
 use crate::schema::Schema;
-use crate::tuple::Tuple;
+use crate::tuple::{fmt_row, Tuple};
 
-/// A finite (or finitely-materialized) database instance.
+/// Slice-keyed dedup table: open addressing from row-slice hashes to row
+/// ids, with probes compared directly against the arena (no owned keys).
+/// Row ids are stored `+1` so `0` can mark an empty slot; rows are never
+/// removed, so there are no tombstones.
+#[derive(Debug, Clone)]
+struct RowTable {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+/// Multiplicative mix over the row's value ids; the per-word multiply and
+/// xor-shift spread dense ids (the common case) across the table.
+fn hash_row(values: &[Value]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for v in values {
+        h = (h ^ u64::from(v.raw())).wrapping_mul(0xA24B_AED4_963E_E407);
+        h ^= h >> 29;
+    }
+    h
+}
+
+impl RowTable {
+    const MIN_SLOTS: usize = 16;
+
+    fn new() -> Self {
+        Self {
+            slots: vec![0; Self::MIN_SLOTS],
+            len: 0,
+        }
+    }
+
+    /// The arena slice of stored row `r` (slot payload minus one).
+    #[inline]
+    fn stored(store: &[Value], arity: usize, slot: u32) -> &[Value] {
+        let r = (slot - 1) as usize;
+        &store[r * arity..(r + 1) * arity]
+    }
+
+    /// Finds `needle`'s row id, comparing probed slots against the arena.
+    /// A miss returns the needle's hash so the follow-up
+    /// [`RowTable::insert_new`] does not have to hash and probe again.
+    fn lookup(&self, store: &[Value], arity: usize, needle: &[Value]) -> Result<RowId, u64> {
+        let hash = hash_row(needle);
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        loop {
+            match self.slots[i] {
+                0 => return Err(hash),
+                slot => {
+                    if Self::stored(store, arity, slot) == needle {
+                        return Ok(RowId::from((slot - 1) as usize));
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Registers freshly appended row `row` under its precomputed `hash`
+    /// (from the [`RowTable::lookup`] miss; the caller has verified the
+    /// row is absent and already pushed its values into the arena).
+    fn insert_new(&mut self, store: &[Value], arity: usize, row: RowId, hash: u64) {
+        if (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow(store, arity);
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash as usize & mask;
+        while self.slots[i] != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = row.raw() + 1;
+        self.len += 1;
+    }
+
+    /// Doubles the table, rehashing every stored row from the arena.
+    fn grow(&mut self, store: &[Value], arity: usize) {
+        let new_cap = (self.slots.len() * 2).max(Self::MIN_SLOTS);
+        let mut slots = vec![0u32; new_cap];
+        let mask = new_cap - 1;
+        for &slot in self.slots.iter().filter(|&&s| s != 0) {
+            let mut i = hash_row(Self::stored(store, arity, slot)) as usize & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = slot;
+        }
+        self.slots = slots;
+    }
+}
+
+/// A finite (or finitely-materialized) database instance over a flat
+/// arena (see the module docs for the layout).
 #[derive(Debug, Clone)]
 pub struct Instance {
     schema: Schema,
-    tuples: Vec<Tuple>,
-    seen: HashMap<Tuple, RowId>,
+    /// Cached `schema.arity()` — the arena stride.
+    arity: usize,
+    /// The row arena: `arity` values per row, rows back to back.
+    store: Vec<Value>,
+    /// Slice-keyed dedup: row slice (by hash + arena comparison) → row.
+    seen: RowTable,
     /// Per-column counter: the smallest value id that is guaranteed unused.
     next_value: Vec<u32>,
-    /// Per-column index: value -> rows carrying that value in the column,
-    /// in insertion order. Maintained incrementally by [`Instance::insert`].
-    index: Vec<HashMap<Value, Vec<RowId>>>,
+    /// Per-column dense index: `index[col][v]` lists the rows whose `col`
+    /// component is value `v`, in insertion order. Maintained incrementally
+    /// by [`Instance::insert`].
+    index: Vec<Vec<Vec<RowId>>>,
+    /// Per-column count of non-empty index buckets (= distinct values).
+    distinct: Vec<usize>,
 }
 
 impl Instance {
@@ -57,10 +186,12 @@ impl Instance {
         let arity = schema.arity();
         Self {
             schema,
-            tuples: Vec::new(),
-            seen: HashMap::new(),
+            arity,
+            store: Vec::new(),
+            seen: RowTable::new(),
             next_value: vec![0; arity],
-            index: vec![HashMap::new(); arity],
+            index: vec![Vec::new(); arity],
+            distinct: vec![0; arity],
         }
     }
 
@@ -69,78 +200,123 @@ impl Instance {
         &self.schema
     }
 
-    /// Number of (distinct) tuples.
+    /// Number of (distinct) rows.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len() / self.arity
     }
 
-    /// `true` if the instance holds no tuples.
+    /// `true` if the instance holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
-    /// Inserts `tuple`, deduplicating. Returns the row id and whether the
-    /// tuple was new.
-    pub fn insert(&mut self, tuple: Tuple) -> Result<(RowId, bool)> {
-        if tuple.arity() != self.schema.arity() {
+    /// Inserts a row given as a value slice, deduplicating against the
+    /// arena without copying. Returns the row id and whether the row was
+    /// new. This is the allocation-free hot path behind every other insert
+    /// entry point.
+    pub fn insert_slice(&mut self, values: &[Value]) -> Result<(RowId, bool)> {
+        if values.len() != self.arity {
             return Err(CoreError::ArityMismatch {
-                expected: self.schema.arity(),
-                got: tuple.arity(),
+                expected: self.arity,
+                got: values.len(),
             });
         }
-        if let Some(&row) = self.seen.get(&tuple) {
-            return Ok((row, false));
-        }
-        let row = RowId::from(self.tuples.len());
-        for (col, v) in tuple.components() {
-            let next = &mut self.next_value[col.index()];
+        let hash = match self.seen.lookup(&self.store, self.arity, values) {
+            Ok(row) => return Ok((row, false)),
+            Err(hash) => hash,
+        };
+        let row = RowId::from(self.len());
+        self.store.extend_from_slice(values);
+        for (col, &v) in values.iter().enumerate() {
+            let next = &mut self.next_value[col];
             *next = (*next).max(v.raw().saturating_add(1));
-            self.index[col.index()].entry(v).or_default().push(row);
+            let buckets = &mut self.index[col];
+            let vi = v.index();
+            if buckets.len() <= vi {
+                buckets.resize_with(vi + 1, Vec::new);
+            }
+            if buckets[vi].is_empty() {
+                self.distinct[col] += 1;
+            }
+            buckets[vi].push(row);
         }
-        self.seen.insert(tuple.clone(), row);
-        self.tuples.push(tuple);
+        self.seen.insert_new(&self.store, self.arity, row, hash);
         Ok((row, true))
     }
 
-    /// Convenience: inserts a tuple given raw `u32` value ids.
+    /// Inserts `tuple`, deduplicating. Returns the row id and whether the
+    /// row was new.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<(RowId, bool)> {
+        self.insert_slice(tuple.values())
+    }
+
+    /// Convenience: inserts a row given raw `u32` value ids.
     pub fn insert_values(
         &mut self,
         values: impl IntoIterator<Item = u32>,
     ) -> Result<(RowId, bool)> {
-        self.insert(Tuple::from_raw(values))
+        let vals: Vec<Value> = values.into_iter().map(Value::new).collect();
+        self.insert_slice(&vals)
+    }
+
+    /// `true` if the row with these values is present.
+    pub fn contains_slice(&self, values: &[Value]) -> bool {
+        self.row_of_slice(values).is_some()
     }
 
     /// `true` if `tuple` is present.
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.seen.contains_key(tuple)
+        self.contains_slice(tuple.values())
+    }
+
+    /// The row id of the row with these values, if present.
+    pub fn row_of_slice(&self, values: &[Value]) -> Option<RowId> {
+        if values.len() != self.arity {
+            return None;
+        }
+        self.seen.lookup(&self.store, self.arity, values).ok()
     }
 
     /// The row id of `tuple`, if present.
     pub fn row_of(&self, tuple: &Tuple) -> Option<RowId> {
-        self.seen.get(tuple).copied()
+        self.row_of_slice(tuple.values())
     }
 
-    /// The tuple at `row`.
-    pub fn get(&self, row: RowId) -> Result<&Tuple> {
-        self.tuples
-            .get(row.index())
-            .ok_or(CoreError::RowOutOfRange {
-                row: row.index(),
-                len: self.tuples.len(),
+    /// The value slice of `row`, checked.
+    pub fn get(&self, row: RowId) -> Result<&[Value]> {
+        let r = row.index();
+        if r < self.len() {
+            Ok(&self.store[r * self.arity..(r + 1) * self.arity])
+        } else {
+            Err(CoreError::RowOutOfRange {
+                row: r,
+                len: self.len(),
             })
+        }
     }
 
-    /// Iterates over rows in insertion order.
-    pub fn rows(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
-        self.tuples
-            .iter()
+    /// The value slice of `row` (the arena window `[row·arity, (row+1)·arity)`).
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range; hot paths that hold row ids from
+    /// [`Instance::rows_with`] or delta ranges use this directly.
+    #[inline]
+    pub fn row(&self, row: RowId) -> &[Value] {
+        let r = row.index();
+        &self.store[r * self.arity..(r + 1) * self.arity]
+    }
+
+    /// Iterates over rows in insertion order, as borrowed arena slices.
+    pub fn rows(&self) -> impl Iterator<Item = (RowId, &[Value])> {
+        self.store
+            .chunks_exact(self.arity)
             .enumerate()
-            .map(|(i, t)| (RowId::from(i), t))
+            .map(|(i, s)| (RowId::from(i), s))
     }
 
-    /// Iterates over tuples in insertion order.
-    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// Iterates over row slices in insertion order.
+    pub fn row_slices(&self) -> impl Iterator<Item = &[Value]> {
+        self.store.chunks_exact(self.arity)
     }
 
     /// Draws a fresh value for column `col`: one that does not occur in the
@@ -153,60 +329,87 @@ impl Instance {
         v
     }
 
-    /// The rows whose `col` component equals `value`, in insertion order
-    /// (the per-column index behind
+    /// The rows whose `col` component equals `value`, in insertion order —
+    /// one bounds check and one array index into the dense per-column
+    /// bucket vector (the index behind
     /// [`crate::homomorphism::MatchStrategy::Indexed`]). Returns the empty
     /// slice when the value does not occur in the column.
+    #[inline]
     pub fn rows_with(&self, col: AttrId, value: Value) -> &[RowId] {
         self.index[col.index()]
-            .get(&value)
+            .get(value.index())
             .map_or(&[], Vec::as_slice)
     }
 
     /// Number of distinct values occurring in column `col` (the size of the
-    /// column's active domain), straight from the index.
+    /// column's active domain), tracked incrementally.
     pub fn distinct_values(&self, col: AttrId) -> usize {
-        self.index[col.index()].len()
+        self.distinct[col.index()]
     }
 
     /// The set of values occurring in column `col` (the column's active
     /// domain).
     pub fn active_domain(&self, col: AttrId) -> BTreeSet<Value> {
-        self.index[col.index()].keys().copied().collect()
+        self.index[col.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(v, _)| Value::new(v as u32))
+            .collect()
     }
 
     /// Total number of distinct values over all columns (sum of per-column
     /// active-domain sizes; columns have disjoint domains).
     pub fn domain_size(&self) -> usize {
-        self.schema
-            .attr_ids()
-            .map(|c| self.distinct_values(c))
-            .sum()
+        self.distinct.iter().sum()
     }
 
-    /// Audits the per-column index invariant against the tuple store: every
-    /// bucket must list exactly the rows carrying its value, in ascending
-    /// insertion order (the order [`crate::homomorphism`]'s row-id caps rely
-    /// on), the dedup map must mirror the store, and the fresh-value
-    /// counters must clear every stored value. There is no mutation path
-    /// that can break this (see the module docs) — the method exists so
+    /// Audits the storage invariants against the arena: every dense bucket
+    /// must list exactly the rows carrying its value, in ascending
+    /// insertion order (the order [`crate::homomorphism`]'s row-id caps
+    /// rely on), the distinct-value counters must match, the slice-keyed
+    /// dedup table must mirror the arena, and the fresh-value counters
+    /// must clear every stored value. There is no mutation path that can
+    /// break this (see the module docs) — the method exists so
     /// differential tests can *prove* that claim on unification-heavy
     /// workloads instead of trusting it.
     pub fn index_is_consistent(&self) -> bool {
-        let mut expected: Vec<HashMap<Value, Vec<RowId>>> =
-            vec![HashMap::new(); self.schema.arity()];
-        for (row, tuple) in self.rows() {
-            for (col, v) in tuple.components() {
-                expected[col.index()].entry(v).or_default().push(row);
+        // Re-derive the dense index from the arena.
+        let mut expected: Vec<Vec<Vec<RowId>>> = vec![Vec::new(); self.arity];
+        for (row, values) in self.rows() {
+            for (col, &v) in values.iter().enumerate() {
+                let buckets = &mut expected[col];
+                if buckets.len() <= v.index() {
+                    buckets.resize_with(v.index() + 1, Vec::new);
+                }
+                buckets[v.index()].push(row);
             }
         }
-        expected == self.index
-            && self.seen.len() == self.tuples.len()
-            && self.rows().all(|(row, t)| self.seen.get(t) == Some(&row))
-            && self.schema.attr_ids().all(|col| {
-                self.index[col.index()]
-                    .keys()
-                    .all(|v| v.raw() < self.next_value[col.index()])
+        let buckets_match = (0..self.arity).all(|col| {
+            let got = &self.index[col];
+            let want = &expected[col];
+            // Trailing all-empty buckets are representationally irrelevant.
+            let longest = got.len().max(want.len());
+            (0..longest).all(|v| {
+                let g = got.get(v).map_or(&[][..], Vec::as_slice);
+                let w = want.get(v).map_or(&[][..], Vec::as_slice);
+                g == w
+            })
+        });
+        buckets_match
+            && (0..self.arity).all(|col| {
+                self.distinct[col] == expected[col].iter().filter(|b| !b.is_empty()).count()
+            })
+            && self.seen.len == self.len()
+            && self
+                .rows()
+                .all(|(row, values)| self.row_of_slice(values) == Some(row))
+            && (0..self.arity).all(|col| {
+                self.index[col]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.is_empty())
+                    .all(|(v, _)| (v as u32) < self.next_value[col])
             })
     }
 
@@ -222,11 +425,11 @@ impl Instance {
 
 impl PartialEq for Instance {
     /// Set semantics: two instances are equal when they have the same schema
-    /// and the same set of tuples, regardless of insertion order.
+    /// and the same set of rows, regardless of insertion order.
     fn eq(&self, other: &Self) -> bool {
         self.schema == other.schema
             && self.len() == other.len()
-            && self.tuples.iter().all(|t| other.contains(t))
+            && self.row_slices().all(|s| other.contains_slice(s))
     }
 }
 
@@ -235,8 +438,10 @@ impl Eq for Instance {}
 impl std::fmt::Display for Instance {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "{} [{} rows]", self.schema.summary(), self.len())?;
-        for (_, t) in self.rows() {
-            writeln!(f, "  {t}")?;
+        for s in self.row_slices() {
+            write!(f, "  ")?;
+            fmt_row(f, s)?;
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -274,6 +479,38 @@ mod tests {
                 got: 2
             }
         );
+        // Lookups with the wrong arity are a clean miss, not a panic.
+        assert!(!inst.contains_slice(&[Value::new(1)]));
+    }
+
+    #[test]
+    fn arena_rows_are_contiguous_slices() {
+        let mut inst = Instance::new(schema());
+        let (r0, _) = inst.insert_values([1, 2, 3]).unwrap();
+        let (r1, _) = inst.insert_values([4, 5, 6]).unwrap();
+        assert_eq!(inst.row(r0), &[Value::new(1), Value::new(2), Value::new(3)]);
+        assert_eq!(inst.row(r1), &[Value::new(4), Value::new(5), Value::new(6)]);
+        let all: Vec<&[Value]> = inst.row_slices().collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], inst.row(r0));
+    }
+
+    #[test]
+    fn dedup_survives_table_growth() {
+        // Push far past the initial table capacity; every row must stay
+        // findable and duplicates must keep deduplicating.
+        let mut inst = Instance::new(schema());
+        for i in 0..500u32 {
+            let (_, fresh) = inst.insert_values([i, i / 2, i / 3]).unwrap();
+            assert!(fresh);
+        }
+        assert_eq!(inst.len(), 500);
+        for i in 0..500u32 {
+            let (_, fresh) = inst.insert_values([i, i / 2, i / 3]).unwrap();
+            assert!(!fresh, "row {i} must be a duplicate");
+        }
+        assert_eq!(inst.len(), 500);
+        assert!(inst.index_is_consistent());
     }
 
     #[test]
@@ -358,7 +595,7 @@ mod tests {
         let ts = vec![Tuple::from_raw([0, 0, 0]), Tuple::from_raw([1, 1, 1])];
         let inst = Instance::from_tuples(schema(), ts.clone()).unwrap();
         assert_eq!(inst.len(), 2);
-        let collected: Vec<Tuple> = inst.tuples().cloned().collect();
+        let collected: Vec<Tuple> = inst.row_slices().map(Tuple::from_slice).collect();
         assert_eq!(collected, ts);
     }
 

@@ -28,6 +28,11 @@
 //! * **EIDs** ([`eid`]): embedded implicational dependencies (Chandra, Lewis
 //!   & Makowsky), the more general class the paper strengthens; TDs embed
 //!   into EIDs.
+//! * **The budget substrate** ([`budget`]): the workspace-wide
+//!   [`budget::Cancellation`] / [`budget::Ticker`] pair — cooperative
+//!   cancellation, capped spend counters with cadenced polling, and the
+//!   cancelled-vs-exhausted distinction shared by the chase, the semigroup
+//!   searches and the racing pipeline.
 //! * **Canonical forms** ([`canon`]): isomorphism-invariant 128-bit keys
 //!   for TDs (equal iff the dependencies coincide up to variable renaming
 //!   and row permutation), via color refinement with smallest-orbit
@@ -71,6 +76,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod axioms;
+pub mod budget;
 pub mod canon;
 pub mod chase;
 pub mod countermodel;
@@ -93,6 +99,7 @@ pub mod union_find;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::budget::{Cancellation, StopReason, Ticker};
     pub use crate::canon::{canon_key, system_key, CanonKey};
     pub use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal};
     pub use crate::diagram::Diagram;

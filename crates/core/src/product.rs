@@ -32,16 +32,17 @@ pub fn direct_product(a: &Instance, b: &Instance) -> Result<(Instance, PairInter
     let arity = a.schema().arity();
     let mut intern: Vec<HashMap<(Value, Value), Value>> = vec![HashMap::new(); arity];
     let mut out = Instance::new(a.schema().clone());
-    for (_, s) in a.rows() {
-        for (_, t) in b.rows() {
-            let mut vals = Vec::with_capacity(arity);
+    let mut vals = Vec::with_capacity(arity);
+    for s in a.row_slices() {
+        for t in b.row_slices() {
+            vals.clear();
             for (col, map) in intern.iter_mut().enumerate() {
-                let key = (s.values()[col], t.values()[col]);
+                let key = (s[col], t[col]);
                 let next = map.len() as u32;
                 let v = *map.entry(key).or_insert_with(|| Value::new(next));
                 vals.push(v);
             }
-            out.insert(Tuple::new(vals))?;
+            out.insert_slice(&vals)?;
         }
     }
     Ok((out, intern))
@@ -104,18 +105,18 @@ mod tests {
         assert_eq!(p.len(), 4);
         // Rows (0,0)x(5,5) and (0,1)x(6,5): A components (0,5) vs (0,6)
         // differ, so the product rows must disagree on A.
-        let ts: Vec<&Tuple> = p.tuples().collect();
+        let ts: Vec<Tuple> = p.row_slices().map(Tuple::from_slice).collect();
         // Row order: (m0,n0), (m0,n1), (m1,n0), (m1,n1).
         assert!(
-            ts[0].agrees_on(ts[1], crate::ids::AttrId::new(1)),
+            ts[0].agrees_on(&ts[1], crate::ids::AttrId::new(1)),
             "B: (0,5)=(0,5)"
         );
         assert!(
-            !ts[0].agrees_on(ts[1], crate::ids::AttrId::new(0)),
+            !ts[0].agrees_on(&ts[1], crate::ids::AttrId::new(0)),
             "A: (0,5)≠(0,6)"
         );
         assert!(
-            ts[0].agrees_on(ts[2], crate::ids::AttrId::new(0)),
+            ts[0].agrees_on(&ts[2], crate::ids::AttrId::new(0)),
             "A: (0,5)=(0,5)"
         );
     }

@@ -35,15 +35,32 @@ pub fn conclusion_witnessed_with(
 /// Finds a violating homomorphism: an antecedent match with no conclusion
 /// witness. Returns `None` if `instance ⊨ td`.
 pub fn find_violation(instance: &Instance, td: &Td) -> Option<Binding> {
+    find_violation_with(MatchStrategy::default(), instance, td)
+}
+
+/// [`find_violation`] under an explicit [`MatchStrategy`], end to end —
+/// the pipeline's countermodel verification threads the CLI-selected
+/// strategy through here so `--strategy naive` audits the whole stack.
+pub fn find_violation_with(
+    strategy: MatchStrategy,
+    instance: &Instance,
+    td: &Td,
+) -> Option<Binding> {
     let mut violation = None;
-    for_each_match(td.antecedents(), instance, &Binding::new(td.arity()), |b| {
-        if conclusion_witnessed(instance, td, b) {
-            ControlFlow::Continue(())
-        } else {
-            violation = Some(b.clone());
-            ControlFlow::Break(())
-        }
-    });
+    for_each_match_with(
+        strategy,
+        td.antecedents(),
+        instance,
+        &Binding::new(td.arity()),
+        |b| {
+            if conclusion_witnessed_with(strategy, instance, td, b) {
+                ControlFlow::Continue(())
+            } else {
+                violation = Some(b.clone());
+                ControlFlow::Break(())
+            }
+        },
+    );
     violation
 }
 

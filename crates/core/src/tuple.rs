@@ -1,8 +1,18 @@
-//! Tuples of typed values.
+//! Tuples of typed values — the *builder/view* companion of the arena
+//! store.
+//!
+//! Since the storage refactor, [`Instance`](crate::instance::Instance)
+//! keeps its rows in one flat arena and hands them out as plain `&[Value]`
+//! slices; nothing on a hot path allocates a `Tuple` anymore. This type
+//! remains as the **owned** row representation for everything that must
+//! outlive an instance borrow or exist before insertion: building rows to
+//! insert, recording rows in [`ChaseProof`](crate::chase::ChaseProof)
+//! steps, and displaying rows to humans. Convert between the two with
+//! [`Tuple::from_slice`] / [`Tuple::values`].
 
 use crate::ids::{AttrId, Value};
 
-/// One row of the relation: a vector of [`Value`]s, one per column.
+/// One owned row of the relation: a vector of [`Value`]s, one per column.
 ///
 /// Values are typed per column (the paper's typing restriction): the `Value`
 /// in column 0 and the `Value` in column 1 live in disjoint domains even when
@@ -23,6 +33,15 @@ impl Tuple {
     /// Creates a tuple from raw `u32` value ids.
     pub fn from_raw(values: impl IntoIterator<Item = u32>) -> Self {
         Self::new(values.into_iter().map(Value::new))
+    }
+
+    /// Copies a borrowed row slice (as handed out by
+    /// [`Instance::row`](crate::instance::Instance::row)) into an owned
+    /// tuple.
+    pub fn from_slice(values: &[Value]) -> Self {
+        Self {
+            values: values.to_vec(),
+        }
     }
 
     /// Number of components.
@@ -62,16 +81,23 @@ impl Tuple {
     }
 }
 
+/// Formats a borrowed row slice exactly like [`Tuple`]'s `Display`:
+/// `(v0, v1, …)` with raw value ids. Shared by `Instance`'s row listing so
+/// arena rows print without being copied into tuples first.
+pub fn fmt_row(f: &mut std::fmt::Formatter<'_>, values: &[Value]) -> std::fmt::Result {
+    write!(f, "(")?;
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}", v.raw())?;
+    }
+    write!(f, ")")
+}
+
 impl std::fmt::Display for Tuple {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "(")?;
-        for (i, v) in self.values.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{}", v.raw())?;
-        }
-        write!(f, ")")
+        fmt_row(f, &self.values)
     }
 }
 
@@ -114,6 +140,13 @@ mod tests {
     fn display_and_collect() {
         let t: Tuple = [Value::new(1), Value::new(2)].into_iter().collect();
         assert_eq!(t.to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let t = Tuple::from_raw([3, 1, 4]);
+        let copy = Tuple::from_slice(t.values());
+        assert_eq!(t, copy);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use td_core::budget::Cancellation;
 use td_core::canon::{system_key, CanonKey};
 use td_semigroup::normalize::normalize;
 use td_semigroup::presentation::Presentation;
@@ -36,7 +37,7 @@ use td_semigroup::presentation::Presentation;
 use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
 use crate::deps::build_system;
 use crate::error::Result;
-use crate::pipeline::{solve_with, Budgets, PipelineOutcome, PipelineRun, SolveMode};
+use crate::pipeline::{solve_with_opts, Budgets, PipelineOutcome, PipelineRun, SolveOptions};
 
 /// One instance's verdict, compressed to the numbers a batch report needs.
 /// Full certificates are only materialized by the run that solved the
@@ -139,6 +140,21 @@ pub fn solve_batch(
     jobs: usize,
     cache: &DecisionCache,
 ) -> Result<BatchRun> {
+    solve_batch_with(items, budgets, jobs, cache, SolveOptions::default())
+}
+
+/// [`solve_batch`] under explicit [`SolveOptions`]: every worker solves
+/// with the given scheduling mode and homomorphism strategy. Verdicts must
+/// not depend on the options (the golden batch corpus is replayed under
+/// `--strategy naive` to pin that), so this exists for performance runs
+/// and oracle-vs-planner differentials, not for semantics.
+pub fn solve_batch_with(
+    items: &[Presentation],
+    budgets: &Budgets,
+    jobs: usize,
+    cache: &DecisionCache,
+    opts: SolveOptions,
+) -> Result<BatchRun> {
     // Phase 1: reduce every instance and compute its canonical key —
     // pure, per-item work, spread over the same number of workers as the
     // solving phase (contiguous chunks, so the result order is the input
@@ -178,24 +194,23 @@ pub fn solve_batch(
     // ones additionally in the cross-call cache).
     let solved_now: Mutex<HashMap<CanonKey, BatchVerdict>> = Mutex::new(HashMap::new());
     let first_error: Mutex<Option<crate::error::RedError>> = Mutex::new(None);
-    let failed = std::sync::atomic::AtomicBool::new(false);
+    // The pool's shutdown signal is the shared cancellation substrate: the
+    // first failing worker cancels the pool, and the rest stop pulling
+    // work instead of solving instances whose results would be discarded.
+    let failed = Cancellation::new();
     let cursor = AtomicUsize::new(0);
     let solve_workers = jobs.clamp(1, to_solve.len().max(1));
     std::thread::scope(|s| {
         for _ in 0..solve_workers {
             s.spawn(|| loop {
-                // The whole call fails on the first solver error, so once
-                // one is recorded the remaining workers stop pulling work
-                // instead of solving instances whose results would be
-                // discarded.
-                if failed.load(Ordering::Relaxed) {
+                if failed.is_cancelled() {
                     return;
                 }
                 let slot = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&(key, item)) = to_solve.get(slot) else {
                     return;
                 };
-                match solve_with(&items[item], budgets, SolveMode::Racing) {
+                match solve_with_opts(&items[item], budgets, opts) {
                     Ok(run) => {
                         let verdict = compress(&run);
                         let cached = match verdict {
@@ -232,7 +247,7 @@ pub fn solve_batch(
                             .lock()
                             .expect("batch error lock poisoned")
                             .get_or_insert(e);
-                        failed.store(true, Ordering::Relaxed);
+                        failed.cancel();
                         return;
                     }
                 }

@@ -49,17 +49,18 @@ pub mod verify;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::attrs::ReductionAttrs;
-    pub use crate::batch::{solve_batch, BatchRun, BatchStats, BatchVerdict};
+    pub use crate::batch::{solve_batch, solve_batch_with, BatchRun, BatchStats, BatchVerdict};
     pub use crate::bridge::Bridge;
     pub use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
     pub use crate::deps::{build_system, ReductionSystem, Rule, Rule2};
     pub use crate::error::RedError;
-    pub use crate::part_a::{prove_part_a, prove_unguided};
+    pub use crate::part_a::{prove_part_a, prove_part_a_with, prove_unguided};
     pub use crate::part_b::{build_counter_model, CounterModel, RowLabel};
     pub use crate::pipeline::{
-        solve, solve_with, Budgets, PhaseTimings, PipelineOutcome, SolveMode, SpendReport,
+        solve, solve_with, solve_with_opts, Budgets, PhaseTimings, PipelineOutcome, SolveMode,
+        SolveOptions, SpendReport,
     };
-    pub use crate::verify::{verify_counter_model, PartBReport};
+    pub use crate::verify::{verify_counter_model, verify_counter_model_with, PartBReport};
 }
 
 pub use prelude::*;

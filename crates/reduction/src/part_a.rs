@@ -73,12 +73,27 @@ fn binding_for(td: &Td, tuples: &[&Tuple]) -> Result<Binding> {
 }
 
 /// Runs the guided chase for a derivation `A₀ ⇒* 0` over the (normalized,
-/// zero-saturated) presentation `p` that `system` was built from. Returns a
-/// verified chase proof that `D ⊨ D₀`.
+/// zero-saturated) presentation `p` that `system` was built from, matching
+/// with the default [`MatchStrategy::Indexed`]. Returns a verified chase
+/// proof that `D ⊨ D₀`.
 pub fn prove_part_a(
     system: &ReductionSystem,
     p: &Presentation,
     derivation: &Derivation,
+) -> Result<PartAProof> {
+    prove_part_a_with(system, p, derivation, MatchStrategy::default())
+}
+
+/// [`prove_part_a`] under an explicit homomorphism [`MatchStrategy`]. The
+/// guided replay fires triggers by name rather than searching for them, so
+/// the strategy only steers the engine's internal witness checks — but
+/// threading it keeps `tdq wp --strategy` honest end to end: every engine
+/// the pipeline constructs runs under the selected matcher.
+pub fn prove_part_a_with(
+    system: &ReductionSystem,
+    p: &Presentation,
+    derivation: &Derivation,
+    strategy: MatchStrategy,
 ) -> Result<PartAProof> {
     // Validate the derivation endpoints.
     let goal_eq = p.goal();
@@ -89,16 +104,17 @@ pub fn prove_part_a(
 
     // Freeze D0's antecedents: rows t1 (a), t2 (b), t3 (d0), in that order.
     let (frozen, _, goal) = freeze(&system.d0)?;
-    let t1 = frozen.get(td_core::ids::RowId::new(0))?.clone();
-    let t2 = frozen.get(td_core::ids::RowId::new(1))?.clone();
-    let d0 = frozen.get(td_core::ids::RowId::new(2))?.clone();
+    let t1 = Tuple::from_slice(frozen.get(td_core::ids::RowId::new(0))?);
+    let t2 = Tuple::from_slice(frozen.get(td_core::ids::RowId::new(1))?);
+    let d0 = Tuple::from_slice(frozen.get(td_core::ids::RowId::new(2))?);
 
     let mut engine = ChaseEngine::new(
         &system.deps,
         frozen.clone(),
         ChasePolicy::Restricted,
         ChaseBudget::unlimited(),
-    )?;
+    )?
+    .with_strategy(strategy);
 
     // The live bridge: tuples of base points and apexes.
     let mut bases: Vec<Tuple> = vec![t1, t2];
@@ -182,7 +198,7 @@ pub fn prove_part_a(
     }
     let (state, mut proof) = engine.into_parts();
     let goal_row = goal.find_in(&state).expect("checked above");
-    proof.goal_row = Some(state.get(goal_row)?.clone());
+    proof.goal_row = Some(Tuple::from_slice(state.get(goal_row)?));
 
     let out = PartAProof {
         frozen,

@@ -33,10 +33,11 @@
 //! Every run also records wall-clock [`PhaseTimings`], which the `tdq`
 //! binary surfaces under `--timings`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use td_core::budget::Cancellation;
 use td_core::chase::ChaseBudget;
+use td_core::homomorphism::MatchStrategy;
 use td_semigroup::cayley::{FiniteSemigroup, Interpretation};
 use td_semigroup::derivation::{
     search_goal_derivation_tracked, Derivation, SearchBudget, SearchResult,
@@ -50,9 +51,9 @@ use td_semigroup::presentation::Presentation;
 pub use crate::batch::{solve_batch, BatchRun, BatchStats, BatchVerdict};
 use crate::deps::{build_system, ReductionSystem};
 use crate::error::Result;
-use crate::part_a::{prove_part_a, PartAProof};
+use crate::part_a::{prove_part_a_with, PartAProof};
 use crate::part_b::{build_counter_model, CounterModel};
-use crate::verify::{verify_counter_model, PartBReport};
+use crate::verify::{verify_counter_model_with, PartBReport};
 
 /// Budgets for the three searches involved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +65,19 @@ pub struct Budgets {
     /// Chase budget (used only by unguided cross-checks; part (A) itself is
     /// guided and needs no budget).
     pub chase: ChaseBudget,
+}
+
+/// Scheduling and matching choices for one [`solve_with_opts`] call,
+/// bundled so new knobs do not keep widening the signatures. The default
+/// races the two sides and matches with the indexed planner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// How the two certificate searches are scheduled.
+    pub mode: SolveMode,
+    /// The homomorphism matcher used by the database-layer checks
+    /// (certificate verification); `Naive` is the differential oracle
+    /// surfaced on the CLI as `--strategy naive`.
+    pub strategy: MatchStrategy,
 }
 
 /// How [`solve_with`] schedules the two certificate searches.
@@ -213,7 +227,7 @@ struct ModelSide {
 fn model_side(
     np: &Presentation,
     opts: &ModelSearchOptions,
-    cancel: &AtomicBool,
+    cancel: &Cancellation,
 ) -> Result<ModelSide> {
     if let Some((g, interp)) = td_semigroup::families::null_counter_model(np) {
         return Ok(ModelSide {
@@ -241,7 +255,7 @@ fn search_sequential(
     timings: &mut PhaseTimings,
     spend: &mut SpendReport,
 ) -> Result<SideResult> {
-    let never = AtomicBool::new(false);
+    let never = Cancellation::new();
     let t = Instant::now();
     let deriv = search_goal_derivation_tracked(np, &budgets.derivation, &never);
     timings.derivation = t.elapsed();
@@ -281,13 +295,13 @@ fn search_racing(
     timings: &mut PhaseTimings,
     spend: &mut SpendReport,
 ) -> Result<SideResult> {
-    let cancel = AtomicBool::new(false);
+    let cancel = Cancellation::new();
     let (deriv, model) = std::thread::scope(|s| {
         let deriv_handle = s.spawn(|| {
             let t = Instant::now();
             let r = search_goal_derivation_tracked(np, &budgets.derivation, &cancel);
             if matches!(r.result, SearchResult::Found(_)) {
-                cancel.store(true, Ordering::Relaxed);
+                cancel.cancel();
             }
             (r, t.elapsed())
         });
@@ -295,7 +309,7 @@ fn search_racing(
             let t = Instant::now();
             let r = model_side(np, &budgets.model, &cancel);
             if matches!(r, Ok(ModelSide { found: Some(_), .. })) {
-                cancel.store(true, Ordering::Relaxed);
+                cancel.cancel();
             }
             (r, t.elapsed())
         });
@@ -344,6 +358,26 @@ pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
 /// differential property tests); racing wins wall-clock time whenever the
 /// refutable side settles first.
 pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Result<PipelineRun> {
+    solve_with_opts(
+        p,
+        budgets,
+        SolveOptions {
+            mode,
+            ..SolveOptions::default()
+        },
+    )
+}
+
+/// Runs the full pipeline under explicit [`SolveOptions`] (scheduling mode
+/// plus homomorphism strategy). Neither option may change a verdict — the
+/// differential tests pin that — so they exist for performance and for
+/// oracle-vs-planner debugging runs (`tdq wp --strategy naive`).
+pub fn solve_with_opts(
+    p: &Presentation,
+    budgets: &Budgets,
+    opts: SolveOptions,
+) -> Result<PipelineRun> {
+    let mode = opts.mode;
     let t_total = Instant::now();
     let mut timings = PhaseTimings::default();
 
@@ -366,12 +400,12 @@ pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Resul
     let t = Instant::now();
     let outcome = match side {
         SideResult::Derivation(derivation) => {
-            let proof = prove_part_a(&system, np, &derivation)?;
+            let proof = prove_part_a_with(&system, np, &derivation, opts.strategy)?;
             PipelineOutcome::Implied { derivation, proof }
         }
         SideResult::Model(g, interp) => {
             let model = build_counter_model(&system, np, &g, &interp)?;
-            let report = verify_counter_model(&system, &model);
+            let report = verify_counter_model_with(opts.strategy, &system, &model);
             debug_assert!(report.ok(), "{report:?}");
             PipelineOutcome::Refuted {
                 model: Box::new(model),

@@ -11,7 +11,8 @@
 //! * [`structural_report`] — the headline structural claims: at most five
 //!   antecedents per dependency and exactly `2n+2` attributes.
 
-use td_core::satisfaction::{find_violation, satisfies};
+use td_core::homomorphism::MatchStrategy;
+use td_core::satisfaction::{find_violation_with, satisfies_with};
 
 use crate::deps::ReductionSystem;
 use crate::part_b::{CounterModel, RowLabel};
@@ -52,15 +53,28 @@ fn classes_ok(model: &CounterModel, attr: td_core::ids::AttrId) -> bool {
     })
 }
 
-/// Verifies a part (B) countermodel against its reduction system.
+/// Verifies a part (B) countermodel against its reduction system, using
+/// the default [`MatchStrategy::Indexed`] matcher.
 pub fn verify_counter_model(system: &ReductionSystem, model: &CounterModel) -> PartBReport {
+    verify_counter_model_with(MatchStrategy::default(), system, model)
+}
+
+/// [`verify_counter_model`] under an explicit homomorphism
+/// [`MatchStrategy`]: the satisfaction checks over `D` and `D₀` run end to
+/// end with the chosen matcher, so `tdq … --strategy naive` exercises the
+/// full-scan oracle through certificate verification too.
+pub fn verify_counter_model_with(
+    strategy: MatchStrategy,
+    system: &ReductionSystem,
+    model: &CounterModel,
+) -> PartBReport {
     let violated_deps = system
         .deps
         .iter()
-        .filter(|td| find_violation(&model.instance, td).is_some())
+        .filter(|td| find_violation_with(strategy, &model.instance, td).is_some())
         .map(|td| td.name().to_owned())
         .collect();
-    let d0_fails = !satisfies(&model.instance, &system.d0);
+    let d0_fails = !satisfies_with(strategy, &model.instance, &system.d0);
     let alphabet = system.attrs.alphabet().clone();
     let fact1 = alphabet
         .syms()

@@ -9,7 +9,8 @@
 //! problem is undecidable).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+
+use td_core::budget::{Cancellation, Ticker};
 
 use crate::error::{Result, SgError};
 use crate::presentation::Presentation;
@@ -167,7 +168,7 @@ pub fn search_derivation(
     target: &Word,
     budget: &SearchBudget,
 ) -> SearchResult {
-    let never = AtomicBool::new(false);
+    let never = Cancellation::new();
     search_derivation_cancellable(p, start, target, budget, &never)
 }
 
@@ -180,26 +181,28 @@ pub struct TrackedSearch {
     /// Distinct words visited — exact even for [`SearchResult::Found`],
     /// which does not carry a count of its own.
     pub states: usize,
-    /// `true` when the run stopped because the cancellation flag was
-    /// observed at a BFS-pop poll point — as opposed to finding the target
-    /// or exhausting its own budget. A cancelled run's `states` is a lower
-    /// bound of what the same search would visit uncancelled.
+    /// `true` when the run stopped because the cancellation token was
+    /// observed at a poll point (per dequeued word and per registered
+    /// state, via the shared [`td_core::budget::Ticker`]) — as opposed to
+    /// finding the target or exhausting its own budget. A cancelled run's
+    /// `states` is a lower bound of what the same search would visit
+    /// uncancelled.
     pub cancelled: bool,
 }
 
-/// [`search_derivation`] with a cooperative cancellation flag, for racing
-/// against the finite-model search: the flag is polled once per dequeued
-/// word, and a cancelled run reports [`SearchResult::BudgetExhausted`] with
-/// the states visited so far (the caller that set the flag has its own
-/// certificate and discards this side's result). Use
-/// [`search_derivation_tracked`] when the caller must distinguish
-/// cancellation from genuine budget exhaustion.
+/// [`search_derivation`] with a cooperative [`Cancellation`] token, for
+/// racing against the finite-model search: the token is polled once per
+/// dequeued word and per registered state, and a cancelled run reports
+/// [`SearchResult::BudgetExhausted`] with the states visited so far (the
+/// caller that cancelled has its own certificate and discards this side's
+/// result). Use [`search_derivation_tracked`] when the caller must
+/// distinguish cancellation from genuine budget exhaustion.
 pub fn search_derivation_cancellable(
     p: &Presentation,
     start: &Word,
     target: &Word,
     budget: &SearchBudget,
-    cancel: &AtomicBool,
+    cancel: &Cancellation,
 ) -> SearchResult {
     search_derivation_tracked(p, start, target, budget, cancel).result
 }
@@ -213,7 +216,7 @@ pub fn search_derivation_tracked(
     start: &Word,
     target: &Word,
     budget: &SearchBudget,
-    cancel: &AtomicBool,
+    cancel: &Cancellation,
 ) -> TrackedSearch {
     if start == target {
         return TrackedSearch {
@@ -222,10 +225,13 @@ pub fn search_derivation_tracked(
             cancelled: false,
         };
     }
+    // One ticker unit per *registered* word (the start word included), so
+    // `spent` is exactly the distinct-state count the reports need; mask 0
+    // additionally observes the cancellation token at every registration.
+    let mut ticker = Ticker::new(cancel, budget.max_states as u64, 0);
     // parent[word] = (previous word, step taken).
     let mut parent: HashMap<Word, (Word, DerivStep)> = HashMap::new();
     let mut queue: VecDeque<Word> = VecDeque::new();
-    let mut visited: usize = 1;
     queue.push_back(start.clone());
     parent.insert(
         start.clone(),
@@ -239,51 +245,48 @@ pub fn search_derivation_tracked(
         ),
     );
 
-    let mut budget_hit = false;
-    let mut cancelled = false;
-    'bfs: while let Some(word) = queue.pop_front() {
-        if cancel.load(Ordering::Relaxed) {
-            budget_hit = true;
-            cancelled = true;
-            break 'bfs;
-        }
-        for (eq_index, eq) in p.equations().iter().enumerate() {
-            for (from, to, forward) in [(&eq.lhs, &eq.rhs, true), (&eq.rhs, &eq.lhs, false)] {
-                if from == to {
-                    continue;
-                }
-                for pos in word.occurrences(from) {
-                    let next = word
-                        .replace_range(pos, from.len(), to)
-                        .expect("occurrence positions are in range");
-                    if next.len() > budget.max_word_len {
+    if ticker.tick() {
+        'bfs: while let Some(word) = queue.pop_front() {
+            if !ticker.poll() {
+                break 'bfs;
+            }
+            for (eq_index, eq) in p.equations().iter().enumerate() {
+                for (from, to, forward) in [(&eq.lhs, &eq.rhs, true), (&eq.rhs, &eq.lhs, false)] {
+                    if from == to {
                         continue;
                     }
-                    if parent.contains_key(&next) {
-                        continue;
+                    for pos in word.occurrences(from) {
+                        let next = word
+                            .replace_range(pos, from.len(), to)
+                            .expect("occurrence positions are in range");
+                        if next.len() > budget.max_word_len {
+                            continue;
+                        }
+                        if parent.contains_key(&next) {
+                            continue;
+                        }
+                        if !ticker.tick() {
+                            break 'bfs;
+                        }
+                        let step = DerivStep {
+                            eq_index,
+                            pos,
+                            forward,
+                        };
+                        parent.insert(next.clone(), (word.clone(), step));
+                        if &next == target {
+                            break 'bfs;
+                        }
+                        queue.push_back(next);
                     }
-                    let step = DerivStep {
-                        eq_index,
-                        pos,
-                        forward,
-                    };
-                    parent.insert(next.clone(), (word.clone(), step));
-                    visited += 1;
-                    if &next == target {
-                        break 'bfs;
-                    }
-                    if visited >= budget.max_states {
-                        budget_hit = true;
-                        break 'bfs;
-                    }
-                    queue.push_back(next);
                 }
             }
         }
     }
+    let visited = ticker.spent() as usize;
 
     if !parent.contains_key(target) {
-        let result = if budget_hit {
+        let result = if ticker.stopped() {
             SearchResult::BudgetExhausted { states: visited }
         } else {
             SearchResult::ExhaustedWithinBound { states: visited }
@@ -291,7 +294,7 @@ pub fn search_derivation_tracked(
         return TrackedSearch {
             result,
             states: visited,
-            cancelled,
+            cancelled: ticker.cancelled(),
         };
     }
 
@@ -328,7 +331,7 @@ pub fn search_goal_derivation(p: &Presentation, budget: &SearchBudget) -> Search
 pub fn search_goal_derivation_cancellable(
     p: &Presentation,
     budget: &SearchBudget,
-    cancel: &AtomicBool,
+    cancel: &Cancellation,
 ) -> SearchResult {
     let goal = p.goal();
     search_derivation_cancellable(p, &goal.lhs, &goal.rhs, budget, cancel)
@@ -339,7 +342,7 @@ pub fn search_goal_derivation_cancellable(
 pub fn search_goal_derivation_tracked(
     p: &Presentation,
     budget: &SearchBudget,
-    cancel: &AtomicBool,
+    cancel: &Cancellation,
 ) -> TrackedSearch {
     let goal = p.goal();
     search_derivation_tracked(p, &goal.lhs, &goal.rhs, budget, cancel)
@@ -455,15 +458,16 @@ mod tests {
     #[test]
     fn tracked_search_reports_exact_states_and_cancellation() {
         let p = example_derivable();
-        let never = AtomicBool::new(false);
+        let never = Cancellation::new();
         let t = search_goal_derivation_tracked(&p, &SearchBudget::default(), &never);
         assert!(matches!(t.result, SearchResult::Found(_)));
         assert!(t.states >= 3, "start, A1 A1, 0 all visited: {}", t.states);
         assert!(!t.cancelled);
 
-        // A pre-set cancellation flag stops at the first poll and is
-        // reported as cancelled — distinct from genuine budget exhaustion.
-        let always = AtomicBool::new(true);
+        // A pre-cancelled token stops at the first poll and is reported as
+        // cancelled — distinct from genuine budget exhaustion.
+        let always = Cancellation::new();
+        always.cancel();
         let t = search_goal_derivation_tracked(&p, &SearchBudget::default(), &always);
         assert!(matches!(t.result, SearchResult::BudgetExhausted { .. }));
         assert!(t.cancelled);

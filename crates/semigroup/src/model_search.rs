@@ -25,7 +25,7 @@
 //! `max_size` proves nothing (Gurevich 1966 — the finite-semigroup word
 //! problem is itself undecidable), so the result type is three-valued.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use td_core::budget::{Cancellation, Ticker};
 
 use crate::cayley::{FiniteSemigroup, Interpretation};
 use crate::error::Result;
@@ -83,7 +83,7 @@ impl ModelSearchResult {
 
 const UNSET: u16 = u16::MAX;
 
-/// The cancellation flag is polled every `CANCEL_POLL_MASK + 1` search
+/// The cancellation token is polled every `CANCEL_POLL_MASK + 1` search
 /// nodes — rarely enough that the atomic load stays off the hot path.
 const CANCEL_POLL_MASK: u64 = 0x3FF;
 
@@ -92,16 +92,10 @@ struct Search<'a> {
     p: &'a Presentation,
     /// Flattened n×n table; UNSET marks undecided cells.
     table: Vec<u16>,
-    nodes: u64,
-    max_nodes: u64,
-    budget_hit: bool,
-    /// Set alongside `budget_hit` when the stop was caused by the
-    /// cancellation flag rather than `max_nodes` — the racing pipeline
-    /// reports the two differently.
-    cancelled: bool,
-    /// Cooperative cancellation flag, polled every [`CANCEL_POLL_MASK`]+1
-    /// nodes; cancellation is reported as a budget hit.
-    cancel: &'a AtomicBool,
+    /// Node budget + cancellation polling, via the shared
+    /// [`td_core::budget`] substrate: one tick per cell assignment, the
+    /// cancellation token observed every [`CANCEL_POLL_MASK`]+1 nodes.
+    ticker: Ticker<'a>,
 }
 
 impl Search<'_> {
@@ -218,21 +212,14 @@ impl Search<'_> {
     }
 
     fn dfs(&mut self, interp: &Interpretation) -> Option<FiniteSemigroup> {
-        if self.budget_hit {
+        if self.ticker.stopped() {
             return None;
         }
         let Some((a, b)) = self.next_unset() else {
             return self.try_leaf(interp);
         };
         for v in 0..self.n as u16 {
-            self.nodes += 1;
-            if self.nodes > self.max_nodes {
-                self.budget_hit = true;
-                return None;
-            }
-            if self.nodes & CANCEL_POLL_MASK == 0 && self.cancel.load(Ordering::Relaxed) {
-                self.budget_hit = true;
-                self.cancelled = true;
+            if !self.ticker.tick() {
                 return None;
             }
             if !self.cancellation_ok(a, b, v) {
@@ -243,7 +230,7 @@ impl Search<'_> {
                 if let Some(found) = self.dfs(interp) {
                     return Some(found);
                 }
-                if self.budget_hit {
+                if self.ticker.stopped() {
                     self.set(a, b, UNSET);
                     return None;
                 }
@@ -313,7 +300,7 @@ pub fn find_counter_model(
     p: &Presentation,
     opts: &ModelSearchOptions,
 ) -> Result<ModelSearchResult> {
-    let never = AtomicBool::new(false);
+    let never = Cancellation::new();
     find_counter_model_cancellable(p, opts, &never)
 }
 
@@ -328,25 +315,26 @@ pub struct TrackedModelSearch {
     /// [`ModelSearchResult::Found`], which does not carry a count of its
     /// own.
     pub nodes: u64,
-    /// `true` when the run stopped because the cancellation flag was
+    /// `true` when the run stopped because the cancellation token was
     /// observed (at a per-interpretation check or a per-1024-DFS-nodes
-    /// poll point) rather than by finding a model or exhausting its own
-    /// size/node budgets. A cancelled run's `nodes` is a lower bound of
-    /// what the same search would visit uncancelled.
+    /// poll point of the shared [`td_core::budget::Ticker`]) rather than
+    /// by finding a model or exhausting its own size/node budgets. A
+    /// cancelled run's `nodes` is a lower bound of what the same search
+    /// would visit uncancelled.
     pub cancelled: bool,
 }
 
-/// [`find_counter_model`] with a cooperative cancellation flag, for racing
-/// against the derivation search: the flag is polled every few hundred
-/// search nodes, and a cancelled run reports
+/// [`find_counter_model`] with a cooperative [`Cancellation`] token, for
+/// racing against the derivation search: the token is polled every few
+/// hundred search nodes, and a cancelled run reports
 /// [`ModelSearchResult::BudgetExhausted`] with the nodes visited so far
-/// (the caller that set the flag has its own certificate and discards this
+/// (the caller that cancelled has its own certificate and discards this
 /// side's result). Use [`find_counter_model_tracked`] when the caller must
 /// distinguish cancellation from genuine budget exhaustion.
 pub fn find_counter_model_cancellable(
     p: &Presentation,
     opts: &ModelSearchOptions,
-    cancel: &AtomicBool,
+    cancel: &Cancellation,
 ) -> Result<ModelSearchResult> {
     Ok(find_counter_model_tracked(p, opts, cancel)?.result)
 }
@@ -358,7 +346,7 @@ pub fn find_counter_model_cancellable(
 pub fn find_counter_model_tracked(
     p: &Presentation,
     opts: &ModelSearchOptions,
-    cancel: &AtomicBool,
+    cancel: &Cancellation,
 ) -> Result<TrackedModelSearch> {
     let mut total_nodes: u64 = 0;
     for n in opts.min_size.max(2)..=opts.max_size {
@@ -369,21 +357,22 @@ pub fn find_counter_model_tracked(
             // A cancelled run stops before the next interpretation, too:
             // the in-search poll only fires every few hundred nodes, and
             // small tables burn most of their time across interpretations.
-            if cancel.load(Ordering::Relaxed) {
+            if cancel.is_cancelled() {
                 budget_hit = true;
                 cancelled = true;
                 return true;
             }
-            // Fresh table per interpretation: zero row and column pinned.
+            // Fresh table per interpretation: zero row and column pinned;
+            // the ticker gets whatever node budget is still unspent.
             let mut search = Search {
                 n,
                 p,
                 table: vec![UNSET; n * n],
-                nodes: 0,
-                max_nodes: opts.max_nodes.saturating_sub(total_nodes),
-                budget_hit: false,
-                cancelled: false,
-                cancel,
+                ticker: Ticker::new(
+                    cancel,
+                    opts.max_nodes.saturating_sub(total_nodes),
+                    CANCEL_POLL_MASK,
+                ),
             };
             for x in 0..n {
                 search.set(0, x, 0);
@@ -431,14 +420,14 @@ pub fn find_counter_model_tracked(
             if consistent {
                 if let Some(g) = search.dfs(interp) {
                     found = Some((g, interp.clone()));
-                    total_nodes += search.nodes;
+                    total_nodes += search.ticker.spent();
                     return true;
                 }
             }
-            total_nodes += search.nodes;
-            if search.budget_hit {
+            total_nodes += search.ticker.spent();
+            if search.ticker.stopped() {
                 budget_hit = true;
-                cancelled |= search.cancelled;
+                cancelled |= search.ticker.cancelled();
                 return true;
             }
             false
@@ -544,13 +533,14 @@ mod tests {
     #[test]
     fn tracked_search_distinguishes_cancellation_from_exhaustion() {
         let p = example_refutable();
-        let never = AtomicBool::new(false);
+        let never = Cancellation::new();
         let t = find_counter_model_tracked(&p, &ModelSearchOptions::default(), &never).unwrap();
         assert!(matches!(t.result, ModelSearchResult::Found(..)));
         assert!(!t.cancelled);
 
-        // Pre-set flag: stops at the first per-interpretation check.
-        let always = AtomicBool::new(true);
+        // Pre-cancelled token: stops at the first per-interpretation check.
+        let always = Cancellation::new();
+        always.cancel();
         let t = find_counter_model_tracked(&p, &ModelSearchOptions::default(), &always).unwrap();
         assert!(matches!(
             t.result,

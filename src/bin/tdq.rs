@@ -20,9 +20,11 @@ const USAGE: &str = "\
 tdq — template-dependency query tool
 
 USAGE:
-    tdq deps [--timings] FILE       analyse a dependency file (schema/td/eid/row lines)
-    tdq wp [--timings] FILE         solve a word-problem instance (alphabet/eq lines)
-    tdq batch [--jobs N] [--cache-stats] FILE
+    tdq deps [--timings] [--strategy S] FILE
+                                    analyse a dependency file (schema/td/eid/row lines)
+    tdq wp [--timings] [--strategy S] FILE
+                                    solve a word-problem instance (alphabet/eq lines)
+    tdq batch [--jobs N] [--cache-stats] [--strategy S] FILE
                                     decide a JSONL corpus of word-problem instances,
                                     deduplicated by canonical key (one JSON line out
                                     per line in, input order preserved)
@@ -34,6 +36,10 @@ OPTIONS:
     --timings       print per-phase wall-clock timings after the result
                     (parse/analysis for `deps`; normalize/reduce/derivation/
                     model/certificate plus spent-budget accounting for `wp`)
+    --strategy S    homomorphism matcher: `indexed` (default; dense-index
+                    join planner) or `naive` (full-scan differential
+                    oracle). Verdicts never depend on this — it exists for
+                    debugging and differential runs
     --jobs N        batch worker threads (default: available parallelism)
     --cache-stats   append a JSON stats line ({\"total\",\"unique\",\"cache_hits\",
                     \"solved\"}) after the batch verdicts
@@ -44,6 +50,30 @@ BATCH INPUT (one JSON object per line):
     Optional keys: \"a0\" and \"zero\" designate the distinguished symbols
     (defaults \"A0\" and \"0\"); \"id\" defaults to the line number.
 ";
+
+/// Parses a `--strategy` value.
+fn parse_strategy(v: &str) -> Result<MatchStrategy, String> {
+    match v {
+        "naive" => Ok(MatchStrategy::Naive),
+        "indexed" => Ok(MatchStrategy::Indexed),
+        other => Err(format!(
+            "--strategy: expected `naive` or `indexed`, got `{other}`"
+        )),
+    }
+}
+
+/// Removes a `--flag VALUE` pair from `args`, returning the value.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(ix) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if ix + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(ix + 1);
+    args.remove(ix);
+    Ok(Some(value))
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +91,15 @@ fn main() -> ExitCode {
         args.retain(|a| a != "--timings");
         args.len() != before
     };
+    let strategy = match take_value_flag(&mut args, "--strategy")
+        .and_then(|v| v.as_deref().map(parse_strategy).transpose())
+    {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("tdq: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let (cmd, path) = match args.as_slice() {
         [cmd, path] => (cmd.as_str(), path.as_str()),
         [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => {
@@ -76,6 +115,11 @@ fn main() -> ExitCode {
         eprintln!("tdq: --timings is not supported for `{cmd}`\n{USAGE}");
         return ExitCode::from(2);
     }
+    if strategy.is_some() && !matches!(cmd, "deps" | "wp") {
+        eprintln!("tdq: --strategy is not supported for `{cmd}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let strategy = strategy.unwrap_or_default();
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -84,8 +128,8 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd {
-        "deps" => cmd_deps(&text, timings),
-        "wp" => cmd_wp(&text, timings),
+        "deps" => cmd_deps(&text, timings, strategy),
+        "wp" => cmd_wp(&text, timings, strategy),
         "normalize" => cmd_normalize(&text),
         "reduce" => cmd_reduce(&text),
         other => {
@@ -102,7 +146,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_deps(text: &str, timings: bool) -> Result<(), String> {
+fn cmd_deps(text: &str, timings: bool, strategy: MatchStrategy) -> Result<(), String> {
     let t_parse = std::time::Instant::now();
     let file = td_core::parser::parse(text).map_err(|e| e.to_string())?;
     let t_parse = t_parse.elapsed();
@@ -119,13 +163,16 @@ fn cmd_deps(text: &str, timings: bool) -> Result<(), String> {
         );
         println!("{}", diagram_to_ascii(&Diagram::from_td(td)));
         if !file.instance.is_empty() {
-            println!("  holds in instance: {}", satisfies(&file.instance, td));
+            println!(
+                "  holds in instance: {}",
+                td_core::satisfaction::satisfies_with(strategy, &file.instance, td)
+            );
         }
     }
     if file.tds.len() > 1 {
         println!("redundancy:");
         for i in 0..file.tds.len() {
-            let v = inference::redundant(&file.tds, i, ChaseBudget::default())
+            let v = inference::redundant_with(&file.tds, i, ChaseBudget::default(), strategy)
                 .map_err(|e| e.to_string())?;
             println!(
                 "  {}: {}",
@@ -163,10 +210,14 @@ fn cmd_deps(text: &str, timings: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_wp(text: &str, timings: bool) -> Result<(), String> {
+fn cmd_wp(text: &str, timings: bool, strategy: MatchStrategy) -> Result<(), String> {
     let p = td_semigroup::parser::parse(text).map_err(|e| e.to_string())?;
     print!("{p}");
-    let run = solve(&p, &Budgets::default()).map_err(|e| e.to_string())?;
+    let opts = SolveOptions {
+        strategy,
+        ..SolveOptions::default()
+    };
+    let run = solve_with_opts(&p, &Budgets::default(), opts).map_err(|e| e.to_string())?;
     let report = structural_report(&run.system);
     println!(
         "reduction: {} attributes, {} dependencies (max {} antecedents)",
@@ -245,7 +296,7 @@ fn cmd_wp(text: &str, timings: bool) -> Result<(), String> {
 /// Parses one JSONL corpus line into an id and a presentation.
 fn parse_batch_line(line: &str, line_no: usize) -> Result<(String, Presentation), String> {
     use template_deps::jsonl::Json;
-    let j = Json::parse(line)?;
+    let j = Json::parse(line).map_err(|e| e.to_string())?;
     let id = j
         .get("id")
         .and_then(Json::as_str)
@@ -282,6 +333,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     use template_deps::jsonl::escape;
     let mut jobs: Option<usize> = None;
     let mut cache_stats = false;
+    let mut strategy = MatchStrategy::default();
     let mut path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -292,6 +344,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     v.parse()
                         .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?,
                 );
+            }
+            "--strategy" => {
+                let v = it.next().ok_or("--strategy needs a value")?;
+                strategy = parse_strategy(v)?;
             }
             "--cache-stats" => cache_stats = true,
             other if other.starts_with('-') => {
@@ -313,22 +369,41 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     });
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
+    // Parse every line before solving anything, carrying 1-based line
+    // numbers into the diagnostics; all invalid lines are reported in one
+    // pass rather than one-per-rerun.
     let mut ids = Vec::new();
     let mut items = Vec::new();
+    let mut bad_lines: Vec<String> = Vec::new();
     for (ix, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() {
             continue;
         }
         let line_no = ix + 1;
-        let (id, p) =
-            parse_batch_line(line, line_no).map_err(|e| format!("line {line_no}: {e}"))?;
-        ids.push(id);
-        items.push(p);
+        match parse_batch_line(line, line_no) {
+            Ok((id, p)) => {
+                ids.push(id);
+                items.push(p);
+            }
+            Err(e) => bad_lines.push(format!("line {line_no}: {e}")),
+        }
+    }
+    if !bad_lines.is_empty() {
+        return Err(format!(
+            "{} invalid corpus line(s):\n  {}",
+            bad_lines.len(),
+            bad_lines.join("\n  ")
+        ));
     }
 
     let cache = DecisionCache::default();
-    let run = solve_batch(&items, &Budgets::default(), jobs, &cache).map_err(|e| e.to_string())?;
+    let opts = SolveOptions {
+        strategy,
+        ..SolveOptions::default()
+    };
+    let run = solve_batch_with(&items, &Budgets::default(), jobs, &cache, opts)
+        .map_err(|e| e.to_string())?;
     for (id, verdict) in ids.iter().zip(&run.verdicts) {
         let id = escape(id);
         match verdict {

@@ -7,6 +7,39 @@
 //! value grammar with a recursive-descent parser and a string escaper, and
 //! nothing more. Numbers are carried as `f64` (every count the batch
 //! interface emits fits losslessly).
+//!
+//! Errors are structured: every [`JsonError`] carries the 0-based byte
+//! offset where parsing failed, so `tdq batch` can report
+//! `line 7, byte 12: …` for a bad corpus line. A top-level value followed
+//! by anything but whitespace — `{"a":1} {"a":2}` crammed onto one JSONL
+//! line, a stray `]`, a second scalar — is rejected as trailing garbage,
+//! never silently ignored.
+
+/// A JSON parse error: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 0-based byte offset into the parsed text.
+    pub byte: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl JsonError {
+    fn new(byte: usize, msg: impl Into<String>) -> Self {
+        Self {
+            byte,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}: {}", self.byte, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,15 +60,18 @@ pub enum Json {
 }
 
 impl Json {
-    /// Parses one complete JSON value; trailing non-whitespace is an
-    /// error.
-    pub fn parse(text: &str) -> Result<Json, String> {
+    /// Parses one complete JSON value; trailing non-whitespace after the
+    /// value — a second value, a stray bracket, any garbage — is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let value = parse_value(bytes, &mut pos)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing characters at byte {pos}"));
+            return Err(JsonError::new(
+                pos,
+                "trailing garbage after the top-level value",
+            ));
         }
         Ok(value)
     }
@@ -97,39 +133,51 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
     if bytes.get(*pos) == Some(&b) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected `{}` at byte {}", char::from(b), *pos))
+        Err(JsonError::new(
+            *pos,
+            format!("expected `{}`", char::from(b)),
+        ))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".into()),
+        None => Err(JsonError::new(*pos, "unexpected end of input")),
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
         Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&c) => Err(JsonError::new(
+            *pos,
+            format!("unexpected character `{}`", char::from(c)),
+        )),
     }
 }
 
-fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, JsonError> {
     if bytes[*pos..].starts_with(word.as_bytes()) {
         *pos += word.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err(JsonError::new(*pos, "invalid literal"))
     }
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     let start = *pos;
     while matches!(
         bytes.get(*pos),
@@ -141,7 +189,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     // RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
     // — f64::parse alone is laxer (it accepts `.5`, `1.`, `+1`), so the
     // shape is checked first.
-    let bad = || format!("invalid number `{text}` at byte {start}");
+    let bad = || JsonError::new(start, format!("invalid number `{text}`"));
     let mut rest = text.strip_prefix('-').unwrap_or(text).as_bytes();
     match rest {
         [b'0', tail @ ..] => rest = tail,
@@ -179,12 +227,12 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     text.parse::<f64>().map(Json::Num).map_err(|_| bad())
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".into()),
+            None => return Err(JsonError::new(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -203,35 +251,48 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                            .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
                         if !hex.iter().all(u8::is_ascii_hexdigit) {
-                            return Err("bad \\u escape".into());
+                            return Err(JsonError::new(*pos, "bad \\u escape"));
                         }
-                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::new(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::new(*pos, "bad \\u escape"))?;
                         // Surrogate pairs are not needed by the batch
                         // format; map lone surrogates to the replacement
                         // character rather than erroring.
                         out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         *pos += 4;
                     }
-                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                    _ => return Err(JsonError::new(*pos, "invalid escape")),
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so boundaries
-                // are valid).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+            Some(&b) => {
+                // Consume one UTF-8 scalar. The width comes from the
+                // leading byte, so only that scalar is validated — not the
+                // whole remaining input per character (which made long
+                // strings quadratic).
+                let width = match b {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = bytes
+                    .get(*pos..*pos + width)
+                    .ok_or_else(|| JsonError::new(*pos, "truncated UTF-8 sequence"))?;
+                let scalar =
+                    std::str::from_utf8(chunk).map_err(|e| JsonError::new(*pos, e.to_string()))?;
+                out.push_str(scalar);
+                *pos += width;
             }
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -248,12 +309,12 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Arr(items));
             }
-            _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+            _ => return Err(JsonError::new(*pos, "expected `,` or `]`")),
         }
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     expect(bytes, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(bytes, pos);
@@ -275,7 +336,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 *pos += 1;
                 return Ok(Json::Obj(fields));
             }
-            _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+            _ => return Err(JsonError::new(*pos, "expected `,` or `}`")),
         }
     }
 }
@@ -328,6 +389,42 @@ mod tests {
         assert!(Json::parse("tru").is_err());
         assert!(Json::parse("1 2").is_err(), "trailing tokens rejected");
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_after_top_level_values_is_rejected() {
+        // Two values crammed onto one JSONL line must not be half-read.
+        for bad in [
+            r#"{"a":1} {"a":2}"#,
+            r#"{"a":1}]"#,
+            "[1,2] x",
+            "\"str\" \"str2\"",
+            "null,",
+            "true[]",
+            "7 // comment",
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(
+                err.msg.contains("trailing garbage"),
+                "{bad}: wrong error {err}"
+            );
+        }
+        // Trailing whitespace alone stays fine.
+        assert!(Json::parse("{\"a\": 1}  \t ").is_ok());
+    }
+
+    #[test]
+    fn errors_carry_byte_positions() {
+        let err = Json::parse(r#"{"a":1} oops"#).unwrap_err();
+        assert_eq!(err.byte, 8, "{err}");
+        assert_eq!(
+            err.to_string(),
+            "byte 8: trailing garbage after the top-level value"
+        );
+        let err = Json::parse(r#"{"a" 1}"#).unwrap_err();
+        assert_eq!(err.byte, 5, "{err}");
+        let err = Json::parse("[1, oops]").unwrap_err();
+        assert_eq!(err.byte, 4, "{err}");
     }
 
     #[test]

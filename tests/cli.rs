@@ -132,6 +132,66 @@ fn timings_flag_prints_phase_breakdown() {
 }
 
 #[test]
+fn strategy_flag_is_accepted_and_validated() {
+    let path = write_temp(
+        "wp-strategy",
+        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
+    );
+    // Both strategies answer identically (the differential claim, end to
+    // end through the CLI).
+    let indexed = tdq()
+        .args(["wp", "--strategy", "indexed"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    let naive = tdq()
+        .args(["wp", "--strategy", "naive"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(indexed.status.success());
+    assert!(naive.status.success());
+    assert_eq!(indexed.stdout, naive.stdout);
+    // Bogus values and unsupported subcommands are rejected.
+    let out = tdq()
+        .args(["wp", "--strategy", "bogus"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--strategy"));
+    let out = tdq()
+        .args(["normalize", "--strategy", "naive"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_reports_every_bad_line_with_line_numbers() {
+    let path = write_temp(
+        "batch-bad",
+        concat!(
+            "{\"id\":\"ok\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[]}\n",
+            "\n",
+            "{\"id\":\"trailing\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[]} garbage\n",
+            "not json at all\n",
+        ),
+    );
+    let out = tdq().arg("batch").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("2 invalid corpus line(s)"), "{stderr}");
+    // 1-based line numbers (the blank line counts), byte positions kept.
+    assert!(stderr.contains("line 3:"), "{stderr}");
+    assert!(stderr.contains("trailing garbage"), "{stderr}");
+    assert!(stderr.contains("line 4:"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = tdq()
         .args(["wp", "/nonexistent/really-not-here.txt"])

@@ -31,12 +31,20 @@ fn check_golden(cmd: &str, fixture: &str) {
 /// Runs `tdq <args…> <fixture>` (for subcommands that take flags, like
 /// `batch --cache-stats`) and compares stdout against `<name>.golden`.
 fn check_golden_args(args: &[&str], fixture: &str) {
-    let dir = golden_dir();
-    let input = dir.join(fixture);
     let name = fixture
         .strip_suffix(".txt")
         .or_else(|| fixture.strip_suffix(".jsonl"))
         .unwrap_or(fixture);
+    check_golden_named(args, fixture, name);
+}
+
+/// Runs `tdq <args…> <fixture>` against an explicitly named golden file —
+/// used to pin *several* invocations (e.g. `--strategy naive` vs the
+/// default) to one golden, which is itself the differential claim that the
+/// flag cannot change the output.
+fn check_golden_named(args: &[&str], fixture: &str, name: &str) {
+    let dir = golden_dir();
+    let input = dir.join(fixture);
     let golden = dir.join(format!("{name}.golden"));
 
     let out = Command::new(env!("CARGO_BIN_EXE_tdq"))
@@ -108,5 +116,34 @@ fn batch_small_golden() {
     check_golden_args(
         &["batch", "--jobs", "2", "--cache-stats"],
         "batch_small.jsonl",
+    );
+}
+
+/// `--strategy` must never change an answer: the naive full-scan oracle
+/// replays the `wp` and `batch` fixtures against the *same* goldens as the
+/// default indexed planner.
+#[test]
+fn strategy_naive_matches_default_goldens() {
+    check_golden_named(
+        &["wp", "--strategy", "naive"],
+        "wp_implied.txt",
+        "wp_implied",
+    );
+    check_golden_named(
+        &["wp", "--strategy", "naive"],
+        "wp_refuted.txt",
+        "wp_refuted",
+    );
+    check_golden_named(
+        &[
+            "batch",
+            "--jobs",
+            "2",
+            "--cache-stats",
+            "--strategy",
+            "naive",
+        ],
+        "batch_small.jsonl",
+        "batch_small",
     );
 }

@@ -11,12 +11,54 @@
 //! full-scan oracle and the indexed planner agree on every verdict — the
 //! observable symptom a stale index would produce.
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
 use template_deps::prelude::*;
 use template_deps::td_core::eq_instance::EqInstance;
 use template_deps::td_core::ids::{AttrId, RowId};
 use template_deps::td_core::product::{direct_power, direct_product};
 use template_deps::td_core::satisfaction::satisfies_with;
+
+/// Re-derives a *naive* value→rows index (plain hash maps, straight off a
+/// row scan — the representation the dense arena index replaced) and
+/// asserts the instance's dense index, distinct-value counters and active
+/// domains agree with it exactly. This deliberately does not trust
+/// `Instance::index_is_consistent`: it is an external, independently coded
+/// oracle for the same invariant.
+fn assert_agrees_with_naive_index(inst: &Instance) {
+    let arity = inst.schema().arity();
+    let mut expected: Vec<HashMap<Value, Vec<RowId>>> = vec![HashMap::new(); arity];
+    for (r, row) in inst.rows() {
+        for (c, &v) in row.iter().enumerate() {
+            expected[c].entry(v).or_default().push(r);
+        }
+    }
+    for col in inst.schema().attr_ids() {
+        let exp = &expected[col.index()];
+        assert_eq!(
+            inst.distinct_values(col),
+            exp.len(),
+            "distinct-value counter drifted at {col}"
+        );
+        assert_eq!(
+            inst.active_domain(col),
+            exp.keys().copied().collect(),
+            "active domain drifted at {col}"
+        );
+        for (&v, rows) in exp {
+            assert_eq!(
+                inst.rows_with(col, v),
+                &rows[..],
+                "dense bucket for {v} at {col} disagrees with the naive index"
+            );
+        }
+        // Values outside the active domain must read as empty, including
+        // ids beyond the bucket vector's length.
+        let max = exp.keys().map(|v| v.raw()).max().unwrap_or(0);
+        assert!(inst.rows_with(col, Value::new(max + 7)).is_empty());
+    }
+}
 
 fn schema3() -> Schema {
     Schema::new("R", ["A", "B", "C"]).unwrap()
@@ -164,5 +206,59 @@ proptest! {
         prop_assert_eq!(&naive_state, &indexed_state);
         let (p, _) = direct_product(&initial, &initial).unwrap();
         prop_assert!(p.index_is_consistent());
+    }
+
+    /// Random insert/merge/product scripts against the naive-index oracle:
+    /// at every stage — raw inserts (with duplicates), union–find collapse
+    /// and re-materialization, direct product, and a chase run — the dense
+    /// arena indexes must agree with a freshly re-derived naive index, and
+    /// `index_is_consistent` must keep holding.
+    #[test]
+    fn random_scripts_agree_with_rederived_naive_index(
+        inserts in proptest::collection::vec((0..6u32, 0..6u32, 0..6u32), 1..20),
+        dup_every in 1..4usize,
+        merges in proptest::collection::vec((0..3usize, 0..8usize, 0..8usize), 0..16),
+    ) {
+        // Stage 1: raw inserts, re-inserting every `dup_every`-th row to
+        // exercise the slice-keyed dedup path.
+        let mut inst = Instance::new(schema3());
+        for (i, &(a, b, c)) in inserts.iter().enumerate() {
+            inst.insert_values([a, b, c]).unwrap();
+            if i % dup_every == 0 {
+                let (_, fresh) = inst.insert_values([a, b, c]).unwrap();
+                prop_assert!(!fresh, "duplicate re-insert must dedup");
+            }
+        }
+        assert_agrees_with_naive_index(&inst);
+        prop_assert!(inst.index_is_consistent());
+
+        // Stage 2: collapse through the partition view and re-materialize.
+        let mut eq = EqInstance::from_instance(&inst);
+        for &(col, a, b) in &merges {
+            let n = eq.len();
+            eq.merge(
+                AttrId::new((col % 3) as u32),
+                RowId::new((a % n) as u32),
+                RowId::new((b % n) as u32),
+            )
+            .unwrap();
+        }
+        let collapsed = eq.to_instance();
+        assert_agrees_with_naive_index(&collapsed);
+        prop_assert!(collapsed.index_is_consistent());
+
+        // Stage 3: product interning.
+        let (prod, _) = direct_product(&collapsed, &inst).unwrap();
+        assert_agrees_with_naive_index(&prod);
+        prop_assert!(prod.index_is_consistent());
+
+        // Stage 4: chase the collapsed fixture (both strategies); the
+        // final states must still agree with the naive oracle.
+        let tds = chase_tds();
+        let (_, naive_state) = chase_with(&tds, &collapsed, MatchStrategy::Naive);
+        let (_, indexed_state) = chase_with(&tds, &collapsed, MatchStrategy::Indexed);
+        assert_agrees_with_naive_index(&naive_state);
+        assert_agrees_with_naive_index(&indexed_state);
+        prop_assert_eq!(&naive_state, &indexed_state);
     }
 }

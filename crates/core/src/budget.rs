@@ -32,7 +32,7 @@
 //! budgets through a [`Ticker`], and `td_reduction`'s racing pipeline and
 //! batch worker pool share [`Cancellation`] tokens instead of raw atomics.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A shareable, one-shot cooperative-cancellation token.
 ///
@@ -55,6 +55,38 @@ impl Cancellation {
 
     /// `true` once [`Cancellation::cancel`] has been called.
     pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-safe cumulative spend meter.
+///
+/// Where a [`Ticker`] *limits* the spend of one search, a `Meter`
+/// *accumulates* spend across many: a long-lived service charges every
+/// finished request's spend to shared meters and reports the running
+/// totals (for example `td_reduction::engine::EngineStats`). All
+/// operations are relaxed atomics — the meter carries independent counts,
+/// not synchronization.
+///
+/// Totals are monotone: there is no reset. A consumer that wants
+/// per-interval numbers snapshots [`Meter::total`] and subtracts.
+#[derive(Debug, Default)]
+pub struct Meter(AtomicU64);
+
+impl Meter {
+    /// A fresh meter at zero.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Charges `units` of spend. Never blocks; wraps on `u64` overflow
+    /// (unreachable for realistic workloads).
+    pub fn add(&self, units: u64) {
+        self.0.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// The cumulative total charged so far.
+    pub fn total(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -233,6 +265,25 @@ mod tests {
         assert!(t.cancelled());
         assert_eq!(t.spent(), 0);
         assert!(!t.tick(), "a stopped ticker refuses further spend");
+    }
+
+    #[test]
+    fn meter_accumulates_across_threads() {
+        let m = Meter::new();
+        assert_eq!(m.total(), 0);
+        m.add(3);
+        m.add(0);
+        assert_eq!(m.total(), 3);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.add(2);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.total(), 3 + 4 * 1000 * 2);
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub mod union_find;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::budget::{Cancellation, StopReason, Ticker};
+    pub use crate::budget::{Cancellation, Meter, StopReason, Ticker};
     pub use crate::canon::{canon_key, system_key, CanonKey};
     pub use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal};
     pub use crate::diagram::Diagram;

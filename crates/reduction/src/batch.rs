@@ -30,14 +30,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use td_core::budget::Cancellation;
-use td_core::canon::{system_key, CanonKey};
-use td_semigroup::normalize::normalize;
+use td_core::canon::CanonKey;
 use td_semigroup::presentation::Presentation;
 
 use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
-use crate::deps::build_system;
+use crate::engine::Engine;
 use crate::error::Result;
-use crate::pipeline::{solve_with_opts, Budgets, PipelineOutcome, PipelineRun, SolveOptions};
+use crate::pipeline::{solve_with_opts_on, Budgets, PipelineOutcome, PipelineRun, SolveOptions};
 
 /// One instance's verdict, compressed to the numbers a batch report needs.
 /// Full certificates are only materialized by the run that solved the
@@ -78,6 +77,13 @@ pub struct BatchStats {
     pub cache_hits: usize,
     /// Racing-solver runs actually executed.
     pub solved: usize,
+    /// Cache evictions observed on the shared [`DecisionCache`] during
+    /// this call (zero unless the cache's residency bound was hit; on an
+    /// engine cache shared with concurrent callers this counts *all*
+    /// evictions in the window, not only this batch's). Deliberately not
+    /// part of the `--cache-stats` CLI line, whose shape is pinned by the
+    /// golden tests; the engine/serve stats surface it.
+    pub evictions: u64,
 }
 
 /// Everything a batch call returns: per-instance verdicts and keys in
@@ -94,7 +100,7 @@ pub struct BatchRun {
 }
 
 /// Compresses a full pipeline run to its [`BatchVerdict`].
-fn compress(run: &PipelineRun) -> BatchVerdict {
+pub(crate) fn compress(run: &PipelineRun) -> BatchVerdict {
     match &run.outcome {
         PipelineOutcome::Implied { derivation, proof } => BatchVerdict::Implied {
             derivation_steps: derivation.len(),
@@ -113,7 +119,7 @@ fn compress(run: &PipelineRun) -> BatchVerdict {
     }
 }
 
-fn from_cached(outcome: &CachedOutcome) -> BatchVerdict {
+pub(crate) fn from_cached(outcome: &CachedOutcome) -> BatchVerdict {
     match outcome.verdict {
         CachedVerdict::Implied {
             derivation_steps,
@@ -148,6 +154,10 @@ pub fn solve_batch(
 /// not depend on the options (the golden batch corpus is replayed under
 /// `--strategy naive` to pin that), so this exists for performance runs
 /// and oracle-vs-planner differentials, not for semantics.
+///
+/// Thin wrapper over the shared engine core ([`solve_batch_core`], the
+/// same code [`Engine::solve_batch`] runs): each worker executes the raw
+/// pipeline under a fresh per-item cancellation token.
 pub fn solve_batch_with(
     items: &[Presentation],
     budgets: &Budgets,
@@ -155,16 +165,42 @@ pub fn solve_batch_with(
     cache: &DecisionCache,
     opts: SolveOptions,
 ) -> Result<BatchRun> {
+    solve_batch_core(items, jobs, cache, &|p, _key| {
+        solve_with_opts_on(p, budgets, opts, &Cancellation::new()).map(ItemOutcome::Ran)
+    })
+}
+
+/// What the per-item solver produced: a pipeline run this worker actually
+/// executed, or a settled outcome another flight produced while this
+/// worker waited (the engine's single-flight gate — only `Ran` counts
+/// toward [`BatchStats::solved`]).
+#[allow(clippy::large_enum_variant)] // Ran carries the full run by design; one per worker at a time
+pub(crate) enum ItemOutcome {
+    /// This worker ran the racing solver.
+    Ran(PipelineRun),
+    /// Another in-flight request settled the key first.
+    Settled(CachedOutcome),
+}
+
+/// The batch algorithm itself, parameterized over the per-item solver so
+/// the one-shot wrappers and the long-lived [`Engine`] share one code
+/// path. `solve_item` decides one instance (the engine passes a closure
+/// that mints a per-request ticket, runs under the single-flight gate and
+/// charges its cumulative meters; the one-shot wrappers pass a plain
+/// raced solve).
+pub(crate) fn solve_batch_core(
+    items: &[Presentation],
+    jobs: usize,
+    cache: &DecisionCache,
+    solve_item: &(dyn Fn(&Presentation, CanonKey) -> Result<ItemOutcome> + Sync),
+) -> Result<BatchRun> {
+    let evictions_before = cache.evictions();
     // Phase 1: reduce every instance and compute its canonical key —
     // pure, per-item work, spread over the same number of workers as the
     // solving phase (contiguous chunks, so the result order is the input
     // order with no locking).
     let workers = jobs.clamp(1, items.len().max(1));
-    let key_of = |p: &Presentation| -> Result<CanonKey> {
-        let normalized = normalize(&p.zero_saturated())?;
-        let system = build_system(&normalized.presentation)?;
-        Ok(system_key(&system.deps, &system.d0))
-    };
+    let key_of = |p: &Presentation| -> Result<CanonKey> { Engine::canonical_key(p) };
     let chunk_len = items.len().div_ceil(workers).max(1);
     let keys: Vec<CanonKey> = std::thread::scope(|s| {
         let handles: Vec<_> = items
@@ -180,18 +216,31 @@ pub fn solve_batch_with(
     .flatten()
     .collect();
 
-    // Phase 2: dedup to first occurrences whose key is not already cached.
+    // Phase 2: dedup to first occurrences, capturing pre-warmed verdicts
+    // *now* — on a shared bounded cache a concurrent writer could evict
+    // them before the fan-out phase, so the hit must be pinned at lookup
+    // time, not re-read later.
     let mut distinct: HashSet<CanonKey> = HashSet::new();
+    let mut prewarmed: HashMap<CanonKey, BatchVerdict> = HashMap::new();
     let mut to_solve: Vec<(CanonKey, usize)> = Vec::new();
     for (i, &key) in keys.iter().enumerate() {
-        if distinct.insert(key) && cache.get(key).is_none() {
-            to_solve.push((key, i));
+        if distinct.insert(key) {
+            match cache.get(key) {
+                Some(outcome) => {
+                    prewarmed.insert(key, from_cached(&outcome));
+                }
+                None => to_solve.push((key, i)),
+            }
         }
     }
 
     // Phase 3: the worker pool. Workers pull distinct instances from a
     // shared cursor; every verdict lands in the per-call map (and settled
-    // ones additionally in the cross-call cache).
+    // ones additionally in the cross-call cache). `runs` counts the
+    // solver executions this call actually performed — an item settled by
+    // a concurrent flight while the worker waited is a cache hit, not a
+    // solve.
+    let runs = AtomicUsize::new(0);
     let solved_now: Mutex<HashMap<CanonKey, BatchVerdict>> = Mutex::new(HashMap::new());
     let first_error: Mutex<Option<crate::error::RedError>> = Mutex::new(None);
     // The pool's shutdown signal is the shared cancellation substrate: the
@@ -210,8 +259,9 @@ pub fn solve_batch_with(
                 let Some(&(key, item)) = to_solve.get(slot) else {
                     return;
                 };
-                match solve_with_opts(&items[item], budgets, opts) {
-                    Ok(run) => {
+                match solve_item(&items[item], key) {
+                    Ok(ItemOutcome::Ran(run)) => {
+                        runs.fetch_add(1, Ordering::Relaxed);
                         let verdict = compress(&run);
                         let cached = match verdict {
                             BatchVerdict::Implied {
@@ -242,6 +292,12 @@ pub fn solve_batch_with(
                             .expect("batch result lock poisoned")
                             .insert(key, verdict);
                     }
+                    Ok(ItemOutcome::Settled(outcome)) => {
+                        solved_now
+                            .lock()
+                            .expect("batch result lock poisoned")
+                            .insert(key, from_cached(&outcome));
+                    }
                     Err(e) => {
                         first_error
                             .lock()
@@ -258,24 +314,28 @@ pub fn solve_batch_with(
         return Err(e);
     }
 
-    // Phase 4: fan results back out to input order.
+    // Phase 4: fan results back out to input order. Every key is covered
+    // by construction: its first occurrence was either pinned from the
+    // cache in phase 2 or queued and answered in phase 3 (evictions
+    // cannot invalidate either map — they are per-call snapshots).
     let solved_now = solved_now.into_inner().expect("batch result lock poisoned");
     let mut verdicts = Vec::with_capacity(items.len());
     for &key in &keys {
         let verdict = solved_now
             .get(&key)
+            .or_else(|| prewarmed.get(&key))
             .copied()
-            .or_else(|| cache.get(key).as_ref().map(from_cached))
-            .expect("every key was either solved this call or found cached");
+            .expect("every key was either solved this call or pinned from the cache");
         verdicts.push(verdict);
     }
 
-    let solved = solved_now.len();
+    let solved = runs.into_inner();
     let stats = BatchStats {
         total: items.len(),
         unique: distinct.len(),
         cache_hits: items.len() - solved,
         solved,
+        evictions: cache.evictions() - evictions_before,
     };
     Ok(BatchRun {
         verdicts,

@@ -20,13 +20,32 @@
 //! `RwLock<HashMap>`: readers of different keys proceed in parallel and
 //! writers only contend within one shard. Plain standard-library locks — no
 //! external dependencies.
+//!
+//! # Bounded residency
+//!
+//! A long-lived engine serves an unbounded stream of distinct keys, so the
+//! cache is **capacity-bounded**: each shard holds at most
+//! [`DecisionCache::shard_capacity`] entries and evicts its oldest entry
+//! (FIFO insertion order) to make room for a new key. Eviction is purely a
+//! residency decision — a verdict is a theorem about an isomorphism class
+//! and never goes stale, so evicting one costs a re-solve, not
+//! correctness. The cumulative eviction count is exposed via
+//! [`DecisionCache::evictions`] and surfaced in the batch and engine
+//! stats; the default capacity ([`DEFAULT_SHARD_CAPACITY`] per shard) is
+//! generous enough that one-shot and test workloads never evict.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use td_core::canon::CanonKey;
 
 use crate::pipeline::SpendReport;
+
+/// Default per-shard entry capacity: with the default 16 shards, about one
+/// million resident verdicts (~100 bytes each) before eviction starts —
+/// generous for anything short of a very long-lived server.
+pub const DEFAULT_SHARD_CAPACITY: usize = 65_536;
 
 /// A settled verdict, compressed to the numbers a batch report needs (the
 /// full certificates stay with the [`crate::pipeline::PipelineRun`] that
@@ -60,16 +79,30 @@ pub struct CachedOutcome {
     pub spend: SpendReport,
 }
 
+/// One lock domain: the key→outcome map plus the FIFO insertion order its
+/// evictions follow.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CanonKey, CachedOutcome>,
+    /// Keys in insertion order. Overwrites keep the original position —
+    /// they refresh provenance, not residency.
+    order: VecDeque<CanonKey>,
+}
+
 /// A sharded `CanonKey → CachedOutcome` map, safe to share across the
-/// batch worker threads by reference.
+/// batch worker threads by reference, with per-shard FIFO eviction once a
+/// shard reaches its capacity.
 #[derive(Debug)]
 pub struct DecisionCache {
-    shards: Vec<RwLock<HashMap<CanonKey, CachedOutcome>>>,
+    shards: Vec<RwLock<Shard>>,
+    shard_capacity: usize,
+    evictions: AtomicU64,
 }
 
 impl Default for DecisionCache {
     /// 16 shards: comfortably more than the worker counts the batch
-    /// pipeline uses, so writer contention stays negligible.
+    /// pipeline uses, so writer contention stays negligible. Capacity is
+    /// the generous [`DEFAULT_SHARD_CAPACITY`].
     fn default() -> Self {
         Self::new(16)
     }
@@ -77,14 +110,23 @@ impl Default for DecisionCache {
 
 impl DecisionCache {
     /// Creates a cache with `shards` independent lock domains (clamped to
-    /// at least 1).
+    /// at least 1) and the default per-shard capacity.
     pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// Creates a cache with `shards` lock domains, each holding at most
+    /// `shard_capacity` entries (both clamped to at least 1). The total
+    /// residency bound is `shards * shard_capacity`.
+    pub fn with_capacity(shards: usize, shard_capacity: usize) -> Self {
         Self {
             shards: (0..shards.max(1)).map(|_| RwLock::default()).collect(),
+            shard_capacity: shard_capacity.max(1),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: CanonKey) -> &RwLock<HashMap<CanonKey, CachedOutcome>> {
+    fn shard(&self, key: CanonKey) -> &RwLock<Shard> {
         let ix = (key.fold64() % self.shards.len() as u64) as usize;
         &self.shards[ix]
     }
@@ -94,6 +136,7 @@ impl DecisionCache {
         self.shard(key)
             .read()
             .expect("cache shard lock poisoned")
+            .map
             .get(&key)
             .copied()
     }
@@ -101,18 +144,29 @@ impl DecisionCache {
     /// Records a settled verdict. A later insert for the same key
     /// overwrites the earlier one; both describe the same isomorphism
     /// class, so the verdicts agree and only the provenance can differ.
+    /// Inserting a *new* key into a full shard first evicts the shard's
+    /// oldest entry (FIFO) and counts it in [`DecisionCache::evictions`].
     pub fn insert(&self, key: CanonKey, outcome: CachedOutcome) {
-        self.shard(key)
-            .write()
-            .expect("cache shard lock poisoned")
-            .insert(key, outcome);
+        let mut shard = self.shard(key).write().expect("cache shard lock poisoned");
+        if shard.map.insert(key, outcome).is_some() {
+            return; // overwrite: residency and order unchanged
+        }
+        shard.order.push_back(key);
+        if shard.map.len() > self.shard_capacity {
+            let oldest = shard
+                .order
+                .pop_front()
+                .expect("non-empty shard has an insertion order");
+            shard.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Number of cached verdicts.
+    /// Number of cached verdicts currently resident.
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache shard lock poisoned").len())
+            .map(|s| s.read().expect("cache shard lock poisoned").map.len())
             .sum()
     }
 
@@ -124,6 +178,16 @@ impl DecisionCache {
     /// Number of shards (lock domains).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Maximum entries per shard before eviction.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Cumulative number of entries evicted to make room for new keys.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -183,6 +247,52 @@ mod tests {
     fn shard_count_clamped() {
         assert_eq!(DecisionCache::new(0).shard_count(), 1);
         assert_eq!(DecisionCache::default().shard_count(), 16);
+        assert_eq!(
+            DecisionCache::default().shard_capacity(),
+            DEFAULT_SHARD_CAPACITY
+        );
+        assert_eq!(DecisionCache::with_capacity(1, 0).shard_capacity(), 1);
+    }
+
+    #[test]
+    fn full_shard_evicts_oldest_first() {
+        // One shard, capacity 3: every key lands in the same FIFO queue.
+        let cache = DecisionCache::with_capacity(1, 3);
+        for n in 0..3 {
+            cache.insert(key(n), outcome(n as usize));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 0);
+
+        cache.insert(key(3), outcome(3));
+        assert_eq!(cache.len(), 3, "capacity is a hard residency bound");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(key(0)), None, "the oldest entry was evicted");
+        for n in 1..=3 {
+            assert!(cache.get(key(n)).is_some(), "newer entries survive");
+        }
+
+        cache.insert(key(4), outcome(4));
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.get(key(1)), None, "FIFO: next-oldest goes next");
+    }
+
+    #[test]
+    fn overwrites_do_not_evict_or_reorder() {
+        let cache = DecisionCache::with_capacity(1, 2);
+        cache.insert(key(0), outcome(0));
+        cache.insert(key(1), outcome(1));
+        // Overwriting key(0) must not push it to the back of the queue.
+        cache.insert(key(0), outcome(10));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.get(key(0)), Some(outcome(10)));
+        // A new key still evicts key(0) — the original insertion order.
+        cache.insert(key(2), outcome(2));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(key(0)), None);
+        assert!(cache.get(key(1)).is_some());
+        assert!(cache.get(key(2)).is_some());
     }
 
     #[test]

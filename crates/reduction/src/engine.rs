@@ -1,0 +1,715 @@
+//! The long-lived solving service: one [`Engine`] owns the decision
+//! cache, the budget policy, and the cumulative accounting that every
+//! entry point shares.
+//!
+//! Before this module existed, each entry point (`pipeline::solve`,
+//! `batch::solve_batch`, every `tdq` subcommand) rebuilt the
+//! canonicalization cache and budget plumbing per invocation and threw all
+//! warmth away between calls. The `Engine` inverts that: it is a
+//! thread-safe, long-lived object that requests flow *through*:
+//!
+//! * a bounded, sharded [`DecisionCache`] keyed by
+//!   [`td_core::canon::CanonKey`] — verdicts survive across requests, so a
+//!   duplicate-heavy request stream settles each isomorphism class once
+//!   per process, not once per call;
+//! * a [`BudgetPolicy`] that mints a per-request [`Ticket`] — the budgets
+//!   for the two certificate searches (request overrides clamped to the
+//!   policy's caps) plus a fresh [`Cancellation`] token registered with
+//!   the engine so [`Engine::shutdown`] can wind down every in-flight
+//!   request cooperatively;
+//! * **single-flight** deduplication for [`Engine::decide`]: concurrent
+//!   requests for the same canonical key block on the one solver run
+//!   instead of racing it, which makes the cache-hit accounting
+//!   deterministic (equal to a sequential replay of the same requests);
+//! * cumulative [`EngineStats`] counted on [`td_core::budget::Meter`]s —
+//!   requests, hits, solver runs, evictions, and total search spend.
+//!
+//! The one-shot paths are thin wrappers over an ephemeral engine
+//! ([`crate::pipeline::solve_with_opts`] constructs one per call), and the
+//! persistent paths (`tdq serve`, warm batch streams) hold one engine for
+//! the process lifetime — both execute exactly this code.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+
+use td_core::budget::{Cancellation, Meter};
+use td_core::canon::{system_key, CanonKey};
+use td_core::inference::{self, InferenceVerdict};
+use td_core::td::Td;
+use td_semigroup::normalize::normalize;
+use td_semigroup::presentation::Presentation;
+
+use crate::batch::{compress, from_cached, solve_batch_core, BatchRun, BatchVerdict, ItemOutcome};
+use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
+use crate::error::{RedError, Result};
+use crate::pipeline::{
+    solve_with_opts_on, Budgets, PhaseTimings, PipelineRun, SolveOptions, SpendReport,
+};
+
+/// Construction-time knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Default budgets for the two certificate searches; also the caps a
+    /// per-request override is clamped to (see [`BudgetPolicy::mint`]).
+    pub budgets: Budgets,
+    /// Scheduling mode and homomorphism strategy used for every solve.
+    pub opts: SolveOptions,
+    /// Worker threads for [`Engine::solve_batch`] (clamped to at least 1).
+    pub jobs: usize,
+    /// Shard count of the decision cache.
+    pub cache_shards: usize,
+    /// Per-shard entry capacity of the decision cache (see
+    /// [`crate::cache::DEFAULT_SHARD_CAPACITY`]).
+    pub cache_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            budgets: Budgets::default(),
+            opts: SolveOptions::default(),
+            jobs: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            cache_shards: 16,
+            cache_cap: crate::cache::DEFAULT_SHARD_CAPACITY,
+        }
+    }
+}
+
+/// Per-request budget overrides, as carried by the NDJSON protocol. Each
+/// field replaces the corresponding cap in the policy's base budgets —
+/// clamped so a request can *shrink* its budgets but never exceed the
+/// policy's.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestBudget {
+    /// Cap on distinct words the derivation search may visit.
+    pub derivation_states: Option<usize>,
+    /// Cap on nodes the finite-model search may visit.
+    pub model_nodes: Option<u64>,
+}
+
+/// The engine's budget authority: owns the base [`Budgets`] every request
+/// gets by default and mints per-request [`Ticket`]s, clamping any
+/// request-supplied overrides to the base caps.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetPolicy {
+    base: Budgets,
+}
+
+impl BudgetPolicy {
+    /// A policy handing out `base` to every request.
+    pub fn new(base: Budgets) -> Self {
+        Self { base }
+    }
+
+    /// The default budgets (and the caps overrides are clamped to).
+    pub fn base(&self) -> &Budgets {
+        &self.base
+    }
+
+    /// Mints the effective budgets for one request: the base, with any
+    /// override applied but clamped to the base value — a request may ask
+    /// for *less* search than the policy allows, never more.
+    pub fn mint(&self, req: Option<RequestBudget>) -> Budgets {
+        let mut budgets = self.base;
+        if let Some(req) = req {
+            if let Some(states) = req.derivation_states {
+                budgets.derivation.max_states = states.min(self.base.derivation.max_states);
+            }
+            if let Some(nodes) = req.model_nodes {
+                budgets.model.max_nodes = nodes.min(self.base.model.max_nodes);
+            }
+        }
+        budgets
+    }
+}
+
+/// What one request runs under: its effective budgets and its
+/// cooperative-cancellation token. Tokens are minted per request and
+/// registered with the engine, so [`Engine::shutdown`] reaches every
+/// in-flight search.
+#[derive(Debug)]
+pub struct Ticket {
+    /// Effective budgets for this request.
+    pub budgets: Budgets,
+    cancel: Arc<Cancellation>,
+}
+
+impl Ticket {
+    /// The request's cancellation token.
+    pub fn cancellation(&self) -> &Cancellation {
+        &self.cancel
+    }
+}
+
+/// Cumulative accounting across an engine's lifetime. All counters are
+/// monotone except [`EngineStats::keys_cached`], which evictions can
+/// shrink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Implication questions received: one per [`Engine::decide`] or
+    /// [`Engine::run_full`] call, one per batch item, one per redundancy
+    /// analysis.
+    pub requests: u64,
+    /// Requests answered from the decision cache (cross-request warmth
+    /// plus within-batch dedup).
+    pub cache_hits: u64,
+    /// Racing-solver runs actually executed.
+    pub solved: u64,
+    /// Verdicts currently resident in the decision cache.
+    pub keys_cached: usize,
+    /// Entries evicted from the cache to bound residency.
+    pub evictions: u64,
+    /// Total distinct words visited by derivation searches (winners exact,
+    /// losers truncated — a lower bound, see
+    /// [`crate::pipeline::SpendReport`]).
+    pub derivation_states: u64,
+    /// Total nodes visited by finite-model searches (same caveat).
+    pub model_nodes: u64,
+}
+
+/// The engine's internal meters ([`EngineStats`] is their snapshot).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: Meter,
+    cache_hits: Meter,
+    solved: Meter,
+    derivation_states: Meter,
+    model_nodes: Meter,
+}
+
+/// One settled answer from [`Engine::decide`]: the verdict plus its
+/// provenance (canonical key, spend, whether the cache answered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The canonical key of the instance (equal keys ⇔ isomorphic
+    /// questions).
+    pub key: CanonKey,
+    /// The verdict.
+    pub verdict: BatchVerdict,
+    /// Spend accounting: the run that settled the verdict (for a cache
+    /// hit, the *original* run's spend).
+    pub spend: SpendReport,
+    /// `true` when the decision cache answered without running the solver.
+    pub cached: bool,
+    /// Wall-clock phase timings of the solving run; all zero for a cache
+    /// hit.
+    pub timings: PhaseTimings,
+}
+
+/// A long-lived, thread-safe solving service: share one per process (or
+/// per tenant) by reference and route every implication question through
+/// it. See the module docs for the ownership picture.
+#[derive(Debug)]
+pub struct Engine {
+    cache: DecisionCache,
+    policy: BudgetPolicy,
+    opts: SolveOptions,
+    jobs: usize,
+    counters: Counters,
+    /// Flipped once by [`Engine::shutdown`]; minting refuses afterwards.
+    root: Cancellation,
+    /// Cancellation tokens of in-flight requests (pruned lazily).
+    inflight: Mutex<Vec<Weak<Cancellation>>>,
+    /// Canonical keys currently being solved by a [`Engine::decide`] call
+    /// (the single-flight gate)…
+    pending: Mutex<HashSet<CanonKey>>,
+    /// …and the condvar its waiters block on.
+    settled: Condvar,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Self {
+            cache: DecisionCache::with_capacity(config.cache_shards, config.cache_cap),
+            policy: BudgetPolicy::new(config.budgets),
+            opts: config.opts,
+            jobs: config.jobs.max(1),
+            counters: Counters::default(),
+            root: Cancellation::new(),
+            inflight: Mutex::new(Vec::new()),
+            pending: Mutex::new(HashSet::new()),
+            settled: Condvar::new(),
+        }
+    }
+
+    /// The engine's budget policy.
+    pub fn policy(&self) -> &BudgetPolicy {
+        &self.policy
+    }
+
+    /// The solve options every request runs under.
+    pub fn opts(&self) -> SolveOptions {
+        self.opts
+    }
+
+    /// The shared decision cache (read access for diagnostics; writes go
+    /// through the solving paths).
+    pub fn cache(&self) -> &DecisionCache {
+        &self.cache
+    }
+
+    /// The isomorphism-invariant canonical key of a word-problem instance:
+    /// reduce to the dependency system `(D, D₀)` and key it with
+    /// [`td_core::canon::system_key`]. Two presentations share the key iff
+    /// their reduced systems are isomorphic — exactly when their verdicts
+    /// provably agree.
+    pub fn canonical_key(p: &Presentation) -> Result<CanonKey> {
+        let normalized = normalize(&p.zero_saturated())?;
+        let system = crate::deps::build_system(&normalized.presentation)?;
+        Ok(system_key(&system.deps, &system.d0))
+    }
+
+    /// Mints a [`Ticket`] for one request: effective budgets from the
+    /// policy plus a fresh cancellation token registered for shutdown.
+    /// Fails with [`RedError::ShutDown`] once the engine is shut down.
+    pub fn mint(&self, req: Option<RequestBudget>) -> Result<Ticket> {
+        if self.root.is_cancelled() {
+            return Err(RedError::ShutDown);
+        }
+        let cancel = Arc::new(Cancellation::new());
+        {
+            let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
+            // Lazy pruning keeps the registry proportional to the number
+            // of requests actually in flight, not ever made.
+            if inflight.len() >= 64 {
+                inflight.retain(|w| w.strong_count() > 0);
+            }
+            inflight.push(Arc::downgrade(&cancel));
+        }
+        // A shutdown that raced the registration above cancels the token
+        // here, so no request slips through uncancellable.
+        if self.root.is_cancelled() {
+            cancel.cancel();
+            return Err(RedError::ShutDown);
+        }
+        Ok(Ticket {
+            budgets: self.policy.mint(req),
+            cancel,
+        })
+    }
+
+    /// Requests shutdown: no new tickets are minted, and every in-flight
+    /// request's cancellation token is flipped so the searches back out at
+    /// their next poll (their runs come back `Unknown`). Idempotent; never
+    /// blocks on solving work.
+    pub fn shutdown(&self) {
+        self.root.cancel();
+        let inflight = self.inflight.lock().expect("inflight lock poisoned");
+        for weak in inflight.iter() {
+            if let Some(token) = weak.upgrade() {
+                token.cancel();
+            }
+        }
+        // Wake decide() waiters so they observe the shutdown promptly.
+        self.settled.notify_all();
+    }
+
+    /// `true` once [`Engine::shutdown`] has been called.
+    pub fn is_shut_down(&self) -> bool {
+        self.root.is_cancelled()
+    }
+
+    /// A consistent snapshot of the cumulative accounting.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            requests: self.counters.requests.total(),
+            cache_hits: self.counters.cache_hits.total(),
+            solved: self.counters.solved.total(),
+            keys_cached: self.cache.len(),
+            evictions: self.cache.evictions(),
+            derivation_states: self.counters.derivation_states.total(),
+            model_nodes: self.counters.model_nodes.total(),
+        }
+    }
+
+    fn record_spend(&self, spend: &SpendReport) {
+        self.counters
+            .derivation_states
+            .add(spend.derivation_states as u64);
+        self.counters.model_nodes.add(spend.model_nodes);
+    }
+
+    /// Runs the full pipeline for one request — certificates and all —
+    /// under a minted ticket. This path does **not** consult the decision
+    /// cache (a cached verdict cannot reproduce the certificates the
+    /// caller is asking for) but still counts toward the request and spend
+    /// accounting. `tdq wp`/`deps` and [`crate::pipeline::solve`] route
+    /// through here.
+    pub fn run_full(&self, p: &Presentation) -> Result<PipelineRun> {
+        self.counters.requests.add(1);
+        let ticket = self.mint(None)?;
+        let run = solve_with_opts_on(p, &ticket.budgets, self.opts, ticket.cancellation())?;
+        self.record_spend(&run.spend);
+        self.counters.solved.add(1);
+        Ok(run)
+    }
+
+    /// Decides one implication question through the cache: canonicalize,
+    /// answer from the cache when possible, otherwise run the racing
+    /// solver once and record the settled verdict.
+    ///
+    /// Concurrent calls deciding the *same* canonical key are
+    /// single-flighted: one caller solves, the rest block until the
+    /// verdict lands in the cache and then read it as a hit. This keeps
+    /// the hit/solve accounting deterministic — identical to a sequential
+    /// replay of the same request multiset — and protects a busy server
+    /// from thundering-herd duplicate solves. (`Unknown` verdicts are
+    /// never cached, so every request for an undecided-within-budget class
+    /// runs the solver, again matching the sequential replay.)
+    pub fn decide(&self, p: &Presentation) -> Result<Decision> {
+        self.decide_with(p, None)
+    }
+
+    /// [`Engine::decide`] with per-request budget overrides (clamped by
+    /// the [`BudgetPolicy`]).
+    pub fn decide_with(&self, p: &Presentation, req: Option<RequestBudget>) -> Result<Decision> {
+        let key = Self::canonical_key(p)?;
+        self.counters.requests.add(1);
+        match self.single_flight(key, || {
+            let ticket = self.mint(req)?;
+            solve_with_opts_on(p, &ticket.budgets, self.opts, ticket.cancellation())
+        })? {
+            ItemOutcome::Settled(hit) => {
+                self.counters.cache_hits.add(1);
+                Ok(Decision {
+                    key,
+                    verdict: from_cached(&hit),
+                    spend: hit.spend,
+                    cached: true,
+                    timings: PhaseTimings::default(),
+                })
+            }
+            ItemOutcome::Ran(run) => {
+                self.record_spend(&run.spend);
+                self.counters.solved.add(1);
+                Ok(Decision {
+                    key,
+                    verdict: compress(&run),
+                    spend: run.spend,
+                    cached: false,
+                    timings: run.timings,
+                })
+            }
+        }
+    }
+
+    /// The single-flight gate: answer `key` from the cache, or wait for
+    /// an in-flight solve of the same key, or — as the one elected flight
+    /// — run `solve` and publish its settled verdict. Exactly one caller
+    /// runs the solver per key at any moment; the gate is lifted (and
+    /// waiters woken) even when the solve errors, so waiters never
+    /// deadlock.
+    fn single_flight(
+        &self,
+        key: CanonKey,
+        solve: impl FnOnce() -> Result<PipelineRun>,
+    ) -> Result<ItemOutcome> {
+        loop {
+            if let Some(hit) = self.cache.get(key) {
+                return Ok(ItemOutcome::Settled(hit));
+            }
+            let mut pending = self.pending.lock().expect("pending lock poisoned");
+            if self.cache.get(key).is_some() {
+                continue; // settled between the miss and the lock: re-read
+            }
+            if !pending.contains(&key) {
+                pending.insert(key);
+                break; // this caller is the solver
+            }
+            if self.is_shut_down() {
+                return Err(RedError::ShutDown);
+            }
+            // Another caller is solving this key: wait for it to settle,
+            // then re-check the cache.
+            drop(self.settled.wait(pending).expect("pending lock poisoned"));
+        }
+
+        let outcome = solve();
+        if let Ok(run) = &outcome {
+            if let Some(cached) = settle(run) {
+                self.cache.insert(key, cached);
+            }
+        }
+        // Always lift the single-flight gate — even on error — before
+        // propagating, so waiters never deadlock.
+        self.pending
+            .lock()
+            .expect("pending lock poisoned")
+            .remove(&key);
+        self.settled.notify_all();
+        outcome.map(ItemOutcome::Ran)
+    }
+
+    /// Decides a whole batch through the engine: within-batch dedup by
+    /// canonical key, cross-request warmth via the shared cache, and the
+    /// distinct remainder solved on the engine's worker pool. Semantics
+    /// are identical to [`crate::batch::solve_batch`]; this method
+    /// additionally charges the engine's cumulative stats, mints a ticket
+    /// per solved item so shutdown reaches batch workers too, and routes
+    /// each worker through the same single-flight gate as
+    /// [`Engine::decide`] — a batch item and a concurrent `decide` for
+    /// the same key share one solver run, keeping the accounting
+    /// deterministic.
+    pub fn solve_batch(&self, items: &[Presentation]) -> Result<BatchRun> {
+        let solve_item = |p: &Presentation, key: CanonKey| -> Result<ItemOutcome> {
+            let outcome = self.single_flight(key, || {
+                let ticket = self.mint(None)?;
+                solve_with_opts_on(p, &ticket.budgets, self.opts, ticket.cancellation())
+            })?;
+            if let ItemOutcome::Ran(run) = &outcome {
+                self.record_spend(&run.spend);
+            }
+            Ok(outcome)
+        };
+        let run = solve_batch_core(items, self.jobs, &self.cache, &solve_item)?;
+        self.counters.requests.add(run.stats.total as u64);
+        self.counters.cache_hits.add(run.stats.cache_hits as u64);
+        self.counters.solved.add(run.stats.solved as u64);
+        Ok(run)
+    }
+
+    /// Redundancy analysis for a dependency set (the `tdq deps` question):
+    /// for each `dᵢ ∈ tds`, does the rest of the set already imply it?
+    /// Runs under the engine's chase budget and match strategy; counts as
+    /// one request. TD-set analyses are not keyed into the decision cache
+    /// (different object space from word-problem instances).
+    pub fn redundancy(&self, tds: &[Td]) -> Result<Vec<InferenceVerdict>> {
+        self.counters.requests.add(1);
+        let mut verdicts = Vec::with_capacity(tds.len());
+        for i in 0..tds.len() {
+            verdicts.push(inference::redundant_with(
+                tds,
+                i,
+                self.policy.base().chase,
+                self.opts.strategy,
+            )?);
+        }
+        Ok(verdicts)
+    }
+}
+
+/// The cacheable form of a settled run, or `None` for `Unknown` (which is
+/// a statement about this call's budgets, never cached).
+fn settle(run: &PipelineRun) -> Option<CachedOutcome> {
+    let verdict = match compress(run) {
+        BatchVerdict::Implied {
+            derivation_steps,
+            proof_firings,
+        } => CachedVerdict::Implied {
+            derivation_steps,
+            proof_firings,
+        },
+        BatchVerdict::Refuted { model_rows } => CachedVerdict::Refuted { model_rows },
+        BatchVerdict::Unknown { .. } => return None,
+    };
+    Some(CachedOutcome {
+        verdict,
+        spend: run.spend,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_semigroup::alphabet::Alphabet;
+    use td_semigroup::equation::Equation;
+
+    fn derivable() -> Presentation {
+        let alphabet = Alphabet::standard(2);
+        let eqs = vec![
+            Equation::parse("A1 A1 = A0", &alphabet).unwrap(),
+            Equation::parse("A1 A1 = 0", &alphabet).unwrap(),
+        ];
+        Presentation::new(alphabet, eqs).unwrap()
+    }
+
+    fn derivable_renamed() -> Presentation {
+        let alphabet = Alphabet::new(["start", "gen", "zip"], "start", "zip").unwrap();
+        let eqs = vec![
+            Equation::parse("gen gen = zip", &alphabet).unwrap(),
+            Equation::parse("gen gen = start", &alphabet).unwrap(),
+        ];
+        Presentation::new(alphabet, eqs).unwrap()
+    }
+
+    fn refutable() -> Presentation {
+        Presentation::new(Alphabet::standard(1), vec![]).unwrap()
+    }
+
+    #[test]
+    fn decide_solves_then_hits() {
+        let engine = Engine::new();
+        let first = engine.decide(&derivable()).unwrap();
+        assert!(!first.cached);
+        assert!(matches!(first.verdict, BatchVerdict::Implied { .. }));
+
+        // The isomorphic copy is answered from the cache, same verdict and
+        // spend provenance, zero timings.
+        let second = engine.decide(&derivable_renamed()).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.key, first.key);
+        assert_eq!(second.verdict, first.verdict);
+        assert_eq!(second.spend, first.spend);
+        assert_eq!(second.timings, PhaseTimings::default());
+
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.solved, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.keys_cached, 1);
+        assert_eq!(stats.evictions, 0);
+        assert!(stats.derivation_states > 0, "winner spend is charged");
+    }
+
+    #[test]
+    fn run_full_counts_but_does_not_cache() {
+        let engine = Engine::new();
+        let run = engine.run_full(&derivable()).unwrap();
+        assert!(run.outcome.is_implied());
+        let stats = engine.stats();
+        assert_eq!((stats.requests, stats.solved), (1, 1));
+        assert_eq!(stats.keys_cached, 0, "full runs bypass the cache");
+    }
+
+    #[test]
+    fn batch_routes_through_engine_stats() {
+        let engine = Engine::new();
+        let items = vec![derivable(), refutable(), derivable_renamed()];
+        let run = engine.solve_batch(&items).unwrap();
+        assert_eq!(run.stats.total, 3);
+        assert_eq!(run.stats.solved, 2);
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.solved, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.keys_cached, 2);
+
+        // A decide after the batch is warm.
+        let d = engine.decide(&refutable()).unwrap();
+        assert!(d.cached, "cache is shared across entry points");
+        assert_eq!(engine.stats().cache_hits, 2);
+    }
+
+    /// Regression: a pre-warmed cache entry evicted *during* a batch (by
+    /// the batch's own inserts on a tiny cache, or by any concurrent
+    /// writer on a shared engine) must not break the fan-out — the hit is
+    /// pinned at lookup time, not re-read from the cache at the end.
+    #[test]
+    fn prewarmed_entry_evicted_mid_batch_still_answers() {
+        let engine = Engine::with_config(EngineConfig {
+            cache_shards: 1,
+            cache_cap: 1,
+            ..EngineConfig::default()
+        });
+        let warm = engine.decide(&derivable()).unwrap();
+        assert_eq!(engine.cache().len(), 1);
+
+        // The batch pins `derivable` from the cache in its dedup phase,
+        // then solving `refutable` evicts it before fan-out.
+        let run = engine.solve_batch(&[derivable(), refutable()]).unwrap();
+        assert_eq!(
+            run.verdicts[0], warm.verdict,
+            "pinned hit survives eviction"
+        );
+        assert!(matches!(run.verdicts[1], BatchVerdict::Refuted { .. }));
+        assert_eq!(run.stats.solved, 1, "only the cold class ran the solver");
+        assert_eq!(run.stats.cache_hits, 1);
+        assert_eq!(run.stats.evictions, 1, "the warm entry was evicted");
+        assert_eq!(engine.stats().evictions, 1);
+        assert_eq!(engine.cache().len(), 1, "capacity is still enforced");
+    }
+
+    #[test]
+    fn budget_overrides_clamp_to_policy() {
+        let policy = BudgetPolicy::new(Budgets::default());
+        let base = *policy.base();
+        let minted = policy.mint(Some(RequestBudget {
+            derivation_states: Some(7),
+            model_nodes: Some(u64::MAX),
+        }));
+        assert_eq!(minted.derivation.max_states, 7, "shrinking is honored");
+        assert_eq!(
+            minted.model.max_nodes, base.model.max_nodes,
+            "growing clamps to the policy cap"
+        );
+        assert_eq!(policy.mint(None), base);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_cancels_inflight_tokens() {
+        let engine = Engine::new();
+        engine.decide(&derivable()).unwrap();
+        let ticket = engine.mint(None).unwrap();
+        assert!(!ticket.cancellation().is_cancelled());
+        engine.shutdown();
+        assert!(engine.is_shut_down());
+        assert!(
+            ticket.cancellation().is_cancelled(),
+            "shutdown reaches live tickets"
+        );
+        assert!(matches!(engine.mint(None), Err(RedError::ShutDown)));
+        assert!(matches!(
+            engine.decide(&refutable()),
+            Err(RedError::ShutDown)
+        ));
+        // But the cache still answers reads (diagnostics after drain).
+        assert_eq!(engine.cache().len(), 1);
+        engine.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn decide_after_shutdown_still_serves_cached_verdicts() {
+        // Shutdown stops *solving*, and decide() for an uncached key fails
+        // with ShutDown; an already-settled key, however, errors too only
+        // at mint time — the cache read happens first, so warm keys still
+        // answer. This is deliberate: drain logic can keep replying to
+        // known answers while refusing new work.
+        let engine = Engine::new();
+        engine.decide(&derivable()).unwrap();
+        engine.shutdown();
+        let d = engine.decide(&derivable_renamed()).unwrap();
+        assert!(d.cached);
+    }
+
+    #[test]
+    fn tight_engine_budgets_give_unknown_and_do_not_cache() {
+        let alphabet = Alphabet::standard(2);
+        let grow = Equation::parse("A0 A1 = A0", &alphabet).unwrap();
+        let p = Presentation::new(alphabet, vec![grow]).unwrap();
+        let tight = Budgets {
+            derivation: td_semigroup::derivation::SearchBudget {
+                max_word_len: 6,
+                max_states: 50,
+            },
+            model: td_semigroup::model_search::ModelSearchOptions {
+                min_size: 3,
+                max_size: 3,
+                max_nodes: 5,
+            },
+            chase: td_core::chase::ChaseBudget::default(),
+        };
+        let engine = Engine::with_config(EngineConfig {
+            budgets: tight,
+            ..EngineConfig::default()
+        });
+        let first = engine.decide(&p).unwrap();
+        assert!(matches!(first.verdict, BatchVerdict::Unknown { .. }));
+        let second = engine.decide(&p).unwrap();
+        assert!(!second.cached, "Unknown is never cached");
+        assert_eq!(engine.stats().solved, 2);
+    }
+}

@@ -24,8 +24,13 @@
 //! * a **batch layer** for corpora of instances: [`batch::solve_batch`]
 //!   dedups isomorphic questions by canonical key
 //!   ([`td_core::canon`]), answers the distinct remainder on a worker
-//!   pool, and records settled verdicts in a sharded concurrent
-//!   [`cache::DecisionCache`].
+//!   pool, and records settled verdicts in a sharded, capacity-bounded
+//!   [`cache::DecisionCache`];
+//! * a **service layer**: the long-lived, thread-safe [`engine::Engine`]
+//!   owns the decision cache, a [`engine::BudgetPolicy`] minting
+//!   per-request tickets, and cumulative [`engine::EngineStats`] — every
+//!   entry point (one-shot [`pipeline::solve`], [`batch::solve_batch`],
+//!   the `tdq` CLI, `tdq serve`) routes through it.
 //!
 //! The two halves are the *content* of the undecidability theorem: any
 //! decision procedure for TD inference would decide the (undecidable,
@@ -40,6 +45,7 @@ pub mod batch;
 pub mod bridge;
 pub mod cache;
 pub mod deps;
+pub mod engine;
 pub mod error;
 pub mod part_a;
 pub mod part_b;
@@ -51,14 +57,17 @@ pub mod prelude {
     pub use crate::attrs::ReductionAttrs;
     pub use crate::batch::{solve_batch, solve_batch_with, BatchRun, BatchStats, BatchVerdict};
     pub use crate::bridge::Bridge;
-    pub use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
+    pub use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache, DEFAULT_SHARD_CAPACITY};
     pub use crate::deps::{build_system, ReductionSystem, Rule, Rule2};
+    pub use crate::engine::{
+        BudgetPolicy, Decision, Engine, EngineConfig, EngineStats, RequestBudget, Ticket,
+    };
     pub use crate::error::RedError;
     pub use crate::part_a::{prove_part_a, prove_part_a_with, prove_unguided};
     pub use crate::part_b::{build_counter_model, CounterModel, RowLabel};
     pub use crate::pipeline::{
-        solve, solve_with, solve_with_opts, Budgets, PhaseTimings, PipelineOutcome, SolveMode,
-        SolveOptions, SpendReport,
+        solve, solve_with, solve_with_opts, solve_with_opts_on, Budgets, PhaseTimings,
+        PipelineOutcome, SolveMode, SolveOptions, SpendReport,
     };
     pub use crate::verify::{verify_counter_model, verify_counter_model_with, PartBReport};
 }

@@ -249,15 +249,17 @@ fn model_side(
 }
 
 /// Runs the two certificate searches sequentially (derivation first).
+/// `cancel` is an *external* stop request (engine shutdown); it is never
+/// flipped from inside this function.
 fn search_sequential(
     np: &Presentation,
     budgets: &Budgets,
     timings: &mut PhaseTimings,
     spend: &mut SpendReport,
+    cancel: &Cancellation,
 ) -> Result<SideResult> {
-    let never = Cancellation::new();
     let t = Instant::now();
-    let deriv = search_goal_derivation_tracked(np, &budgets.derivation, &never);
+    let deriv = search_goal_derivation_tracked(np, &budgets.derivation, cancel);
     timings.derivation = t.elapsed();
     spend.derivation_states = deriv.states;
     if let SearchResult::Found(derivation) = deriv.result {
@@ -268,7 +270,7 @@ fn search_sequential(
     }
 
     let t = Instant::now();
-    let side = model_side(np, &budgets.model, &never)?;
+    let side = model_side(np, &budgets.model, cancel)?;
     timings.model = t.elapsed();
     spend.model_nodes = side.nodes;
     Ok(match side.found {
@@ -289,17 +291,22 @@ fn search_sequential(
 /// the loser's is labelled truncated in the [`SpendReport`] — its precise
 /// value depends on when the cancellation poll fired and must be read as a
 /// lower bound.
+///
+/// `cancel` is the shared race token. Normally it starts fresh and is
+/// flipped by the winning side; an *external* holder (the engine's
+/// shutdown path) may also flip it, in which case both sides back out at
+/// their next poll and the run comes back `Unknown`.
 fn search_racing(
     np: &Presentation,
     budgets: &Budgets,
     timings: &mut PhaseTimings,
     spend: &mut SpendReport,
+    cancel: &Cancellation,
 ) -> Result<SideResult> {
-    let cancel = Cancellation::new();
     let (deriv, model) = std::thread::scope(|s| {
         let deriv_handle = s.spawn(|| {
             let t = Instant::now();
-            let r = search_goal_derivation_tracked(np, &budgets.derivation, &cancel);
+            let r = search_goal_derivation_tracked(np, &budgets.derivation, cancel);
             if matches!(r.result, SearchResult::Found(_)) {
                 cancel.cancel();
             }
@@ -307,7 +314,7 @@ fn search_racing(
         });
         let model_handle = s.spawn(|| {
             let t = Instant::now();
-            let r = model_side(np, &budgets.model, &cancel);
+            let r = model_side(np, &budgets.model, cancel);
             if matches!(r, Ok(ModelSide { found: Some(_), .. })) {
                 cancel.cancel();
             }
@@ -348,7 +355,9 @@ fn search_racing(
 }
 
 /// Runs the full pipeline on a raw presentation, racing the two sides
-/// ([`SolveMode::Racing`]).
+/// ([`SolveMode::Racing`]). Routed through an ephemeral
+/// [`crate::engine::Engine`] so the one-shot path and the long-lived
+/// service path are the same code.
 pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
     solve_with(p, budgets, SolveMode::default())
 }
@@ -372,10 +381,37 @@ pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Resul
 /// plus homomorphism strategy). Neither option may change a verdict — the
 /// differential tests pin that — so they exist for performance and for
 /// oracle-vs-planner debugging runs (`tdq wp --strategy naive`).
+///
+/// This is a thin wrapper: it builds a single-request
+/// [`crate::engine::Engine`] and calls [`crate::engine::Engine::run_full`],
+/// so every solve — one-shot or served — executes the same engine code.
 pub fn solve_with_opts(
     p: &Presentation,
     budgets: &Budgets,
     opts: SolveOptions,
+) -> Result<PipelineRun> {
+    crate::engine::Engine::with_config(crate::engine::EngineConfig {
+        budgets: *budgets,
+        opts,
+        ..crate::engine::EngineConfig::default()
+    })
+    .run_full(p)
+}
+
+/// The raw pipeline executor: normalize → reduce → search (under the given
+/// scheduling mode, observing `cancel`) → compile/verify the certificate.
+///
+/// `cancel` is the request's cooperative-cancellation ticket: under
+/// [`SolveMode::Racing`] the winning side flips it to stop the loser, and
+/// an external holder (the engine's shutdown path) may flip it at any time
+/// to wind the whole request down — the run then reports
+/// [`PipelineOutcome::Unknown`] with the spend accumulated so far. Callers
+/// that want plain one-shot semantics pass a fresh token.
+pub fn solve_with_opts_on(
+    p: &Presentation,
+    budgets: &Budgets,
+    opts: SolveOptions,
+    cancel: &Cancellation,
 ) -> Result<PipelineRun> {
     let mode = opts.mode;
     let t_total = Instant::now();
@@ -393,8 +429,8 @@ pub fn solve_with_opts(
 
     let mut spend = SpendReport::default();
     let side = match mode {
-        SolveMode::Sequential => search_sequential(np, budgets, &mut timings, &mut spend)?,
-        SolveMode::Racing => search_racing(np, budgets, &mut timings, &mut spend)?,
+        SolveMode::Sequential => search_sequential(np, budgets, &mut timings, &mut spend, cancel)?,
+        SolveMode::Racing => search_racing(np, budgets, &mut timings, &mut spend, cancel)?,
     };
 
     let t = Instant::now();

@@ -11,8 +11,9 @@
 use std::process::ExitCode;
 
 use template_deps::prelude::*;
-use template_deps::td_core::inference;
+use template_deps::serve;
 use template_deps::td_core::render::{diagram_to_ascii, diagram_to_dot};
+use template_deps::td_reduction::engine::EngineConfig;
 use template_deps::td_reduction::part_b::RowLabel;
 use template_deps::td_reduction::verify::structural_report;
 
@@ -20,14 +21,18 @@ const USAGE: &str = "\
 tdq — template-dependency query tool
 
 USAGE:
-    tdq deps [--timings] [--strategy S] FILE
+    tdq deps [--timings] [--strategy S] [--format F] FILE
                                     analyse a dependency file (schema/td/eid/row lines)
-    tdq wp [--timings] [--strategy S] FILE
+    tdq wp [--timings] [--strategy S] [--format F] FILE
                                     solve a word-problem instance (alphabet/eq lines)
-    tdq batch [--jobs N] [--cache-stats] [--strategy S] FILE
+    tdq batch [--jobs N] [--cache-stats] [--strategy S] [--cache-cap N] FILE
                                     decide a JSONL corpus of word-problem instances,
                                     deduplicated by canonical key (one JSON line out
                                     per line in, input order preserved)
+    tdq serve --stdio [OPTS]        long-lived NDJSON session on stdin/stdout
+    tdq serve --listen ADDR [OPTS]  concurrent NDJSON sessions over TCP; all
+                                    clients share one engine (warm decision
+                                    cache, cumulative stats). See docs/PROTOCOL.md
     tdq normalize FILE              normalize a presentation to (2,1)/(1,1) equations
     tdq reduce FILE                 print the reduction (attributes, D, D0) of an instance
     tdq help                        print this text
@@ -40,9 +45,16 @@ OPTIONS:
                     join planner) or `naive` (full-scan differential
                     oracle). Verdicts never depend on this — it exists for
                     debugging and differential runs
-    --jobs N        batch worker threads (default: available parallelism)
+    --format F      `human` (default) or `json`: one reply object on stdout
+                    using the same schema as `tdq serve` (verdict, spend,
+                    timings); validation errors also emit the JSON error
+                    envelope. For `wp` and `deps` only
+    --jobs N        worker threads for batch/serve (default: available
+                    parallelism)
     --cache-stats   append a JSON stats line ({\"total\",\"unique\",\"cache_hits\",
                     \"solved\"}) after the batch verdicts
+    --cache-cap N   decision-cache capacity per shard for batch/serve
+                    (default 65536; 16 shards)
 
 BATCH INPUT (one JSON object per line):
     {\"id\": \"q1\", \"alphabet\": [\"A0\", \"A1\", \"0\"],
@@ -62,6 +74,47 @@ fn parse_strategy(v: &str) -> Result<MatchStrategy, String> {
     }
 }
 
+/// Output format of `tdq wp|deps`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Format {
+    /// The human-readable report (the golden-pinned default).
+    #[default]
+    Human,
+    /// One serve-schema JSON reply object on stdout.
+    Json,
+}
+
+/// Parses a `--format` value.
+fn parse_format(v: &str) -> Result<Format, String> {
+    match v {
+        "human" => Ok(Format::Human),
+        "json" => Ok(Format::Json),
+        other => Err(format!(
+            "--format: expected `human` or `json`, got `{other}`"
+        )),
+    }
+}
+
+/// One engine per `tdq` invocation: every solving subcommand routes
+/// through it, so the one-shot CLI and the persistent `serve` mode are
+/// the same code path.
+fn build_engine(strategy: MatchStrategy, jobs: Option<usize>, cache_cap: Option<usize>) -> Engine {
+    let mut config = EngineConfig {
+        opts: SolveOptions {
+            strategy,
+            ..SolveOptions::default()
+        },
+        ..EngineConfig::default()
+    };
+    if let Some(jobs) = jobs {
+        config.jobs = jobs;
+    }
+    if let Some(cap) = cache_cap {
+        config.cache_cap = cap;
+    }
+    Engine::with_config(config)
+}
+
 /// Removes a `--flag VALUE` pair from `args`, returning the value.
 fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
     let Some(ix) = args.iter().position(|a| a == flag) else {
@@ -77,14 +130,26 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>,
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("batch") {
-        return match cmd_batch(&args[1..]) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(msg) => {
-                eprintln!("tdq: {msg}");
-                ExitCode::FAILURE
-            }
-        };
+    match args.first().map(String::as_str) {
+        Some("batch") => {
+            return match cmd_batch(&args[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("tdq: {msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Some("serve") => {
+            return match cmd_serve(&args[1..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("tdq: {msg}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
     }
     let timings = {
         let before = args.len();
@@ -95,6 +160,15 @@ fn main() -> ExitCode {
         .and_then(|v| v.as_deref().map(parse_strategy).transpose())
     {
         Ok(s) => s,
+        Err(msg) => {
+            eprintln!("tdq: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let format = match take_value_flag(&mut args, "--format")
+        .and_then(|v| v.as_deref().map(parse_format).transpose())
+    {
+        Ok(f) => f,
         Err(msg) => {
             eprintln!("tdq: {msg}\n{USAGE}");
             return ExitCode::from(2);
@@ -119,7 +193,12 @@ fn main() -> ExitCode {
         eprintln!("tdq: --strategy is not supported for `{cmd}`\n{USAGE}");
         return ExitCode::from(2);
     }
+    if format.is_some() && !matches!(cmd, "deps" | "wp") {
+        eprintln!("tdq: --format is not supported for `{cmd}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
     let strategy = strategy.unwrap_or_default();
+    let format = format.unwrap_or_default();
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -128,8 +207,8 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd {
-        "deps" => cmd_deps(&text, timings, strategy),
-        "wp" => cmd_wp(&text, timings, strategy),
+        "deps" => cmd_deps(&text, timings, strategy, format),
+        "wp" => cmd_wp(&text, timings, strategy, format),
         "normalize" => cmd_normalize(&text),
         "reduce" => cmd_reduce(&text),
         other => {
@@ -146,7 +225,45 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_deps(text: &str, timings: bool, strategy: MatchStrategy) -> Result<(), String> {
+/// Prints a serve-schema JSON error envelope on stdout (the machine
+/// stream) before the human diagnostic goes to stderr via the returned
+/// `Err`.
+fn json_error(msg: &str) -> String {
+    println!(
+        "{}",
+        serve::error_reply(&template_deps::jsonl::Json::Null, msg, None)
+    );
+    msg.to_owned()
+}
+
+fn cmd_deps(
+    text: &str,
+    timings: bool,
+    strategy: MatchStrategy,
+    format: Format,
+) -> Result<(), String> {
+    let engine = build_engine(strategy, None, None);
+    if format == Format::Json {
+        use template_deps::jsonl::Json;
+        let t_parse = std::time::Instant::now();
+        let file = td_core::parser::parse(text).map_err(|e| json_error(&e.to_string()))?;
+        let t_parse = t_parse.elapsed();
+        let t_analysis = std::time::Instant::now();
+        let mut reply =
+            serve::deps_file_reply(&engine, &Json::Null, &file).map_err(|e| json_error(&e))?;
+        let us = |d: std::time::Duration| Json::Num(d.as_micros() as f64);
+        if let Json::Obj(fields) = &mut reply {
+            fields.push((
+                "timings".to_owned(),
+                Json::Obj(vec![
+                    ("parse_us".to_owned(), us(t_parse)),
+                    ("analysis_us".to_owned(), us(t_analysis.elapsed())),
+                ]),
+            ));
+        }
+        println!("{}", reply.render());
+        return Ok(());
+    }
     let t_parse = std::time::Instant::now();
     let file = td_core::parser::parse(text).map_err(|e| e.to_string())?;
     let t_parse = t_parse.elapsed();
@@ -171,12 +288,11 @@ fn cmd_deps(text: &str, timings: bool, strategy: MatchStrategy) -> Result<(), St
     }
     if file.tds.len() > 1 {
         println!("redundancy:");
-        for i in 0..file.tds.len() {
-            let v = inference::redundant_with(&file.tds, i, ChaseBudget::default(), strategy)
-                .map_err(|e| e.to_string())?;
+        let verdicts = engine.redundancy(&file.tds).map_err(|e| e.to_string())?;
+        for (td, v) in file.tds.iter().zip(&verdicts) {
             println!(
                 "  {}: {}",
-                file.tds[i].name(),
+                td.name(),
                 match v {
                     InferenceVerdict::Implied(_) => "redundant",
                     InferenceVerdict::NotImplied(_) => "essential",
@@ -210,14 +326,23 @@ fn cmd_deps(text: &str, timings: bool, strategy: MatchStrategy) -> Result<(), St
     Ok(())
 }
 
-fn cmd_wp(text: &str, timings: bool, strategy: MatchStrategy) -> Result<(), String> {
+fn cmd_wp(
+    text: &str,
+    timings: bool,
+    strategy: MatchStrategy,
+    format: Format,
+) -> Result<(), String> {
+    let engine = build_engine(strategy, None, None);
+    if format == Format::Json {
+        use template_deps::jsonl::Json;
+        let p = td_semigroup::parser::parse(text).map_err(|e| json_error(&e.to_string()))?;
+        let decision = engine.decide(&p).map_err(|e| json_error(&e.to_string()))?;
+        println!("{}", serve::wp_reply(&Json::Null, &decision, true, true));
+        return Ok(());
+    }
     let p = td_semigroup::parser::parse(text).map_err(|e| e.to_string())?;
     print!("{p}");
-    let opts = SolveOptions {
-        strategy,
-        ..SolveOptions::default()
-    };
-    let run = solve_with_opts(&p, &Budgets::default(), opts).map_err(|e| e.to_string())?;
+    let run = engine.run_full(&p).map_err(|e| e.to_string())?;
     let report = structural_report(&run.system);
     println!(
         "reduction: {} attributes, {} dependencies (max {} antecedents)",
@@ -293,45 +418,17 @@ fn cmd_wp(text: &str, timings: bool, strategy: MatchStrategy) -> Result<(), Stri
     Ok(())
 }
 
-/// Parses one JSONL corpus line into an id and a presentation.
+/// Parses one JSONL corpus line into an id and a presentation (the shared
+/// serve-protocol instance format; the id defaults to the line number).
 fn parse_batch_line(line: &str, line_no: usize) -> Result<(String, Presentation), String> {
     use template_deps::jsonl::Json;
     let j = Json::parse(line).map_err(|e| e.to_string())?;
-    let id = j
-        .get("id")
-        .and_then(Json::as_str)
-        .map(str::to_owned)
-        .unwrap_or_else(|| format!("line{line_no}"));
-    let names: Vec<String> = j
-        .get("alphabet")
-        .and_then(Json::as_array)
-        .ok_or("missing \"alphabet\" array")?
-        .iter()
-        .map(|v| {
-            v.as_str()
-                .map(str::to_owned)
-                .ok_or_else(|| "alphabet entries must be strings".to_owned())
-        })
-        .collect::<Result<_, _>>()?;
-    let a0 = j.get("a0").and_then(Json::as_str).unwrap_or("A0");
-    let zero = j.get("zero").and_then(Json::as_str).unwrap_or("0");
-    let alphabet = Alphabet::new(names, a0, zero).map_err(|e| e.to_string())?;
-    let mut eqs = Vec::new();
-    for e in j
-        .get("eqs")
-        .and_then(Json::as_array)
-        .ok_or("missing \"eqs\" array")?
-    {
-        let text = e.as_str().ok_or("eqs entries must be strings")?;
-        eqs.push(Equation::parse(text, &alphabet).map_err(|e| e.to_string())?);
-    }
-    let p = Presentation::new(alphabet, eqs).map_err(|e| e.to_string())?;
-    Ok((id, p))
+    serve::parse_instance(&j, &format!("line{line_no}"))
 }
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
-    use template_deps::jsonl::escape;
     let mut jobs: Option<usize> = None;
+    let mut cache_cap: Option<usize> = None;
     let mut cache_stats = false;
     let mut strategy = MatchStrategy::default();
     let mut path: Option<&str> = None;
@@ -343,6 +440,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                 jobs = Some(
                     v.parse()
                         .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?,
+                );
+            }
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a number")?;
+                cache_cap = Some(
+                    v.parse()
+                        .map_err(|_| format!("--cache-cap: invalid capacity `{v}`"))?,
                 );
             }
             "--strategy" => {
@@ -362,11 +466,6 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         }
     }
     let path = path.ok_or_else(|| format!("batch needs an input file\n{USAGE}"))?;
-    let jobs = jobs.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    });
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
 
     // Parse every line before solving anything, carrying 1-based line
@@ -397,36 +496,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    let cache = DecisionCache::default();
-    let opts = SolveOptions {
-        strategy,
-        ..SolveOptions::default()
-    };
-    let run = solve_batch_with(&items, &Budgets::default(), jobs, &cache, opts)
-        .map_err(|e| e.to_string())?;
+    let engine = build_engine(strategy, jobs, cache_cap);
+    let run = engine.solve_batch(&items).map_err(|e| e.to_string())?;
     for (id, verdict) in ids.iter().zip(&run.verdicts) {
-        let id = escape(id);
-        match verdict {
-            BatchVerdict::Implied {
-                derivation_steps,
-                proof_firings,
-            } => println!(
-                "{{\"id\":\"{id}\",\"verdict\":\"implied\",\"derivation_steps\":{derivation_steps},\
-                 \"proof_firings\":{proof_firings}}}"
-            ),
-            BatchVerdict::Refuted { model_rows } => println!(
-                "{{\"id\":\"{id}\",\"verdict\":\"refuted\",\"model_rows\":{model_rows}}}"
-            ),
-            BatchVerdict::Unknown {
-                derivation_states,
-                model_nodes,
-            } => println!(
-                "{{\"id\":\"{id}\",\"verdict\":\"unknown\",\"derivation_states\":{derivation_states},\
-                 \"model_nodes\":{model_nodes}}}"
-            ),
-        }
+        println!("{}", serve::batch_line(id, verdict));
     }
     if cache_stats {
+        // The 4-field shape of this line is pinned by the batch golden;
+        // the full accounting (evictions, spend) lives on the serve/json
+        // surfaces.
         let s = run.stats;
         println!(
             "{{\"total\":{},\"unique\":{},\"cache_hits\":{},\"solved\":{}}}",
@@ -434,6 +512,72 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut jobs: Option<usize> = None;
+    let mut cache_cap: Option<usize> = None;
+    let mut strategy = MatchStrategy::default();
+    let mut stdio = false;
+    let mut listen: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => {
+                let v = it.next().ok_or("--listen needs an address (host:port)")?;
+                listen = Some(v.clone());
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a number")?;
+                jobs = Some(
+                    v.parse()
+                        .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?,
+                );
+            }
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a number")?;
+                cache_cap = Some(
+                    v.parse()
+                        .map_err(|_| format!("--cache-cap: invalid capacity `{v}`"))?,
+                );
+            }
+            "--strategy" => {
+                let v = it.next().ok_or("--strategy needs a value")?;
+                strategy = parse_strategy(v)?;
+            }
+            other => {
+                return Err(format!("unknown serve option `{other}`\n{USAGE}"));
+            }
+        }
+    }
+    if stdio == listen.is_some() {
+        return Err(format!(
+            "serve needs exactly one of --stdio or --listen ADDR\n{USAGE}"
+        ));
+    }
+    let engine = build_engine(strategy, jobs, cache_cap);
+    if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        serve::serve_stdio(&engine, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("serve --stdio: {e}"))
+    } else {
+        let addr = listen.expect("checked above");
+        let listener = std::net::TcpListener::bind(&addr)
+            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+        // The ready line: machine-readable, so tests and scripts can bind
+        // port 0 and discover the actual endpoint.
+        println!("{{\"serving\":\"{local}\"}}");
+        use std::io::Write;
+        std::io::stdout()
+            .flush()
+            .map_err(|e| format!("cannot flush ready line: {e}"))?;
+        serve::serve_listen(&engine, listener).map_err(|e| format!("serve --listen: {e}"))
+    }
 }
 
 fn cmd_normalize(text: &str) -> Result<(), String> {

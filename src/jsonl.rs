@@ -107,6 +107,100 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Renders this value as compact JSON (no whitespace), the writer the
+    /// NDJSON reply stream uses. Integral numbers inside the `f64`-exact
+    /// range print without a fractional part (`3`, not `3.0`), so counts
+    /// round-trip through [`Json::as_u64`]; non-finite numbers (which RFC
+    /// 8259 cannot represent) render as `null`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() <= EXACT {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
 }
 
 /// Escapes `s` as the *contents* of a JSON string literal (no surrounding
@@ -425,6 +519,28 @@ mod tests {
         assert_eq!(err.byte, 5, "{err}");
         let err = Json::parse("[1, oops]").unwrap_err();
         assert_eq!(err.byte, 4, "{err}");
+    }
+
+    #[test]
+    fn render_roundtrips_and_is_compact() {
+        for text in [
+            r#"{"id":"q1","alphabet":["A0","A1","0"],"eqs":[],"n":3,"ok":true,"x":null}"#,
+            r#"[1,2.5,-3,"s\nt",[],{}]"#,
+            "null",
+            "-25",
+        ] {
+            let parsed = Json::parse(text).unwrap();
+            assert_eq!(parsed.render(), text, "compact form is canonical");
+            assert_eq!(Json::parse(&parsed.render()).unwrap(), parsed);
+        }
+        // Integral f64s print as integers; non-finite degrade to null.
+        assert_eq!(Json::Num(3.0).render(), "3");
+        assert_eq!(Json::Num(-0.5).render(), "-0.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::from(7u64).render(), "7");
+        assert_eq!(Json::from("a\"b").render(), "\"a\\\"b\"");
+        assert_eq!(Json::Bool(false).as_bool(), Some(false));
+        assert_eq!(Json::Null.as_bool(), None);
     }
 
     #[test]

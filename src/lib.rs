@@ -58,6 +58,7 @@ pub use td_reduction;
 pub use td_semigroup;
 
 pub mod jsonl;
+pub mod serve;
 
 /// One-stop re-exports spanning all three crates.
 pub mod prelude {

@@ -1,0 +1,719 @@
+//! `tdq serve` — the long-lived NDJSON session mode.
+//!
+//! One [`Engine`] per server; requests flow through it so every client
+//! shares the warm decision cache, the budget policy, and the cumulative
+//! stats. The protocol is line-delimited JSON on both directions — one
+//! request object per line in, one reply object per line out, in request
+//! order — speaking the same instance format as `tdq batch` and the same
+//! reply schema as `tdq wp|deps --format json`. `docs/PROTOCOL.md` is the
+//! normative specification; the summary:
+//!
+//! ```text
+//! {"id":"r1","op":"wp","alphabet":["A0","A1","0"],"eqs":["A1 A1 = A0","A1 A1 = 0"]}
+//! {"id":"r2","op":"deps","text":"schema R(A, B)\ntd t: (a, b) -> (a, b)\n"}
+//! {"id":"r3","op":"batch","items":[{"alphabet":["A0","0"],"eqs":[]}]}
+//! {"id":"r4","op":"stats"}
+//! {"id":"r5","op":"shutdown"}
+//! ```
+//!
+//! Replies echo `"id"` and carry `"ok":true` with the op's payload, or
+//! `"ok":false` with an error envelope `{"msg":…}` that reuses the
+//! structured [`JsonError`] shape (`"byte"` is present for JSON parse
+//! errors). Malformed lines get an error reply rather than killing the
+//! session.
+//!
+//! Two transports, both `std::net`/`std::io` + scoped threads (no async
+//! runtime, consistent with the offline-shim constraint):
+//!
+//! * [`serve_stdio`] — a single client on stdin/stdout, processed
+//!   strictly in order (which makes scripted sessions byte-deterministic;
+//!   the golden transcript test and the `serve-smoke` CI job pin one);
+//! * [`serve_listen`] — a TCP listener, one scoped thread per connection,
+//!   all connections sharing the engine. A `shutdown` request from any
+//!   client stops the listener, cancels in-flight searches through the
+//!   engine's ticket registry, unblocks every connection, and joins all
+//!   threads before returning — a cancellation-clean exit.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use td_core::inference::InferenceVerdict;
+use td_semigroup::alphabet::Alphabet;
+use td_semigroup::equation::Equation;
+use td_semigroup::presentation::Presentation;
+
+use td_reduction::batch::{BatchRun, BatchVerdict};
+use td_reduction::engine::{Decision, Engine, EngineStats, RequestBudget};
+use td_reduction::pipeline::{PhaseTimings, SpendReport};
+
+use crate::jsonl::{Json, JsonError};
+
+/// How a handled request leaves the session: the rendered reply line,
+/// plus whether it asked the server to stop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReply {
+    /// The reply object, rendered as one compact JSON line (no newline).
+    pub text: String,
+    /// `true` for a successful `shutdown` request.
+    pub shutdown: bool,
+}
+
+/// Parses one instance object (the `tdq batch` line format): `"alphabet"`
+/// (array of symbol names), `"eqs"` (array of equation strings), optional
+/// `"a0"`/`"zero"` naming the distinguished symbols (defaults `"A0"` /
+/// `"0"`), optional `"id"` (defaults to `default_id`).
+pub fn parse_instance(j: &Json, default_id: &str) -> Result<(String, Presentation), String> {
+    let id = j
+        .get("id")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .unwrap_or_else(|| default_id.to_owned());
+    let names: Vec<String> = j
+        .get("alphabet")
+        .and_then(Json::as_array)
+        .ok_or("missing \"alphabet\" array")?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "alphabet entries must be strings".to_owned())
+        })
+        .collect::<Result<_, _>>()?;
+    let a0 = j.get("a0").and_then(Json::as_str).unwrap_or("A0");
+    let zero = j.get("zero").and_then(Json::as_str).unwrap_or("0");
+    let alphabet = Alphabet::new(names, a0, zero).map_err(|e| e.to_string())?;
+    let mut eqs = Vec::new();
+    for e in j
+        .get("eqs")
+        .and_then(Json::as_array)
+        .ok_or("missing \"eqs\" array")?
+    {
+        let text = e.as_str().ok_or("eqs entries must be strings")?;
+        eqs.push(Equation::parse(text, &alphabet).map_err(|e| e.to_string())?);
+    }
+    let p = Presentation::new(alphabet, eqs).map_err(|e| e.to_string())?;
+    Ok((id, p))
+}
+
+/// The error envelope: `{"id":…,"ok":false,"error":{"msg":…}}`, reusing
+/// the structured [`JsonError`] shape (a parse error contributes its
+/// 0-based `"byte"` offset).
+pub fn error_reply(id: &Json, msg: &str, byte: Option<usize>) -> String {
+    let mut error = vec![("msg".to_owned(), Json::from(msg))];
+    if let Some(byte) = byte {
+        error.push(("byte".to_owned(), Json::from(byte)));
+    }
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::from(false)),
+        ("error".to_owned(), Json::Obj(error)),
+    ])
+    .render()
+}
+
+/// The verdict fields shared by `tdq batch` output lines, batch results
+/// inside a `serve` reply, and `wp` replies — field order is part of the
+/// wire format (the batch golden pins it).
+pub fn verdict_fields(verdict: &BatchVerdict) -> Vec<(String, Json)> {
+    match *verdict {
+        BatchVerdict::Implied {
+            derivation_steps,
+            proof_firings,
+        } => vec![
+            ("verdict".to_owned(), Json::from("implied")),
+            ("derivation_steps".to_owned(), Json::from(derivation_steps)),
+            ("proof_firings".to_owned(), Json::from(proof_firings)),
+        ],
+        BatchVerdict::Refuted { model_rows } => vec![
+            ("verdict".to_owned(), Json::from("refuted")),
+            ("model_rows".to_owned(), Json::from(model_rows)),
+        ],
+        BatchVerdict::Unknown {
+            derivation_states,
+            model_nodes,
+        } => vec![
+            ("verdict".to_owned(), Json::from("unknown")),
+            (
+                "derivation_states".to_owned(),
+                Json::from(derivation_states),
+            ),
+            ("model_nodes".to_owned(), Json::from(model_nodes)),
+        ],
+    }
+}
+
+/// One `tdq batch` output line: the instance id followed by its verdict
+/// fields (the shape the batch golden file pins byte-for-byte).
+pub fn batch_line(id: &str, verdict: &BatchVerdict) -> String {
+    let mut fields = vec![("id".to_owned(), Json::from(id))];
+    fields.extend(verdict_fields(verdict));
+    Json::Obj(fields).render()
+}
+
+/// The `"spend"` object of a reply.
+pub fn spend_fields(spend: &SpendReport) -> Json {
+    Json::Obj(vec![
+        (
+            "derivation_states".to_owned(),
+            Json::from(spend.derivation_states),
+        ),
+        (
+            "derivation_truncated".to_owned(),
+            Json::from(spend.derivation_truncated),
+        ),
+        ("model_nodes".to_owned(), Json::from(spend.model_nodes)),
+        (
+            "model_truncated".to_owned(),
+            Json::from(spend.model_truncated),
+        ),
+    ])
+}
+
+/// The `"timings"` object of a reply (integer microseconds).
+pub fn timing_fields(t: &PhaseTimings) -> Json {
+    let us = |d: Duration| Json::from(d.as_micros().min(u64::MAX as u128) as u64);
+    Json::Obj(vec![
+        ("normalize_us".to_owned(), us(t.normalize)),
+        ("reduce_us".to_owned(), us(t.reduce)),
+        ("derivation_us".to_owned(), us(t.derivation)),
+        ("model_us".to_owned(), us(t.model)),
+        ("certificate_us".to_owned(), us(t.certificate)),
+        ("total_us".to_owned(), us(t.total)),
+    ])
+}
+
+/// A `wp` reply: verdict + cache provenance, with spend and timings
+/// opt-in (they are nondeterministic under racing — the loser's spend is
+/// only a lower bound — so scripted golden sessions leave them off).
+pub fn wp_reply(id: &Json, decision: &Decision, spend: bool, timings: bool) -> String {
+    let mut fields = vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::from(true)),
+        ("op".to_owned(), Json::from("wp")),
+    ];
+    fields.extend(verdict_fields(&decision.verdict));
+    fields.push(("cached".to_owned(), Json::from(decision.cached)));
+    if spend {
+        fields.push(("spend".to_owned(), spend_fields(&decision.spend)));
+    }
+    if timings {
+        fields.push(("timings".to_owned(), timing_fields(&decision.timings)));
+    }
+    Json::Obj(fields).render()
+}
+
+/// Renders one [`InferenceVerdict`] the way the CLI words it.
+fn redundancy_word(v: &InferenceVerdict) -> &'static str {
+    match v {
+        InferenceVerdict::Implied(_) => "redundant",
+        InferenceVerdict::NotImplied(_) => "essential",
+        InferenceVerdict::Unknown(_) => "unknown",
+    }
+}
+
+/// A `deps` reply: per-TD structural analysis plus (for sets of at least
+/// two) the engine's redundancy verdicts, and the EID summary — the JSON
+/// twin of the human `tdq deps` report.
+pub fn deps_reply(engine: &Engine, id: &Json, text: &str) -> Result<String, String> {
+    let file = td_core::parser::parse(text).map_err(|e| e.to_string())?;
+    Ok(deps_file_reply(engine, id, &file)?.render())
+}
+
+/// [`deps_reply`] on an already-parsed file, returning the reply as a
+/// [`Json`] value so callers (the CLI's `--format json`) can append
+/// fields such as timings before rendering.
+pub fn deps_file_reply(
+    engine: &Engine,
+    id: &Json,
+    file: &td_core::parser::ParsedFile,
+) -> Result<Json, String> {
+    let redundancy = if file.tds.len() > 1 {
+        Some(engine.redundancy(&file.tds).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let strategy = engine.opts().strategy;
+    let tds: Vec<Json> = file
+        .tds
+        .iter()
+        .enumerate()
+        .map(|(i, td)| {
+            let mut fields = vec![
+                ("name".to_owned(), Json::from(td.name())),
+                ("full".to_owned(), Json::from(td.is_full())),
+                ("trivial".to_owned(), Json::from(td.is_trivial())),
+                ("antecedents".to_owned(), Json::from(td.antecedent_count())),
+                (
+                    "weakly_acyclic_alone".to_owned(),
+                    Json::from(td_core::chase::weakly_acyclic(std::slice::from_ref(td))),
+                ),
+            ];
+            if !file.instance.is_empty() {
+                fields.push((
+                    "holds_in_instance".to_owned(),
+                    Json::from(td_core::satisfaction::satisfies_with(
+                        strategy,
+                        &file.instance,
+                        td,
+                    )),
+                ));
+            }
+            if let Some(verdicts) = &redundancy {
+                fields.push((
+                    "redundancy".to_owned(),
+                    Json::from(redundancy_word(&verdicts[i])),
+                ));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    let eids: Vec<Json> = file
+        .eids
+        .iter()
+        .map(|eid| {
+            let mut fields = vec![
+                ("name".to_owned(), Json::from(eid.name())),
+                (
+                    "antecedents".to_owned(),
+                    Json::from(eid.antecedents().len()),
+                ),
+                (
+                    "conclusions".to_owned(),
+                    Json::from(eid.conclusions().len()),
+                ),
+            ];
+            if !file.instance.is_empty() {
+                fields.push((
+                    "holds_in_instance".to_owned(),
+                    Json::from(td_core::eid::eid_satisfies(&file.instance, eid)),
+                ));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Ok(Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::from(true)),
+        ("op".to_owned(), Json::from("deps")),
+        ("schema".to_owned(), Json::from(file.schema.to_string())),
+        ("tds".to_owned(), Json::Arr(tds)),
+        ("eids".to_owned(), Json::Arr(eids)),
+    ]))
+}
+
+/// A `batch` reply: per-item results in input order plus the batch stats
+/// (including evictions — unlike the pinned `--cache-stats` CLI line, the
+/// protocol surface carries the full accounting).
+pub fn batch_reply(id: &Json, ids: &[String], run: &BatchRun) -> String {
+    let results: Vec<Json> = ids
+        .iter()
+        .zip(&run.verdicts)
+        .map(|(item_id, verdict)| {
+            let mut fields = vec![("id".to_owned(), Json::from(item_id.as_str()))];
+            fields.extend(verdict_fields(verdict));
+            Json::Obj(fields)
+        })
+        .collect();
+    let s = run.stats;
+    Json::Obj(vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::from(true)),
+        ("op".to_owned(), Json::from("batch")),
+        ("results".to_owned(), Json::Arr(results)),
+        (
+            "stats".to_owned(),
+            Json::Obj(vec![
+                ("total".to_owned(), Json::from(s.total)),
+                ("unique".to_owned(), Json::from(s.unique)),
+                ("cache_hits".to_owned(), Json::from(s.cache_hits)),
+                ("solved".to_owned(), Json::from(s.solved)),
+                ("evictions".to_owned(), Json::from(s.evictions)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// A `stats` reply: the engine's cumulative accounting. Spend totals are
+/// opt-in (`"spend":true`) for the same determinism reason as in
+/// [`wp_reply`].
+pub fn stats_reply(id: &Json, stats: &EngineStats, spend: bool) -> String {
+    let mut fields = vec![
+        ("id".to_owned(), id.clone()),
+        ("ok".to_owned(), Json::from(true)),
+        ("op".to_owned(), Json::from("stats")),
+        ("requests".to_owned(), Json::from(stats.requests)),
+        ("cache_hits".to_owned(), Json::from(stats.cache_hits)),
+        ("solved".to_owned(), Json::from(stats.solved)),
+        ("keys_cached".to_owned(), Json::from(stats.keys_cached)),
+        ("evictions".to_owned(), Json::from(stats.evictions)),
+    ];
+    if spend {
+        fields.push((
+            "derivation_states".to_owned(),
+            Json::from(stats.derivation_states),
+        ));
+        fields.push(("model_nodes".to_owned(), Json::from(stats.model_nodes)));
+    }
+    Json::Obj(fields).render()
+}
+
+/// Parses the optional per-request `"budgets"` override object.
+fn parse_budgets(j: &Json) -> Result<Option<RequestBudget>, String> {
+    let Some(b) = j.get("budgets") else {
+        return Ok(None);
+    };
+    let field = |name: &str| -> Result<Option<u64>, String> {
+        match b.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("budgets.{name} must be a non-negative integer")),
+        }
+    };
+    Ok(Some(RequestBudget {
+        derivation_states: field("derivation_states")?.map(|n| n as usize),
+        model_nodes: field("model_nodes")?,
+    }))
+}
+
+/// Handles one request line against the shared engine, producing one
+/// reply line. Never panics on malformed input — every failure becomes an
+/// error envelope.
+pub fn handle_line(engine: &Engine, line: &str) -> ServeReply {
+    let reply = |text: String| ServeReply {
+        text,
+        shutdown: false,
+    };
+    let j = match Json::parse(line) {
+        Ok(j) => j,
+        Err(JsonError { byte, msg }) => {
+            return reply(error_reply(&Json::Null, &msg, Some(byte)));
+        }
+    };
+    let id = j.get("id").cloned().unwrap_or(Json::Null);
+    let Some(op) = j.get("op").and_then(Json::as_str) else {
+        return reply(error_reply(&id, "missing \"op\" field", None));
+    };
+    match op {
+        "wp" => {
+            let (_, p) = match parse_instance(&j, "wp") {
+                Ok(x) => x,
+                Err(msg) => return reply(error_reply(&id, &msg, None)),
+            };
+            let budgets = match parse_budgets(&j) {
+                Ok(b) => b,
+                Err(msg) => return reply(error_reply(&id, &msg, None)),
+            };
+            let spend = j.get("spend").and_then(Json::as_bool).unwrap_or(false);
+            let timings = j.get("timings").and_then(Json::as_bool).unwrap_or(false);
+            match engine.decide_with(&p, budgets) {
+                Ok(decision) => reply(wp_reply(&id, &decision, spend, timings)),
+                Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+            }
+        }
+        "deps" => {
+            let Some(text) = j.get("text").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"text\" field", None));
+            };
+            match deps_reply(engine, &id, text) {
+                Ok(text) => reply(text),
+                Err(msg) => reply(error_reply(&id, &msg, None)),
+            }
+        }
+        "batch" => {
+            let Some(items) = j.get("items").and_then(Json::as_array) else {
+                return reply(error_reply(&id, "missing \"items\" array", None));
+            };
+            let mut ids = Vec::with_capacity(items.len());
+            let mut presentations = Vec::with_capacity(items.len());
+            for (ix, item) in items.iter().enumerate() {
+                match parse_instance(item, &format!("item{}", ix + 1)) {
+                    Ok((item_id, p)) => {
+                        ids.push(item_id);
+                        presentations.push(p);
+                    }
+                    Err(msg) => {
+                        return reply(error_reply(&id, &format!("items[{ix}]: {msg}"), None));
+                    }
+                }
+            }
+            match engine.solve_batch(&presentations) {
+                Ok(run) => reply(batch_reply(&id, &ids, &run)),
+                Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+            }
+        }
+        "stats" => {
+            let spend = j.get("spend").and_then(Json::as_bool).unwrap_or(false);
+            reply(stats_reply(&id, &engine.stats(), spend))
+        }
+        "shutdown" => {
+            engine.shutdown();
+            ServeReply {
+                text: Json::Obj(vec![
+                    ("id".to_owned(), id),
+                    ("ok".to_owned(), Json::from(true)),
+                    ("op".to_owned(), Json::from("shutdown")),
+                ])
+                .render(),
+                shutdown: true,
+            }
+        }
+        other => reply(error_reply(&id, &format!("unknown op `{other}`"), None)),
+    }
+}
+
+/// Serves a single NDJSON client on `input`/`output`, strictly in request
+/// order, until EOF or a `shutdown` request. Blank lines are skipped.
+/// Replies are flushed per line so a pipelining client never deadlocks on
+/// buffering.
+pub fn serve_stdio(
+    engine: &Engine,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(engine, &line);
+        writeln!(output, "{}", reply.text)?;
+        output.flush()?;
+        if reply.shutdown || engine.is_shut_down() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves concurrent NDJSON clients on a TCP listener, one scoped thread
+/// per connection, all sharing `engine` (and therefore its decision
+/// cache: a verdict solved for one client is a cache hit for every
+/// other). Runs until a client sends `shutdown` (or the engine is shut
+/// down externally): the listener stops accepting, in-flight searches are
+/// cancelled through the engine's ticket registry, every open connection
+/// is unblocked and drained, and all threads are joined before this
+/// returns.
+pub fn serve_listen(engine: &Engine, listener: TcpListener) -> std::io::Result<()> {
+    // Non-blocking accept so the loop can observe shutdown promptly; the
+    // accepted sockets are switched back to blocking mode.
+    listener.set_nonblocking(true)?;
+    // Weak handles only: a connection thread owns the one strong Arc, so
+    // a closed connection drops its socket immediately and its registry
+    // entry goes dead (pruned on the next accept) — the registry never
+    // pins file descriptors past their connection's lifetime.
+    let clients: Mutex<Vec<std::sync::Weak<TcpStream>>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| -> std::io::Result<()> {
+        // Accept until shutdown; a fatal accept error falls through to
+        // the same drain path below (returning early would leave the
+        // scope joining connection threads that are still blocked in
+        // reads — a wedged server instead of an error).
+        let accept_result = loop {
+            if engine.is_shut_down() {
+                break Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let stream = std::sync::Arc::new(stream);
+                    {
+                        let mut clients = clients.lock().expect("client registry poisoned");
+                        clients.retain(|w| w.strong_count() > 0);
+                        clients.push(std::sync::Arc::downgrade(&stream));
+                    }
+                    s.spawn(move || serve_connection(engine, &stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                // Transient per-connection failures must not kill the
+                // server.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => break Err(e),
+            }
+        };
+        // Drain: stop in-flight searches (idempotent after a client
+        // shutdown op), unblock every connection reader so its thread can
+        // exit, and let the scope join them all.
+        engine.shutdown();
+        for client in clients.lock().expect("client registry poisoned").iter() {
+            if let Some(client) = client.upgrade() {
+                let _ = client.shutdown(Shutdown::Both);
+            }
+        }
+        accept_result
+    })
+}
+
+/// One connection's request loop: sequential within the connection,
+/// concurrent across connections. The thread's `Arc` keeps the socket
+/// alive; dropping it on exit closes the connection and retires its
+/// registry entry.
+fn serve_connection(engine: &Engine, stream: &TcpStream) {
+    // Accepted sockets may inherit the listener's non-blocking mode on
+    // some platforms; insist on blocking reads.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(engine, &line);
+        if writeln!(writer, "{}", reply.text).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if reply.shutdown || engine.is_shut_down() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_reduction::engine::EngineConfig;
+
+    fn wp_line(id: &str, renamed: bool) -> String {
+        if renamed {
+            format!(
+                "{{\"id\":\"{id}\",\"op\":\"wp\",\"alphabet\":[\"s\",\"g\",\"z\"],\
+                 \"a0\":\"s\",\"zero\":\"z\",\"eqs\":[\"g g = s\",\"g g = z\"]}}"
+            )
+        } else {
+            format!(
+                "{{\"id\":\"{id}\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"A1\",\"0\"],\
+                 \"eqs\":[\"A1 A1 = A0\",\"A1 A1 = 0\"]}}"
+            )
+        }
+    }
+
+    #[test]
+    fn wp_requests_share_the_cache() {
+        let engine = Engine::new();
+        let first = handle_line(&engine, &wp_line("a", false));
+        assert!(first.text.contains("\"verdict\":\"implied\""), "{first:?}");
+        assert!(first.text.contains("\"cached\":false"));
+        assert!(!first.shutdown);
+        let second = handle_line(&engine, &wp_line("b", true));
+        assert!(second.text.contains("\"cached\":true"), "{second:?}");
+        assert!(second.text.starts_with("{\"id\":\"b\",\"ok\":true"));
+    }
+
+    #[test]
+    fn malformed_lines_get_structured_errors() {
+        let engine = Engine::new();
+        let r = handle_line(&engine, "not json");
+        assert!(r
+            .text
+            .starts_with("{\"id\":null,\"ok\":false,\"error\":{\"msg\":"));
+        assert!(r.text.contains("\"byte\":"), "{}", r.text);
+
+        let r = handle_line(&engine, "{\"id\":7}");
+        assert_eq!(
+            r.text,
+            "{\"id\":7,\"ok\":false,\"error\":{\"msg\":\"missing \\\"op\\\" field\"}}"
+        );
+
+        let r = handle_line(&engine, "{\"id\":\"x\",\"op\":\"frobnicate\"}");
+        assert!(r.text.contains("unknown op `frobnicate`"));
+
+        let r = handle_line(&engine, "{\"op\":\"wp\",\"alphabet\":[\"A0\",\"0\"]}");
+        assert!(r.text.contains("missing \\\"eqs\\\" array"), "{}", r.text);
+        assert_eq!(
+            engine.stats().requests,
+            0,
+            "rejected lines are not requests"
+        );
+    }
+
+    #[test]
+    fn stats_and_shutdown_round_trip() {
+        let engine = Engine::new();
+        handle_line(&engine, &wp_line("a", false));
+        let stats = handle_line(&engine, "{\"id\":\"s\",\"op\":\"stats\"}");
+        assert_eq!(
+            stats.text,
+            "{\"id\":\"s\",\"ok\":true,\"op\":\"stats\",\"requests\":1,\"cache_hits\":0,\
+             \"solved\":1,\"keys_cached\":1,\"evictions\":0}"
+        );
+        let with_spend = handle_line(&engine, "{\"id\":\"s2\",\"op\":\"stats\",\"spend\":true}");
+        assert!(with_spend.text.contains("\"derivation_states\":"));
+
+        let bye = handle_line(&engine, "{\"id\":\"q\",\"op\":\"shutdown\"}");
+        assert!(bye.shutdown);
+        assert_eq!(bye.text, "{\"id\":\"q\",\"ok\":true,\"op\":\"shutdown\"}");
+        assert!(engine.is_shut_down());
+        // Uncached work after shutdown is refused with the envelope.
+        let refused = handle_line(&engine, &wp_line("late", true));
+        assert!(refused.text.contains("\"cached\":true"), "warm keys drain");
+        let refused = handle_line(
+            &engine,
+            "{\"id\":\"new\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[]}",
+        );
+        assert!(
+            refused.text.contains("engine is shut down"),
+            "{}",
+            refused.text
+        );
+    }
+
+    #[test]
+    fn budget_overrides_are_validated_and_clamped() {
+        let engine = Engine::new();
+        let r = handle_line(
+            &engine,
+            "{\"id\":\"b\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[],\
+             \"budgets\":{\"model_nodes\":-3}}",
+        );
+        assert!(
+            r.text.contains("must be a non-negative integer"),
+            "{}",
+            r.text
+        );
+        // A tiny valid override still answers (the analytic shortcut needs
+        // zero search nodes for this instance).
+        let r = handle_line(
+            &engine,
+            "{\"id\":\"b2\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[],\
+             \"budgets\":{\"derivation_states\":1,\"model_nodes\":1},\"spend\":true}",
+        );
+        assert!(r.text.contains("\"verdict\":\"refuted\""), "{}", r.text);
+        assert!(r.text.contains("\"spend\":{"), "{}", r.text);
+    }
+
+    #[test]
+    fn stdio_session_is_ordered_and_stops_at_shutdown() {
+        let engine = Engine::with_config(EngineConfig::default());
+        let session = format!(
+            "{}\n\n{}\n{}\n{}\n",
+            wp_line("1", false),
+            wp_line("2", true),
+            "{\"id\":\"3\",\"op\":\"shutdown\"}",
+            wp_line("never", false),
+        );
+        let mut out = Vec::new();
+        serve_stdio(&engine, session.as_bytes(), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines.len(),
+            3,
+            "the post-shutdown line is never read:\n{out}"
+        );
+        assert!(lines[0].starts_with("{\"id\":\"1\""));
+        assert!(lines[1].starts_with("{\"id\":\"2\""));
+        assert!(lines[1].contains("\"cached\":true"));
+        assert_eq!(lines[2], "{\"id\":\"3\",\"ok\":true,\"op\":\"shutdown\"}");
+    }
+}

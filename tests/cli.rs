@@ -192,6 +192,115 @@ fn batch_reports_every_bad_line_with_line_numbers() {
 }
 
 #[test]
+fn format_json_emits_serve_schema_replies() {
+    let path = write_temp(
+        "wp-json",
+        "alphabet A0 A1 0\neq A1 A1 = A0\neq A1 A1 = 0\nzerosat\n",
+    );
+    let out = tdq()
+        .args(["wp", "--format", "json"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(
+        stdout.starts_with("{\"id\":null,\"ok\":true,\"op\":\"wp\",\"verdict\":\"implied\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"spend\":{\"derivation_states\":"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"timings\":{\"normalize_us\":"),
+        "{stdout}"
+    );
+
+    let deps = write_temp(
+        "deps-json",
+        "schema R(A, B, C)\n\
+         td join: (a, b, c) (a, b2, c2) -> (a, b, c2)\n\
+         td weak: (a, b, c) (a, b2, c2) -> (*, b, c2)\n",
+    );
+    let out = tdq()
+        .args(["deps", "--format", "json"])
+        .arg(&deps)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("\"op\":\"deps\""), "{stdout}");
+    assert!(stdout.contains("\"redundancy\":\"redundant\""), "{stdout}");
+    assert!(stdout.contains("\"timings\":{\"parse_us\":"), "{stdout}");
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(deps).ok();
+}
+
+#[test]
+fn format_json_validation_errors_use_the_envelope() {
+    // A parse failure still exits nonzero, but stdout carries the
+    // machine-readable error envelope (scripts never scrape stderr).
+    let path = write_temp("wp-json-bad", "alphabet A0 0\neq A0 = NOPE\n");
+    let out = tdq()
+        .args(["wp", "--format", "json"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("{\"id\":null,\"ok\":false,\"error\":{\"msg\":"),
+        "{stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn format_flag_is_validated() {
+    let path = write_temp("wp-format", "alphabet A0 0\nzerosat\n");
+    let out = tdq()
+        .args(["wp", "--format", "yaml"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--format"),
+        "bad value rejected"
+    );
+    let out = tdq()
+        .args(["normalize", "--format", "json"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--format is not supported"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn batch_and_serve_validate_cache_cap() {
+    let out = tdq()
+        .args(["batch", "--cache-cap", "lots", "whatever.jsonl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--cache-cap"));
+    let out = tdq().args(["serve", "--cache-cap", "8"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--stdio or --listen"),
+        "serve needs a transport"
+    );
+    let out = tdq()
+        .args(["serve", "--stdio", "--listen", "127.0.0.1:0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "transports are mutually exclusive");
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let out = tdq()
         .args(["wp", "/nonexistent/really-not-here.txt"])

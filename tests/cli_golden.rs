@@ -82,6 +82,57 @@ fn check_golden_named(args: &[&str], fixture: &str, name: &str) {
     );
 }
 
+/// Runs `tdq <args…>` with `fixture` piped into stdin (the serve
+/// transport) and compares stdout against `<name>.golden`.
+fn check_golden_stdin(args: &[&str], fixture: &str, name: &str) {
+    use std::io::Write;
+    let dir = golden_dir();
+    let input = std::fs::read(dir.join(fixture)).expect("read session fixture");
+    let golden = dir.join(format!("{name}.golden"));
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_tdq"))
+        .args(args)
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("tdq spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(&input)
+        .expect("write session");
+    let out = child.wait_with_output().expect("tdq runs");
+    let cmd = args.join(" ");
+    let stdout = String::from_utf8(out.stdout).expect("tdq output is UTF-8");
+    assert!(
+        out.status.success(),
+        "tdq {cmd} < {fixture} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &stdout).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n(run `UPDATE_GOLDEN=1 cargo test --test cli_golden` \
+             to record it)",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        stdout,
+        expected,
+        "tdq {cmd} < {fixture} drifted from {}\n\
+         (if the change is intentional, refresh with \
+         `UPDATE_GOLDEN=1 cargo test --test cli_golden` and review the diff)",
+        golden.display()
+    );
+}
+
 #[test]
 fn deps_garment_golden() {
     check_golden("deps", "deps_garment.txt");
@@ -116,6 +167,22 @@ fn batch_small_golden() {
     check_golden_args(
         &["batch", "--jobs", "2", "--cache-stats"],
         "batch_small.jsonl",
+    );
+}
+
+/// A scripted `serve --stdio` session end to end: wp (cold, then a warm
+/// isomorphic hit), batch sharing the same engine cache, deps, the error
+/// envelopes for malformed lines, cumulative stats, and shutdown (replies
+/// stop exactly there — the post-shutdown request gets none). Sequential
+/// stdio processing plus opt-in spend/timings keep the transcript
+/// byte-deterministic. The `serve-smoke` CI job pipes the same fixture
+/// through a release `tdq` and diffs against the same golden.
+#[test]
+fn serve_session_golden() {
+    check_golden_stdin(
+        &["serve", "--stdio"],
+        "serve_session.jsonl",
+        "serve_session",
     );
 }
 

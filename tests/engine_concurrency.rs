@@ -1,0 +1,270 @@
+//! The engine under concurrency: N threads of duplicate-heavy mixed
+//! requests through one shared [`Engine`] must produce
+//!
+//! * **deterministic verdicts** — every thread sees the same answer for
+//!   the same instance as a sequential replay;
+//! * **monotone stats** — cumulative counters sampled mid-run never go
+//!   backwards;
+//! * **deterministic cache-hit accounting** — thanks to the engine's
+//!   single-flight gate, the (requests, solved, cache_hits) triple equals
+//!   a sequential replay of the same request multiset, regardless of
+//!   scheduling.
+
+use template_deps::prelude::*;
+use template_deps::td_reduction::engine::{Engine, EngineStats};
+
+/// Builds a presentation from renamed symbol tables, so each base
+/// instance gets `copies` disguised isomorphic variants (same structure,
+/// fresh names — the canonical key must collapse them).
+fn instance(names: &[&str], a0: &str, zero: &str, eqs: &[&str]) -> Presentation {
+    let alphabet = Alphabet::new(names.iter().map(|s| s.to_string()), a0, zero).unwrap();
+    let eqs = eqs
+        .iter()
+        .map(|e| Equation::parse(e, &alphabet).unwrap())
+        .collect();
+    Presentation::new(alphabet, eqs).unwrap()
+}
+
+/// Four cheap-to-solve base classes × three disguises each: 12 requests,
+/// 4 unique canonical keys. All four settle (two implied, two refuted),
+/// so every class is cacheable.
+fn corpus() -> Vec<Presentation> {
+    let mut items = Vec::new();
+    for i in 0..3 {
+        let (s, g, z) = (format!("s{i}"), format!("g{i}"), format!("z{i}"));
+        // Implied: g·g = s and g·g = z force s ⇒ z.
+        items.push(instance(
+            &[&s, &g, &z],
+            &s,
+            &z,
+            &[&format!("{g} {g} = {s}"), &format!("{g} {g} = {z}")],
+        ));
+        // Implied: a relabelling chain s ⇒ m ⇒ z.
+        let m = format!("m{i}");
+        items.push(instance(
+            &[&s, &m, &z],
+            &s,
+            &z,
+            &[&format!("{s} = {m}"), &format!("{m} = {z}")],
+        ));
+        // Refuted: free one-generator presentation (null shortcut).
+        items.push(instance(&[&s, &z], &s, &z, &[]));
+        // Refuted: a single product equation sent to zero.
+        items.push(instance(
+            &[&s, &g, &z],
+            &s,
+            &z,
+            &[&format!("{s} {g} = {z}")],
+        ));
+    }
+    items
+}
+
+/// Replays `requests` sequentially on a fresh engine, returning verdicts
+/// and final stats — the accounting oracle the concurrent run must match.
+fn sequential_replay(requests: &[&Presentation]) -> (Vec<BatchVerdict>, EngineStats) {
+    let engine = Engine::new();
+    let verdicts = requests
+        .iter()
+        .map(|p| engine.decide(p).expect("sequential decide").verdict)
+        .collect();
+    (verdicts, engine.stats())
+}
+
+/// Asserts every monotone counter in `later` is at least `earlier`'s.
+fn assert_monotone(earlier: &EngineStats, later: &EngineStats) {
+    assert!(
+        later.requests >= earlier.requests,
+        "{earlier:?} -> {later:?}"
+    );
+    assert!(
+        later.cache_hits >= earlier.cache_hits,
+        "{earlier:?} -> {later:?}"
+    );
+    assert!(later.solved >= earlier.solved, "{earlier:?} -> {later:?}");
+    assert!(
+        later.evictions >= earlier.evictions,
+        "{earlier:?} -> {later:?}"
+    );
+    assert!(
+        later.derivation_states >= earlier.derivation_states,
+        "{earlier:?} -> {later:?}"
+    );
+    assert!(
+        later.model_nodes >= earlier.model_nodes,
+        "{earlier:?} -> {later:?}"
+    );
+}
+
+#[test]
+fn concurrent_mixed_requests_match_sequential_replay() {
+    const THREADS: usize = 4;
+    let items = corpus();
+
+    // The request multiset: every thread decides the full corpus, each
+    // starting at a different rotation so identical keys collide in time.
+    let n = items.len();
+    let all_requests: Vec<&Presentation> = (0..THREADS)
+        .flat_map(|t| (0..n).map(move |i| (i + t * 3) % n))
+        .map(|ix| &items[ix])
+        .collect();
+    let (expected_verdicts, expected_stats) = sequential_replay(&all_requests);
+    assert_eq!(expected_stats.requests, (THREADS * items.len()) as u64);
+    assert_eq!(expected_stats.solved, 4, "one solve per isomorphism class");
+    assert_eq!(
+        expected_stats.cache_hits,
+        expected_stats.requests - expected_stats.solved
+    );
+
+    // Concurrent run: same multiset, THREADS workers, one shared engine,
+    // with a monitor thread sampling the stats for monotonicity.
+    let engine = Engine::new();
+    let stop_monitor = td_core::budget::Cancellation::new();
+    let per_thread: Vec<Vec<BatchVerdict>> = std::thread::scope(|s| {
+        let monitor = s.spawn(|| {
+            let mut last = engine.stats();
+            let mut samples = 0u32;
+            while !stop_monitor.is_cancelled() {
+                let now = engine.stats();
+                assert_monotone(&last, &now);
+                last = now;
+                samples += 1;
+                std::thread::yield_now();
+            }
+            samples
+        });
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let items = &items;
+                let engine = &engine;
+                s.spawn(move || {
+                    let n = items.len();
+                    (0..n)
+                        .map(|i| {
+                            engine
+                                .decide(&items[(i + t * 3) % n])
+                                .expect("concurrent decide")
+                                .verdict
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        stop_monitor.cancel();
+        let samples = monitor.join().unwrap();
+        assert!(samples > 0, "the monitor observed the run");
+        results
+    });
+
+    // Deterministic verdicts: thread t's i-th answer equals the
+    // sequential replay's answer for the same request.
+    for (t, verdicts) in per_thread.iter().enumerate() {
+        assert_eq!(
+            verdicts,
+            &expected_verdicts[t * items.len()..(t + 1) * items.len()],
+            "thread {t} diverged from the sequential replay"
+        );
+    }
+
+    // Deterministic accounting: single-flight makes the concurrent triple
+    // equal the sequential replay's, not merely bounded by it.
+    let stats = engine.stats();
+    assert_eq!(stats.requests, expected_stats.requests);
+    assert_eq!(stats.solved, expected_stats.solved);
+    assert_eq!(stats.cache_hits, expected_stats.cache_hits);
+    assert_eq!(stats.keys_cached, 4);
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
+fn concurrent_batches_share_one_engine_consistently() {
+    // Batches dedup internally, share the cross-request cache, and their
+    // workers go through the same single-flight gate as decide — so even
+    // three identical batches racing each other run the solver exactly
+    // once per isomorphism class, engine-wide.
+    let items = corpus();
+    let engine = Engine::new();
+    let runs: Vec<BatchRun> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| s.spawn(|| engine.solve_batch(&items).expect("batch")))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let oracle = Engine::new().solve_batch(&items).expect("oracle batch");
+    for run in &runs {
+        assert_eq!(
+            run.verdicts, oracle.verdicts,
+            "verdicts are scheduling-free"
+        );
+        assert_eq!(run.keys, oracle.keys);
+        assert_eq!(run.stats.total, items.len());
+        assert_eq!(run.stats.unique, 4);
+        assert_eq!(run.stats.cache_hits + run.stats.solved, run.stats.total);
+    }
+
+    let stats = engine.stats();
+    assert_eq!(stats.requests, (3 * items.len()) as u64);
+    assert_eq!(stats.cache_hits + stats.solved, stats.requests);
+    assert_eq!(
+        stats.solved, 4,
+        "single-flight: one solver run per class across all racing batches"
+    );
+    assert_eq!(stats.keys_cached, 4);
+
+    // A warm follow-up batch is all hits.
+    let warm = engine.solve_batch(&items).expect("warm batch");
+    assert_eq!(warm.stats.solved, 0);
+    assert_eq!(warm.stats.cache_hits, items.len());
+}
+
+#[test]
+fn shutdown_during_concurrent_traffic_is_clean() {
+    // Threads hammer the engine while another thread shuts it down:
+    // every call must return either a verdict or the structured ShutDown
+    // error — no deadlock, no panic — and the engine refuses new solving
+    // work afterwards.
+    let items = corpus();
+    let engine = Engine::new();
+    let outcomes: Vec<Result<Decision, RedError>> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..4)
+            .map(|t| {
+                let items = &items;
+                let engine = &engine;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    for round in 0..6 {
+                        for (i, p) in items.iter().enumerate() {
+                            if (i + round) % items.len() == t {
+                                out.push(engine.decide(p));
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        s.spawn(|| {
+            std::thread::yield_now();
+            engine.shutdown();
+        });
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    assert!(engine.is_shut_down());
+    for outcome in outcomes {
+        match outcome {
+            Ok(d) => assert!(matches!(
+                d.verdict,
+                BatchVerdict::Implied { .. }
+                    | BatchVerdict::Refuted { .. }
+                    | BatchVerdict::Unknown { .. }
+            )),
+            Err(e) => assert!(matches!(e, RedError::ShutDown), "unexpected error {e}"),
+        }
+    }
+    assert!(matches!(engine.mint(None), Err(RedError::ShutDown)));
+}

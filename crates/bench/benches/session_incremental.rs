@@ -1,0 +1,153 @@
+//! Experiment T6 — the incremental Σ-session payoff: an ask→add→ask loop
+//! through a long-lived session's **resumed** chase, versus answering every
+//! ask with a from-scratch [`implies`] run on the current Σ (what a
+//! session-less client must do).
+//!
+//! Shape claim: the goal's frozen tableau is a long pseudo-transitivity
+//! chain whose component closure is quadratic in the chain length, plus a
+//! disconnected guard row that keeps the verdict `NotImplied` forever. The
+//! initial ask pays the full closure on both sides. Every subsequent add
+//! appends an isomorphic-but-renamed chain TD, which *invalidates* the
+//! refutation verdict but fires nothing new — the session re-chases only
+//! the appended TD's pass over the parked fixpoint, while the from-scratch
+//! side rebuilds the whole closure under the entire grown Σ. The per-script
+//! gap therefore widens with every add; the recorded numbers live in
+//! `BENCH_batch.json` under `session/*` (required: ≥2×).
+//!
+//! Both loops assert the verdicts agree (refuted, identical countermodel
+//! row count) — the bench doubles as an end-to-end differential check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use td_core::chase::ChaseBudget;
+use td_core::ids::Var;
+use td_core::inference::{implies, InferenceVerdict};
+use td_core::schema::Schema;
+use td_core::td::{Td, TdRow};
+use td_reduction::engine::{Engine, SessionVerdict};
+
+fn schema() -> Schema {
+    Schema::new("R", ["C0", "C1"]).unwrap()
+}
+
+fn td(name: &str, antecedents: &[[u32; 2]], conclusion: [u32; 2]) -> Td {
+    let rows: Vec<TdRow> = antecedents
+        .iter()
+        .map(|r| TdRow::new(r.iter().map(|&v| Var::new(v))))
+        .collect();
+    let concl = TdRow::new(conclusion.iter().map(|&v| Var::new(v)));
+    Td::new(schema(), rows, concl, name).unwrap()
+}
+
+/// Pseudo-transitivity with a per-probe variable relabelling: isomorphic
+/// TDs under distinct names, so each add is a real Σ mutation (fresh name,
+/// verdict invalidation) that fires nothing on a pt-closed instance.
+fn pt_clone(i: u32) -> Td {
+    let (a, a2, b, b2) = (10 + i, 20 + i, 10 + i, 20 + i);
+    td(&format!("pt{i}"), &[[a, b], [a2, b], [a2, b2]], [a, b2])
+}
+
+/// The benchmark goal: a zig-zag chain of `2k+1` rows (component closure
+/// under pt = the complete (k+1)×k bipartite product) plus one disconnected
+/// guard row; the conclusion pairs the guard with the chain, which no
+/// connected-antecedent TD can ever derive — every ask chases the full
+/// closure and refutes.
+fn chain_goal(k: u32) -> Td {
+    let mut rows = Vec::new();
+    for i in 0..k {
+        rows.push([i, i]);
+        rows.push([i + 1, i]);
+    }
+    rows.push([k, k]);
+    let guard = [1000, 1000];
+    rows.push(guard);
+    td("goal", &rows, [guard[0], 0])
+}
+
+const CHAIN_K: u32 = 8;
+const PROBES: u32 = 8;
+
+/// The unique closure size of the goal tableau under any pt clone —
+/// computed once by the scratch oracle; both bench loops pin their
+/// countermodels to it (full TDs: the fixpoint is unique).
+fn closure_rows(goal: &Td) -> usize {
+    match implies(&[pt_clone(0)], goal, ChaseBudget::default()).unwrap() {
+        InferenceVerdict::NotImplied(inst) => inst.len(),
+        v => panic!("the guarded goal must refute, got {v:?}"),
+    }
+}
+
+fn expect_refuted_rows(rows: usize, expected: usize, side: &str, step: u32) {
+    assert_eq!(
+        rows, expected,
+        "{side} countermodel drifted at add #{step}: the closure is unique"
+    );
+}
+
+/// The session side: one `open`, one initial ask, then PROBES rounds of
+/// `add_dep` + re-ask, each re-ask resuming the parked fixpoint.
+fn bench_session_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/incremental_ask");
+    group.sample_size(10);
+    let goal = chain_goal(CHAIN_K);
+    let closure = closure_rows(&goal);
+    group.bench_with_input(BenchmarkId::from_parameter(PROBES), &goal, |b, goal| {
+        let engine = Engine::new();
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            let sid = format!("bench{run}");
+            engine.session_open(&sid).unwrap();
+            engine.session_add_deps(&sid, &[pt_clone(0)]).unwrap();
+            let (v, _) = engine.session_ask(&sid, goal).unwrap();
+            let SessionVerdict::NotImplied { model_rows } = v else {
+                panic!("the guarded goal must refute, got {v:?}");
+            };
+            expect_refuted_rows(model_rows, closure, "session", 0);
+            for i in 1..=PROBES {
+                engine.session_add_deps(&sid, &[pt_clone(i)]).unwrap();
+                let (v, cached) = engine.session_ask(&sid, goal).unwrap();
+                assert!(!cached, "the add must invalidate the verdict");
+                let SessionVerdict::NotImplied { model_rows } = v else {
+                    panic!("still refuted after add #{i}, got {v:?}");
+                };
+                expect_refuted_rows(model_rows, closure, "session", i);
+            }
+            engine.session_close(&sid).unwrap();
+            black_box(run)
+        });
+    });
+    group.finish();
+}
+
+/// The from-scratch side: the identical ask→add→ask script, but every ask
+/// is a fresh [`implies`] chase over the current Σ — no state survives.
+fn bench_from_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session/from_scratch_ask");
+    group.sample_size(10);
+    let goal = chain_goal(CHAIN_K);
+    let closure = closure_rows(&goal);
+    group.bench_with_input(BenchmarkId::from_parameter(PROBES), &goal, |b, goal| {
+        b.iter(|| {
+            let mut sigma = vec![pt_clone(0)];
+            let v = implies(&sigma, goal, ChaseBudget::default()).unwrap();
+            let InferenceVerdict::NotImplied(inst) = v else {
+                panic!("the guarded goal must refute, got {v:?}");
+            };
+            expect_refuted_rows(inst.len(), closure, "scratch", 0);
+            for i in 1..=PROBES {
+                sigma.push(pt_clone(i));
+                let v = implies(&sigma, goal, ChaseBudget::default()).unwrap();
+                let InferenceVerdict::NotImplied(inst) = v else {
+                    panic!("still refuted after add #{i}, got {v:?}");
+                };
+                expect_refuted_rows(inst.len(), closure, "scratch", i);
+            }
+            black_box(sigma.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_incremental, bench_from_scratch);
+criterion_main!(benches);

@@ -96,6 +96,123 @@ pub enum ChaseOutcome {
     BudgetExhausted,
 }
 
+/// The ownable, snapshottable state of a chase: the arena [`Instance`]
+/// fixpoint plus the semi-naive bookkeeping ([`ChaseState`] is what a
+/// suspended [`ChaseEngine`] leaves behind and what a resumed one picks
+/// up).
+///
+/// A `ChaseState` is a plain value: [`Clone`] is a deep copy of the arena
+/// and its indexes (one `memcpy`-style pass, no pointer chasing), so a
+/// service can snapshot a fixpoint, hand the clone to one request, and
+/// keep the original for the next. Resuming is what makes the value
+/// interesting — when the dependency set *grows*, a suspended fixpoint
+/// does not have to be re-chased from scratch:
+///
+/// * `frontier` remembers how many rows have been through trigger
+///   discovery, so a resumed run only matches the delta;
+/// * `integrated` remembers how many leading dependencies the discovery
+///   passes have seen, so dependencies appended after suspension get
+///   exactly one full pass over the pre-frontier rows and then join the
+///   regular delta scheme.
+///
+/// The resume contract: [`ChaseEngine::resume`] must be given a slice
+/// whose first `integrated` dependencies are the ones this state was
+/// chased with (appending is fine, reordering or editing the prefix is
+/// not). Removing a dependency invalidates the state — re-chase from
+/// scratch; the chase is monotone, rows are never retracted.
+///
+/// Exactness: for the **restricted** policy a suspend/resume sequence
+/// reaches the same fixpoint as one monolithic run (re-discovered
+/// triggers are skipped because their fired conclusion already witnesses
+/// them). Under the **oblivious** policy a trigger interrupted mid-round
+/// may fire again on resume, drawing fresh nulls — sound for the
+/// termination experiments that policy exists for, but not row-for-row
+/// identical.
+#[derive(Debug, Clone)]
+pub struct ChaseState {
+    /// The chase state proper (the arena instance).
+    state: Instance,
+    /// Semi-naive frontier: rows below this index have already been
+    /// through trigger discovery; rows at or above it form the next
+    /// round's delta.
+    frontier: usize,
+    /// Number of leading dependencies that have seen every row below
+    /// `frontier`. Dependencies at or past this index were appended after
+    /// the last completed discovery pass and still owe a full pass.
+    integrated: usize,
+    /// Triggers fired so far (cumulative across resumes).
+    steps_fired: usize,
+    /// Rounds completed so far (cumulative across resumes).
+    rounds_run: usize,
+    /// The proof log (cumulative across resumes).
+    proof: ChaseProof,
+}
+
+impl ChaseState {
+    /// A fresh state over `initial`: nothing discovered, nothing fired.
+    pub fn new(initial: Instance) -> Self {
+        Self {
+            state: initial,
+            frontier: 0,
+            integrated: 0,
+            steps_fired: 0,
+            rounds_run: 0,
+            proof: ChaseProof::default(),
+        }
+    }
+
+    /// The current instance.
+    pub fn instance(&self) -> &Instance {
+        &self.state
+    }
+
+    /// Number of rows in the state.
+    pub fn rows(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Triggers fired so far, cumulative across suspends and resumes.
+    pub fn steps_fired(&self) -> usize {
+        self.steps_fired
+    }
+
+    /// Rounds completed so far, cumulative across suspends and resumes.
+    pub fn rounds_run(&self) -> usize {
+        self.rounds_run
+    }
+
+    /// Number of leading dependencies integrated into the fixpoint so
+    /// far (see the type docs for the resume contract).
+    pub fn integrated(&self) -> usize {
+        self.integrated
+    }
+
+    /// `true` when every stored row has been through trigger discovery —
+    /// i.e. the state was suspended at a clean round boundary, not by a
+    /// truncated discovery pass.
+    pub fn is_saturated(&self) -> bool {
+        self.frontier == self.state.len()
+    }
+
+    /// The accumulated proof log.
+    pub fn proof(&self) -> &ChaseProof {
+        &self.proof
+    }
+
+    /// Consumes the state, returning the instance and the proof log.
+    pub fn into_parts(self) -> (Instance, ChaseProof) {
+        (self.state, self.proof)
+    }
+
+    /// Releases spare arena capacity. Useful before parking a suspended
+    /// state in a long-lived cache: the chase grows the arena and its
+    /// indexes geometrically, and a parked snapshot should not pin the
+    /// growth slack.
+    pub fn shrink_to_fit(&mut self) {
+        self.state.shrink_to_fit();
+    }
+}
+
 /// A round-based (fair) chase engine.
 ///
 /// Each *round* snapshots the active triggers against the current state and
@@ -104,19 +221,18 @@ pub enum ChaseOutcome {
 /// trigger's conclusion). Round-based scheduling is fair: every trigger that
 /// stays active is eventually fired, which is what makes the engine a
 /// *complete* semi-decision procedure for implication.
+///
+/// The engine is a borrowing *view* over an owned [`ChaseState`]: start
+/// fresh with [`ChaseEngine::new`], or pick a suspended state back up with
+/// [`ChaseEngine::resume`] after the dependency set has grown, and take
+/// the state out again with [`ChaseEngine::suspend`].
 #[derive(Debug)]
 pub struct ChaseEngine<'a> {
     tds: &'a [Td],
-    state: Instance,
+    st: ChaseState,
     policy: ChasePolicy,
     budget: ChaseBudget,
     strategy: MatchStrategy,
-    steps_fired: usize,
-    rounds_run: usize,
-    /// Semi-naive frontier: rows below this index have already been through
-    /// trigger discovery; rows at or above it form the next round's delta.
-    frontier: usize,
-    proof: ChaseProof,
     /// Optional cooperative-cancellation token (the shared
     /// [`crate::budget`] substrate), polled between rounds and before each
     /// firing. Cancellation surfaces as [`ChaseOutcome::BudgetExhausted`]
@@ -135,22 +251,47 @@ impl<'a> ChaseEngine<'a> {
         policy: ChasePolicy,
         budget: ChaseBudget,
     ) -> Result<Self> {
+        Self::resume(tds, ChaseState::new(initial), policy, budget)
+    }
+
+    /// Picks a suspended [`ChaseState`] back up over a (possibly extended)
+    /// dependency slice. The first `state.integrated()` entries of `tds`
+    /// must be the dependencies the state was chased with, in the same
+    /// order (see the [`ChaseState`] docs); dependencies appended past
+    /// that prefix get a full discovery pass on the next
+    /// [`ChaseEngine::run`], so only the *delta* work is redone.
+    pub fn resume(
+        tds: &'a [Td],
+        state: ChaseState,
+        policy: ChasePolicy,
+        budget: ChaseBudget,
+    ) -> Result<Self> {
         for td in tds {
-            initial.schema().expect_same(td.schema())?;
+            state.state.schema().expect_same(td.schema())?;
+        }
+        if state.integrated > tds.len() {
+            return Err(CoreError::ProofReplay(format!(
+                "resumed chase state integrated {} dependencies but only {} were supplied \
+                 (removal requires a from-scratch re-chase)",
+                state.integrated,
+                tds.len()
+            )));
         }
         Ok(Self {
             tds,
-            state: initial,
+            st: state,
             policy,
             budget,
             strategy: MatchStrategy::default(),
-            steps_fired: 0,
-            rounds_run: 0,
-            frontier: 0,
-            proof: ChaseProof::default(),
             cancel: None,
             cancelled: false,
         })
+    }
+
+    /// Suspends the engine, returning the owned [`ChaseState`] so it can be
+    /// parked, cloned, and later handed back to [`ChaseEngine::resume`].
+    pub fn suspend(self) -> ChaseState {
+        self.st
     }
 
     /// Selects the homomorphism-matching strategy (builder style). The
@@ -192,22 +333,22 @@ impl<'a> ChaseEngine<'a> {
 
     /// The current chase state.
     pub fn state(&self) -> &Instance {
-        &self.state
+        &self.st.state
     }
 
-    /// Number of triggers fired so far.
+    /// Number of triggers fired so far (cumulative across resumes).
     pub fn steps_fired(&self) -> usize {
-        self.steps_fired
+        self.st.steps_fired
     }
 
-    /// Number of completed rounds.
+    /// Number of completed rounds (cumulative across resumes).
     pub fn rounds_run(&self) -> usize {
-        self.rounds_run
+        self.st.rounds_run
     }
 
     /// Consumes the engine, returning the final state and the proof log.
     pub fn into_parts(self) -> (Instance, ChaseProof) {
-        (self.state, self.proof)
+        self.st.into_parts()
     }
 
     /// Fires one trigger: `binding` must map the antecedents of
@@ -234,7 +375,7 @@ impl<'a> ChaseEngine<'a> {
                 })?;
                 vals.push(val);
             }
-            if !self.state.contains_slice(&vals) {
+            if !self.st.state.contains_slice(&vals) {
                 return Err(CoreError::ProofReplay(format!(
                     "antecedent {r} of `{}` not matched: {} absent",
                     td.name(),
@@ -249,20 +390,20 @@ impl<'a> ChaseEngine<'a> {
             let val = match full_binding.get(c, v) {
                 Some(val) => val,
                 None => {
-                    let fresh = self.state.fresh_value(c);
+                    let fresh = self.st.state.fresh_value(c);
                     full_binding.bind(c, v, fresh);
                     fresh
                 }
             };
             vals.push(val);
         }
-        let (_, added) = self.state.insert_slice(&vals)?;
+        let (_, added) = self.st.state.insert_slice(&vals)?;
         let tuple = Tuple::new(vals);
         if !added {
             return Ok((tuple, false));
         }
-        self.steps_fired += 1;
-        self.proof.steps.push(ChaseStep {
+        self.st.steps_fired += 1;
+        self.st.proof.steps.push(ChaseStep {
             td_index,
             td_name: td.name().to_owned(),
             binding: full_binding.to_sorted_vec(),
@@ -273,8 +414,8 @@ impl<'a> ChaseEngine<'a> {
 
     /// Records the goal row in the proof (used after a goal check succeeds).
     fn record_goal(&mut self, goal: &Goal) {
-        if let Some(row) = goal.find_in(&self.state) {
-            self.proof.goal_row = self.state.get(row).ok().map(Tuple::from_slice);
+        if let Some(row) = goal.find_in(&self.st.state) {
+            self.st.proof.goal_row = self.st.state.get(row).ok().map(Tuple::from_slice);
         }
     }
 
@@ -284,30 +425,43 @@ impl<'a> ChaseEngine<'a> {
     fn is_active(&self, td: &Td, binding: &Binding) -> bool {
         match self.policy {
             ChasePolicy::Restricted => {
-                !conclusion_witnessed_with(self.strategy, &self.state, td, binding)
+                !conclusion_witnessed_with(self.strategy, &self.st.state, td, binding)
             }
             ChasePolicy::Oblivious => true,
         }
     }
 
-    /// Collects the active triggers whose antecedents all lie in the current
-    /// state (full pass — used for the first discovery round). Returns
-    /// `true` if collection was cut short by the step budget.
-    fn discover_full(&self, cap: usize, pending: &mut Vec<(usize, Binding)>) -> bool {
+    /// Collects the active triggers of `tds[from_td..]` whose antecedents
+    /// all lie in the current state (full pass — used for the first
+    /// discovery round, and for dependencies appended after a resume, which
+    /// owe one full pass before joining the delta scheme). Returns `true`
+    /// if collection was cut short by the step budget.
+    fn discover_full(
+        &self,
+        from_td: usize,
+        cap: usize,
+        pending: &mut Vec<(usize, Binding)>,
+    ) -> bool {
         let mut truncated = false;
-        for (i, td) in self.tds.iter().enumerate() {
+        for (i, td) in self.tds.iter().enumerate().skip(from_td) {
             let seed = Binding::new(td.arity());
-            for_each_match_with(self.strategy, td.antecedents(), &self.state, &seed, |b| {
-                if self.is_active(td, b) {
-                    pending.push((i, b.clone()));
-                }
-                if pending.len() >= cap {
-                    truncated = true;
-                    ControlFlow::Break(())
-                } else {
-                    ControlFlow::Continue(())
-                }
-            });
+            for_each_match_with(
+                self.strategy,
+                td.antecedents(),
+                &self.st.state,
+                &seed,
+                |b| {
+                    if self.is_active(td, b) {
+                        pending.push((i, b.clone()));
+                    }
+                    if pending.len() >= cap {
+                        truncated = true;
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                },
+            );
             if truncated {
                 break;
             }
@@ -315,16 +469,21 @@ impl<'a> ChaseEngine<'a> {
         truncated
     }
 
-    /// Semi-naive discovery: collects the active triggers that use at least
-    /// one row of the delta `delta_start..delta_end`. The decomposition is
-    /// the standard duplicate-free one — for pivot position `j`, row `j`
-    /// maps to a delta tuple, rows before `j` are capped to the pre-delta
-    /// prefix, and rows after `j` are unrestricted — so every qualifying
-    /// row assignment is enumerated exactly once. (Distinct assignments can
-    /// still collapse to the same *binding*; those are deduplicated.)
-    /// Returns `true` if collection was cut short by the step budget.
+    /// Semi-naive discovery over `tds[..upto_td]`: collects the active
+    /// triggers that use at least one row of the delta
+    /// `delta_start..delta_end`. The decomposition is the standard
+    /// duplicate-free one — for pivot position `j`, row `j` maps to a delta
+    /// tuple, rows before `j` are capped to the pre-delta prefix, and rows
+    /// after `j` are unrestricted — so every qualifying row assignment is
+    /// enumerated exactly once. (Distinct assignments can still collapse to
+    /// the same *binding*; those are deduplicated.) Dependencies at or past
+    /// `upto_td` are excluded because they get a concurrent full pass via
+    /// [`ChaseEngine::discover_full`] — the index sets are disjoint, so no
+    /// trigger is enumerated twice. Returns `true` if collection was cut
+    /// short by the step budget.
     fn discover_delta(
         &self,
+        upto_td: usize,
         delta_start: usize,
         delta_end: usize,
         cap: usize,
@@ -332,7 +491,7 @@ impl<'a> ChaseEngine<'a> {
     ) -> bool {
         let mut truncated = false;
         let mut seen: HashSet<(usize, Vec<_>)> = HashSet::new();
-        'tds: for (i, td) in self.tds.iter().enumerate() {
+        'tds: for (i, td) in self.tds.iter().enumerate().take(upto_td) {
             for j in 0..td.antecedent_count() {
                 let pivot = &td.antecedents()[j];
                 let rest: Vec<(&TdRow, usize)> = td
@@ -343,12 +502,12 @@ impl<'a> ChaseEngine<'a> {
                     .map(|(k, r)| (r, if k < j { delta_start } else { usize::MAX }))
                     .collect();
                 for rid in delta_start..delta_end {
-                    let tuple = self.state.row(RowId::from(rid));
+                    let tuple = self.st.state.row(RowId::from(rid));
                     let mut seed = Binding::new(td.arity());
                     if !seed.bind_row(pivot, tuple) {
                         continue; // pivot row self-conflicts on this tuple
                     }
-                    for_each_match_capped(self.strategy, &rest, &self.state, &seed, |b| {
+                    for_each_match_capped(self.strategy, &rest, &self.st.state, &seed, |b| {
                         if self.is_active(td, b) && seen.insert((i, b.to_sorted_vec())) {
                             pending.push((i, b.clone()));
                         }
@@ -375,39 +534,53 @@ impl<'a> ChaseEngine<'a> {
     /// the rows derived since the previous discovery pass.
     pub fn run(&mut self, goal: Option<&Goal>) -> ChaseOutcome {
         if let Some(g) = goal {
-            if g.find_in(&self.state).is_some() {
+            if g.find_in(&self.st.state).is_some() {
                 self.record_goal(g);
                 return ChaseOutcome::GoalReached;
             }
         }
         loop {
-            if self.poll_cancelled() || self.rounds_run >= self.budget.max_rounds {
+            if self.poll_cancelled() || self.st.rounds_run >= self.budget.max_rounds {
                 return ChaseOutcome::BudgetExhausted;
             }
-            self.rounds_run += 1;
+            self.st.rounds_run += 1;
 
-            let round_start = self.state.len();
-            let delta_start = self.frontier;
+            let round_start = self.st.state.len();
+            let delta_start = self.st.frontier;
+            // Dependencies past this index were appended after the last
+            // completed discovery pass (a resume with a grown Σ); they owe
+            // one full pass over the whole current state.
+            let integrated_before = self.st.integrated.min(self.tds.len());
             // Collect at most one trigger beyond the step budget so an
             // exhausted budget is still noticed by the firing loop below.
             let cap = self
                 .budget
                 .max_steps
-                .saturating_sub(self.steps_fired)
+                .saturating_sub(self.st.steps_fired)
                 .max(1);
 
             let mut pending: Vec<(usize, Binding)> = Vec::new();
-            let truncated = if delta_start == 0 {
-                self.discover_full(cap, &mut pending)
+            let mut truncated = if delta_start == 0 {
+                self.discover_full(0, cap, &mut pending)
             } else {
-                // delta_start == round_start means no new rows since the
-                // last pass: nothing to discover, pending stays empty.
-                self.discover_delta(delta_start, round_start, cap, &mut pending)
+                self.discover_full(integrated_before, cap, &mut pending)
             };
+            if delta_start > 0 && !truncated {
+                // delta_start == round_start means no new rows since the
+                // last pass: nothing to discover for the integrated prefix.
+                truncated = self.discover_delta(
+                    integrated_before,
+                    delta_start,
+                    round_start,
+                    cap,
+                    &mut pending,
+                );
+            }
             if !truncated {
                 // A truncated pass may have skipped triggers in rows below
                 // `round_start`; keep the frontier so they are rediscovered.
-                self.frontier = round_start;
+                self.st.frontier = round_start;
+                self.st.integrated = self.tds.len();
             }
 
             if pending.is_empty() {
@@ -417,9 +590,15 @@ impl<'a> ChaseEngine<'a> {
             let mut fired_this_round = false;
             for (td_index, binding) in pending {
                 if self.poll_cancelled()
-                    || self.steps_fired >= self.budget.max_steps
-                    || self.state.len() >= self.budget.max_rows
+                    || self.st.steps_fired >= self.budget.max_steps
+                    || self.st.state.len() >= self.budget.max_rows
                 {
+                    // Pending triggers remain unfired: roll the frontier
+                    // back to this round's delta so a resumed run
+                    // rediscovers them (exact under the restricted policy —
+                    // already-fired triggers are inactive on rediscovery).
+                    self.st.frontier = delta_start;
+                    self.st.integrated = integrated_before;
                     return ChaseOutcome::BudgetExhausted;
                 }
                 // Re-check activeness against the *current* state: an
@@ -435,8 +614,13 @@ impl<'a> ChaseEngine<'a> {
                 if added {
                     fired_this_round = true;
                     if let Some(g) = goal {
-                        if g.find_in(&self.state).is_some() {
+                        if g.find_in(&self.st.state).is_some() {
                             self.record_goal(g);
+                            // Same rollback as above: the remaining pending
+                            // triggers were not fired, and a session may
+                            // resume this state for a later goal.
+                            self.st.frontier = delta_start;
+                            self.st.integrated = integrated_before;
                             return ChaseOutcome::GoalReached;
                         }
                     }
@@ -690,6 +874,318 @@ mod tests {
         assert_eq!(engine.run(None), ChaseOutcome::BudgetExhausted);
         assert!(!engine.was_cancelled());
         assert!(engine.steps_fired() > 0);
+    }
+
+    /// Shared fixtures for the resume tests — all *full* typed TDs
+    /// (terminating, no nulls, unique closure): the product TD
+    /// `R(a,b) & R(a',b') -> R(a,b')` closes A×B; the pseudo-transitivity
+    /// TD `R(a,b) & R(a',b) & R(a',b') -> R(a,b')` only closes each
+    /// connected component of the row graph, so it genuinely differs.
+    fn prod_td() -> Td {
+        TdBuilder::new(schema2())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("prod")
+            .unwrap()
+    }
+
+    fn pt_td() -> Td {
+        TdBuilder::new(schema2())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a'", "b"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a", "b'"])
+            .unwrap()
+            .build("pt")
+            .unwrap()
+    }
+
+    /// Initial tableau with two connected components: `{0,1}×{1,2}` is
+    /// linked through `(1,1)`, while `(3,4)` sits alone — so `pt` closes
+    /// only the first component and `prod` is needed for the full product.
+    fn two_component_initial() -> Instance {
+        let mut initial = Instance::new(schema2());
+        for row in [[0u32, 1], [1, 1], [1, 2], [3, 4]] {
+            initial.insert_values(row).unwrap();
+        }
+        initial
+    }
+
+    /// Monolithic oracle: chase `tds` from `initial` to fixpoint, returning
+    /// the final state and the number of fired steps.
+    fn monolithic(tds: &[Td], initial: &Instance) -> (Instance, usize) {
+        let mut engine = ChaseEngine::new(
+            tds,
+            initial.clone(),
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        let steps = engine.steps_fired();
+        (engine.into_parts().0, steps)
+    }
+
+    /// The tentpole contract: suspend at fixpoint, append a dependency,
+    /// resume — the resumed fixpoint is set-equal (`Instance` equality is
+    /// set semantics) to a monolithic chase of the extended Σ, because for
+    /// full TDs the restricted chase has a unique closure.
+    #[test]
+    fn suspend_extend_resume_equals_monolithic_chase() {
+        let initial = two_component_initial();
+
+        // Phase 1: chase Σ₁ = [pt] to fixpoint (closes the linked
+        // component, one firing) and suspend.
+        let sigma1 = vec![pt_td()];
+        let mut engine = ChaseEngine::new(
+            &sigma1,
+            initial.clone(),
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        assert!(engine.steps_fired() > 0, "phase 1 does real work");
+        let suspended = engine.suspend();
+        assert!(suspended.is_saturated());
+        assert_eq!(suspended.integrated(), 1);
+
+        // Phase 2: Σ₂ = Σ₁ + [prod]; resume and finish (the appended TD
+        // bridges the components and closes the full product).
+        let sigma2 = vec![pt_td(), prod_td()];
+        let mut engine = ChaseEngine::resume(
+            &sigma2,
+            suspended,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        let resumed_steps = engine.steps_fired();
+        let (resumed, _) = engine.into_parts();
+
+        let (mono, mono_steps) = monolithic(&sigma2, &initial);
+        assert_eq!(resumed, mono, "resumed fixpoint diverged from monolithic");
+        assert!(satisfies_all(&resumed, &sigma2));
+        // Full TDs: every fired step adds exactly one row, so the
+        // cumulative counter matches the monolithic run as well.
+        assert_eq!(resumed_steps, mono_steps);
+    }
+
+    /// Resuming with an unchanged Σ is a cheap no-op round: the delta is
+    /// empty, nothing fires, the state is untouched.
+    #[test]
+    fn resume_without_new_deps_is_a_noop() {
+        let mut initial = Instance::new(schema2());
+        initial.insert_values([0, 0]).unwrap();
+        initial.insert_values([1, 1]).unwrap();
+        let tds = vec![prod_td()];
+        let mut engine = ChaseEngine::new(
+            &tds,
+            initial,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        let steps = engine.steps_fired();
+        let suspended = engine.suspend();
+        let before = suspended.instance().clone();
+
+        let mut engine = ChaseEngine::resume(
+            &tds,
+            suspended,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        assert_eq!(engine.steps_fired(), steps, "no re-firing on resume");
+        assert_eq!(engine.state(), &before);
+    }
+
+    /// Budget-exhaustion path: a run stopped mid-round by `max_steps`
+    /// rolls its frontier back, so a resumed run with a fresh budget
+    /// rediscovers the unfired triggers and still reaches the exact
+    /// monolithic fixpoint.
+    #[test]
+    fn resume_after_step_budget_exhaustion_completes_the_chase() {
+        let mut initial = Instance::new(schema2());
+        for v in 0..3u32 {
+            initial.insert_values([v, v]).unwrap();
+        }
+        let tds = vec![prod_td()];
+        let tight = ChaseBudget {
+            max_steps: 2,
+            max_rows: 100,
+            max_rounds: 50,
+        };
+        let mut engine =
+            ChaseEngine::new(&tds, initial.clone(), ChasePolicy::Restricted, tight).unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::BudgetExhausted);
+        assert_eq!(engine.steps_fired(), 2);
+        let suspended = engine.suspend();
+        assert!(!suspended.is_saturated(), "rolled-back frontier is visible");
+
+        let mut engine = ChaseEngine::resume(
+            &tds,
+            suspended,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        let total_steps = engine.steps_fired();
+        let (resumed, _) = engine.into_parts();
+
+        let (mono, mono_steps) = monolithic(&tds, &initial);
+        assert_eq!(resumed, mono);
+        assert_eq!(total_steps, mono_steps, "no step is double-counted");
+    }
+
+    /// Cancellation path: a cancelled run is suspendable like any other,
+    /// and the stop *reason* stays observable — the cancelled engine
+    /// reports `was_cancelled`, the resumed engine (idle token) finishes
+    /// and reports a clean run.
+    #[test]
+    fn resume_after_cancellation_completes_and_reports_cleanly() {
+        let mut initial = Instance::new(schema2());
+        for v in 0..3u32 {
+            initial.insert_values([v, v]).unwrap();
+        }
+        let tds = vec![prod_td()];
+        let cancel = Cancellation::new();
+        cancel.cancel();
+        let mut engine = ChaseEngine::new(
+            &tds,
+            initial.clone(),
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap()
+        .with_cancellation(&cancel);
+        assert_eq!(engine.run(None), ChaseOutcome::BudgetExhausted);
+        assert!(engine.was_cancelled(), "stop reason: cancelled, not spent");
+        let suspended = engine.suspend();
+
+        let idle = Cancellation::new();
+        let mut engine = ChaseEngine::resume(
+            &tds,
+            suspended,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap()
+        .with_cancellation(&idle);
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        assert!(!engine.was_cancelled(), "stop reason: clean termination");
+        let (resumed, _) = engine.into_parts();
+        assert_eq!(resumed, monolithic(&tds, &initial).0);
+    }
+
+    /// A goal-reached stop leaves unfired triggers behind; the rollback
+    /// makes the suspended state resumable to the true fixpoint — the
+    /// session pattern of asking one goal and later another.
+    #[test]
+    fn goal_reached_state_resumes_to_the_full_fixpoint() {
+        let mut initial = Instance::new(schema2());
+        for v in 0..3u32 {
+            initial.insert_values([v, v]).unwrap();
+        }
+        let tds = vec![prod_td()];
+        let goal = Goal::new(vec![Some(Value::new(0)), Some(Value::new(1))]);
+        let mut engine = ChaseEngine::new(
+            &tds,
+            initial.clone(),
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(Some(&goal)), ChaseOutcome::GoalReached);
+        assert!(engine.steps_fired() < 6, "goal stops before the closure");
+        let suspended = engine.suspend();
+
+        let mut engine = ChaseEngine::resume(
+            &tds,
+            suspended,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        let (resumed, _) = engine.into_parts();
+        let (mono, _) = monolithic(&tds, &initial);
+        assert_eq!(resumed, mono, "post-goal resume reaches the closure");
+    }
+
+    /// Incremental growth across several resumes stays exact: add one
+    /// dependency at a time, resuming each time, and land on the same
+    /// fixpoint as chasing the final Σ monolithically.
+    #[test]
+    fn repeated_extend_resume_cycles_stay_exact() {
+        // The exchange TD is satisfied by any product set, so the third
+        // cycle is a no-op resume — also worth pinning.
+        let exchange = TdBuilder::new(schema2())
+            .antecedent(["a", "b"])
+            .unwrap()
+            .antecedent(["a", "b'"])
+            .unwrap()
+            .antecedent(["a'", "b'"])
+            .unwrap()
+            .conclusion(["a'", "b"])
+            .unwrap()
+            .build("exchange")
+            .unwrap();
+        let initial = two_component_initial();
+
+        let full = [pt_td(), prod_td(), exchange];
+        let mut st = ChaseState::new(initial.clone());
+        for k in 1..=full.len() {
+            let sigma = &full[..k];
+            let mut engine =
+                ChaseEngine::resume(sigma, st, ChasePolicy::Restricted, ChaseBudget::default())
+                    .unwrap();
+            assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+            st = engine.suspend();
+            assert_eq!(st.integrated(), k);
+
+            let (mono, mono_steps) = monolithic(sigma, &initial);
+            assert_eq!(st.instance(), &mono, "diverged at prefix length {k}");
+            assert_eq!(st.steps_fired(), mono_steps);
+        }
+    }
+
+    /// Resuming with *fewer* dependencies than the state integrated is a
+    /// contract violation and must be rejected (removal means re-chase).
+    #[test]
+    fn resume_with_shrunk_sigma_is_rejected() {
+        let tds = vec![prod_td()];
+        let mut initial = Instance::new(schema2());
+        initial.insert_values([0, 1]).unwrap();
+        let mut engine = ChaseEngine::new(
+            &tds,
+            initial,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(engine.run(None), ChaseOutcome::Terminated);
+        let suspended = engine.suspend();
+        let err = ChaseEngine::resume(
+            &[],
+            suspended,
+            ChasePolicy::Restricted,
+            ChaseBudget::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::ProofReplay(_)));
     }
 
     #[test]

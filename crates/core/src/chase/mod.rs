@@ -21,7 +21,7 @@
 mod engine;
 mod proof;
 
-pub use engine::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy};
+pub use engine::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseState};
 pub use proof::{ChaseProof, ChaseStep};
 
 use crate::ids::{RowId, Value};

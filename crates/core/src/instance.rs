@@ -210,6 +210,22 @@ impl Instance {
         self.store.is_empty()
     }
 
+    /// Releases spare capacity in the arena and its indexes. The chase
+    /// grows these geometrically; a snapshot parked in a long-lived cache
+    /// (an instance is snapshotted by plain [`Clone`] — the arena layout
+    /// is flat, so a clone is a handful of `memcpy`s) should not pin the
+    /// growth slack. The dedup table keeps its capacity: it is sized by
+    /// load factor, and shrinking it would force a rehash on resume.
+    pub fn shrink_to_fit(&mut self) {
+        self.store.shrink_to_fit();
+        for col in &mut self.index {
+            col.shrink_to_fit();
+            for bucket in col {
+                bucket.shrink_to_fit();
+            }
+        }
+    }
+
     /// Inserts a row given as a value slice, deduplicating against the
     /// arena without copying. Returns the row id and whether the row was
     /// new. This is the allocation-free hot path behind every other insert

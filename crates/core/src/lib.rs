@@ -101,7 +101,9 @@ pub mod union_find;
 pub mod prelude {
     pub use crate::budget::{Cancellation, Meter, StopReason, Ticker};
     pub use crate::canon::{canon_key, system_key, CanonKey};
-    pub use crate::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, Goal};
+    pub use crate::chase::{
+        ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseProof, ChaseState, Goal,
+    };
     pub use crate::diagram::Diagram;
     pub use crate::eid::Eid;
     pub use crate::eq_instance::EqInstance;

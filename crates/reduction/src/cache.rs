@@ -162,6 +162,21 @@ impl DecisionCache {
         }
     }
 
+    /// Drops one key, returning its outcome if it was resident. This is
+    /// the targeted invalidation hook: a caller whose *question* changed
+    /// identity (e.g. a session whose premise subset was edited — see
+    /// [`crate::engine::Session`]) removes exactly the stale key instead
+    /// of flushing the cache. Removal does not count as an eviction: the
+    /// eviction counter measures capacity pressure, not invalidation.
+    pub fn remove(&self, key: CanonKey) -> Option<CachedOutcome> {
+        let mut shard = self.shard(key).write().expect("cache shard lock poisoned");
+        let outcome = shard.map.remove(&key)?;
+        if let Some(pos) = shard.order.iter().position(|k| *k == key) {
+            shard.order.remove(pos);
+        }
+        Some(outcome)
+    }
+
     /// Number of cached verdicts currently resident.
     pub fn len(&self) -> usize {
         self.shards
@@ -241,6 +256,26 @@ mod tests {
         cache.insert(key(1), outcome(5));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.get(key(1)), Some(outcome(5)));
+    }
+
+    #[test]
+    fn remove_invalidates_without_counting_an_eviction() {
+        // One shard, capacity 2, so residency accounting is observable.
+        let cache = DecisionCache::with_capacity(1, 2);
+        cache.insert(key(0), outcome(0));
+        cache.insert(key(1), outcome(1));
+        assert_eq!(cache.remove(key(0)), Some(outcome(0)));
+        assert_eq!(cache.remove(key(0)), None, "removal is not idempotent-Some");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0, "invalidation is not eviction");
+        // The freed slot is real: two more inserts fit without evicting,
+        // and the FIFO order no longer contains the removed key.
+        cache.insert(key(2), outcome(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(key(3), outcome(3));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(key(1)), None, "oldest *resident* key evicted");
     }
 
     #[test]

@@ -29,12 +29,14 @@
 //! persistent paths (`tdq serve`, warm batch streams) hold one engine for
 //! the process lifetime — both execute exactly this code.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 
 use td_core::budget::{Cancellation, Meter};
-use td_core::canon::{system_key, CanonKey};
-use td_core::inference::{self, InferenceVerdict};
+use td_core::canon::{canon_key, system_key, CanonKey};
+use td_core::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseState, Goal};
+use td_core::inference::{self, freeze, InferenceVerdict};
+use td_core::schema::Schema;
 use td_core::td::Td;
 use td_semigroup::normalize::normalize;
 use td_semigroup::presentation::Presentation;
@@ -61,6 +63,10 @@ pub struct EngineConfig {
     /// Per-shard entry capacity of the decision cache (see
     /// [`crate::cache::DEFAULT_SHARD_CAPACITY`]).
     pub cache_cap: usize,
+    /// Maximum number of concurrently open [`Session`]s; opening one past
+    /// the bound evicts the least-recently-used session (clamped to at
+    /// least 1).
+    pub max_sessions: usize,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +79,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             cache_shards: 16,
             cache_cap: crate::cache::DEFAULT_SHARD_CAPACITY,
+            max_sessions: 64,
         }
     }
 }
@@ -198,6 +205,112 @@ pub struct Decision {
     pub timings: PhaseTimings,
 }
 
+/// The verdict of one [`Engine::session_ask`]: like a batch verdict, but
+/// produced by the session's *incremental* chase — the counters are
+/// cumulative across every resume the stored [`ChaseState`] went through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionVerdict {
+    /// Σ ⊨ τ: the chase of τ's frozen tableau reached the goal row.
+    Implied {
+        /// Triggers fired to reach the goal (cumulative across resumes).
+        chase_steps: usize,
+    },
+    /// Σ ⊭ τ: the chase terminated without the goal — its final state is a
+    /// finite countermodel.
+    NotImplied {
+        /// Rows in the countermodel.
+        model_rows: usize,
+    },
+    /// The per-ask chase budget ran out before either certificate. Asking
+    /// again grants a fresh increment and resumes where this ask stopped.
+    Unknown {
+        /// Triggers fired so far (cumulative across resumes).
+        chase_steps: usize,
+        /// Rows in the suspended state.
+        state_rows: usize,
+    },
+}
+
+/// A suspended per-goal chase: the resumable fixpoint computation plus the
+/// goal pattern it is driving toward.
+#[derive(Debug)]
+struct GoalChase {
+    state: ChaseState,
+    goal: Goal,
+}
+
+/// The mutable contents of a [`Session`]: the dependency set Σ and the
+/// per-goal incremental machinery.
+#[derive(Debug, Default)]
+struct SessionInner {
+    /// The session's schema, fixed by the first dependency or ask.
+    schema: Option<Schema>,
+    /// Σ, in insertion order, keyed by the (unique) dependency name. Order
+    /// matters: it is the resume prefix of every stored [`ChaseState`].
+    deps: Vec<(String, Td)>,
+    /// Suspended chases keyed by the goal's [`canon_key`] — isomorphic
+    /// goals share one resumable fixpoint.
+    chases: HashMap<CanonKey, GoalChase>,
+    /// Settled verdicts for the *current* Σ, invalidated monotonically on
+    /// dependency changes (`Unknown` is never cached).
+    verdicts: HashMap<CanonKey, SessionVerdict>,
+}
+
+/// A named incremental Σ-session owned by an [`Engine`]: a dependency set
+/// that evolves across requests, with per-goal [`ChaseState`]s that are
+/// *resumed* — not recomputed — when Σ grows.
+///
+/// All session state sits behind one internal mutex, so concurrent
+/// operations on the same session serialize: every ask observes a
+/// consistent Σ, and interleaved add/ask streams behave like some serial
+/// order of the same operations.
+///
+/// Verdict-cache invalidation exploits that implication is monotone in Σ:
+///
+/// * **adding** a dependency preserves every `Implied` verdict (the old
+///   proof still stands) but drops `NotImplied` ones (the countermodel may
+///   violate the new premise); suspended chases are *kept* — the appended
+///   TD joins them through the resume protocol;
+/// * **removing** a dependency preserves `NotImplied` verdicts (the
+///   countermodel still satisfies the smaller Σ) but drops `Implied` ones,
+///   and discards every suspended chase — derived rows cannot be
+///   retracted, so the next ask re-chases from scratch.
+#[derive(Debug)]
+pub struct Session {
+    id: String,
+    inner: Mutex<SessionInner>,
+}
+
+impl Session {
+    /// The session's registry id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+}
+
+/// The id-keyed session registry: bounded, LRU-evicting.
+#[derive(Debug)]
+struct SessionRegistry {
+    map: HashMap<String, Arc<Session>>,
+    /// LRU order, front = least recently used. Touched by every session
+    /// operation.
+    order: VecDeque<String>,
+    max: usize,
+    opened: u64,
+    evictions: u64,
+}
+
+/// A snapshot of the session registry's accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions currently open.
+    pub open: usize,
+    /// Sessions opened over the engine's lifetime.
+    pub opened: u64,
+    /// Sessions evicted by the LRU bound (closes are not evictions).
+    pub evictions: u64,
+}
+
 /// A long-lived, thread-safe solving service: share one per process (or
 /// per tenant) by reference and route every implication question through
 /// it. See the module docs for the ownership picture.
@@ -217,6 +330,8 @@ pub struct Engine {
     pending: Mutex<HashSet<CanonKey>>,
     /// …and the condvar its waiters block on.
     settled: Condvar,
+    /// Named incremental Σ-sessions (see [`Session`]).
+    sessions: Mutex<SessionRegistry>,
 }
 
 impl Default for Engine {
@@ -243,6 +358,13 @@ impl Engine {
             inflight: Mutex::new(Vec::new()),
             pending: Mutex::new(HashSet::new()),
             settled: Condvar::new(),
+            sessions: Mutex::new(SessionRegistry {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                max: config.max_sessions.max(1),
+                opened: 0,
+                evictions: 0,
+            }),
         }
     }
 
@@ -482,6 +604,202 @@ impl Engine {
         Ok(run)
     }
 
+    /// Opens a named session. Fails if the id is already open; at the
+    /// configured bound ([`EngineConfig::max_sessions`]) the
+    /// least-recently-used session is evicted first. In-flight operations
+    /// on an evicted session finish normally — they hold their own
+    /// [`Arc<Session>`] — but the id stops resolving.
+    pub fn session_open(&self, id: &str) -> Result<()> {
+        if self.is_shut_down() {
+            return Err(RedError::ShutDown);
+        }
+        let mut reg = self.sessions.lock().expect("sessions lock poisoned");
+        if reg.map.contains_key(id) {
+            return Err(RedError::Session(format!("session `{id}` is already open")));
+        }
+        while reg.map.len() >= reg.max {
+            let Some(oldest) = reg.order.pop_front() else {
+                break;
+            };
+            reg.map.remove(&oldest);
+            reg.evictions += 1;
+        }
+        reg.map.insert(
+            id.to_owned(),
+            Arc::new(Session {
+                id: id.to_owned(),
+                inner: Mutex::new(SessionInner::default()),
+            }),
+        );
+        reg.order.push_back(id.to_owned());
+        reg.opened += 1;
+        Ok(())
+    }
+
+    /// Closes a named session, dropping its Σ and every suspended chase.
+    pub fn session_close(&self, id: &str) -> Result<()> {
+        let mut reg = self.sessions.lock().expect("sessions lock poisoned");
+        if reg.map.remove(id).is_none() {
+            return Err(RedError::Session(format!("unknown session `{id}`")));
+        }
+        if let Some(pos) = reg.order.iter().position(|n| n == id) {
+            reg.order.remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Resolves a session id to its shared handle, touching its LRU slot.
+    /// The registry lock is released before the caller takes the session's
+    /// own lock, so registry operations never wait on a running ask.
+    fn session(&self, id: &str) -> Result<Arc<Session>> {
+        let mut reg = self.sessions.lock().expect("sessions lock poisoned");
+        let Some(session) = reg.map.get(id).map(Arc::clone) else {
+            return Err(RedError::Session(format!("unknown session `{id}`")));
+        };
+        if let Some(pos) = reg.order.iter().position(|n| n == id) {
+            reg.order.remove(pos);
+            reg.order.push_back(id.to_owned());
+        }
+        Ok(session)
+    }
+
+    /// Fixes or checks the session's schema against `schema`.
+    fn session_schema(inner: &mut SessionInner, id: &str, schema: &Schema) -> Result<()> {
+        match &inner.schema {
+            Some(s) => s
+                .expect_same(schema)
+                .map_err(|e| RedError::Session(format!("session `{id}` schema mismatch: {e}")))?,
+            None => inner.schema = Some(schema.clone()),
+        }
+        Ok(())
+    }
+
+    /// Adds dependencies to a session's Σ, returning the new Σ size.
+    /// Names must be unique within the session (they are the removal
+    /// handle); the whole call is rejected before any mutation if one
+    /// clashes. Cached `NotImplied` verdicts are dropped (their
+    /// countermodels may violate the new premises); `Implied` verdicts and
+    /// every suspended chase survive — the appended TDs are integrated by
+    /// the next ask's resumed chase, which is the whole point.
+    pub fn session_add_deps(&self, id: &str, tds: &[Td]) -> Result<usize> {
+        let session = self.session(id)?;
+        let mut inner = session.inner.lock().expect("session lock poisoned");
+        for td in tds {
+            Self::session_schema(&mut inner, id, td.schema())?;
+            let clash = inner.deps.iter().any(|(n, _)| n == td.name())
+                || tds.iter().filter(|t| t.name() == td.name()).count() > 1;
+            if clash {
+                return Err(RedError::Session(format!(
+                    "session `{id}` already has a dependency named `{}`",
+                    td.name()
+                )));
+            }
+        }
+        for td in tds {
+            inner.deps.push((td.name().to_owned(), td.clone()));
+        }
+        inner
+            .verdicts
+            .retain(|_, v| matches!(v, SessionVerdict::Implied { .. }));
+        Ok(inner.deps.len())
+    }
+
+    /// Removes a dependency by name, returning the new Σ size. Cached
+    /// `Implied` verdicts are dropped (their proofs may lean on the
+    /// removed premise) and every suspended chase is discarded — derived
+    /// rows cannot be retracted, so the next ask re-chases from scratch.
+    /// `NotImplied` verdicts survive: a countermodel of a set still
+    /// satisfies every subset.
+    pub fn session_remove_dep(&self, id: &str, name: &str) -> Result<usize> {
+        let session = self.session(id)?;
+        let mut inner = session.inner.lock().expect("session lock poisoned");
+        let Some(pos) = inner.deps.iter().position(|(n, _)| n == name) else {
+            return Err(RedError::Session(format!(
+                "session `{id}` has no dependency named `{name}`"
+            )));
+        };
+        inner.deps.remove(pos);
+        inner.chases.clear();
+        inner
+            .verdicts
+            .retain(|_, v| matches!(v, SessionVerdict::NotImplied { .. }));
+        Ok(inner.deps.len())
+    }
+
+    /// Asks `Σ ⊨ goal?` on a session's current Σ. Returns the verdict and
+    /// whether it came from the session's verdict cache.
+    ///
+    /// A cold goal freezes its tableau and chases from scratch; a goal
+    /// whose chase was suspended (by an earlier budget-bounded `Unknown`,
+    /// or by Σ growing since) *resumes* it, redoing only the delta. The
+    /// per-ask chase budget is an **increment** over the suspended state's
+    /// spent counters, so every retry makes progress instead of re-hitting
+    /// the same wall. Runs under a minted [`Ticket`]: shutdown cancels
+    /// in-flight asks, which then report `Unknown` (never cached, and the
+    /// partial state is kept for a later resume).
+    pub fn session_ask(&self, id: &str, goal: &Td) -> Result<(SessionVerdict, bool)> {
+        let session = self.session(id)?;
+        let ticket = self.mint(None)?;
+        let mut inner = session.inner.lock().expect("session lock poisoned");
+        Self::session_schema(&mut inner, id, goal.schema())?;
+
+        let key = canon_key(goal);
+        if let Some(v) = inner.verdicts.get(&key) {
+            return Ok((*v, true));
+        }
+
+        let mut chase = match inner.chases.remove(&key) {
+            Some(chase) => chase,
+            None => {
+                let (frozen, _, goal_pattern) = freeze(goal)?;
+                GoalChase {
+                    state: ChaseState::new(frozen),
+                    goal: goal_pattern,
+                }
+            }
+        };
+        let tds: Vec<Td> = inner.deps.iter().map(|(_, td)| td.clone()).collect();
+        let base = self.policy.base().chase;
+        let budget = ChaseBudget {
+            max_steps: chase.state.steps_fired().saturating_add(base.max_steps),
+            max_rows: chase.state.rows().saturating_add(base.max_rows),
+            max_rounds: chase.state.rounds_run().saturating_add(base.max_rounds),
+        };
+        let mut engine = ChaseEngine::resume(&tds, chase.state, ChasePolicy::Restricted, budget)?
+            .with_strategy(self.opts.strategy)
+            .with_cancellation(ticket.cancellation());
+        let outcome = engine.run(Some(&chase.goal));
+        let verdict = match outcome {
+            ChaseOutcome::GoalReached => SessionVerdict::Implied {
+                chase_steps: engine.steps_fired(),
+            },
+            ChaseOutcome::Terminated => SessionVerdict::NotImplied {
+                model_rows: engine.state().len(),
+            },
+            ChaseOutcome::BudgetExhausted => SessionVerdict::Unknown {
+                chase_steps: engine.steps_fired(),
+                state_rows: engine.state().len(),
+            },
+        };
+        chase.state = engine.suspend();
+        chase.state.shrink_to_fit();
+        inner.chases.insert(key, chase);
+        if !matches!(verdict, SessionVerdict::Unknown { .. }) {
+            inner.verdicts.insert(key, verdict);
+        }
+        Ok((verdict, false))
+    }
+
+    /// A snapshot of the session registry's accounting.
+    pub fn session_stats(&self) -> SessionStats {
+        let reg = self.sessions.lock().expect("sessions lock poisoned");
+        SessionStats {
+            open: reg.map.len(),
+            opened: reg.opened,
+            evictions: reg.evictions,
+        }
+    }
+
     /// Redundancy analysis for a dependency set (the `tdq deps` question):
     /// for each `dᵢ ∈ tds`, does the rest of the set already imply it?
     /// Runs under the engine's chase budget and match strategy; counts as
@@ -683,6 +1001,231 @@ mod tests {
         engine.shutdown();
         let d = engine.decide(&derivable_renamed()).unwrap();
         assert!(d.cached);
+    }
+
+    // ---- session tests -------------------------------------------------
+
+    fn rel_schema() -> Schema {
+        Schema::new("R", ["A", "B"]).unwrap()
+    }
+
+    fn build_td(name: &str, antecedents: &[[&str; 2]], conclusion: [&str; 2]) -> Td {
+        let mut b = td_core::td::TdBuilder::new(rel_schema());
+        for row in antecedents {
+            b = b.antecedent(*row).unwrap();
+        }
+        b.conclusion(conclusion).unwrap().build(name).unwrap()
+    }
+
+    /// The full product TD `R(a,b) & R(a',b') -> R(a,b')` — strong: its
+    /// closure is the active-domain product, so it implies every full TD
+    /// over this schema.
+    fn prod() -> Td {
+        build_td("prod", &[["a", "b"], ["a'", "b'"]], ["a", "b'"])
+    }
+
+    /// Pseudo-transitivity `R(a,b) & R(a',b) & R(a',b') -> R(a,b')` —
+    /// weak: only closes connected components, does *not* imply `prod`.
+    fn pt() -> Td {
+        build_td("pt", &[["a", "b"], ["a'", "b"], ["a'", "b'"]], ["a", "b'"])
+    }
+
+    /// A goal isomorphic to `prod` (different name; the session keys goals
+    /// by canonical form, so the name must not matter).
+    fn prod_goal() -> Td {
+        build_td("goal", &[["x", "y"], ["x'", "y'"]], ["x", "y'"])
+    }
+
+    #[test]
+    fn session_lifecycle_monotone_invalidation() {
+        let engine = Engine::new();
+        engine.session_open("s").unwrap();
+        let goal = prod_goal();
+
+        // Empty Σ: the frozen two-row tableau is already a fixpoint.
+        let (v, cached) = engine.session_ask("s", &goal).unwrap();
+        assert_eq!(v, SessionVerdict::NotImplied { model_rows: 2 });
+        assert!(!cached);
+        let (v2, cached) = engine.session_ask("s", &goal).unwrap();
+        assert_eq!(v2, v);
+        assert!(cached, "settled verdicts are cached per session");
+
+        // Adding the weak TD invalidates NotImplied, and the re-ask (a
+        // resumed chase) still refutes: pt cannot bridge the components.
+        assert_eq!(engine.session_add_deps("s", &[pt()]).unwrap(), 1);
+        let (v, cached) = engine.session_ask("s", &goal).unwrap();
+        assert_eq!(v, SessionVerdict::NotImplied { model_rows: 2 });
+        assert!(!cached, "add_dep drops NotImplied verdicts");
+
+        // Adding prod flips the verdict; the suspended chase is resumed,
+        // not restarted, and the goal is found.
+        assert_eq!(engine.session_add_deps("s", &[prod()]).unwrap(), 2);
+        let (v, cached) = engine.session_ask("s", &goal).unwrap();
+        assert!(matches!(v, SessionVerdict::Implied { .. }), "{v:?}");
+        assert!(!cached);
+        let (_, cached) = engine.session_ask("s", &goal).unwrap();
+        assert!(cached, "Implied verdicts cache until Σ shrinks");
+
+        // Removal drops Implied and re-chases from scratch.
+        assert_eq!(engine.session_remove_dep("s", "prod").unwrap(), 1);
+        let (v, cached) = engine.session_ask("s", &goal).unwrap();
+        assert_eq!(v, SessionVerdict::NotImplied { model_rows: 2 });
+        assert!(!cached, "remove_dep drops Implied verdicts");
+
+        // Every verdict above agrees with the from-scratch oracle.
+        let oracle =
+            inference::implies(&[pt()], &goal, td_core::chase::ChaseBudget::default()).unwrap();
+        assert!(matches!(oracle, InferenceVerdict::NotImplied(_)));
+
+        engine.session_close("s").unwrap();
+        assert!(matches!(
+            engine.session_ask("s", &goal),
+            Err(RedError::Session(_))
+        ));
+    }
+
+    #[test]
+    fn session_errors_are_structured() {
+        let engine = Engine::new();
+        engine.session_open("s").unwrap();
+        assert!(matches!(
+            engine.session_open("s"),
+            Err(RedError::Session(_))
+        ));
+        assert!(matches!(
+            engine.session_close("nope"),
+            Err(RedError::Session(_))
+        ));
+        assert!(matches!(
+            engine.session_add_deps("nope", &[prod()]),
+            Err(RedError::Session(_))
+        ));
+        assert!(matches!(
+            engine.session_remove_dep("s", "prod"),
+            Err(RedError::Session(_))
+        ));
+        // Duplicate names: within one call, and against resident deps.
+        assert!(matches!(
+            engine.session_add_deps("s", &[prod(), prod()]),
+            Err(RedError::Session(_))
+        ));
+        engine.session_add_deps("s", &[prod()]).unwrap();
+        assert!(matches!(
+            engine.session_add_deps("s", &[prod()]),
+            Err(RedError::Session(_))
+        ));
+        // The rejected double-add must not have mutated Σ.
+        assert_eq!(engine.session_remove_dep("s", "prod").unwrap(), 0);
+
+        // Schema is fixed by the first dependency.
+        engine.session_add_deps("s", &[prod()]).unwrap();
+        let other = td_core::td::TdBuilder::new(Schema::new("S", ["X"]).unwrap())
+            .antecedent(["x"])
+            .unwrap()
+            .conclusion(["x"])
+            .unwrap()
+            .build("other")
+            .unwrap();
+        assert!(matches!(
+            engine.session_add_deps("s", std::slice::from_ref(&other)),
+            Err(RedError::Session(_))
+        ));
+        assert!(matches!(
+            engine.session_ask("s", &other),
+            Err(RedError::Session(_))
+        ));
+
+        // Shutdown refuses session work too.
+        engine.shutdown();
+        assert!(matches!(engine.session_open("t"), Err(RedError::ShutDown)));
+        assert!(matches!(
+            engine.session_ask("s", &prod_goal()),
+            Err(RedError::ShutDown)
+        ));
+    }
+
+    #[test]
+    fn session_registry_is_bounded_with_lru_eviction() {
+        let engine = Engine::with_config(EngineConfig {
+            max_sessions: 2,
+            ..EngineConfig::default()
+        });
+        engine.session_open("a").unwrap();
+        engine.session_open("b").unwrap();
+        // Touch `a` so `b` becomes the least recently used…
+        engine.session_add_deps("a", &[prod()]).unwrap();
+        // …and the third open evicts `b`, not `a`.
+        engine.session_open("c").unwrap();
+        assert!(matches!(
+            engine.session_add_deps("b", &[prod()]),
+            Err(RedError::Session(_))
+        ));
+        assert_eq!(engine.session_remove_dep("a", "prod").unwrap(), 0);
+
+        let stats = engine.session_stats();
+        assert_eq!(stats.open, 2);
+        assert_eq!(stats.opened, 3);
+        assert_eq!(stats.evictions, 1);
+
+        // A close is not an eviction.
+        engine.session_close("c").unwrap();
+        assert_eq!(engine.session_stats().open, 1);
+        assert_eq!(engine.session_stats().evictions, 1);
+    }
+
+    #[test]
+    fn session_ask_budget_is_an_increment_so_retries_progress() {
+        // One fired step per ask: the goal needs several, so the session
+        // answers Unknown a few times — each ask resuming exactly where
+        // the last stopped — before settling, instead of re-hitting the
+        // same wall forever (what an absolute budget would do).
+        let budgets = Budgets {
+            chase: td_core::chase::ChaseBudget {
+                max_steps: 1,
+                max_rows: 10_000,
+                max_rounds: 10_000,
+            },
+            ..Budgets::default()
+        };
+        let engine = Engine::with_config(EngineConfig {
+            budgets,
+            ..EngineConfig::default()
+        });
+        engine.session_open("s").unwrap();
+        engine.session_add_deps("s", &[prod()]).unwrap();
+        // Three disconnected rows; reaching goal pattern (x, y'') takes
+        // more than one product firing.
+        let goal = build_td(
+            "wide",
+            &[["x", "y"], ["x'", "y'"], ["x''", "y''"]],
+            ["x", "y''"],
+        );
+
+        let (first, _) = engine.session_ask("s", &goal).unwrap();
+        assert!(
+            matches!(first, SessionVerdict::Unknown { .. }),
+            "one step cannot settle this goal: {first:?}"
+        );
+        let mut asks = 1;
+        let verdict = loop {
+            let (v, cached) = engine.session_ask("s", &goal).unwrap();
+            asks += 1;
+            assert!(asks < 20, "increments must make progress");
+            if let SessionVerdict::Unknown { chase_steps, .. } = v {
+                assert!(!cached, "Unknown is never cached");
+                assert!(chase_steps >= asks - 1, "each ask fires its step");
+                continue;
+            }
+            break (v, cached);
+        };
+        assert!(
+            matches!(verdict.0, SessionVerdict::Implied { .. }),
+            "{verdict:?}"
+        );
+        // The closure of prod over 3 rows needs at most 6 firings.
+        if let SessionVerdict::Implied { chase_steps } = verdict.0 {
+            assert!(chase_steps <= 6, "resume never redoes fired steps");
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum RedError {
     /// The guided part (A) chase did not reach the goal (indicates a bug or
     /// a corrupt derivation).
     GuidedChaseFailed(String),
+    /// A named-session operation failed (unknown id, duplicate id or
+    /// dependency name, schema mismatch against the session's Σ, …).
+    Session(String),
     /// The request was rejected because the serving
     /// [`crate::engine::Engine`] has been shut down.
     ShutDown,
@@ -43,6 +46,7 @@ impl fmt::Display for RedError {
             RedError::Precondition(msg) => write!(f, "precondition violated: {msg}"),
             RedError::BridgeInvariant(msg) => write!(f, "bridge invariant violated: {msg}"),
             RedError::GuidedChaseFailed(msg) => write!(f, "guided chase failed: {msg}"),
+            RedError::Session(msg) => write!(f, "{msg}"),
             RedError::ShutDown => write!(f, "engine is shut down"),
         }
     }

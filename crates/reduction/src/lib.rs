@@ -60,7 +60,8 @@ pub mod prelude {
     pub use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache, DEFAULT_SHARD_CAPACITY};
     pub use crate::deps::{build_system, ReductionSystem, Rule, Rule2};
     pub use crate::engine::{
-        BudgetPolicy, Decision, Engine, EngineConfig, EngineStats, RequestBudget, Ticket,
+        BudgetPolicy, Decision, Engine, EngineConfig, EngineStats, RequestBudget, Session,
+        SessionStats, SessionVerdict, Ticket,
     };
     pub use crate::error::RedError;
     pub use crate::part_a::{prove_part_a, prove_part_a_with, prove_unguided};

@@ -32,7 +32,10 @@ USAGE:
     tdq serve --stdio [OPTS]        long-lived NDJSON session on stdin/stdout
     tdq serve --listen ADDR [OPTS]  concurrent NDJSON sessions over TCP; all
                                     clients share one engine (warm decision
-                                    cache, cumulative stats). See docs/PROTOCOL.md
+                                    cache, cumulative stats). Both modes also
+                                    speak the incremental Σ-session ops
+                                    (session_open/_add_dep/_remove_dep/_ask/
+                                    _close). See docs/PROTOCOL.md
     tdq normalize FILE              normalize a presentation to (2,1)/(1,1) equations
     tdq reduce FILE                 print the reduction (attributes, D, D0) of an instance
     tdq help                        print this text
@@ -55,6 +58,9 @@ OPTIONS:
                     \"solved\"}) after the batch verdicts
     --cache-cap N   decision-cache capacity per shard for batch/serve
                     (default 65536; 16 shards)
+    --max-sessions N
+                    bound on concurrently open Σ-sessions for serve
+                    (default 64; oldest-opened is evicted at the cap)
 
 BATCH INPUT (one JSON object per line):
     {\"id\": \"q1\", \"alphabet\": [\"A0\", \"A1\", \"0\"],
@@ -99,6 +105,16 @@ fn parse_format(v: &str) -> Result<Format, String> {
 /// through it, so the one-shot CLI and the persistent `serve` mode are
 /// the same code path.
 fn build_engine(strategy: MatchStrategy, jobs: Option<usize>, cache_cap: Option<usize>) -> Engine {
+    build_engine_with(strategy, jobs, cache_cap, None)
+}
+
+/// `build_engine` plus the serve-only session-registry bound.
+fn build_engine_with(
+    strategy: MatchStrategy,
+    jobs: Option<usize>,
+    cache_cap: Option<usize>,
+    max_sessions: Option<usize>,
+) -> Engine {
     let mut config = EngineConfig {
         opts: SolveOptions {
             strategy,
@@ -111,6 +127,9 @@ fn build_engine(strategy: MatchStrategy, jobs: Option<usize>, cache_cap: Option<
     }
     if let Some(cap) = cache_cap {
         config.cache_cap = cap;
+    }
+    if let Some(max) = max_sessions {
+        config.max_sessions = max;
     }
     Engine::with_config(config)
 }
@@ -517,6 +536,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut jobs: Option<usize> = None;
     let mut cache_cap: Option<usize> = None;
+    let mut max_sessions: Option<usize> = None;
     let mut strategy = MatchStrategy::default();
     let mut stdio = false;
     let mut listen: Option<String> = None;
@@ -527,6 +547,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--listen" => {
                 let v = it.next().ok_or("--listen needs an address (host:port)")?;
                 listen = Some(v.clone());
+            }
+            "--max-sessions" => {
+                let v = it.next().ok_or("--max-sessions needs a number")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-sessions: invalid session count `{v}`"))?;
+                if n == 0 {
+                    return Err("--max-sessions: must be at least 1".to_owned());
+                }
+                max_sessions = Some(n);
             }
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a number")?;
@@ -556,7 +586,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "serve needs exactly one of --stdio or --listen ADDR\n{USAGE}"
         ));
     }
-    let engine = build_engine(strategy, jobs, cache_cap);
+    let engine = build_engine_with(strategy, jobs, cache_cap, max_sessions);
     if stdio {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();

@@ -44,8 +44,11 @@ use td_semigroup::alphabet::Alphabet;
 use td_semigroup::equation::Equation;
 use td_semigroup::presentation::Presentation;
 
+use td_core::td::Td;
 use td_reduction::batch::{BatchRun, BatchVerdict};
-use td_reduction::engine::{Decision, Engine, EngineStats, RequestBudget};
+use td_reduction::engine::{
+    Decision, Engine, EngineStats, RequestBudget, SessionStats, SessionVerdict,
+};
 use td_reduction::pipeline::{PhaseTimings, SpendReport};
 
 use crate::jsonl::{Json, JsonError};
@@ -338,8 +341,14 @@ pub fn batch_reply(id: &Json, ids: &[String], run: &BatchRun) -> String {
 
 /// A `stats` reply: the engine's cumulative accounting. Spend totals are
 /// opt-in (`"spend":true`) for the same determinism reason as in
-/// [`wp_reply`].
-pub fn stats_reply(id: &Json, stats: &EngineStats, spend: bool) -> String {
+/// [`wp_reply`]; session-registry counters are opt-in (`"sessions":true`)
+/// so the pre-session reply shape stays byte-stable.
+pub fn stats_reply(
+    id: &Json,
+    stats: &EngineStats,
+    spend: bool,
+    sessions: Option<&SessionStats>,
+) -> String {
     let mut fields = vec![
         ("id".to_owned(), id.clone()),
         ("ok".to_owned(), Json::from(true)),
@@ -357,7 +366,53 @@ pub fn stats_reply(id: &Json, stats: &EngineStats, spend: bool) -> String {
         ));
         fields.push(("model_nodes".to_owned(), Json::from(stats.model_nodes)));
     }
+    if let Some(s) = sessions {
+        fields.push(("sessions_open".to_owned(), Json::from(s.open)));
+        fields.push(("sessions_opened".to_owned(), Json::from(s.opened)));
+        fields.push(("session_evictions".to_owned(), Json::from(s.evictions)));
+    }
     Json::Obj(fields).render()
+}
+
+/// The verdict fields of a `session_ask` reply: the session chase's
+/// incremental certificate counters, using the protocol's standard
+/// `implied`/`refuted`/`unknown` vocabulary.
+pub fn session_verdict_fields(verdict: &SessionVerdict) -> Vec<(String, Json)> {
+    match *verdict {
+        SessionVerdict::Implied { chase_steps } => vec![
+            ("verdict".to_owned(), Json::from("implied")),
+            ("chase_steps".to_owned(), Json::from(chase_steps)),
+        ],
+        SessionVerdict::NotImplied { model_rows } => vec![
+            ("verdict".to_owned(), Json::from("refuted")),
+            ("model_rows".to_owned(), Json::from(model_rows)),
+        ],
+        SessionVerdict::Unknown {
+            chase_steps,
+            state_rows,
+        } => vec![
+            ("verdict".to_owned(), Json::from("unknown")),
+            ("chase_steps".to_owned(), Json::from(chase_steps)),
+            ("state_rows".to_owned(), Json::from(state_rows)),
+        ],
+    }
+}
+
+/// Parses the `"text"` of a session op as a pure TD set: the `tdq deps`
+/// text format, restricted — equality-generating dependencies and
+/// instance rows have no meaning inside a session's Σ and are rejected.
+fn parse_session_tds(text: &str) -> Result<Vec<Td>, String> {
+    let file = td_core::parser::parse(text).map_err(|e| e.to_string())?;
+    if !file.eids.is_empty() {
+        return Err("session operations accept only TDs; found an EID".to_owned());
+    }
+    if !file.instance.is_empty() {
+        return Err("session operations accept only TDs; found instance rows".to_owned());
+    }
+    if file.tds.is_empty() {
+        return Err("no TDs in \"text\"".to_owned());
+    }
+    Ok(file.tds)
 }
 
 /// Parses the optional per-request `"budgets"` override object.
@@ -448,7 +503,119 @@ pub fn handle_line(engine: &Engine, line: &str) -> ServeReply {
         }
         "stats" => {
             let spend = j.get("spend").and_then(Json::as_bool).unwrap_or(false);
-            reply(stats_reply(&id, &engine.stats(), spend))
+            let sessions = j
+                .get("sessions")
+                .and_then(Json::as_bool)
+                .unwrap_or(false)
+                .then(|| engine.session_stats());
+            reply(stats_reply(&id, &engine.stats(), spend, sessions.as_ref()))
+        }
+        "session_open" | "session_close" => {
+            let Some(sid) = j.get("session").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"session\" field", None));
+            };
+            let result = if op == "session_open" {
+                engine.session_open(sid)
+            } else {
+                engine.session_close(sid)
+            };
+            match result {
+                Ok(()) => reply(
+                    Json::Obj(vec![
+                        ("id".to_owned(), id),
+                        ("ok".to_owned(), Json::from(true)),
+                        ("op".to_owned(), Json::from(op)),
+                        ("session".to_owned(), Json::from(sid)),
+                    ])
+                    .render(),
+                ),
+                Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+            }
+        }
+        "session_add_dep" => {
+            let Some(sid) = j.get("session").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"session\" field", None));
+            };
+            let Some(text) = j.get("text").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"text\" field", None));
+            };
+            let tds = match parse_session_tds(text) {
+                Ok(tds) => tds,
+                Err(msg) => return reply(error_reply(&id, &msg, None)),
+            };
+            match engine.session_add_deps(sid, &tds) {
+                Ok(total) => {
+                    let added: Vec<Json> = tds.iter().map(|td| Json::from(td.name())).collect();
+                    reply(
+                        Json::Obj(vec![
+                            ("id".to_owned(), id),
+                            ("ok".to_owned(), Json::from(true)),
+                            ("op".to_owned(), Json::from(op)),
+                            ("session".to_owned(), Json::from(sid)),
+                            ("added".to_owned(), Json::Arr(added)),
+                            ("deps".to_owned(), Json::from(total)),
+                        ])
+                        .render(),
+                    )
+                }
+                Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+            }
+        }
+        "session_remove_dep" => {
+            let Some(sid) = j.get("session").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"session\" field", None));
+            };
+            let Some(name) = j.get("name").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"name\" field", None));
+            };
+            match engine.session_remove_dep(sid, name) {
+                Ok(total) => reply(
+                    Json::Obj(vec![
+                        ("id".to_owned(), id),
+                        ("ok".to_owned(), Json::from(true)),
+                        ("op".to_owned(), Json::from(op)),
+                        ("session".to_owned(), Json::from(sid)),
+                        ("removed".to_owned(), Json::from(name)),
+                        ("deps".to_owned(), Json::from(total)),
+                    ])
+                    .render(),
+                ),
+                Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+            }
+        }
+        "session_ask" => {
+            let Some(sid) = j.get("session").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"session\" field", None));
+            };
+            let Some(text) = j.get("text").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"text\" field", None));
+            };
+            let tds = match parse_session_tds(text) {
+                Ok(tds) => tds,
+                Err(msg) => return reply(error_reply(&id, &msg, None)),
+            };
+            let [goal] = tds.as_slice() else {
+                return reply(error_reply(
+                    &id,
+                    "session_ask takes exactly one TD as the goal",
+                    None,
+                ));
+            };
+            match engine.session_ask(sid, goal) {
+                Ok((verdict, cached)) => {
+                    let mut fields = vec![
+                        ("id".to_owned(), id),
+                        ("ok".to_owned(), Json::from(true)),
+                        ("op".to_owned(), Json::from(op)),
+                        ("session".to_owned(), Json::from(sid)),
+                        ("goal".to_owned(), Json::from(goal.name())),
+                    ];
+                    fields.extend(session_verdict_fields(&verdict));
+                    fields.push(("cached".to_owned(), Json::from(cached)));
+                    reply(Json::Obj(fields).render())
+                }
+                Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+            }
         }
         "shutdown" => {
             engine.shutdown();
@@ -690,6 +857,131 @@ mod tests {
         );
         assert!(r.text.contains("\"verdict\":\"refuted\""), "{}", r.text);
         assert!(r.text.contains("\"spend\":{"), "{}", r.text);
+    }
+
+    const PROD_TEXT: &str = "schema R(A, B)\\ntd prod: (a, b) (a2, b2) -> (a, b2)\\n";
+    const PT_TEXT: &str = "schema R(A, B)\\ntd pt: (a, b) (a2, b) (a2, b2) -> (a, b2)\\n";
+
+    fn session_line(id: &str, op: &str, sid: &str, extra: &str) -> String {
+        format!("{{\"id\":\"{id}\",\"op\":\"{op}\",\"session\":\"{sid}\"{extra}}}")
+    }
+
+    #[test]
+    fn session_ops_round_trip() {
+        let engine = Engine::new();
+        let r = handle_line(&engine, &session_line("1", "session_open", "s1", ""));
+        assert_eq!(
+            r.text,
+            "{\"id\":\"1\",\"ok\":true,\"op\":\"session_open\",\"session\":\"s1\"}"
+        );
+
+        // Empty Σ refutes any non-trivial goal: the frozen goal instance is
+        // already a fixpoint and the conclusion is absent.
+        let ask_pt = format!(",\"text\":\"{PT_TEXT}\"");
+        let r = handle_line(&engine, &session_line("2", "session_ask", "s1", &ask_pt));
+        assert!(r.text.contains("\"verdict\":\"refuted\""), "{}", r.text);
+        assert!(r.text.contains("\"goal\":\"pt\""), "{}", r.text);
+        assert!(r.text.contains("\"cached\":false"), "{}", r.text);
+
+        // Adding the product TD flips the verdict: prod implies every full
+        // TD over the schema, so the NotImplied verdict must be dropped and
+        // the parked chase resumed.
+        let add = format!(",\"text\":\"{PROD_TEXT}\"");
+        let r = handle_line(&engine, &session_line("3", "session_add_dep", "s1", &add));
+        assert_eq!(
+            r.text,
+            "{\"id\":\"3\",\"ok\":true,\"op\":\"session_add_dep\",\"session\":\"s1\",\
+             \"added\":[\"prod\"],\"deps\":1}"
+        );
+        let r = handle_line(&engine, &session_line("4", "session_ask", "s1", &ask_pt));
+        assert!(r.text.contains("\"verdict\":\"implied\""), "{}", r.text);
+        assert!(r.text.contains("\"cached\":false"), "{}", r.text);
+        let r = handle_line(&engine, &session_line("5", "session_ask", "s1", &ask_pt));
+        assert!(r.text.contains("\"cached\":true"), "{}", r.text);
+
+        // Removal reverts to the empty-Σ refutation (recomputed, not cached).
+        let r = handle_line(
+            &engine,
+            &session_line("6", "session_remove_dep", "s1", ",\"name\":\"prod\""),
+        );
+        assert_eq!(
+            r.text,
+            "{\"id\":\"6\",\"ok\":true,\"op\":\"session_remove_dep\",\"session\":\"s1\",\
+             \"removed\":\"prod\",\"deps\":0}"
+        );
+        let r = handle_line(&engine, &session_line("7", "session_ask", "s1", &ask_pt));
+        assert!(r.text.contains("\"verdict\":\"refuted\""), "{}", r.text);
+        assert!(r.text.contains("\"cached\":false"), "{}", r.text);
+
+        let r = handle_line(&engine, &session_line("8", "session_close", "s1", ""));
+        assert_eq!(
+            r.text,
+            "{\"id\":\"8\",\"ok\":true,\"op\":\"session_close\",\"session\":\"s1\"}"
+        );
+        let r = handle_line(&engine, &session_line("9", "session_ask", "s1", &ask_pt));
+        assert!(r.text.contains("unknown session `s1`"), "{}", r.text);
+    }
+
+    #[test]
+    fn session_error_envelopes() {
+        let engine = Engine::new();
+        let r = handle_line(&engine, "{\"id\":\"a\",\"op\":\"session_open\"}");
+        assert!(
+            r.text.contains("missing \\\"session\\\" field"),
+            "{}",
+            r.text
+        );
+
+        let r = handle_line(&engine, &session_line("b", "session_close", "ghost", ""));
+        assert!(r.text.contains("unknown session `ghost`"), "{}", r.text);
+
+        handle_line(&engine, &session_line("c", "session_open", "s", ""));
+        let r = handle_line(&engine, &session_line("c2", "session_open", "s", ""));
+        assert!(r.text.contains("already open"), "{}", r.text);
+
+        let r = handle_line(&engine, &session_line("d", "session_add_dep", "s", ""));
+        assert!(r.text.contains("missing \\\"text\\\" field"), "{}", r.text);
+
+        let eid = ",\"text\":\"schema R(A, B)\\neid e: (a, b) (a, b2) -> (x, b) (x, b2)\\n\"";
+        let r = handle_line(&engine, &session_line("e", "session_add_dep", "s", eid));
+        assert!(r.text.contains("found an EID"), "{}", r.text);
+
+        // A two-TD text is a fine dependency payload but not a goal.
+        let both = ",\"text\":\"schema R(A, B)\\ntd prod: (a, b) (a2, b2) -> (a, b2)\\n\
+                    td pt: (a, b) (a2, b) (a2, b2) -> (a, b2)\\n\"";
+        let r = handle_line(&engine, &session_line("f", "session_ask", "s", both));
+        assert!(r.text.contains("exactly one TD"), "{}", r.text);
+
+        let r = handle_line(
+            &engine,
+            &session_line("g", "session_remove_dep", "s", ",\"name\":\"nope\""),
+        );
+        assert!(r.text.contains("no dependency named"), "{}", r.text);
+    }
+
+    #[test]
+    fn stats_session_counters_are_opt_in() {
+        let engine = Engine::new();
+        handle_line(&engine, &session_line("1", "session_open", "s1", ""));
+        let plain = handle_line(&engine, "{\"id\":\"s\",\"op\":\"stats\"}");
+        assert!(
+            !plain.text.contains("sessions_open"),
+            "default stats reply must stay byte-stable: {}",
+            plain.text
+        );
+        let with = handle_line(
+            &engine,
+            "{\"id\":\"s2\",\"op\":\"stats\",\"sessions\":true}",
+        );
+        assert!(with.text.contains("\"sessions_open\":1"), "{}", with.text);
+        assert!(with.text.contains("\"sessions_opened\":1"), "{}", with.text);
+        assert!(
+            with.text.contains("\"session_evictions\":0"),
+            "{}",
+            with.text
+        );
+        // Session traffic does not perturb the decision-request counters.
+        assert_eq!(engine.stats().requests, 0);
     }
 
     #[test]

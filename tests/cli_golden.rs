@@ -186,6 +186,23 @@ fn serve_session_golden() {
     );
 }
 
+/// The Σ-session lifecycle end to end over `serve --stdio`: open, an ask
+/// under empty Σ (refuted), add_dep flipping the verdict via a resumed
+/// chase, a session-cache hit on an isomorphic goal, remove_dep falling
+/// back to a from-scratch re-chase, the error envelopes (unknown session
+/// id, duplicate dependency name, double close), opt-in session stats,
+/// close, and shutdown. Single-session ops are serialized, so the
+/// transcript is byte-deterministic; `serve-smoke` CI diffs the same
+/// fixture through a release `tdq`.
+#[test]
+fn session_lifecycle_golden() {
+    check_golden_stdin(
+        &["serve", "--stdio"],
+        "session_lifecycle.jsonl",
+        "session_lifecycle",
+    );
+}
+
 /// `--strategy` must never change an answer: the naive full-scan oracle
 /// replays the `wp` and `batch` fixtures against the *same* goldens as the
 /// default indexed planner.

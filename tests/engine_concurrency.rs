@@ -11,7 +11,9 @@
 //!   scheduling.
 
 use template_deps::prelude::*;
-use template_deps::td_reduction::engine::{Engine, EngineStats};
+use template_deps::td_core::ids::Var;
+use template_deps::td_core::td::TdRow;
+use template_deps::td_reduction::engine::{Engine, EngineConfig, EngineStats};
 
 /// Builds a presentation from renamed symbol tables, so each base
 /// instance gets `copies` disguised isomorphic variants (same structure,
@@ -267,4 +269,168 @@ fn shutdown_during_concurrent_traffic_is_clean() {
         }
     }
     assert!(matches!(engine.mint(None), Err(RedError::ShutDown)));
+}
+
+// ---------------------------------------------------------------------
+// Σ-sessions under concurrency.
+// ---------------------------------------------------------------------
+
+/// A full TD over the binary schema `R(C0, C1)` from variable-index rows.
+fn session_td(name: &str, antecedents: &[[u32; 2]], conclusion: [u32; 2]) -> Td {
+    let schema = Schema::new("R", ["C0", "C1"]).unwrap();
+    let rows: Vec<TdRow> = antecedents
+        .iter()
+        .map(|r| TdRow::new(r.iter().map(|&v| Var::new(v))))
+        .collect();
+    let concl = TdRow::new(conclusion.iter().map(|&v| Var::new(v)));
+    Td::new(schema, rows, concl, name).unwrap()
+}
+
+/// Pseudo-transitivity `R(a,b) & R(a',b) & R(a',b') -> R(a,b')`: fires only
+/// across rows connected through a shared column value.
+fn pt() -> Td {
+    session_td("pt", &[[0, 0], [1, 0], [1, 1]], [0, 1])
+}
+
+/// The product TD `R(a,b) & R(a',b') -> R(a,b')`: its frozen tableau is two
+/// *disconnected* rows, which no connected-antecedent TD can ever join.
+fn prod() -> Td {
+    session_td("prod", &[[0, 0], [1, 1]], [0, 1])
+}
+
+#[test]
+fn shared_session_clients_match_a_serialized_replay() {
+    // Two clients hammer ONE session: a reader asking two goals over and
+    // over, and a writer growing Σ with longer pseudo-transitivity chains
+    // between its own asks. The goals are chosen so their verdicts are
+    // invariant under every interleaving — `pt ∈ Σ` throughout (asks stay
+    // implied under adds: monotone), and `prod`'s disconnected tableau is
+    // unreachable by any connected chain (stays refuted) — so EVERY
+    // serialized replay of the ops gives the same verdict sequence, and the
+    // concurrent run must reproduce it exactly.
+    let chains: Vec<Td> = (0..4)
+        .map(|i| {
+            session_td(
+                &format!("chain{i}"),
+                &[[0, 0], [1, 0], [1, 1], [2 + i, 1]],
+                [2 + i, 0],
+            )
+        })
+        .collect();
+    let engine = Engine::new();
+    engine.session_open("shared").unwrap();
+    engine.session_add_deps("shared", &[pt()]).unwrap();
+
+    let (reader_verdicts, writer_verdicts) = std::thread::scope(|s| {
+        let reader = s.spawn(|| {
+            let engine = &engine;
+            (0..24)
+                .map(|i| {
+                    let goal = if i % 2 == 0 { pt() } else { prod() };
+                    engine.session_ask("shared", &goal).expect("reader ask").0
+                })
+                .collect::<Vec<_>>()
+        });
+        let writer = s.spawn(|| {
+            let engine = &engine;
+            let mut verdicts = Vec::new();
+            for td in &chains {
+                engine
+                    .session_add_deps("shared", std::slice::from_ref(td))
+                    .expect("writer add");
+                verdicts.push(engine.session_ask("shared", &pt()).expect("writer ask").0);
+                verdicts.push(engine.session_ask("shared", &prod()).expect("writer ask").0);
+            }
+            verdicts
+        });
+        (reader.join().unwrap(), writer.join().unwrap())
+    });
+
+    for (i, v) in reader_verdicts.iter().enumerate() {
+        if i % 2 == 0 {
+            assert!(
+                matches!(v, SessionVerdict::Implied { .. }),
+                "reader ask {i}: pt must stay implied, got {v:?}"
+            );
+        } else {
+            assert!(
+                matches!(v, SessionVerdict::NotImplied { .. }),
+                "reader ask {i}: prod must stay refuted, got {v:?}"
+            );
+        }
+    }
+    for pair in writer_verdicts.chunks(2) {
+        assert!(matches!(pair[0], SessionVerdict::Implied { .. }));
+        assert!(matches!(pair[1], SessionVerdict::NotImplied { .. }));
+    }
+    // The writer's adds all landed: 1 (pt) + 4 chains.
+    assert_eq!(
+        engine.session_remove_dep("shared", "chain3").unwrap(),
+        4,
+        "all five dependencies were resident"
+    );
+}
+
+#[test]
+fn eviction_under_traffic_never_panics_in_flight_asks() {
+    // A tiny registry (2 slots) under open-heavy traffic: askers racing
+    // against waves of fresh opens must either get a verdict (their Arc
+    // keeps an evicted session alive through the ask) or the structured
+    // `unknown session` error — never a panic, poison, or deadlock.
+    let engine = Engine::with_config(EngineConfig {
+        max_sessions: 2,
+        ..EngineConfig::default()
+    });
+    engine.session_open("hot").unwrap();
+    engine.session_add_deps("hot", &[pt()]).unwrap();
+
+    let errors: Vec<RedError> = std::thread::scope(|s| {
+        let asker = s.spawn(|| {
+            let engine = &engine;
+            let mut errors = Vec::new();
+            for _ in 0..64 {
+                match engine.session_ask("hot", &pt()) {
+                    Ok((verdict, _)) => assert!(
+                        matches!(verdict, SessionVerdict::Implied { .. }),
+                        "a surviving `hot` session still has pt ∈ Σ"
+                    ),
+                    Err(e) => errors.push(e),
+                }
+            }
+            errors
+        });
+        let churners: Vec<_> = (0..2)
+            .map(|t| {
+                let engine = &engine;
+                s.spawn(move || {
+                    for i in 0..32 {
+                        let id = format!("churn-{t}-{i}");
+                        engine.session_open(&id).expect("open evicts, never fails");
+                        // Some churn sessions do real work before dying.
+                        if i % 4 == 0 {
+                            let _ = engine.session_add_deps(&id, &[prod()]);
+                            let _ = engine.session_ask(&id, &prod());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in churners {
+            c.join().unwrap();
+        }
+        asker.join().unwrap()
+    });
+
+    for e in &errors {
+        assert!(
+            matches!(e, RedError::Session(msg) if msg.contains("unknown session")),
+            "asks on an evicted session fail structurally, got {e}"
+        );
+    }
+    let stats = engine.session_stats();
+    assert!(
+        stats.evictions > 0,
+        "2 slots under 64 opens must evict: {stats:?}"
+    );
+    assert!(stats.open <= 2, "the bound holds at rest: {stats:?}");
 }

@@ -1,0 +1,250 @@
+//! Session-vs-scratch differential harness for incremental Σ-sessions.
+//!
+//! A session answers `Σ ⊨ τ` by resuming a suspended chase and pruning its
+//! verdict cache monotonically as Σ changes; a session-less client answers
+//! the same question by chasing from scratch. The two must never disagree.
+//! This harness replays random session scripts — open, interleaved
+//! `add_dep`/`remove_dep` mutations, repeated asks — and pins **every**
+//! `session_ask` verdict against a fresh [`implies`] run over the script's
+//! shadow copy of the current Σ:
+//!
+//! * the verdict kind must match exactly (`Implied`/`NotImplied`);
+//! * for freshly computed refutations the countermodel row count must equal
+//!   the from-scratch closure size (full TDs chase to a unique fixpoint);
+//! * verdicts answered from the session cache are compared by kind only — a
+//!   `NotImplied` cached before a removal is still a *valid* countermodel
+//!   for the smaller Σ, but a larger one than scratch would build.
+//!
+//! The script pools contain only **full** TDs (no existentials), so every
+//! chase terminates inside the default budget and the fixpoint is unique —
+//! `chase_steps` may still differ from scratch (the resumed chase stops at
+//! the goal earlier or later), which is exactly why it is not compared.
+
+use proptest::prelude::*;
+use template_deps::prelude::*;
+use template_deps::td_core::ids::{AttrId, Var};
+use template_deps::td_core::inference::{implies, InferenceVerdict};
+use template_deps::td_core::td::TdRow;
+
+const ARITY: usize = 2;
+
+fn schema() -> Schema {
+    Schema::new("R", (0..ARITY).map(|i| format!("C{i}"))).unwrap()
+}
+
+/// Builds a TD from variable-index rows: `vars[r][c]` is the variable used
+/// in row `r`, column `c` (shared indices share a variable; columns have
+/// disjoint variable spaces, so the same index in different columns is fine).
+fn td(name: &str, antecedents: &[[u32; ARITY]], conclusion: [u32; ARITY]) -> Td {
+    let rows: Vec<TdRow> = antecedents
+        .iter()
+        .map(|r| TdRow::new(r.iter().map(|&v| Var::new(v))))
+        .collect();
+    let concl = TdRow::new(conclusion.iter().map(|&v| Var::new(v)));
+    Td::new(schema(), rows, concl, name).unwrap()
+}
+
+/// Strategy: a pool of `count` random **full** TDs named `{prefix}0..` —
+/// 1–3 antecedent rows, small per-column variable pools, and a conclusion
+/// that only reuses antecedent variables of the same column (so the chase
+/// never invents values and always terminates on a unique closure).
+fn arb_full_td_pool(count: usize, prefix: &'static str) -> impl Strategy<Value = Vec<Td>> {
+    proptest::collection::vec(
+        (
+            1..=3usize,
+            1..=3u32,
+            proptest::collection::vec(0..100u32, ARITY * 3 + ARITY),
+        ),
+        count..=count,
+    )
+    .prop_map(move |specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (n_rows, n_vars, picks))| {
+                let mut it = picks.into_iter();
+                let antecedents: Vec<TdRow> = (0..n_rows)
+                    .map(|_| TdRow::new((0..ARITY).map(|_| Var::new(it.next().unwrap() % n_vars))))
+                    .collect();
+                let conclusion = TdRow::new((0..ARITY).map(|c| {
+                    let pick = it.next().unwrap() as usize;
+                    antecedents[pick % n_rows].get(AttrId::from(c))
+                }));
+                Td::new(schema(), antecedents, conclusion, format!("{prefix}{i}")).unwrap()
+            })
+            .collect()
+    })
+}
+
+/// One script step: `kind % 4` selects the op (add / remove / ask / ask —
+/// asks are twice as likely), `pick` selects the TD or goal.
+type Step = (u32, u32);
+
+/// Replays `script` against a real session and a shadow Σ, pinning every
+/// ask against a from-scratch [`implies`] run. Returns an error description
+/// on the first divergence.
+fn replay_and_check(deps: &[Td], goals: &[Td], script: &[Step]) -> Result<(), TestCaseError> {
+    let engine = Engine::new();
+    engine.session_open("s").unwrap();
+    let mut shadow: Vec<Td> = Vec::new();
+    for &(kind, pick) in script {
+        match kind % 4 {
+            0 => {
+                let td = &deps[pick as usize % deps.len()];
+                let dup = shadow.iter().any(|t| t.name() == td.name());
+                let r = engine.session_add_deps("s", std::slice::from_ref(td));
+                if dup {
+                    prop_assert!(r.is_err(), "duplicate add of `{}` accepted", td.name());
+                } else {
+                    prop_assert_eq!(r.unwrap(), shadow.len() + 1);
+                    shadow.push(td.clone());
+                }
+            }
+            1 => {
+                let name = deps[pick as usize % deps.len()].name().to_owned();
+                let pos = shadow.iter().position(|t| t.name() == name);
+                let r = engine.session_remove_dep("s", &name);
+                match pos {
+                    Some(p) => {
+                        prop_assert_eq!(r.unwrap(), shadow.len() - 1);
+                        shadow.remove(p);
+                    }
+                    None => prop_assert!(r.is_err(), "removed absent `{name}`"),
+                }
+            }
+            _ => {
+                let goal = &goals[pick as usize % goals.len()];
+                let (verdict, cached) = engine.session_ask("s", goal).unwrap();
+                let oracle = implies(&shadow, goal, ChaseBudget::default()).unwrap();
+                match (&verdict, &oracle) {
+                    (SessionVerdict::Implied { .. }, InferenceVerdict::Implied(_)) => {}
+                    (
+                        SessionVerdict::NotImplied { model_rows },
+                        InferenceVerdict::NotImplied(inst),
+                    ) => {
+                        if !cached {
+                            prop_assert_eq!(
+                                *model_rows,
+                                inst.len(),
+                                "fresh refutation row count diverges from scratch \
+                                 on goal `{}` with |Σ|={}",
+                                goal.name(),
+                                shadow.len()
+                            );
+                        }
+                    }
+                    // The oracle giving up is a budget artifact the resumed
+                    // (strictly cheaper) session side may legitimately beat;
+                    // the session giving up where scratch settles is not.
+                    (_, InferenceVerdict::Unknown(_)) => {}
+                    (v, o) => {
+                        return Err(TestCaseError::fail(format!(
+                            "session {v:?} vs scratch {o:?} on goal `{}` \
+                             (cached={cached}) with Σ = {:?}",
+                            goal.name(),
+                            shadow.iter().map(Td::name).collect::<Vec<_>>()
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole's correctness contract: on random session scripts over
+    /// random full-TD pools, every incremental verdict equals the verdict
+    /// a from-scratch chase gives on the current Σ.
+    #[test]
+    fn random_session_scripts_match_scratch(
+        deps in arb_full_td_pool(4, "d"),
+        goals in arb_full_td_pool(3, "g"),
+        script in proptest::collection::vec((0..8u32, 0..12u32), 1..=16),
+    ) {
+        replay_and_check(&deps, &goals, &script)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Named regression scripts: deterministic sequences that exercise each
+// invalidation direction and the resume path explicitly.
+// ---------------------------------------------------------------------
+
+/// Product TD: `R(a,b) & R(a',b') -> R(a,b')` — implies every full TD.
+fn prod() -> Td {
+    td("prod", &[[0, 0], [1, 1]], [0, 1])
+}
+
+/// Pseudo-transitivity: `R(a,b) & R(a',b) & R(a',b') -> R(a,b')` — closes
+/// only connected components; strictly weaker than `prod`.
+fn pt() -> Td {
+    td("pt", &[[0, 0], [1, 0], [1, 1]], [0, 1])
+}
+
+#[test]
+fn ask_add_ask_follows_the_growing_sigma() {
+    let deps = [pt(), prod()];
+    let goals = [pt(), prod()];
+    // ask pt, ask prod (both refuted under ∅), add pt, re-ask both (pt now
+    // implied via resume, prod still refuted), add prod, re-ask both.
+    let script: Vec<(u32, u32)> = vec![
+        (2, 0),
+        (2, 1),
+        (0, 0),
+        (2, 0),
+        (2, 1),
+        (0, 1),
+        (2, 0),
+        (2, 1),
+    ];
+    replay_and_check(&deps, &goals, &script).unwrap();
+}
+
+#[test]
+fn removal_falls_back_to_scratch() {
+    let deps = [pt(), prod()];
+    let goals = [prod()];
+    // add pt, ask prod (refuted: pt alone cannot close the disconnected
+    // product tableau), add prod, ask (implied), remove prod, ask (the
+    // implied verdict and the parked chase are gone — a scratch re-chase
+    // refutes again), remove pt, ask under ∅.
+    let script: Vec<(u32, u32)> = vec![
+        (0, 0),
+        (2, 0),
+        (0, 1),
+        (2, 0),
+        (1, 1),
+        (2, 0),
+        (1, 0),
+        (2, 0),
+    ];
+    replay_and_check(&deps, &goals, &script).unwrap();
+}
+
+#[test]
+fn isomorphic_goals_share_one_verdict() {
+    // `pt2` is `pt` with renamed variables and permuted antecedents — same
+    // canonical class, so the second ask must be a session-cache hit with
+    // the identical verdict.
+    let pt2 = td("pt-renamed", &[[7, 3], [5, 3], [7, 7]], [5, 7]);
+    let engine = Engine::new();
+    engine.session_open("s").unwrap();
+    engine.session_add_deps("s", &[prod()]).unwrap();
+    let (v1, cached1) = engine.session_ask("s", &pt()).unwrap();
+    let (v2, cached2) = engine.session_ask("s", &pt2).unwrap();
+    assert!(!cached1);
+    assert!(cached2, "isomorphic re-ask must hit the session cache");
+    assert!(matches!(v1, SessionVerdict::Implied { .. }));
+    assert_eq!(
+        format!("{v1:?}"),
+        format!("{v2:?}"),
+        "cached verdict must be byte-identical"
+    );
+    // And both agree with scratch.
+    assert!(implies(&[prod()], &pt2, ChaseBudget::default())
+        .unwrap()
+        .is_implied());
+}

@@ -72,5 +72,49 @@ fn bench_warm_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cold_engine, bench_warm_engine);
+/// Restart warm-start: one engine solves the corpus and saves a
+/// snapshot; each iteration then simulates a process restart — a *fresh*
+/// engine loads the snapshot and replays the corpus, which must be
+/// all-hits (`solved == 0`). Compare with `engine/cold_decide` (what a
+/// restart costs without persistence) and `engine/warm_decide` (the
+/// never-restarted upper bound: warm-start adds one snapshot decode +
+/// cache rebuild on top of it).
+fn bench_snapshot_warm_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/snapshot_warm_decide");
+    group.sample_size(10);
+    for copies in [4usize, 12] {
+        let corpus = duplicate_heavy_corpus(copies);
+        let warm = Engine::new();
+        for p in &corpus {
+            warm.decide(p).expect("warm-up");
+        }
+        let image = warm.save_snapshot();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(corpus.len()),
+            &(corpus, image),
+            |b, (corpus, image)| {
+                b.iter(|| {
+                    let engine = Engine::new();
+                    let stats = engine.load_snapshot(image).expect("snapshot loads");
+                    assert_eq!(stats.keys_skipped_version, 0);
+                    let mut cached = 0usize;
+                    for p in corpus {
+                        cached += usize::from(engine.decide(p).expect("warm decide").cached);
+                    }
+                    assert_eq!(cached, corpus.len(), "restart replay is all-hits");
+                    assert_eq!(engine.stats().solved, 0, "no solver run after load");
+                    black_box(cached)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cold_engine,
+    bench_warm_engine,
+    bench_snapshot_warm_engine
+);
 criterion_main!(benches);

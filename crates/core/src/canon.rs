@@ -52,6 +52,17 @@ use std::collections::HashMap;
 use crate::ids::{AttrId, Var};
 use crate::td::{Td, TdRow};
 
+/// Version of the canonicalization scheme: the key-derivation algorithm,
+/// its encoding, and the digest. **Bump this constant whenever a change to
+/// this module can alter the [`CanonKey`] assigned to any TD** — refinement
+/// signatures, branching order, the leaf encoding, the digest function, or
+/// the [`system_key`] composition. Persisted artifacts keyed by canonical
+/// keys (the decision-cache snapshots in `td-reduction`) embed this version
+/// and refuse to marry keys minted under a different scheme: a stale
+/// snapshot must be discarded, never silently reinterpreted as if its keys
+/// still named the same isomorphism classes.
+pub const CANON_SCHEME_VERSION: u32 = 1;
+
 /// An isomorphism-invariant 128-bit key: equal for two TDs exactly when
 /// they coincide up to per-column variable renaming and antecedent-row
 /// permutation (up to digest collision, which is negligible at 128 bits).
@@ -62,6 +73,15 @@ impl CanonKey {
     /// The raw 128-bit digest.
     pub const fn raw(self) -> u128 {
         self.0
+    }
+
+    /// Rebuilds a key from a digest previously obtained via
+    /// [`CanonKey::raw`] — the deserialization half of snapshot formats.
+    /// The digest is only meaningful under the [`CANON_SCHEME_VERSION`]
+    /// that minted it; callers persisting raw keys must persist (and check)
+    /// that version alongside them.
+    pub const fn from_raw(raw: u128) -> Self {
+        CanonKey(raw)
     }
 
     /// A well-distributed 64-bit fold of the key, for shard selection.
@@ -420,7 +440,18 @@ pub fn canon_key(td: &Td) -> CanonKey {
 /// the implication question is invariant under exactly these changes, which
 /// is what makes key-based caching of verdicts sound.
 pub fn system_key(deps: &[Td], d0: &Td) -> CanonKey {
-    let mut dep_keys: Vec<CanonKey> = deps.iter().map(canon_key).collect();
+    system_key_with(deps, d0, canon_key)
+}
+
+/// [`system_key`] with a caller-supplied per-TD keying function. The
+/// composition (sorted premise-key multiset + goal key under one digest) is
+/// identical to [`system_key`]; callers that can produce `canon_key`-equal
+/// keys cheaper — e.g. a service memoizing keys of structurally identical
+/// TDs across requests — plug in here without re-deriving the composition.
+/// `key_of` must agree with [`canon_key`] on every TD it is given, or the
+/// resulting key stops being the isomorphism invariant this module promises.
+pub fn system_key_with(deps: &[Td], d0: &Td, mut key_of: impl FnMut(&Td) -> CanonKey) -> CanonKey {
+    let mut dep_keys: Vec<CanonKey> = deps.iter().map(&mut key_of).collect();
     dep_keys.sort_unstable();
     let mut d = Digest::new();
     d.push_u32(d0.arity() as u32);
@@ -428,7 +459,7 @@ pub fn system_key(deps: &[Td], d0: &Td) -> CanonKey {
     for k in dep_keys {
         d.push_u128(k.raw());
     }
-    d.push_u128(canon_key(d0).raw());
+    d.push_u128(key_of(d0).raw());
     d.finish()
 }
 

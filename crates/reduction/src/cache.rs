@@ -79,14 +79,58 @@ pub struct CachedOutcome {
     pub spend: SpendReport,
 }
 
+/// One resident entry: the outcome plus the sequence number of the insert
+/// that gave the key its current FIFO slot. The sequence number is what
+/// makes lazy deletion sound: an `order` entry is live exactly when its
+/// `(seq, key)` pair matches the map — a removed-then-reinserted key leaves
+/// a stale pair behind that eviction and export both skip.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    outcome: CachedOutcome,
+    seq: u64,
+}
+
 /// One lock domain: the key→outcome map plus the FIFO insertion order its
 /// evictions follow.
+///
+/// [`DecisionCache::remove`] is **lazy**: it drops the map entry in O(1)
+/// and leaves the `(seq, key)` pair in `order` as a tombstone, counted in
+/// `tombstones`. Eviction pops skip tombstones without charging the
+/// eviction counter, and the queue is compacted (drop every stale pair)
+/// whenever tombstones outnumber live entries — so `order` stays within a
+/// constant factor of the resident population and the amortized cost of
+/// every operation is O(1). The previous implementation scanned `order`
+/// under the write lock on every remove, which made session-invalidation
+/// churn quadratic per shard and stalled all readers of that shard.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<CanonKey, CachedOutcome>,
-    /// Keys in insertion order. Overwrites keep the original position —
-    /// they refresh provenance, not residency.
-    order: VecDeque<CanonKey>,
+    map: HashMap<CanonKey, Entry>,
+    /// `(seq, key)` pairs in insertion order. Overwrites keep the original
+    /// position — they refresh provenance, not residency.
+    order: VecDeque<(u64, CanonKey)>,
+    /// Stale pairs currently in `order` (their key was removed, or removed
+    /// and later reinserted under a newer sequence number).
+    tombstones: usize,
+    /// Next insertion sequence number (per shard).
+    next_seq: u64,
+}
+
+impl Shard {
+    /// `true` when the `order` pair at hand still names a resident entry.
+    fn is_live(&self, seq: u64, key: CanonKey) -> bool {
+        self.map.get(&key).is_some_and(|e| e.seq == seq)
+    }
+
+    /// Drops every tombstone from `order` once they outnumber the live
+    /// entries: O(len) now, amortized O(1) per preceding remove.
+    fn maybe_compact(&mut self) {
+        if self.tombstones > self.map.len() {
+            let map = &self.map;
+            self.order
+                .retain(|&(seq, key)| map.get(&key).is_some_and(|e| e.seq == seq));
+            self.tombstones = 0;
+        }
+    }
 }
 
 /// A sharded `CanonKey → CachedOutcome` map, safe to share across the
@@ -138,27 +182,37 @@ impl DecisionCache {
             .expect("cache shard lock poisoned")
             .map
             .get(&key)
-            .copied()
+            .map(|e| e.outcome)
     }
 
     /// Records a settled verdict. A later insert for the same key
     /// overwrites the earlier one; both describe the same isomorphism
     /// class, so the verdicts agree and only the provenance can differ.
     /// Inserting a *new* key into a full shard first evicts the shard's
-    /// oldest entry (FIFO) and counts it in [`DecisionCache::evictions`].
+    /// oldest entry (FIFO) and counts it in [`DecisionCache::evictions`];
+    /// tombstones left behind by [`DecisionCache::remove`] are skipped
+    /// without charging the counter.
     pub fn insert(&self, key: CanonKey, outcome: CachedOutcome) {
         let mut shard = self.shard(key).write().expect("cache shard lock poisoned");
-        if shard.map.insert(key, outcome).is_some() {
+        if let Some(entry) = shard.map.get_mut(&key) {
+            entry.outcome = outcome;
             return; // overwrite: residency and order unchanged
         }
-        shard.order.push_back(key);
-        if shard.map.len() > self.shard_capacity {
-            let oldest = shard
+        let seq = shard.next_seq;
+        shard.next_seq += 1;
+        shard.map.insert(key, Entry { outcome, seq });
+        shard.order.push_back((seq, key));
+        while shard.map.len() > self.shard_capacity {
+            let (seq, oldest) = shard
                 .order
                 .pop_front()
-                .expect("non-empty shard has an insertion order");
-            shard.map.remove(&oldest);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+                .expect("over-capacity shard has a non-empty insertion order");
+            if shard.is_live(seq, oldest) {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shard.tombstones -= 1; // stale pair: skip, not an eviction
+            }
         }
     }
 
@@ -168,13 +222,38 @@ impl DecisionCache {
     /// [`crate::engine::Session`]) removes exactly the stale key instead
     /// of flushing the cache. Removal does not count as an eviction: the
     /// eviction counter measures capacity pressure, not invalidation.
+    ///
+    /// Amortized O(1): the FIFO queue keeps a tombstone instead of being
+    /// scanned (see [`Shard`]) — invalidation-heavy churn no longer goes
+    /// quadratic in the shard population.
     pub fn remove(&self, key: CanonKey) -> Option<CachedOutcome> {
         let mut shard = self.shard(key).write().expect("cache shard lock poisoned");
-        let outcome = shard.map.remove(&key)?;
-        if let Some(pos) = shard.order.iter().position(|k| *k == key) {
-            shard.order.remove(pos);
+        let entry = shard.map.remove(&key)?;
+        shard.tombstones += 1;
+        shard.maybe_compact();
+        Some(entry.outcome)
+    }
+
+    /// A lock-coherent export of the resident entries, in per-shard FIFO
+    /// insertion order (shard by shard). Each shard is read-locked for the
+    /// duration of its own copy only, so exports interleave with concurrent
+    /// solving: the result is a union of per-shard consistent snapshots —
+    /// exactly the guarantee a persistence layer needs, since every entry
+    /// is individually a theorem and cross-shard "tearing" can at worst
+    /// omit or include a concurrently settled verdict.
+    pub fn export(&self) -> Vec<(CanonKey, CachedOutcome)> {
+        let mut out = Vec::with_capacity(self.len());
+        for lock in &self.shards {
+            let shard = lock.read().expect("cache shard lock poisoned");
+            out.extend(shard.order.iter().filter_map(|&(seq, key)| {
+                shard
+                    .map
+                    .get(&key)
+                    .filter(|e| e.seq == seq)
+                    .map(|e| (key, e.outcome))
+            }));
         }
-        Some(outcome)
+        out
     }
 
     /// Number of cached verdicts currently resident.
@@ -328,6 +407,111 @@ mod tests {
         assert_eq!(cache.get(key(0)), None);
         assert!(cache.get(key(1)).is_some());
         assert!(cache.get(key(2)).is_some());
+    }
+
+    /// Fabricated keys for churn tests: one real canonicalization costs
+    /// milliseconds, which would turn a 10⁴-op churn loop into minutes.
+    /// [`CanonKey::from_raw`] exists for the snapshot decoder; here it
+    /// doubles as a cheap source of distinct keys.
+    fn raw_key(n: u64) -> CanonKey {
+        CanonKey::from_raw(u128::from(n))
+    }
+
+    #[test]
+    fn eviction_skips_tombstones_without_charging() {
+        // One shard, capacity 4. Fill it, invalidate the two oldest, then
+        // push past capacity: the eviction pop must step over the two
+        // tombstones (uncharged) and evict the oldest *resident* key.
+        let cache = DecisionCache::with_capacity(1, 4);
+        for n in 0..4 {
+            cache.insert(raw_key(n), outcome(n as usize));
+        }
+        cache.remove(raw_key(0));
+        cache.remove(raw_key(1));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        cache.insert(raw_key(4), outcome(4));
+        cache.insert(raw_key(5), outcome(5));
+        assert_eq!(cache.len(), 4, "freed slots are reused");
+        assert_eq!(cache.evictions(), 0, "removes never inflate evictions");
+        cache.insert(raw_key(6), outcome(6));
+        assert_eq!(cache.evictions(), 1, "exactly one eviction, not three");
+        assert_eq!(cache.get(raw_key(2)), None, "oldest resident evicted");
+        assert!(cache.get(raw_key(3)).is_some());
+    }
+
+    #[test]
+    fn reinserted_key_gets_a_fresh_fifo_slot() {
+        let cache = DecisionCache::with_capacity(1, 2);
+        cache.insert(raw_key(0), outcome(0));
+        cache.insert(raw_key(1), outcome(1));
+        // Remove + reinsert key 0: its stale pair lingers in the queue but
+        // its residency restarts at the back.
+        cache.remove(raw_key(0));
+        cache.insert(raw_key(0), outcome(10));
+        cache.insert(raw_key(2), outcome(2));
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(raw_key(1)), None, "key 1 is now the oldest");
+        assert_eq!(
+            cache.get(raw_key(0)),
+            Some(outcome(10)),
+            "the reinserted key is young, not evicted via its stale pair"
+        );
+    }
+
+    #[test]
+    fn churn_stays_amortized_constant() {
+        // Regression for the linear `remove` scan: 10⁴ insert/remove
+        // cycles against one shard. Under the old implementation each
+        // remove re-scanned the FIFO queue under the write lock; under
+        // lazy deletion the queue is compacted whenever tombstones
+        // outnumber residents, so its length — checked every iteration —
+        // stays within a constant factor of the population.
+        let cache = DecisionCache::with_capacity(1, 8);
+        for n in 0..10_000u64 {
+            cache.insert(raw_key(n), outcome(1));
+            cache.remove(raw_key(n));
+            let shard = cache.shards[0].read().unwrap();
+            assert!(
+                shard.order.len() <= 2 * (shard.map.len() + 1),
+                "iteration {n}: order grew to {} over {} residents",
+                shard.order.len(),
+                shard.map.len()
+            );
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), 0, "pure churn is not capacity pressure");
+
+        // And mixed churn — a resident population plus invalidation
+        // traffic — still evicts FIFO over the tombstones.
+        for n in 0..8 {
+            cache.insert(raw_key(100_000 + n), outcome(2));
+        }
+        for n in 0..4 {
+            cache.remove(raw_key(100_000 + n));
+        }
+        for n in 0..8 {
+            cache.insert(raw_key(200_000 + n), outcome(3));
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.evictions(), 4, "only live FIFO heads were charged");
+    }
+
+    #[test]
+    fn export_skips_tombstones_and_preserves_fifo_order() {
+        let cache = DecisionCache::with_capacity(1, 16);
+        for n in 0..6 {
+            cache.insert(raw_key(n), outcome(n as usize));
+        }
+        cache.remove(raw_key(2));
+        cache.remove(raw_key(4));
+        let exported = cache.export();
+        assert_eq!(
+            exported.iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            [0u64, 1, 3, 5].map(raw_key).to_vec(),
+            "export is FIFO order minus tombstones"
+        );
+        assert_eq!(exported[2].1, outcome(3));
     }
 
     #[test]

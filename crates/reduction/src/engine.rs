@@ -30,10 +30,10 @@
 //! the process lifetime — both execute exactly this code.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 
 use td_core::budget::{Cancellation, Meter};
-use td_core::canon::{canon_key, system_key, CanonKey};
+use td_core::canon::{canon_key, system_key, system_key_with, CanonKey, CANON_SCHEME_VERSION};
 use td_core::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseState, Goal};
 use td_core::inference::{self, freeze, InferenceVerdict};
 use td_core::schema::Schema;
@@ -174,6 +174,19 @@ pub struct EngineStats {
     pub derivation_states: u64,
     /// Total nodes visited by finite-model searches (same caveat).
     pub model_nodes: u64,
+}
+
+/// The outcome of [`Engine::load_snapshot`]: how much warmth was actually
+/// imported. `keys_skipped_version == 0` on a same-scheme load;
+/// `keys_loaded == 0` when the snapshot was written under a different
+/// canon-scheme version and was therefore rejected wholesale.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Entries merged into the decision cache.
+    pub keys_loaded: usize,
+    /// Entries skipped because the snapshot's canon-scheme version differs
+    /// from this build's — their keys are not comparable to ours.
+    pub keys_skipped_version: usize,
 }
 
 /// The engine's internal meters ([`EngineStats`] is their snapshot).
@@ -332,6 +345,41 @@ pub struct Engine {
     settled: Condvar,
     /// Named incremental Σ-sessions (see [`Session`]).
     sessions: Mutex<SessionRegistry>,
+    /// Canonicalization memo: exact structural fingerprint of a reduced
+    /// dependency → its [`canon_key`]. Two *identical* TDs are trivially
+    /// isomorphic, so serving a repeat from here is sound and skips the
+    /// individualization–refinement search entirely. Duplicate-heavy
+    /// request streams (the steady state `tdq serve` exists for) reduce to
+    /// structurally identical dependency systems over and over; with the
+    /// memo a warm request pays hashing instead of re-canonicalizing
+    /// every premise. Bounded by [`CANON_MEMO_CAP`] (cleared, not evicted,
+    /// when full — entries are cheap to recompute).
+    canon_memo: RwLock<HashMap<Vec<u64>, CanonKey>>,
+}
+
+/// Entry bound for the [`Engine`] canonicalization memo: comfortably above
+/// any realistic distinct-dependency working set while capping memory at a
+/// few megabytes. On overflow the memo is cleared wholesale — a rare, cheap
+/// reset beats per-entry eviction bookkeeping on this hot path.
+const CANON_MEMO_CAP: usize = 8192;
+
+/// Exact structural fingerprint of a TD: arity, antecedent count, then the
+/// raw variable indices of every row (antecedents in order, conclusion
+/// last), column by column. Equal fingerprints ⇔ identical inputs to the
+/// canonical search ([`canon_key`] ignores names), so memoizing keys by
+/// fingerprint can never conflate non-isomorphic TDs.
+fn td_fingerprint(td: &Td) -> Vec<u64> {
+    let mut out = Vec::with_capacity(2 + (td.antecedent_count() + 1) * td.arity());
+    out.push(td.arity() as u64);
+    out.push(td.antecedent_count() as u64);
+    for row in td
+        .antecedents()
+        .iter()
+        .chain(std::iter::once(td.conclusion()))
+    {
+        out.extend(row.components().map(|(_, v)| v.index() as u64));
+    }
+    out
 }
 
 impl Default for Engine {
@@ -365,6 +413,7 @@ impl Engine {
                 opened: 0,
                 evictions: 0,
             }),
+            canon_memo: RwLock::new(HashMap::new()),
         }
     }
 
@@ -393,6 +442,43 @@ impl Engine {
         let normalized = normalize(&p.zero_saturated())?;
         let system = crate::deps::build_system(&normalized.presentation)?;
         Ok(system_key(&system.deps, &system.d0))
+    }
+
+    /// [`Engine::canonical_key`] through this engine's canonicalization
+    /// memo: per-dependency keys of structurally identical TDs are reused
+    /// across requests (see the `canon_memo` field docs), so the warm path
+    /// of a duplicate-heavy stream pays fingerprint hashing instead of the
+    /// full canonical search. Always returns the same key as the static
+    /// path.
+    fn canonical_key_memoized(&self, p: &Presentation) -> Result<CanonKey> {
+        let normalized = normalize(&p.zero_saturated())?;
+        let system = crate::deps::build_system(&normalized.presentation)?;
+        Ok(system_key_with(&system.deps, &system.d0, |td| {
+            self.memoized_canon_key(td)
+        }))
+    }
+
+    /// The [`canon_key`] of one TD, served from the memo when an exact
+    /// structural twin has been keyed before. Identical fingerprints mean
+    /// identical encodings fed to the canonical search, hence identical
+    /// keys — no isomorphism reasoning is delegated to the memo.
+    fn memoized_canon_key(&self, td: &Td) -> CanonKey {
+        let fp = td_fingerprint(td);
+        if let Some(&k) = self
+            .canon_memo
+            .read()
+            .expect("canon memo lock poisoned")
+            .get(&fp)
+        {
+            return k;
+        }
+        let key = canon_key(td);
+        let mut memo = self.canon_memo.write().expect("canon memo lock poisoned");
+        if memo.len() >= CANON_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(fp, key);
+        key
     }
 
     /// Mints a [`Ticket`] for one request: effective budgets from the
@@ -458,6 +544,46 @@ impl Engine {
         }
     }
 
+    /// Serializes the resident decision cache to the versioned snapshot
+    /// format ([`crate::snapshot`]): a lock-coherent per-shard export
+    /// stamped with the current [`CANON_SCHEME_VERSION`]. Safe to call
+    /// while requests are in flight — concurrently settling verdicts are
+    /// either in the image or not, never torn.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::encode(&self.cache.export())
+    }
+
+    /// Merges a snapshot image into the decision cache, subject to the
+    /// existing FIFO capacity bound (loading more keys than the cache can
+    /// hold evicts normally).
+    ///
+    /// Structural defects — bad magic, unsupported format version,
+    /// truncation, checksum mismatch — are a positioned
+    /// [`RedError::Snapshot`] and load **nothing**. A snapshot whose
+    /// canon-scheme version differs from this build's
+    /// [`CANON_SCHEME_VERSION`] is structurally sound but its keys were
+    /// minted under a different canonicalization: every entry is skipped
+    /// (reported in [`LoadStats::keys_skipped_version`]) rather than
+    /// reinterpreted — stale warmth degrades to a cold start, never to
+    /// wrong verdicts.
+    pub fn load_snapshot(&self, bytes: &[u8]) -> Result<LoadStats> {
+        let snap = crate::snapshot::decode(bytes)?;
+        if snap.canon_version != CANON_SCHEME_VERSION {
+            return Ok(LoadStats {
+                keys_loaded: 0,
+                keys_skipped_version: snap.entries.len(),
+            });
+        }
+        let keys_loaded = snap.entries.len();
+        for (key, outcome) in snap.entries {
+            self.cache.insert(key, outcome);
+        }
+        Ok(LoadStats {
+            keys_loaded,
+            keys_skipped_version: 0,
+        })
+    }
+
     fn record_spend(&self, spend: &SpendReport) {
         self.counters
             .derivation_states
@@ -499,7 +625,7 @@ impl Engine {
     /// [`Engine::decide`] with per-request budget overrides (clamped by
     /// the [`BudgetPolicy`]).
     pub fn decide_with(&self, p: &Presentation, req: Option<RequestBudget>) -> Result<Decision> {
-        let key = Self::canonical_key(p)?;
+        let key = self.canonical_key_memoized(p)?;
         self.counters.requests.add(1);
         match self.single_flight(key, || {
             let ticket = self.mint(req)?;
@@ -894,6 +1020,24 @@ mod tests {
     }
 
     #[test]
+    fn memoized_canonical_keys_match_the_static_path() {
+        // The canon memo must be invisible in the keys it produces: the
+        // memoized instance path and the memo-free static path agree on
+        // every presentation, before and after the memo is warm.
+        let engine = Engine::new();
+        for p in [derivable(), derivable_renamed(), refutable()] {
+            let static_key = Engine::canonical_key(&p).unwrap();
+            assert_eq!(engine.canonical_key_memoized(&p).unwrap(), static_key);
+            // Second pass is served from a warm memo — same key.
+            assert_eq!(engine.canonical_key_memoized(&p).unwrap(), static_key);
+        }
+        assert!(
+            !engine.canon_memo.read().unwrap().is_empty(),
+            "the memo actually populated"
+        );
+    }
+
+    #[test]
     fn run_full_counts_but_does_not_cache() {
         let engine = Engine::new();
         let run = engine.run_full(&derivable()).unwrap();
@@ -920,6 +1064,101 @@ mod tests {
         let d = engine.decide(&refutable()).unwrap();
         assert!(d.cached, "cache is shared across entry points");
         assert_eq!(engine.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn snapshot_warm_start_answers_without_solving() {
+        // Warm one engine the expensive way, snapshot it, and start a
+        // fresh engine from the image: the replay is all cache hits.
+        let cold = Engine::new();
+        cold.decide(&derivable()).unwrap();
+        cold.decide(&refutable()).unwrap();
+        let image = cold.save_snapshot();
+
+        let warm = Engine::new();
+        let stats = warm.load_snapshot(&image).unwrap();
+        assert_eq!(
+            stats,
+            LoadStats {
+                keys_loaded: 2,
+                keys_skipped_version: 0
+            }
+        );
+        assert_eq!(warm.stats().keys_cached, 2);
+
+        for p in [derivable(), derivable_renamed(), refutable()] {
+            let d = warm.decide(&p).unwrap();
+            assert!(d.cached, "warm-started engine answers from the cache");
+        }
+        assert_eq!(warm.stats().solved, 0, "no solver run after warm start");
+        assert_eq!(warm.stats().cache_hits, 3);
+
+        // Same-verdict provenance survives the round trip.
+        assert_eq!(
+            warm.decide(&derivable()).unwrap().spend,
+            cold.decide(&derivable()).unwrap().spend
+        );
+    }
+
+    #[test]
+    fn snapshot_from_a_bumped_canon_scheme_is_rejected_on_load() {
+        // Pin the compatibility gate: a snapshot stamped with a different
+        // canon-scheme version loads zero keys — its CanonKeys were minted
+        // under a different canonicalization and must not be trusted.
+        let cold = Engine::new();
+        cold.decide(&derivable()).unwrap();
+        let foreign = crate::snapshot::encode_with_canon_version(
+            &cold.cache().export(),
+            CANON_SCHEME_VERSION + 1,
+        );
+
+        let warm = Engine::new();
+        let stats = warm.load_snapshot(&foreign).unwrap();
+        assert_eq!(
+            stats,
+            LoadStats {
+                keys_loaded: 0,
+                keys_skipped_version: 1
+            }
+        );
+        assert!(warm.cache().is_empty(), "nothing from the foreign scheme");
+        assert!(!warm.decide(&derivable()).unwrap().cached, "still cold");
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_positioned_error_and_loads_nothing() {
+        let cold = Engine::new();
+        cold.decide(&derivable()).unwrap();
+        let mut image = cold.save_snapshot();
+        let n = image.len();
+        image[n / 2] ^= 0x10;
+
+        let warm = Engine::new();
+        let err = warm.load_snapshot(&image).unwrap_err();
+        match err {
+            RedError::Snapshot(ref s) => assert!(s.offset <= n, "positioned"),
+            ref other => panic!("expected Snapshot error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("snapshot byte"));
+        assert!(warm.cache().is_empty(), "never partially loaded");
+    }
+
+    #[test]
+    fn snapshot_load_respects_the_capacity_bound() {
+        let big = Engine::new();
+        big.decide(&derivable()).unwrap();
+        big.decide(&refutable()).unwrap();
+        let image = big.save_snapshot();
+
+        let tiny = Engine::with_config(EngineConfig {
+            cache_shards: 1,
+            cache_cap: 1,
+            ..EngineConfig::default()
+        });
+        let stats = tiny.load_snapshot(&image).unwrap();
+        assert_eq!(stats.keys_loaded, 2, "both entries pass through insert");
+        assert_eq!(tiny.cache().len(), 1, "FIFO bound holds during load");
+        assert_eq!(tiny.cache().evictions(), 1);
     }
 
     /// Regression: a pre-warmed cache entry evicted *during* a batch (by

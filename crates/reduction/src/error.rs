@@ -32,6 +32,10 @@ pub enum RedError {
     /// The request was rejected because the serving
     /// [`crate::engine::Engine`] has been shut down.
     ShutDown,
+    /// A decision-cache snapshot was structurally invalid (bad magic,
+    /// unsupported format version, truncation, checksum mismatch). Carries
+    /// the byte offset of the defect; nothing was loaded.
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for RedError {
@@ -48,6 +52,7 @@ impl fmt::Display for RedError {
             RedError::GuidedChaseFailed(msg) => write!(f, "guided chase failed: {msg}"),
             RedError::Session(msg) => write!(f, "{msg}"),
             RedError::ShutDown => write!(f, "engine is shut down"),
+            RedError::Snapshot(e) => write!(f, "cache snapshot rejected: {e}"),
         }
     }
 }
@@ -57,6 +62,7 @@ impl std::error::Error for RedError {
         match self {
             RedError::Core(e) => Some(e),
             RedError::Sg(e) => Some(e),
+            RedError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +77,12 @@ impl From<CoreError> for RedError {
 impl From<SgError> for RedError {
     fn from(e: SgError) -> Self {
         RedError::Sg(e)
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for RedError {
+    fn from(e: crate::snapshot::SnapshotError) -> Self {
+        RedError::Snapshot(e)
     }
 }
 

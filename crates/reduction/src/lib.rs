@@ -50,6 +50,7 @@ pub mod error;
 pub mod part_a;
 pub mod part_b;
 pub mod pipeline;
+pub mod snapshot;
 pub mod verify;
 
 /// Commonly used items, re-exported for convenience.
@@ -60,8 +61,8 @@ pub mod prelude {
     pub use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache, DEFAULT_SHARD_CAPACITY};
     pub use crate::deps::{build_system, ReductionSystem, Rule, Rule2};
     pub use crate::engine::{
-        BudgetPolicy, Decision, Engine, EngineConfig, EngineStats, RequestBudget, Session,
-        SessionStats, SessionVerdict, Ticket,
+        BudgetPolicy, Decision, Engine, EngineConfig, EngineStats, LoadStats, RequestBudget,
+        Session, SessionStats, SessionVerdict, Ticket,
     };
     pub use crate::error::RedError;
     pub use crate::part_a::{prove_part_a, prove_part_a_with, prove_unguided};
@@ -70,6 +71,7 @@ pub mod prelude {
         solve, solve_with, solve_with_opts, solve_with_opts_on, Budgets, PhaseTimings,
         PipelineOutcome, SolveMode, SolveOptions, SpendReport,
     };
+    pub use crate::snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
     pub use crate::verify::{verify_counter_model, verify_counter_model_with, PartBReport};
 }
 

@@ -25,7 +25,8 @@ USAGE:
                                     analyse a dependency file (schema/td/eid/row lines)
     tdq wp [--timings] [--strategy S] [--format F] FILE
                                     solve a word-problem instance (alphabet/eq lines)
-    tdq batch [--jobs N] [--cache-stats] [--strategy S] [--cache-cap N] FILE
+    tdq batch [--jobs N] [--cache-stats] [--strategy S] [--cache-cap N]
+              [--cache-load PATH] [--cache-save PATH] FILE
                                     decide a JSONL corpus of word-problem instances,
                                     deduplicated by canonical key (one JSON line out
                                     per line in, input order preserved)
@@ -35,7 +36,8 @@ USAGE:
                                     cache, cumulative stats). Both modes also
                                     speak the incremental Σ-session ops
                                     (session_open/_add_dep/_remove_dep/_ask/
-                                    _close). See docs/PROTOCOL.md
+                                    _close) and the cache persistence ops
+                                    (cache_save/cache_load). See docs/PROTOCOL.md
     tdq normalize FILE              normalize a presentation to (2,1)/(1,1) equations
     tdq reduce FILE                 print the reduction (attributes, D, D0) of an instance
     tdq help                        print this text
@@ -61,6 +63,18 @@ OPTIONS:
     --max-sessions N
                     bound on concurrently open Σ-sessions for serve
                     (default 64; oldest-opened is evicted at the cap)
+    --cache-load PATH
+                    warm-start batch/serve from a decision-cache snapshot;
+                    a snapshot from a different canon-scheme version loads
+                    zero keys (cold start + warning), a corrupt one is a
+                    hard error
+    --cache-save PATH
+                    write the decision cache to PATH as a versioned
+                    snapshot (atomic tmp-file + rename). batch: after the
+                    corpus; serve: on clean shutdown (EOF or shutdown op)
+    --cache-flush-every SECS
+                    serve only, requires --cache-save: additionally flush
+                    the snapshot every SECS seconds in the background
 
 BATCH INPUT (one JSON object per line):
     {\"id\": \"q1\", \"alphabet\": [\"A0\", \"A1\", \"0\"],
@@ -132,6 +146,45 @@ fn build_engine_with(
         config.max_sessions = max;
     }
     Engine::with_config(config)
+}
+
+/// Loads a decision-cache snapshot into the engine, reporting the import
+/// on stderr (the machine stream on stdout stays reply-only). A
+/// structurally invalid snapshot is a hard error; a canon-scheme mismatch
+/// degrades to a cold start with a warning.
+fn cache_load(engine: &Engine, path: &str) -> Result<(), String> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("--cache-load: cannot read {path}: {e}"))?;
+    let stats = engine
+        .load_snapshot(&bytes)
+        .map_err(|e| format!("--cache-load {path}: {e}"))?;
+    if stats.keys_skipped_version > 0 {
+        eprintln!(
+            "tdq: --cache-load {path}: skipped {} key(s) written under a different \
+             canon-scheme version; starting cold",
+            stats.keys_skipped_version
+        );
+    } else {
+        eprintln!(
+            "tdq: --cache-load {path}: {} cached verdict(s) loaded",
+            stats.keys_loaded
+        );
+    }
+    Ok(())
+}
+
+/// Writes the engine's decision cache to `path` as an atomic snapshot
+/// (tmp file + rename — a concurrent reader never sees a torn image).
+fn cache_save(engine: &Engine, path: &str) -> Result<(), String> {
+    let image = engine.save_snapshot();
+    template_deps::td_reduction::snapshot::write_atomic(std::path::Path::new(path), &image)
+        .map_err(|e| format!("--cache-save: cannot write {path}: {e}"))?;
+    eprintln!(
+        "tdq: --cache-save {path}: {} cached verdict(s), {} bytes",
+        engine.cache().len(),
+        image.len()
+    );
+    Ok(())
 }
 
 /// Removes a `--flag VALUE` pair from `args`, returning the value.
@@ -450,6 +503,8 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut cache_cap: Option<usize> = None;
     let mut cache_stats = false;
     let mut strategy = MatchStrategy::default();
+    let mut load_path: Option<String> = None;
+    let mut save_path: Option<String> = None;
     let mut path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -471,6 +526,14 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             "--strategy" => {
                 let v = it.next().ok_or("--strategy needs a value")?;
                 strategy = parse_strategy(v)?;
+            }
+            "--cache-load" => {
+                let v = it.next().ok_or("--cache-load needs a snapshot path")?;
+                load_path = Some(v.clone());
+            }
+            "--cache-save" => {
+                let v = it.next().ok_or("--cache-save needs a snapshot path")?;
+                save_path = Some(v.clone());
             }
             "--cache-stats" => cache_stats = true,
             other if other.starts_with('-') => {
@@ -516,7 +579,13 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     }
 
     let engine = build_engine(strategy, jobs, cache_cap);
+    if let Some(p) = &load_path {
+        cache_load(&engine, p)?;
+    }
     let run = engine.solve_batch(&items).map_err(|e| e.to_string())?;
+    if let Some(p) = &save_path {
+        cache_save(&engine, p)?;
+    }
     for (id, verdict) in ids.iter().zip(&run.verdicts) {
         println!("{}", serve::batch_line(id, verdict));
     }
@@ -540,10 +609,31 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut strategy = MatchStrategy::default();
     let mut stdio = false;
     let mut listen: Option<String> = None;
+    let mut load_path: Option<String> = None;
+    let mut save_path: Option<String> = None;
+    let mut flush_every: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--stdio" => stdio = true,
+            "--cache-load" => {
+                let v = it.next().ok_or("--cache-load needs a snapshot path")?;
+                load_path = Some(v.clone());
+            }
+            "--cache-save" => {
+                let v = it.next().ok_or("--cache-save needs a snapshot path")?;
+                save_path = Some(v.clone());
+            }
+            "--cache-flush-every" => {
+                let v = it.next().ok_or("--cache-flush-every needs seconds")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--cache-flush-every: invalid seconds `{v}`"))?;
+                if n == 0 {
+                    return Err("--cache-flush-every: must be at least 1 second".to_owned());
+                }
+                flush_every = Some(n);
+            }
             "--listen" => {
                 let v = it.next().ok_or("--listen needs an address (host:port)")?;
                 listen = Some(v.clone());
@@ -586,28 +676,75 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "serve needs exactly one of --stdio or --listen ADDR\n{USAGE}"
         ));
     }
-    let engine = build_engine_with(strategy, jobs, cache_cap, max_sessions);
-    if stdio {
-        let stdin = std::io::stdin();
-        let stdout = std::io::stdout();
-        serve::serve_stdio(&engine, stdin.lock(), stdout.lock())
-            .map_err(|e| format!("serve --stdio: {e}"))
-    } else {
-        let addr = listen.expect("checked above");
-        let listener = std::net::TcpListener::bind(&addr)
-            .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
-        let local = listener
-            .local_addr()
-            .map_err(|e| format!("cannot resolve listen address: {e}"))?;
-        // The ready line: machine-readable, so tests and scripts can bind
-        // port 0 and discover the actual endpoint.
-        println!("{{\"serving\":\"{local}\"}}");
-        use std::io::Write;
-        std::io::stdout()
-            .flush()
-            .map_err(|e| format!("cannot flush ready line: {e}"))?;
-        serve::serve_listen(&engine, listener).map_err(|e| format!("serve --listen: {e}"))
+    if flush_every.is_some() && save_path.is_none() {
+        return Err("--cache-flush-every needs --cache-save PATH".to_owned());
     }
+    let engine = build_engine_with(strategy, jobs, cache_cap, max_sessions);
+    if let Some(p) = &load_path {
+        cache_load(&engine, p)?;
+    }
+
+    // The periodic flusher and the serve loop share one scope, so the
+    // flusher is always joined before the final save below — no torn or
+    // out-of-order snapshot writes on the way out.
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let served = std::thread::scope(|s| {
+        if let (Some(path), Some(secs)) = (save_path.clone(), flush_every) {
+            let engine = &engine;
+            let done = &done;
+            s.spawn(move || {
+                let tick = std::time::Duration::from_millis(100);
+                let mut since_flush = std::time::Duration::ZERO;
+                // Poll-wait so shutdown is observed within a tick rather
+                // than a full flush period.
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since_flush += tick;
+                    if since_flush.as_secs() >= secs {
+                        since_flush = std::time::Duration::ZERO;
+                        if let Err(e) = cache_save(engine, &path) {
+                            eprintln!("tdq: periodic cache flush failed: {e}");
+                        }
+                    }
+                }
+            });
+        }
+        // Run the transport in a closure so *every* exit path — error or
+        // clean — flips `done` and joins the flusher.
+        let result = (|| {
+            if stdio {
+                let stdin = std::io::stdin();
+                let stdout = std::io::stdout();
+                serve::serve_stdio(&engine, stdin.lock(), stdout.lock())
+                    .map_err(|e| format!("serve --stdio: {e}"))
+            } else {
+                let addr = listen.as_deref().expect("checked above");
+                let listener = std::net::TcpListener::bind(addr)
+                    .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+                let local = listener
+                    .local_addr()
+                    .map_err(|e| format!("cannot resolve listen address: {e}"))?;
+                // The ready line: machine-readable, so tests and scripts
+                // can bind port 0 and discover the actual endpoint.
+                println!("{{\"serving\":\"{local}\"}}");
+                use std::io::Write;
+                std::io::stdout()
+                    .flush()
+                    .map_err(|e| format!("cannot flush ready line: {e}"))?;
+                serve::serve_listen(&engine, listener).map_err(|e| format!("serve --listen: {e}"))
+            }
+        })();
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        result
+    });
+    served?;
+    // Save on the clean-shutdown path only: both transports return `Ok`
+    // after the cancellation drain (EOF or a `shutdown` op), so the
+    // snapshot reflects a quiesced cache.
+    if let Some(p) = &save_path {
+        cache_save(&engine, p)?;
+    }
+    Ok(())
 }
 
 fn cmd_normalize(text: &str) -> Result<(), String> {

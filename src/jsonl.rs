@@ -100,10 +100,23 @@ impl Json {
         }
     }
 
-    /// The number as a `u64`, if this is a non-negative integral number.
+    /// The number as a `u64`, if this is a non-negative integral number
+    /// that `f64` represents exactly.
+    ///
+    /// The upper bound is strict: `u64::MAX as f64` rounds **up** to 2^64,
+    /// so a `<=` guard would accept the out-of-range `18446744073709551616`
+    /// and saturate it to `u64::MAX`. The round-trip check rejects any
+    /// residue of that rounding — every in-range `f64` with `fract() == 0`
+    /// is an exact integer, so for them `n as u64 as f64 == n` holds and
+    /// nothing representable is turned away.
     pub fn as_u64(&self) -> Option<u64> {
+        const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0; // 2^64, exact
         match *self {
-            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => Some(n as u64),
+            Json::Num(n)
+                if n >= 0.0 && n.fract() == 0.0 && n < TWO_POW_64 && (n as u64) as f64 == n =>
+            {
+                Some(n as u64)
+            }
             _ => None,
         }
     }
@@ -548,6 +561,53 @@ mod tests {
         assert_eq!(Json::parse("2.5").unwrap().as_u64(), None);
         assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
         assert_eq!(Json::parse("7").unwrap().as_u64(), Some(7));
+    }
+
+    /// Regression: the old guard `n <= u64::MAX as f64` compared against
+    /// 2^64 (the nearest `f64` to `u64::MAX`, rounded up), so the
+    /// out-of-range literal `18446744073709551616` slipped through and
+    /// saturated to `Some(u64::MAX)`.
+    #[test]
+    fn as_u64_range_boundaries() {
+        // Around 2^53, the edge of contiguous integer representability:
+        // all three neighbours are exact f64 values and in range.
+        assert_eq!(
+            Json::parse("9007199254740991").unwrap().as_u64(),
+            Some((1 << 53) - 1)
+        );
+        assert_eq!(
+            Json::parse("9007199254740992").unwrap().as_u64(),
+            Some(1 << 53)
+        );
+        // 2^53 + 1 is not representable; the parsed f64 is exactly 2^53,
+        // which as_u64 faithfully (and exactly) converts.
+        assert_eq!(
+            Json::parse("9007199254740993").unwrap().as_u64(),
+            Some(1 << 53)
+        );
+
+        // u64::MAX − 1 and u64::MAX both round up to 2^64 when parsed:
+        // out of range, never saturated.
+        assert_eq!(Json::parse("18446744073709551614").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("18446744073709551615").unwrap().as_u64(), None);
+        // 2^64 itself: the bug's headline case.
+        assert_eq!(Json::parse("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(Json::Num(u64::MAX as f64).as_u64(), None);
+
+        // The largest u64 an f64 can hold exactly: 2^64 − 2^11.
+        assert_eq!(
+            Json::parse("18446744073709549568").unwrap().as_u64(),
+            Some(u64::MAX - 2047)
+        );
+        assert_eq!(
+            Json::Num((u64::MAX - 2047) as f64).as_u64(),
+            Some(u64::MAX - 2047)
+        );
+        // Powers of two near the top are exact and accepted.
+        assert_eq!(
+            Json::parse("9223372036854775808").unwrap().as_u64(),
+            Some(1 << 63)
+        );
     }
 
     #[test]

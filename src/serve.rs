@@ -13,7 +13,9 @@
 //! {"id":"r2","op":"deps","text":"schema R(A, B)\ntd t: (a, b) -> (a, b)\n"}
 //! {"id":"r3","op":"batch","items":[{"alphabet":["A0","0"],"eqs":[]}]}
 //! {"id":"r4","op":"stats"}
-//! {"id":"r5","op":"shutdown"}
+//! {"id":"r5","op":"cache_save","path":"warm.tdsnap"}
+//! {"id":"r6","op":"cache_load","path":"warm.tdsnap"}
+//! {"id":"r7","op":"shutdown"}
 //! ```
 //!
 //! Replies echo `"id"` and carry `"ok":true` with the op's payload, or
@@ -423,10 +425,9 @@ fn parse_budgets(j: &Json) -> Result<Option<RequestBudget>, String> {
     let field = |name: &str| -> Result<Option<u64>, String> {
         match b.get(name) {
             None => Ok(None),
-            Some(v) => v
-                .as_u64()
-                .map(Some)
-                .ok_or_else(|| format!("budgets.{name} must be a non-negative integer")),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                format!("budgets.{name} must be a non-negative integer that fits in u64")
+            }),
         }
     };
     Ok(Some(RequestBudget {
@@ -615,6 +616,57 @@ pub fn handle_line(engine: &Engine, line: &str) -> ServeReply {
                     reply(Json::Obj(fields).render())
                 }
                 Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+            }
+        }
+        "cache_save" | "cache_load" => {
+            // Operator-level persistence ops: the path names a file on the
+            // *server's* filesystem (trusted clients only — same trust
+            // level as `shutdown`). See docs/PROTOCOL.md for the snapshot
+            // compatibility rules.
+            let Some(path) = j.get("path").and_then(Json::as_str) else {
+                return reply(error_reply(&id, "missing \"path\" field", None));
+            };
+            if op == "cache_save" {
+                let image = engine.save_snapshot();
+                let keys = engine.cache().len();
+                match td_reduction::snapshot::write_atomic(std::path::Path::new(path), &image) {
+                    Ok(()) => reply(
+                        Json::Obj(vec![
+                            ("id".to_owned(), id),
+                            ("ok".to_owned(), Json::from(true)),
+                            ("op".to_owned(), Json::from(op)),
+                            ("path".to_owned(), Json::from(path)),
+                            ("keys".to_owned(), Json::from(keys)),
+                            ("bytes".to_owned(), Json::from(image.len())),
+                        ])
+                        .render(),
+                    ),
+                    Err(e) => reply(error_reply(&id, &format!("cannot write {path}: {e}"), None)),
+                }
+            } else {
+                let bytes = match std::fs::read(path) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        return reply(error_reply(&id, &format!("cannot read {path}: {e}"), None));
+                    }
+                };
+                match engine.load_snapshot(&bytes) {
+                    Ok(stats) => reply(
+                        Json::Obj(vec![
+                            ("id".to_owned(), id),
+                            ("ok".to_owned(), Json::from(true)),
+                            ("op".to_owned(), Json::from(op)),
+                            ("path".to_owned(), Json::from(path)),
+                            ("keys_loaded".to_owned(), Json::from(stats.keys_loaded)),
+                            (
+                                "keys_skipped_version".to_owned(),
+                                Json::from(stats.keys_skipped_version),
+                            ),
+                        ])
+                        .render(),
+                    ),
+                    Err(e) => reply(error_reply(&id, &e.to_string(), None)),
+                }
             }
         }
         "shutdown" => {
@@ -836,6 +888,64 @@ mod tests {
     }
 
     #[test]
+    fn cache_ops_round_trip_through_a_fresh_engine() {
+        let dir = std::env::temp_dir().join(format!("tdq_serve_cache_ops_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ops.tdsnap");
+        let path_json = path.to_str().unwrap().replace('\\', "/");
+
+        let engine = Engine::new();
+        let r = handle_line(
+            &engine,
+            "{\"id\":\"w\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[]}",
+        );
+        assert!(r.text.contains("\"cached\":false"), "{}", r.text);
+        let r = handle_line(
+            &engine,
+            &format!("{{\"id\":\"s\",\"op\":\"cache_save\",\"path\":\"{path_json}\"}}"),
+        );
+        assert!(r.text.contains("\"ok\":true"), "{}", r.text);
+        assert!(r.text.contains("\"keys\":1"), "{}", r.text);
+
+        // A *fresh* engine — the restart — answers from the loaded image.
+        let warm = Engine::new();
+        let r = handle_line(
+            &warm,
+            &format!("{{\"id\":\"l\",\"op\":\"cache_load\",\"path\":\"{path_json}\"}}"),
+        );
+        assert!(r.text.contains("\"keys_loaded\":1"), "{}", r.text);
+        assert!(r.text.contains("\"keys_skipped_version\":0"), "{}", r.text);
+        let r = handle_line(
+            &warm,
+            "{\"id\":\"w2\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[]}",
+        );
+        assert!(r.text.contains("\"cached\":true"), "{}", r.text);
+        assert_eq!(warm.stats().solved, 0, "warm replay never ran the solver");
+
+        // Failure envelopes: missing path field, unreadable file, corrupt
+        // image — all structured errors, none fatal to the session.
+        let r = handle_line(&warm, "{\"id\":\"e1\",\"op\":\"cache_load\"}");
+        assert!(r.text.contains("missing \\\"path\\\" field"), "{}", r.text);
+        let r = handle_line(
+            &warm,
+            "{\"id\":\"e2\",\"op\":\"cache_load\",\"path\":\"/nonexistent/x.tdsnap\"}",
+        );
+        assert!(r.text.contains("cannot read"), "{}", r.text);
+        let mut image = std::fs::read(&path).unwrap();
+        let mid = image.len() / 2;
+        image[mid] ^= 0x20;
+        std::fs::write(&path, &image).unwrap();
+        let r = handle_line(
+            &warm,
+            &format!("{{\"id\":\"e3\",\"op\":\"cache_load\",\"path\":\"{path_json}\"}}"),
+        );
+        assert!(r.text.contains("\"ok\":false"), "{}", r.text);
+        assert!(r.text.contains("snapshot byte"), "{}", r.text);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn budget_overrides_are_validated_and_clamped() {
         let engine = Engine::new();
         let r = handle_line(
@@ -845,6 +955,21 @@ mod tests {
         );
         assert!(
             r.text.contains("must be a non-negative integer"),
+            "{}",
+            r.text
+        );
+        // Out-of-range: 2^64 is integral and non-negative but exceeds
+        // u64, so it must surface as the structured error envelope, not
+        // saturate to u64::MAX and silently mean "unbounded-ish".
+        let r = handle_line(
+            &engine,
+            "{\"id\":\"b3\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"0\"],\"eqs\":[],\
+             \"budgets\":{\"derivation_states\":18446744073709551616}}",
+        );
+        assert!(r.text.contains("\"ok\":false"), "{}", r.text);
+        assert!(
+            r.text
+                .contains("budgets.derivation_states must be a non-negative integer"),
             "{}",
             r.text
         );

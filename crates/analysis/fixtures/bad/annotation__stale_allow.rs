@@ -1,0 +1,9 @@
+//! Known-bad: a `td-lint: allow` that suppresses nothing. Stale allows
+//! are errors so that suppressions cannot outlive the code they were
+//! written for.
+
+/// Adds one.
+pub fn bump(x: u32) -> u32 {
+    // td-lint: allow(panic-path) nothing on the next line can panic
+    x + 1
+}

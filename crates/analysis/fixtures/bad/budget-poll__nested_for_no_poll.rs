@@ -1,0 +1,14 @@
+//! Known-bad: a nested `for` whose body never reaches a Ticker or
+//! Cancellation poll — the shape that wedges a serve worker when the
+//! data is adversarially large.
+
+/// Sums a grid without ever observing the budget.
+pub fn sweep(grid: &[Vec<u32>]) -> u32 {
+    let mut total = 0;
+    for row in grid {
+        for x in row {
+            total += *x;
+        }
+    }
+    total
+}

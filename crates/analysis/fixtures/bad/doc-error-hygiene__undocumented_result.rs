@@ -1,0 +1,8 @@
+//! Known-bad: a `pub fn` returning `Result` whose docs are silent about
+//! when it goes wrong — the caller cannot decide whether to retry,
+//! propagate, or envelope without reading the body.
+
+/// Parses the input.
+pub fn parse_count(s: &str) -> Result<u32, String> {
+    s.trim().parse().map_err(|_| "not a number".to_string())
+}

@@ -1,0 +1,18 @@
+//! Known-bad: a mutex guard held live across a solver entry point. The
+//! solver can block for the whole search budget, so every other thread
+//! queuing on this lock stalls behind one request.
+
+use std::sync::Mutex;
+
+/// Reads the seed and solves while still holding the lock.
+pub fn ask(m: &Mutex<u32>) -> u32 {
+    let guard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let seed = *guard;
+    let answer = solve_from(seed);
+    drop(guard);
+    answer
+}
+
+fn solve_from(seed: u32) -> u32 {
+    seed
+}

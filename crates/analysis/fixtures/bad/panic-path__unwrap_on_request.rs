@@ -1,0 +1,7 @@
+//! Known-bad: `.unwrap()` on a request path. An empty input panics the
+//! handler thread instead of producing an error envelope.
+
+/// Returns the first element.
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}

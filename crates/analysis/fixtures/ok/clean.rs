@@ -1,0 +1,70 @@
+//! A known-good snippet: clean under every td-lint pass. Guards are
+//! dropped before solver entry, nested loops reach a poll, nothing on
+//! the happy path panics, and every fallible contract documents its
+//! errors. Fixtures are lexed, never compiled, so the helper types are
+//! free-standing.
+
+use std::sync::Mutex;
+
+/// Parses a count.
+///
+/// # Errors
+///
+/// Fails when `s` is not a decimal number.
+pub fn parse_count(s: &str) -> Result<u32, String> {
+    s.trim().parse().map_err(|_| format!("bad count `{s}`"))
+}
+
+/// Reads the shared counter, releasing the guard before solver entry.
+pub fn snapshot_then_solve(m: &Mutex<u32>) -> u32 {
+    let guard = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let seed = *guard;
+    drop(guard);
+    solve_from(seed)
+}
+
+/// A nested sweep that stays interruptible: the outer body ticks the
+/// budget once per row.
+pub fn sweep(grid: &[Vec<u32>], ticker: &mut Ticker) -> u32 {
+    let mut total = 0;
+    for row in grid {
+        ticker.tick();
+        for x in row {
+            total += *x;
+        }
+    }
+    total
+}
+
+/// A bounded nested sweep justified by annotation instead of a poll.
+pub fn bounded_sweep(rows: &[u32]) -> u32 {
+    let mut total = 0;
+    // td-lint: allow(budget-poll) bounded sweep over an in-memory table,
+    // charged by the caller's ticker before entry.
+    for r in rows {
+        for _ in 0..*r {
+            total += 1;
+        }
+    }
+    total
+}
+
+/// An unbounded drain that polls its cancellation token.
+pub fn drain(cancel: &Cancellation) {
+    while has_work() {
+        if cancel.is_cancelled() {
+            break;
+        }
+        step();
+    }
+}
+
+fn solve_from(seed: u32) -> u32 {
+    seed
+}
+
+fn has_work() -> bool {
+    false
+}
+
+fn step() {}

@@ -1,0 +1,468 @@
+//! A hand-rolled lexer for Rust source, sufficient for lexical linting.
+//!
+//! The lexer produces a positioned token stream with comments and string
+//! literal *contents* stripped out of the analysable surface: `//` line
+//! comments (collected separately, because `td-lint: allow` annotations
+//! live there), nested `/* */` block comments, plain/raw/byte string
+//! literals, and character literals (distinguished from lifetimes). It does
+//! **not** parse: downstream passes work on the token stream plus a
+//! matching-delimiter map, which is exactly enough for the discipline
+//! checks this crate implements and is honest about being no more.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `while`, `unwrap`, …).
+    Ident,
+    /// A lifetime such as `'a` (kept distinct from char literals).
+    Lifetime,
+    /// A literal: number, string, char, byte string. String-like literals
+    /// keep only a placeholder text (`"…"`) so their contents can never
+    /// confuse a pass.
+    Literal,
+    /// A single punctuation character (`.`, `;`, `(`, `{`, `!`, …).
+    /// Multi-character operators appear as consecutive punct tokens.
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokKind,
+    /// The token text (placeholder text for string-like literals).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Token {
+    /// `true` if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// What kind of comment a [`Comment`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommentKind {
+    /// `// …` (the kind `td-lint:` annotations live in).
+    Line,
+    /// `/// …` outer doc comment.
+    DocLine,
+    /// `//! …` inner doc comment.
+    DocInner,
+    /// `/* … */` block comment.
+    Block,
+    /// `/** … */` or `/*! … */` block doc comment.
+    DocBlock,
+}
+
+/// A comment, collected out-of-band with its position and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// The comment kind.
+    pub kind: CommentKind,
+    /// The body text (marker stripped; block bodies keep inner newlines).
+    pub text: String,
+    /// 1-based line of the comment *start*.
+    pub line: u32,
+    /// 1-based column of the comment start.
+    pub col: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and literal contents stripped.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. The lexer is total: unknown bytes
+/// become single punct tokens rather than errors, so a pathological file
+/// degrades to noise instead of aborting the lint run.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'s str>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            src: std::marker::PhantomData,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek_at(1) == Some('/') {
+                self.line_comment(line, col);
+            } else if c == '/' && self.peek_at(1) == Some('*') {
+                self.block_comment(line, col);
+            } else if c == '"' {
+                self.string_literal(line, col);
+            } else if c == 'r' && matches!(self.peek_at(1), Some('"' | '#')) && self.raw_start(1) {
+                self.raw_string(line, col, 1);
+            } else if c == 'b' && self.peek_at(1) == Some('"') {
+                self.bump();
+                self.string_literal(line, col);
+            } else if c == 'b' && self.peek_at(1) == Some('\'') {
+                self.bump();
+                self.char_literal(line, col);
+            } else if c == 'b'
+                && self.peek_at(1) == Some('r')
+                && matches!(self.peek_at(2), Some('"' | '#'))
+                && self.raw_start(2)
+            {
+                self.raw_string(line, col, 2);
+            } else if c == '\'' {
+                self.quote(line, col);
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else {
+                self.bump();
+                self.push_token(TokKind::Punct, c.to_string(), line, col);
+            }
+        }
+        self.out
+    }
+
+    /// `true` if starting at `off` there is `#* "` — i.e. a raw string
+    /// opener (vs. an identifier that merely starts with `r`/`br`).
+    fn raw_start(&self, off: usize) -> bool {
+        let mut i = off;
+        while self.peek_at(i) == Some('#') {
+            i += 1;
+        }
+        self.peek_at(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump(); // `//`
+        let kind = match self.peek() {
+            Some('/') if self.peek_at(1) != Some('/') => {
+                self.bump();
+                CommentKind::DocLine
+            }
+            Some('!') => {
+                self.bump();
+                CommentKind::DocInner
+            }
+            _ => CommentKind::Line,
+        };
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            kind,
+            text: text.trim().to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump(); // `/*`
+        let kind = match self.peek() {
+            Some('*') if self.peek_at(1) != Some('/') => CommentKind::DocBlock,
+            Some('!') => CommentKind::DocBlock,
+            _ => CommentKind::Block,
+        };
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: tolerate
+            }
+        }
+        self.out.comments.push(Comment {
+            kind,
+            text: text.trim().to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening `"`
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump(); // skip the escaped char
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push_token(TokKind::Literal, "\"…\"".to_string(), line, col);
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32, prefix: usize) {
+        for _ in 0..prefix {
+            self.bump(); // `r` or `br`
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening `"`
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push_token(TokKind::Literal, "r\"…\"".to_string(), line, col);
+    }
+
+    /// A `'`: either a char literal (`'x'`, `'\n'`) or a lifetime (`'a`).
+    fn quote(&mut self, line: u32, col: u32) {
+        // Lookahead decides: escape or `<char>'` means char literal.
+        if self.peek_at(1) == Some('\\') || self.peek_at(2) == Some('\'') {
+            self.char_literal(line, col);
+            return;
+        }
+        self.bump(); // `'`
+        let mut text = String::from("'");
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Lifetime, text, line, col);
+    }
+
+    fn char_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // `'`
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                break;
+            }
+        }
+        self.push_token(TokKind::Literal, "'…'".to_string(), line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokKind::Literal, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_stripped_and_collected() {
+        let l = lex("let x = 1; // trailing note\n/* block\nspans */ let y = 2;");
+        assert_eq!(
+            idents("let x = 1; // c\nlet y = 2;"),
+            ["let", "x", "let", "y"]
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].kind, CommentKind::Line);
+        assert_eq!(l.comments[0].text, "trailing note");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].kind, CommentKind::Block);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("a /* outer /* inner */ still */ b");
+        assert_eq!(idents("a /* x /* y */ z */ b"), ["a", "b"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn string_contents_cannot_leak_tokens() {
+        // `unwrap(` inside a string must not look like a call.
+        let l = lex(r#"let m = "call .unwrap() here"; x"#);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let l = lex(r###"let s = r#"has "quotes" and // no comment"#; done"###);
+        assert!(l.comments.is_empty());
+        assert!(l.tokens.iter().any(|t| t.is_ident("done")));
+        let l = lex(r#"let b = b"bytes"; let c = b'x'; end"#);
+        assert!(l.tokens.iter().any(|t| t.is_ident("end")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text == "'…'")
+            .count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("ab\n  cd");
+        assert_eq!((l.tokens[0].line, l.tokens[0].col), (1, 1));
+        assert_eq!((l.tokens[1].line, l.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("for i in 0..10 { let f = 1.5; let h = 0xff_u32; }");
+        let lits: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, ["0", "10", "1.5", "0xff_u32"]);
+    }
+
+    #[test]
+    fn doc_comment_kinds() {
+        let l = lex("/// outer doc\n//! inner doc\n// plain\nfn f() {}");
+        let kinds: Vec<_> = l.comments.iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                CommentKind::DocLine,
+                CommentKind::DocInner,
+                CommentKind::Line
+            ]
+        );
+    }
+}

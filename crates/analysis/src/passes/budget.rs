@@ -1,0 +1,164 @@
+//! **budget-poll**: every loop body in the search/chase hot paths must
+//! reach a budget or cancellation poll. The inference problem is
+//! undecidable, so *every* potentially long-running loop has to stay
+//! interruptible — a loop that neither ticks a [`Ticker`] nor polls a
+//! [`Cancellation`] can wedge a serve worker forever.
+//!
+//! `loop` and `while` bodies are checked unconditionally (they are the
+//! potentially unbounded shapes). `for` bodies are checked only when they
+//! contain another loop: flat `for` loops over rows/columns are bounded by
+//! data already in memory, and flagging them all would drown the signal —
+//! the calibration is documented in `docs/ANALYSIS.md`.
+//!
+//! A body "reaches a poll" if it lexically contains a poll token
+//! (`tick`, `poll`, `poll_cancelled`, `is_cancelled`) or a call to a
+//! function in the same file that (transitively) does — a small
+//! same-file fixpoint, because the chase routes its polls through a
+//! `poll_cancelled` helper.
+//!
+//! [`Ticker`]: https://docs.rs/td-core
+//! [`Cancellation`]: https://docs.rs/td-core
+
+use std::collections::HashSet;
+
+use super::Pass;
+use crate::lexer::TokKind;
+use crate::shape::{functions, loops, LoopKind};
+use crate::source::{Diagnostic, SourceFile};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct BudgetPoll;
+
+/// Identifiers that constitute a poll observation.
+const POLL_TOKENS: [&str; 4] = ["tick", "poll", "poll_cancelled", "is_cancelled"];
+
+impl Pass for BudgetPoll {
+    fn name(&self) -> &'static str {
+        "budget-poll"
+    }
+
+    fn check(&self, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let polling = polling_functions(sf);
+        for l in loops(sf) {
+            let kw = &sf.tokens[l.kw_idx];
+            if sf.in_test_region(kw.line) {
+                continue;
+            }
+            if l.kind == LoopKind::For && !l.nested {
+                continue;
+            }
+            if body_polls(sf, l.body, &polling) {
+                continue;
+            }
+            out.push(Diagnostic {
+                pass: "budget-poll".to_string(),
+                file: sf.path.clone(),
+                line: kw.line,
+                col: kw.col,
+                msg: format!(
+                    "`{}` body never reaches a Ticker/Cancellation poll; add a \
+                     `ticker.tick()`/`is_cancelled()` check (or justify with \
+                     `// td-lint: allow(budget-poll) <why>`)",
+                    l.kind.keyword()
+                ),
+            });
+        }
+    }
+}
+
+/// `true` if the token range `body` contains a poll token or a call to a
+/// known polling function.
+fn body_polls(sf: &SourceFile, body: (usize, usize), polling: &HashSet<String>) -> bool {
+    sf.tokens[body.0..=body.1].iter().any(|t| {
+        t.kind == TokKind::Ident
+            && (POLL_TOKENS.contains(&t.text.as_str()) || polling.contains(&t.text))
+    })
+}
+
+/// Same-file fixpoint: the set of function names whose bodies contain a
+/// poll token, or a mention of a function already in the set.
+fn polling_functions(sf: &SourceFile) -> HashSet<String> {
+    let fns = functions(sf);
+    let mut polling: HashSet<String> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for f in &fns {
+            if polling.contains(&f.name) {
+                continue;
+            }
+            let Some(body) = f.body else { continue };
+            if body_polls(sf, body, &polling) {
+                polling.insert(f.name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            return polling;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::run_passes;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse("t.rs", src);
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(BudgetPoll)];
+        run_passes(&sf, &passes)
+    }
+
+    #[test]
+    fn unpolled_while_is_flagged() {
+        let d = findings("fn f() { while work() { step(); } }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("while"));
+    }
+
+    #[test]
+    fn ticked_loop_is_clean() {
+        let d =
+            findings("fn f(t: &mut Ticker) { loop { if t.tick().is_err() { break; } step(); } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn flat_for_is_exempt_nested_for_is_not() {
+        assert!(findings("fn f() { for x in xs { g(x); } }").is_empty());
+        let d = findings("fn f() { for x in xs { for y in ys { g(x, y); } } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("for"));
+    }
+
+    #[test]
+    fn poll_through_same_file_helper_counts() {
+        let src = "\
+fn check(c: &Cancellation) -> bool { c.is_cancelled() }
+fn f(c: &Cancellation) { while busy() { if check(c) { break; } step(); } }
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn two_level_helper_fixpoint() {
+        let src = "\
+fn inner(c: &C) -> bool { c.is_cancelled() }
+fn outer(c: &C) -> bool { inner(c) }
+fn f(c: &C) { loop { if outer(c) { break; } } }
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "\
+fn f() {
+    // td-lint: allow(budget-poll) bounded by the 8-entry table
+    while i < table.len() { i += 1; }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! **doc-error-hygiene**: every `pub fn` returning a `Result` must
+//! document its error conditions. A caller deciding whether to propagate,
+//! retry, or envelope an error needs the conditions in the contract, not
+//! in the body.
+//!
+//! "Documents its error conditions" is satisfied by an `# Errors` section
+//! or by doc prose mentioning the error/failure cases (the tree's house
+//! style documents errors inline: "Returns an error when …"). A `pub fn`
+//! with no doc comment at all, or docs silent about errors, is flagged.
+
+use super::Pass;
+use crate::lexer::{CommentKind, TokKind};
+use crate::shape::functions;
+use crate::source::{Diagnostic, SourceFile};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct DocErrorHygiene;
+
+/// Lower-cased needles accepted as error documentation.
+const ERROR_NEEDLES: [&str; 4] = ["error", "errs", "err(", "fail"];
+
+impl Pass for DocErrorHygiene {
+    fn name(&self) -> &'static str {
+        "doc-error-hygiene"
+    }
+
+    fn check(&self, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for f in functions(sf) {
+            let kw = &sf.tokens[f.kw_idx];
+            if sf.in_test_region(kw.line) {
+                continue;
+            }
+            let Some(pub_idx) = public_fn(sf, f.kw_idx) else {
+                continue;
+            };
+            if !returns_result(sf, &f) {
+                continue;
+            }
+            let docs = doc_text_above(sf, pub_idx);
+            let lower = docs.to_lowercase();
+            if ERROR_NEEDLES.iter().any(|n| lower.contains(n)) {
+                continue;
+            }
+            out.push(Diagnostic {
+                pass: "doc-error-hygiene".to_string(),
+                file: sf.path.clone(),
+                line: kw.line,
+                col: kw.col,
+                msg: format!(
+                    "pub fn `{}` returns `Result` but its docs never state when it \
+                     errs; add an `# Errors` note",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// If the `fn` at `kw_idx` is `pub` (not `pub(crate)`), the token index
+/// of the `pub` keyword. Qualifiers (`const`, `async`, `unsafe`,
+/// `extern "C"`) between `pub` and `fn` are skipped.
+fn public_fn(sf: &SourceFile, kw_idx: usize) -> Option<usize> {
+    let mut i = kw_idx;
+    while i > 0 {
+        let prev = &sf.tokens[i - 1];
+        if prev.is_ident("const")
+            || prev.is_ident("async")
+            || prev.is_ident("unsafe")
+            || prev.is_ident("extern")
+            || prev.kind == TokKind::Literal
+        {
+            i -= 1;
+            continue;
+        }
+        if prev.is_ident("pub") {
+            return Some(i - 1);
+        }
+        return None; // includes `pub(crate) fn`: prev is `)`
+    }
+    None
+}
+
+/// `true` when the signature (tokens from the name to the body brace or
+/// `;`) contains `-> … Result`.
+fn returns_result(sf: &SourceFile, f: &crate::shape::Func) -> bool {
+    let sig_end = match f.body {
+        Some((open, _)) => open,
+        None => sf
+            .scan_at_level(f.name_idx + 1, |t| t.is_punct(';'))
+            .unwrap_or(sf.tokens.len()),
+    };
+    // Walk the signature at delimiter level 0 (skipping paren/bracket
+    // groups, so closure-type arrows in parameters are invisible) and
+    // track `<…>` generic depth manually, so arrows inside generic bounds
+    // (`F: Fn() -> u8`) are not mistaken for the return arrow.
+    let mut i = f.name_idx + 1;
+    let mut angle: usize = 0;
+    let mut seen_arrow = false;
+    while i < sig_end {
+        let t = &sf.tokens[i];
+        if t.is_punct('-') && sf.tok(i + 1).is_some_and(|n| n.is_punct('>')) {
+            if angle == 0 {
+                seen_arrow = true;
+            }
+            i += 2; // never let the arrow's `>` close a generic bracket
+            continue;
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            match sf.close_of(i) {
+                Some(c) => {
+                    i = c + 1;
+                    continue;
+                }
+                None => return false,
+            }
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = angle.saturating_sub(1);
+        } else if seen_arrow && t.is_ident("where") && angle == 0 {
+            return false; // `where` ends the return type
+        } else if seen_arrow && t.is_ident("Result") {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The contiguous doc-comment text immediately above the item whose first
+/// token is at `item_idx` (walking over any attribute lines between the
+/// docs and the item).
+fn doc_text_above(sf: &SourceFile, item_idx: usize) -> String {
+    // Walk backward over attributes: `#` `[` … `]` groups directly above.
+    let mut i = item_idx;
+    while i >= 2 && sf.tokens[i - 1].is_punct(']') {
+        match sf.match_of.get(i - 1) {
+            Some(&open) if open != usize::MAX && open >= 1 && sf.tokens[open - 1].is_punct('#') => {
+                i = open - 1;
+            }
+            _ => break,
+        }
+    }
+    let first_line = sf.tokens[i].line;
+    // Collect doc comments on consecutive lines ending at first_line - 1.
+    let mut parts: Vec<&str> = Vec::new();
+    let mut expect = first_line.saturating_sub(1);
+    for c in sf.comments.iter().rev() {
+        if c.line > expect {
+            continue;
+        }
+        if c.line < expect {
+            break;
+        }
+        match c.kind {
+            CommentKind::DocLine | CommentKind::DocBlock => {
+                parts.push(&c.text);
+                expect = c.line.saturating_sub(1);
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    parts.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::run_passes;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse("t.rs", src);
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(DocErrorHygiene)];
+        run_passes(&sf, &passes)
+    }
+
+    #[test]
+    fn undocumented_result_fn_is_flagged() {
+        let d = findings("/// Does a thing.\npub fn f() -> Result<u32, E> { g() }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("`f`"));
+    }
+
+    #[test]
+    fn errors_section_is_accepted() {
+        let src = "/// Does a thing.\n///\n/// # Errors\n/// Fails when the input is empty.\npub fn f() -> Result<u32, E> { g() }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn inline_error_prose_is_accepted() {
+        let src = "/// Returns an error when the schema mismatches.\npub fn f() -> Result<u32, E> { g() }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn private_and_non_result_fns_are_exempt() {
+        assert!(findings("fn f() -> Result<u32, E> { g() }").is_empty());
+        assert!(findings("/// Doc.\npub fn f() -> u32 { 1 }").is_empty());
+        assert!(findings("/// Doc.\npub(crate) fn f() -> Result<u32, E> { g() }").is_empty());
+    }
+
+    #[test]
+    fn attributes_between_docs_and_fn_are_transparent() {
+        let src = "/// # Errors\n/// When g fails.\n#[inline]\n#[must_use]\npub fn f() -> Result<u32, E> { g() }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn result_in_where_clause_is_not_a_return() {
+        let src = "/// Doc.\npub fn f<T>(t: T) where T: Into<Result<u32, E>> { }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn no_docs_at_all_is_flagged() {
+        let d = findings("pub fn f() -> Result<u32, E> { g() }");
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! **lock-discipline**: no `.read()`/`.write()`/`.lock()` guard may be
+//! live across a call into the solver (`solve*`/`decide*`/`chase*`/
+//! `resume*`) or blocking I/O, and shard locks must be acquired in
+//! ascending index order.
+//!
+//! Holding a shard or registry guard across a solve wedges every other
+//! request hashing to that shard for the duration of an (undecidable!)
+//! search; out-of-order shard acquisition is the classic deadlock shape
+//! once the serve loop goes multicore. Guard liveness is recovered
+//! lexically: a **let-bound** guard lives from its binding to the end of
+//! the enclosing block or an explicit `drop(name)`, whichever comes
+//! first; a **temporary** guard lives to the end of its statement.
+
+use super::Pass;
+use crate::lexer::TokKind;
+use crate::shape::{enclosing_block, statement_end, statement_start};
+use crate::source::{Diagnostic, SourceFile};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct LockDiscipline;
+
+/// No-argument guard-producing methods.
+const GUARD_METHODS: [&str; 3] = ["read", "write", "lock"];
+
+/// Call-name prefixes that enter the solver. `resume` is the chase
+/// engine's re-entry constructor (`ChaseEngine::resume`), the same hot
+/// path as `chase*` under a different name.
+const SOLVER_PREFIXES: [&str; 4] = ["solve", "decide", "chase", "resume"];
+
+/// Blocking I/O calls (`Condvar::wait` is deliberately absent: it
+/// *requires* holding the lock and releases it atomically).
+const BLOCKING_CALLS: [&str; 10] = [
+    "read_line",
+    "read_to_string",
+    "read_exact",
+    "write_all",
+    "flush",
+    "accept",
+    "connect",
+    "recv",
+    "recv_timeout",
+    "sleep",
+];
+
+/// A discovered guard acquisition and its lexical liveness span.
+#[derive(Debug)]
+struct Guard {
+    /// Token index of the `read`/`write`/`lock` method identifier.
+    site: usize,
+    /// Exclusive end of the liveness span (token index).
+    end: usize,
+    /// Shard index when the receiver is literally `shards[<int>]`.
+    shard: Option<u64>,
+}
+
+impl Pass for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn check(&self, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let guards = find_guards(sf);
+        for g in &guards {
+            let gt = &sf.tokens[g.site];
+            if sf.in_test_region(gt.line) {
+                continue;
+            }
+            // Danger calls inside the liveness span.
+            let mut i = g.site + 2; // skip the guard's own `(`
+            while i < g.end.min(sf.tokens.len()) {
+                let t = &sf.tokens[i];
+                if t.kind == TokKind::Ident && sf.tok(i + 1).is_some_and(|n| n.is_punct('(')) {
+                    if SOLVER_PREFIXES.iter().any(|p| t.text.starts_with(p)) {
+                        out.push(diag(
+                            sf,
+                            t.line,
+                            t.col,
+                            format!(
+                                "`{}(…)` called while a `.{}()` guard (line {}) is live; \
+                                 drop the guard before entering the solver",
+                                t.text, gt.text, gt.line
+                            ),
+                        ));
+                    } else if BLOCKING_CALLS.contains(&t.text.as_str()) {
+                        out.push(diag(
+                            sf,
+                            t.line,
+                            t.col,
+                            format!(
+                                "blocking call `{}(…)` while a `.{}()` guard (line {}) is \
+                                 live; drop the guard before blocking (or justify with \
+                                 `// td-lint: allow(lock-discipline) <why>`)",
+                                t.text, gt.text, gt.line
+                            ),
+                        ));
+                    }
+                }
+                i += 1;
+            }
+        }
+        // Shard ordering: a shard guard acquired while another shard guard
+        // with an equal-or-higher index is still live.
+        for g in &guards {
+            let Some(outer_idx) = g.shard else { continue };
+            if sf.in_test_region(sf.tokens[g.site].line) {
+                continue;
+            }
+            for h in &guards {
+                let Some(inner_idx) = h.shard else { continue };
+                if h.site > g.site && h.site < g.end && inner_idx <= outer_idx {
+                    let t = &sf.tokens[h.site];
+                    out.push(diag(
+                        sf,
+                        t.line,
+                        t.col,
+                        format!(
+                            "shard lock {inner_idx} acquired while shard lock {outer_idx} \
+                             (line {}) is live: shard locks must be taken in ascending \
+                             index order",
+                            sf.tokens[g.site].line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn diag(sf: &SourceFile, line: u32, col: u32, msg: String) -> Diagnostic {
+    Diagnostic {
+        pass: "lock-discipline".to_string(),
+        file: sf.path.clone(),
+        line,
+        col,
+        msg,
+    }
+}
+
+/// Finds every `.read()`/`.write()`/`.lock()` site and computes its
+/// lexical liveness span.
+fn find_guards(sf: &SourceFile) -> Vec<Guard> {
+    let mut out = Vec::new();
+    for (i, t) in sf.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || !GUARD_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if i == 0 || !sf.tokens[i - 1].is_punct('.') {
+            continue;
+        }
+        // Require an empty argument list: `.read()`, not `.read(&mut buf)`.
+        if !(sf.tok(i + 1).is_some_and(|n| n.is_punct('('))
+            && sf.tok(i + 2).is_some_and(|n| n.is_punct(')')))
+        {
+            continue;
+        }
+        // `stdout().lock()` / `stderr.lock()` / `stdin().lock()` hand out
+        // I/O handles meant to be written while held — not shared-state
+        // guards. Exclude them by receiver name.
+        if receiver_is_std_stream(sf, i) {
+            continue;
+        }
+        let start = statement_start(sf, i);
+        let let_bound = sf.tokens.get(start).is_some_and(|t| t.is_ident("let"))
+            && chain_yields_guard(sf, i + 2);
+        let end = if let_bound {
+            let name = binding_name(sf, start);
+            let block_end = enclosing_block(sf, i).map_or(sf.tokens.len(), |(_, c)| c);
+            match name.and_then(|n| find_drop(sf, i, block_end, &n)) {
+                Some(d) => d,
+                None => block_end,
+            }
+        } else {
+            statement_end(sf, i)
+        };
+        out.push(Guard {
+            site: i,
+            end,
+            shard: shard_index(sf, i),
+        });
+    }
+    out
+}
+
+/// Follows the method chain after the guard call's `)` at `close_idx`:
+/// the binding holds the *guard* only if the chain ends the initializer
+/// (`;`) passing through nothing but guard-preserving adapters
+/// (`.expect(…)`, `.unwrap()`, `.unwrap_or_else(…)`, `.map_err(…)`,
+/// `?`). A chain like `.lock().len()` binds a plain value — the guard is
+/// a temporary.
+fn chain_yields_guard(sf: &SourceFile, close_idx: usize) -> bool {
+    const PRESERVING: [&str; 4] = ["expect", "unwrap", "unwrap_or_else", "map_err"];
+    let mut j = close_idx + 1;
+    loop {
+        let Some(t) = sf.tok(j) else { return false };
+        if t.is_punct(';') {
+            return true;
+        }
+        if t.is_punct('?') {
+            j += 1;
+            continue;
+        }
+        if t.is_punct('.')
+            && sf
+                .tok(j + 1)
+                .is_some_and(|m| m.kind == TokKind::Ident && PRESERVING.contains(&m.text.as_str()))
+            && sf.tok(j + 2).is_some_and(|p| p.is_punct('('))
+        {
+            match sf.close_of(j + 2) {
+                Some(c) => {
+                    j = c + 1;
+                    continue;
+                }
+                None => return false,
+            }
+        }
+        return false;
+    }
+}
+
+/// The identifier bound by a `let` statement starting at `start`
+/// (skipping `mut`; tuple/struct patterns yield their first identifier,
+/// which is good enough to recognize a later `drop(name)`).
+fn binding_name(sf: &SourceFile, start: usize) -> Option<String> {
+    let mut i = start + 1;
+    while let Some(t) = sf.tok(i) {
+        if t.is_ident("mut") || t.is_punct('(') {
+            i += 1;
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            return Some(t.text.clone());
+        }
+        return None;
+    }
+    None
+}
+
+/// `true` when the receiver of the guard method at `site` is one of the
+/// standard I/O streams (`stdout`, `stderr`, `stdin`), directly or as a
+/// call (`io::stdout().lock()`).
+fn receiver_is_std_stream(sf: &SourceFile, site: usize) -> bool {
+    const STREAMS: [&str; 3] = ["stdout", "stderr", "stdin"];
+    if site < 2 {
+        return false;
+    }
+    let prev = &sf.tokens[site - 2];
+    if prev.kind == TokKind::Ident {
+        return STREAMS.contains(&prev.text.as_str());
+    }
+    if prev.is_punct(')') {
+        if let Some(&open) = sf.match_of.get(site - 2) {
+            if open != usize::MAX && open > 0 {
+                let callee = &sf.tokens[open - 1];
+                return callee.kind == TokKind::Ident && STREAMS.contains(&callee.text.as_str());
+            }
+        }
+    }
+    false
+}
+
+/// Finds `drop(<name>)` between `from` and `to`, returning its index.
+fn find_drop(sf: &SourceFile, from: usize, to: usize, name: &str) -> Option<usize> {
+    (from..to.min(sf.tokens.len())).find(|&j| {
+        sf.tokens[j].is_ident("drop")
+            && sf.tok(j + 1).is_some_and(|t| t.is_punct('('))
+            && sf.tok(j + 2).is_some_and(|t| t.is_ident(name))
+            && sf.tok(j + 3).is_some_and(|t| t.is_punct(')'))
+    })
+}
+
+/// When the guard's receiver is literally `shards[<int>]`, the index.
+fn shard_index(sf: &SourceFile, site: usize) -> Option<u64> {
+    // tokens: … shards [ <lit> ] . read
+    if site < 2 || !sf.tokens[site - 2].is_punct(']') {
+        return None;
+    }
+    let close = site - 2;
+    let open = match sf.match_of.get(close) {
+        Some(&o) if o != usize::MAX => o,
+        _ => return None,
+    };
+    if open == 0 || !sf.tokens[open - 1].is_ident("shards") {
+        return None;
+    }
+    if close != open + 2 {
+        return None; // not a single-token index
+    }
+    let lit = &sf.tokens[open + 1];
+    if lit.kind != TokKind::Literal {
+        return None;
+    }
+    lit.text.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::run_passes;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse("t.rs", src);
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(LockDiscipline)];
+        run_passes(&sf, &passes)
+    }
+
+    #[test]
+    fn guard_across_chase_resume_is_flagged() {
+        let src = "fn f() { let mut inner = s.inner.lock().expect(\"p\"); \
+                   let mut e = ChaseEngine::resume(&tds, st, policy, budget)?; e.go(); }";
+        let d = findings(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("resume"));
+    }
+
+    #[test]
+    fn map_err_chain_still_binds_the_guard() {
+        let src = "fn f() -> Result<()> { let g = s.inner.lock().map_err(|_| E::Poisoned)?; \
+                   solve(&g); Ok(()) }";
+        let d = findings(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("solve"));
+    }
+
+    #[test]
+    fn let_bound_guard_across_solve_is_flagged() {
+        let src =
+            "fn f() { let g = cache.read(); let v = solve_word_problem(&p); use_both(g, v); }";
+        let d = findings(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("solve_word_problem"));
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        let src = "fn f() { let g = cache.read(); let k = g.key(); drop(g); solve(&k); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn block_scoped_guard_is_clean() {
+        let src = "fn f() { let k = { let g = cache.read(); g.key() }; solve(&k); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn guard_live_across_decide_is_flagged() {
+        let src = "fn f() { let g = map.lock(); let v = decide_request(g.key()); }";
+        let d = findings(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("decide_request"));
+    }
+
+    #[test]
+    fn blocking_io_while_guarded_is_flagged() {
+        let src = "fn f() { let reg = clients.lock(); out.write_all(b).ok(); }";
+        let d = findings(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("write_all"));
+    }
+
+    #[test]
+    fn statement_scoped_temporary_does_not_leak() {
+        let src = "fn f() { let n = map.lock().len(); solve(n); }";
+        assert!(findings(src).is_empty(), "temporary dies at the `;`");
+    }
+
+    #[test]
+    fn shard_order_violation() {
+        let src = "fn f() { let a = shards[2].read(); let b = shards[1].read(); }";
+        let d = findings(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("ascending"));
+    }
+
+    #[test]
+    fn ascending_shards_are_clean() {
+        let src = "fn f() { let a = shards[0].read(); let b = shards[1].read(); }";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn read_with_args_is_not_a_guard() {
+        let src = "fn f() { file.read(&mut buf); solve(&buf); }";
+        assert!(findings(src).is_empty());
+    }
+}

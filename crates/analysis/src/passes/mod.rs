@@ -1,0 +1,76 @@
+//! The pass framework and the four project-specific passes.
+
+use crate::source::{Diagnostic, SourceFile};
+
+mod budget;
+mod docs;
+mod lock;
+mod panic;
+
+pub use budget::BudgetPoll;
+pub use docs::DocErrorHygiene;
+pub use lock::LockDiscipline;
+pub use panic::PanicPath;
+
+/// One lint pass: a named check over a single [`SourceFile`].
+pub trait Pass {
+    /// The pass name (what `td-lint: allow(<name>)` refers to).
+    fn name(&self) -> &'static str;
+    /// Appends findings for `sf` to `out`. Passes emit freely; allow
+    /// annotations are applied by [`run_passes`], not by the pass.
+    fn check(&self, sf: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// Every pass, in reporting order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(LockDiscipline),
+        Box::new(BudgetPoll),
+        Box::new(PanicPath),
+        Box::new(DocErrorHygiene),
+    ]
+}
+
+/// Runs `passes` over `sf`, applies the file's `td-lint: allow`
+/// annotations, and appends annotation hygiene findings: grammar errors
+/// and *stale* allows (an allow that suppressed nothing is an error — it
+/// either outlived its violation or never matched it, and both mean the
+/// source is lying about why it is exempt).
+pub fn run_passes(sf: &SourceFile, passes: &[Box<dyn Pass>]) -> Vec<Diagnostic> {
+    let mut raw = Vec::new();
+    for p in passes {
+        p.check(sf, &mut raw);
+    }
+    let mut used = vec![false; sf.allows.len()];
+    let mut out: Vec<Diagnostic> = raw
+        .into_iter()
+        .filter(|d| {
+            let mut suppressed = false;
+            for (i, a) in sf.allows.iter().enumerate() {
+                if a.pass == d.pass && a.target_line == d.line {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+    for (i, a) in sf.allows.iter().enumerate() {
+        if !used[i] {
+            out.push(Diagnostic {
+                pass: "annotation".to_string(),
+                file: sf.path.clone(),
+                line: a.line,
+                col: 1,
+                msg: format!(
+                    "stale `td-lint: allow({})` — it suppresses nothing on line {}; \
+                     remove it or move it next to the violation it justifies",
+                    a.pass, a.target_line
+                ),
+            });
+        }
+    }
+    out.extend(sf.annotation_errors.iter().cloned());
+    out.sort_by(|a, b| (a.line, a.col, &a.pass).cmp(&(b.line, b.col, &b.pass)));
+    out
+}

@@ -1,0 +1,165 @@
+//! **panic-path**: no `unwrap()` / `expect()` / `panic!`-family macros /
+//! slice indexing on request-path files. A panic in a request path kills a
+//! client thread (or, pre-1.82-style, poisons a shared lock); request
+//! handling must degrade to structured error envelopes instead.
+
+use super::Pass;
+use crate::lexer::TokKind;
+use crate::source::{Diagnostic, SourceFile};
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct PanicPath;
+
+/// Method calls that panic on the unhappy path.
+const PANICKY_CALLS: [&str; 2] = ["unwrap", "expect"];
+
+/// Macros that are always a panic.
+const PANICKY_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can directly precede a `[` without it being an index
+/// expression (array literals, types, attribute positions).
+const NON_INDEX_PREV: [&str; 14] = [
+    "in", "return", "break", "if", "else", "match", "let", "mut", "ref", "move", "as", "dyn",
+    "impl", "where",
+];
+
+impl Pass for PanicPath {
+    fn name(&self) -> &'static str {
+        "panic-path"
+    }
+
+    fn check(&self, sf: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (i, t) in sf.tokens.iter().enumerate() {
+            if sf.in_test_region(t.line) {
+                continue;
+            }
+            // `.unwrap(` / `.expect(`
+            if t.kind == TokKind::Ident
+                && PANICKY_CALLS.contains(&t.text.as_str())
+                && i > 0
+                && sf.tokens[i - 1].is_punct('.')
+                && sf.tok(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                out.push(diag(
+                    sf,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`.{}()` on a request path: return a structured error instead, \
+                         or justify with `// td-lint: allow(panic-path) <why>`",
+                        t.text
+                    ),
+                ));
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if t.kind == TokKind::Ident
+                && PANICKY_MACROS.contains(&t.text.as_str())
+                && sf.tok(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(diag(
+                    sf,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}!` on a request path: this aborts request handling",
+                        t.text
+                    ),
+                ));
+            }
+            // Index expressions `expr[…]`: a `[` whose previous token ends
+            // an expression (identifier, `)`, or `]`). Array literals,
+            // attribute brackets and type positions are excluded by the
+            // previous-token test.
+            if t.is_punct('[') && i > 0 {
+                let prev = &sf.tokens[i - 1];
+                let is_expr_end = (prev.kind == TokKind::Ident
+                    && !NON_INDEX_PREV.contains(&prev.text.as_str()))
+                    || prev.is_punct(')')
+                    || prev.is_punct(']');
+                if is_expr_end {
+                    out.push(diag(
+                        sf,
+                        t.line,
+                        t.col,
+                        "index/slice expression on a request path can panic on \
+                         out-of-bounds: use `.get(…)` and handle `None`, or justify \
+                         with `// td-lint: allow(panic-path) <why>`"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn diag(sf: &SourceFile, line: u32, col: u32, msg: String) -> Diagnostic {
+    Diagnostic {
+        pass: "panic-path".to_string(),
+        file: sf.path.clone(),
+        line,
+        col,
+        msg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::run_passes;
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let sf = SourceFile::parse("t.rs", src);
+        let passes: Vec<Box<dyn Pass>> = vec![Box::new(PanicPath)];
+        run_passes(&sf, &passes)
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let d = findings("fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"no\"); }");
+        assert_eq!(d.len(), 3);
+        assert!(d[0].msg.contains("unwrap"));
+    }
+
+    #[test]
+    fn flags_indexing_but_not_array_literals() {
+        let d = findings("fn f() { let a = [1, 2]; let b: [u8; 2] = a; let c = a[0]; }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("index"));
+    }
+
+    #[test]
+    fn attributes_and_types_are_not_indexing() {
+        let d = findings("#[derive(Debug)]\nstruct S { v: Vec<[u8; 4]> }\nfn f(x: &[u8]) {}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let d = findings(
+            "fn f() {\n    // td-lint: allow(panic-path) len checked on the line above\n    x.unwrap();\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn stale_allow_is_an_error() {
+        let d =
+            findings("fn f() {\n    // td-lint: allow(panic-path) nothing here\n    let x = 1;\n}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].pass, "annotation");
+        assert!(d[0].msg.contains("stale"));
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let d = findings("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); v[0]; }\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn expect_like_names_are_not_flagged() {
+        let d = findings("fn f() { schema.expect_same(other)?; }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

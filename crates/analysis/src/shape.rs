@@ -1,0 +1,282 @@
+//! Shallow shape recovery over the token stream: function items and loop
+//! expressions. This is deliberately not a parser — it finds the spans the
+//! passes need (function bodies, loop bodies) by delimiter matching, and
+//! is documented as lexical in `docs/ANALYSIS.md`.
+
+use crate::source::SourceFile;
+
+/// A discovered `fn` item (or nested fn).
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// The function name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub kw_idx: usize,
+    /// Token index of the name identifier.
+    pub name_idx: usize,
+    /// Body brace group as `(open, close)` token indices; `None` for
+    /// bodyless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+}
+
+/// Which loop keyword introduced a [`Loop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `loop { … }`
+    Loop,
+    /// `while … { … }` (including `while let`)
+    While,
+    /// `for … in … { … }`
+    For,
+}
+
+impl LoopKind {
+    /// The source keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            LoopKind::Loop => "loop",
+            LoopKind::While => "while",
+            LoopKind::For => "for",
+        }
+    }
+}
+
+/// A discovered loop expression.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Which keyword introduced it.
+    pub kind: LoopKind,
+    /// Token index of the keyword.
+    pub kw_idx: usize,
+    /// Body brace group as `(open, close)` token indices.
+    pub body: (usize, usize),
+    /// `true` if another loop starts inside this one's body.
+    pub nested: bool,
+}
+
+/// Finds every `fn` item in the file by scanning for the keyword and
+/// skipping balanced groups to the body brace (or a `;` for bodyless
+/// declarations). `fn`-pointer types (`fn(…) -> …`) are skipped because
+/// they have no name identifier after the keyword.
+pub fn functions(sf: &SourceFile) -> Vec<Func> {
+    let mut out = Vec::new();
+    for (i, t) in sf.tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = sf.tok(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != crate::lexer::TokKind::Ident {
+            continue; // `fn(…)` pointer type
+        }
+        let sig_end = sf.scan_at_level(i + 2, |t| t.is_punct('{') || t.is_punct(';'));
+        let body = match sig_end {
+            Some(j) if sf.tokens[j].is_punct('{') => sf.close_of(j).map(|c| (j, c)),
+            _ => None,
+        };
+        out.push(Func {
+            name: name_tok.text.clone(),
+            kw_idx: i,
+            name_idx: i + 1,
+            body,
+        });
+    }
+    out
+}
+
+/// Finds every loop expression. A `for` token only counts as a loop when
+/// an `in` appears at nesting level between the keyword and the body brace
+/// (this is what separates `for x in xs { … }` from `impl T for U { … }`
+/// and higher-ranked `for<'a>` binders).
+pub fn loops(sf: &SourceFile) -> Vec<Loop> {
+    let mut out: Vec<Loop> = Vec::new();
+    for (i, t) in sf.tokens.iter().enumerate() {
+        let kind = if t.is_ident("loop") {
+            LoopKind::Loop
+        } else if t.is_ident("while") {
+            LoopKind::While
+        } else if t.is_ident("for") {
+            LoopKind::For
+        } else {
+            continue;
+        };
+        let Some(body_open) = sf.scan_at_level(i + 1, |t| t.is_punct('{')) else {
+            continue;
+        };
+        if kind == LoopKind::For {
+            let has_in = (i + 1..body_open).any(|j| sf.tokens[j].is_ident("in"));
+            if !has_in {
+                continue;
+            }
+        }
+        let Some(body_close) = sf.close_of(body_open) else {
+            continue;
+        };
+        out.push(Loop {
+            kind,
+            kw_idx: i,
+            body: (body_open, body_close),
+            nested: false,
+        });
+    }
+    let spans: Vec<(usize, usize, usize)> =
+        out.iter().map(|l| (l.kw_idx, l.body.0, l.body.1)).collect();
+    for l in &mut out {
+        l.nested = spans
+            .iter()
+            .any(|&(kw, _, _)| kw > l.body.0 && kw < l.body.1);
+    }
+    out
+}
+
+/// The innermost brace group strictly containing token `idx`, if any.
+pub fn enclosing_block(sf: &SourceFile, idx: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, t) in sf.tokens.iter().enumerate() {
+        if i >= idx {
+            break;
+        }
+        if t.is_punct('{') {
+            if let Some(c) = sf.close_of(i) {
+                if c > idx && best.is_none_or(|(b, _)| i > b) {
+                    best = Some((i, c));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Walks backward from `idx` to the start of the enclosing statement:
+/// the token right after the previous `;`, `{`, or `}` at this nesting
+/// level (complete groups are jumped over, so a `;` inside a nested
+/// closure does not terminate the scan).
+pub fn statement_start(sf: &SourceFile, idx: usize) -> usize {
+    let mut i = idx;
+    while i > 0 {
+        let j = i - 1;
+        let t = &sf.tokens[j];
+        if t.is_punct('}') {
+            // A complete sibling block (`if { … }`, a `match` statement)
+            // ends here. Treating every closed brace group as a boundary
+            // shortens liveness for `let g = match … { … }.lock()`-style
+            // statements — conservative in the safe direction.
+            return j + 1;
+        }
+        if t.is_punct(')') || t.is_punct(']') {
+            // Jump over the complete group (it closes before `idx`).
+            match sf.match_of.get(j) {
+                Some(&open) if open != usize::MAX && open < j => {
+                    i = open;
+                    continue;
+                }
+                _ => return j + 1,
+            }
+        }
+        if t.is_punct(';') || t.is_punct('{') {
+            return j + 1;
+        }
+        i = j;
+    }
+    0
+}
+
+/// Walks forward from `idx` to the end of the enclosing statement: the
+/// next `;` at this nesting level, stepping *out* of any groups `idx` is
+/// nested inside, but never past the end of the enclosing block. Returns
+/// the index of the terminating token.
+pub fn statement_end(sf: &SourceFile, idx: usize) -> usize {
+    let mut i = idx;
+    while i < sf.tokens.len() {
+        let t = &sf.tokens[i];
+        if t.is_punct(';') {
+            return i;
+        }
+        if t.is_punct('}') {
+            return i; // end of enclosing block: statement ends here
+        }
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            match sf.close_of(i) {
+                Some(c) => {
+                    i = c + 1;
+                    continue;
+                }
+                None => return sf.tokens.len().saturating_sub(1),
+            }
+        }
+        if t.is_punct(')') || t.is_punct(']') {
+            // Stepping out of a group idx was nested in.
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    sf.tokens.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("t.rs", src)
+    }
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let sf = parse("pub fn a(x: u32) -> bool { x > 0 }\nfn b<T: Fn(u8) -> u8>(f: T) {}\ntrait T { fn c(&self); }");
+        let fns = functions(&sf);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert!(fns[0].body.is_some());
+        assert!(fns[1].body.is_some());
+        assert!(fns[2].body.is_none());
+    }
+
+    #[test]
+    fn loops_vs_impl_for() {
+        let src = "impl Display for Foo { fn f(&self) { for x in 0..3 { g(x); } while x { h(); } loop { break; } } }";
+        let sf = parse(src);
+        let ls = loops(&sf);
+        let kinds: Vec<_> = ls.iter().map(|l| l.kind).collect();
+        assert_eq!(kinds, [LoopKind::For, LoopKind::While, LoopKind::Loop]);
+    }
+
+    #[test]
+    fn nested_detection() {
+        let sf = parse("fn f() { for a in x { for b in y { g(); } } while c { h(); } }");
+        let ls = loops(&sf);
+        assert!(ls[0].nested);
+        assert!(!ls[1].nested);
+        assert!(!ls[2].nested);
+    }
+
+    #[test]
+    fn statement_boundaries() {
+        let sf = parse("fn f() { let a = g(1, 2); let b = h(); }");
+        // index of `h`
+        let h = sf.tokens.iter().position(|t| t.is_ident("h")).unwrap();
+        let start = statement_start(&sf, h);
+        assert!(sf.tokens[start].is_ident("let"));
+        let end = statement_end(&sf, h);
+        assert!(sf.tokens[end].is_punct(';'));
+    }
+
+    #[test]
+    fn statement_start_skips_nested_groups() {
+        let sf = parse("fn f() { let a = g(|x| { x; }, 2).h(); }");
+        let h = sf.tokens.iter().position(|t| t.is_ident("h")).unwrap();
+        let start = statement_start(&sf, h);
+        assert!(sf.tokens[start].is_ident("let"));
+    }
+
+    #[test]
+    fn enclosing_block_is_innermost() {
+        let sf = parse("fn f() { { let a = 1; } let b = 2; }");
+        let b = sf.tokens.iter().position(|t| t.is_ident("b")).unwrap();
+        let (open, close) = enclosing_block(&sf, b).unwrap();
+        assert!(sf.tokens[open].is_punct('{'));
+        assert_eq!(close, sf.tokens.len() - 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! The analysed view of one source file: token stream, matching-delimiter
+//! map, `#[cfg(test)]` regions, and parsed `td-lint: allow` annotations.
+
+use crate::lexer::{lex, Comment, CommentKind, Token};
+
+/// The annotation grammar: `// td-lint: allow(<pass>) <reason>`.
+///
+/// The reason is mandatory — an allow with no stated justification is a
+/// grammar error, and an allow that suppresses nothing is *stale* and also
+/// an error (both are reported by the framework under the `annotation`
+/// pass). An annotation on its own line governs the next line that carries
+/// code; a trailing annotation governs its own line.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The pass this annotation silences.
+    pub pass: String,
+    /// The justification text (non-empty by construction).
+    pub reason: String,
+    /// The line the annotation *governs* (not necessarily its own line).
+    pub target_line: u32,
+    /// The line the annotation sits on (for stale-allow reporting).
+    pub line: u32,
+}
+
+/// One lint finding, positioned `file:line:col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Name of the pass that produced the finding (or `annotation` for
+    /// framework findings about the allow annotations themselves).
+    pub pass: String,
+    /// Path of the offending file, as handed to the driver.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.pass, self.msg
+        )
+    }
+}
+
+/// A lexed, pre-analysed source file ready for passes to inspect.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// The path, as handed to the driver (used verbatim in diagnostics).
+    pub path: String,
+    /// The token stream (comments and string contents stripped).
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// For each token index holding `(`/`[`/`{`, the index of its matching
+    /// close token (and vice versa). `usize::MAX` when unbalanced.
+    pub match_of: Vec<usize>,
+    /// Inclusive line ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Parsed, well-formed `td-lint: allow` annotations.
+    pub allows: Vec<Allow>,
+    /// Grammar errors found while parsing annotations.
+    pub annotation_errors: Vec<Diagnostic>,
+}
+
+/// The passes an annotation may name. Kept here so the annotation parser
+/// can reject unknown names without a cycle onto the pass registry.
+pub const PASS_NAMES: [&str; 4] = [
+    "lock-discipline",
+    "budget-poll",
+    "panic-path",
+    "doc-error-hygiene",
+];
+
+impl SourceFile {
+    /// Lexes and pre-analyses `text` as the contents of `path`.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let match_of = match_delimiters(&lexed.tokens);
+        let test_regions = find_test_regions(&lexed.tokens, &match_of);
+        let mut sf = SourceFile {
+            path: path.to_string(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            match_of,
+            test_regions,
+            allows: Vec::new(),
+            annotation_errors: Vec::new(),
+        };
+        sf.parse_allows();
+        sf
+    }
+
+    /// `true` if `line` falls inside a `#[cfg(test)]`/`#[test]` region.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// The token at `idx`, if in range.
+    pub fn tok(&self, idx: usize) -> Option<&Token> {
+        self.tokens.get(idx)
+    }
+
+    /// The matching close index for the open delimiter at `idx`.
+    pub fn close_of(&self, idx: usize) -> Option<usize> {
+        match self.match_of.get(idx) {
+            Some(&m) if m != usize::MAX => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Walks forward from `idx` skipping over complete delimiter groups,
+    /// returning the index of the first token satisfying `stop` at the
+    /// current nesting level.
+    pub fn scan_at_level(&self, mut idx: usize, stop: impl Fn(&Token) -> bool) -> Option<usize> {
+        while let Some(t) = self.tokens.get(idx) {
+            if stop(t) {
+                return Some(idx);
+            }
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                idx = self.close_of(idx)? + 1;
+            } else {
+                idx += 1;
+            }
+        }
+        None
+    }
+
+    /// Parses every `// td-lint:` comment into [`Allow`] records or
+    /// grammar-error diagnostics.
+    fn parse_allows(&mut self) {
+        for c in &self.comments {
+            if c.kind != CommentKind::Line {
+                continue;
+            }
+            let Some(rest) = c.text.strip_prefix("td-lint:") else {
+                continue;
+            };
+            let rest = rest.trim();
+            let err = |msg: String| Diagnostic {
+                pass: "annotation".to_string(),
+                file: self.path.clone(),
+                line: c.line,
+                col: c.col,
+                msg,
+            };
+            let Some(args) = rest.strip_prefix("allow(") else {
+                self.annotation_errors.push(err(format!(
+                    "unrecognized td-lint annotation `{}` (expected `allow(<pass>) <reason>`)",
+                    c.text
+                )));
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                self.annotation_errors
+                    .push(err("unclosed `allow(` in td-lint annotation".to_string()));
+                continue;
+            };
+            let pass = args[..close].trim();
+            let reason = args[close + 1..].trim();
+            if !PASS_NAMES.contains(&pass) {
+                self.annotation_errors.push(err(format!(
+                    "unknown pass `{pass}` in td-lint allow (known: {})",
+                    PASS_NAMES.join(", ")
+                )));
+                continue;
+            }
+            if reason.is_empty() {
+                self.annotation_errors.push(err(format!(
+                    "td-lint allow({pass}) has no reason; every allow must justify itself"
+                )));
+                continue;
+            }
+            let target_line = self.allow_target_line(c.line);
+            self.allows.push(Allow {
+                pass: pass.to_string(),
+                reason: reason.to_string(),
+                target_line,
+                line: c.line,
+            });
+        }
+    }
+
+    /// A trailing annotation governs its own line; a whole-line annotation
+    /// governs the next line that carries a token.
+    fn allow_target_line(&self, comment_line: u32) -> u32 {
+        if self.tokens.iter().any(|t| t.line == comment_line) {
+            return comment_line;
+        }
+        self.tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > comment_line)
+            .min()
+            .unwrap_or(comment_line)
+    }
+}
+
+/// Builds the matching-delimiter map with a stack walk. Unbalanced files
+/// (mid-edit, macro fragments) leave `usize::MAX` entries rather than
+/// failing the run.
+fn match_delimiters(tokens: &[Token]) -> Vec<usize> {
+    let mut map = vec![usize::MAX; tokens.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        for (open, close) in [('(', ')'), ('[', ']'), ('{', '}')] {
+            if t.is_punct(open) {
+                stack.push((open, i));
+            } else if t.is_punct(close) {
+                if let Some(pos) = stack.iter().rposition(|&(o, _)| o == open) {
+                    let (_, j) = stack.remove(pos);
+                    map[i] = j;
+                    map[j] = i;
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Finds line spans of items guarded by `#[cfg(test)]` or `#[test]`: after
+/// the attribute, the next brace group at the item level is the body; its
+/// line span (attribute line through closing brace) is excluded from
+/// linting. Passes treat these regions as out of scope — test code is
+/// allowed to unwrap, spin, and panic.
+fn find_test_regions(tokens: &[Token], match_of: &[usize]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if !(tokens[i].is_punct('#') && tokens[i + 1].is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let open = i + 1;
+        let close = match match_of.get(open) {
+            Some(&c) if c != usize::MAX => c,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let inner: Vec<&str> = tokens[open + 1..close]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        let is_test_attr = inner.first() == Some(&"test")
+            || (inner.first() == Some(&"cfg") && inner.contains(&"test"));
+        if !is_test_attr {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item body brace.
+        let mut j = close + 1;
+        while j + 1 < tokens.len() && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+            match match_of.get(j + 1) {
+                Some(&c) if c != usize::MAX => j = c + 1,
+                _ => break,
+            }
+        }
+        // Scan to the first `{` at this level (a `;` means no body).
+        let mut k = j;
+        let mut body: Option<(usize, usize)> = None;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('{') {
+                if let Some(&c) = match_of.get(k) {
+                    if c != usize::MAX {
+                        body = Some((k, c));
+                    }
+                }
+                break;
+            }
+            if t.is_punct('(') || t.is_punct('[') {
+                match match_of.get(k) {
+                    Some(&c) if c != usize::MAX => k = c + 1,
+                    _ => break,
+                }
+            } else {
+                k += 1;
+            }
+        }
+        if let Some((_, body_close)) = body {
+            regions.push((tokens[i].line, tokens[body_close].line));
+            i = body_close + 1;
+        } else {
+            i = close + 1;
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delimiters_match() {
+        let sf = SourceFile::parse("t.rs", "fn f(a: u32) { g([1, 2]); }");
+        let open_paren = sf.tokens.iter().position(|t| t.is_punct('(')).unwrap();
+        let close = sf.close_of(open_paren).unwrap();
+        assert!(sf.tokens[close].is_punct(')'));
+        let open_brace = sf.tokens.iter().position(|t| t.is_punct('{')).unwrap();
+        assert!(sf.tokens[sf.close_of(open_brace).unwrap()].is_punct('}'));
+    }
+
+    #[test]
+    fn cfg_test_mod_region_detected() {
+        let src =
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let sf = SourceFile::parse("t.rs", src);
+        assert_eq!(sf.test_regions, vec![(2, 5)]);
+        assert!(!sf.in_test_region(1));
+        assert!(sf.in_test_region(4));
+        assert!(!sf.in_test_region(6));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_detected() {
+        let src = "#[test]\n#[ignore]\nfn slow() {\n  body();\n}";
+        let sf = SourceFile::parse("t.rs", src);
+        assert_eq!(sf.test_regions, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn allow_parsing_and_targeting() {
+        let src = "\
+// td-lint: allow(panic-path) poisoning is unreachable: no panic while held
+let x = m.lock().unwrap();
+let y = 1; // td-lint: allow(budget-poll) bounded by arity
+";
+        let sf = SourceFile::parse("t.rs", src);
+        assert_eq!(sf.allows.len(), 2);
+        assert_eq!(sf.allows[0].pass, "panic-path");
+        assert_eq!(sf.allows[0].target_line, 2);
+        assert_eq!(sf.allows[1].pass, "budget-poll");
+        assert_eq!(sf.allows[1].target_line, 3);
+        assert!(sf.annotation_errors.is_empty());
+    }
+
+    #[test]
+    fn allow_grammar_errors() {
+        let src = "\
+// td-lint: allow(no-such-pass) reason here
+// td-lint: allow(panic-path)
+// td-lint: disallow(panic-path) huh
+";
+        let sf = SourceFile::parse("t.rs", src);
+        assert!(sf.allows.is_empty());
+        assert_eq!(sf.annotation_errors.len(), 3);
+        assert!(sf.annotation_errors[0].msg.contains("unknown pass"));
+        assert!(sf.annotation_errors[1].msg.contains("no reason"));
+        assert!(sf.annotation_errors[2].msg.contains("unrecognized"));
+    }
+}

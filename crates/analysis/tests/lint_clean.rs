@@ -1,0 +1,49 @@
+//! The two dogfooding gates, runnable as plain `cargo test`:
+//!
+//! 1. the workspace itself must lint clean under every td-lint pass
+//!    (violations are either fixed or carry a justified
+//!    `td-lint: allow`), and
+//! 2. the checked-in fixture suite must behave — every `ok/` snippet
+//!    clean, every `bad/` snippet caught by the pass its name claims.
+//!
+//! These are the same checks `td-lint` and `td-lint --fixtures` run; the
+//! test form keeps them inside the tier-1 `cargo test` gate.
+
+use std::path::{Path, PathBuf};
+
+/// `crates/analysis` → the workspace root.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis has a grandparent")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let diags = td_analysis::run_workspace(&workspace_root()).expect("scan workspace sources");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "td-lint found {} violation(s); fix them or justify each with a \
+         `// td-lint: allow(<pass>) <reason>`:\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn fixtures_behave() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let failures = td_analysis::run_fixtures(&dir).expect("read fixture tree");
+    let rendered: Vec<String> = failures
+        .iter()
+        .map(|f| format!("{}: {}", f.file, f.msg))
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "fixture expectations failed:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -52,6 +52,12 @@ pub enum Weakening {
 }
 
 /// Applies a weakening. The result carries a derived name.
+///
+/// # Errors
+///
+/// Fails on an arity mismatch between the added antecedent row and the
+/// dependency, on a column index outside the schema, or when the
+/// weakened dependency no longer validates under [`Td::new`].
 pub fn apply(td: &Td, w: &Weakening) -> Result<Td> {
     match w {
         Weakening::AddAntecedent(row) => {
@@ -116,6 +122,10 @@ pub fn apply(td: &Td, w: &Weakening) -> Result<Td> {
 }
 
 /// Applies a sequence of weakenings.
+///
+/// # Errors
+///
+/// Fails on the first weakening [`apply`] rejects.
 pub fn apply_all(td: &Td, ws: &[Weakening]) -> Result<Td> {
     let mut cur = td.clone();
     for w in ws {
@@ -128,6 +138,11 @@ pub fn apply_all(td: &Td, ws: &[Weakening]) -> Result<Td> {
 /// frozen antecedent tableau, chased with `general` for **at most one
 /// step**, witnesses `specific`'s conclusion. Sound for implication;
 /// complete only for single-step consequences.
+///
+/// # Errors
+///
+/// Fails when the two dependencies disagree on schema, or when freezing
+/// `specific`'s antecedent tableau fails.
 pub fn subsumes(general: &Td, specific: &Td) -> Result<bool> {
     general.schema().expect_same(specific.schema())?;
     let (frozen, _, goal) = freeze(specific)?;

@@ -245,6 +245,10 @@ pub struct ChaseEngine<'a> {
 impl<'a> ChaseEngine<'a> {
     /// Creates an engine over `tds` starting from `initial`, matching with
     /// the default [`MatchStrategy::Indexed`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when any dependency disagrees with `initial` on schema.
     pub fn new(
         tds: &'a [Td],
         initial: Instance,
@@ -260,6 +264,12 @@ impl<'a> ChaseEngine<'a> {
     /// order (see the [`ChaseState`] docs); dependencies appended past
     /// that prefix get a full discovery pass on the next
     /// [`ChaseEngine::run`], so only the *delta* work is redone.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a dependency disagrees with the state on schema, or
+    /// when `tds` is shorter than the state's integrated prefix (a
+    /// removal, which requires a from-scratch re-chase).
     pub fn resume(
         tds: &'a [Td],
         state: ChaseState,
@@ -359,11 +369,20 @@ impl<'a> ChaseEngine<'a> {
     ///
     /// This is the manual interface used by guided chases (e.g. the
     /// reduction's part (A) replay); [`ChaseEngine::run`] uses it too.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::ProofReplay`] when `td_index` is out of
+    /// range, the binding leaves an antecedent variable unbound, or an
+    /// antecedent row is absent from the current state — i.e. when the
+    /// claimed trigger is not real.
     pub fn fire(&mut self, td_index: usize, binding: &Binding) -> Result<(Tuple, bool)> {
         let td = self.tds.get(td_index).ok_or_else(|| {
             CoreError::ProofReplay(format!("dependency index {td_index} out of range"))
         })?;
         // Check the trigger is real.
+        // td-lint: allow(budget-poll) bounded by the TD's antecedent count × arity (both fixed
+        // per dependency), not by the instance; one firing is a budget *step*, polled by run().
         for (r, row) in td.antecedents().iter().enumerate() {
             let mut vals = Vec::with_capacity(td.arity());
             for (c, v) in row.components() {
@@ -502,6 +521,16 @@ impl<'a> ChaseEngine<'a> {
                     .map(|(k, r)| (r, if k < j { delta_start } else { usize::MAX }))
                     .collect();
                 for rid in delta_start..delta_end {
+                    // Delta passes scale with |Σ| × antecedents × delta
+                    // rows; poll cancellation here so a shutdown is
+                    // observed mid-discovery, not only at round
+                    // boundaries. Truncating keeps the frontier where it
+                    // is, so a resume rediscovers exactly the skipped
+                    // work.
+                    if self.cancel.is_some_and(Cancellation::is_cancelled) {
+                        truncated = true;
+                        break 'tds;
+                    }
                     let tuple = self.st.state.row(RowId::from(rid));
                     let mut seed = Binding::new(td.arity());
                     if !seed.bind_row(pivot, tuple) {
@@ -581,6 +610,18 @@ impl<'a> ChaseEngine<'a> {
                 // `round_start`; keep the frontier so they are rediscovered.
                 self.st.frontier = round_start;
                 self.st.integrated = self.tds.len();
+            }
+
+            if self.poll_cancelled() {
+                // A cancelled discovery pass may have stopped early with
+                // nothing pending; claiming `Terminated` here would be
+                // unsound. Roll the frontier back to this round's delta so
+                // a resumed run rediscovers whatever was skipped (exact
+                // under the restricted policy, same as the firing rollback
+                // below).
+                self.st.frontier = delta_start;
+                self.st.integrated = integrated_before;
+                return ChaseOutcome::BudgetExhausted;
             }
 
             if pending.is_empty() {

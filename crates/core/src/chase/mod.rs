@@ -91,11 +91,14 @@ pub fn weakly_acyclic(tds: &[Td]) -> bool {
     let n = first.arity();
     // adj[c] = columns c' with a special edge c -> c'.
     let mut adj = vec![vec![false; n]; n];
+    // td-lint: allow(budget-poll) one-shot preprocessing bounded by |Σ| × arity², runs before
+    // any chase starts; there is no budget to poll yet.
     for td in tds {
         let existential = td.existential_columns();
         if existential.is_empty() {
             continue;
         }
+        // td-lint: allow(budget-poll) bounded by the schema arity (see the enclosing allow).
         for c in td.schema().attr_ids() {
             if td.is_universal_at(c) {
                 for &e in &existential {

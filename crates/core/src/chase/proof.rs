@@ -55,8 +55,16 @@ impl ChaseProof {
     /// antecedents into the current state, (b) the recorded row is exactly
     /// the conclusion under that binding, and (c) if a goal is recorded, the
     /// final state contains it. Returns the final state.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::ProofReplay`] when any step's dependency
+    /// index, binding, antecedents, or recorded row fails to re-check, or
+    /// when the recorded goal row is absent or mismatched.
     pub fn verify(&self, initial: &Instance, tds: &[Td], goal: Option<&Goal>) -> Result<Instance> {
         let mut state = initial.clone();
+        // td-lint: allow(budget-poll) replay of a finite, already-materialized certificate:
+        // bounded by the recorded step count, not by any search.
         for (i, step) in self.steps.iter().enumerate() {
             let td = tds.get(step.td_index).ok_or_else(|| {
                 CoreError::ProofReplay(format!(
@@ -67,6 +75,7 @@ impl ChaseProof {
             let binding = Binding::from_entries(td.arity(), step.binding.iter().copied())
                 .ok_or_else(|| CoreError::ProofReplay(format!("step {i}: inconsistent binding")))?;
             // (a) every antecedent row must be present under the binding.
+            // td-lint: allow(budget-poll) bounded by the TD's antecedent count × arity.
             for (r, row) in td.antecedents().iter().enumerate() {
                 let mut vals = Vec::with_capacity(td.arity());
                 for (c, v) in row.components() {
@@ -135,6 +144,10 @@ impl ChaseProof {
     ///
     /// Useful for turning the fair chase's exploratory proofs into concise
     /// certificates (the guided part (A) proofs are already minimal-ish).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the input proof does not verify in the first place.
     pub fn minimized(
         &self,
         initial: &Instance,
@@ -144,9 +157,13 @@ impl ChaseProof {
         // The input must verify to begin with.
         self.verify(initial, tds, goal)?;
         let mut current = self.clone();
+        // td-lint: allow(budget-poll) greedy 1-minimization over a finite certificate: every
+        // outer round removes at least one step or terminates, so the whole loop is bounded
+        // by (proof length)² verify calls — an offline tool, not a serve-path search.
         loop {
             let mut changed = false;
             let mut i = current.steps.len();
+            // td-lint: allow(budget-poll) bounded descending index over the current proof.
             while i > 0 {
                 i -= 1;
                 let mut candidate = current.clone();

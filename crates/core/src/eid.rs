@@ -35,6 +35,11 @@ pub struct Eid {
 
 impl Eid {
     /// Creates an EID, validating arities and non-emptiness.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the antecedent or conclusion set is empty, or when any
+    /// row's arity differs from the schema's.
     pub fn new(
         schema: Schema,
         antecedents: Vec<TdRow>,
@@ -172,6 +177,11 @@ pub enum EidVerdict {
 /// Semi-decides `d ⊨ d0` for EIDs by chasing `d0`'s frozen antecedent
 /// tableau. Firing an EID trigger adds **all** conclusion rows, with shared
 /// fresh nulls for shared existential variables.
+///
+/// # Errors
+///
+/// Fails when the dependencies disagree on schema, or when the chase
+/// state rejects a row insertion (arity mismatch).
 pub fn implies_eid(d: &[Eid], d0: &Eid, budget: ChaseBudget) -> Result<EidVerdict> {
     for eid in d {
         d0.schema().expect_same(eid.schema())?;

@@ -80,6 +80,11 @@ impl EqInstance {
 
     /// Declares that rows `a` and `b` agree on attribute `col` (merging
     /// their classes). Returns `true` if the classes were distinct.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::RowOutOfRange`] when either row id is out
+    /// of range.
     pub fn merge(&mut self, col: AttrId, a: RowId, b: RowId) -> Result<bool> {
         self.check_row(a)?;
         self.check_row(b)?;

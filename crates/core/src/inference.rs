@@ -76,6 +76,11 @@ pub struct UnknownReport {
 /// instance, the freezing binding, and the goal pattern for `d0`'s
 /// conclusion (frozen constants on universally quantified columns, wildcards
 /// on existentially quantified ones).
+///
+/// # Errors
+///
+/// Fails only if a frozen row is rejected by the instance (arity
+/// mismatch — impossible for a validated [`Td`]).
 pub fn freeze(d0: &Td) -> Result<(Instance, Binding, Goal)> {
     let mut instance = Instance::new(d0.schema().clone());
     let mut binding = Binding::new(d0.arity());
@@ -106,6 +111,11 @@ pub fn freeze(d0: &Td) -> Result<(Instance, Binding, Goal)> {
 
 /// Semi-decides `d ⊨ d0` by chasing `d0`'s frozen tableau with `d`, using
 /// the default [`MatchStrategy::Indexed`] matcher.
+///
+/// # Errors
+///
+/// Fails when the dependencies disagree on schema (see
+/// [`implies_with_strategy`]).
 pub fn implies(d: &[Td], d0: &Td, budget: ChaseBudget) -> Result<InferenceVerdict> {
     implies_with_strategy(d, d0, budget, MatchStrategy::default())
 }
@@ -113,6 +123,11 @@ pub fn implies(d: &[Td], d0: &Td, budget: ChaseBudget) -> Result<InferenceVerdic
 /// [`implies`] under an explicit homomorphism [`MatchStrategy`]. The
 /// verdict must not depend on the strategy (the differential property
 /// tests enforce this); the naive strategy exists as the audit oracle.
+///
+/// # Errors
+///
+/// Fails when any member of `d` disagrees with `d0` on schema, or when
+/// freezing `d0` or constructing the chase engine fails.
 pub fn implies_with_strategy(
     d: &[Td],
     d0: &Td,
@@ -170,6 +185,11 @@ pub fn implies_full(d: &[Td], d0: &Td) -> Result<bool> {
 
 /// Tests whether two dependency sets imply each other (up to the budget).
 /// Returns one verdict per member of `d2` for `d1 ⊨ d2[i]`, and vice versa.
+///
+/// # Errors
+///
+/// Fails on the first [`implies`] call that errors (schema mismatch
+/// between the sets).
 pub fn equivalent(
     d1: &[Td],
     d2: &[Td],
@@ -189,12 +209,20 @@ pub fn equivalent(
 /// Is `d[index]` redundant, i.e. implied by the rest of the set? (One of the
 /// applications the paper lists: "the ability to determine … whether a set
 /// of dependencies is redundant".)
+///
+/// # Errors
+///
+/// Fails when the set members disagree on schema.
 pub fn redundant(d: &[Td], index: usize, budget: ChaseBudget) -> Result<InferenceVerdict> {
     redundant_with(d, index, budget, MatchStrategy::default())
 }
 
 /// [`redundant`] under an explicit homomorphism [`MatchStrategy`] (the
 /// CLI's `tdq deps --strategy` differential path).
+///
+/// # Errors
+///
+/// Fails when the set members disagree on schema.
 pub fn redundant_with(
     d: &[Td],
     index: usize,
@@ -220,6 +248,10 @@ pub fn redundant_with(
 /// so this remains a partial procedure — but unlike [`implies`] it can
 /// refute implications whose chase diverges, as long as a countermodel
 /// exists within `search`'s bounds.
+///
+/// # Errors
+///
+/// Fails when the dependencies disagree on schema (see [`implies`]).
 pub fn implies_finite(
     d: &[Td],
     d0: &Td,

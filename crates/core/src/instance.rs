@@ -230,6 +230,11 @@ impl Instance {
     /// arena without copying. Returns the row id and whether the row was
     /// new. This is the allocation-free hot path behind every other insert
     /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::ArityMismatch`] when `values.len()` is not
+    /// the instance's arity.
     pub fn insert_slice(&mut self, values: &[Value]) -> Result<(RowId, bool)> {
         if values.len() != self.arity {
             return Err(CoreError::ArityMismatch {
@@ -262,11 +267,21 @@ impl Instance {
 
     /// Inserts `tuple`, deduplicating. Returns the row id and whether the
     /// row was new.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::ArityMismatch`] when the tuple's arity is
+    /// not the instance's.
     pub fn insert(&mut self, tuple: Tuple) -> Result<(RowId, bool)> {
         self.insert_slice(tuple.values())
     }
 
     /// Convenience: inserts a row given raw `u32` value ids.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::ArityMismatch`] when the number of values
+    /// is not the instance's arity.
     pub fn insert_values(
         &mut self,
         values: impl IntoIterator<Item = u32>,
@@ -299,6 +314,11 @@ impl Instance {
     }
 
     /// The value slice of `row`, checked.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::RowOutOfRange`] when `row` is not a row of
+    /// this instance.
     pub fn get(&self, row: RowId) -> Result<&[Value]> {
         let r = row.index();
         if r < self.len() {
@@ -430,6 +450,10 @@ impl Instance {
     }
 
     /// Builds an instance from an iterator of tuples.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a tuple's arity differs from the schema's.
     pub fn from_tuples(schema: Schema, tuples: impl IntoIterator<Item = Tuple>) -> Result<Self> {
         let mut inst = Self::new(schema);
         for t in tuples {

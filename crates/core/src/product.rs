@@ -27,6 +27,10 @@ pub type PairIntern = Vec<HashMap<(Value, Value), Value>>;
 /// The direct product `a × b`. Component value pairs are interned per
 /// column, so the result is an ordinary [`Instance`] over the same schema.
 /// Returns the product and the per-column interning tables (pair → value).
+///
+/// # Errors
+///
+/// Fails when the two instances disagree on schema.
 pub fn direct_product(a: &Instance, b: &Instance) -> Result<(Instance, PairIntern)> {
     a.schema().expect_same(b.schema())?;
     let arity = a.schema().arity();
@@ -49,6 +53,12 @@ pub fn direct_product(a: &Instance, b: &Instance) -> Result<(Instance, PairInter
 }
 
 /// The `k`-th direct power of `a` (`k ≥ 1`).
+///
+/// # Errors
+///
+/// Cannot fail for `k ≥ 1` over a valid instance (the factors share one
+/// schema by construction); propagates the impossible product errors
+/// rather than unwrapping them.
 pub fn direct_power(a: &Instance, k: usize) -> Result<Instance> {
     assert!(
         k >= 1,

@@ -58,6 +58,11 @@ impl Schema {
     }
 
     /// The attribute id for `name`, as a `Result`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`CoreError::UnknownAttribute`] when the schema has no
+    /// attribute named `name`.
     pub fn require_attr(&self, name: &str) -> Result<AttrId> {
         self.attr_id(name)
             .ok_or_else(|| CoreError::UnknownAttribute(name.to_owned()))

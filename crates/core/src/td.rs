@@ -85,6 +85,11 @@ impl Td {
     /// Creates a dependency from raw rows, validating arities and
     /// non-emptiness. Typing cannot be violated at this level because
     /// variables are column-scoped.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the antecedent set is empty or any row's arity differs
+    /// from the schema's.
     pub fn new(
         schema: Schema,
         antecedents: Vec<TdRow>,
@@ -346,6 +351,10 @@ impl TdBuilder {
     }
 
     /// Adds an antecedent row of named variables.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the row has the wrong number of cells for the schema.
     pub fn antecedent<I, S>(mut self, cells: I) -> Result<Self>
     where
         I: IntoIterator<Item = S>,
@@ -358,6 +367,10 @@ impl TdBuilder {
 
     /// Sets the conclusion row of named variables. Names not used in any
     /// antecedent become existentially quantified.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the row has the wrong number of cells for the schema.
     pub fn conclusion<I, S>(mut self, cells: I) -> Result<Self>
     where
         I: IntoIterator<Item = S>,
@@ -369,6 +382,11 @@ impl TdBuilder {
     }
 
     /// Finishes, validating the dependency.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no conclusion was set, or when [`Td::new`] rejects the
+    /// assembled dependency.
     pub fn build(self, name: impl Into<String>) -> Result<Td> {
         let conclusion = self.conclusion.ok_or(CoreError::MissingConclusion)?;
         Td::new(self.schema, self.antecedents, conclusion, name)

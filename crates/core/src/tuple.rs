@@ -84,6 +84,10 @@ impl Tuple {
 /// Formats a borrowed row slice exactly like [`Tuple`]'s `Display`:
 /// `(v0, v1, …)` with raw value ids. Shared by `Instance`'s row listing so
 /// arena rows print without being copied into tuples first.
+///
+/// # Errors
+///
+/// Propagates formatter write errors, like any `Display` impl.
 pub fn fmt_row(f: &mut std::fmt::Formatter<'_>, values: &[Value]) -> std::fmt::Result {
     write!(f, "(")?;
     for (i, v) in values.iter().enumerate() {

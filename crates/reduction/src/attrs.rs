@@ -27,6 +27,11 @@ impl ReductionAttrs {
     /// Builds the schema. Attribute order: `E`, `E′`, then `A′`, `A″` per
     /// symbol in alphabet order. If some symbol is literally named `E`, the
     /// two base attributes are renamed (`_E`, `_E′`, …) to stay distinct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema construction errors (duplicate attribute names —
+    /// prevented by the renaming scheme for any valid alphabet).
     pub fn new(alphabet: &Alphabet) -> Result<Self> {
         let symbol_attr_names: Vec<String> = alphabet
             .syms()

@@ -140,6 +140,11 @@ pub(crate) fn from_cached(outcome: &CachedOutcome) -> BatchVerdict {
 /// Deduplication is sound because the canonical key quotients by exactly
 /// the transformations that cannot change a verdict — see
 /// [`td_core::canon`].
+///
+/// # Errors
+///
+/// Fails when any item fails to canonicalize or solve (normalization,
+/// reduction, or chase errors); the first failing item aborts the batch.
 pub fn solve_batch(
     items: &[Presentation],
     budgets: &Budgets,
@@ -158,6 +163,10 @@ pub fn solve_batch(
 /// Thin wrapper over the shared engine core ([`solve_batch_core`], the
 /// same code [`Engine::solve_batch`] runs): each worker executes the raw
 /// pipeline under a fresh per-item cancellation token.
+///
+/// # Errors
+///
+/// Same as [`solve_batch`].
 pub fn solve_batch_with(
     items: &[Presentation],
     budgets: &Budgets,

@@ -29,6 +29,11 @@ pub struct Bridge {
 impl Bridge {
     /// Builds a fresh bridge for `word` inside `eq` (adding `k+1 + k` rows)
     /// and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates merge errors from `eq` (an attribute outside its
+    /// schema — impossible when `attrs` built the schema `eq` uses).
     pub fn build(eq: &mut EqInstance, attrs: &ReductionAttrs, word: &Word) -> Result<Bridge> {
         let k = word.len();
         let base: Vec<RowId> = (0..=k).map(|_| eq.add_row()).collect();
@@ -76,6 +81,11 @@ impl Bridge {
     /// Checks every bridge invariant against `eq`:
     /// base pairwise `E`-equivalent, apexes pairwise `E′`-equivalent, and
     /// each triangle's `Aᵢ′` / `Aᵢ″` relations in place.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::BridgeInvariant`] naming the first broken
+    /// invariant.
     pub fn validate(&self, eq: &EqInstance, attrs: &ReductionAttrs) -> Result<()> {
         let k = self.word.len();
         if self.base.len() != k + 1 || self.apexes.len() != k {

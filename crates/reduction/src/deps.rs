@@ -100,6 +100,11 @@ impl Rule {
 /// Nodes: 0,1,2 = base points t₁,t₂,t₃ (all `E`-equivalent); 3 = t₄ the
 /// `A`-apex over (t₁,t₂); 4 = t₅ the `B`-apex over (t₂,t₃); 5 = ∗ the new
 /// `C`-apex over (t₁,t₃), `E′`-linked to the existing apexes.
+///
+/// # Errors
+///
+/// Propagates diagram construction errors (out-of-range node or
+/// attribute — impossible for a schema built by [`ReductionAttrs`]).
 pub fn build_d1(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
     let mut d = Diagram::new(attrs.schema().clone(), 6, 5)?;
     d.add_edge(0, 1, attrs.e())?;
@@ -120,6 +125,10 @@ pub fn build_d1(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
 /// produce the `A`-apex ⟨t₁,A,t₁A⟩ whose `A″` foot is existential.
 ///
 /// Nodes: 0,1 = t₁,t₂ (`E`-equivalent); 2 = t₃ the `C`-apex; 3 = ∗.
+///
+/// # Errors
+///
+/// Same as [`build_d1`].
 pub fn build_d2(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
     let mut d = Diagram::new(attrs.schema().clone(), 4, 3)?;
     d.add_edge(0, 1, attrs.e())?;
@@ -133,6 +142,10 @@ pub fn build_d2(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
 
 /// Builds `D3(r)`: expansion, right half — the `B`-apex ⟨b₂,B,t₂⟩ whose
 /// `B′` foot is existential. "Completely analogous to (D2)."
+///
+/// # Errors
+///
+/// Same as [`build_d1`].
 pub fn build_d3(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
     let mut d = Diagram::new(attrs.schema().clone(), 4, 3)?;
     d.add_edge(0, 1, attrs.e())?;
@@ -151,6 +164,10 @@ pub fn build_d3(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
 ///
 /// Nodes: 0,1 = t₁,t₂; 2 = t₃ (`C`-apex); 3 = t₄ (`A`-apex); 4 = t₅
 /// (`B`-apex); 5 = ∗ the merged foot.
+///
+/// # Errors
+///
+/// Same as [`build_d1`].
 pub fn build_d4(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
     let mut d = Diagram::new(attrs.schema().clone(), 6, 5)?;
     d.add_edge(0, 1, attrs.e())?;
@@ -177,6 +194,10 @@ pub fn build_d4(attrs: &ReductionAttrs, r: Rule2) -> Result<Td> {
 /// as in the paper's (D1)/(D2) case analysis.)
 ///
 /// Nodes: 0,1 = base pair (`E`); 2 = the `a`-apex; 3 = ∗ the `b`-apex.
+///
+/// # Errors
+///
+/// Same as [`build_d1`].
 pub fn build_d_identify(
     attrs: &ReductionAttrs,
     a: Sym,
@@ -196,6 +217,10 @@ pub fn build_d_identify(
 
 /// Builds `D₀`: an `A₀`-triangle over a base pair implies a `0`-triangle
 /// over the same base, `E′`-linked to the `A₀`-apex.
+///
+/// # Errors
+///
+/// Same as [`build_d1`].
 pub fn build_d0(attrs: &ReductionAttrs) -> Result<Td> {
     let a0 = attrs.alphabet().a0();
     let zero = attrs.alphabet().zero();
@@ -255,6 +280,12 @@ impl ReductionSystem {
 /// Builds the reduction for a **reduction-ready, zero-saturated**
 /// presentation: every equation `(2,1)` (yielding `D1…D4`) or a
 /// non-reflexive `(1,1)` (yielding the `D5`/`D6` relabeling pair).
+///
+/// # Errors
+///
+/// Fails with [`RedError::NotReductionReady`] when `p` contains an
+/// equation of any other shape, and propagates schema/diagram
+/// construction errors.
 pub fn build_system(p: &Presentation) -> Result<ReductionSystem> {
     let attrs = ReductionAttrs::new(p.alphabet())?;
     let mut rules = Vec::with_capacity(p.equations().len());

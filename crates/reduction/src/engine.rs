@@ -29,6 +29,12 @@
 //! persistent paths (`tdq serve`, warm batch streams) hold one engine for
 //! the process lifetime — both execute exactly this code.
 
+// The engine is the shared request path of every serve worker: a panic
+// here poisons cross-request state (caches, the session registry). The
+// td-lint panic-path pass enforces panic-freedom lexically; the clippy
+// pair keeps `cargo clippy` aligned with it.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
 
@@ -438,6 +444,11 @@ impl Engine {
     /// [`td_core::canon::system_key`]. Two presentations share the key iff
     /// their reduced systems are isomorphic — exactly when their verdicts
     /// provably agree.
+    ///
+    /// # Errors
+    ///
+    /// Fails when normalization or reduction rejects `p` (e.g. a
+    /// presentation that is not reduction-ready after zero-saturation).
     pub fn canonical_key(p: &Presentation) -> Result<CanonKey> {
         let normalized = normalize(&p.zero_saturated())?;
         let system = crate::deps::build_system(&normalized.presentation)?;
@@ -464,16 +475,23 @@ impl Engine {
     /// keys — no isomorphism reasoning is delegated to the memo.
     fn memoized_canon_key(&self, td: &Td) -> CanonKey {
         let fp = td_fingerprint(td);
+        // Poison recovery is sound here: the memo maps fingerprints to
+        // deterministic pure values, and every critical section is a
+        // single complete map operation, so a recovered map is always a
+        // valid (possibly smaller-than-ideal) cache.
         if let Some(&k) = self
             .canon_memo
             .read()
-            .expect("canon memo lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&fp)
         {
             return k;
         }
         let key = canon_key(td);
-        let mut memo = self.canon_memo.write().expect("canon memo lock poisoned");
+        let mut memo = self
+            .canon_memo
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if memo.len() >= CANON_MEMO_CAP {
             memo.clear();
         }
@@ -490,7 +508,15 @@ impl Engine {
         }
         let cancel = Arc::new(Cancellation::new());
         {
-            let mut inflight = self.inflight.lock().expect("inflight lock poisoned");
+            // Recover from poisoning rather than erroring: the registry is
+            // a `Vec<Weak>` whose entries are pushed one at a time, so a
+            // recovered vector is always structurally valid — and failing
+            // to register here would leave the request invisible to
+            // shutdown cancellation.
+            let mut inflight = self
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             // Lazy pruning keeps the registry proportional to the number
             // of requests actually in flight, not ever made.
             if inflight.len() >= 64 {
@@ -516,7 +542,13 @@ impl Engine {
     /// blocks on solving work.
     pub fn shutdown(&self) {
         self.root.cancel();
-        let inflight = self.inflight.lock().expect("inflight lock poisoned");
+        // Shutdown must reach every in-flight token even after a panic
+        // poisoned the registry — a skipped cancellation wedges a worker —
+        // so recover rather than propagate.
+        let inflight = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for weak in inflight.iter() {
             if let Some(token) = weak.upgrade() {
                 token.cancel();
@@ -597,6 +629,12 @@ impl Engine {
     /// caller is asking for) but still counts toward the request and spend
     /// accounting. `tdq wp`/`deps` and [`crate::pipeline::solve`] route
     /// through here.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::ShutDown`] after [`Engine::shutdown`], and
+    /// propagates pipeline errors (normalization, reduction, certificate
+    /// verification).
     pub fn run_full(&self, p: &Presentation) -> Result<PipelineRun> {
         self.counters.requests.add(1);
         let ticket = self.mint(None)?;
@@ -618,12 +656,22 @@ impl Engine {
     /// from thundering-herd duplicate solves. (`Unknown` verdicts are
     /// never cached, so every request for an undecided-within-budget class
     /// runs the solver, again matching the sequential replay.)
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::ShutDown`] after [`Engine::shutdown`], with
+    /// [`RedError::Poisoned`] when the single-flight gate was poisoned by
+    /// an earlier panic, and propagates pipeline errors.
     pub fn decide(&self, p: &Presentation) -> Result<Decision> {
         self.decide_with(p, None)
     }
 
     /// [`Engine::decide`] with per-request budget overrides (clamped by
     /// the [`BudgetPolicy`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::decide`].
     pub fn decide_with(&self, p: &Presentation, req: Option<RequestBudget>) -> Result<Decision> {
         let key = self.canonical_key_memoized(p)?;
         self.counters.requests.add(1);
@@ -670,7 +718,10 @@ impl Engine {
             if let Some(hit) = self.cache.get(key) {
                 return Ok(ItemOutcome::Settled(hit));
             }
-            let mut pending = self.pending.lock().expect("pending lock poisoned");
+            let mut pending = self
+                .pending
+                .lock()
+                .map_err(|_| RedError::Poisoned("single-flight gate"))?;
             if self.cache.get(key).is_some() {
                 continue; // settled between the miss and the lock: re-read
             }
@@ -683,7 +734,11 @@ impl Engine {
             }
             // Another caller is solving this key: wait for it to settle,
             // then re-check the cache.
-            drop(self.settled.wait(pending).expect("pending lock poisoned"));
+            drop(
+                self.settled
+                    .wait(pending)
+                    .map_err(|_| RedError::Poisoned("single-flight gate"))?,
+            );
         }
 
         let outcome = solve();
@@ -692,11 +747,13 @@ impl Engine {
                 self.cache.insert(key, cached);
             }
         }
-        // Always lift the single-flight gate — even on error — before
-        // propagating, so waiters never deadlock.
+        // Always lift the single-flight gate — even on error or after a
+        // poisoning panic — before propagating, so waiters never deadlock.
+        // Recovery is sound: the set's critical sections are single
+        // complete operations.
         self.pending
             .lock()
-            .expect("pending lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .remove(&key);
         self.settled.notify_all();
         outcome.map(ItemOutcome::Ran)
@@ -712,6 +769,11 @@ impl Engine {
     /// [`Engine::decide`] — a batch item and a concurrent `decide` for
     /// the same key share one solver run, keeping the accounting
     /// deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::decide`]; the first failing item aborts the
+    /// batch.
     pub fn solve_batch(&self, items: &[Presentation]) -> Result<BatchRun> {
         let solve_item = |p: &Presentation, key: CanonKey| -> Result<ItemOutcome> {
             let outcome = self.single_flight(key, || {
@@ -739,7 +801,10 @@ impl Engine {
         if self.is_shut_down() {
             return Err(RedError::ShutDown);
         }
-        let mut reg = self.sessions.lock().expect("sessions lock poisoned");
+        let mut reg = self
+            .sessions
+            .lock()
+            .map_err(|_| RedError::Poisoned("session registry"))?;
         if reg.map.contains_key(id) {
             return Err(RedError::Session(format!("session `{id}` is already open")));
         }
@@ -763,8 +828,17 @@ impl Engine {
     }
 
     /// Closes a named session, dropping its Σ and every suspended chase.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::Session`] for an unknown id and with
+    /// [`RedError::Poisoned`] when the session registry lock was poisoned
+    /// by an earlier panic.
     pub fn session_close(&self, id: &str) -> Result<()> {
-        let mut reg = self.sessions.lock().expect("sessions lock poisoned");
+        let mut reg = self
+            .sessions
+            .lock()
+            .map_err(|_| RedError::Poisoned("session registry"))?;
         if reg.map.remove(id).is_none() {
             return Err(RedError::Session(format!("unknown session `{id}`")));
         }
@@ -778,7 +852,10 @@ impl Engine {
     /// The registry lock is released before the caller takes the session's
     /// own lock, so registry operations never wait on a running ask.
     fn session(&self, id: &str) -> Result<Arc<Session>> {
-        let mut reg = self.sessions.lock().expect("sessions lock poisoned");
+        let mut reg = self
+            .sessions
+            .lock()
+            .map_err(|_| RedError::Poisoned("session registry"))?;
         let Some(session) = reg.map.get(id).map(Arc::clone) else {
             return Err(RedError::Session(format!("unknown session `{id}`")));
         };
@@ -807,9 +884,18 @@ impl Engine {
     /// countermodels may violate the new premises); `Implied` verdicts and
     /// every suspended chase survive — the appended TDs are integrated by
     /// the next ask's resumed chase, which is the whole point.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::Session`] for an unknown session, a
+    /// duplicate dependency name, or a Σ-size overflow, and with
+    /// [`RedError::Poisoned`] on a poisoned registry/session lock.
     pub fn session_add_deps(&self, id: &str, tds: &[Td]) -> Result<usize> {
         let session = self.session(id)?;
-        let mut inner = session.inner.lock().expect("session lock poisoned");
+        let mut inner = session
+            .inner
+            .lock()
+            .map_err(|_| RedError::Poisoned("session state"))?;
         for td in tds {
             Self::session_schema(&mut inner, id, td.schema())?;
             let clash = inner.deps.iter().any(|(n, _)| n == td.name())
@@ -836,9 +922,18 @@ impl Engine {
     /// rows cannot be retracted, so the next ask re-chases from scratch.
     /// `NotImplied` verdicts survive: a countermodel of a set still
     /// satisfies every subset.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::Session`] for an unknown session or
+    /// dependency name, and with [`RedError::Poisoned`] on a poisoned
+    /// registry/session lock.
     pub fn session_remove_dep(&self, id: &str, name: &str) -> Result<usize> {
         let session = self.session(id)?;
-        let mut inner = session.inner.lock().expect("session lock poisoned");
+        let mut inner = session
+            .inner
+            .lock()
+            .map_err(|_| RedError::Poisoned("session state"))?;
         let Some(pos) = inner.deps.iter().position(|(n, _)| n == name) else {
             return Err(RedError::Session(format!(
                 "session `{id}` has no dependency named `{name}`"
@@ -863,10 +958,20 @@ impl Engine {
     /// the same wall. Runs under a minted [`Ticket`]: shutdown cancels
     /// in-flight asks, which then report `Unknown` (never cached, and the
     /// partial state is kept for a later resume).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::Session`] for an unknown session, with
+    /// [`RedError::ShutDown`] after [`Engine::shutdown`], with
+    /// [`RedError::Poisoned`] on a poisoned registry/session lock, and
+    /// propagates freeze/chase errors.
     pub fn session_ask(&self, id: &str, goal: &Td) -> Result<(SessionVerdict, bool)> {
         let session = self.session(id)?;
         let ticket = self.mint(None)?;
-        let mut inner = session.inner.lock().expect("session lock poisoned");
+        let mut inner = session
+            .inner
+            .lock()
+            .map_err(|_| RedError::Poisoned("session state"))?;
         Self::session_schema(&mut inner, id, goal.schema())?;
 
         let key = canon_key(goal);
@@ -891,6 +996,10 @@ impl Engine {
             max_rows: chase.state.rows().saturating_add(base.max_rows),
             max_rounds: chase.state.rounds_run().saturating_add(base.max_rounds),
         };
+        // td-lint: allow(lock-discipline) asks within one session are serialized by design: the
+        // per-session lock (not the registry lock) is held across the chase so Σ cannot change
+        // under a running ask, and shutdown still unblocks it via ticket cancellation polled
+        // inside the chase loop.
         let mut engine = ChaseEngine::resume(&tds, chase.state, ChasePolicy::Restricted, budget)?
             .with_strategy(self.opts.strategy)
             .with_cancellation(ticket.cancellation());
@@ -918,7 +1027,13 @@ impl Engine {
 
     /// A snapshot of the session registry's accounting.
     pub fn session_stats(&self) -> SessionStats {
-        let reg = self.sessions.lock().expect("sessions lock poisoned");
+        // Stats must stay available for observability even after a panic
+        // poisoned the registry; the counters are plain integers, so a
+        // recovered read is always coherent.
+        let reg = self
+            .sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         SessionStats {
             open: reg.map.len(),
             opened: reg.opened,
@@ -931,6 +1046,12 @@ impl Engine {
     /// Runs under the engine's chase budget and match strategy; counts as
     /// one request. TD-set analyses are not keyed into the decision cache
     /// (different object space from word-problem instances).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`RedError::ShutDown`] after [`Engine::shutdown`], and
+    /// propagates inference-engine errors from the per-TD implication
+    /// checks.
     pub fn redundancy(&self, tds: &[Td]) -> Result<Vec<InferenceVerdict>> {
         self.counters.requests.add(1);
         let mut verdicts = Vec::with_capacity(tds.len());
@@ -967,6 +1088,7 @@ fn settle(run: &PipelineRun) -> Option<CachedOutcome> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use td_semigroup::alphabet::Alphabet;

@@ -32,6 +32,12 @@ pub enum RedError {
     /// The request was rejected because the serving
     /// [`crate::engine::Engine`] has been shut down.
     ShutDown,
+    /// An internal engine lock was poisoned: a thread panicked while
+    /// holding it, so the protected state can no longer be trusted for
+    /// this request. Carries the name of the poisoned structure. Callers
+    /// see a structured error instead of a cascading panic; the engine
+    /// itself stays up.
+    Poisoned(&'static str),
     /// A decision-cache snapshot was structurally invalid (bad magic,
     /// unsupported format version, truncation, checksum mismatch). Carries
     /// the byte offset of the defect; nothing was loaded.
@@ -52,6 +58,12 @@ impl fmt::Display for RedError {
             RedError::GuidedChaseFailed(msg) => write!(f, "guided chase failed: {msg}"),
             RedError::Session(msg) => write!(f, "{msg}"),
             RedError::ShutDown => write!(f, "engine is shut down"),
+            RedError::Poisoned(what) => {
+                write!(
+                    f,
+                    "internal error: {what} lock poisoned by an earlier panic"
+                )
+            }
             RedError::Snapshot(e) => write!(f, "cache snapshot rejected: {e}"),
         }
     }

@@ -46,6 +46,11 @@ pub struct PartAProof {
 
 impl PartAProof {
     /// Independently re-verifies the proof against the dependency set.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any recorded trigger does not replay (wrong TD name,
+    /// stale binding) or the goal row is not matched by the final state.
     pub fn verify(&self, system: &ReductionSystem) -> Result<()> {
         self.proof
             .verify(&self.frozen, &system.deps, Some(&self.goal))?;
@@ -76,6 +81,13 @@ fn binding_for(td: &Td, tuples: &[&Tuple]) -> Result<Binding> {
 /// zero-saturated) presentation `p` that `system` was built from, matching
 /// with the default [`MatchStrategy::Indexed`]. Returns a verified chase
 /// proof that `D ⊨ D₀`.
+///
+/// # Errors
+///
+/// Fails with [`RedError::GuidedChaseFailed`] when the derivation does
+/// not replay against the bridge (a broken bridge invariant or a step the
+/// dependencies cannot mirror), and propagates verification errors from
+/// the final [`PartAProof::verify`].
 pub fn prove_part_a(
     system: &ReductionSystem,
     p: &Presentation,
@@ -89,6 +101,10 @@ pub fn prove_part_a(
 /// the strategy only steers the engine's internal witness checks — but
 /// threading it keeps `tdq wp --strategy` honest end to end: every engine
 /// the pipeline constructs runs under the selected matcher.
+///
+/// # Errors
+///
+/// Same as [`prove_part_a`].
 pub fn prove_part_a_with(
     system: &ReductionSystem,
     p: &Presentation,
@@ -211,6 +227,12 @@ pub fn prove_part_a_with(
 
 /// Lets the fair chase engine search for the `D ⊨ D₀` proof without
 /// guidance. Returns the outcome plus the engine's statistics.
+///
+/// # Errors
+///
+/// Propagates chase-engine construction/firing errors and proof
+/// verification failures; exhausting the budget is **not** an error (it
+/// is reported in the returned [`ChaseOutcome`]).
 pub fn prove_unguided(
     system: &ReductionSystem,
     budget: ChaseBudget,
@@ -221,6 +243,10 @@ pub fn prove_unguided(
 /// [`prove_unguided`] under an explicit homomorphism [`MatchStrategy`] —
 /// the benchmark harness uses this to pit the indexed planner against the
 /// naive oracle on identical workloads.
+///
+/// # Errors
+///
+/// Same as [`prove_unguided`].
 pub fn prove_unguided_with(
     system: &ReductionSystem,
     budget: ChaseBudget,

@@ -88,6 +88,11 @@ impl CounterModel {
 /// checked): `g` has a zero and no identity, has the cancellation property,
 /// satisfies every equation of `p` under `interp`, interprets the zero
 /// symbol as the zero, and interprets `A₀` as a nonzero element.
+///
+/// # Errors
+///
+/// Fails with [`RedError::CounterModelInvalid`] when any precondition
+/// does not hold, and propagates evaluation errors from `g`.
 pub fn build_counter_model(
     system: &ReductionSystem,
     p: &Presentation,

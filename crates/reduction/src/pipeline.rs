@@ -358,6 +358,12 @@ fn search_racing(
 /// ([`SolveMode::Racing`]). Routed through an ephemeral
 /// [`crate::engine::Engine`] so the one-shot path and the long-lived
 /// service path are the same code.
+///
+/// # Errors
+///
+/// Fails when normalization, reduction, certificate compilation, or
+/// certificate verification fails; an inconclusive search is **not** an
+/// error (it is reported as [`PipelineOutcome::Unknown`]).
 pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
     solve_with(p, budgets, SolveMode::default())
 }
@@ -366,6 +372,10 @@ pub fn solve(p: &Presentation, budgets: &Budgets) -> Result<PipelineRun> {
 /// [`SolveMode`]. Both modes return the same verdict (enforced by the
 /// differential property tests); racing wins wall-clock time whenever the
 /// refutable side settles first.
+///
+/// # Errors
+///
+/// Same as [`solve`].
 pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Result<PipelineRun> {
     solve_with_opts(
         p,
@@ -385,6 +395,10 @@ pub fn solve_with(p: &Presentation, budgets: &Budgets, mode: SolveMode) -> Resul
 /// This is a thin wrapper: it builds a single-request
 /// [`crate::engine::Engine`] and calls [`crate::engine::Engine::run_full`],
 /// so every solve — one-shot or served — executes the same engine code.
+///
+/// # Errors
+///
+/// Same as [`solve`].
 pub fn solve_with_opts(
     p: &Presentation,
     budgets: &Budgets,
@@ -407,6 +421,10 @@ pub fn solve_with_opts(
 /// to wind the whole request down — the run then reports
 /// [`PipelineOutcome::Unknown`] with the spend accumulated so far. Callers
 /// that want plain one-shot semantics pass a fresh token.
+///
+/// # Errors
+///
+/// Same as [`solve`].
 pub fn solve_with_opts_on(
     p: &Presentation,
     budgets: &Budgets,

@@ -280,6 +280,11 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
 /// old complete snapshot or the new complete snapshot, never a torn
 /// prefix. The tmp name embeds the process id, so concurrent writers on
 /// one host cannot trample each other's staging file.
+///
+/// # Errors
+///
+/// Fails with the underlying I/O error when the tmp file cannot be
+/// created, written, or renamed into place.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = {
         let mut name = path.file_name().unwrap_or_default().to_os_string();

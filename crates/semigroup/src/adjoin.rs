@@ -13,6 +13,12 @@ use crate::error::Result;
 /// Adjoins a fresh identity element to `g`. The new element has the largest
 /// index; the embedding of `g` is the identity on indices. Returns the
 /// extended semigroup and the identity element.
+///
+/// # Errors
+///
+/// Cannot fail for a valid input semigroup: the extended table is square,
+/// in range, and associative by construction; the impossible construction
+/// errors are propagated rather than unwrapped.
 pub fn adjoin_identity(g: &FiniteSemigroup) -> Result<(FiniteSemigroup, Elem)> {
     let n = g.len();
     let mut table = vec![vec![0usize; n + 1]; n + 1];

@@ -15,6 +15,11 @@ pub struct Alphabet {
 impl Alphabet {
     /// Creates an alphabet from names. `zero_name` and `a0_name` must occur
     /// among `names` and be distinct.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a duplicate name, a missing `a0_name`/`zero_name`, or the
+    /// two designated names coinciding.
     pub fn new<I, S>(names: I, a0_name: &str, zero_name: &str) -> Result<Self>
     where
         I: IntoIterator<Item = S>,
@@ -94,12 +99,21 @@ impl Alphabet {
     }
 
     /// Looks a symbol up by name, as a `Result`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::UnknownSymbol`] when no symbol has that name.
     pub fn require(&self, name: &str) -> Result<Sym> {
         self.sym(name)
             .ok_or_else(|| SgError::UnknownSymbol(name.to_owned()))
     }
 
     /// Appends a fresh symbol with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::DuplicateSymbol`] when the name is already
+    /// taken.
     pub fn add_symbol(&mut self, name: impl Into<String>) -> Result<Sym> {
         let name = name.into();
         if self.names.contains(&name) {
@@ -125,6 +139,11 @@ impl Alphabet {
     }
 
     /// Validates that a symbol belongs to this alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::SymbolOutOfRange`] when `sym`'s index is past
+    /// the end of the alphabet.
     pub fn check(&self, sym: Sym) -> Result<()> {
         if sym.index() < self.len() {
             Ok(())

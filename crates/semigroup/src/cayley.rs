@@ -48,6 +48,11 @@ pub struct FiniteSemigroup {
 impl FiniteSemigroup {
     /// Builds a semigroup from a square table, verifying entry ranges and
     /// associativity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty or non-square table, an entry out of range, or a
+    /// non-associative triple.
     pub fn new(table: Vec<Vec<usize>>) -> Result<Self> {
         let g = Self::new_unchecked_associativity(table)?;
         g.check_associative()?;
@@ -56,6 +61,11 @@ impl FiniteSemigroup {
 
     /// Builds from a square table, verifying entry ranges only. Used by the
     /// model searcher, which checks associativity incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::BadTable`] on an empty or non-square table or
+    /// an entry outside `0..n`.
     pub fn new_unchecked_associativity(table: Vec<Vec<usize>>) -> Result<Self> {
         let n = table.len();
         if n == 0 {
@@ -101,6 +111,11 @@ impl FiniteSemigroup {
     }
 
     /// Verifies `(ab)c = a(bc)` for all triples.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::NotAssociative`] carrying the first witness
+    /// triple found.
     pub fn check_associative(&self) -> Result<()> {
         for a in self.elements() {
             for b in self.elements() {
@@ -135,6 +150,12 @@ impl FiniteSemigroup {
     }
 
     /// Evaluates a word under an interpretation of the alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the word mentions a symbol outside the interpretation,
+    /// or the interpretation maps one to an element outside this
+    /// semigroup.
     pub fn eval(&self, interp: &Interpretation, word: &Word) -> Result<Elem> {
         let mut acc: Option<Elem> = None;
         for &s in word.syms() {
@@ -251,6 +272,11 @@ impl Interpretation {
     }
 
     /// The element interpreting `sym`, as a `Result`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::SymbolOutOfRange`] when `sym` is not covered
+    /// by this interpretation.
     pub fn try_of(&self, sym: Sym) -> Result<Elem> {
         self.map
             .get(sym.index())
@@ -267,6 +293,11 @@ impl Interpretation {
     }
 
     /// Checks the interpretation covers exactly the alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::InterpretationArity`] when the element list's
+    /// length differs from the alphabet's.
     pub fn check_arity(&self, alphabet: &Alphabet) -> Result<()> {
         if self.map.len() == alphabet.len() {
             Ok(())

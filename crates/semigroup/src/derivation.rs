@@ -86,6 +86,11 @@ impl Derivation {
     }
 
     /// The final word `u_m`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when replaying the derivation fails (an out-of-range rule
+    /// index, a rule that does not match at its claimed position, …).
     pub fn end(&self, p: &Presentation) -> Result<Word> {
         Ok(self
             .replay(p)?
@@ -94,6 +99,12 @@ impl Derivation {
     }
 
     /// Checks that the derivation goes from `start` to `target` under `p`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::DerivationReplay`] when the derivation does
+    /// not start at `start`, does not replay cleanly under `p`, or ends
+    /// somewhere other than `target`.
     pub fn verify(&self, p: &Presentation, start: &Word, target: &Word) -> Result<()> {
         if &self.start != start {
             return Err(SgError::DerivationReplay(format!(
@@ -301,6 +312,9 @@ pub fn search_derivation_tracked(
     // Reconstruct the step sequence backwards from target.
     let mut steps_rev = Vec::new();
     let mut cur = target.clone();
+    // td-lint: allow(budget-poll) parent-chain walk over the BFS tree already built above:
+    // each hop moves to a strictly earlier-discovered word, so it is bounded by `visited`
+    // (which the ticker already charged during the search).
     while cur != *start {
         let (prev, step) = parent
             .get(&cur)

@@ -20,6 +20,11 @@ impl Equation {
     }
 
     /// Parses `"A0 A1 = 0"`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the `=` is missing or either side fails to parse as a
+    /// nonempty word over `alphabet`.
     pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
         let (l, r) = text
             .split_once('=')

@@ -170,6 +170,9 @@ impl Search<'_> {
         // inner cells were assigned (cases 1 and 2 above ran then), except
         // when the outer cell is assigned *after* both inner cells. Scan
         // for pairs (x, y) with x·y = a:
+        // td-lint: allow(budget-poll) bounded n² sweep of the multiplication table (n is the
+        // candidate model order, capped by the search's size bound); the enclosing DFS polls
+        // the ticker at every node.
         for x in 0..n {
             for y in 0..n {
                 if self.get(x, y) != a as u16 {
@@ -201,6 +204,8 @@ impl Search<'_> {
     }
 
     fn next_unset(&self) -> Option<(usize, usize)> {
+        // td-lint: allow(budget-poll) bounded n² scan for the first unset table cell; the
+        // enclosing DFS polls the ticker at every node.
         for a in 1..self.n {
             for b in 1..self.n {
                 if self.get(a, b) == UNSET {
@@ -296,6 +301,12 @@ fn for_each_interpretation(
 
 /// Searches for a finite cancellation countermodel of the zero-saturated
 /// presentation `p`.
+///
+/// # Errors
+///
+/// Fails when a found table cannot be assembled into a
+/// [`FiniteSemigroup`] (propagated from the Cayley constructors; does not
+/// happen for tables the search itself completes).
 pub fn find_counter_model(
     p: &Presentation,
     opts: &ModelSearchOptions,
@@ -331,6 +342,10 @@ pub struct TrackedModelSearch {
 /// (the caller that cancelled has its own certificate and discards this
 /// side's result). Use [`find_counter_model_tracked`] when the caller must
 /// distinguish cancellation from genuine budget exhaustion.
+///
+/// # Errors
+///
+/// Same as [`find_counter_model`].
 pub fn find_counter_model_cancellable(
     p: &Presentation,
     opts: &ModelSearchOptions,
@@ -343,6 +358,10 @@ pub fn find_counter_model_cancellable(
 /// returned [`TrackedModelSearch`] carries the nodes visited (even on
 /// success) and whether the run was cut short by the cancellation flag
 /// rather than by its own budgets.
+///
+/// # Errors
+///
+/// Same as [`find_counter_model`].
 pub fn find_counter_model_tracked(
     p: &Presentation,
     opts: &ModelSearchOptions,
@@ -396,6 +415,8 @@ pub fn find_counter_model_tracked(
             }
             // Validate prefilled cells against pruning rules.
             if consistent {
+                // td-lint: allow(budget-poll) bounded n² validation of the prefilled table,
+                // run once per candidate order before the (ticker-polled) DFS starts.
                 for a in 1..n {
                     for b in 1..n {
                         let v = search.get(a, b);

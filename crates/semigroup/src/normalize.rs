@@ -59,6 +59,12 @@ impl Normalized {
     /// Extends an interpretation of the *original* alphabet into `g` to the
     /// normalized alphabet: fresh symbols are interpreted as the products
     /// that define them.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::InterpretationArity`] when `base` does not
+    /// cover exactly the original alphabet, or when a defining product
+    /// evaluates outside `g`.
     pub fn extend_interpretation(
         &self,
         g: &FiniteSemigroup,
@@ -126,6 +132,12 @@ fn fold_to_pair(
 
 /// Normalizes `p` to `(2,1)` (plus kept `(1,1)`) equations over a possibly
 /// extended alphabet.
+///
+/// # Errors
+///
+/// Propagates construction errors from assembling the extended alphabet
+/// and normalized presentation (fresh names are minted to be unique, so
+/// these do not occur for a presentation that validated on input).
 pub fn normalize(p: &Presentation) -> Result<Normalized> {
     let base_len = p.alphabet().len();
     let mut alphabet = p.alphabet().clone();

@@ -23,6 +23,12 @@ fn err(line: usize, msg: impl Into<String>) -> SgError {
 }
 
 /// Parses a presentation file.
+///
+/// # Errors
+///
+/// Fails with a line-positioned [`SgError::Parse`] on malformed syntax,
+/// and propagates alphabet/equation validation errors (duplicate or
+/// unknown symbols, empty words).
 pub fn parse(text: &str) -> Result<Presentation> {
     let mut names: Option<Vec<String>> = None;
     let mut a0_name = "A0".to_owned();

@@ -21,6 +21,11 @@ pub struct Presentation {
 impl Presentation {
     /// Creates a presentation, validating that every symbol used in the
     /// equations belongs to the alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::SymbolOutOfRange`] when an equation mentions
+    /// a symbol outside the alphabet.
     pub fn new(alphabet: Alphabet, equations: Vec<Equation>) -> Result<Self> {
         for eq in &equations {
             for &s in eq.lhs.syms().iter().chain(eq.rhs.syms()) {
@@ -44,6 +49,11 @@ impl Presentation {
     }
 
     /// Appends an equation (symbols must be in range).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::SymbolOutOfRange`] when the equation mentions
+    /// a symbol outside the alphabet.
     pub fn push_equation(&mut self, eq: Equation) -> Result<()> {
         for &s in eq.lhs.syms().iter().chain(eq.rhs.syms()) {
             self.alphabet.check(s)?;

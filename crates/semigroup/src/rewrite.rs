@@ -99,6 +99,11 @@ impl RewriteSystem {
 
     /// Checks the zero-collapse property: in a zero-saturated normalized
     /// presentation, any word containing `0` rewrites to `0`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `word` does not contain the zero symbol (the property
+    /// is about such words only).
     pub fn zero_collapses(&self, p: &Presentation, word: &Word) -> Result<bool> {
         if !word.contains(p.alphabet().zero()) {
             return Err(SgError::DerivationReplay(

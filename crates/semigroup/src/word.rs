@@ -26,11 +26,20 @@ impl Word {
     }
 
     /// A word from raw `u16` indices.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`SgError::EmptyWord`] on an empty iterator.
     pub fn from_raw(syms: impl IntoIterator<Item = u16>) -> Result<Self> {
         Self::new(syms.into_iter().map(Sym::new))
     }
 
     /// Parses a whitespace-separated word like `"A0 A1 0"`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a token that names no symbol of `alphabet`, or on an
+    /// empty/whitespace-only input.
     pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Self> {
         let syms = text
             .split_whitespace()

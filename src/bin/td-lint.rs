@@ -1,0 +1,150 @@
+//! `td-lint` — the workspace's own static-analysis driver.
+//!
+//! Runs the four td-analysis passes (lock-discipline, budget-poll,
+//! panic-path, doc-error-hygiene) over the workspace sources and prints
+//! positioned `file:line:col` diagnostics.
+//!
+//! ```text
+//! td-lint [--format text|json] [--fixtures] [ROOT]
+//! ```
+//!
+//! * `--format json` emits one NDJSON object per finding (reusing the
+//!   serve layer's `jsonl` writer), for CI and tooling.
+//! * `--fixtures` self-tests the passes against the checked-in
+//!   known-good/known-bad snippets under `crates/analysis/fixtures/`.
+//! * `ROOT` defaults to the enclosing workspace root (found by walking up
+//!   from the current directory to a `Cargo.toml` containing
+//!   `[workspace]`).
+//!
+//! Exit codes: `0` clean, `1` findings (or fixture failures), `2` usage
+//! or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use td_analysis::source::Diagnostic;
+use template_deps::jsonl::Json;
+
+fn main() -> ExitCode {
+    let mut format_json = false;
+    let mut fixtures = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!("td-lint: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fixtures" => fixtures = true,
+            "--help" | "-h" => {
+                eprintln!("usage: td-lint [--format text|json] [--fixtures] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            _ if root.is_none() && !a.starts_with('-') => root = Some(PathBuf::from(a)),
+            _ => {
+                eprintln!("td-lint: unrecognized argument `{a}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.map_or_else(find_workspace_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("td-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if fixtures {
+        return run_fixture_mode(&root);
+    }
+
+    let diags = match td_analysis::run_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("td-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        if format_json {
+            println!("{}", render_json(d));
+        } else {
+            println!("{d}");
+        }
+    }
+    if diags.is_empty() {
+        if !format_json {
+            println!("td-lint: workspace clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !format_json {
+            println!("td-lint: {} finding(s)", diags.len());
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders one diagnostic as a single NDJSON line via the serve layer's
+/// `jsonl` writer — the same code path the wire protocol uses, so the
+/// output is parseable by anything that already reads tdq output.
+fn render_json(d: &Diagnostic) -> String {
+    Json::Obj(vec![
+        ("pass".to_string(), Json::from(d.pass.as_str())),
+        ("file".to_string(), Json::from(d.file.as_str())),
+        ("line".to_string(), Json::from(d.line as u64)),
+        ("col".to_string(), Json::from(d.col as u64)),
+        ("msg".to_string(), Json::from(d.msg.as_str())),
+    ])
+    .render()
+}
+
+/// Self-test against the fixture suite.
+fn run_fixture_mode(root: &Path) -> ExitCode {
+    let dir = root.join("crates/analysis/fixtures");
+    match td_analysis::run_fixtures(&dir) {
+        Ok(failures) if failures.is_empty() => {
+            println!("td-lint: fixtures ok");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                eprintln!("td-lint: fixture {}: {}", f.file, f.msg);
+            }
+            eprintln!("td-lint: {} fixture failure(s)", failures.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("td-lint: cannot read fixtures at {}: {e}", dir.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// containing a `[workspace]` table.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace root found above the current directory (pass ROOT explicitly)"
+                    .to_string(),
+            );
+        }
+    }
+}

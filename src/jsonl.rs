@@ -15,6 +15,12 @@
 //! line, a stray `]`, a second scalar — is rejected as trailing garbage,
 //! never silently ignored.
 
+// The serve layer feeds this parser raw client bytes: everything here
+// must degrade to a structured `JsonError`, never a panic. The td-lint
+// panic-path pass enforces the same rule lexically; this clippy pair
+// keeps `cargo clippy` aligned with it.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 /// A JSON parse error: what went wrong and where.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
@@ -276,7 +282,10 @@ fn parse_literal(
     word: &str,
     value: Json,
 ) -> Result<Json, JsonError> {
-    if bytes[*pos..].starts_with(word.as_bytes()) {
+    if bytes
+        .get(*pos..)
+        .is_some_and(|rest| rest.starts_with(word.as_bytes()))
+    {
         *pos += word.len();
         Ok(value)
     } else {
@@ -292,7 +301,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
     ) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii digits");
+    let raw = bytes.get(start..*pos).unwrap_or_default();
+    let text = std::str::from_utf8(raw).map_err(|_| JsonError::new(start, "invalid number"))?;
     // RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
     // — f64::parse alone is laxer (it accepts `.5`, `1.`, `+1`), so the
     // shape is checked first.
@@ -449,6 +459,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -36,6 +36,12 @@
 //!   engine's ticket registry, unblocks every connection, and joins all
 //!   threads before returning — a cancellation-clean exit.
 
+// Request handling must degrade to error envelopes, never a panic: a
+// panicking handler kills its client thread mid-session. The td-lint
+// panic-path pass enforces this lexically; the clippy pair keeps
+// `cargo clippy` aligned with it.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::Mutex;
@@ -69,6 +75,11 @@ pub struct ServeReply {
 /// (array of symbol names), `"eqs"` (array of equation strings), optional
 /// `"a0"`/`"zero"` naming the distinguished symbols (defaults `"A0"` /
 /// `"0"`), optional `"id"` (defaults to `default_id`).
+///
+/// # Errors
+///
+/// Fails with a rendered message when a required field is missing or has
+/// the wrong shape, or when the alphabet/equations fail validation.
 pub fn parse_instance(j: &Json, default_id: &str) -> Result<(String, Presentation), String> {
     let id = j
         .get("id")
@@ -221,6 +232,11 @@ fn redundancy_word(v: &InferenceVerdict) -> &'static str {
 /// A `deps` reply: per-TD structural analysis plus (for sets of at least
 /// two) the engine's redundancy verdicts, and the EID summary — the JSON
 /// twin of the human `tdq deps` report.
+///
+/// # Errors
+///
+/// Fails with a rendered message when `text` does not parse as a TD file
+/// or the engine rejects the analysis (e.g. shut down).
 pub fn deps_reply(engine: &Engine, id: &Json, text: &str) -> Result<String, String> {
     let file = td_core::parser::parse(text).map_err(|e| e.to_string())?;
     Ok(deps_file_reply(engine, id, &file)?.render())
@@ -229,6 +245,11 @@ pub fn deps_reply(engine: &Engine, id: &Json, text: &str) -> Result<String, Stri
 /// [`deps_reply`] on an already-parsed file, returning the reply as a
 /// [`Json`] value so callers (the CLI's `--format json`) can append
 /// fields such as timings before rendering.
+///
+/// # Errors
+///
+/// Fails with a rendered message when the engine rejects the analysis
+/// (e.g. shut down mid-request).
 pub fn deps_file_reply(
     engine: &Engine,
     id: &Json,
@@ -265,10 +286,10 @@ pub fn deps_file_reply(
                     )),
                 ));
             }
-            if let Some(verdicts) = &redundancy {
+            if let Some(verdict) = redundancy.as_ref().and_then(|verdicts| verdicts.get(i)) {
                 fields.push((
                     "redundancy".to_owned(),
-                    Json::from(redundancy_word(&verdicts[i])),
+                    Json::from(redundancy_word(verdict)),
                 ));
             }
             Json::Obj(fields)
@@ -689,6 +710,12 @@ pub fn handle_line(engine: &Engine, line: &str) -> ServeReply {
 /// order, until EOF or a `shutdown` request. Blank lines are skipped.
 /// Replies are flushed per line so a pipelining client never deadlocks on
 /// buffering.
+///
+/// # Errors
+///
+/// Fails with the underlying I/O error when reading a request line or
+/// writing/flushing a reply fails. Request-level problems (bad JSON,
+/// unknown ops) are reported as error replies, not as `Err`.
 pub fn serve_stdio(
     engine: &Engine,
     input: impl BufRead,
@@ -717,6 +744,12 @@ pub fn serve_stdio(
 /// cancelled through the engine's ticket registry, every open connection
 /// is unblocked and drained, and all threads are joined before this
 /// returns.
+///
+/// # Errors
+///
+/// Fails with the underlying I/O error when configuring or polling the
+/// listener fails. Per-connection I/O errors tear down that connection
+/// only.
 pub fn serve_listen(engine: &Engine, listener: TcpListener) -> std::io::Result<()> {
     // Non-blocking accept so the loop can observe shutdown promptly; the
     // accepted sockets are switched back to blocking mode.
@@ -739,7 +772,13 @@ pub fn serve_listen(engine: &Engine, listener: TcpListener) -> std::io::Result<(
                 Ok((stream, _addr)) => {
                     let stream = std::sync::Arc::new(stream);
                     {
-                        let mut clients = clients.lock().expect("client registry poisoned");
+                        // Recover from poisoning: the registry is a
+                        // `Vec<Weak>` mutated one complete push/retain at
+                        // a time, and the accept loop must keep serving
+                        // even after some connection thread panicked.
+                        let mut clients = clients
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         clients.retain(|w| w.strong_count() > 0);
                         clients.push(std::sync::Arc::downgrade(&stream));
                     }
@@ -762,7 +801,14 @@ pub fn serve_listen(engine: &Engine, listener: TcpListener) -> std::io::Result<(
         // shutdown op), unblock every connection reader so its thread can
         // exit, and let the scope join them all.
         engine.shutdown();
-        for client in clients.lock().expect("client registry poisoned").iter() {
+        // The drain must unblock every connection reader even if a panic
+        // poisoned the registry — a skipped socket shutdown would wedge
+        // the scope join below — so recover rather than propagate.
+        for client in clients
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             if let Some(client) = client.upgrade() {
                 let _ = client.shutdown(Shutdown::Both);
             }
@@ -799,6 +845,7 @@ fn serve_connection(engine: &Engine, stream: &TcpStream) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use td_reduction::engine::EngineConfig;

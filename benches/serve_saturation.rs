@@ -1,0 +1,117 @@
+//! Experiment T9 — `tdq serve` transport saturation: the fixed worker
+//! pool against the thread-per-connection baseline at 1, 4, and 16
+//! concurrent clients.
+//!
+//! Every client pipelines a burst of warm-cache `wp` requests (the engine
+//! is prewarmed, so each request is a canonical-key cache hit), which
+//! isolates transport overhead — accept/poll multiplexing, line framing,
+//! reply writes — from solver time. One iteration = serve a full burst
+//! from every client and shut the server down cleanly; requests/second is
+//! `clients * PER_CLIENT / median_iteration_time`. Shape claim: on a
+//! multi-core machine the pool holds throughput roughly flat as clients
+//! grow past the core count, while thread-per-connection pays a
+//! per-connection spawn plus scheduler churn. On a single core the two
+//! transports are expected to tie (the recorded numbers in
+//! `BENCH_serve.json` note the machine's CPU count for exactly this
+//! reason).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use template_deps::serve;
+use template_deps::td_reduction::engine::Engine;
+
+/// Pipelined requests per client per iteration.
+const PER_CLIENT: usize = 32;
+
+/// A serve transport under test: blocks until shutdown, like
+/// `serve_listen_pooled` / `serve_listen_threaded`.
+type Transport = dyn Fn(&Engine, TcpListener) -> std::io::Result<()> + Sync;
+
+/// The warm-cache request every client repeats.
+fn wp_line(id: usize) -> String {
+    format!(
+        "{{\"id\":\"r{id}\",\"op\":\"wp\",\"alphabet\":[\"A0\",\"A1\",\"0\"],\
+         \"eqs\":[\"A1 A1 = A0\",\"A1 A1 = 0\"]}}"
+    )
+}
+
+/// One full saturation round: start a server on an ephemeral port, slam
+/// it with `clients` concurrent pipelined bursts, verify every reply
+/// arrived in order, then shut down cleanly and join everything.
+fn saturate(transport: &Transport, clients: usize) {
+    let engine = Engine::new();
+    // Prewarm: the solve happens once, outside the timed transport work.
+    let warm = serve::handle_line(&engine, &wp_line(0));
+    assert!(
+        warm.text.contains("\"verdict\":\"implied\""),
+        "{}",
+        warm.text
+    );
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let server = s.spawn(move || transport(engine, listener));
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut writer = &stream;
+                    let burst: String = (0..PER_CLIENT)
+                        .map(|i| wp_line(c * PER_CLIENT + i) + "\n")
+                        .collect();
+                    writer.write_all(burst.as_bytes()).expect("send burst");
+                    for i in 0..PER_CLIENT {
+                        let mut line = String::new();
+                        reader.read_line(&mut line).expect("reply");
+                        assert!(
+                            line.starts_with(&format!("{{\"id\":\"r{}\"", c * PER_CLIENT + i)),
+                            "client {c} reply {i} out of order: {line}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("client thread");
+        }
+        let stream = TcpStream::connect(addr).expect("connect control");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = &stream;
+        writeln!(writer, "{{\"id\":\"q\",\"op\":\"shutdown\"}}").expect("send shutdown");
+        let mut bye = String::new();
+        reader.read_line(&mut bye).expect("shutdown reply");
+        server.join().expect("server thread").expect("serve result");
+    });
+}
+
+fn bench_serve_saturation(c: &mut Criterion) {
+    let pool_width = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .max(4);
+    let transports: [(&str, &Transport); 2] = [
+        ("pooled", &move |e: &Engine, l: TcpListener| {
+            serve::serve_listen_pooled(e, l, pool_width)
+        }),
+        ("threaded", &serve::serve_listen_threaded),
+    ];
+    for (name, transport) in transports {
+        let mut group = c.benchmark_group(format!("serve_saturation/{name}"));
+        group.sample_size(10);
+        for clients in [1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(clients),
+                &clients,
+                |b, &clients| b.iter(|| saturate(transport, clients)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_serve_saturation);
+criterion_main!(benches);

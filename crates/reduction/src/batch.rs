@@ -197,6 +197,18 @@ pub(crate) enum ItemOutcome {
 /// that mints a per-request ticket, runs under the single-flight gate and
 /// charges its cumulative meters; the one-shot wrappers pass a plain
 /// raced solve).
+/// The number of worker threads a fan-out phase should actually spawn:
+/// never more than `jobs` (clamped to at least 1 so a zero config cannot
+/// wedge a pool), never more than the `distinct` work items available,
+/// and **zero** when there is no work at all. With `--jobs` defaulting to
+/// the machine's core count, `jobs` routinely dwarfs the distinct-key
+/// count of a small batch; spawning the surplus threads is pure overhead
+/// (and an idle thread on an empty phase is worse — a spawn with nothing
+/// to pull).
+pub(crate) fn solver_pool_width(jobs: usize, distinct: usize) -> usize {
+    jobs.max(1).min(distinct)
+}
+
 pub(crate) fn solve_batch_core(
     items: &[Presentation],
     jobs: usize,
@@ -208,22 +220,26 @@ pub(crate) fn solve_batch_core(
     // pure, per-item work, spread over the same number of workers as the
     // solving phase (contiguous chunks, so the result order is the input
     // order with no locking).
-    let workers = jobs.clamp(1, items.len().max(1));
+    let workers = solver_pool_width(jobs, items.len());
     let key_of = |p: &Presentation| -> Result<CanonKey> { Engine::canonical_key(p) };
-    let chunk_len = items.len().div_ceil(workers).max(1);
-    let keys: Vec<CanonKey> = std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| s.spawn(move || chunk.iter().map(key_of).collect::<Result<Vec<_>>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("canonicalization worker panicked"))
-            .collect::<Result<Vec<Vec<_>>>>()
-    })?
-    .into_iter()
-    .flatten()
-    .collect();
+    let keys: Vec<CanonKey> = if workers == 0 {
+        Vec::new()
+    } else {
+        let chunk_len = items.len().div_ceil(workers).max(1);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .map(|chunk| s.spawn(move || chunk.iter().map(key_of).collect::<Result<Vec<_>>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("canonicalization worker panicked"))
+                .collect::<Result<Vec<Vec<_>>>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect()
+    };
 
     // Phase 2: dedup to first occurrences, capturing pre-warmed verdicts
     // *now* — on a shared bounded cache a concurrent writer could evict
@@ -257,7 +273,9 @@ pub(crate) fn solve_batch_core(
     // work instead of solving instances whose results would be discarded.
     let failed = Cancellation::new();
     let cursor = AtomicUsize::new(0);
-    let solve_workers = jobs.clamp(1, to_solve.len().max(1));
+    // Never more solver threads than distinct uncached keys (and none at
+    // all for a fully prewarmed batch).
+    let solve_workers = solver_pool_width(jobs, to_solve.len());
     std::thread::scope(|s| {
         for _ in 0..solve_workers {
             s.spawn(|| loop {
@@ -469,5 +487,45 @@ mod tests {
         let cache = DecisionCache::default();
         let run = solve_batch(&items, &Budgets::default(), 64, &cache).unwrap();
         assert_eq!(run.stats.solved, 2);
+    }
+
+    /// The clamp itself: the pool width never exceeds the distinct work
+    /// count, never exceeds `jobs`, survives a zero-jobs config, and is
+    /// zero — no idle thread — when there is nothing to solve.
+    #[test]
+    fn solver_pool_width_never_overshoots_distinct_keys() {
+        assert_eq!(solver_pool_width(64, 2), 2, "jobs ≫ unique keys");
+        assert_eq!(solver_pool_width(4, 4), 4);
+        assert_eq!(solver_pool_width(2, 7), 2);
+        assert_eq!(solver_pool_width(0, 7), 1, "zero jobs still makes progress");
+        assert_eq!(solver_pool_width(64, 0), 0, "no work, no pool");
+        assert_eq!(solver_pool_width(0, 0), 0);
+    }
+
+    /// Regression for jobs ≫ unique keys end to end: a wide pool over a
+    /// batch with two distinct keys (and over a fully prewarmed batch,
+    /// where the solver pool must be empty) stays correct and keeps the
+    /// dedup accounting intact.
+    #[test]
+    fn wide_pool_over_few_distinct_keys_is_exact() {
+        let items = vec![
+            derivable(),
+            refutable(),
+            derivable_renamed(),
+            derivable(),
+            refutable(),
+        ];
+        let cache = DecisionCache::default();
+        let run = solve_batch(&items, &Budgets::default(), 1024, &cache).unwrap();
+        assert_eq!(run.stats.unique, 2);
+        assert_eq!(run.stats.solved, 2, "one solve per distinct key");
+        assert_eq!(run.stats.cache_hits, 3);
+
+        // Second pass: everything prewarmed, the solver pool spawns no
+        // threads at all, and the verdicts replay exactly.
+        let warm = solve_batch(&items, &Budgets::default(), 1024, &cache).unwrap();
+        assert_eq!(warm.stats.solved, 0);
+        assert_eq!(warm.stats.cache_hits, 5);
+        assert_eq!(warm.verdicts, run.verdicts);
     }
 }

@@ -433,6 +433,12 @@ impl Engine {
         self.opts
     }
 
+    /// The effective worker-pool width batch and serve fan-out runs at
+    /// (clamped to at least 1 at construction).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
     /// The shared decision cache (read access for diagnostics; writes go
     /// through the solving paths).
     pub fn cache(&self) -> &DecisionCache {
@@ -1002,6 +1008,7 @@ impl Engine {
         // inside the chase loop.
         let mut engine = ChaseEngine::resume(&tds, chase.state, ChasePolicy::Restricted, budget)?
             .with_strategy(self.opts.strategy)
+            .with_parallelism(self.opts.parallelism)
             .with_cancellation(ticket.cancellation());
         let outcome = engine.run(Some(&chase.goal));
         let verdict = match outcome {
@@ -1056,11 +1063,12 @@ impl Engine {
         self.counters.requests.add(1);
         let mut verdicts = Vec::with_capacity(tds.len());
         for i in 0..tds.len() {
-            verdicts.push(inference::redundant_with(
+            verdicts.push(inference::redundant_with_opts(
                 tds,
                 i,
                 self.policy.base().chase,
                 self.opts.strategy,
+                self.opts.parallelism,
             )?);
         }
         Ok(verdicts)

@@ -68,8 +68,9 @@ pub mod prelude {
     pub use crate::part_a::{prove_part_a, prove_part_a_with, prove_unguided};
     pub use crate::part_b::{build_counter_model, CounterModel, RowLabel};
     pub use crate::pipeline::{
-        solve, solve_with, solve_with_opts, solve_with_opts_on, Budgets, PhaseTimings,
-        PipelineOutcome, SolveMode, SolveOptions, SpendReport,
+        portfolio_winner, run_portfolio, solve, solve_with, solve_with_opts, solve_with_opts_on,
+        Budgets, DerivationRacer, LaneFound, LaneRun, LaneSpend, ModelRacer, PhaseTimings,
+        PipelineOutcome, Racer, SolveMode, SolveOptions, SpendReport,
     };
     pub use crate::snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
     pub use crate::verify::{verify_counter_model, verify_counter_model_with, PartBReport};

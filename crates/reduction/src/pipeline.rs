@@ -35,7 +35,7 @@
 
 use std::time::{Duration, Instant};
 
-use td_core::budget::Cancellation;
+use td_core::budget::{Cancellation, Parallelism};
 use td_core::chase::ChaseBudget;
 use td_core::homomorphism::MatchStrategy;
 use td_semigroup::cayley::{FiniteSemigroup, Interpretation};
@@ -78,6 +78,11 @@ pub struct SolveOptions {
     /// (certificate verification); `Naive` is the differential oracle
     /// surfaced on the CLI as `--strategy naive`.
     pub strategy: MatchStrategy,
+    /// Worker-team width for chase delta-trigger discovery (session
+    /// re-chases, redundancy checks — every unguided chase the engine
+    /// runs). Off by default; may never change a verdict, a proof, or a
+    /// golden byte (the differential suites pin the equality).
+    pub parallelism: Parallelism,
 }
 
 /// How [`solve_with`] schedules the two certificate searches.
@@ -146,6 +151,41 @@ pub struct SpendReport {
     /// (lost the race, or was skipped after a sequential win):
     /// `model_nodes` is then only a lower bound.
     pub model_truncated: bool,
+}
+
+/// One lane's worth of a [`SpendReport`] — the per-lane view the
+/// portfolio runner produces and diagnostics consume. `units` are
+/// lane-relative (derivation states for the derivation lane, search nodes
+/// for the model lane); `truncated` carries the same exact-vs-lower-bound
+/// contract as the flat report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneSpend {
+    /// The lane's stable label (see [`Racer::label`]).
+    pub lane: &'static str,
+    /// Work units the lane spent (exact unless `truncated`).
+    pub units: u64,
+    /// `true` when the lane did not run to its natural end, so `units`
+    /// is only a lower bound.
+    pub truncated: bool,
+}
+
+impl SpendReport {
+    /// The per-lane view of this report, in portfolio lane order
+    /// (derivation first — the tie-break order of the runner).
+    pub fn lanes(&self) -> [LaneSpend; 2] {
+        [
+            LaneSpend {
+                lane: "derivation",
+                units: self.derivation_states as u64,
+                truncated: self.derivation_truncated,
+            },
+            LaneSpend {
+                lane: "model",
+                units: self.model_nodes,
+                truncated: self.model_truncated,
+            },
+        ]
+    }
 }
 
 /// The pipeline's verdict.
@@ -282,19 +322,172 @@ fn search_sequential(
     })
 }
 
-/// Races the two certificate searches on scoped threads. The first side to
-/// find its certificate flips the shared flag; the other side backs out at
-/// its next cancellation poll. The two certificates are mutually exclusive
-/// (a derivation rules out every countermodel), so the winner is
-/// well-defined; if both sides exhaust, neither is cancelled and the spent
-/// budgets are exactly the sequential ones. The winner's spend is exact;
-/// the loser's is labelled truncated in the [`SpendReport`] — its precise
-/// value depends on when the cancellation poll fired and must be read as a
-/// lower bound.
+/// A certificate the portfolio can win with. The variants mirror the two
+/// certificate kinds of the reduction; new racer implementations must
+/// produce one of these (a third lane — say a rule-based prover — would
+/// return [`LaneFound::Derivation`]).
+#[derive(Debug)]
+pub enum LaneFound {
+    /// A word-problem derivation `A₀ ⇒* 0` (the *implied* certificate).
+    Derivation(Derivation),
+    /// A finite cancellation countermodel (the *refuted* certificate).
+    Model(FiniteSemigroup, Interpretation),
+}
+
+/// What one portfolio lane brought back: its certificate (if it won its
+/// own search), the work units it spent, and its wall-clock time.
+#[derive(Debug)]
+pub struct LaneRun {
+    /// The certificate, if this lane found one before backing out.
+    pub found: Option<LaneFound>,
+    /// Lane-relative work units (derivation states, model-search nodes).
+    /// Exact when the lane ran to its natural end, a lower bound when it
+    /// was cancelled mid-search.
+    pub units: u64,
+    /// Wall-clock time the lane ran for, including any cancelled prefix.
+    pub elapsed: Duration,
+}
+
+/// One lane of the solver portfolio: a budgeted certificate search that
+/// polls the shared [`Cancellation`] token and backs out when another
+/// lane has already won. Each racer owns its budget rung, which is the
+/// hook for budget-laddered portfolios (several rungs of the same search
+/// at increasing budgets racing one another).
+///
+/// Implementations must be `Sync`: the portfolio runner shares each racer
+/// across the scoped team by reference.
+pub trait Racer: Sync {
+    /// Stable diagnostic label (also the `lane` field of [`LaneSpend`]).
+    fn label(&self) -> &'static str;
+
+    /// Runs the lane's search over `np`, observing `cancel`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; a failed lane fails the whole portfolio
+    /// run (searches report *not found* via [`LaneRun::found`], never
+    /// through an error).
+    fn run(&self, np: &Presentation, cancel: &Cancellation) -> Result<LaneRun>;
+}
+
+/// The derivation lane: BFS for `A₀ ⇒* 0` under its budget rung.
+#[derive(Debug, Clone, Copy)]
+pub struct DerivationRacer {
+    /// This lane's budget rung.
+    pub budget: SearchBudget,
+}
+
+impl Racer for DerivationRacer {
+    fn label(&self) -> &'static str {
+        "derivation"
+    }
+
+    fn run(&self, np: &Presentation, cancel: &Cancellation) -> Result<LaneRun> {
+        let t = Instant::now();
+        let r = search_goal_derivation_tracked(np, &self.budget, cancel);
+        let found = match r.result {
+            SearchResult::Found(derivation) => Some(LaneFound::Derivation(derivation)),
+            SearchResult::ExhaustedWithinBound { .. } | SearchResult::BudgetExhausted { .. } => {
+                None
+            }
+        };
+        Ok(LaneRun {
+            found,
+            units: r.states as u64,
+            elapsed: t.elapsed(),
+        })
+    }
+}
+
+/// The model lane: analytic families first, then the cancellable
+/// backtracking search, under its budget rung.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelRacer {
+    /// This lane's budget rung.
+    pub opts: ModelSearchOptions,
+}
+
+impl Racer for ModelRacer {
+    fn label(&self) -> &'static str {
+        "model"
+    }
+
+    fn run(&self, np: &Presentation, cancel: &Cancellation) -> Result<LaneRun> {
+        let t = Instant::now();
+        let side = model_side(np, &self.opts, cancel)?;
+        Ok(LaneRun {
+            found: side.found.map(|(g, interp)| LaneFound::Model(g, interp)),
+            units: side.nodes,
+            elapsed: t.elapsed(),
+        })
+    }
+}
+
+/// Runs an N-lane solver portfolio: every lane on its own scoped thread,
+/// all sharing `cancel`. A lane that finds a certificate flips the token;
+/// the others back out at their next poll. Returns one [`LaneRun`] per
+/// lane, in lane order.
+///
+/// Winner selection is deterministic regardless of which thread finished
+/// first on the wall clock: take the **lowest-indexed** lane with a
+/// certificate (see [`portfolio_winner`]). Certificates of opposite kinds
+/// are mutually exclusive mathematically, so a cross-kind double win is
+/// impossible; same-kind double wins (budget-laddered rungs of one
+/// search) resolve to the earliest rung. `cancel` may also be flipped by
+/// an external holder (engine shutdown), in which case every lane backs
+/// out and no lane wins.
+///
+/// # Errors
+///
+/// Fails if any lane fails (see [`Racer::run`]); lane errors take
+/// precedence over certificates found by other lanes.
+pub fn run_portfolio(
+    np: &Presentation,
+    lanes: &[&dyn Racer],
+    cancel: &Cancellation,
+) -> Result<Vec<LaneRun>> {
+    let results: Vec<Result<LaneRun>> = std::thread::scope(|s| {
+        let handles: Vec<_> = lanes
+            .iter()
+            .map(|lane| {
+                s.spawn(move || {
+                    let run = lane.run(np, cancel);
+                    if matches!(run, Ok(LaneRun { found: Some(_), .. })) {
+                        cancel.cancel();
+                    }
+                    run
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("portfolio lane panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Deterministic winner selection for a portfolio: the lowest-indexed
+/// lane holding a certificate. Takes the certificate out of its
+/// [`LaneRun`] (the spend fields stay behind).
+pub fn portfolio_winner(runs: &mut [LaneRun]) -> Option<(usize, LaneFound)> {
+    runs.iter_mut()
+        .enumerate()
+        .find_map(|(i, r)| r.found.take().map(|f| (i, f)))
+}
+
+/// Races the two certificate searches as a two-lane portfolio (the
+/// derivation lane first, so the deterministic winner selection prefers
+/// it on the mathematically impossible double win, matching the
+/// sequential order). The winner's spend is exact; the loser's is
+/// labelled truncated in the [`SpendReport`] — its precise value depends
+/// on when the cancellation poll fired and must be read as a lower bound.
+/// If both lanes exhaust, neither is cancelled and the spent budgets are
+/// exactly the sequential ones.
 ///
 /// `cancel` is the shared race token. Normally it starts fresh and is
-/// flipped by the winning side; an *external* holder (the engine's
-/// shutdown path) may also flip it, in which case both sides back out at
+/// flipped by the winning lane; an *external* holder (the engine's
+/// shutdown path) may also flip it, in which case both lanes back out at
 /// their next poll and the run comes back `Unknown`.
 fn search_racing(
     np: &Presentation,
@@ -303,53 +496,30 @@ fn search_racing(
     spend: &mut SpendReport,
     cancel: &Cancellation,
 ) -> Result<SideResult> {
-    let (deriv, model) = std::thread::scope(|s| {
-        let deriv_handle = s.spawn(|| {
-            let t = Instant::now();
-            let r = search_goal_derivation_tracked(np, &budgets.derivation, cancel);
-            if matches!(r.result, SearchResult::Found(_)) {
-                cancel.cancel();
-            }
-            (r, t.elapsed())
-        });
-        let model_handle = s.spawn(|| {
-            let t = Instant::now();
-            let r = model_side(np, &budgets.model, cancel);
-            if matches!(r, Ok(ModelSide { found: Some(_), .. })) {
-                cancel.cancel();
-            }
-            (r, t.elapsed())
-        });
-        (
-            deriv_handle.join().expect("derivation side panicked"),
-            model_handle.join().expect("model side panicked"),
-        )
-    });
-    let (deriv_result, deriv_time) = deriv;
-    let (model_result, model_time) = model;
-    timings.derivation = deriv_time;
-    timings.model = model_time;
-    let side = model_result?;
-    spend.derivation_states = deriv_result.states;
-    spend.model_nodes = side.nodes;
-    // Prefer the derivation side on the (mathematically impossible) double
-    // win, matching the sequential order.
-    Ok(match (deriv_result.result, side.found) {
-        (SearchResult::Found(derivation), _) => {
+    let derivation = DerivationRacer {
+        budget: budgets.derivation,
+    };
+    let model = ModelRacer {
+        opts: budgets.model,
+    };
+    let mut runs = run_portfolio(np, &[&derivation, &model], cancel)?;
+    let winner = portfolio_winner(&mut runs);
+    timings.derivation = runs[0].elapsed;
+    timings.model = runs[1].elapsed;
+    spend.derivation_states = usize::try_from(runs[0].units).unwrap_or(usize::MAX);
+    spend.model_nodes = runs[1].units;
+    Ok(match winner {
+        Some((_, LaneFound::Derivation(derivation))) => {
             spend.model_truncated = true;
             SideResult::Derivation(derivation)
         }
-        (_, Some((g, interp))) => {
+        Some((_, LaneFound::Model(g, interp))) => {
             spend.derivation_truncated = true;
             SideResult::Model(g, interp)
         }
-        (
-            SearchResult::ExhaustedWithinBound { states }
-            | SearchResult::BudgetExhausted { states },
-            None,
-        ) => SideResult::Neither {
-            derivation_states: states,
-            model_nodes: side.nodes,
+        None => SideResult::Neither {
+            derivation_states: spend.derivation_states,
+            model_nodes: spend.model_nodes,
         },
     })
 }
@@ -625,6 +795,115 @@ mod tests {
             assert!(!run.spend.derivation_truncated);
             assert!(!run.spend.model_truncated);
         }
+    }
+
+    /// Portfolio determinism regression: replaying the same race must
+    /// yield the same winner and the same spend, run after run — winner
+    /// selection is by lane index, never by wall-clock finish order.
+    #[test]
+    fn portfolio_replays_deterministically() {
+        for p in [derivable(), refutable()] {
+            let reference = solve(&p, &Budgets::default()).unwrap();
+            for _ in 0..5 {
+                let replay = solve(&p, &Budgets::default()).unwrap();
+                assert_eq!(
+                    std::mem::discriminant(&replay.outcome),
+                    std::mem::discriminant(&reference.outcome),
+                    "winner changed on replay"
+                );
+                // The winning lane's spend is exact, hence identical on
+                // every replay; compare through the per-lane view.
+                let (reference_lanes, replay_lanes) =
+                    (reference.spend.lanes(), replay.spend.lanes());
+                for (a, b) in reference_lanes.iter().zip(replay_lanes.iter()) {
+                    assert_eq!(a.lane, b.lane);
+                    assert_eq!(a.truncated, b.truncated, "lane {} label flapped", a.lane);
+                    if !a.truncated {
+                        assert_eq!(a.units, b.units, "exact lane {} spend flapped", a.lane);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The N-way hook: a budget-laddered portfolio with two derivation
+    /// rungs (starved and full) plus the model lane. The starved rung
+    /// cannot find the certificate, the full rung can — and the
+    /// deterministic winner is the lowest-indexed lane that found one,
+    /// independent of scheduling.
+    #[test]
+    fn laddered_three_lane_portfolio_picks_lowest_winning_lane() {
+        let p = derivable();
+        let saturated = p.zero_saturated();
+        let normalized = normalize(&saturated).unwrap();
+        let np = &normalized.presentation;
+
+        let starved = DerivationRacer {
+            budget: td_semigroup::derivation::SearchBudget {
+                max_word_len: 1,
+                max_states: 1,
+            },
+        };
+        let full = DerivationRacer {
+            budget: SearchBudget::default(),
+        };
+        let model = ModelRacer {
+            opts: ModelSearchOptions::default(),
+        };
+        for _ in 0..5 {
+            let cancel = Cancellation::new();
+            let mut runs = run_portfolio(np, &[&starved, &full, &model], &cancel).unwrap();
+            assert_eq!(runs.len(), 3);
+            let (winner_lane, found) = portfolio_winner(&mut runs).expect("the full rung must win");
+            assert_eq!(winner_lane, 1, "the starved rung cannot have won");
+            assert!(matches!(found, LaneFound::Derivation(_)));
+            assert!(cancel.is_cancelled(), "the winner flips the shared token");
+        }
+    }
+
+    /// The per-lane spend view mirrors the flat report field for field
+    /// and keeps the runner's lane order.
+    #[test]
+    fn lane_spend_view_matches_flat_report() {
+        let run = solve(&derivable(), &Budgets::default()).unwrap();
+        let [derivation, model] = run.spend.lanes();
+        assert_eq!(derivation.lane, "derivation");
+        assert_eq!(derivation.units, run.spend.derivation_states as u64);
+        assert_eq!(derivation.truncated, run.spend.derivation_truncated);
+        assert_eq!(model.lane, "model");
+        assert_eq!(model.units, run.spend.model_nodes);
+        assert_eq!(model.truncated, run.spend.model_truncated);
+        // Labels agree with the racers that produced the lanes.
+        assert_eq!(
+            DerivationRacer {
+                budget: SearchBudget::default()
+            }
+            .label(),
+            derivation.lane
+        );
+        assert_eq!(
+            ModelRacer {
+                opts: ModelSearchOptions::default()
+            }
+            .label(),
+            model.lane
+        );
+    }
+
+    /// An externally pre-cancelled token makes every lane back out:
+    /// no winner, and the solve honestly reports `Unknown`.
+    #[test]
+    fn pre_cancelled_portfolio_has_no_winner() {
+        let p = derivable();
+        let cancel = Cancellation::new();
+        cancel.cancel();
+        let run =
+            solve_with_opts_on(&p, &Budgets::default(), SolveOptions::default(), &cancel).unwrap();
+        assert!(
+            matches!(run.outcome, PipelineOutcome::Unknown { .. }),
+            "{:?}",
+            run.outcome
+        );
     }
 
     #[test]

@@ -21,12 +21,12 @@ const USAGE: &str = "\
 tdq — template-dependency query tool
 
 USAGE:
-    tdq deps [--timings] [--strategy S] [--format F] FILE
+    tdq deps [--timings] [--strategy S] [--format F] [--parallel N] FILE
                                     analyse a dependency file (schema/td/eid/row lines)
-    tdq wp [--timings] [--strategy S] [--format F] FILE
+    tdq wp [--timings] [--strategy S] [--format F] [--parallel N] FILE
                                     solve a word-problem instance (alphabet/eq lines)
-    tdq batch [--jobs N] [--cache-stats] [--strategy S] [--cache-cap N]
-              [--cache-load PATH] [--cache-save PATH] FILE
+    tdq batch [--jobs N] [--parallel N] [--cache-stats] [--strategy S]
+              [--cache-cap N] [--cache-load PATH] [--cache-save PATH] FILE
                                     decide a JSONL corpus of word-problem instances,
                                     deduplicated by canonical key (one JSON line out
                                     per line in, input order preserved)
@@ -54,10 +54,14 @@ OPTIONS:
                     using the same schema as `tdq serve` (verdict, spend,
                     timings); validation errors also emit the JSON error
                     envelope. For `wp` and `deps` only
-    --jobs N        worker threads for batch/serve (default: available
-                    parallelism)
+    --jobs N        worker threads for the batch solver pool and the serve
+                    connection pool (default: available parallelism)
+    --parallel N    intra-solve worker threads for the chase's semi-naive
+                    trigger discovery (default 1 = sequential; N <= 1
+                    disables). Verdicts, proofs and output bytes are
+                    identical at every width — this is a speed knob only
     --cache-stats   append a JSON stats line ({\"total\",\"unique\",\"cache_hits\",
-                    \"solved\"}) after the batch verdicts
+                    \"solved\",\"jobs\"}) after the batch verdicts
     --cache-cap N   decision-cache capacity per shard for batch/serve
                     (default 65536; 16 shards)
     --max-sessions N
@@ -115,16 +119,35 @@ fn parse_format(v: &str) -> Result<Format, String> {
     }
 }
 
+/// Parses a `--parallel` value: the chase-internal worker width. `N <= 1`
+/// means sequential discovery (the byte-identity oracle path).
+fn parse_parallel(v: &str) -> Result<Parallelism, String> {
+    let n: usize = v
+        .parse()
+        .map_err(|_| format!("--parallel: invalid worker count `{v}`"))?;
+    Ok(if n <= 1 {
+        Parallelism::Off
+    } else {
+        Parallelism::Threads(n)
+    })
+}
+
 /// One engine per `tdq` invocation: every solving subcommand routes
 /// through it, so the one-shot CLI and the persistent `serve` mode are
 /// the same code path.
-fn build_engine(strategy: MatchStrategy, jobs: Option<usize>, cache_cap: Option<usize>) -> Engine {
-    build_engine_with(strategy, jobs, cache_cap, None)
+fn build_engine(
+    strategy: MatchStrategy,
+    parallelism: Parallelism,
+    jobs: Option<usize>,
+    cache_cap: Option<usize>,
+) -> Engine {
+    build_engine_with(strategy, parallelism, jobs, cache_cap, None)
 }
 
 /// `build_engine` plus the serve-only session-registry bound.
 fn build_engine_with(
     strategy: MatchStrategy,
+    parallelism: Parallelism,
     jobs: Option<usize>,
     cache_cap: Option<usize>,
     max_sessions: Option<usize>,
@@ -132,6 +155,7 @@ fn build_engine_with(
     let mut config = EngineConfig {
         opts: SolveOptions {
             strategy,
+            parallelism,
             ..SolveOptions::default()
         },
         ..EngineConfig::default()
@@ -246,6 +270,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let parallel = match take_value_flag(&mut args, "--parallel")
+        .and_then(|v| v.as_deref().map(parse_parallel).transpose())
+    {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("tdq: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let (cmd, path) = match args.as_slice() {
         [cmd, path] => (cmd.as_str(), path.as_str()),
         [cmd] if cmd == "help" || cmd == "--help" || cmd == "-h" => {
@@ -269,8 +302,13 @@ fn main() -> ExitCode {
         eprintln!("tdq: --format is not supported for `{cmd}`\n{USAGE}");
         return ExitCode::from(2);
     }
+    if parallel.is_some() && !matches!(cmd, "deps" | "wp") {
+        eprintln!("tdq: --parallel is not supported for `{cmd}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
     let strategy = strategy.unwrap_or_default();
     let format = format.unwrap_or_default();
+    let parallel = parallel.unwrap_or_default();
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -279,8 +317,8 @@ fn main() -> ExitCode {
         }
     };
     let result = match cmd {
-        "deps" => cmd_deps(&text, timings, strategy, format),
-        "wp" => cmd_wp(&text, timings, strategy, format),
+        "deps" => cmd_deps(&text, timings, strategy, format, parallel),
+        "wp" => cmd_wp(&text, timings, strategy, format, parallel),
         "normalize" => cmd_normalize(&text),
         "reduce" => cmd_reduce(&text),
         other => {
@@ -313,8 +351,9 @@ fn cmd_deps(
     timings: bool,
     strategy: MatchStrategy,
     format: Format,
+    parallel: Parallelism,
 ) -> Result<(), String> {
-    let engine = build_engine(strategy, None, None);
+    let engine = build_engine(strategy, parallel, None, None);
     if format == Format::Json {
         use template_deps::jsonl::Json;
         let t_parse = std::time::Instant::now();
@@ -403,8 +442,9 @@ fn cmd_wp(
     timings: bool,
     strategy: MatchStrategy,
     format: Format,
+    parallel: Parallelism,
 ) -> Result<(), String> {
-    let engine = build_engine(strategy, None, None);
+    let engine = build_engine(strategy, parallel, None, None);
     if format == Format::Json {
         use template_deps::jsonl::Json;
         let p = td_semigroup::parser::parse(text).map_err(|e| json_error(&e.to_string()))?;
@@ -500,6 +540,7 @@ fn parse_batch_line(line: &str, line_no: usize) -> Result<(String, Presentation)
 
 fn cmd_batch(args: &[String]) -> Result<(), String> {
     let mut jobs: Option<usize> = None;
+    let mut parallel = Parallelism::default();
     let mut cache_cap: Option<usize> = None;
     let mut cache_stats = false;
     let mut strategy = MatchStrategy::default();
@@ -515,6 +556,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     v.parse()
                         .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?,
                 );
+            }
+            "--parallel" => {
+                let v = it.next().ok_or("--parallel needs a number")?;
+                parallel = parse_parallel(v)?;
             }
             "--cache-cap" => {
                 let v = it.next().ok_or("--cache-cap needs a number")?;
@@ -578,7 +623,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         ));
     }
 
-    let engine = build_engine(strategy, jobs, cache_cap);
+    let engine = build_engine(strategy, parallel, jobs, cache_cap);
     if let Some(p) = &load_path {
         cache_load(&engine, p)?;
     }
@@ -590,13 +635,18 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         println!("{}", serve::batch_line(id, verdict));
     }
     if cache_stats {
-        // The 4-field shape of this line is pinned by the batch golden;
-        // the full accounting (evictions, spend) lives on the serve/json
-        // surfaces.
+        // The 5-field shape of this line is pinned by the batch golden
+        // (`jobs` is the effective solver-pool width, so operators can
+        // confirm what a run actually fanned out to); the full accounting
+        // (evictions, spend) lives on the serve/json surfaces.
         let s = run.stats;
         println!(
-            "{{\"total\":{},\"unique\":{},\"cache_hits\":{},\"solved\":{}}}",
-            s.total, s.unique, s.cache_hits, s.solved
+            "{{\"total\":{},\"unique\":{},\"cache_hits\":{},\"solved\":{},\"jobs\":{}}}",
+            s.total,
+            s.unique,
+            s.cache_hits,
+            s.solved,
+            engine.jobs()
         );
     }
     Ok(())
@@ -604,6 +654,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut jobs: Option<usize> = None;
+    let mut parallel = Parallelism::default();
     let mut cache_cap: Option<usize> = None;
     let mut max_sessions: Option<usize> = None;
     let mut strategy = MatchStrategy::default();
@@ -655,6 +706,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                         .map_err(|_| format!("--jobs: invalid worker count `{v}`"))?,
                 );
             }
+            "--parallel" => {
+                let v = it.next().ok_or("--parallel needs a number")?;
+                parallel = parse_parallel(v)?;
+            }
             "--cache-cap" => {
                 let v = it.next().ok_or("--cache-cap needs a number")?;
                 cache_cap = Some(
@@ -679,7 +734,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if flush_every.is_some() && save_path.is_none() {
         return Err("--cache-flush-every needs --cache-save PATH".to_owned());
     }
-    let engine = build_engine_with(strategy, jobs, cache_cap, max_sessions);
+    let engine = build_engine_with(strategy, parallel, jobs, cache_cap, max_sessions);
     if let Some(p) = &load_path {
         cache_load(&engine, p)?;
     }

@@ -30,11 +30,21 @@
 //! * [`serve_stdio`] — a single client on stdin/stdout, processed
 //!   strictly in order (which makes scripted sessions byte-deterministic;
 //!   the golden transcript test and the `serve-smoke` CI job pin one);
-//! * [`serve_listen`] — a TCP listener, one scoped thread per connection,
-//!   all connections sharing the engine. A `shutdown` request from any
-//!   client stops the listener, cancels in-flight searches through the
-//!   engine's ticket registry, unblocks every connection, and joins all
-//!   threads before returning — a cancellation-clean exit.
+//! * [`serve_listen`] — a TCP listener multiplexed over a **fixed worker
+//!   pool** (default width: the engine's `--jobs` setting), all
+//!   connections sharing the engine. The accept thread runs a nonblocking
+//!   readiness loop that splits sockets into request lines; pool workers
+//!   claim a connection with queued lines and answer them strictly in
+//!   arrival order (a per-connection single-flight latch), so every
+//!   client still observes PROTOCOL.md's per-connection reply ordering
+//!   while the pool bounds thread count under thousands of idle
+//!   connections. A `shutdown` request from any client stops the
+//!   listener, cancels in-flight searches through the engine's ticket
+//!   registry, unblocks every connection, and joins the pool before
+//!   returning — a cancellation-clean exit. The previous
+//!   thread-per-connection transport survives as
+//!   [`serve_listen_threaded`], the comparison baseline for the
+//!   `serve_saturation` benchmark.
 
 // Request handling must degrade to error envelopes, never a panic: a
 // panicking handler kills its client thread mid-session. The td-lint
@@ -42,10 +52,12 @@
 // `cargo clippy` aligned with it.
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use td_core::inference::InferenceVerdict;
 use td_semigroup::alphabet::Alphabet;
@@ -365,12 +377,14 @@ pub fn batch_reply(id: &Json, ids: &[String], run: &BatchRun) -> String {
 /// A `stats` reply: the engine's cumulative accounting. Spend totals are
 /// opt-in (`"spend":true`) for the same determinism reason as in
 /// [`wp_reply`]; session-registry counters are opt-in (`"sessions":true`)
-/// so the pre-session reply shape stays byte-stable.
+/// and the effective worker-pool width is opt-in (`"jobs":true`) so the
+/// pre-existing reply shape stays byte-stable.
 pub fn stats_reply(
     id: &Json,
     stats: &EngineStats,
     spend: bool,
     sessions: Option<&SessionStats>,
+    jobs: Option<usize>,
 ) -> String {
     let mut fields = vec![
         ("id".to_owned(), id.clone()),
@@ -393,6 +407,9 @@ pub fn stats_reply(
         fields.push(("sessions_open".to_owned(), Json::from(s.open)));
         fields.push(("sessions_opened".to_owned(), Json::from(s.opened)));
         fields.push(("session_evictions".to_owned(), Json::from(s.evictions)));
+    }
+    if let Some(n) = jobs {
+        fields.push(("jobs".to_owned(), Json::from(n)));
     }
     Json::Obj(fields).render()
 }
@@ -530,7 +547,18 @@ pub fn handle_line(engine: &Engine, line: &str) -> ServeReply {
                 .and_then(Json::as_bool)
                 .unwrap_or(false)
                 .then(|| engine.session_stats());
-            reply(stats_reply(&id, &engine.stats(), spend, sessions.as_ref()))
+            let jobs = j
+                .get("jobs")
+                .and_then(Json::as_bool)
+                .unwrap_or(false)
+                .then(|| engine.jobs());
+            reply(stats_reply(
+                &id,
+                &engine.stats(),
+                spend,
+                sessions.as_ref(),
+                jobs,
+            ))
         }
         "session_open" | "session_close" => {
             let Some(sid) = j.get("session").and_then(Json::as_str) else {
@@ -736,14 +764,15 @@ pub fn serve_stdio(
     Ok(())
 }
 
-/// Serves concurrent NDJSON clients on a TCP listener, one scoped thread
-/// per connection, all sharing `engine` (and therefore its decision
-/// cache: a verdict solved for one client is a cache hit for every
-/// other). Runs until a client sends `shutdown` (or the engine is shut
-/// down externally): the listener stops accepting, in-flight searches are
-/// cancelled through the engine's ticket registry, every open connection
-/// is unblocked and drained, and all threads are joined before this
-/// returns.
+/// Serves concurrent NDJSON clients on a TCP listener through a fixed
+/// worker pool sized by the engine's `--jobs` setting, all sharing
+/// `engine` (and therefore its decision cache: a verdict solved for one
+/// client is a cache hit for every other). Runs until a client sends
+/// `shutdown` (or the engine is shut down externally): the listener stops
+/// accepting, in-flight searches are cancelled through the engine's
+/// ticket registry, every open connection is unblocked and drained, and
+/// the pool is joined before this returns. Equivalent to
+/// [`serve_listen_pooled`] with `engine.jobs()` workers.
 ///
 /// # Errors
 ///
@@ -751,6 +780,20 @@ pub fn serve_stdio(
 /// listener fails. Per-connection I/O errors tear down that connection
 /// only.
 pub fn serve_listen(engine: &Engine, listener: TcpListener) -> std::io::Result<()> {
+    serve_listen_pooled(engine, listener, engine.jobs())
+}
+
+/// The previous `serve_listen` transport: one scoped thread per
+/// connection, blocking reads, no pool. Kept as the comparison baseline
+/// for the `serve_saturation` benchmark and as a behavioral oracle for
+/// the pooled loop — both must satisfy the same PROTOCOL.md contract.
+///
+/// # Errors
+///
+/// Fails with the underlying I/O error when configuring or polling the
+/// listener fails. Per-connection I/O errors tear down that connection
+/// only.
+pub fn serve_listen_threaded(engine: &Engine, listener: TcpListener) -> std::io::Result<()> {
     // Non-blocking accept so the loop can observe shutdown promptly; the
     // accepted sockets are switched back to blocking mode.
     listener.set_nonblocking(true)?;
@@ -842,6 +885,306 @@ fn serve_connection(engine: &Engine, stream: &TcpStream) {
             break;
         }
     }
+}
+
+/// Per-connection input state shared between the poll loop and the worker
+/// pool. The poller appends complete request lines under the lock; the
+/// worker that owns the connection drains them. `busy` is the
+/// single-flight latch that keeps each connection's replies strictly in
+/// request order (PROTOCOL.md's per-connection ordering guarantee) even
+/// though the pool has many workers.
+#[derive(Debug, Default)]
+struct ConnState {
+    /// Bytes received after the last newline — a request line in flight.
+    partial: Vec<u8>,
+    /// Complete request lines not yet handled, in arrival order.
+    pending: VecDeque<String>,
+    /// Whether a pool worker currently owns this connection.
+    busy: bool,
+    /// Whether the socket reached EOF, failed, or served a `shutdown`.
+    closed: bool,
+}
+
+/// One pooled connection: the nonblocking socket plus its input state.
+/// The poller holds one `Arc` per live connection; a worker holds a
+/// second while it owns the connection. Dropping the last `Arc` closes
+/// the socket.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    state: Mutex<ConnState>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            state: Mutex::new(ConnState::default()),
+        }
+    }
+
+    /// Locks the state, recovering from poisoning: every critical section
+    /// mutates the state one complete push/pop at a time, so the state is
+    /// coherent even if a worker panicked mid-request, and the poll loop
+    /// must keep serving the other connections regardless.
+    fn lock_state(&self) -> MutexGuard<'_, ConnState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drains every currently-readable byte into complete request lines.
+    /// Returns `true` when any byte (or EOF) was observed, so the poll
+    /// loop only sleeps on a fully idle tick.
+    fn poll_read(&self) -> bool {
+        let mut progressed = false;
+        let mut buf = [0u8; 4096];
+        loop {
+            match (&self.stream).read(&mut buf) {
+                Ok(0) => {
+                    let mut st = self.lock_state();
+                    // EOF after an unterminated final line: `BufRead::lines`
+                    // yields it, so the pool does too.
+                    if !st.partial.is_empty() {
+                        let line = std::mem::take(&mut st.partial);
+                        st.pending
+                            .push_back(String::from_utf8_lossy(&line).into_owned());
+                    }
+                    st.closed = true;
+                    return true;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    let mut st = self.lock_state();
+                    // td-lint: allow(panic-path) `read` returns n <= buf.len()
+                    // (the Read contract), so the slice is in bounds
+                    for &b in &buf[..n] {
+                        if b == b'\n' {
+                            let mut line = std::mem::take(&mut st.partial);
+                            // `BufRead::lines` strips one trailing CR.
+                            if line.last() == Some(&b'\r') {
+                                line.pop();
+                            }
+                            st.pending
+                                .push_back(String::from_utf8_lossy(&line).into_owned());
+                        } else {
+                            st.partial.push(b);
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return progressed,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.lock_state().closed = true;
+                    return true;
+                }
+            }
+        }
+    }
+}
+
+/// Writes one reply line to a nonblocking socket, sleeping briefly on
+/// `WouldBlock` so a slow reader stalls only the worker that owns its
+/// connection, never the poll loop or the rest of the pool.
+fn write_line_nonblocking(stream: &TcpStream, text: &str) -> std::io::Result<()> {
+    let mut line = Vec::with_capacity(text.len() + 1);
+    line.extend_from_slice(text.as_bytes());
+    line.push(b'\n');
+    let mut written = 0;
+    let mut writer = stream;
+    while written < line.len() {
+        // td-lint: allow(panic-path) the loop guard `written < line.len()`
+        // keeps the range start in bounds
+        match writer.write(&line[written..]) {
+            Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Answers one connection's queued request lines in arrival order, then
+/// releases the single-flight latch. The state lock is never held across
+/// `handle_line` or a socket write — the poll loop keeps buffering input
+/// for every connection (including this one) while a request is solving.
+fn drain_connection(engine: &Engine, conn: &Conn) {
+    loop {
+        let line = {
+            let mut st = conn.lock_state();
+            match st.pending.pop_front() {
+                Some(line) => line,
+                None => {
+                    st.busy = false;
+                    return;
+                }
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = handle_line(engine, &line);
+        let failed = write_line_nonblocking(&conn.stream, &reply.text).is_err();
+        if failed || reply.shutdown || engine.is_shut_down() {
+            // Mirror the per-thread loop: an I/O failure or a shutdown
+            // ends this connection; unanswered pipelined lines are
+            // dropped, exactly as the blocking reader never reads them.
+            let mut st = conn.lock_state();
+            st.pending.clear();
+            st.closed = true;
+            st.busy = false;
+            return;
+        }
+    }
+}
+
+/// One pool worker: block on the ready queue, take ownership of a
+/// connection with queued lines, answer them, repeat until the drain flag
+/// is raised and the queue is empty.
+fn pool_worker(
+    engine: &Engine,
+    queue: &Mutex<VecDeque<Arc<Conn>>>,
+    ready: &Condvar,
+    done: &AtomicBool,
+) {
+    loop {
+        let conn = {
+            let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(conn) = q.pop_front() {
+                    break Some(conn);
+                }
+                if done.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(conn) = conn else { return };
+        drain_connection(engine, &conn);
+    }
+}
+
+/// Serves concurrent NDJSON clients on a TCP listener with a fixed pool
+/// of `workers` threads (clamped to at least 1) instead of a thread per
+/// connection. The accept thread runs a nonblocking readiness loop:
+/// accept new sockets, drain readable bytes into per-connection line
+/// queues, and hand each connection with queued lines to exactly one pool
+/// worker at a time. Per-connection replies therefore stay strictly in
+/// request order while total thread count is bounded by the pool width.
+///
+/// Shutdown drains in four steps: cancel in-flight searches through the
+/// engine, give busy workers a bounded grace window to flush replies
+/// already earned (most importantly the `shutdown` reply itself), unblock
+/// every socket, then stop the pool and join it.
+///
+/// # Errors
+///
+/// Fails with the underlying I/O error when configuring or polling the
+/// listener fails. Per-connection I/O errors tear down that connection
+/// only.
+pub fn serve_listen_pooled(
+    engine: &Engine,
+    listener: TcpListener,
+    workers: usize,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let workers = workers.max(1);
+    let queue: Mutex<VecDeque<Arc<Conn>>> = Mutex::new(VecDeque::new());
+    let ready = Condvar::new();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| -> std::io::Result<()> {
+        for _ in 0..workers {
+            s.spawn(|| pool_worker(engine, &queue, &ready, &done));
+        }
+        let mut conns: Vec<Arc<Conn>> = Vec::new();
+        // As in the threaded transport, a fatal accept error falls
+        // through to the drain below rather than returning early past
+        // blocked pool workers.
+        let accept_result = 'serve: loop {
+            if engine.is_shut_down() {
+                break Ok(());
+            }
+            let mut progressed = false;
+            loop {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        // The poll loop multiplexes with nonblocking
+                        // reads; a socket that cannot switch modes cannot
+                        // join it.
+                        if stream.set_nonblocking(true).is_ok() {
+                            conns.push(Arc::new(Conn::new(stream)));
+                            progressed = true;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    // Transient per-connection failures must not kill the
+                    // server.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::Interrupted
+                        ) => {}
+                    Err(e) => break 'serve Err(e),
+                }
+            }
+            let mut i = 0;
+            while i < conns.len() {
+                // td-lint: allow(panic-path) the loop guard `i < conns.len()`
+                // holds: swap_remove shrinks len without advancing i
+                let conn = &conns[i];
+                let already_closed = conn.lock_state().closed;
+                if !already_closed && conn.poll_read() {
+                    progressed = true;
+                }
+                let (enqueue, retire) = {
+                    let mut st = conn.lock_state();
+                    let enqueue = !st.busy && !st.pending.is_empty();
+                    if enqueue {
+                        st.busy = true;
+                    }
+                    (enqueue, st.closed && !st.busy && st.pending.is_empty())
+                };
+                if enqueue {
+                    queue
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push_back(Arc::clone(conn));
+                    ready.notify_one();
+                }
+                if retire {
+                    // Dropping the poller's Arc closes the socket (no
+                    // worker owns a retired connection).
+                    conns.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+        // Drain step 1: stop in-flight searches (idempotent after a
+        // client shutdown op).
+        engine.shutdown();
+        // Step 2: bounded grace window so busy workers can flush replies
+        // already earned — without it the `shutdown` reply itself could
+        // be cut off by the socket shutdown below.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while conns.iter().any(|c| c.lock_state().busy) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Step 3: unblock every client still connected.
+        for conn in &conns {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+        // Step 4: stop the pool; the scope joins the workers.
+        done.store(true, Ordering::Release);
+        ready.notify_all();
+        accept_result
+    })
 }
 
 #[cfg(test)]
@@ -1154,6 +1497,130 @@ mod tests {
         );
         // Session traffic does not perturb the decision-request counters.
         assert_eq!(engine.stats().requests, 0);
+    }
+
+    #[test]
+    fn stats_jobs_width_is_opt_in() {
+        let engine = Engine::with_config(EngineConfig {
+            jobs: 3,
+            ..EngineConfig::default()
+        });
+        let plain = handle_line(&engine, "{\"id\":\"s\",\"op\":\"stats\"}");
+        assert!(
+            !plain.text.contains("\"jobs\""),
+            "default stats reply must stay byte-stable: {}",
+            plain.text
+        );
+        let with = handle_line(&engine, "{\"id\":\"s2\",\"op\":\"stats\",\"jobs\":true}");
+        assert!(with.text.ends_with(",\"jobs\":3}"), "{}", with.text);
+    }
+
+    /// Drives one pooled listener end to end: three clients each pipeline
+    /// two requests up front (exercising the per-connection pending
+    /// queue), then a control connection reads stats and shuts the server
+    /// down. Per-connection reply order must hold at any pool width.
+    fn run_pooled_session(workers: usize) {
+        let engine = Engine::with_config(EngineConfig {
+            jobs: workers,
+            ..EngineConfig::default()
+        });
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let engine = &engine;
+            let server = s.spawn(move || serve_listen_pooled(engine, listener, workers));
+            let handles: Vec<_> = (0..3)
+                .map(|c| {
+                    s.spawn(move || {
+                        let stream = TcpStream::connect(addr).unwrap();
+                        let mut reader = BufReader::new(stream.try_clone().unwrap());
+                        let mut writer = &stream;
+                        write!(
+                            writer,
+                            "{}\n\n{}\n",
+                            wp_line(&format!("c{c}-0"), false),
+                            wp_line(&format!("c{c}-1"), true),
+                        )
+                        .unwrap();
+                        let mut lines = Vec::new();
+                        for _ in 0..2 {
+                            let mut line = String::new();
+                            reader.read_line(&mut line).unwrap();
+                            lines.push(line.trim().to_owned());
+                        }
+                        lines
+                    })
+                })
+                .collect();
+            let replies: Vec<Vec<String>> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for (c, lines) in replies.iter().enumerate() {
+                assert!(
+                    lines[0].starts_with(&format!("{{\"id\":\"c{c}-0\"")),
+                    "client {c} replies out of order: {lines:?}"
+                );
+                assert!(
+                    lines[1].starts_with(&format!("{{\"id\":\"c{c}-1\"")),
+                    "client {c} replies out of order: {lines:?}"
+                );
+                assert!(
+                    lines[1].contains("\"cached\":true"),
+                    "second ask of the same class hits the cache: {lines:?}"
+                );
+            }
+
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = &stream;
+            writeln!(writer, "{{\"id\":\"st\",\"op\":\"stats\",\"jobs\":true}}").unwrap();
+            let mut stats = String::new();
+            reader.read_line(&mut stats).unwrap();
+            assert!(stats.contains("\"requests\":6"), "{stats}");
+            assert!(stats.contains("\"solved\":1"), "{stats}");
+            assert!(stats.contains("\"cache_hits\":5"), "{stats}");
+            assert!(
+                stats.contains(&format!("\"jobs\":{workers}")),
+                "effective pool width surfaces in stats: {stats}"
+            );
+            writeln!(writer, "{{\"id\":\"q\",\"op\":\"shutdown\"}}").unwrap();
+            let mut bye = String::new();
+            reader.read_line(&mut bye).unwrap();
+            assert_eq!(bye.trim(), "{\"id\":\"q\",\"ok\":true,\"op\":\"shutdown\"}");
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn pooled_listener_orders_pipelined_replies_per_connection() {
+        run_pooled_session(2);
+    }
+
+    #[test]
+    fn single_worker_pool_still_serves_every_connection() {
+        run_pooled_session(1);
+    }
+
+    #[test]
+    fn threaded_listener_baseline_still_serves() {
+        let engine = Engine::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let engine = &engine;
+            let server = s.spawn(move || serve_listen_threaded(engine, listener));
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = &stream;
+            writeln!(writer, "{}", wp_line("a", false)).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("{\"id\":\"a\""), "{line}");
+            writeln!(writer, "{{\"id\":\"q\",\"op\":\"shutdown\"}}").unwrap();
+            let mut bye = String::new();
+            reader.read_line(&mut bye).unwrap();
+            assert_eq!(bye.trim(), "{\"id\":\"q\",\"ok\":true,\"op\":\"shutdown\"}");
+            server.join().unwrap().unwrap();
+        });
     }
 
     #[test]

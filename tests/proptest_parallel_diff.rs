@@ -1,0 +1,215 @@
+//! Differential property tests for the multicore solve paths.
+//!
+//! Parallel delta-trigger discovery and the portfolio runner are
+//! performance machinery with a hard determinism contract: at any worker
+//! width the chase must produce *exactly* the same verdicts, proofs, and
+//! counters as the sequential oracle (candidate triggers are merged back
+//! in sequential row-id order), and a portfolio replay must settle the
+//! same way every time. These properties pit the parallel paths against
+//! their sequential oracles on random inputs:
+//!
+//! * `implies_with` under `Parallelism::Threads(n)` is **structurally
+//!   identical** (full `Debug` equality — proof firings, countermodels,
+//!   budget counters) to `Parallelism::Off`, for every strategy;
+//! * budget-truncated runs agree too (truncation is the subtle case: the
+//!   parallel merge must stop at the same trigger the sequential visitor
+//!   would have);
+//! * the racing portfolio returns the **same certificate shape** on every
+//!   replay of the same instance, and identical spent budgets whenever no
+//!   cancellation fired (the double-exhaustion case).
+
+use proptest::prelude::*;
+use template_deps::prelude::*;
+use template_deps::td_core::homomorphism::MatchStrategy;
+use template_deps::td_core::ids::{AttrId, Var};
+use template_deps::td_core::inference::implies_with;
+use template_deps::td_core::td::TdRow;
+use template_deps::td_reduction::pipeline::{solve_with, PipelineOutcome, SolveMode};
+use template_deps::td_semigroup::alphabet::Alphabet;
+use template_deps::td_semigroup::derivation::SearchBudget;
+use template_deps::td_semigroup::equation::Equation;
+use template_deps::td_semigroup::model_search::ModelSearchOptions;
+use template_deps::td_semigroup::presentation::Presentation;
+
+fn schema(arity: usize) -> Schema {
+    Schema::new("R", (0..arity).map(|i| format!("C{i}"))).unwrap()
+}
+
+/// Strategy: a random typed TD over `arity` columns (1–3 antecedent rows,
+/// small per-column variable pools, existentials with probability 1/4).
+fn arb_td(arity: usize) -> impl Strategy<Value = Td> {
+    let rows = 1..=3usize;
+    let vars = 1..=3u32;
+    (
+        rows,
+        vars,
+        proptest::collection::vec(0..100u32, arity * 4 + arity),
+    )
+        .prop_map(move |(n_rows, n_vars, picks)| {
+            let schema = schema(arity);
+            let mut it = picks.into_iter();
+            let antecedents: Vec<TdRow> = (0..n_rows)
+                .map(|_| TdRow::new((0..arity).map(|_| Var::new(it.next().unwrap() % n_vars))))
+                .collect();
+            let conclusion = TdRow::new((0..arity).map(|c| {
+                let pick = it.next().unwrap();
+                if pick % 4 == 0 {
+                    Var::new(n_vars + 7) // fresh: existential
+                } else {
+                    antecedents[(pick as usize) % n_rows].get(AttrId::from(c))
+                }
+            }));
+            Td::new(schema, antecedents, conclusion, "random").unwrap()
+        })
+}
+
+/// Strategy: a random zero-saturated presentation over `A0`, `A1`, `0`:
+/// up to three equations whose sides are words of length 1–2.
+fn arb_presentation() -> impl Strategy<Value = Presentation> {
+    proptest::collection::vec((0..7u32, 0..3u32), 0..=3).prop_map(|eqs| {
+        let alphabet = Alphabet::standard(2);
+        const WORDS: [&str; 7] = ["A0", "A1", "0", "A1 A1", "A0 A1", "A1 A0", "A1 0"];
+        const SIDES: [&str; 3] = ["A0", "A1", "0"];
+        let equations: Vec<Equation> = eqs
+            .into_iter()
+            .map(|(l, r)| {
+                let text = format!("{} = {}", WORDS[l as usize], SIDES[r as usize]);
+                Equation::parse(&text, &alphabet).unwrap()
+            })
+            .collect();
+        let mut p = Presentation::new(alphabet, equations).unwrap();
+        p.saturate_with_zero_equations();
+        p
+    })
+}
+
+/// Small budgets keep the random pipelines fast while still letting most
+/// cases settle.
+fn small_budgets() -> Budgets {
+    Budgets {
+        derivation: SearchBudget {
+            max_word_len: 8,
+            max_states: 20_000,
+        },
+        model: ModelSearchOptions {
+            min_size: 2,
+            max_size: 3,
+            max_nodes: 200_000,
+        },
+        chase: ChaseBudget::default(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's safety net: parallel delta-trigger discovery is a
+    /// drop-in for the sequential scan. Full structural (`Debug`)
+    /// equality of the verdicts covers the firing sequence, the proof
+    /// shape, the countermodel rows, and every budget counter at once.
+    #[test]
+    fn parallel_inference_is_structurally_identical_to_sequential(
+        premises in proptest::collection::vec(arb_td(2), 1..=2),
+        goal in arb_td(2),
+        workers in 2..=5usize,
+    ) {
+        // Both matchers ride the same discovery loop; alternate so the
+        // parallel scan is differentially tested under each.
+        let strategy = if workers % 2 == 0 {
+            MatchStrategy::Indexed
+        } else {
+            MatchStrategy::Naive
+        };
+        let seq = implies_with(
+            &premises,
+            &goal,
+            ChaseBudget::default(),
+            strategy,
+            Parallelism::Off,
+        )
+        .unwrap();
+        let par = implies_with(
+            &premises,
+            &goal,
+            ChaseBudget::default(),
+            strategy,
+            Parallelism::Threads(workers),
+        )
+        .unwrap();
+        prop_assert_eq!(
+            format!("{seq:?}"),
+            format!("{par:?}"),
+            "Threads({}) diverged from sequential discovery",
+            workers
+        );
+    }
+
+    /// The truncation corner: with a starved step budget the parallel
+    /// merge must cut off at exactly the trigger where the sequential
+    /// visitor would have stopped — verdict, counters and partial proof
+    /// state all included in the `Debug` comparison.
+    #[test]
+    fn truncated_parallel_inference_matches_sequential(
+        premises in proptest::collection::vec(arb_td(2), 1..=2),
+        goal in arb_td(2),
+        workers in 2..=4usize,
+    ) {
+        let seq = implies_with(
+            &premises,
+            &goal,
+            ChaseBudget::small(),
+            MatchStrategy::Indexed,
+            Parallelism::Off,
+        )
+        .unwrap();
+        let par = implies_with(
+            &premises,
+            &goal,
+            ChaseBudget::small(),
+            MatchStrategy::Indexed,
+            Parallelism::Threads(workers),
+        )
+        .unwrap();
+        prop_assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+
+    /// Portfolio determinism: replaying the race on the same instance
+    /// settles the same way every time — same certificate shape, same
+    /// derivation length / model size, and identical spent budgets in the
+    /// double-exhaustion case (no certificate means no cancellation, so
+    /// both lanes run to their budget rungs deterministically).
+    #[test]
+    fn portfolio_replays_settle_identically(p in arb_presentation()) {
+        let budgets = small_budgets();
+        let first = solve_with(&p, &budgets, SolveMode::Racing).unwrap();
+        for _ in 0..2 {
+            let again = solve_with(&p, &budgets, SolveMode::Racing).unwrap();
+            match (&first.outcome, &again.outcome) {
+                (
+                    PipelineOutcome::Implied { derivation: d1, proof: p1 },
+                    PipelineOutcome::Implied { derivation: d2, proof: p2 },
+                ) => {
+                    prop_assert_eq!(d1.len(), d2.len());
+                    prop_assert_eq!(p1.proof.len(), p2.proof.len());
+                }
+                (
+                    PipelineOutcome::Refuted { model: m1, .. },
+                    PipelineOutcome::Refuted { model: m2, .. },
+                ) => prop_assert_eq!(m1.len(), m2.len()),
+                (
+                    PipelineOutcome::Unknown { derivation_states: ds1, model_nodes: mn1 },
+                    PipelineOutcome::Unknown { derivation_states: ds2, model_nodes: mn2 },
+                ) => {
+                    prop_assert_eq!(ds1, ds2);
+                    prop_assert_eq!(mn1, mn2);
+                    prop_assert_eq!(first.spend.lanes(), again.spend.lanes());
+                }
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "portfolio replay diverged: {a:?} vs {b:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 
+use crate::budget::{Cancellation, Ticker};
 use crate::error::{CoreError, Result};
 use crate::homomorphism::{match_first, Binding};
 use crate::ids::{AttrId, Var};
@@ -146,15 +147,23 @@ pub fn apply_all(td: &Td, ws: &[Weakening]) -> Result<Td> {
 pub fn subsumes(general: &Td, specific: &Td) -> Result<bool> {
     general.schema().expect_same(specific.schema())?;
     let (frozen, _, goal) = freeze(specific)?;
+    Ok(subsumes_frozen(general, &frozen, &goal))
+}
+
+/// The matching half of [`subsumes`], against an already-frozen target
+/// tableau and goal pattern. Hot-path callers — the fast-path prescreen —
+/// freeze the target once and scan many candidate premises against it,
+/// instead of paying one [`freeze`] allocation per candidate.
+pub fn subsumes_frozen(general: &Td, frozen: &Instance, goal: &crate::chase::Goal) -> bool {
     // Zero steps: the goal may already be witnessed.
-    if goal.find_in(&frozen).is_some() {
-        return Ok(true);
+    if goal.find_in(frozen).is_some() {
+        return true;
     }
     // One step: some trigger of `general` lands a goal-matching row.
     let mut found = false;
     crate::homomorphism::for_each_match(
         general.antecedents(),
-        &frozen,
+        frozen,
         &Binding::new(general.arity()),
         |binding| {
             // Build the conclusion under this trigger; unbound (existential)
@@ -177,7 +186,7 @@ pub fn subsumes(general: &Td, specific: &Td) -> Result<bool> {
             }
         },
     );
-    Ok(found)
+    found
 }
 
 /// Enumerates the "obvious" weakenings of `td` (used by tests and by
@@ -247,23 +256,54 @@ pub fn rename_vars(td: &Td, offset: u32) -> Td {
 /// canonical weakenings within `depth` steps (a tiny proof search; sound by
 /// construction, nowhere near complete — see module docs).
 pub fn derivable_by_weakening(general: &Td, specific: &Td, depth: usize) -> bool {
-    fn rec(cur: &Td, target: &Td, depth: usize) -> bool {
-        if cur.eq_up_to_renaming(target) {
-            return true;
-        }
-        if depth == 0 {
+    // An effectively unbounded ticker: the historical entry point explores
+    // the whole depth-bounded tree, exactly as before the budgeted variant
+    // existed.
+    let never = Cancellation::new();
+    let mut ticker = Ticker::new(&never, u64::MAX, u64::MAX);
+    derivable_by_weakening_within(general, specific, depth, &mut ticker)
+}
+
+/// [`derivable_by_weakening`] under an explicit spend budget: every node
+/// of the proof search (every weakened dependency compared against the
+/// target) costs one [`Ticker`] unit, so hot-path callers — the fast-path
+/// prescreen — get a hard, deterministic bound on the exponential tree
+/// instead of trusting `depth` alone.
+///
+/// Returns `false` once the ticker stops; that read is *not derivable
+/// within budget*, which is sound either way (a `true` is always backed by
+/// a real weakening chain). The ticker's spend is shared across calls, so
+/// a prescreen can budget one pool over many premises.
+pub fn derivable_by_weakening_within(
+    general: &Td,
+    specific: &Td,
+    depth: usize,
+    ticker: &mut Ticker<'_>,
+) -> bool {
+    if !ticker.tick() {
+        return false;
+    }
+    if general.eq_up_to_renaming(specific) {
+        return true;
+    }
+    if depth == 0 {
+        return false;
+    }
+    for w in canonical_weakenings(general) {
+        // Once the ticker stops, every descendant's entry tick fails; bail
+        // out instead of cloning and applying the remaining weakenings at
+        // every level of the tree. Spend is unchanged (those ticks never
+        // succeed), so replay determinism is preserved.
+        if ticker.stopped() {
             return false;
         }
-        for w in canonical_weakenings(cur) {
-            if let Ok(next) = apply(cur, &w) {
-                if rec(&next, target, depth - 1) {
-                    return true;
-                }
+        if let Ok(next) = apply(general, &w) {
+            if derivable_by_weakening_within(&next, specific, depth - 1, ticker) {
+                return true;
             }
         }
-        false
     }
-    rec(general, specific, depth)
+    false
 }
 
 /// One-step conclusion-witness check reused by [`subsumes`] callers that
@@ -423,6 +463,48 @@ mod tests {
         assert!(!derivable_by_weakening(&fig1, &td, 2));
         // Depth 0 only matches syntactic equality (mod renaming).
         assert!(derivable_by_weakening(&td, &rename_vars(&td, 40), 0));
+    }
+
+    /// The budgeted variant agrees with the unbudgeted search when the
+    /// budget suffices, refuses (soundly) when starved, and reports an
+    /// exact, deterministic spend on exhaustion.
+    #[test]
+    fn budgeted_weakening_search_is_sound_and_deterministic() {
+        let td = base();
+        let fig1 = TdBuilder::new(schema())
+            .antecedent(["a", "b", "c"])
+            .unwrap()
+            .antecedent(["a", "b'", "c'"])
+            .unwrap()
+            .conclusion(["*", "b", "c'"])
+            .unwrap()
+            .build("fig1")
+            .unwrap();
+        let never = Cancellation::new();
+
+        // Ample budget: agrees with the unbudgeted search.
+        let mut ample = Ticker::new(&never, 10_000, u64::MAX);
+        assert!(derivable_by_weakening_within(&td, &fig1, 1, &mut ample));
+        let found_at = ample.spent();
+        assert!(found_at >= 1);
+
+        // Starved budget: refuses without finding, spend exactly the cap.
+        let mut starved = Ticker::new(&never, 1, u64::MAX);
+        assert!(!derivable_by_weakening_within(&td, &fig1, 1, &mut starved));
+        assert!(starved.exhausted());
+        assert_eq!(starved.spent(), 1);
+
+        // Replaying the ample search spends identically: the tree walk is
+        // deterministic.
+        let mut replay = Ticker::new(&never, 10_000, u64::MAX);
+        assert!(derivable_by_weakening_within(&td, &fig1, 1, &mut replay));
+        assert_eq!(replay.spent(), found_at);
+
+        // One shared ticker across premises: spend accumulates.
+        let mut shared = Ticker::new(&never, 10_000, u64::MAX);
+        assert!(derivable_by_weakening_within(&td, &fig1, 1, &mut shared));
+        assert!(derivable_by_weakening_within(&td, &fig1, 1, &mut shared));
+        assert_eq!(shared.spent(), 2 * found_at);
     }
 
     #[test]

@@ -47,8 +47,6 @@
 //! the property-test oracle; it is factorial and must only be used on small
 //! dependencies.
 
-use std::collections::HashMap;
-
 use crate::ids::{AttrId, Var};
 use crate::td::{Td, TdRow};
 
@@ -132,7 +130,9 @@ impl Digest {
 /// The refinement state: one color per antecedent row and one per distinct
 /// (column, variable) node. Colors are dense ranks of invariant signatures,
 /// so the whole state is isomorphism-invariant. Everything is interned into
-/// dense vectors up front — the refinement loop does no hashing.
+/// dense *flat* vectors up front — the refinement loop does no hashing and
+/// no per-node allocation (batch canonicalization keys thousands of small
+/// TDs, so per-key constant costs dominate; see [`Scratch`]).
 struct Refiner<'a> {
     td: &'a Td,
     arity: usize,
@@ -140,20 +140,73 @@ struct Refiner<'a> {
     /// Per antecedent row, the column-ordered variable node ids (flattened
     /// `n_rows × arity`).
     row_var_ids: Vec<usize>,
-    /// For each variable node, the antecedent rows it occurs in (a
-    /// variable lives in exactly one column, so each row appears at most
-    /// once here).
-    var_rows: Vec<Vec<usize>>,
+    /// CSR adjacency: for variable node `id`, the antecedent rows it occurs
+    /// in are `var_row_data[var_row_start[id]..var_row_start[id + 1]]`, in
+    /// ascending row order (a variable lives in exactly one column, so each
+    /// row appears at most once per node).
+    var_row_start: Vec<usize>,
+    /// The flattened occurrence rows behind [`Refiner::var_row_start`].
+    var_row_data: Vec<usize>,
     /// Initial (invariant) variable colors: column index, split by whether
     /// the variable is the conclusion's variable for that column.
     var_init: Vec<u64>,
-    /// Per antecedent row, the column-ordered *public signature*: the
-    /// variable node if it occurs anywhere else (another antecedent row or
-    /// the conclusion), `None` for variables private to this row. Two rows
-    /// of one color class with equal public signatures are interchangeable
-    /// by an automorphism (the transposition swapping their private
-    /// variables), so the branching search explores only one of them.
-    row_public: Vec<Vec<Option<usize>>>,
+    /// Per antecedent row, the column-ordered *public signature*, flattened
+    /// `n_rows × arity`: the variable node id if it occurs anywhere else
+    /// (another antecedent row or the conclusion), `usize::MAX` for
+    /// variables private to this row. Two rows of one color class with
+    /// equal public signatures are interchangeable by an automorphism (the
+    /// transposition swapping their private variables), so the branching
+    /// search explores only one of them.
+    row_public: Vec<usize>,
+}
+
+/// Reusable buffers for [`Refiner::refine`]: signature arenas, the ranking
+/// index, and the double-buffered colorings. One `Scratch` serves every
+/// refine call of a canonical search (the buffers hold no state between
+/// calls), so a whole [`canon_key`] costs a bounded handful of allocations
+/// instead of a fresh signature `Vec` per node per iteration.
+#[derive(Default)]
+struct Scratch {
+    /// Variable colors at the current iteration.
+    var_colors: Vec<u64>,
+    /// Next variable colors (dense ranks), double-buffered.
+    new_var: Vec<u64>,
+    /// Next row colors (dense ranks), double-buffered.
+    new_row: Vec<u64>,
+    /// Variable signature arena, laid out like
+    /// [`Refiner::var_row_data`]: per variable, the sorted colors of its
+    /// occurrence rows.
+    var_sig_data: Vec<u64>,
+    /// Row signature arena (`n_rows × arity`): per row, the column-ordered
+    /// colors of its variables.
+    row_sig_data: Vec<u64>,
+    /// Sort index for dense ranking.
+    idx: Vec<usize>,
+    /// Per-color member counts for the branching search's class grouping.
+    counts: Vec<u32>,
+}
+
+/// Sorts `idx` as `0..n` under `cmp` and writes dense ranks into `out`:
+/// equal keys get equal ranks, ranks follow key order. The comparator is
+/// over invariant signatures, hence so are the ranks.
+fn dense_ranks_with(
+    n: usize,
+    idx: &mut Vec<usize>,
+    out: &mut Vec<u64>,
+    mut cmp: impl FnMut(usize, usize) -> std::cmp::Ordering,
+) {
+    idx.clear();
+    idx.extend(0..n);
+    idx.sort_unstable_by(|&a, &b| cmp(a, b));
+    out.clear();
+    out.resize(n, 0);
+    let mut rank = 0u64;
+    for w in 0..n {
+        if w > 0 && cmp(idx[w], idx[w - 1]) != std::cmp::Ordering::Equal {
+            rank += 1;
+        }
+        out[idx[w]] = rank;
+    }
 }
 
 impl<'a> Refiner<'a> {
@@ -162,75 +215,86 @@ impl<'a> Refiner<'a> {
         let n_rows = td.antecedent_count();
         // Per-column interning tables indexed by raw variable id (variable
         // ids are dense per column in practice, so a direct-index table
-        // beats hashing on the canonicalization hot path).
-        let mut intern_tbl: Vec<Vec<usize>> = td
-            .max_var_per_column()
-            .iter()
-            .map(|m| vec![usize::MAX; m.map_or(0, |v| v.index() + 1)])
-            .collect();
-        let mut var_rows: Vec<Vec<usize>> = Vec::new();
-        let mut var_init: Vec<u64> = Vec::new();
-        fn intern(
-            intern_tbl: &mut [Vec<usize>],
-            var_rows: &mut Vec<Vec<usize>>,
-            var_init: &mut Vec<u64>,
-            col: AttrId,
-            v: Var,
-        ) -> usize {
-            let slot = &mut intern_tbl[col.index()][v.index()];
-            if *slot == usize::MAX {
-                *slot = var_rows.len();
-                var_rows.push(Vec::new());
-                var_init.push(0);
+        // beats hashing on the canonicalization hot path). One flat table
+        // with per-column offsets keeps this to a single allocation.
+        let col_base: Vec<usize> = {
+            let mut base = Vec::with_capacity(arity + 1);
+            let mut acc = 0usize;
+            base.push(0);
+            for m in td.max_var_per_column() {
+                acc += m.map_or(0, |v| v.index() + 1);
+                base.push(acc);
             }
-            *slot
-        }
-        let mut row_var_ids: Vec<usize> = Vec::with_capacity(n_rows * arity);
-        for (r, row) in td.antecedents().iter().enumerate() {
-            for (col, v) in row.components() {
-                let id = intern(&mut intern_tbl, &mut var_rows, &mut var_init, col, v);
-                if var_rows[id].last() != Some(&r) {
-                    var_rows[id].push(r);
+            base
+        };
+        let mut intern_tbl: Vec<usize> = vec![usize::MAX; col_base[arity]];
+        // Occurrence counts per node (antecedent rows only, to start): used
+        // both for the CSR prefix sums and the privacy test below.
+        let mut occurrences: Vec<usize> = Vec::new();
+        let mut var_init: Vec<u64> = Vec::new();
+        let mut intern =
+            |col: AttrId, v: Var, occurrences: &mut Vec<usize>, var_init: &mut Vec<u64>| {
+                let slot = &mut intern_tbl[col_base[col.index()] + v.index()];
+                if *slot == usize::MAX {
+                    *slot = occurrences.len();
+                    occurrences.push(0);
+                    // The column fixes the sort; the conclusion pass below
+                    // individually distinguishes the conclusion's variables
+                    // (the conclusion row is not permutable).
+                    var_init.push((col.index() as u64) * 2);
                 }
+                *slot
+            };
+        let mut row_var_ids: Vec<usize> = Vec::with_capacity(n_rows * arity);
+        for row in td.antecedents() {
+            for (col, v) in row.components() {
+                let id = intern(col, v, &mut occurrences, &mut var_init);
+                occurrences[id] += 1;
                 row_var_ids.push(id);
             }
         }
-        let concl_var_ids: Vec<usize> = td
-            .conclusion()
-            .components()
-            .map(|(col, v)| intern(&mut intern_tbl, &mut var_rows, &mut var_init, col, v))
-            .collect();
-        // Initial colors: the column fixes the sort; the conclusion's
-        // variable in each column is individually distinguished (the
-        // conclusion row is not permutable).
-        for (col, tbl) in intern_tbl.iter().enumerate() {
-            for &id in tbl {
-                if id != usize::MAX {
-                    var_init[id] = (col as u64) * 2;
-                }
-            }
-        }
-        // Total occurrences (antecedent rows + conclusion) per variable; a
-        // variable with a single occurrence is private to its row.
-        let mut occurrences: Vec<usize> = var_rows.iter().map(Vec::len).collect();
-        for (col, &id) in concl_var_ids.iter().enumerate() {
-            var_init[id] = (col as u64) * 2 + 1;
+        for (col, v) in td.conclusion().components() {
+            let id = intern(col, v, &mut occurrences, &mut var_init);
+            var_init[id] = (col.index() as u64) * 2 + 1;
             occurrences[id] += 1;
         }
-        let row_public: Vec<Vec<Option<usize>>> = (0..n_rows)
-            .map(|r| {
-                row_var_ids[r * arity..(r + 1) * arity]
-                    .iter()
-                    .map(|&id| (occurrences[id] > 1).then_some(id))
-                    .collect()
-            })
+        let n_vars = occurrences.len();
+        // CSR fill: prefix sums over the antecedent-only occurrence counts
+        // (a node introduced by the conclusion alone has no occurrence
+        // rows), then one pass over the rows in ascending order.
+        let mut concl_extra = vec![0usize; n_vars];
+        for (col, v) in td.conclusion().components() {
+            concl_extra[intern_tbl[col_base[col.index()] + v.index()]] = 1;
+        }
+        let mut var_row_start: Vec<usize> = Vec::with_capacity(n_vars + 1);
+        let mut acc = 0usize;
+        var_row_start.push(0);
+        for id in 0..n_vars {
+            acc += occurrences[id] - concl_extra[id];
+            var_row_start.push(acc);
+        }
+        let mut cursor: Vec<usize> = var_row_start[..n_vars].to_vec();
+        let mut var_row_data: Vec<usize> = vec![0; acc];
+        for r in 0..n_rows {
+            for &id in &row_var_ids[r * arity..(r + 1) * arity] {
+                var_row_data[cursor[id]] = r;
+                cursor[id] += 1;
+            }
+        }
+        // A variable with a single total occurrence (rows + conclusion) is
+        // private to its row; public nodes keep their id, private slots get
+        // the `usize::MAX` sentinel (never a real node id).
+        let row_public: Vec<usize> = row_var_ids
+            .iter()
+            .map(|&id| if occurrences[id] > 1 { id } else { usize::MAX })
             .collect();
         Refiner {
             td,
             arity,
             n_rows,
             row_var_ids,
-            var_rows,
+            var_row_start,
+            var_row_data,
             var_init,
             row_public,
         }
@@ -239,41 +303,57 @@ impl<'a> Refiner<'a> {
     /// Runs color refinement to a fixpoint from the given row coloring
     /// (variables restart from their invariant initial colors each time,
     /// which reaches the same fixpoint and keeps the code simple). Returns
-    /// the stable row coloring, as dense ranks. Signature buffers are
-    /// reused across iterations and ranking is sort-based — this sits on
-    /// the batch pipeline's canonicalization hot path.
-    fn refine(&self, row_colors: &mut Vec<u64>) {
+    /// the stable row coloring, as dense ranks. All signature and ranking
+    /// buffers live in the caller's [`Scratch`] and ranking is sort-based
+    /// ([`dense_ranks_with`]) — this sits on the batch pipeline's
+    /// canonicalization hot path, where per-call allocation dominates.
+    fn refine(&self, row_colors: &mut Vec<u64>, s: &mut Scratch) {
         let n_vars = self.var_init.len();
-        let mut var_colors = self.var_init.clone();
-        let mut var_sigs: Vec<(u64, Vec<u64>)> = vec![(0, Vec::new()); n_vars];
-        let mut row_sigs: Vec<(u64, Vec<u64>)> = vec![(0, Vec::new()); self.n_rows];
+        let Scratch {
+            var_colors,
+            new_var,
+            new_row,
+            var_sig_data,
+            row_sig_data,
+            idx,
+            ..
+        } = s;
+        var_colors.clear();
+        var_colors.extend_from_slice(&self.var_init);
         loop {
             // Variables: signature = (own color, sorted multiset of
-            // occurrence-row colors).
-            for (id, sig) in var_sigs.iter_mut().enumerate() {
-                sig.0 = var_colors[id];
-                sig.1.clear();
-                sig.1
-                    .extend(self.var_rows[id].iter().map(|&r| row_colors[r]));
-                sig.1.sort_unstable();
+            // occurrence-row colors), laid out in the CSR arena.
+            var_sig_data.clear();
+            var_sig_data.extend(self.var_row_data.iter().map(|&r| row_colors[r]));
+            for id in 0..n_vars {
+                var_sig_data[self.var_row_start[id]..self.var_row_start[id + 1]].sort_unstable();
             }
-            let new_var = dense_ranks(&var_sigs);
+            dense_ranks_with(n_vars, idx, new_var, |a, b| {
+                let sig = |id: usize| {
+                    (
+                        var_colors[id],
+                        &var_sig_data[self.var_row_start[id]..self.var_row_start[id + 1]],
+                    )
+                };
+                sig(a).cmp(&sig(b))
+            });
 
             // Rows: signature = (own color, column-ordered variable colors).
-            for (r, sig) in row_sigs.iter_mut().enumerate() {
-                sig.0 = row_colors[r];
-                sig.1.clear();
-                sig.1.extend(
-                    self.row_var_ids[r * self.arity..(r + 1) * self.arity]
-                        .iter()
-                        .map(|&id| new_var[id]),
-                );
-            }
-            let new_rows = dense_ranks(&row_sigs);
+            row_sig_data.clear();
+            row_sig_data.extend(self.row_var_ids.iter().map(|&id| new_var[id]));
+            dense_ranks_with(self.n_rows, idx, new_row, |a, b| {
+                let sig = |r: usize| {
+                    (
+                        row_colors[r],
+                        &row_sig_data[r * self.arity..(r + 1) * self.arity],
+                    )
+                };
+                sig(a).cmp(&sig(b))
+            });
 
-            let stable = new_rows == *row_colors && new_var == var_colors;
-            *row_colors = new_rows;
-            var_colors = new_var;
+            let stable = new_row == row_colors && new_var == var_colors;
+            std::mem::swap(row_colors, new_row);
+            std::mem::swap(var_colors, new_var);
             if stable {
                 return;
             }
@@ -282,21 +362,26 @@ impl<'a> Refiner<'a> {
 
     /// The canonical search: refine, then branch on the smallest ambiguous
     /// row class, keeping the lexicographically smallest leaf encoding.
-    fn canonize(&self, row_colors: Vec<u64>, best: &mut Option<Vec<u32>>) {
+    fn canonize(&self, row_colors: Vec<u64>, best: &mut Option<Vec<u32>>, s: &mut Scratch) {
         let mut colors = row_colors;
-        self.refine(&mut colors);
+        self.refine(&mut colors, s);
 
-        // Group rows by color; find the smallest class with >= 2 members
-        // (ties towards the smallest color, for determinism).
-        let mut by_color: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (r, &c) in colors.iter().enumerate() {
-            by_color.entry(c).or_default().push(r);
+        // Group rows by color — refinement returns dense ranks, so a
+        // counting pass suffices — and find the smallest class with >= 2
+        // members (ties towards the smallest color, for determinism: the
+        // ascending scan takes the first color achieving the minimum size).
+        s.counts.clear();
+        s.counts.resize(self.n_rows, 0);
+        for &c in &colors {
+            s.counts[c as usize] += 1;
         }
-        let target = by_color
+        let target = s
+            .counts
             .iter()
-            .filter(|(_, rows)| rows.len() >= 2)
-            .min_by_key(|(&c, rows)| (rows.len(), c))
-            .map(|(&c, _)| c);
+            .enumerate()
+            .filter(|&(_, &n)| n >= 2)
+            .min_by_key(|&(_, &n)| n)
+            .map(|(c, _)| c as u64);
 
         match target {
             None => {
@@ -309,7 +394,8 @@ impl<'a> Refiner<'a> {
                 }
             }
             Some(class) => {
-                let members: Vec<usize> = by_color.remove(&class).expect("class exists");
+                let members: Vec<usize> =
+                    (0..self.n_rows).filter(|&r| colors[r] == class).collect();
                 // Automorphism pruning for the common symmetric case: two
                 // class members that agree on every shared variable (and
                 // differ only in variables private to the row) map to each
@@ -317,17 +403,18 @@ impl<'a> Refiner<'a> {
                 // the dependency, so their branches yield identical
                 // minima. Without this, a tableau of k rows that differ
                 // only in fresh variables branches k!-fold.
-                let mut branched: Vec<&Vec<Option<usize>>> = Vec::new();
+                let public = |r: usize| &self.row_public[r * self.arity..(r + 1) * self.arity];
+                let mut branched: Vec<&[usize]> = Vec::new();
                 for r in members {
-                    if branched.contains(&&self.row_public[r]) {
+                    if branched.contains(&public(r)) {
                         continue;
                     }
-                    branched.push(&self.row_public[r]);
+                    branched.push(public(r));
                     // Individualize r: give it a fresh color below its
                     // class (2c keeps relative order of all other classes).
                     let mut next: Vec<u64> = colors.iter().map(|&c| 2 * c + 1).collect();
                     next[r] = 2 * class;
-                    self.canonize(next, best);
+                    self.canonize(next, best, s);
                 }
             }
         }
@@ -370,24 +457,6 @@ impl<'a> Refiner<'a> {
     }
 }
 
-/// Dense ranks of a signature vector: equal signatures get equal ranks,
-/// ranks follow signature order. The signatures are isomorphism-invariant,
-/// hence so are the ranks. Sort-based (one index sort, one linear pass) —
-/// no hashing of the signature vectors.
-fn dense_ranks(sigs: &[(u64, Vec<u64>)]) -> Vec<u64> {
-    let mut idx: Vec<usize> = (0..sigs.len()).collect();
-    idx.sort_unstable_by(|&a, &b| sigs[a].cmp(&sigs[b]));
-    let mut ranks = vec![0u64; sigs.len()];
-    let mut rank = 0u64;
-    for w in 0..idx.len() {
-        if w > 0 && sigs[idx[w]] != sigs[idx[w - 1]] {
-            rank += 1;
-        }
-        ranks[idx[w]] = rank;
-    }
-    ranks
-}
-
 /// The canonical encoding behind [`canon_key`]: a complete invariant of the
 /// TD's isomorphism class, as a flat `u32` sequence
 /// `[arity, n_antecedents, rows…, conclusion]` with canonically ordered
@@ -395,7 +464,8 @@ fn dense_ranks(sigs: &[(u64, Vec<u64>)]) -> Vec<u64> {
 fn canon_encoding(td: &Td) -> Vec<u32> {
     let refiner = Refiner::new(td);
     let mut best: Option<Vec<u32>> = None;
-    refiner.canonize(vec![0; td.antecedent_count()], &mut best);
+    let mut scratch = Scratch::default();
+    refiner.canonize(vec![0; td.antecedent_count()], &mut best, &mut scratch);
     best.expect("at least one leaf: every TD has >= 1 antecedent")
 }
 
@@ -405,7 +475,8 @@ fn canon_encoding(td: &Td) -> Vec<u32> {
 pub fn canon_form(td: &Td) -> Td {
     let refiner = Refiner::new(td);
     let mut best: Option<Vec<u32>> = None;
-    refiner.canonize(vec![0; td.antecedent_count()], &mut best);
+    let mut scratch = Scratch::default();
+    refiner.canonize(vec![0; td.antecedent_count()], &mut best, &mut scratch);
     let enc = best.expect("at least one leaf");
     let arity = td.arity();
     let rows: Vec<TdRow> = enc[2..]

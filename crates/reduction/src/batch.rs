@@ -77,6 +77,11 @@ pub struct BatchStats {
     pub cache_hits: usize,
     /// Racing-solver runs actually executed.
     pub solved: usize,
+    /// Among `solved`, the runs the axiom-driven fast path settled before
+    /// either search started (see [`crate::fastpath`]). These still count
+    /// as solver runs — the prescreen is stage 0 of the solve — so
+    /// `cache_hits + solved == total` stays an invariant.
+    pub fastpath: usize,
     /// Cache evictions observed on the shared [`DecisionCache`] during
     /// this call (zero unless the cache's residency bound was hit; on an
     /// engine cache shared with concurrent callers this counts *all*
@@ -99,7 +104,11 @@ pub struct BatchRun {
     pub stats: BatchStats,
 }
 
-/// Compresses a full pipeline run to its [`BatchVerdict`].
+/// Compresses a full pipeline run to its [`BatchVerdict`]. A
+/// fastpath-settled run compresses like the certificate it stands for:
+/// implied with zero derivation work, or refuted by the probe instance's
+/// row count — so cached replays and batch output stay verdict-identical
+/// with the full solver.
 pub(crate) fn compress(run: &PipelineRun) -> BatchVerdict {
     match &run.outcome {
         PipelineOutcome::Implied { derivation, proof } => BatchVerdict::Implied {
@@ -108,6 +117,13 @@ pub(crate) fn compress(run: &PipelineRun) -> BatchVerdict {
         },
         PipelineOutcome::Refuted { model, .. } => BatchVerdict::Refuted {
             model_rows: model.len(),
+        },
+        PipelineOutcome::FastSettled { verdict } => match verdict.model_rows() {
+            None => BatchVerdict::Implied {
+                derivation_steps: 0,
+                proof_firings: 0,
+            },
+            Some(rows) => BatchVerdict::Refuted { model_rows: rows },
         },
         PipelineOutcome::Unknown {
             derivation_states,
@@ -266,6 +282,7 @@ pub(crate) fn solve_batch_core(
     // a concurrent flight while the worker waited is a cache hit, not a
     // solve.
     let runs = AtomicUsize::new(0);
+    let fastpath_runs = AtomicUsize::new(0);
     let solved_now: Mutex<HashMap<CanonKey, BatchVerdict>> = Mutex::new(HashMap::new());
     let first_error: Mutex<Option<crate::error::RedError>> = Mutex::new(None);
     // The pool's shutdown signal is the shared cancellation substrate: the
@@ -289,6 +306,9 @@ pub(crate) fn solve_batch_core(
                 match solve_item(&items[item], key) {
                     Ok(ItemOutcome::Ran(run)) => {
                         runs.fetch_add(1, Ordering::Relaxed);
+                        if matches!(run.outcome, PipelineOutcome::FastSettled { .. }) {
+                            fastpath_runs.fetch_add(1, Ordering::Relaxed);
+                        }
                         let verdict = compress(&run);
                         let cached = match verdict {
                             BatchVerdict::Implied {
@@ -362,6 +382,7 @@ pub(crate) fn solve_batch_core(
         unique: distinct.len(),
         cache_hits: items.len() - solved,
         solved,
+        fastpath: fastpath_runs.into_inner(),
         evictions: cache.evictions() - evictions_before,
     };
     Ok(BatchRun {

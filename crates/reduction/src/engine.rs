@@ -37,6 +37,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, RwLock, Weak};
+use std::time::Instant;
 
 use td_core::budget::{Cancellation, Meter};
 use td_core::canon::{canon_key, system_key, system_key_with, CanonKey, CANON_SCHEME_VERSION};
@@ -44,14 +45,16 @@ use td_core::chase::{ChaseBudget, ChaseEngine, ChaseOutcome, ChasePolicy, ChaseS
 use td_core::inference::{self, freeze, InferenceVerdict};
 use td_core::schema::Schema;
 use td_core::td::Td;
-use td_semigroup::normalize::normalize;
+use td_semigroup::normalize::{normalize, Normalized};
 use td_semigroup::presentation::Presentation;
 
 use crate::batch::{compress, from_cached, solve_batch_core, BatchRun, BatchVerdict, ItemOutcome};
 use crate::cache::{CachedOutcome, CachedVerdict, DecisionCache};
+use crate::deps::ReductionSystem;
 use crate::error::{RedError, Result};
 use crate::pipeline::{
-    solve_with_opts_on, Budgets, PhaseTimings, PipelineRun, SolveOptions, SpendReport,
+    solve_prepared, solve_with_opts_on, Budgets, PhaseTimings, PipelineOutcome, PipelineRun,
+    SolveOptions, SpendReport,
 };
 
 /// Construction-time knobs for an [`Engine`].
@@ -170,6 +173,11 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Racing-solver runs actually executed.
     pub solved: u64,
+    /// Among `solved`, the runs the axiom-driven fast-path prescreen
+    /// settled before either certificate search started (stage 0 of the
+    /// decide tier: fingerprint memo → cache → **fastpath** → full
+    /// solve). These runs report zero chase/model spend.
+    pub fastpath_hits: u64,
     /// Verdicts currently resident in the decision cache.
     pub keys_cached: usize,
     /// Entries evicted from the cache to bound residency.
@@ -201,6 +209,7 @@ struct Counters {
     requests: Meter,
     cache_hits: Meter,
     solved: Meter,
+    fastpath_hits: Meter,
     derivation_states: Meter,
     model_nodes: Meter,
 }
@@ -462,17 +471,28 @@ impl Engine {
     }
 
     /// [`Engine::canonical_key`] through this engine's canonicalization
-    /// memo: per-dependency keys of structurally identical TDs are reused
-    /// across requests (see the `canon_memo` field docs), so the warm path
-    /// of a duplicate-heavy stream pays fingerprint hashing instead of the
-    /// full canonical search. Always returns the same key as the static
-    /// path.
-    fn canonical_key_memoized(&self, p: &Presentation) -> Result<CanonKey> {
+    /// memo, keeping the intermediate products: the normalization and the
+    /// reduction system built for keying are returned (with their phase
+    /// timings) so a subsequent solve reuses them instead of rebuilding —
+    /// the decide path normalizes and reduces exactly once per request.
+    ///
+    /// Per-dependency keys of structurally identical TDs are reused across
+    /// requests (see the `canon_memo` field docs), so the warm path of a
+    /// duplicate-heavy stream pays fingerprint hashing instead of the full
+    /// canonical search. Always returns the same key as the static path.
+    fn canonical_parts(
+        &self,
+        p: &Presentation,
+    ) -> Result<(CanonKey, Normalized, ReductionSystem, PhaseTimings)> {
+        let mut timings = PhaseTimings::default();
+        let t = Instant::now();
         let normalized = normalize(&p.zero_saturated())?;
+        timings.normalize = t.elapsed();
+        let t = Instant::now();
         let system = crate::deps::build_system(&normalized.presentation)?;
-        Ok(system_key_with(&system.deps, &system.d0, |td| {
-            self.memoized_canon_key(td)
-        }))
+        timings.reduce = t.elapsed();
+        let key = system_key_with(&system.deps, &system.d0, |td| self.memoized_canon_key(td));
+        Ok((key, normalized, system, timings))
     }
 
     /// The [`canon_key`] of one TD, served from the memo when an exact
@@ -575,6 +595,7 @@ impl Engine {
             requests: self.counters.requests.total(),
             cache_hits: self.counters.cache_hits.total(),
             solved: self.counters.solved.total(),
+            fastpath_hits: self.counters.fastpath_hits.total(),
             keys_cached: self.cache.len(),
             evictions: self.cache.evictions(),
             derivation_states: self.counters.derivation_states.total(),
@@ -647,6 +668,9 @@ impl Engine {
         let run = solve_with_opts_on(p, &ticket.budgets, self.opts, ticket.cancellation())?;
         self.record_spend(&run.spend);
         self.counters.solved.add(1);
+        if matches!(run.outcome, PipelineOutcome::FastSettled { .. }) {
+            self.counters.fastpath_hits.add(1);
+        }
         Ok(run)
     }
 
@@ -679,11 +703,20 @@ impl Engine {
     ///
     /// Same as [`Engine::decide`].
     pub fn decide_with(&self, p: &Presentation, req: Option<RequestBudget>) -> Result<Decision> {
-        let key = self.canonical_key_memoized(p)?;
+        let t_total = Instant::now();
+        let (key, normalized, system, timings) = self.canonical_parts(p)?;
         self.counters.requests.add(1);
-        match self.single_flight(key, || {
+        match self.single_flight(key, move || {
             let ticket = self.mint(req)?;
-            solve_with_opts_on(p, &ticket.budgets, self.opts, ticket.cancellation())
+            solve_prepared(
+                normalized,
+                system,
+                &ticket.budgets,
+                self.opts,
+                ticket.cancellation(),
+                timings,
+                t_total,
+            )
         })? {
             ItemOutcome::Settled(hit) => {
                 self.counters.cache_hits.add(1);
@@ -698,6 +731,9 @@ impl Engine {
             ItemOutcome::Ran(run) => {
                 self.record_spend(&run.spend);
                 self.counters.solved.add(1);
+                if matches!(run.outcome, PipelineOutcome::FastSettled { .. }) {
+                    self.counters.fastpath_hits.add(1);
+                }
                 Ok(Decision {
                     key,
                     verdict: compress(&run),
@@ -795,6 +831,7 @@ impl Engine {
         self.counters.requests.add(run.stats.total as u64);
         self.counters.cache_hits.add(run.stats.cache_hits as u64);
         self.counters.solved.add(run.stats.solved as u64);
+        self.counters.fastpath_hits.add(run.stats.fastpath as u64);
         Ok(run)
     }
 
@@ -1157,9 +1194,9 @@ mod tests {
         let engine = Engine::new();
         for p in [derivable(), derivable_renamed(), refutable()] {
             let static_key = Engine::canonical_key(&p).unwrap();
-            assert_eq!(engine.canonical_key_memoized(&p).unwrap(), static_key);
+            assert_eq!(engine.canonical_parts(&p).unwrap().0, static_key);
             // Second pass is served from a warm memo — same key.
-            assert_eq!(engine.canonical_key_memoized(&p).unwrap(), static_key);
+            assert_eq!(engine.canonical_parts(&p).unwrap().0, static_key);
         }
         assert!(
             !engine.canon_memo.read().unwrap().is_empty(),

@@ -47,6 +47,7 @@ pub mod cache;
 pub mod deps;
 pub mod engine;
 pub mod error;
+pub mod fastpath;
 pub mod part_a;
 pub mod part_b;
 pub mod pipeline;
@@ -65,12 +66,14 @@ pub mod prelude {
         Session, SessionStats, SessionVerdict, Ticket,
     };
     pub use crate::error::RedError;
+    pub use crate::fastpath::{prescreen, replay, FastBudget, FastReason, FastVerdict, Prescreen};
     pub use crate::part_a::{prove_part_a, prove_part_a_with, prove_unguided};
     pub use crate::part_b::{build_counter_model, CounterModel, RowLabel};
     pub use crate::pipeline::{
         portfolio_winner, run_portfolio, solve, solve_with, solve_with_opts, solve_with_opts_on,
-        Budgets, DerivationRacer, LaneFound, LaneRun, LaneSpend, ModelRacer, PhaseTimings,
-        PipelineOutcome, Racer, SolveMode, SolveOptions, SpendReport,
+        Budgets, DerivationRacer, FastPath, FastPathRacer, LaneFound, LaneRun, LaneSpend,
+        ModelRacer, PhaseTimings, PipelineOutcome, PipelineRun, Racer, SolveMode, SolveOptions,
+        SpendReport,
     };
     pub use crate::snapshot::{Snapshot, SnapshotError, SNAPSHOT_FORMAT_VERSION};
     pub use crate::verify::{verify_counter_model, verify_counter_model_with, PartBReport};

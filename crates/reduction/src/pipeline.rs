@@ -51,6 +51,7 @@ use td_semigroup::presentation::Presentation;
 pub use crate::batch::{solve_batch, BatchRun, BatchStats, BatchVerdict};
 use crate::deps::{build_system, ReductionSystem};
 use crate::error::Result;
+use crate::fastpath::{self, FastBudget, FastVerdict};
 use crate::part_a::{prove_part_a_with, PartAProof};
 use crate::part_b::{build_counter_model, CounterModel};
 use crate::verify::{verify_counter_model_with, PartBReport};
@@ -83,6 +84,25 @@ pub struct SolveOptions {
     /// runs). Off by default; may never change a verdict, a proof, or a
     /// golden byte (the differential suites pin the equality).
     pub parallelism: Parallelism,
+    /// Whether the axiom-driven fast path may settle this solve (see
+    /// [`crate::fastpath`]). On by default under [`SolveMode::Racing`];
+    /// [`SolveMode::Sequential`] ignores it entirely — the sequential
+    /// oracle stays the pure two-search reference the differential tests
+    /// compare against.
+    pub fastpath: FastPath,
+}
+
+/// Whether a solve may consult the axiom-driven fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FastPath {
+    /// Prescreen before the search race and keep the fastpath lane in the
+    /// portfolio (Racing mode only; the prescreen is a pure speed knob and
+    /// may never change a verdict).
+    #[default]
+    Auto,
+    /// Never consult the fast path — the baseline for benches
+    /// (`engine/cold_decide`) and for oracle-control differential runs.
+    Off,
 }
 
 /// How [`solve_with`] schedules the two certificate searches.
@@ -107,6 +127,9 @@ pub struct PhaseTimings {
     pub normalize: Duration,
     /// Building the reduction system (attributes, `D`, `D₀`).
     pub reduce: Duration,
+    /// The axiom-driven fast-path prescreen (zero when the fast path was
+    /// off or the mode was sequential).
+    pub fastpath: Duration,
     /// Derivation search (side 1), including any cancelled prefix.
     pub derivation: Duration,
     /// Finite-model search (side 2), including any cancelled prefix.
@@ -138,18 +161,29 @@ pub struct PhaseTimings {
 /// report coincides across solve modes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpendReport {
+    /// Checks the axiom-driven fast-path prescreen spent (subsumption
+    /// tests, probe dependency checks, weakening nodes — see
+    /// [`crate::fastpath::Prescreen::checks`]). Zero when the fast path
+    /// was off or the mode was sequential. Always exact and replay-stable:
+    /// the prescreen never observes the race token.
+    pub fastpath_checks: u64,
+    /// `true` when the prescreen bailed on its own spend cap before
+    /// finishing every stage ([`crate::fastpath::Prescreen::truncated`]);
+    /// deterministic, unlike the race-dependent truncations below.
+    pub fastpath_truncated: bool,
     /// Distinct words the derivation search visited.
     pub derivation_states: usize,
     /// `true` when the derivation search did not run to its own natural
-    /// end (it lost the race and was cancelled, or — sequentially — never
-    /// needed to run past a win): `derivation_states` is then only a lower
-    /// bound.
+    /// end (it lost the race and was cancelled, never started because the
+    /// fast path settled first, or — sequentially — never needed to run
+    /// past a win): `derivation_states` is then only a lower bound.
     pub derivation_truncated: bool,
     /// Nodes the finite-model search visited.
     pub model_nodes: u64,
     /// `true` when the model search did not run to its own natural end
-    /// (lost the race, or was skipped after a sequential win):
-    /// `model_nodes` is then only a lower bound.
+    /// (lost the race, never started past a fast-path settle, or was
+    /// skipped after a sequential win): `model_nodes` is then only a lower
+    /// bound.
     pub model_truncated: bool,
 }
 
@@ -170,10 +204,18 @@ pub struct LaneSpend {
 }
 
 impl SpendReport {
-    /// The per-lane view of this report, in portfolio lane order
-    /// (derivation first — the tie-break order of the runner).
-    pub fn lanes(&self) -> [LaneSpend; 2] {
-        [
+    /// The per-lane view of this report, in portfolio lane order —
+    /// fastpath, then derivation, then model: the tie-break order of the
+    /// runner. A `Vec` rather than a fixed-size array so adding a lane
+    /// (as this PR did) widens every consumer instead of silently
+    /// dropping data.
+    pub fn lanes(&self) -> Vec<LaneSpend> {
+        vec![
+            LaneSpend {
+                lane: "fastpath",
+                units: self.fastpath_checks,
+                truncated: self.fastpath_truncated,
+            },
             LaneSpend {
                 lane: "derivation",
                 units: self.derivation_states as u64,
@@ -207,6 +249,14 @@ pub enum PipelineOutcome {
         /// The independent verification report (always `ok()`).
         report: PartBReport,
     },
+    /// The axiom-driven fast path settled the question before either
+    /// search ran: a certain verdict with a replayable [`FastVerdict`]
+    /// reason instead of the full certificates (re-solve with
+    /// [`FastPath::Off`] when the certificates themselves are needed).
+    FastSettled {
+        /// The settled verdict and its replayable reason.
+        verdict: FastVerdict,
+    },
     /// Neither side succeeded within the budgets.
     Unknown {
         /// Words visited by the derivation search.
@@ -217,14 +267,25 @@ pub enum PipelineOutcome {
 }
 
 impl PipelineOutcome {
-    /// `true` for [`PipelineOutcome::Implied`].
+    /// `true` when `D ⊨ D₀` — [`PipelineOutcome::Implied`], or a
+    /// fast-path settle on the implied side.
     pub fn is_implied(&self) -> bool {
-        matches!(self, PipelineOutcome::Implied { .. })
+        match self {
+            PipelineOutcome::Implied { .. } => true,
+            PipelineOutcome::FastSettled { verdict } => verdict.is_implied(),
+            _ => false,
+        }
     }
 
-    /// `true` for [`PipelineOutcome::Refuted`].
+    /// `true` when `D ⊭ D₀` over finite databases —
+    /// [`PipelineOutcome::Refuted`], or a fast-path settle on the refuted
+    /// side.
     pub fn is_refuted(&self) -> bool {
-        matches!(self, PipelineOutcome::Refuted { .. })
+        match self {
+            PipelineOutcome::Refuted { .. } => true,
+            PipelineOutcome::FastSettled { verdict } => !verdict.is_implied(),
+            _ => false,
+        }
     }
 }
 
@@ -246,6 +307,7 @@ pub struct PipelineRun {
 
 /// What one side of the race produced, before certificate compilation.
 enum SideResult {
+    Fast(FastVerdict),
     Derivation(Derivation),
     Model(FiniteSemigroup, Interpretation),
     Neither {
@@ -322,12 +384,14 @@ fn search_sequential(
     })
 }
 
-/// A certificate the portfolio can win with. The variants mirror the two
+/// A certificate the portfolio can win with. The variants mirror the
 /// certificate kinds of the reduction; new racer implementations must
-/// produce one of these (a third lane — say a rule-based prover — would
-/// return [`LaneFound::Derivation`]).
+/// produce one of these.
 #[derive(Debug)]
 pub enum LaneFound {
+    /// A settled axiom-driven fast-path verdict with its replayable
+    /// reason (either side; see [`FastPathRacer`]).
+    Fast(FastVerdict),
     /// A word-problem derivation `A₀ ⇒* 0` (the *implied* certificate).
     Derivation(Derivation),
     /// A finite cancellation countermodel (the *refuted* certificate).
@@ -394,6 +458,40 @@ impl Racer for DerivationRacer {
         Ok(LaneRun {
             found,
             units: r.states as u64,
+            elapsed: t.elapsed(),
+        })
+    }
+}
+
+/// The fast-path lane: the staged axiom-driven prescreen
+/// ([`crate::fastpath::prescreen`]) run as a portfolio racer, so a rule
+/// can win a solve in microseconds before either search warms up.
+///
+/// This is the one lane that **never observes the shared race token**: its
+/// work is bounded by its own deterministic [`FastBudget`] ticker, and
+/// whether it settles must not depend on when another lane happened to
+/// win — otherwise the winner index, and with it the spend labels, would
+/// be a scheduling accident. Consequence: an externally pre-cancelled
+/// portfolio can still be won by this lane (a certain verdict computed in
+/// microseconds is returned, not discarded).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastPathRacer {
+    /// The prescreen's deterministic spend caps.
+    pub budget: FastBudget,
+}
+
+impl Racer for FastPathRacer {
+    fn label(&self) -> &'static str {
+        "fastpath"
+    }
+
+    fn run(&self, np: &Presentation, _cancel: &Cancellation) -> Result<LaneRun> {
+        let t = Instant::now();
+        let system = build_system(np)?;
+        let pre = fastpath::prescreen(&system, &self.budget)?;
+        Ok(LaneRun {
+            found: pre.verdict.map(LaneFound::Fast),
+            units: pre.checks,
             elapsed: t.elapsed(),
         })
     }
@@ -476,39 +574,69 @@ pub fn portfolio_winner(runs: &mut [LaneRun]) -> Option<(usize, LaneFound)> {
         .find_map(|(i, r)| r.found.take().map(|f| (i, f)))
 }
 
-/// Races the two certificate searches as a two-lane portfolio (the
-/// derivation lane first, so the deterministic winner selection prefers
-/// it on the mathematically impossible double win, matching the
-/// sequential order). The winner's spend is exact; the loser's is
-/// labelled truncated in the [`SpendReport`] — its precise value depends
-/// on when the cancellation poll fired and must be read as a lower bound.
-/// If both lanes exhaust, neither is cancelled and the spent budgets are
-/// exactly the sequential ones.
+/// Races the certificate searches as a portfolio — the fastpath lane
+/// first (when enabled), then derivation, then model, so the
+/// deterministic winner selection prefers the cheap rule-based settle,
+/// then the derivation side on the mathematically impossible double win,
+/// matching the sequential order. The winner's spend is exact; a
+/// cancelled loser's is labelled truncated in the [`SpendReport`] — its
+/// precise value depends on when the cancellation poll fired and must be
+/// read as a lower bound. If every lane exhausts, none is cancelled and
+/// the spent budgets are exactly the sequential ones.
+///
+/// The fastpath lane's found-or-bailed answer never depends on the shared
+/// token (see [`FastPathRacer`]), so the winner index is deterministic
+/// even though three threads race on the wall clock. In-tree this lane is
+/// preceded by the stage-0 prescreen of [`solve_prepared`], which settles
+/// eligible solves *before* the portfolio spawns — and, on a bail, drops
+/// the lane from its own portfolio call (re-running a deterministic bail
+/// buys nothing). The lane stays in [`run_portfolio`]'s vocabulary so
+/// direct composers that skipped stage 0 get the same microsecond win.
 ///
 /// `cancel` is the shared race token. Normally it starts fresh and is
 /// flipped by the winning lane; an *external* holder (the engine's
-/// shutdown path) may also flip it, in which case both lanes back out at
-/// their next poll and the run comes back `Unknown`.
+/// shutdown path) may also flip it, in which case the search lanes back
+/// out at their next poll.
 fn search_racing(
     np: &Presentation,
     budgets: &Budgets,
+    fast: Option<FastBudget>,
     timings: &mut PhaseTimings,
     spend: &mut SpendReport,
     cancel: &Cancellation,
 ) -> Result<SideResult> {
+    let fastpath = fast.map(|budget| FastPathRacer { budget });
     let derivation = DerivationRacer {
         budget: budgets.derivation,
     };
     let model = ModelRacer {
         opts: budgets.model,
     };
-    let mut runs = run_portfolio(np, &[&derivation, &model], cancel)?;
+    let mut lanes: Vec<&dyn Racer> = Vec::with_capacity(3);
+    if let Some(f) = &fastpath {
+        lanes.push(f);
+    }
+    lanes.push(&derivation);
+    lanes.push(&model);
+    let mut runs = run_portfolio(np, &lanes, cancel)?;
     let winner = portfolio_winner(&mut runs);
-    timings.derivation = runs[0].elapsed;
-    timings.model = runs[1].elapsed;
-    spend.derivation_states = usize::try_from(runs[0].units).unwrap_or(usize::MAX);
-    spend.model_nodes = runs[1].units;
+    // Lane indices shift by one when the fastpath lane is in the
+    // portfolio; the classic two always sit last.
+    let d = runs.len() - 2;
+    if fastpath.is_some() {
+        timings.fastpath = runs[0].elapsed;
+        spend.fastpath_checks = runs[0].units;
+    }
+    timings.derivation = runs[d].elapsed;
+    timings.model = runs[d + 1].elapsed;
+    spend.derivation_states = usize::try_from(runs[d].units).unwrap_or(usize::MAX);
+    spend.model_nodes = runs[d + 1].units;
     Ok(match winner {
+        Some((_, LaneFound::Fast(verdict))) => {
+            spend.derivation_truncated = true;
+            spend.model_truncated = true;
+            SideResult::Fast(verdict)
+        }
         Some((_, LaneFound::Derivation(derivation))) => {
             spend.model_truncated = true;
             SideResult::Derivation(derivation)
@@ -601,7 +729,6 @@ pub fn solve_with_opts_on(
     opts: SolveOptions,
     cancel: &Cancellation,
 ) -> Result<PipelineRun> {
-    let mode = opts.mode;
     let t_total = Instant::now();
     let mut timings = PhaseTimings::default();
 
@@ -609,20 +736,92 @@ pub fn solve_with_opts_on(
     let saturated = p.zero_saturated();
     let normalized = normalize(&saturated)?;
     timings.normalize = t.elapsed();
-    let np = &normalized.presentation;
 
     let t = Instant::now();
-    let system = build_system(np)?;
+    let system = build_system(&normalized.presentation)?;
     timings.reduce = t.elapsed();
 
+    solve_prepared(normalized, system, budgets, opts, cancel, timings, t_total)
+}
+
+/// The pipeline tail: search (under the given scheduling mode, observing
+/// `cancel`) → compile/verify the certificate, over an already normalized
+/// and reduced instance. The engine calls this directly so the reduction
+/// system built during canonical-key extraction is solved, not rebuilt.
+///
+/// Stage 0 is the axiom-driven fast path: under [`SolveMode::Racing`] with
+/// [`FastPath::Auto`], [`fastpath::prescreen`] runs synchronously before
+/// any search thread spawns. A settled verdict returns
+/// [`PipelineOutcome::FastSettled`] with **zero** chase/model spend (both
+/// searches are reported truncated: they never started). The sequential
+/// mode skips the prescreen entirely so it stays the pure oracle the
+/// differential tests compare against.
+pub(crate) fn solve_prepared(
+    normalized: Normalized,
+    system: ReductionSystem,
+    budgets: &Budgets,
+    opts: SolveOptions,
+    cancel: &Cancellation,
+    mut timings: PhaseTimings,
+    t_total: Instant,
+) -> Result<PipelineRun> {
+    let mode = opts.mode;
+    let np = &normalized.presentation;
+    let fast = match (mode, opts.fastpath) {
+        (SolveMode::Racing, FastPath::Auto) => Some(FastBudget::default()),
+        _ => None,
+    };
+
     let mut spend = SpendReport::default();
+    let mut lane_budget = fast;
+    if let Some(budget) = fast {
+        let t = Instant::now();
+        let pre = fastpath::prescreen(&system, &budget)?;
+        timings.fastpath = t.elapsed();
+        spend.fastpath_checks = pre.checks;
+        spend.fastpath_truncated = pre.truncated;
+        // A bail is deterministic: the portfolio's fastpath lane would
+        // re-run the exact same prescreen to the exact same bail, so it
+        // is dropped from this solve — the lane exists for direct
+        // [`run_portfolio`] composers that skipped stage 0. The recorded
+        // stage-0 spend stands.
+        lane_budget = None;
+        if let Some(verdict) = pre.verdict {
+            debug_assert!(
+                fastpath::replay(&system, &verdict).unwrap_or(false),
+                "fastpath reason failed to replay: {verdict:?}"
+            );
+            // Neither search ever started; their zero spend is a trivial
+            // truncation, mirroring the racing report's labelling.
+            spend.derivation_truncated = true;
+            spend.model_truncated = true;
+            timings.total = t_total.elapsed();
+            return Ok(PipelineRun {
+                normalized,
+                system,
+                outcome: PipelineOutcome::FastSettled { verdict },
+                timings,
+                spend,
+            });
+        }
+    }
+
     let side = match mode {
         SolveMode::Sequential => search_sequential(np, budgets, &mut timings, &mut spend, cancel)?,
-        SolveMode::Racing => search_racing(np, budgets, &mut timings, &mut spend, cancel)?,
+        SolveMode::Racing => {
+            search_racing(np, budgets, lane_budget, &mut timings, &mut spend, cancel)?
+        }
     };
 
     let t = Instant::now();
     let outcome = match side {
+        SideResult::Fast(verdict) => {
+            debug_assert!(
+                fastpath::replay(&system, &verdict).unwrap_or(false),
+                "fastpath reason failed to replay: {verdict:?}"
+            );
+            PipelineOutcome::FastSettled { verdict }
+        }
         SideResult::Derivation(derivation) => {
             let proof = prove_part_a_with(&system, np, &derivation, opts.strategy)?;
             PipelineOutcome::Implied { derivation, proof }
@@ -692,7 +891,26 @@ mod tests {
 
     #[test]
     fn refutable_instances_come_out_refuted() {
+        // Default (racing) path: the fast-path refutation probe settles
+        // the empty presentation before either search starts, with a
+        // replayable reason.
         let run = solve(&refutable(), &Budgets::default()).unwrap();
+        match &run.outcome {
+            PipelineOutcome::FastSettled { verdict } => {
+                assert!(!verdict.is_implied());
+                assert!(crate::fastpath::replay(&run.system, verdict).unwrap());
+            }
+            other => panic!("expected FastSettled, got {other:?}"),
+        }
+        assert!(run.outcome.is_refuted());
+
+        // With the fast path off, the full model path still produces the
+        // part (B) certificate.
+        let opts = SolveOptions {
+            fastpath: FastPath::Off,
+            ..SolveOptions::default()
+        };
+        let run = solve_with_opts(&refutable(), &Budgets::default(), opts).unwrap();
         match &run.outcome {
             PipelineOutcome::Refuted { model, report } => {
                 assert!(report.ok());
@@ -744,19 +962,44 @@ mod tests {
             "the racing loser's spend is only a lower bound"
         );
 
-        // Won race, model side (analytic shortcut: 0 nodes, exact).
+        // Refuted side. Under the default fast path, racing settles via
+        // the refutation probe before either search starts: exact,
+        // deterministic prescreen spend and zero search spend (both
+        // searches trivially truncated — they never ran). Sequential is
+        // the pure oracle: it never consults the fast path.
         let p = refutable();
         let seq = solve_with(&p, &Budgets::default(), SolveMode::Sequential).unwrap();
         let raced = solve_with(&p, &Budgets::default(), SolveMode::Racing).unwrap();
         assert!(seq.outcome.is_refuted() && raced.outcome.is_refuted());
+        assert!(matches!(raced.outcome, PipelineOutcome::FastSettled { .. }));
+        assert!(raced.spend.fastpath_checks > 0);
+        assert!(!raced.spend.fastpath_truncated);
+        assert_eq!(raced.spend.derivation_states, 0);
+        assert_eq!(raced.spend.model_nodes, 0);
+        assert!(raced.spend.derivation_truncated && raced.spend.model_truncated);
+        assert_eq!(seq.spend.fastpath_checks, 0, "the oracle never prescreens");
         assert!(!seq.spend.model_truncated);
-        assert!(!raced.spend.model_truncated);
-        assert_eq!(seq.spend.model_nodes, raced.spend.model_nodes);
-        assert!(raced.spend.derivation_truncated);
         assert!(
             !seq.spend.derivation_truncated,
             "sequentially the derivation side ran to exhaustion first"
         );
+
+        // Racing with the fast path off reproduces the classic two-lane
+        // race: model side wins via the analytic shortcut (0 nodes, exact).
+        let off = solve_with_opts(
+            &p,
+            &Budgets::default(),
+            SolveOptions {
+                mode: SolveMode::Racing,
+                fastpath: FastPath::Off,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(off.outcome.is_refuted());
+        assert!(!off.spend.model_truncated);
+        assert_eq!(seq.spend.model_nodes, off.spend.model_nodes);
+        assert!(off.spend.derivation_truncated);
 
         // Unknown: no side is cancelled, both spends exact and identical
         // across modes.
@@ -866,7 +1109,14 @@ mod tests {
     #[test]
     fn lane_spend_view_matches_flat_report() {
         let run = solve(&derivable(), &Budgets::default()).unwrap();
-        let [derivation, model] = run.spend.lanes();
+        let lanes = run.spend.lanes();
+        let [fastpath, derivation, model] = &lanes[..] else {
+            panic!("three lanes, in runner order: {lanes:?}");
+        };
+        assert_eq!(fastpath.lane, "fastpath");
+        assert_eq!(fastpath.units, run.spend.fastpath_checks);
+        assert_eq!(fastpath.truncated, run.spend.fastpath_truncated);
+        assert_eq!(FastPathRacer::default().label(), fastpath.lane);
         assert_eq!(derivation.lane, "derivation");
         assert_eq!(derivation.units, run.spend.derivation_states as u64);
         assert_eq!(derivation.truncated, run.spend.derivation_truncated);

@@ -20,11 +20,13 @@
 //!     12     4  canon-scheme version      (td_core::canon::CANON_SCHEME_VERSION
 //!                                          of the writer)
 //!     16     8  entry count N
-//!     24  N*50  fixed-width records (see below)
-//!   24+N*50  8  checksum: FNV-1a 64 over every preceding byte
+//!     24  N*58  fixed-width records (see below)
+//!   24+N*58  8  checksum: FNV-1a 64 over every preceding byte
 //! ```
 //!
-//! Each 50-byte record:
+//! Each 58-byte record (format version 2; version-1 records were 50 bytes
+//! and lacked the fastpath fields — old snapshots are rejected by the
+//! format-version gate, never reinterpreted):
 //!
 //! ```text
 //! offset  size  field
@@ -34,7 +36,9 @@
 //!     25     8  proof_firings    (Implied) / 0          (Refuted)
 //!     33     8  spend.derivation_states
 //!     41     8  spend.model_nodes
-//!     49     1  spend flags: bit 0 derivation_truncated, bit 1 model_truncated
+//!     49     8  spend.fastpath_checks
+//!     57     1  spend flags: bit 0 derivation_truncated,
+//!               bit 1 model_truncated, bit 2 fastpath_truncated
 //! ```
 //!
 //! `Unknown` verdicts are never cached, so they have no encoding.
@@ -66,10 +70,10 @@ pub const MAGIC: [u8; 8] = *b"TDQSNAP\0";
 
 /// Version of the byte layout described in the module docs. Bump on any
 /// change to the header or record encoding.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// Bytes per entry record.
-const RECORD_BYTES: usize = 50;
+const RECORD_BYTES: usize = 58;
 /// Bytes before the first record.
 const HEADER_BYTES: usize = 24;
 /// Bytes of the trailing checksum.
@@ -154,8 +158,10 @@ pub fn encode_with_canon_version(entries: &[(CanonKey, CachedOutcome)], canon: u
         out.extend_from_slice(&b.to_le_bytes());
         out.extend_from_slice(&(outcome.spend.derivation_states as u64).to_le_bytes());
         out.extend_from_slice(&outcome.spend.model_nodes.to_le_bytes());
+        out.extend_from_slice(&outcome.spend.fastpath_checks.to_le_bytes());
         let flags = u8::from(outcome.spend.derivation_truncated)
-            | (u8::from(outcome.spend.model_truncated) << 1);
+            | (u8::from(outcome.spend.model_truncated) << 1)
+            | (u8::from(outcome.spend.fastpath_truncated) << 2);
         out.push(flags);
     }
     let checksum = fnv1a64(&out);
@@ -253,14 +259,16 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
                 ));
             }
         };
-        let flags = bytes[at + 49];
-        if flags & !0b11 != 0 {
+        let flags = bytes[at + 57];
+        if flags & !0b111 != 0 {
             return Err(SnapshotError::new(
-                at + 49,
+                at + 57,
                 format!("record {i}: unknown spend flags {flags:#04x}"),
             ));
         }
         let spend = SpendReport {
+            fastpath_checks: u64_at(bytes, at + 49),
+            fastpath_truncated: flags & 0b100 != 0,
             derivation_states: u64_at(bytes, at + 33) as usize,
             derivation_truncated: flags & 0b01 != 0,
             model_nodes: u64_at(bytes, at + 41),
@@ -318,6 +326,8 @@ mod tests {
             CachedOutcome {
                 verdict,
                 spend: SpendReport {
+                    fastpath_checks: n * 13,
+                    fastpath_truncated: n % 7 == 0,
                     derivation_states: n as usize * 7,
                     derivation_truncated: n % 3 == 0,
                     model_nodes: n * 11,
@@ -403,7 +413,7 @@ mod tests {
     #[test]
     fn unknown_tags_and_flags_are_rejected() {
         let clean = encode(&[entry(2)]);
-        for (at, what) in [(HEADER_BYTES + 16, "verdict tag"), (HEADER_BYTES + 49, "")] {
+        for (at, what) in [(HEADER_BYTES + 16, "verdict tag"), (HEADER_BYTES + 57, "")] {
             let mut bad = clean.clone();
             bad[at] = 0x9;
             let body = bad.len() - CHECKSUM_BYTES;

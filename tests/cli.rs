@@ -45,12 +45,14 @@ fn wp_implied() {
 
 #[test]
 fn wp_refuted() {
+    // The empty presentation is settled by the fast-path refutation probe
+    // before the model search starts; the reason names the probe instance.
     let path = write_temp("wp-refuted", "alphabet A0 0\nzerosat\n");
     let out = tdq().arg("wp").arg(&path).output().unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success());
     assert!(stdout.contains("REFUTED"), "{stdout}");
-    assert!(stdout.contains("Facts 1/2: true/true"), "{stdout}");
+    assert!(stdout.contains("fastpath: probe template"), "{stdout}");
     std::fs::remove_file(path).ok();
 }
 
@@ -209,7 +211,7 @@ fn format_json_emits_serve_schema_replies() {
         "{stdout}"
     );
     assert!(
-        stdout.contains("\"spend\":{\"derivation_states\":"),
+        stdout.contains("\"spend\":{\"fastpath_checks\":"),
         "{stdout}"
     );
     assert!(

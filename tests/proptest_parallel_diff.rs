@@ -197,6 +197,15 @@ proptest! {
                     PipelineOutcome::Refuted { model: m2, .. },
                 ) => prop_assert_eq!(m1.len(), m2.len()),
                 (
+                    PipelineOutcome::FastSettled { verdict: v1 },
+                    PipelineOutcome::FastSettled { verdict: v2 },
+                ) => {
+                    // The fast-path lane is deterministic down to the
+                    // replayable reason, not just the verdict side.
+                    prop_assert_eq!(v1, v2);
+                    prop_assert_eq!(first.spend.lanes(), again.spend.lanes());
+                }
+                (
                     PipelineOutcome::Unknown { derivation_states: ds1, model_nodes: mn1 },
                     PipelineOutcome::Unknown { derivation_states: ds2, model_nodes: mn2 },
                 ) => {

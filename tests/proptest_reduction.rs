@@ -127,6 +127,14 @@ proptest! {
                 prop_assert!(satisfaction::satisfies_all(&model.instance, &run.system.deps));
                 prop_assert!(!satisfaction::satisfies(&model.instance, &run.system.d0));
             }
+            PipelineOutcome::FastSettled { verdict } => {
+                // The fast path may refute these before the model search
+                // starts; its reason must replay (the probe instance
+                // satisfies D and violates D0 — the same certificate
+                // property, checked on the probe instead of part (B)).
+                prop_assert!(!verdict.is_implied(), "x·y = 0 equations cannot derive A0 = 0");
+                prop_assert!(replay(&run.system, verdict).unwrap());
+            }
             PipelineOutcome::Implied { .. } => {
                 // Possible: e.g. the random equation `A0 X = 0` combined
                 // with others could make the goal derivable? x·y = 0 alone
